@@ -1,0 +1,100 @@
+//! Engine benchmarks: future-event-list throughput (binary heap vs
+//! calendar queue — the DESIGN.md calendar ablation) and raw event
+//! scheduling cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use desim::{
+    CalendarQueue, Duration, Event, EventCalendar, EventId, Exponential, HeapCalendar, RngStream,
+    SimTime, Simulation, Variate,
+};
+use std::hint::black_box;
+
+/// The classic "hold" model: keep `n` events pending; repeatedly pop the
+/// earliest and insert a new one at a random future offset. This is the
+/// steady-state access pattern of the co-allocation simulator.
+fn hold<C: EventCalendar<u64>>(cal: &mut C, n: usize, ops: usize) -> f64 {
+    let mut rng = RngStream::new(7);
+    let exp = Exponential::with_mean(100.0);
+    let mut next_id = 0u64;
+    let mut now = 0.0;
+    for _ in 0..n {
+        let t = now + exp.sample(&mut rng);
+        cal.insert(Event { time: SimTime::new(t), id: EventId::from_raw(next_id), payload: next_id });
+        next_id += 1;
+    }
+    for _ in 0..ops {
+        let ev = cal.pop().expect("hold model never empties");
+        now = ev.time.seconds();
+        let t = now + exp.sample(&mut rng);
+        cal.insert(Event { time: SimTime::new(t), id: EventId::from_raw(next_id), payload: next_id });
+        next_id += 1;
+    }
+    now
+}
+
+fn bench_calendars(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calendar_hold");
+    for &n in &[64usize, 1024, 16384] {
+        let ops = 20_000;
+        group.throughput(Throughput::Elements(ops as u64));
+        group.bench_with_input(BenchmarkId::new("heap", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut cal = HeapCalendar::new();
+                black_box(hold(&mut cal, n, ops))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("calendar_queue", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut cal = CalendarQueue::new();
+                black_box(hold(&mut cal, n, ops))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_schedule(c: &mut Criterion) {
+    c.bench_function("engine_schedule_step", |b| {
+        b.iter(|| {
+            let mut sim: Simulation<u32> = Simulation::new();
+            for i in 0..1_000u32 {
+                sim.schedule_in(Duration::new(f64::from(i % 97) + 0.5), i);
+            }
+            let mut acc = 0u64;
+            while let Some(ev) = sim.step() {
+                acc = acc.wrapping_add(u64::from(ev.payload));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("uniform_10k", |b| {
+        let mut rng = RngStream::new(3);
+        b.iter(|| {
+            let mut s = 0.0;
+            for _ in 0..10_000 {
+                s += rng.uniform();
+            }
+            black_box(s)
+        })
+    });
+    group.bench_function("exponential_10k", |b| {
+        let mut rng = RngStream::new(3);
+        let exp = Exponential::with_mean(100.0);
+        b.iter(|| {
+            let mut s = 0.0;
+            for _ in 0..10_000 {
+                s += exp.sample(&mut rng);
+            }
+            black_box(s)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_calendars, bench_engine_schedule, bench_rng);
+criterion_main!(benches);

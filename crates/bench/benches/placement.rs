@@ -1,0 +1,56 @@
+//! Placement benchmarks: the Worst-Fit rule of the paper against the
+//! Best-Fit / First-Fit ablations, on random system states.
+
+use coalloc_bench::random_idle_states;
+use coalloc_core::{place_unordered, PlacementRule};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_placement_rules(c: &mut Criterion) {
+    let states = random_idle_states(1_000, 42);
+    let requests: Vec<Vec<u32>> = vec![
+        vec![16, 16, 16, 16],
+        vec![22, 21, 21],
+        vec![32, 32],
+        vec![8],
+        vec![30, 17],
+    ];
+    let mut group = c.benchmark_group("placement");
+    group.throughput(Throughput::Elements((states.len() * requests.len()) as u64));
+    for rule in [PlacementRule::WorstFit, PlacementRule::BestFit, PlacementRule::FirstFit] {
+        group.bench_with_input(BenchmarkId::new("rule", format!("{rule:?}")), &rule, |b, &rule| {
+            b.iter(|| {
+                let mut fits = 0usize;
+                for idle in &states {
+                    for req in &requests {
+                        if place_unordered(idle, req, rule).is_some() {
+                            fits += 1;
+                        }
+                    }
+                }
+                black_box(fits)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end ablation: how the placement rule changes full-simulation
+/// cost (the fit rate changes the event pattern).
+fn bench_placement_in_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement_sim");
+    group.sample_size(10);
+    for rule in [PlacementRule::WorstFit, PlacementRule::BestFit, PlacementRule::FirstFit] {
+        group.bench_with_input(BenchmarkId::new("gs_5k_jobs", format!("{rule:?}")), &rule, |b, &rule| {
+            b.iter(|| {
+                let mut cfg = coalloc_bench::bench_sim_config(coalloc_core::PolicyKind::Gs, 5_000);
+                cfg.rule = rule;
+                black_box(coalloc_core::run(&cfg).completed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement_rules, bench_placement_in_simulation);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Policy benchmarks: full-simulation throughput (jobs simulated per
+//! second of wall time) for each scheduling policy, and the saturation
+//! analysis cost.
+
+use coalloc_bench::bench_sim_config;
+use coalloc_core::saturation::{maximal_utilization, SaturationConfig};
+use coalloc_core::PolicyKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_policies(c: &mut Criterion) {
+    let jobs = 10_000u64;
+    let mut group = c.benchmark_group("policy_sim");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(jobs));
+    for policy in [PolicyKind::Gs, PolicyKind::Ls, PolicyKind::Lp, PolicyKind::Sc] {
+        group.bench_with_input(
+            BenchmarkId::new("run_10k_jobs", policy.label()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| black_box(coalloc_core::run(&bench_sim_config(policy, jobs)).completed))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_saturation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("saturation");
+    group.sample_size(10);
+    group.bench_function("gs_limit16_5k_departures", |b| {
+        b.iter(|| {
+            let mut cfg = SaturationConfig::das_gs(16);
+            cfg.warmup_departures = 500;
+            cfg.measured_departures = 5_000;
+            black_box(maximal_utilization(&cfg).max_gross_utilization)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_saturation, replay::bench_replay);
+criterion_main!(benches);
+
+// Appended: trace-replay throughput (the feed path, not the stochastic
+// sampler) — registered via a second criterion group below.
+mod replay {
+    use super::*;
+    use coalloc_trace::{generate_das1_log, DasLogConfig};
+
+    pub fn bench_replay(c: &mut Criterion) {
+        let log = generate_das1_log(&DasLogConfig { jobs: 10_000, ..Default::default() });
+        let mut group = c.benchmark_group("replay");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(log.len() as u64));
+        group.bench_function("ls_10k_jobs", |b| {
+            b.iter(|| {
+                let mut cfg = coalloc_bench::bench_sim_config(PolicyKind::Ls, 10_000);
+                cfg.warmup_jobs = 1_000;
+                black_box(coalloc_core::run_trace(&cfg, &log, 1.0).completed)
+            })
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,68 @@
+//! Statistics-toolkit benchmarks: the metric-collection overhead per
+//! simulated job must stay negligible next to the event-loop cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use desim::stats::{BatchMeans, TimeWeighted, Welford};
+use desim::{P2Quantile, RngStream, SimTime};
+use std::hint::black_box;
+
+fn bench_streaming_estimators(c: &mut Criterion) {
+    let mut rng = RngStream::new(11);
+    let xs: Vec<f64> = (0..100_000).map(|_| rng.uniform() * 1e4).collect();
+    let mut group = c.benchmark_group("streaming");
+    group.throughput(Throughput::Elements(xs.len() as u64));
+    group.bench_function("welford_100k", |b| {
+        b.iter(|| {
+            let mut w = Welford::new();
+            for &x in &xs {
+                w.add(x);
+            }
+            black_box(w.variance())
+        })
+    });
+    group.bench_function("batch_means_100k", |b| {
+        b.iter(|| {
+            let mut bm = BatchMeans::new(500);
+            for &x in &xs {
+                bm.add(x);
+            }
+            black_box(bm.estimate().mean)
+        })
+    });
+    group.bench_function("p2_quantile_100k", |b| {
+        b.iter(|| {
+            let mut q = P2Quantile::new(0.95);
+            for &x in &xs {
+                q.add(x);
+            }
+            black_box(q.estimate())
+        })
+    });
+    group.bench_function("time_weighted_100k", |b| {
+        b.iter(|| {
+            let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+            for (i, &x) in xs.iter().enumerate() {
+                tw.update(SimTime::new(i as f64 + 1.0), x);
+            }
+            black_box(tw.average(SimTime::new(xs.len() as f64 + 1.0)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_warmup_analysis(c: &mut Criterion) {
+    let mut rng = RngStream::new(13);
+    let xs: Vec<f64> = (0..40_000).map(|_| rng.uniform() * 1e3).collect();
+    let mut group = c.benchmark_group("warmup");
+    group.sample_size(10);
+    group.bench_function("mser5_40k", |b| {
+        b.iter(|| black_box(desim::mser5(&xs).truncate))
+    });
+    group.bench_function("autocorrelation_lag100_40k", |b| {
+        b.iter(|| black_box(desim::autocorrelation(&xs, 100)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming_estimators, bench_warmup_analysis);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Workload-model benchmarks: distribution sampling, request splitting,
+//! and synthetic log generation.
+
+use coalloc_trace::{generate_das1_log, DasLogConfig};
+use coalloc_workload::{JobRequest, JobSizeDist, ServiceDist, Workload};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use desim::RngStream;
+use std::hint::black_box;
+
+fn bench_size_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("das_s_128_sizes_10k", |b| {
+        let dist = JobSizeDist::das_s_128();
+        let mut rng = RngStream::new(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                acc += u64::from(dist.sample(&mut rng));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("das_t_900_service_10k", |b| {
+        let dist = ServiceDist::das_t_900();
+        let mut rng = RngStream::new(1);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..10_000 {
+                acc += dist.sample(&mut rng).seconds();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("full_jobspec_10k", |b| {
+        let w = Workload::das(16);
+        let mut s = RngStream::new(1);
+        let mut t = RngStream::new(2);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                acc += w.sample(&mut s, &mut t).request.total() as u64;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_splitting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("splitting");
+    group.throughput(Throughput::Elements(128 * 3));
+    group.bench_function("split_all_sizes_all_limits", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for limit in [16u32, 24, 32] {
+                for total in 1..=128u32 {
+                    acc += JobRequest::from_total(total, limit, 4).num_components();
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_log_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("das1_log");
+    group.sample_size(10);
+    group.bench_function("generate_30k_jobs", |b| {
+        b.iter(|| black_box(generate_das1_log(&DasLogConfig::default()).len()))
+    });
+    group.bench_function("swf_roundtrip_5k", |b| {
+        let log = generate_das1_log(&DasLogConfig { jobs: 5_000, ..Default::default() });
+        b.iter(|| {
+            let text = coalloc_trace::write_swf(&log);
+            black_box(coalloc_trace::parse_swf(&text).expect("valid").len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_size_sampling, bench_splitting, bench_log_generation);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Shared helpers for the Criterion benchmarks of the co-allocation
+//! simulator.
+
+use coalloc_core::{PolicyKind, SimConfig};
+
+/// A small but representative simulation configuration for timing runs:
+/// moderate load, the paper's 4×32 system, component-size limit 16.
+pub fn bench_sim_config(policy: PolicyKind, jobs: u64) -> SimConfig {
+    let mut cfg = if policy == PolicyKind::Sc {
+        SimConfig::das_single_cluster(0.5)
+    } else {
+        SimConfig::das(policy, 16, 0.5)
+    };
+    cfg.total_jobs = jobs;
+    cfg.warmup_jobs = jobs / 10;
+    cfg.batch_size = (jobs / 20).max(10);
+    cfg
+}
+
+/// Pre-draws `n` random idle-state vectors for placement benchmarks.
+pub fn random_idle_states(n: usize, seed: u64) -> Vec<[u32; 4]> {
+    let mut rng = desim::RngStream::new(seed);
+    (0..n)
+        .map(|_| {
+            [
+                rng.index(33) as u32,
+                rng.index(33) as u32,
+                rng.index(33) as u32,
+                rng.index(33) as u32,
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_config_is_runnable() {
+        let out = coalloc_core::run(&bench_sim_config(PolicyKind::Ls, 500));
+        assert_eq!(out.arrivals, 500);
+    }
+
+    #[test]
+    fn idle_states_in_range() {
+        for s in random_idle_states(100, 1) {
+            assert!(s.iter().all(|&x| x <= 32));
+        }
+    }
+}

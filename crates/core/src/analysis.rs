@@ -1,0 +1,242 @@
+//! Static packing analysis (§3.3).
+//!
+//! The paper explains the poor performance of component-size limit 24
+//! by hand: a size-64 job splits into (22,21,21), and after placing it
+//! in an empty 4×32 system "only single-component jobs with maximum
+//! sizes of 10 and 11 can fit in three of the clusters … a second job
+//! with a size of 64 would also fit in the first two cases, but not in
+//! the third." This module mechanizes that reasoning for any size,
+//! limit and system, so the packing structure of a workload can be
+//! inspected without running a simulation.
+
+use coalloc_workload::JobRequest;
+
+use crate::placement::{place_request, PlacementRule};
+use crate::report::format_table;
+use crate::system::MultiCluster;
+
+/// The idle vector (descending) left after placing `request` in an empty
+/// system, or `None` if it does not even fit alone.
+pub fn residual_idle(
+    capacities: &[u32],
+    request: &JobRequest,
+    rule: PlacementRule,
+) -> Option<Vec<u32>> {
+    let mut system = MultiCluster::new(capacities);
+    let placement = place_request(&system.idle_per_cluster(), request, rule)?;
+    system.apply(&placement);
+    let mut idle = system.idle_per_cluster();
+    idle.sort_unstable_by(|a, b| b.cmp(a));
+    Some(idle)
+}
+
+/// Whether `second` fits after `first` has been placed in an empty
+/// system.
+pub fn fits_after(
+    capacities: &[u32],
+    first: &JobRequest,
+    second: &JobRequest,
+    rule: PlacementRule,
+) -> bool {
+    let mut system = MultiCluster::new(capacities);
+    let Some(p1) = place_request(&system.idle_per_cluster(), first, rule) else {
+        return false;
+    };
+    system.apply(&p1);
+    place_request(&system.idle_per_cluster(), second, rule).is_some()
+}
+
+/// Whether two jobs of the same total size co-fit in an empty system
+/// under the given component-size limit — the paper's litmus test for a
+/// good limit (it fails for size 64 at limit 24).
+///
+/// ```
+/// use coalloc_core::{self_compatible, PlacementRule};
+/// let das = [32, 32, 32, 32];
+/// assert!(self_compatible(&das, 64, 16, PlacementRule::WorstFit));
+/// assert!(!self_compatible(&das, 64, 24, PlacementRule::WorstFit)); // §3.3
+/// ```
+pub fn self_compatible(capacities: &[u32], total: u32, limit: u32, rule: PlacementRule) -> bool {
+    let clusters = capacities.len();
+    let r = JobRequest::from_total(total, limit, clusters);
+    fits_after(capacities, &r, &r, rule)
+}
+
+/// One row of the packing report: how a size splits under a limit and
+/// what it leaves behind.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PackingRow {
+    /// Total job size.
+    pub total: u32,
+    /// The split components.
+    pub components: Vec<u32>,
+    /// Idle vector (descending) after placement in an empty 4×32 system.
+    pub residual: Vec<u32>,
+    /// Whether a second identical job still fits.
+    pub self_compatible: bool,
+}
+
+/// The packing structure of the popular (power-of-two) sizes under a
+/// limit, on the paper's 4×32 system.
+pub fn packing_rows(limit: u32) -> Vec<PackingRow> {
+    let capacities = [32u32; 4];
+    coalloc_trace::TABLE1_POWERS
+        .iter()
+        .map(|&(total, _)| {
+            let r = JobRequest::from_total(total, limit, 4);
+            PackingRow {
+                total,
+                components: r.components().to_vec(),
+                residual: residual_idle(&capacities, &r, PlacementRule::WorstFit)
+                    .expect("powers of two always fit an empty 4x32 system"),
+                self_compatible: self_compatible(&capacities, total, limit, PlacementRule::WorstFit),
+            }
+        })
+        .collect()
+}
+
+/// Renders the packing report for one limit as a table.
+pub fn packing_report(limit: u32) -> String {
+    let rows: Vec<Vec<String>> = packing_rows(limit)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.total.to_string(),
+                format!("{:?}", r.components),
+                format!("{:?}", r.residual),
+                if r.self_compatible { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    format_table(
+        &format!(
+            "Packing analysis, component-size limit {limit} (empty 4x32 system, Worst Fit)"
+        ),
+        &["size", "split", "idle after placement", "2nd identical job fits?"],
+        &rows,
+    )
+}
+
+/// How many *identical* copies of `request` fit in an empty system,
+/// placing greedily one after another. For a workload of identical jobs
+/// under constant backlog, the maximal utilization is exactly
+/// `count · total / capacity` — an analytic anchor for the saturation
+/// machinery (the multicluster analogue of `floor(c/s)·s/c`).
+pub fn max_identical_packing(
+    capacities: &[u32],
+    request: &JobRequest,
+    rule: PlacementRule,
+) -> u32 {
+    let mut system = MultiCluster::new(capacities);
+    let mut count = 0;
+    while let Some(p) = place_request(&system.idle_per_cluster(), request, rule) {
+        system.apply(&p);
+        count += 1;
+        if count > 10_000 {
+            unreachable!("a positive-size request cannot fit unboundedly");
+        }
+    }
+    count
+}
+
+/// The exact maximal utilization of a constant-backlog system fed with
+/// identical jobs of `total` processors under the given limit.
+pub fn identical_jobs_max_utilization(capacities: &[u32], total: u32, limit: u32) -> f64 {
+    let request = JobRequest::from_total(total, limit, capacities.len());
+    let count = max_identical_packing(capacities, &request, PlacementRule::WorstFit);
+    let capacity: u32 = capacities.iter().sum();
+    f64::from(count * total) / f64::from(capacity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DAS: [u32; 4] = [32, 32, 32, 32];
+
+    #[test]
+    fn paper_worked_example_size_64() {
+        // Limit 16: (16,16,16,16) leaves (16,16,16,16); self-compatible.
+        assert!(self_compatible(&DAS, 64, 16, PlacementRule::WorstFit));
+        // Limit 32: (32,32) leaves (32,32,0,0); self-compatible.
+        assert!(self_compatible(&DAS, 64, 32, PlacementRule::WorstFit));
+        // Limit 24: (22,21,21) leaves (32,11,10,10)-ish; NOT.
+        assert!(!self_compatible(&DAS, 64, 24, PlacementRule::WorstFit));
+        let r = JobRequest::from_total(64, 24, 4);
+        let idle = residual_idle(&DAS, &r, PlacementRule::WorstFit).expect("fits alone");
+        assert_eq!(idle, vec![32, 11, 11, 10]);
+    }
+
+    #[test]
+    fn whole_system_jobs_are_never_self_compatible() {
+        for limit in [16u32, 24, 32] {
+            assert!(!self_compatible(&DAS, 128, limit, PlacementRule::WorstFit));
+        }
+    }
+
+    #[test]
+    fn small_jobs_always_self_compatible() {
+        for limit in [16u32, 24, 32] {
+            for total in 1..=32 {
+                assert!(
+                    self_compatible(&DAS, total, limit, PlacementRule::WorstFit),
+                    "size {total} limit {limit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fits_after_is_order_sensitive_with_fragmentation() {
+        // A (22,21,21) then (32,32): the 64-at-24 split blocks the
+        // (32,32) pair? Residual (32,11,11,10): one 32 fits, not two.
+        let a = JobRequest::from_total(64, 24, 4);
+        let b = JobRequest::from_total(64, 32, 4);
+        assert!(!fits_after(&DAS, &a, &b, PlacementRule::WorstFit));
+        // The other order: (32,32) leaves (32,32): (22,21,21) needs
+        // three clusters — does not fit either.
+        assert!(!fits_after(&DAS, &b, &a, PlacementRule::WorstFit));
+        // But (16,16,16,16) then (32,32)? leaves (16,16,16,16): no.
+        let c = JobRequest::from_total(64, 16, 4);
+        assert!(!fits_after(&DAS, &c, &b, PlacementRule::WorstFit));
+        // (16,16,16,16) twice: yes.
+        assert!(fits_after(&DAS, &c, &c, PlacementRule::WorstFit));
+    }
+
+    #[test]
+    fn oversized_first_job_reports_unfit() {
+        let too_big = JobRequest::new(vec![33]);
+        assert!(residual_idle(&DAS, &too_big, PlacementRule::WorstFit).is_none());
+        let ok = JobRequest::new(vec![4]);
+        assert!(!fits_after(&DAS, &too_big, &ok, PlacementRule::WorstFit));
+    }
+
+    #[test]
+    fn identical_packing_counts() {
+        // floor(128/48) = 2 on a single cluster.
+        let r = JobRequest::total_request(48);
+        assert_eq!(max_identical_packing(&[128], &r, PlacementRule::WorstFit), 2);
+        assert!((identical_jobs_max_utilization(&[128], 48, 128) - 0.75).abs() < 1e-12);
+        // (22,21,21) on 4x32: exactly one fits.
+        let r = JobRequest::from_total(64, 24, 4);
+        assert_eq!(max_identical_packing(&DAS, &r, PlacementRule::WorstFit), 1);
+        assert!((identical_jobs_max_utilization(&DAS, 64, 24) - 0.5).abs() < 1e-12);
+        // (16,16,16,16): two fit -> full utilization.
+        assert!((identical_jobs_max_utilization(&DAS, 64, 16) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packing_report_flags_limit_24() {
+        let report = packing_report(24);
+        assert!(report.contains("NO"), "{report}");
+        let rows = packing_rows(24);
+        let row64 = rows.iter().find(|r| r.total == 64).expect("64 in powers");
+        assert_eq!(row64.components, vec![22, 21, 21]);
+        assert!(!row64.self_compatible);
+        // At limit 16 every power except 128 is self-compatible.
+        let rows16 = packing_rows(16);
+        for r in &rows16 {
+            assert_eq!(r.self_compatible, r.total != 128, "size {}", r.total);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! A single cluster: a pool of identical processors under space sharing.
+
+/// One cluster of the multicluster system. Processors are identical and
+/// exclusively allocated (space sharing, §1): a job component occupies its
+/// processors from start to departure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cluster {
+    capacity: u32,
+    busy: u32,
+}
+
+impl Cluster {
+    /// A cluster with `capacity` processors, all idle.
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity > 0, "a cluster needs at least one processor");
+        Cluster { capacity, busy: 0 }
+    }
+
+    /// Total processors.
+    #[inline]
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Processors currently allocated.
+    #[inline]
+    pub fn busy(&self) -> u32 {
+        self.busy
+    }
+
+    /// Processors currently idle.
+    #[inline]
+    pub fn idle(&self) -> u32 {
+        self.capacity - self.busy
+    }
+
+    /// Allocates `n` processors.
+    ///
+    /// # Panics
+    /// Panics if fewer than `n` processors are idle — schedulers must
+    /// check fit before allocating; over-allocation is always a bug.
+    pub fn allocate(&mut self, n: u32) {
+        assert!(n <= self.idle(), "allocating {n} processors but only {} idle", self.idle());
+        self.busy += n;
+    }
+
+    /// Releases `n` processors.
+    ///
+    /// # Panics
+    /// Panics if fewer than `n` processors are busy.
+    pub fn release(&mut self, n: u32) {
+        assert!(n <= self.busy, "releasing {n} processors but only {} busy", self.busy);
+        self.busy -= n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_release_cycle() {
+        let mut c = Cluster::new(32);
+        assert_eq!(c.idle(), 32);
+        c.allocate(20);
+        assert_eq!(c.busy(), 20);
+        assert_eq!(c.idle(), 12);
+        c.allocate(12);
+        assert_eq!(c.idle(), 0);
+        c.release(32);
+        assert_eq!(c.idle(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "only 12 idle")]
+    fn over_allocation_panics() {
+        let mut c = Cluster::new(32);
+        c.allocate(20);
+        c.allocate(13);
+    }
+
+    #[test]
+    #[should_panic(expected = "only 0 busy")]
+    fn over_release_panics() {
+        let mut c = Cluster::new(32);
+        c.release(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_capacity_rejected() {
+        Cluster::new(0);
+    }
+}

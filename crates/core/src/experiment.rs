@@ -1,0 +1,309 @@
+//! Response-time-vs-utilization sweeps — the machinery behind every
+//! figure in the paper's evaluation.
+//!
+//! A sweep runs one simulation per (target utilization × replication)
+//! pair and aggregates replications into a mean with a 95 % confidence
+//! interval. Runs are independent, so they execute in parallel on scoped
+//! worker threads (crossbeam); results are deterministic for a fixed
+//! seed regardless of thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use desim::stats::{t_975, Estimate, Welford};
+use parking_lot::Mutex;
+
+use crate::sim::{run, SimConfig, SimOutcome};
+
+/// Configuration of a sweep over target gross utilizations.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// The target gross utilizations to simulate (the x-axis).
+    pub utilizations: Vec<f64>,
+    /// Independent replications per utilization (different seeds).
+    pub replications: u64,
+    /// Base seed; replication `r` uses `base_seed + r`.
+    pub base_seed: u64,
+    /// Worker threads; 0 means one per available core.
+    pub threads: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            utilizations: (1..=9).map(|i| f64::from(i) * 0.1).collect(),
+            replications: 3,
+            base_seed: 2003,
+            threads: 0,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// A reduced sweep for fast test/CI runs.
+    pub fn quick() -> Self {
+        SweepConfig {
+            utilizations: vec![0.2, 0.4, 0.6],
+            replications: 2,
+            base_seed: 2003,
+            threads: 0,
+        }
+    }
+
+    fn effective_threads(&self, tasks: usize) -> usize {
+        let t = if self.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        } else {
+            self.threads
+        };
+        t.clamp(1, tasks.max(1))
+    }
+}
+
+/// Replication-aggregated results at one target utilization.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct ReplicatedOutcome {
+    /// Mean response time across replications, with a 95 % CI over
+    /// replication means.
+    pub response: Estimate,
+    /// Mean measured gross utilization across replications.
+    pub gross_utilization: f64,
+    /// Mean measured net utilization across replications.
+    pub net_utilization: f64,
+    /// Mean response of local-queue jobs (LS/LP).
+    pub response_local: f64,
+    /// Mean response of global-queue jobs (GS/LP).
+    pub response_global: f64,
+    /// Whether any replication saturated.
+    pub saturated: bool,
+    /// The individual runs.
+    pub runs: Vec<SimOutcome>,
+}
+
+/// One point of a sweep: the target utilization and what was measured.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct SweepPoint {
+    /// Target offered gross utilization.
+    pub target_utilization: f64,
+    /// Aggregated measurements.
+    pub outcome: ReplicatedOutcome,
+}
+
+fn aggregate(runs: Vec<SimOutcome>) -> ReplicatedOutcome {
+    assert!(!runs.is_empty());
+    let mut resp = Welford::new();
+    let mut gross = Welford::new();
+    let mut net = Welford::new();
+    let mut local = Welford::new();
+    let mut global = Welford::new();
+    let mut saturated = false;
+    for r in &runs {
+        resp.add(r.metrics.mean_response);
+        gross.add(r.metrics.gross_utilization);
+        net.add(r.metrics.net_utilization);
+        local.add(r.metrics.response_local);
+        global.add(r.metrics.response_global);
+        saturated |= r.saturated;
+    }
+    let k = resp.count();
+    let half = if k >= 2 { t_975(k - 1) * resp.std_dev() / (k as f64).sqrt() } else { f64::INFINITY };
+    ReplicatedOutcome {
+        response: Estimate { mean: resp.mean(), half_width: half, n: k },
+        gross_utilization: gross.mean(),
+        net_utilization: net.mean(),
+        response_local: local.mean(),
+        response_global: global.mean(),
+        saturated,
+        runs,
+    }
+}
+
+/// Runs a sweep: `make_cfg` builds the simulation configuration for a
+/// target utilization; the sweep runs `replications` seeds of it at every
+/// utilization, in parallel, and aggregates.
+pub fn sweep<F>(make_cfg: F, sweep_cfg: &SweepConfig) -> Vec<SweepPoint>
+where
+    F: Fn(f64) -> SimConfig + Sync,
+{
+    assert!(!sweep_cfg.utilizations.is_empty(), "sweep needs at least one utilization");
+    assert!(sweep_cfg.replications > 0, "sweep needs at least one replication");
+
+    // Task list: (utilization index, replication).
+    let tasks: Vec<(usize, u64)> = sweep_cfg
+        .utilizations
+        .iter()
+        .enumerate()
+        .flat_map(|(ui, _)| (0..sweep_cfg.replications).map(move |r| (ui, r)))
+        .collect();
+
+    let results: Mutex<Vec<Vec<Option<SimOutcome>>>> = Mutex::new(
+        sweep_cfg
+            .utilizations
+            .iter()
+            .map(|_| (0..sweep_cfg.replications).map(|_| None).collect())
+            .collect(),
+    );
+    let next = AtomicUsize::new(0);
+    let threads = sweep_cfg.effective_threads(tasks.len());
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(ui, rep)) = tasks.get(i) else { break };
+                let util = sweep_cfg.utilizations[ui];
+                let cfg = make_cfg(util).with_seed(sweep_cfg.base_seed.wrapping_add(rep));
+                let outcome = run(&cfg);
+                results.lock()[ui][rep as usize] = Some(outcome);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    let results = results.into_inner();
+    sweep_cfg
+        .utilizations
+        .iter()
+        .zip(results)
+        .map(|(&u, reps)| SweepPoint {
+            target_utilization: u,
+            outcome: aggregate(
+                reps.into_iter().map(|o| o.expect("every task ran")).collect(),
+            ),
+        })
+        .collect()
+}
+
+/// The verdict of a statistical comparison at one utilization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Verdict {
+    /// A's mean response is significantly lower (95 % CIs disjoint).
+    AWins,
+    /// B's mean response is significantly lower.
+    BWins,
+    /// The confidence intervals overlap — no significant difference.
+    Tie,
+}
+
+/// Compares two sweeps point by point using the replication confidence
+/// intervals: a side "wins" at a utilization when its CI lies entirely
+/// below the other's. Sweeps must use the same target-utilization grid.
+///
+/// # Panics
+/// Panics if the grids differ.
+pub fn compare_sweeps(a: &[SweepPoint], b: &[SweepPoint]) -> Vec<(f64, Verdict)> {
+    assert_eq!(a.len(), b.len(), "sweeps must share the utilization grid");
+    a.iter()
+        .zip(b)
+        .map(|(pa, pb)| {
+            assert!(
+                (pa.target_utilization - pb.target_utilization).abs() < 1e-9,
+                "sweeps must share the utilization grid"
+            );
+            let (ra, rb) = (&pa.outcome.response, &pb.outcome.response);
+            let a_sat = pa.outcome.saturated;
+            let b_sat = pb.outcome.saturated;
+            let verdict = if a_sat != b_sat {
+                // Only one side is unstable: the stable side wins.
+                if a_sat { Verdict::BWins } else { Verdict::AWins }
+            } else if ra.mean + ra.half_width < rb.mean - rb.half_width {
+                Verdict::AWins
+            } else if rb.mean + rb.half_width < ra.mean - ra.half_width {
+                Verdict::BWins
+            } else {
+                Verdict::Tie
+            };
+            (pa.target_utilization, verdict)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+
+    fn quick_cfg(policy: PolicyKind) -> impl Fn(f64) -> SimConfig + Sync {
+        move |util| {
+            let mut cfg = SimConfig::das(policy, 16, util);
+            cfg.total_jobs = 4_000;
+            cfg.warmup_jobs = 500;
+            cfg.batch_size = 100;
+            cfg
+        }
+    }
+
+    #[test]
+    fn sweep_returns_one_point_per_utilization() {
+        let points = sweep(quick_cfg(PolicyKind::Gs), &SweepConfig::quick());
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert_eq!(p.outcome.runs.len(), 2);
+            assert!(p.outcome.response.mean > 0.0);
+        }
+    }
+
+    #[test]
+    fn response_grows_with_utilization() {
+        let points = sweep(quick_cfg(PolicyKind::Gs), &SweepConfig::quick());
+        assert!(
+            points[0].outcome.response.mean < points[2].outcome.response.mean,
+            "response must grow from util 0.2 to 0.6: {} vs {}",
+            points[0].outcome.response.mean,
+            points[2].outcome.response.mean
+        );
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let mut serial_cfg = SweepConfig::quick();
+        serial_cfg.threads = 1;
+        let mut parallel_cfg = SweepConfig::quick();
+        parallel_cfg.threads = 4;
+        let a = sweep(quick_cfg(PolicyKind::Ls), &serial_cfg);
+        let b = sweep(quick_cfg(PolicyKind::Ls), &parallel_cfg);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.outcome.response.mean, y.outcome.response.mean);
+            assert_eq!(x.outcome.gross_utilization, y.outcome.gross_utilization);
+        }
+    }
+
+    #[test]
+    fn compare_sweeps_verdicts() {
+        use crate::policy::PolicyKind;
+        let mut cfg = SweepConfig::quick();
+        cfg.utilizations = vec![0.55, 0.65];
+        cfg.replications = 3;
+        let ls = sweep(quick_cfg(PolicyKind::Ls), &cfg);
+        let lp = sweep(quick_cfg(PolicyKind::Lp), &cfg);
+        let verdicts = compare_sweeps(&ls, &lp);
+        assert_eq!(verdicts.len(), 2);
+        // At 0.65, LS must significantly beat LP (limit 16).
+        assert_eq!(verdicts[1].1, Verdict::AWins, "{verdicts:?}");
+        // Self-comparison is all ties.
+        for (_, v) in compare_sweeps(&ls, &ls) {
+            assert_eq!(v, Verdict::Tie);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "grid")]
+    fn compare_sweeps_rejects_mismatched_grids() {
+        let a: Vec<SweepPoint> = vec![];
+        let b = sweep(quick_cfg(crate::policy::PolicyKind::Gs), &{
+            let mut c = SweepConfig::quick();
+            c.utilizations = vec![0.3];
+            c.replications = 1;
+            c
+        });
+        compare_sweeps(&a, &b);
+    }
+
+    #[test]
+    fn aggregation_flags_saturation() {
+        let mut cfg = SweepConfig::quick();
+        cfg.utilizations = vec![1.5];
+        cfg.replications = 1;
+        let points = sweep(quick_cfg(PolicyKind::Gs), &cfg);
+        assert!(points[0].outcome.saturated);
+    }
+}

@@ -1,0 +1,178 @@
+//! Job feeds: where the simulated job stream comes from.
+//!
+//! The paper *samples distributions* derived from a log (stochastic
+//! feed); the natural companion for a trace-based simulator is *direct
+//! replay* of a log's arrivals, sizes and runtimes (trace feed), with a
+//! time-scale knob to vary the offered load as trace-driven studies do.
+
+use coalloc_trace::Trace;
+use coalloc_workload::{ArrivalProcess, JobRequest, JobSpec, Workload};
+use desim::{Duration, RngStream, SimTime};
+
+/// A source of jobs for the simulation loop: each call yields the next
+/// job's absolute arrival time and specification, or `None` when the
+/// stream ends.
+pub trait JobFeed {
+    /// The next arrival, in non-decreasing time order.
+    fn next_job(&mut self) -> Option<(SimTime, JobSpec)>;
+}
+
+/// The paper's stochastic feed: Poisson (or bursty renewal) arrivals,
+/// i.i.d. sizes and service times sampled from the workload model.
+pub struct StochasticFeed {
+    workload: Workload,
+    arrivals: ArrivalProcess,
+    size_rng: RngStream,
+    service_rng: RngStream,
+    gap_rng: RngStream,
+    clock: SimTime,
+    remaining: u64,
+}
+
+impl StochasticFeed {
+    /// Builds a feed of `total_jobs` jobs at the given rate and
+    /// interarrival CV², drawing all randomness from substreams of
+    /// `master`.
+    pub fn new(
+        workload: Workload,
+        rate: f64,
+        arrival_cv2: f64,
+        total_jobs: u64,
+        master: &RngStream,
+    ) -> Self {
+        StochasticFeed {
+            workload,
+            arrivals: ArrivalProcess::with_cv2(rate, arrival_cv2),
+            size_rng: master.labelled("sizes"),
+            service_rng: master.labelled("service"),
+            gap_rng: master.labelled("arrivals"),
+            clock: SimTime::ZERO,
+            remaining: total_jobs,
+        }
+    }
+}
+
+impl JobFeed for StochasticFeed {
+    fn next_job(&mut self) -> Option<(SimTime, JobSpec)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.clock += self.arrivals.next_gap(&mut self.gap_rng);
+        let spec = self.workload.sample(&mut self.size_rng, &mut self.service_rng);
+        Some((self.clock, spec))
+    }
+}
+
+/// Direct replay of a workload log: the log's submit times (compressed
+/// by `time_scale` — values below 1 increase the offered load), its
+/// sizes (split under the configured limit), and its runtimes as base
+/// service times.
+pub struct TraceFeed {
+    /// `(submit_seconds, size, runtime_seconds)` in submit order.
+    jobs: std::vec::IntoIter<(f64, u32, f64)>,
+    limit: u32,
+    clusters: usize,
+    time_scale: f64,
+}
+
+impl TraceFeed {
+    /// Builds a replay feed from a log.
+    ///
+    /// # Panics
+    /// Panics on an empty or unsorted log, or a non-positive time scale.
+    pub fn new(trace: &Trace, limit: u32, clusters: usize, time_scale: f64) -> Self {
+        assert!(!trace.is_empty(), "cannot replay an empty log");
+        assert!(time_scale > 0.0 && time_scale.is_finite(), "time scale must be positive");
+        assert!(
+            trace.jobs.windows(2).all(|w| w[0].submit <= w[1].submit),
+            "log must be sorted by submit time"
+        );
+        let jobs: Vec<(f64, u32, f64)> = trace
+            .jobs
+            .iter()
+            .map(|j| (j.submit, j.size, j.runtime.max(f64::MIN_POSITIVE)))
+            .collect();
+        TraceFeed { jobs: jobs.into_iter(), limit, clusters, time_scale }
+    }
+}
+
+impl JobFeed for TraceFeed {
+    fn next_job(&mut self) -> Option<(SimTime, JobSpec)> {
+        let (submit, size, runtime) = self.jobs.next()?;
+        let spec = JobSpec {
+            request: JobRequest::from_total(size, self.limit, self.clusters),
+            base_service: Duration::new(runtime),
+        };
+        Some((SimTime::new(submit * self.time_scale), spec))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coalloc_trace::{DasLogConfig, JobStatus, TraceJob};
+
+    #[test]
+    fn stochastic_feed_is_monotone_and_bounded() {
+        let master = RngStream::new(1);
+        let mut feed = StochasticFeed::new(Workload::das(16), 0.1, 1.0, 100, &master);
+        let mut prev = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, spec)) = feed.next_job() {
+            assert!(t >= prev);
+            assert!(spec.request.total() >= 1);
+            prev = t;
+            count += 1;
+        }
+        assert_eq!(count, 100);
+    }
+
+    #[test]
+    fn trace_feed_replays_in_order_with_scaling() {
+        let mut trace = Trace::new("toy", 128);
+        for (i, (submit, size, rt)) in
+            [(0.0, 64u32, 100.0), (10.0, 8, 50.0), (30.0, 128, 900.0)].iter().enumerate()
+        {
+            trace.jobs.push(TraceJob {
+                id: i as u32 + 1,
+                submit: *submit,
+                size: *size,
+                runtime: *rt,
+                user: 0,
+                status: JobStatus::Completed,
+            });
+        }
+        let mut feed = TraceFeed::new(&trace, 16, 4, 0.5);
+        let (t1, s1) = feed.next_job().expect("first job");
+        assert_eq!(t1, SimTime::ZERO);
+        assert_eq!(s1.request.components(), &[16, 16, 16, 16]);
+        assert_eq!(s1.base_service.seconds(), 100.0);
+        let (t2, _) = feed.next_job().expect("second job");
+        assert_eq!(t2, SimTime::new(5.0), "time compressed by 0.5");
+        let (t3, s3) = feed.next_job().expect("third job");
+        assert_eq!(t3, SimTime::new(15.0));
+        assert_eq!(s3.request.num_components(), 4);
+        assert!(feed.next_job().is_none());
+    }
+
+    #[test]
+    fn trace_feed_replays_the_synthetic_log() {
+        let log = coalloc_trace::generate_das1_log(&DasLogConfig { jobs: 500, ..Default::default() });
+        let mut feed = TraceFeed::new(&log, 16, 4, 1.0);
+        let mut count = 0;
+        let mut prev = SimTime::ZERO;
+        while let Some((t, _)) = feed.next_job() {
+            assert!(t >= prev);
+            prev = t;
+            count += 1;
+        }
+        assert_eq!(count, 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_trace_rejected() {
+        TraceFeed::new(&Trace::new("empty", 8), 16, 4, 1.0);
+    }
+}

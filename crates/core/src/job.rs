@@ -1,0 +1,213 @@
+//! In-flight job state.
+
+use coalloc_workload::JobSpec;
+use desim::{Duration, SimTime};
+
+/// Identifies a job within one simulation run (its arrival index).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct JobId(pub u64);
+
+/// The queue a job was submitted to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SubmitQueue {
+    /// The local queue of cluster `i` (LS: all jobs; LP: single-component
+    /// jobs).
+    Local(usize),
+    /// The global queue (GS: all jobs; LP: multi-component jobs).
+    Global,
+}
+
+/// Where each component of a started job runs: `(cluster, processors)`
+/// pairs over *distinct* clusters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Placement {
+    assignments: Vec<(usize, u32)>,
+}
+
+impl Placement {
+    /// Builds a placement from `(cluster, processors)` pairs.
+    ///
+    /// # Panics
+    /// Panics if two components share a cluster (unordered requests place
+    /// components on distinct clusters, §2.3) or any component is empty.
+    pub fn new(assignments: Vec<(usize, u32)>) -> Self {
+        assert!(!assignments.is_empty(), "a placement needs at least one component");
+        assert!(assignments.iter().all(|&(_, p)| p > 0), "components are non-empty");
+        let mut clusters: Vec<usize> = assignments.iter().map(|&(c, _)| c).collect();
+        clusters.sort_unstable();
+        let before = clusters.len();
+        clusters.dedup();
+        assert_eq!(before, clusters.len(), "components must go to distinct clusters");
+        Placement { assignments }
+    }
+
+    /// The `(cluster, processors)` pairs.
+    pub fn assignments(&self) -> &[(usize, u32)] {
+        &self.assignments
+    }
+
+    /// Total processors across components.
+    pub fn total(&self) -> u32 {
+        self.assignments.iter().map(|&(_, p)| p).sum()
+    }
+}
+
+/// One job from arrival to departure.
+#[derive(Clone, Debug)]
+pub struct ActiveJob {
+    /// The sampled request and base service time.
+    pub spec: JobSpec,
+    /// Arrival (submission) time.
+    pub arrival: SimTime,
+    /// Which queue the job went to.
+    pub queue: SubmitQueue,
+    /// Assigned processors, set when the job starts.
+    pub placement: Option<Placement>,
+    /// Start time, set when the job starts.
+    pub start: Option<SimTime>,
+}
+
+impl ActiveJob {
+    /// A freshly arrived job.
+    pub fn new(spec: JobSpec, arrival: SimTime, queue: SubmitQueue) -> Self {
+        ActiveJob { spec, arrival, queue, placement: None, start: None }
+    }
+
+    /// The service time this job will hold its processors for: the base
+    /// time, extended by `extension` if it spans multiple clusters (§2.4).
+    ///
+    /// Once the job is placed, the *actual* placement decides: a flexible
+    /// request that landed in a single cluster does all its communication
+    /// locally and is not extended. Before placement (and for the static
+    /// request kinds, equivalently) the request's classification is used.
+    pub fn occupancy(&self, extension: f64) -> Duration {
+        match &self.placement {
+            Some(p) if p.assignments().len() > 1 => self.spec.base_service.scaled(extension),
+            Some(_) => self.spec.base_service,
+            None => self.spec.extended_service(extension),
+        }
+    }
+
+    /// The occupancy under a full workload model, where the extension
+    /// factor may grow with the number of clusters actually spanned
+    /// (see [`coalloc_workload::Workload::extension_factor`]). Prefer
+    /// this over [`ActiveJob::occupancy`] when a spread penalty is in
+    /// play.
+    pub fn occupancy_in(&self, workload: &coalloc_workload::Workload) -> Duration {
+        let span = match &self.placement {
+            Some(p) => p.assignments().len(),
+            None => self.spec.request.num_components(),
+        };
+        self.spec.base_service.scaled(workload.extension_factor(span))
+    }
+
+    /// Whether the job has started.
+    pub fn started(&self) -> bool {
+        self.start.is_some()
+    }
+}
+
+/// The table of all jobs seen by one simulation run, indexed by [`JobId`].
+#[derive(Debug, Default)]
+pub struct JobTable {
+    jobs: Vec<ActiveJob>,
+}
+
+impl JobTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        JobTable { jobs: Vec::new() }
+    }
+
+    /// An empty table with room for `cap` jobs.
+    pub fn with_capacity(cap: usize) -> Self {
+        JobTable { jobs: Vec::with_capacity(cap) }
+    }
+
+    /// Inserts a job, returning its id.
+    pub fn insert(&mut self, job: ActiveJob) -> JobId {
+        let id = JobId(self.jobs.len() as u64);
+        self.jobs.push(job);
+        id
+    }
+
+    /// Immutable access.
+    pub fn get(&self, id: JobId) -> &ActiveJob {
+        &self.jobs[id.0 as usize]
+    }
+
+    /// Mutable access.
+    pub fn get_mut(&mut self, id: JobId) -> &mut ActiveJob {
+        &mut self.jobs[id.0 as usize]
+    }
+
+    /// Number of jobs ever inserted.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether no jobs have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Marks a job started: records its placement and start time.
+    pub fn mark_started(&mut self, id: JobId, placement: Placement, now: SimTime) {
+        let job = self.get_mut(id);
+        debug_assert!(!job.started(), "job started twice");
+        debug_assert_eq!(
+            placement.total(),
+            job.spec.request.total(),
+            "placement must cover the whole request"
+        );
+        job.placement = Some(placement);
+        job.start = Some(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coalloc_workload::JobRequest;
+
+    fn spec(components: Vec<u32>, service: f64) -> JobSpec {
+        JobSpec { request: JobRequest::new(components), base_service: Duration::new(service) }
+    }
+
+    #[test]
+    fn placement_rejects_duplicate_clusters() {
+        let ok = Placement::new(vec![(0, 8), (1, 8)]);
+        assert_eq!(ok.total(), 16);
+        let result = std::panic::catch_unwind(|| Placement::new(vec![(0, 8), (0, 8)]));
+        assert!(result.is_err(), "duplicate cluster must panic");
+    }
+
+    #[test]
+    fn occupancy_extends_multi_jobs() {
+        let single = ActiveJob::new(spec(vec![8], 100.0), SimTime::ZERO, SubmitQueue::Local(0));
+        let multi = ActiveJob::new(spec(vec![8, 8], 100.0), SimTime::ZERO, SubmitQueue::Global);
+        assert_eq!(single.occupancy(1.25).seconds(), 100.0);
+        assert_eq!(multi.occupancy(1.25).seconds(), 125.0);
+    }
+
+    #[test]
+    fn table_insert_and_start() {
+        let mut t = JobTable::new();
+        let id = t.insert(ActiveJob::new(spec(vec![4, 4], 10.0), SimTime::ZERO, SubmitQueue::Global));
+        assert_eq!(id, JobId(0));
+        assert!(!t.get(id).started());
+        t.mark_started(id, Placement::new(vec![(0, 4), (3, 4)]), SimTime::new(5.0));
+        assert!(t.get(id).started());
+        assert_eq!(t.get(id).start, Some(SimTime::new(5.0)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)] // the check is a debug_assert
+    fn mismatched_placement_total_debug_panics() {
+        let mut t = JobTable::new();
+        let id = t.insert(ActiveJob::new(spec(vec![4, 4], 10.0), SimTime::ZERO, SubmitQueue::Global));
+        t.mark_started(id, Placement::new(vec![(0, 4)]), SimTime::new(1.0));
+    }
+}

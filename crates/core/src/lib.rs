@@ -1,0 +1,43 @@
+//! # coalloc-core — trace-based simulation of processor co-allocation
+//! policies in multiclusters
+//!
+//! A faithful reimplementation of the simulator behind Bucur & Epema,
+//! *Trace-Based Simulations of Processor Co-Allocation Policies in
+//! Multiclusters* (HPDC 2003): rigid jobs, space sharing, unordered
+//! requests placed Worst-Fit on distinct clusters, and the GS / LS / LP
+//! multicluster scheduling policies compared against single-cluster FCFS
+//! (SC).
+//!
+//! Start with [`SimConfig::das`] / [`sim::run`] for a single run, or
+//! [`experiment`] for the response-time-vs-utilization sweeps behind the
+//! paper's figures and [`saturation`] for the maximal-utilization
+//! measurements behind Table 3.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod analysis;
+pub mod cluster;
+pub mod experiment;
+pub mod feed;
+pub mod job;
+pub mod metrics;
+pub mod placement;
+pub mod policy;
+pub mod queue;
+pub mod report;
+pub mod saturation;
+pub mod sim;
+pub mod system;
+
+pub use analysis::{fits_after, identical_jobs_max_utilization, max_identical_packing, packing_report, packing_rows, residual_idle, self_compatible, PackingRow};
+pub use cluster::Cluster;
+pub use experiment::{compare_sweeps, sweep, ReplicatedOutcome, SweepConfig, SweepPoint, Verdict};
+pub use job::{ActiveJob, JobId, JobTable, Placement, SubmitQueue};
+pub use metrics::{Metrics, MetricsReport};
+pub use placement::{place_flexible, place_on_cluster, place_ordered, place_request, place_unordered, PlacementRule};
+pub use policy::{GlobalBackfill, GlobalScheduler, LocalPriority, LocalSchedulers, PolicyKind, Scheduler};
+pub use saturation::{bisect_max_utilization, maximal_utilization, SaturationConfig, SaturationResult};
+pub use feed::{JobFeed, StochasticFeed, TraceFeed};
+pub use sim::{run, run_trace, run_with_feed, SimConfig, SimOutcome};
+pub use system::MultiCluster;

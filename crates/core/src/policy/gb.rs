@@ -1,0 +1,152 @@
+//! GB — GS with aggressive backfilling (an extension).
+//!
+//! The paper attributes LS's advantage to "a form of backfilling with a
+//! window equal to the number of clusters" (§3.1.1). GB makes that
+//! mechanism explicit on the GS substrate: one global queue, but when
+//! the head does not fit, the scheduler scans past it and starts the
+//! *first* job in queue order that does fit (aggressive backfilling,
+//! without reservations). Comparing GS, GB and LS separates what the
+//! paper's local queues buy from what backfilling itself buys.
+//!
+//! No-starvation caveat: without reservations a steady stream of small
+//! jobs can starve a large head job — the classic trade-off this
+//! variant exists to exhibit.
+
+use coalloc_workload::JobSpec;
+use desim::SimTime;
+
+use crate::job::{JobId, JobTable, SubmitQueue};
+use crate::placement::{place_request, PlacementRule};
+use crate::system::MultiCluster;
+
+use super::Scheduler;
+
+/// The GB policy: a global queue with aggressive (no-reservation)
+/// backfilling.
+#[derive(Debug)]
+pub struct GlobalBackfill {
+    queue: std::collections::VecDeque<JobId>,
+    rule: PlacementRule,
+}
+
+impl GlobalBackfill {
+    /// Builds the policy with the given placement rule.
+    pub fn new(rule: PlacementRule) -> Self {
+        GlobalBackfill { queue: std::collections::VecDeque::new(), rule }
+    }
+}
+
+impl Scheduler for GlobalBackfill {
+    fn name(&self) -> &'static str {
+        "GB"
+    }
+
+    fn route(&mut self, _spec: &JobSpec) -> SubmitQueue {
+        SubmitQueue::Global
+    }
+
+    fn enqueue(&mut self, id: JobId, queue: SubmitQueue) {
+        debug_assert_eq!(queue, SubmitQueue::Global, "GB has only the global queue");
+        self.queue.push_back(id);
+    }
+
+    fn on_departure(&mut self) {
+        // Nothing to re-enable: GB re-scans the whole queue every pass.
+    }
+
+    fn schedule(
+        &mut self,
+        now: SimTime,
+        system: &mut MultiCluster,
+        table: &mut JobTable,
+    ) -> Vec<JobId> {
+        let mut started = Vec::new();
+        loop {
+            let idle = system.idle_per_cluster();
+            let hit = self.queue.iter().enumerate().find_map(|(pos, &id)| {
+                place_request(&idle, &table.get(id).spec.request, self.rule).map(|p| (pos, id, p))
+            });
+            match hit {
+                Some((pos, id, placement)) => {
+                    system.apply(&placement);
+                    table.mark_started(id, placement, now);
+                    self.queue.remove(pos);
+                    started.push(id);
+                }
+                None => break,
+            }
+        }
+        started
+    }
+
+    fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn queue_lengths(&self) -> Vec<usize> {
+        vec![self.queue.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::*;
+
+    fn setup() -> (GlobalBackfill, MultiCluster, JobTable) {
+        (GlobalBackfill::new(PlacementRule::WorstFit), MultiCluster::das_multicluster(), JobTable::new())
+    }
+
+    #[test]
+    fn backfills_past_a_blocked_head() {
+        let (mut p, mut sys, mut table) = setup();
+        let filler = submit(&mut p, &mut table, &[1], 0.0);
+        pass(&mut p, &mut sys, &mut table, 0.0);
+        let big = submit(&mut p, &mut table, &[32, 32, 32, 32], 1.0);
+        let small = submit(&mut p, &mut table, &[8], 1.0);
+        let started = pass(&mut p, &mut sys, &mut table, 1.0);
+        // GS would start nothing here; GB starts the small job past the
+        // blocked whole-system job.
+        assert_eq!(started, vec![small]);
+        assert_eq!(p.queued(), 1);
+        let _ = (filler, big);
+    }
+
+    #[test]
+    fn prefers_queue_order_among_fitting_jobs() {
+        let (mut p, mut sys, mut table) = setup();
+        submit(&mut p, &mut table, &[31], 0.0);
+        pass(&mut p, &mut sys, &mut table, 0.0);
+        // Three candidates, all fitting: started in FIFO order.
+        let a = submit(&mut p, &mut table, &[8], 1.0);
+        let b = submit(&mut p, &mut table, &[8], 1.0);
+        let c = submit(&mut p, &mut table, &[8], 1.0);
+        let started = pass(&mut p, &mut sys, &mut table, 1.0);
+        assert_eq!(started, vec![a, b, c]);
+    }
+
+    #[test]
+    fn starvation_is_possible_without_reservation() {
+        let (mut p, mut sys, mut table) = setup();
+        // Keep one processor of one cluster busy forever.
+        submit(&mut p, &mut table, &[1], 0.0);
+        pass(&mut p, &mut sys, &mut table, 0.0);
+        let big = submit(&mut p, &mut table, &[32, 32, 32, 32], 1.0);
+        // A stream of small jobs keeps starting; the big job never does.
+        for i in 0..5 {
+            let small = submit(&mut p, &mut table, &[4], 2.0 + f64::from(i));
+            let started = pass(&mut p, &mut sys, &mut table, 2.0 + f64::from(i));
+            assert_eq!(started, vec![small]);
+        }
+        assert!(!table.get(big).started(), "the whole-system job is starved");
+    }
+
+    #[test]
+    fn name_and_counters() {
+        let (mut p, mut sys, mut table) = setup();
+        assert_eq!(p.name(), "GB");
+        submit(&mut p, &mut table, &[32, 32, 32, 32], 0.0);
+        pass(&mut p, &mut sys, &mut table, 0.0);
+        assert_eq!(p.queue_lengths(), vec![0]);
+    }
+}

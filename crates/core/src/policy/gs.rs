@@ -1,0 +1,167 @@
+//! GS — the global scheduler (§2.5, policy 1).
+//!
+//! "The system has one global scheduler with one global queue, for both
+//! single- and multi-component jobs. All jobs are submitted to the global
+//! queue. The global scheduler knows at any moment the number of idle
+//! processors in each cluster and based on this information chooses the
+//! clusters for each job."
+//!
+//! FCFS: only the head of the queue may start; when it does not fit, the
+//! queue is (implicitly) disabled until the next departure — since
+//! arrivals cannot increase the number of idle processors, re-checking
+//! the head before a departure is a no-op, so no explicit flag is needed.
+
+use coalloc_workload::JobSpec;
+use desim::SimTime;
+
+use crate::job::{JobId, JobTable, SubmitQueue};
+use crate::placement::{place_request, PlacementRule};
+use crate::queue::JobQueue;
+use crate::system::MultiCluster;
+
+use super::Scheduler;
+
+/// The GS policy: one global FCFS queue over the whole system.
+#[derive(Debug)]
+pub struct GlobalScheduler {
+    queue: JobQueue,
+    rule: PlacementRule,
+}
+
+impl GlobalScheduler {
+    /// Builds the policy with the given placement rule (the paper uses
+    /// Worst Fit).
+    pub fn new(rule: PlacementRule) -> Self {
+        GlobalScheduler { queue: JobQueue::new(), rule }
+    }
+}
+
+impl Scheduler for GlobalScheduler {
+    fn name(&self) -> &'static str {
+        "GS"
+    }
+
+    fn route(&mut self, _spec: &JobSpec) -> SubmitQueue {
+        SubmitQueue::Global
+    }
+
+    fn enqueue(&mut self, id: JobId, queue: SubmitQueue) {
+        debug_assert_eq!(queue, SubmitQueue::Global, "GS has only the global queue");
+        self.queue.push(id);
+    }
+
+    fn on_departure(&mut self) {
+        self.queue.enable();
+    }
+
+    fn schedule(
+        &mut self,
+        now: SimTime,
+        system: &mut MultiCluster,
+        table: &mut JobTable,
+    ) -> Vec<JobId> {
+        let mut started = Vec::new();
+        while let Some(head) = self.queue.head() {
+            let idle = system.idle_per_cluster();
+            // GS chooses clusters for every component, including single-
+            // component jobs (it has "the freedom to choose the clusters
+            // for the single-component jobs", §3.1.1). Ordered and
+            // flexible requests are honored per their structure.
+            match place_request(&idle, &table.get(head).spec.request, self.rule) {
+                Some(p) => {
+                    system.apply(&p);
+                    table.mark_started(head, p, now);
+                    self.queue.pop();
+                    started.push(head);
+                }
+                None => {
+                    self.queue.disable();
+                    break;
+                }
+            }
+        }
+        started
+    }
+
+    fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn queue_lengths(&self) -> Vec<usize> {
+        vec![self.queue.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::*;
+    use crate::job::JobTable;
+
+    fn setup() -> (GlobalScheduler, MultiCluster, JobTable) {
+        (GlobalScheduler::new(PlacementRule::WorstFit), MultiCluster::das_multicluster(), JobTable::new())
+    }
+
+    #[test]
+    fn starts_fitting_jobs_in_fcfs_order() {
+        let (mut p, mut sys, mut table) = setup();
+        let a = submit(&mut p, &mut table, &[16, 16], 0.0);
+        let b = submit(&mut p, &mut table, &[8], 0.0);
+        let started = pass(&mut p, &mut sys, &mut table, 0.0);
+        assert_eq!(started, vec![a, b]);
+        assert_eq!(sys.total_busy(), 40);
+        assert_eq!(p.queued(), 0);
+    }
+
+    #[test]
+    fn head_of_line_blocking() {
+        let (mut p, mut sys, mut table) = setup();
+        // Fill the system so a (32,32,32,32) job blocks.
+        let filler = submit(&mut p, &mut table, &[32], 0.0);
+        pass(&mut p, &mut sys, &mut table, 0.0);
+        let big = submit(&mut p, &mut table, &[32, 32, 32, 32], 1.0);
+        let small = submit(&mut p, &mut table, &[1], 1.0);
+        let started = pass(&mut p, &mut sys, &mut table, 1.0);
+        assert!(started.is_empty(), "FCFS: the small job must wait behind the big one");
+        assert_eq!(p.queued(), 2);
+        // After the filler departs the big job fills the whole system;
+        // the small job stays blocked behind zero idle processors.
+        depart(&mut p, &mut sys, &table, filler);
+        let started = pass(&mut p, &mut sys, &mut table, 2.0);
+        assert_eq!(started, vec![big]);
+        assert_eq!(sys.total_busy(), 128);
+        assert_eq!(p.queued(), 1);
+        // When the big job departs, the small one finally runs.
+        depart(&mut p, &mut sys, &table, big);
+        let started = pass(&mut p, &mut sys, &mut table, 3.0);
+        assert_eq!(started, vec![small]);
+        assert_eq!(sys.total_busy(), 1);
+    }
+
+    #[test]
+    fn single_component_jobs_go_anywhere() {
+        let (mut p, mut sys, mut table) = setup();
+        // Load cluster 0 heavily; a single-component job must pick another.
+        submit(&mut p, &mut table, &[30], 0.0);
+        pass(&mut p, &mut sys, &mut table, 0.0);
+        submit(&mut p, &mut table, &[30], 0.0);
+        let started = pass(&mut p, &mut sys, &mut table, 0.0);
+        assert_eq!(started.len(), 1);
+        assert_eq!(sys.total_busy(), 60);
+        // Worst Fit put them on different clusters.
+        let idle = sys.idle_per_cluster();
+        assert_eq!(idle.iter().filter(|&&x| x == 2).count(), 2, "{idle:?}");
+    }
+
+    #[test]
+    fn queue_length_reporting() {
+        let (mut p, mut sys, mut table) = setup();
+        submit(&mut p, &mut table, &[32, 32, 32, 32], 0.0);
+        pass(&mut p, &mut sys, &mut table, 0.0);
+        submit(&mut p, &mut table, &[32, 32, 32, 32], 0.0);
+        submit(&mut p, &mut table, &[1], 0.0);
+        pass(&mut p, &mut sys, &mut table, 0.0);
+        assert_eq!(p.queue_lengths(), vec![2]);
+        assert_eq!(p.name(), "GS");
+    }
+}

@@ -1,0 +1,348 @@
+//! LP — local queues with priority over a global queue (§2.5, policy 3).
+//!
+//! "Each cluster has its own local scheduler with a local queue and all
+//! the single-component jobs are distributed among the local queues, and
+//! there is a global scheduler with a global queue where all the
+//! multi-component jobs are placed. The local schedulers have priority:
+//! the global scheduler can schedule jobs only when at least one local
+//! queue is empty. When a job departs, if one or more of the local queues
+//! are empty both the global queue and the local queues are enabled. If
+//! no local queue is empty only the local queues are enabled and
+//! repeatedly visited; the global queue is enabled and added to the list
+//! of queues which are visited when at least one of the local queues gets
+//! empty. When both the global queue and the local queues are enabled at
+//! job departures, they are always enabled starting with the global
+//! queue."
+
+use coalloc_workload::{JobSpec, QueueRouting, RequestKind};
+use desim::{RngStream, SimTime};
+
+use crate::job::{JobId, JobTable, SubmitQueue};
+use crate::placement::{place_on_cluster, place_request, PlacementRule};
+use crate::queue::{JobQueue, QueueSet};
+use crate::system::MultiCluster;
+
+use super::Scheduler;
+
+/// The LP policy: per-cluster local queues for single-component jobs, one
+/// low-priority global queue for multi-component jobs.
+#[derive(Debug)]
+pub struct LocalPriority {
+    locals: QueueSet,
+    global: JobQueue,
+    routing: QueueRouting,
+    rng: RngStream,
+    rule: PlacementRule,
+}
+
+impl LocalPriority {
+    /// Builds the policy for `clusters` clusters; `routing` spreads the
+    /// single-component jobs over the local queues.
+    pub fn new(clusters: usize, routing: QueueRouting, rng: RngStream, rule: PlacementRule) -> Self {
+        assert_eq!(routing.queues(), clusters, "routing must cover exactly the local queues");
+        LocalPriority {
+            locals: QueueSet::new(clusters),
+            global: JobQueue::new(),
+            routing,
+            rng,
+            rule,
+        }
+    }
+
+    /// Whether the global scheduler may act now: its queue is enabled and
+    /// at least one local queue is empty.
+    fn global_may_schedule(&self) -> bool {
+        self.global.is_enabled() && self.locals.any_empty()
+    }
+
+    fn try_start_global(
+        &mut self,
+        now: SimTime,
+        system: &mut MultiCluster,
+        table: &mut JobTable,
+    ) -> Option<JobId> {
+        let head = self.global.head()?;
+        match place_request(&system.idle_per_cluster(), &table.get(head).spec.request, self.rule) {
+            Some(p) => {
+                system.apply(&p);
+                table.mark_started(head, p, now);
+                self.global.pop();
+                Some(head)
+            }
+            None => {
+                self.global.disable();
+                None
+            }
+        }
+    }
+
+    fn try_start_local(
+        &mut self,
+        q: usize,
+        now: SimTime,
+        system: &mut MultiCluster,
+        table: &mut JobTable,
+    ) -> Option<JobId> {
+        let head = self.locals.queue(q).head()?;
+        let job = table.get(head);
+        // Ordered single-component jobs name their cluster themselves.
+        let placement = if job.spec.request.kind() == RequestKind::Ordered {
+            place_request(&system.idle_per_cluster(), &job.spec.request, self.rule)
+        } else {
+            place_on_cluster(&system.idle_per_cluster(), q, job.spec.request.total())
+        };
+        match placement {
+            Some(p) => {
+                system.apply(&p);
+                table.mark_started(head, p, now);
+                self.locals.queue_mut(q).pop();
+                Some(head)
+            }
+            None => {
+                self.locals.disable(q);
+                None
+            }
+        }
+    }
+}
+
+impl Scheduler for LocalPriority {
+    fn name(&self) -> &'static str {
+        "LP"
+    }
+
+    fn route(&mut self, spec: &JobSpec) -> SubmitQueue {
+        if spec.request.is_multi() {
+            SubmitQueue::Global
+        } else if spec.request.kind() == RequestKind::Ordered {
+            // An ordered single-component job belongs to the queue of the
+            // cluster it names.
+            SubmitQueue::Local(spec.request.targets().expect("ordered")[0])
+        } else {
+            SubmitQueue::Local(self.routing.pick(&mut self.rng))
+        }
+    }
+
+    fn enqueue(&mut self, id: JobId, queue: SubmitQueue) {
+        match queue {
+            SubmitQueue::Global => self.global.push(id),
+            SubmitQueue::Local(q) => self.locals.queue_mut(q).push(id),
+        }
+    }
+
+    fn on_departure(&mut self) {
+        // Locals are always re-enabled; the global queue only when some
+        // local queue is empty ("starting with the global queue" is
+        // realized by visiting it first in every scheduling round).
+        self.locals.enable_all();
+        if self.locals.any_empty() {
+            self.global.enable();
+        }
+    }
+
+    fn schedule(
+        &mut self,
+        now: SimTime,
+        system: &mut MultiCluster,
+        table: &mut JobTable,
+    ) -> Vec<JobId> {
+        let mut started = Vec::new();
+        loop {
+            let mut progress = false;
+            // The global queue is visited first whenever it may schedule.
+            if self.global_may_schedule() {
+                if let Some(id) = self.try_start_global(now, system, table) {
+                    started.push(id);
+                    progress = true;
+                }
+            }
+            for q in 0..self.locals.len() {
+                if !self.locals.queue(q).is_enabled() {
+                    continue;
+                }
+                if let Some(id) = self.try_start_local(q, now, system, table) {
+                    started.push(id);
+                    progress = true;
+                    // "The global queue is enabled … when at least one of
+                    // the local queues gets empty."
+                    if self.locals.queue(q).is_empty() {
+                        self.global.enable();
+                    }
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+        started
+    }
+
+    fn queued(&self) -> usize {
+        self.locals.total_queued() + self.global.len()
+    }
+
+    fn queue_lengths(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = (0..self.locals.len()).map(|i| self.locals.queue(i).len()).collect();
+        v.push(self.global.len());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::*;
+    use crate::job::ActiveJob;
+
+    fn setup() -> (LocalPriority, MultiCluster, JobTable) {
+        let p = LocalPriority::new(
+            4,
+            QueueRouting::balanced(4),
+            RngStream::new(7),
+            PlacementRule::WorstFit,
+        );
+        (p, MultiCluster::das_multicluster(), JobTable::new())
+    }
+
+    fn submit_local(
+        p: &mut LocalPriority,
+        table: &mut JobTable,
+        q: usize,
+        size: u32,
+        now: f64,
+    ) -> JobId {
+        let s = spec(&[size]);
+        let id = table.insert(ActiveJob::new(s, SimTime::new(now), SubmitQueue::Local(q)));
+        p.enqueue(id, SubmitQueue::Local(q));
+        id
+    }
+
+    fn submit_global(
+        p: &mut LocalPriority,
+        table: &mut JobTable,
+        components: &[u32],
+        now: f64,
+    ) -> JobId {
+        let s = spec(components);
+        let id = table.insert(ActiveJob::new(s, SimTime::new(now), SubmitQueue::Global));
+        p.enqueue(id, SubmitQueue::Global);
+        id
+    }
+
+    #[test]
+    fn routing_splits_by_component_count() {
+        let (mut p, _, _) = setup();
+        assert!(matches!(p.route(&spec(&[16])), SubmitQueue::Local(_)));
+        assert_eq!(p.route(&spec(&[16, 16])), SubmitQueue::Global);
+    }
+
+    #[test]
+    fn global_runs_when_a_local_queue_is_empty() {
+        let (mut p, mut sys, mut table) = setup();
+        // All local queues empty -> gate open.
+        let g = submit_global(&mut p, &mut table, &[16, 16], 0.0);
+        let started = pass(&mut p, &mut sys, &mut table, 0.0);
+        assert_eq!(started, vec![g]);
+    }
+
+    #[test]
+    fn global_blocked_while_no_local_queue_is_empty() {
+        let (mut p, mut sys, mut table) = setup();
+        // Fill every cluster and leave one waiting job in every local
+        // queue, so no local queue is empty.
+        let mut fillers = Vec::new();
+        for q in 0..4 {
+            fillers.push(submit_local(&mut p, &mut table, q, 32, 0.0));
+        }
+        pass(&mut p, &mut sys, &mut table, 0.0);
+        for q in 0..4 {
+            submit_local(&mut p, &mut table, q, 1, 0.0);
+        }
+        assert!(pass(&mut p, &mut sys, &mut table, 0.0).is_empty());
+        // A small global job arrives; no local queue is empty, so the
+        // gate is closed.
+        let g = submit_global(&mut p, &mut table, &[1, 1], 1.0);
+        depart(&mut p, &mut sys, &table, fillers[0]);
+        let started = pass(&mut p, &mut sys, &mut table, 2.0);
+        // Only cluster 0's local job starts; the global job needs idle
+        // processors in *two* distinct clusters and all others are full —
+        // and by then the gate closes again anyway.
+        assert_eq!(started.len(), 1);
+        assert!(!started.contains(&g));
+        // A second departure frees cluster 1: its local job starts, and
+        // with two clusters partly idle and queue 0 empty the gate is
+        // open, so the global job is co-allocated.
+        depart(&mut p, &mut sys, &table, fillers[1]);
+        let started = pass(&mut p, &mut sys, &mut table, 3.0);
+        assert_eq!(started.len(), 2);
+        assert!(started.contains(&g));
+        assert_eq!(started[0], g, "the global queue is visited first");
+    }
+
+    #[test]
+    fn gate_opens_mid_pass_when_local_queue_drains() {
+        let (mut p, mut sys, mut table) = setup();
+        // One waiting local job per queue; system empty.
+        for q in 0..4 {
+            submit_local(&mut p, &mut table, q, 8, 0.0);
+        }
+        let g = submit_global(&mut p, &mut table, &[8, 8], 0.0);
+        let started = pass(&mut p, &mut sys, &mut table, 0.0);
+        // Locals start (draining their queues), the gate opens, and the
+        // global job starts in a later round of the same pass.
+        assert_eq!(started.len(), 5);
+        assert_eq!(*started.last().expect("five started"), g);
+    }
+
+    #[test]
+    fn global_disabled_until_departure_after_misfit() {
+        let (mut p, mut sys, mut table) = setup();
+        let filler = submit_local(&mut p, &mut table, 0, 32, 0.0);
+        pass(&mut p, &mut sys, &mut table, 0.0);
+        // Global head needs 32 in every cluster: does not fit -> disabled.
+        let big = submit_global(&mut p, &mut table, &[32, 32, 32, 32], 1.0);
+        assert!(pass(&mut p, &mut sys, &mut table, 1.0).is_empty());
+        // Even though the gate is open (locals empty), the global queue is
+        // disabled, so a newly fitting small global job behind it waits.
+        submit_global(&mut p, &mut table, &[4, 4], 2.0);
+        assert!(pass(&mut p, &mut sys, &mut table, 2.0).is_empty());
+        depart(&mut p, &mut sys, &table, filler);
+        let started = pass(&mut p, &mut sys, &mut table, 3.0);
+        assert_eq!(started[0], big, "FCFS in the global queue");
+        assert_eq!(started.len(), 1, "the (4,4) job waits: no processors left");
+    }
+
+    #[test]
+    fn global_first_visit_can_take_a_local_cluster() {
+        let (mut p, mut sys, mut table) = setup();
+        // The gate is open (queues 1–3 empty), so the global queue is
+        // visited first: Worst Fit ties break to clusters 0 and 1, and
+        // the local job of cluster 0 is left blocked on its own cluster.
+        let l = submit_local(&mut p, &mut table, 0, 30, 0.0);
+        let g = submit_global(&mut p, &mut table, &[30, 30], 0.0);
+        let started = pass(&mut p, &mut sys, &mut table, 0.0);
+        assert_eq!(started, vec![g]);
+        assert_eq!(p.queued(), 1);
+        // Once the global job departs, the local one runs on cluster 0.
+        depart(&mut p, &mut sys, &table, g);
+        let started = pass(&mut p, &mut sys, &mut table, 1.0);
+        assert_eq!(started, vec![l]);
+        assert_eq!(
+            table.get(l).placement.as_ref().expect("started").assignments(),
+            &[(0, 30)]
+        );
+    }
+
+    #[test]
+    fn queue_lengths_include_global_tail() {
+        let (mut p, mut sys, mut table) = setup();
+        submit_local(&mut p, &mut table, 1, 32, 0.0);
+        pass(&mut p, &mut sys, &mut table, 0.0);
+        submit_local(&mut p, &mut table, 1, 2, 0.0);
+        submit_global(&mut p, &mut table, &[32, 32, 32, 32], 0.0);
+        pass(&mut p, &mut sys, &mut table, 0.0);
+        assert_eq!(p.queue_lengths(), vec![0, 1, 0, 0, 1]);
+        assert_eq!(p.queued(), 2);
+        assert_eq!(p.name(), "LP");
+    }
+}

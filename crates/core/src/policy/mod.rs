@@ -1,0 +1,180 @@
+//! The scheduling policies of §2.5: GS, LS, LP — plus SC, the
+//! single-cluster FCFS baseline (GS on a one-cluster system).
+//!
+//! All schedulers are FCFS within a queue: only the head of a queue may
+//! start. A queue whose head does not fit is disabled until the next
+//! departure.
+
+mod gb;
+mod gs;
+mod lp;
+mod ls;
+mod sc;
+
+pub use gb::GlobalBackfill;
+pub use gs::GlobalScheduler;
+pub use lp::LocalPriority;
+pub use ls::LocalSchedulers;
+pub use sc::single_cluster_policy;
+
+use coalloc_workload::{JobSpec, QueueRouting};
+use desim::{RngStream, SimTime};
+
+use crate::job::{JobId, JobTable, SubmitQueue};
+use crate::placement::PlacementRule;
+use crate::system::MultiCluster;
+
+/// A co-allocation scheduling policy.
+///
+/// The simulation loop drives a scheduler through three entry points:
+/// [`Scheduler::route`] + [`Scheduler::enqueue`] at each arrival,
+/// [`Scheduler::on_departure`] at each departure, and
+/// [`Scheduler::schedule`] after both.
+pub trait Scheduler: Send {
+    /// The policy's short name (GS/LS/LP/SC).
+    fn name(&self) -> &'static str;
+
+    /// Decides which queue a new job goes to (may consume routing
+    /// randomness).
+    fn route(&mut self, spec: &JobSpec) -> SubmitQueue;
+
+    /// Appends a job (already recorded in the table with its queue) to
+    /// that queue.
+    fn enqueue(&mut self, id: JobId, queue: SubmitQueue);
+
+    /// A job departed: re-enable queues according to the policy's rules.
+    fn on_departure(&mut self);
+
+    /// Starts every job the policy can start now. Placements are applied
+    /// to `system` and recorded in `table`; the started ids are returned
+    /// so the simulation loop can schedule their departures.
+    fn schedule(&mut self, now: SimTime, system: &mut MultiCluster, table: &mut JobTable)
+        -> Vec<JobId>;
+
+    /// Number of jobs currently waiting in all queues.
+    fn queued(&self) -> usize;
+
+    /// Number of jobs currently waiting in each queue, for per-queue
+    /// diagnostics (local queues first, then the global queue if any).
+    fn queue_lengths(&self) -> Vec<usize>;
+}
+
+/// Which policy to build; the unit of comparison in every figure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum PolicyKind {
+    /// One global queue + one global scheduler for all jobs.
+    Gs,
+    /// Per-cluster local queues; single-component jobs stay local,
+    /// multi-component jobs are co-allocated system-wide.
+    Ls,
+    /// Local queues for single-component jobs with priority, a global
+    /// queue for multi-component jobs.
+    Lp,
+    /// Single-cluster FCFS on total requests (the comparison baseline).
+    Sc,
+    /// GS with aggressive backfilling (extension; not in the paper).
+    Gb,
+}
+
+impl PolicyKind {
+    /// The paper's label for this policy.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Gs => "GS",
+            PolicyKind::Ls => "LS",
+            PolicyKind::Lp => "LP",
+            PolicyKind::Sc => "SC",
+            PolicyKind::Gb => "GB",
+        }
+    }
+
+    /// Whether the policy uses local queues (and therefore a routing
+    /// distribution).
+    pub fn has_local_queues(self) -> bool {
+        matches!(self, PolicyKind::Ls | PolicyKind::Lp)
+    }
+
+    /// Builds the scheduler for a system of `clusters` clusters. `routing`
+    /// is used by LS (all jobs) and LP (single-component jobs); `rng`
+    /// drives routing decisions; `rule` is the placement rule (the paper
+    /// uses Worst Fit).
+    pub fn build(
+        self,
+        clusters: usize,
+        routing: QueueRouting,
+        rng: RngStream,
+        rule: PlacementRule,
+    ) -> Box<dyn Scheduler> {
+        match self {
+            PolicyKind::Gs => Box::new(GlobalScheduler::new(rule)),
+            PolicyKind::Ls => Box::new(LocalSchedulers::new(clusters, routing, rng, rule)),
+            PolicyKind::Lp => Box::new(LocalPriority::new(clusters, routing, rng, rule)),
+            PolicyKind::Sc => Box::new(single_cluster_policy(rule)),
+            PolicyKind::Gb => Box::new(GlobalBackfill::new(rule)),
+        }
+    }
+}
+
+impl core::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared helpers for policy unit tests.
+
+    use coalloc_workload::{JobRequest, JobSpec};
+    use desim::{Duration, SimTime};
+
+    use crate::job::{ActiveJob, JobId, JobTable};
+    use crate::system::MultiCluster;
+
+    use super::Scheduler;
+
+    /// Builds a job spec with the given components and a 100 s service.
+    pub fn spec(components: &[u32]) -> JobSpec {
+        JobSpec {
+            request: JobRequest::new(components.to_vec()),
+            base_service: Duration::new(100.0),
+        }
+    }
+
+    /// Submits a job through the full route/insert/enqueue path.
+    pub fn submit(
+        policy: &mut dyn Scheduler,
+        table: &mut JobTable,
+        components: &[u32],
+        now: f64,
+    ) -> JobId {
+        let s = spec(components);
+        let q = policy.route(&s);
+        let id = table.insert(ActiveJob::new(s, SimTime::new(now), q));
+        policy.enqueue(id, q);
+        id
+    }
+
+    /// Runs one scheduling pass at t=`now`.
+    pub fn pass(
+        policy: &mut dyn Scheduler,
+        system: &mut MultiCluster,
+        table: &mut JobTable,
+        now: f64,
+    ) -> Vec<JobId> {
+        policy.schedule(SimTime::new(now), system, table)
+    }
+
+    /// Departs a started job: releases processors and notifies the policy.
+    pub fn depart(
+        policy: &mut dyn Scheduler,
+        system: &mut MultiCluster,
+        table: &JobTable,
+        id: JobId,
+    ) {
+        let placement = table.get(id).placement.clone().expect("job started");
+        system.release(&placement);
+        policy.on_departure();
+    }
+
+}

@@ -1,0 +1,65 @@
+//! SC — the single-cluster FCFS baseline (§2.5).
+//!
+//! "For comparison, we consider the single-cluster case where there are
+//! only single-component jobs and we use FCFS as scheduling policy."
+//!
+//! SC *is* the global scheduler run over a one-cluster system fed with
+//! total requests: one FCFS queue, and "choosing a cluster" is trivial.
+//! We therefore reuse [`GlobalScheduler`]; this module pins that
+//! equivalence down with tests and provides the canonical constructor.
+
+use crate::placement::PlacementRule;
+
+use super::GlobalScheduler;
+
+/// Builds the SC policy: FCFS over one queue. Pair it with a one-cluster
+/// [`crate::system::MultiCluster`] (e.g.
+/// [`crate::system::MultiCluster::das_single_cluster`]) and a workload of
+/// total requests ([`coalloc_workload::Workload::single_cluster`]).
+pub fn single_cluster_policy(rule: PlacementRule) -> GlobalScheduler {
+    GlobalScheduler::new(rule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::super::Scheduler;
+    use super::*;
+    use crate::job::JobTable;
+    use crate::system::MultiCluster;
+
+    #[test]
+    fn fcfs_on_one_cluster() {
+        let mut p = single_cluster_policy(PlacementRule::WorstFit);
+        let mut sys = MultiCluster::das_single_cluster();
+        let mut table = JobTable::new();
+        let a = submit(&mut p, &mut table, &[100], 0.0);
+        let b = submit(&mut p, &mut table, &[100], 0.0); // blocks: only 28 idle
+        let c = submit(&mut p, &mut table, &[10], 0.0); // waits behind b
+        let started = pass(&mut p, &mut sys, &mut table, 0.0);
+        assert_eq!(started, vec![a]);
+        assert_eq!(p.queued(), 2);
+        depart(&mut p, &mut sys, &table, a);
+        let started = pass(&mut p, &mut sys, &mut table, 1.0);
+        assert_eq!(started, vec![b, c], "b first (FCFS), then c fits too");
+        assert_eq!(sys.total_busy(), 110);
+    }
+
+    #[test]
+    fn whole_system_job_drains_the_cluster() {
+        // §3.2: "When a job requiring 128 processors is at the top of the
+        // queue, SC waits for the entire system to become empty."
+        let mut p = single_cluster_policy(PlacementRule::WorstFit);
+        let mut sys = MultiCluster::das_single_cluster();
+        let mut table = JobTable::new();
+        let a = submit(&mut p, &mut table, &[64], 0.0);
+        pass(&mut p, &mut sys, &mut table, 0.0);
+        let big = submit(&mut p, &mut table, &[128], 1.0);
+        submit(&mut p, &mut table, &[1], 1.0);
+        assert!(pass(&mut p, &mut sys, &mut table, 1.0).is_empty());
+        depart(&mut p, &mut sys, &table, a);
+        let started = pass(&mut p, &mut sys, &mut table, 2.0);
+        assert_eq!(started, vec![big]);
+        assert_eq!(sys.total_busy(), 128);
+    }
+}

@@ -1,0 +1,196 @@
+//! FCFS queues with the paper's enable/disable bookkeeping (§2.5).
+//!
+//! A queue whose head job does not fit is *disabled* until the next job
+//! departs from the system; at each departure, disabled queues are
+//! re-enabled *in the order in which they were disabled*.
+
+use std::collections::VecDeque;
+
+use crate::job::JobId;
+
+/// A FIFO queue of waiting jobs plus an enabled flag.
+#[derive(Clone, Debug, Default)]
+pub struct JobQueue {
+    items: VecDeque<JobId>,
+    enabled: bool,
+}
+
+impl JobQueue {
+    /// An empty, enabled queue.
+    pub fn new() -> Self {
+        JobQueue { items: VecDeque::new(), enabled: true }
+    }
+
+    /// Appends a job.
+    pub fn push(&mut self, id: JobId) {
+        self.items.push_back(id);
+    }
+
+    /// The job at the head (the only one FCFS may start).
+    pub fn head(&self) -> Option<JobId> {
+        self.items.front().copied()
+    }
+
+    /// Removes and returns the head job.
+    pub fn pop(&mut self) -> Option<JobId> {
+        self.items.pop_front()
+    }
+
+    /// Number of waiting jobs.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no jobs wait here.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the scheduler may currently look at this queue.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Disables the queue (its head did not fit).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Re-enables the queue (a job departed).
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+}
+
+/// A set of queues plus the disable-order bookkeeping the paper's LS and
+/// LP policies require.
+#[derive(Clone, Debug, Default)]
+pub struct QueueSet {
+    queues: Vec<JobQueue>,
+    /// Indices of disabled queues, in the order they were disabled.
+    disabled_order: Vec<usize>,
+}
+
+impl QueueSet {
+    /// `n` empty, enabled queues.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        QueueSet { queues: (0..n).map(|_| JobQueue::new()).collect(), disabled_order: Vec::new() }
+    }
+
+    /// Number of queues.
+    pub fn len(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Whether the set holds no queues (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.queues.is_empty()
+    }
+
+    /// Access one queue.
+    pub fn queue(&self, i: usize) -> &JobQueue {
+        &self.queues[i]
+    }
+
+    /// Mutable access to one queue (for pushes and pops; use
+    /// [`QueueSet::disable`]/[`QueueSet::enable_all`] for state changes so
+    /// the disable order stays consistent).
+    pub fn queue_mut(&mut self, i: usize) -> &mut JobQueue {
+        &mut self.queues[i]
+    }
+
+    /// Disables queue `i`, recording its position in the disable order.
+    pub fn disable(&mut self, i: usize) {
+        if self.queues[i].is_enabled() {
+            self.queues[i].disable();
+            self.disabled_order.push(i);
+        }
+    }
+
+    /// Re-enables every disabled queue in the order it was disabled
+    /// (called at job departures), returning that order.
+    pub fn enable_all(&mut self) -> Vec<usize> {
+        let order = std::mem::take(&mut self.disabled_order);
+        for &i in &order {
+            self.queues[i].enable();
+        }
+        order
+    }
+
+    /// Indices of currently enabled queues, ascending.
+    pub fn enabled_indices(&self) -> Vec<usize> {
+        (0..self.queues.len()).filter(|&i| self.queues[i].is_enabled()).collect()
+    }
+
+    /// Total jobs waiting across all queues.
+    pub fn total_queued(&self) -> usize {
+        self.queues.iter().map(JobQueue::len).sum()
+    }
+
+    /// Whether at least one queue is empty (LP's global-queue gate).
+    pub fn any_empty(&self) -> bool {
+        self.queues.iter().any(JobQueue::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = JobQueue::new();
+        q.push(JobId(1));
+        q.push(JobId(2));
+        assert_eq!(q.head(), Some(JobId(1)));
+        assert_eq!(q.pop(), Some(JobId(1)));
+        assert_eq!(q.pop(), Some(JobId(2)));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn enable_disable_flag() {
+        let mut q = JobQueue::new();
+        assert!(q.is_enabled());
+        q.disable();
+        assert!(!q.is_enabled());
+        q.enable();
+        assert!(q.is_enabled());
+    }
+
+    #[test]
+    fn queue_set_disable_order_preserved() {
+        let mut s = QueueSet::new(4);
+        s.disable(2);
+        s.disable(0);
+        s.disable(3);
+        assert_eq!(s.enabled_indices(), vec![1]);
+        let order = s.enable_all();
+        assert_eq!(order, vec![2, 0, 3], "re-enabled in disable order");
+        assert_eq!(s.enabled_indices(), vec![0, 1, 2, 3]);
+        assert!(s.enable_all().is_empty(), "nothing left disabled");
+    }
+
+    #[test]
+    fn double_disable_recorded_once() {
+        let mut s = QueueSet::new(2);
+        s.disable(1);
+        s.disable(1);
+        assert_eq!(s.enable_all(), vec![1]);
+    }
+
+    #[test]
+    fn queue_set_counters() {
+        let mut s = QueueSet::new(3);
+        s.queue_mut(0).push(JobId(1));
+        s.queue_mut(0).push(JobId(2));
+        s.queue_mut(2).push(JobId(3));
+        assert_eq!(s.total_queued(), 3);
+        assert!(s.any_empty(), "queue 1 is empty");
+        s.queue_mut(1).push(JobId(4));
+        assert!(!s.any_empty());
+        assert_eq!(s.len(), 3);
+    }
+}

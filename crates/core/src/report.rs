@@ -1,0 +1,274 @@
+//! Plain-text rendering of tables and figure data series, in the layout
+//! of the paper's tables and gnuplot-style columns for its figures.
+
+use crate::experiment::SweepPoint;
+
+/// Renders an aligned plain-text table.
+pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let mut header_line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        header_line.push_str(&format!("{h:>w$}  ", w = w));
+    }
+    out.push_str(header_line.trim_end());
+    out.push('\n');
+    out.push_str(&"-".repeat(header_line.trim_end().len()));
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            line.push_str(&format!("{cell:>w$}  ", w = w));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// One named data series of a figure: `(x, y)` points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label (e.g. "LS 16 gross").
+    pub name: String,
+    /// The data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Builds a response-time-vs-*measured-gross-utilization* series from
+    /// sweep points, the paper's standard axes. Saturated points are
+    /// dropped (their response time is unbounded in steady state).
+    pub fn response_vs_gross(name: impl Into<String>, points: &[SweepPoint]) -> Self {
+        Series {
+            name: name.into(),
+            points: points
+                .iter()
+                .filter(|p| !p.outcome.saturated)
+                .map(|p| (p.outcome.gross_utilization, p.outcome.response.mean))
+                .collect(),
+        }
+    }
+
+    /// The same responses plotted against the *net* utilization (§4).
+    pub fn response_vs_net(name: impl Into<String>, points: &[SweepPoint]) -> Self {
+        Series {
+            name: name.into(),
+            points: points
+                .iter()
+                .filter(|p| !p.outcome.saturated)
+                .map(|p| (p.outcome.net_utilization, p.outcome.response.mean))
+                .collect(),
+        }
+    }
+}
+
+/// Renders figure data as gnuplot-style blocks: one `# name` header per
+/// series, `x y` lines, blank-line separated.
+pub fn format_figure(title: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    for s in series {
+        out.push_str(&format!("# {}\n", s.name));
+        for &(x, y) in &s.points {
+            out.push_str(&format!("{x:.4} {y:.1}\n"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The x-position at which a series crosses a response-time level, by
+/// linear interpolation — a crude but robust "maximal utilization seen on
+/// the curve" summary for comparing policies.
+pub fn utilization_at_response(series: &Series, level: f64) -> Option<f64> {
+    for w in series.points.windows(2) {
+        let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+        if (y0 <= level && y1 >= level) && y1 > y0 {
+            return Some(x0 + (x1 - x0) * (level - y0) / (y1 - y0));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::ReplicatedOutcome;
+    use desim::stats::Estimate;
+
+    fn point(target: f64, gross: f64, net: f64, resp: f64, saturated: bool) -> SweepPoint {
+        SweepPoint {
+            target_utilization: target,
+            outcome: ReplicatedOutcome {
+                response: Estimate { mean: resp, half_width: 1.0, n: 3 },
+                gross_utilization: gross,
+                net_utilization: net,
+                response_local: resp,
+                response_global: resp,
+                saturated,
+                runs: vec![],
+            },
+        }
+    }
+
+    #[test]
+    fn table_alignment() {
+        let t = format_table(
+            "Table X",
+            &["limit", "gross", "net"],
+            &[
+                vec!["16".into(), "0.693".into(), "0.569".into()],
+                vec!["24".into(), "0.578".into(), "0.494".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0], "Table X");
+        assert!(lines[1].contains("limit") && lines[1].contains("net"));
+        assert!(lines[2].starts_with('-'));
+        assert!(lines[3].contains("16") && lines[3].contains("0.693"));
+        // Columns right-aligned: all rows have equal length.
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn figure_format_contains_series() {
+        let s = Series { name: "LS 16".into(), points: vec![(0.3, 400.0), (0.5, 900.0)] };
+        let text = format_figure("Fig 3", &[s]);
+        assert!(text.contains("## Fig 3"));
+        assert!(text.contains("# LS 16"));
+        assert!(text.contains("0.3000 400.0"));
+    }
+
+    #[test]
+    fn series_drops_saturated_points() {
+        let pts = vec![
+            point(0.3, 0.29, 0.25, 500.0, false),
+            point(0.9, 0.62, 0.53, 50_000.0, true),
+        ];
+        let s = Series::response_vs_gross("GS", &pts);
+        assert_eq!(s.points.len(), 1);
+        assert_eq!(s.points[0], (0.29, 500.0));
+        let n = Series::response_vs_net("GS", &pts);
+        assert_eq!(n.points[0], (0.25, 500.0));
+    }
+
+    #[test]
+    fn crossing_interpolation() {
+        let s = Series { name: "x".into(), points: vec![(0.2, 100.0), (0.4, 300.0), (0.6, 900.0)] };
+        let x = utilization_at_response(&s, 200.0).expect("crosses 200");
+        assert!((x - 0.3).abs() < 1e-12);
+        assert!(utilization_at_response(&s, 50.0).is_none());
+        assert!(utilization_at_response(&s, 2000.0).is_none());
+    }
+}
+
+/// Renders data series as a fixed-size ASCII scatter plot, one glyph per
+/// series — enough to eyeball the response-time curves in a terminal
+/// without leaving the harness.
+pub fn ascii_plot(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 4, "plot too small to be readable");
+    const GLYPHS: &[char] = &['*', '+', 'o', 'x', '#', '@', '%', '&'];
+    let points: Vec<(f64, f64)> =
+        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if points.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for &(x, y) in &points {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if x1 <= x0 {
+        x1 = x0 + 1.0;
+    }
+    if y1 <= y0 {
+        y1 = y0 + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let col = (((x - x0) / (x1 - x0)) * (width - 1) as f64).round() as usize;
+            let row = (((y - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row; // y grows upward
+            grid[row.min(height - 1)][col.min(width - 1)] = glyph;
+        }
+    }
+    out.push_str(&format!("{y1:>10.0} ┤"));
+    out.push_str(&grid[0].iter().collect::<String>());
+    out.push('\n');
+    for row in grid.iter().take(height - 1).skip(1) {
+        out.push_str(&format!("{:>10} ┤", ""));
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{y0:>10.0} ┤"));
+    out.push_str(&grid[height - 1].iter().collect::<String>());
+    out.push('\n');
+    out.push_str(&format!("{:>11}└{}\n", "", "─".repeat(width)));
+    out.push_str(&format!("{:>12}{x0:<10.3}{:>pad$}{x1:>10.3}\n", "", "", pad = width.saturating_sub(20)));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("{:>12}{} {}\n", "", GLYPHS[si % GLYPHS.len()], s.name));
+    }
+    out
+}
+
+#[cfg(test)]
+mod ascii_tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series { name: "LS".into(), points: vec![(0.3, 400.0), (0.5, 800.0), (0.7, 3000.0)] },
+            Series { name: "SC".into(), points: vec![(0.3, 350.0), (0.5, 600.0), (0.7, 1500.0)] },
+        ]
+    }
+
+    #[test]
+    fn plot_contains_axes_and_legend() {
+        let text = ascii_plot("demo", &demo_series(), 40, 10);
+        assert!(text.starts_with("demo\n"));
+        assert!(text.contains("* LS"));
+        assert!(text.contains("+ SC"));
+        assert!(text.contains("3000"), "y max label:\n{text}");
+        assert!(text.contains("0.300"), "x min label:\n{text}");
+        assert!(text.contains("0.700"), "x max label:\n{text}");
+        // Both glyphs actually plotted.
+        assert!(text.contains('*') && text.contains('+'));
+    }
+
+    #[test]
+    fn empty_series_is_graceful() {
+        let text = ascii_plot("empty", &[], 40, 10);
+        assert!(text.contains("(no data)"));
+    }
+
+    #[test]
+    fn single_point_does_not_divide_by_zero() {
+        let s = vec![Series { name: "p".into(), points: vec![(0.5, 100.0)] }];
+        let text = ascii_plot("one", &s, 20, 5);
+        assert!(text.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_plot_rejected() {
+        ascii_plot("x", &[], 3, 2);
+    }
+}

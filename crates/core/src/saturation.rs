@@ -1,0 +1,274 @@
+//! Maximal-utilization measurement (§4, Table 3).
+//!
+//! "In these simulations, we maintain a constant backlog and observe the
+//! time-average fraction of processors being busy, which yields the
+//! maximal gross utilization."
+//!
+//! The queue(s) are never allowed to drain: whenever the backlog falls
+//! below a floor, fresh jobs are appended at the current simulation time.
+//! After a warm-up period the time-average busy fraction converges to the
+//! saturation throughput of the policy. The paper applies the method to
+//! the single-global-queue policies (GS and SC); it is implemented for
+//! every policy here, but for LS/LP the result depends on the backlog
+//! composition, so Table 3 only reports GS and SC.
+
+use coalloc_workload::{QueueRouting, Workload};
+use desim::{RngStream, SimTime, Simulation};
+
+use crate::job::{ActiveJob, JobId, JobTable};
+use crate::placement::PlacementRule;
+use crate::policy::{PolicyKind, Scheduler};
+use crate::system::MultiCluster;
+
+/// Configuration of a constant-backlog saturation run.
+#[derive(Clone, Debug)]
+pub struct SaturationConfig {
+    /// The scheduling policy under test.
+    pub policy: PolicyKind,
+    /// The workload model.
+    pub workload: Workload,
+    /// Routing of backlog refills to local queues (LS/LP).
+    pub routing: QueueRouting,
+    /// Cluster capacities.
+    pub capacities: Vec<u32>,
+    /// Backlog floor: refill whenever fewer jobs wait.
+    pub backlog: usize,
+    /// Departures to discard as warm-up.
+    pub warmup_departures: u64,
+    /// Departures to measure over after warm-up.
+    pub measured_departures: u64,
+    /// Placement rule.
+    pub rule: PlacementRule,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl SaturationConfig {
+    /// Table 3's setup: GS on the 4×32 multicluster under the DAS
+    /// workload with the given component-size limit.
+    pub fn das_gs(limit: u32) -> Self {
+        SaturationConfig {
+            policy: PolicyKind::Gs,
+            workload: Workload::das(limit),
+            routing: QueueRouting::balanced(4),
+            capacities: vec![32; 4],
+            backlog: 50,
+            warmup_departures: 3_000,
+            measured_departures: 30_000,
+            rule: PlacementRule::WorstFit,
+            seed: 2003,
+        }
+    }
+
+    /// The SC baseline: FCFS over one 128-processor cluster with total
+    /// requests.
+    pub fn das_sc() -> Self {
+        SaturationConfig {
+            policy: PolicyKind::Sc,
+            workload: Workload::single_cluster(),
+            routing: QueueRouting::balanced(1),
+            capacities: vec![128],
+            ..SaturationConfig::das_gs(16)
+        }
+    }
+
+    fn capacity(&self) -> u32 {
+        self.capacities.iter().sum()
+    }
+}
+
+/// The outcome of a saturation run.
+#[derive(Clone, Copy, Debug, serde::Serialize, serde::Deserialize)]
+pub struct SaturationResult {
+    /// Maximal gross utilization: time-average busy fraction under
+    /// constant backlog.
+    pub max_gross_utilization: f64,
+    /// Maximal net utilization: gross divided by the workload's
+    /// gross/net ratio (§4).
+    pub max_net_utilization: f64,
+    /// Departures measured.
+    pub departures: u64,
+    /// Measurement window in simulated seconds.
+    pub window_seconds: f64,
+}
+
+/// Runs a constant-backlog simulation and returns the maximal
+/// utilizations.
+pub fn maximal_utilization(cfg: &SaturationConfig) -> SaturationResult {
+    assert!(cfg.backlog > 0, "backlog must be positive");
+    assert!(cfg.measured_departures > 0);
+
+    let master = RngStream::new(cfg.seed);
+    let mut size_rng = master.labelled("sizes");
+    let mut service_rng = master.labelled("service");
+    let routing_rng = master.labelled("routing");
+
+    let mut system = MultiCluster::new(&cfg.capacities);
+    let mut policy: Box<dyn Scheduler> =
+        cfg.policy.build(cfg.capacities.len(), cfg.routing.clone(), routing_rng, cfg.rule);
+    let mut table = JobTable::new();
+
+    let mut sim: Simulation<JobId> = Simulation::new();
+    let mut busy = desim::TimeWeighted::new(SimTime::ZERO, 0.0);
+    let mut departures: u64 = 0;
+    let mut window_start = SimTime::ZERO;
+    let total = cfg.warmup_departures + cfg.measured_departures;
+
+    // Refill the backlog, run a scheduling pass, schedule departures.
+    let mut refill_and_schedule =
+        |sim: &mut Simulation<JobId>,
+         policy: &mut Box<dyn Scheduler>,
+         system: &mut MultiCluster,
+         table: &mut JobTable,
+         busy: &mut desim::TimeWeighted| {
+            let now = sim.now();
+            while policy.queued() < cfg.backlog {
+                let spec = cfg.workload.sample(&mut size_rng, &mut service_rng);
+                let queue = policy.route(&spec);
+                let id = table.insert(ActiveJob::new(spec, now, queue));
+                policy.enqueue(id, queue);
+            }
+            for id in policy.schedule(now, system, table) {
+                let occupancy = table.get(id).occupancy_in(&cfg.workload);
+                busy.add(now, f64::from(table.get(id).spec.request.total()));
+                sim.schedule_at(now + occupancy, id);
+            }
+        };
+
+    refill_and_schedule(&mut sim, &mut policy, &mut system, &mut table, &mut busy);
+
+    while departures < total {
+        let Some(ev) = sim.step() else {
+            panic!("constant-backlog run starved: no running jobs left");
+        };
+        let now = sim.now();
+        let id = ev.payload;
+        let placement = table.get(id).placement.clone().expect("job was started");
+        system.release(&placement);
+        busy.add(now, -f64::from(placement.total()));
+        policy.on_departure();
+        departures += 1;
+        if departures == cfg.warmup_departures {
+            busy.reset_window(now);
+            window_start = now;
+        }
+        refill_and_schedule(&mut sim, &mut policy, &mut system, &mut table, &mut busy);
+    }
+
+    let now = sim.now();
+    let gross = busy.average(now) / f64::from(cfg.capacity());
+    let ratio = cfg.workload.gross_net_ratio();
+    SaturationResult {
+        max_gross_utilization: gross,
+        max_net_utilization: gross / ratio,
+        departures: departures - cfg.warmup_departures,
+        window_seconds: (now - window_start).seconds(),
+    }
+}
+
+/// Finds the maximal stable utilization of *any* policy by bisection on
+/// open-system runs: the paper's constant-backlog method is only valid
+/// for single-global-queue policies (GS, SC), while this search works
+/// for LS and LP too — the backlog at the end of the arrival process
+/// tells stable from unstable.
+///
+/// `make_cfg` builds the run for a target offered gross utilization;
+/// the search narrows `[lo, hi]` until `hi - lo <= tolerance` and
+/// returns the last stable utilization found.
+pub fn bisect_max_utilization<F>(make_cfg: F, mut lo: f64, mut hi: f64, tolerance: f64) -> f64
+where
+    F: Fn(f64) -> crate::sim::SimConfig,
+{
+    assert!(0.0 < lo && lo < hi && hi <= 2.0, "search bounds must satisfy 0 < lo < hi <= 2");
+    assert!(tolerance > 0.0);
+    // The bounds must bracket the threshold.
+    debug_assert!(!crate::sim::run(&make_cfg(lo)).saturated, "lo must be stable");
+    while hi - lo > tolerance {
+        let mid = 0.5 * (lo + hi);
+        if crate::sim::run(&make_cfg(mid)).saturated {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(mut cfg: SaturationConfig) -> SaturationConfig {
+        cfg.warmup_departures = 500;
+        cfg.measured_departures = 4_000;
+        cfg
+    }
+
+    #[test]
+    fn saturation_is_between_zero_and_one() {
+        let r = maximal_utilization(&quick(SaturationConfig::das_gs(16)));
+        assert!(
+            r.max_gross_utilization > 0.3 && r.max_gross_utilization < 1.0,
+            "gross {}",
+            r.max_gross_utilization
+        );
+        assert!(r.max_net_utilization < r.max_gross_utilization);
+        assert!(r.window_seconds > 0.0);
+        assert_eq!(r.departures, 4_000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = quick(SaturationConfig::das_gs(24));
+        let a = maximal_utilization(&cfg);
+        let b = maximal_utilization(&cfg);
+        assert_eq!(a.max_gross_utilization, b.max_gross_utilization);
+    }
+
+    #[test]
+    fn single_size_jobs_saturate_fully() {
+        // Jobs of exactly one cluster each: the backlog keeps every
+        // cluster permanently busy -> utilization ≈ 1.
+        let mut cfg = quick(SaturationConfig::das_gs(32));
+        cfg.workload.sizes = coalloc_workload::JobSizeDist::custom("32s", &[(32, 1.0)]);
+        cfg.workload.extension = 1.0;
+        let r = maximal_utilization(&cfg);
+        assert!(r.max_gross_utilization > 0.999, "gross {}", r.max_gross_utilization);
+        assert!((r.max_net_utilization - r.max_gross_utilization).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bisection_matches_constant_backlog_for_gs() {
+        // The two methods estimate the same quantity for GS.
+        let backlog = {
+            let mut cfg = quick(SaturationConfig::das_gs(16));
+            cfg.measured_departures = 10_000;
+            maximal_utilization(&cfg).max_gross_utilization
+        };
+        let bisect = bisect_max_utilization(
+            |util| {
+                let mut cfg = crate::sim::SimConfig::das(PolicyKind::Gs, 16, util);
+                cfg.total_jobs = 12_000;
+                cfg.warmup_jobs = 1_200;
+                cfg
+            },
+            0.3,
+            1.0,
+            0.02,
+        );
+        assert!(
+            (bisect - backlog).abs() < 0.06,
+            "bisection {bisect:.3} vs constant-backlog {backlog:.3}"
+        );
+    }
+
+    #[test]
+    fn sc_baseline_runs() {
+        let r = maximal_utilization(&quick(SaturationConfig::das_sc()));
+        assert!(
+            r.max_gross_utilization > 0.4 && r.max_gross_utilization < 1.0,
+            "gross {}",
+            r.max_gross_utilization
+        );
+    }
+}

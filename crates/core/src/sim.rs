@@ -1,0 +1,485 @@
+//! The simulation loop: arrivals, scheduling passes, departures.
+
+use coalloc_workload::{QueueRouting, Workload};
+use desim::{Duration, RngStream, Simulation};
+
+use crate::feed::{JobFeed, StochasticFeed, TraceFeed};
+use crate::job::{ActiveJob, JobId, JobTable};
+use crate::metrics::{Metrics, MetricsReport};
+use crate::placement::PlacementRule;
+use crate::policy::{PolicyKind, Scheduler};
+use crate::system::MultiCluster;
+
+/// Events driving the co-allocation simulation.
+#[derive(Debug, Clone, Copy)]
+enum SimEvent {
+    /// The next job arrives.
+    Arrival,
+    /// A running job finishes and releases its processors.
+    Departure(JobId),
+}
+
+/// Configuration of a single simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// The scheduling policy under test.
+    pub policy: PolicyKind,
+    /// The workload model (sizes, service times, limit, extension).
+    pub workload: Workload,
+    /// Routing of jobs to local queues (LS: all jobs; LP: single-
+    /// component jobs; ignored by GS/SC).
+    pub routing: QueueRouting,
+    /// Cluster capacities.
+    pub capacities: Vec<u32>,
+    /// Job arrival rate (jobs per second).
+    pub arrival_rate: f64,
+    /// Squared coefficient of variation of the interarrival times
+    /// (1.0 = the paper's Poisson arrivals; > 1 = burstier renewals).
+    pub arrival_cv2: f64,
+    /// Number of arrivals to generate.
+    pub total_jobs: u64,
+    /// Departures to discard as warm-up before the observation window.
+    pub warmup_jobs: u64,
+    /// Batch size for the batch-means response-time estimate.
+    pub batch_size: u64,
+    /// Component placement rule (the paper uses Worst Fit).
+    pub rule: PlacementRule,
+    /// Master seed; two runs with equal config and seed are identical.
+    pub seed: u64,
+    /// Record the raw response series in the outcome (one `f64` per
+    /// measured departure) for warm-up / autocorrelation analysis.
+    pub record_series: bool,
+}
+
+impl SimConfig {
+    /// The paper's multicluster setup: a 4×32 system under the DAS
+    /// workload with the given component-size limit and target gross
+    /// utilization, balanced local queues.
+    pub fn das(policy: PolicyKind, limit: u32, target_gross_util: f64) -> Self {
+        let workload = Workload::das(limit);
+        let rate = workload.rate_for_gross_utilization(target_gross_util, 128);
+        SimConfig {
+            policy,
+            workload,
+            routing: QueueRouting::balanced(4),
+            capacities: vec![32; 4],
+            arrival_rate: rate,
+            arrival_cv2: 1.0,
+            total_jobs: 60_000,
+            warmup_jobs: 5_000,
+            batch_size: 500,
+            rule: PlacementRule::WorstFit,
+            seed: 2003,
+            record_series: false,
+        }
+    }
+
+    /// The paper's single-cluster baseline: SC over 128 processors with
+    /// total requests at the given target gross utilization.
+    pub fn das_single_cluster(target_gross_util: f64) -> Self {
+        let workload = Workload::single_cluster();
+        let rate = workload.rate_for_gross_utilization(target_gross_util, 128);
+        SimConfig {
+            policy: PolicyKind::Sc,
+            workload,
+            routing: QueueRouting::balanced(1),
+            capacities: vec![128],
+            arrival_rate: rate,
+            arrival_cv2: 1.0,
+            total_jobs: 60_000,
+            warmup_jobs: 5_000,
+            batch_size: 500,
+            rule: PlacementRule::WorstFit,
+            seed: 2003,
+            record_series: false,
+        }
+    }
+
+    /// Switches to the unbalanced 40/20/20/20 routing (§3.1.2).
+    pub fn unbalanced(mut self) -> Self {
+        self.routing = QueueRouting::unbalanced(self.capacities.len());
+        self
+    }
+
+    /// Replaces the seed (for replications).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total processors in the configured system.
+    pub fn capacity(&self) -> u32 {
+        self.capacities.iter().sum()
+    }
+
+    /// The offered gross utilization this configuration generates.
+    pub fn offered_gross_utilization(&self) -> f64 {
+        self.arrival_rate * self.workload.mean_gross_work() / f64::from(self.capacity())
+    }
+
+    fn validate(&self) {
+        assert!(!self.capacities.is_empty(), "need at least one cluster");
+        assert!(self.arrival_rate > 0.0, "arrival rate must be positive");
+        assert!(self.arrival_cv2 >= 1.0, "interarrival CV^2 must be >= 1");
+        assert!(self.total_jobs > 0, "need at least one job");
+        assert!(self.warmup_jobs < self.total_jobs, "warm-up must leave jobs to measure");
+        if self.policy.has_local_queues() {
+            assert_eq!(
+                self.routing.queues(),
+                self.capacities.len(),
+                "routing must have one weight per cluster"
+            );
+        }
+        let max_size = self.workload.sizes.max_size();
+        assert!(
+            max_size <= self.capacity(),
+            "jobs of size {max_size} can never fit in {} processors",
+            self.capacity()
+        );
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct SimOutcome {
+    /// Policy label.
+    pub policy: String,
+    /// The offered gross utilization (from the arrival rate).
+    pub offered_gross_utilization: f64,
+    /// Everything measured in the observation window.
+    pub metrics: MetricsReport,
+    /// Arrivals generated.
+    pub arrivals: u64,
+    /// Jobs completed over the whole run.
+    pub completed: u64,
+    /// Jobs still waiting in queues when the run ended.
+    pub residual_queued: usize,
+    /// Jobs waiting at the instant the last arrival was generated — the
+    /// backlog an ever-running system would carry.
+    pub backlog_at_last_arrival: usize,
+    /// Largest backlog seen during the run.
+    pub peak_backlog: usize,
+    /// Whether the run shows saturation: at the end of the arrival
+    /// process a substantial fraction of all jobs was still waiting
+    /// (queues grow without bound in steady state).
+    pub saturated: bool,
+    /// Final simulated time in seconds.
+    pub end_time: f64,
+    /// Raw response series (empty unless `record_series` was set).
+    pub response_series: Vec<f64>,
+}
+
+/// Runs one simulation to completion (all arrivals generated, then the
+/// system drained of *running* jobs; waiting jobs that can never start
+/// are left queued and reported).
+pub fn run(cfg: &SimConfig) -> SimOutcome {
+    cfg.validate();
+    let master = RngStream::new(cfg.seed);
+    let mut feed = StochasticFeed::new(
+        cfg.workload.clone(),
+        cfg.arrival_rate,
+        cfg.arrival_cv2,
+        cfg.total_jobs,
+        &master,
+    );
+    run_with_feed(cfg, &mut feed, cfg.offered_gross_utilization())
+}
+
+/// Runs a *trace-driven* simulation: the log's submit times (compressed
+/// by `time_scale`; values < 1 raise the offered load), sizes (split
+/// under the workload's limit) and runtimes replace the stochastic
+/// sampling. The workload's size/service distributions are ignored; its
+/// limit, clusters and extension model still apply.
+pub fn run_trace(cfg: &SimConfig, trace: &coalloc_trace::Trace, time_scale: f64) -> SimOutcome {
+    let mut cfg = cfg.clone();
+    cfg.total_jobs = trace.len() as u64;
+    cfg.validate();
+    let mut feed =
+        TraceFeed::new(trace, cfg.workload.limit, cfg.workload.clusters, time_scale);
+    // Offered gross utilization of the replay: the trace's gross work
+    // over its (scaled) span times the capacity.
+    let span = trace.jobs.last().expect("non-empty").submit * time_scale;
+    let ratio = cfg.workload.gross_net_ratio();
+    let work: f64 =
+        trace.jobs.iter().map(|j| f64::from(j.size) * j.runtime).sum::<f64>() * ratio;
+    let offered = if span > 0.0 { work / (span * f64::from(cfg.capacity())) } else { f64::NAN };
+    run_with_feed(&cfg, &mut feed, offered)
+}
+
+/// The shared event loop, driven by any [`JobFeed`].
+pub fn run_with_feed(cfg: &SimConfig, feed: &mut dyn JobFeed, offered: f64) -> SimOutcome {
+    let master = RngStream::new(cfg.seed);
+    let routing_rng = master.labelled("routing");
+
+    let mut system = MultiCluster::new(&cfg.capacities);
+    let mut policy: Box<dyn Scheduler> = cfg.policy.build(
+        cfg.capacities.len(),
+        cfg.routing.clone(),
+        routing_rng,
+        cfg.rule,
+    );
+    let mut table = JobTable::with_capacity(cfg.total_jobs as usize);
+    let queues = policy.queue_lengths().len();
+    let mut metrics = Metrics::new(cfg.capacity(), queues, cfg.batch_size);
+    if cfg.record_series {
+        metrics.record_series();
+    }
+
+    let mut sim: Simulation<SimEvent> = Simulation::new();
+    let mut pending: Option<coalloc_workload::JobSpec> = None;
+    if let Some((t, spec)) = feed.next_job() {
+        pending = Some(spec);
+        sim.schedule_at(t, SimEvent::Arrival);
+    }
+
+    let mut generated: u64 = 0;
+    let mut completed: u64 = 0;
+    let mut backlog_at_last_arrival: usize = 0;
+    let mut peak_backlog: usize = 0;
+    let warmup_done = |completed: u64| completed >= cfg.warmup_jobs;
+
+    while let Some(ev) = sim.step() {
+        let now = sim.now();
+        match ev.payload {
+            SimEvent::Arrival => {
+                generated += 1;
+                let spec = pending.take().expect("an Arrival always has a pending spec");
+                let queue = policy.route(&spec);
+                let id = table.insert(ActiveJob::new(spec, now, queue));
+                policy.enqueue(id, queue);
+                metrics.record_arrival(now);
+                if let Some((t, spec)) = feed.next_job() {
+                    pending = Some(spec);
+                    sim.schedule_at(t.max(now), SimEvent::Arrival);
+                } else {
+                    backlog_at_last_arrival = policy.queued();
+                }
+            }
+            SimEvent::Departure(id) => {
+                let placement =
+                    table.get(id).placement.clone().expect("departing job was started");
+                system.release(&placement);
+                metrics.record_release(now, placement.total());
+                metrics.record_exit(now);
+                completed += 1;
+                if completed == cfg.warmup_jobs {
+                    metrics.reset_window(now);
+                } else if warmup_done(completed) {
+                    metrics.record_departure(now, table.get(id));
+                }
+                policy.on_departure();
+            }
+        }
+        // A scheduling pass follows every arrival and every departure.
+        for id in policy.schedule(now, &mut system, &mut table) {
+            let job = table.get(id);
+            let occupancy: Duration = job.occupancy_in(&cfg.workload);
+            let procs = job.spec.request.total();
+            metrics.record_allocate(now, procs);
+            sim.schedule_at(now + occupancy, SimEvent::Departure(id));
+        }
+        metrics.record_queue_length(now, policy.queued());
+        peak_backlog = peak_backlog.max(policy.queued());
+        debug_assert!(
+            system.total_busy() <= cfg.capacity(),
+            "more processors busy than exist"
+        );
+    }
+
+    let now = sim.now();
+    let residual = policy.queued();
+    // Saturation heuristic: if a non-trivial share of all generated jobs
+    // was still waiting when the arrival process ended, the queues were
+    // growing without bound (the post-arrival drain always empties them,
+    // so the *final* residual is not informative; jobs that can never
+    // fit are the exception and show up in `residual_queued`).
+    let saturated =
+        backlog_at_last_arrival as f64 > (0.02 * cfg.total_jobs as f64).max(50.0) || residual > 0;
+
+    let report = metrics.report(now);
+    SimOutcome {
+        policy: cfg.policy.label().to_string(),
+        offered_gross_utilization: offered,
+        metrics: report,
+        arrivals: generated,
+        completed,
+        residual_queued: residual,
+        backlog_at_last_arrival,
+        peak_backlog,
+        saturated,
+        end_time: now.seconds(),
+        response_series: metrics.take_series(),
+    }
+}
+
+/// Convenience: the observation-window mean response time of a run.
+pub fn mean_response(cfg: &SimConfig) -> f64 {
+    run(cfg).metrics.mean_response
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(policy: PolicyKind, limit: u32, util: f64) -> SimConfig {
+        let mut cfg = SimConfig::das(policy, limit, util);
+        cfg.total_jobs = 6_000;
+        cfg.warmup_jobs = 1_000;
+        cfg.batch_size = 100;
+        cfg
+    }
+
+    #[test]
+    fn run_completes_and_conserves_jobs() {
+        let cfg = quick(PolicyKind::Gs, 16, 0.4);
+        let out = run(&cfg);
+        assert_eq!(out.arrivals, 6_000);
+        assert_eq!(out.completed as usize + out.residual_queued, 6_000);
+        assert!(!out.saturated, "residual {}", out.residual_queued);
+        assert!(out.metrics.mean_response > 0.0);
+        assert!(out.end_time > 0.0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let cfg = quick(PolicyKind::Ls, 16, 0.5);
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.metrics.mean_response, b.metrics.mean_response);
+        assert_eq!(a.completed, b.completed);
+        let c = run(&cfg.clone().with_seed(999));
+        assert_ne!(a.metrics.mean_response, c.metrics.mean_response);
+    }
+
+    #[test]
+    fn measured_utilization_tracks_offered() {
+        let cfg = quick(PolicyKind::Gs, 32, 0.4);
+        let out = run(&cfg);
+        let offered = out.offered_gross_utilization;
+        assert!((offered - 0.4).abs() < 1e-9);
+        assert!(
+            (out.metrics.gross_utilization - offered).abs() < 0.08,
+            "measured {} vs offered {offered}",
+            out.metrics.gross_utilization
+        );
+        // Gross exceeds net by roughly the closed-form ratio.
+        let ratio = out.metrics.gross_utilization / out.metrics.net_utilization;
+        let expected = cfg.workload.gross_net_ratio();
+        assert!((ratio - expected).abs() < 0.05, "ratio {ratio} vs {expected}");
+    }
+
+    #[test]
+    fn all_policies_run_at_moderate_load() {
+        for policy in [PolicyKind::Gs, PolicyKind::Ls, PolicyKind::Lp] {
+            let out = run(&quick(policy, 16, 0.3));
+            assert!(!out.saturated, "{policy} saturated at 0.3");
+            assert!(out.metrics.departures > 0, "{policy}");
+        }
+        let sc = {
+            let mut cfg = SimConfig::das_single_cluster(0.3);
+            cfg.total_jobs = 6_000;
+            cfg.warmup_jobs = 1_000;
+            run(&cfg)
+        };
+        assert!(!sc.saturated);
+    }
+
+    #[test]
+    fn overload_is_detected_as_saturation() {
+        let cfg = quick(PolicyKind::Gs, 16, 1.4);
+        let out = run(&cfg);
+        assert!(out.saturated, "offered 1.4 must saturate; residual {}", out.residual_queued);
+    }
+
+    #[test]
+    fn response_includes_extension() {
+        // At very low load every job starts immediately: single-component
+        // mean response ≈ mean base service; multi-component ≈ 1.25×.
+        let mut cfg = quick(PolicyKind::Gs, 16, 0.05);
+        cfg.total_jobs = 4_000;
+        cfg.warmup_jobs = 500;
+        let out = run(&cfg);
+        let m = &out.metrics;
+        let base = cfg.workload.service.mean_secs();
+        assert!(
+            (m.response_single - base).abs() < 0.1 * base,
+            "single {} vs base {base}",
+            m.response_single
+        );
+        assert!(
+            (m.response_multi - 1.25 * base).abs() < 0.1 * base,
+            "multi {} vs extended {}",
+            m.response_multi,
+            1.25 * base
+        );
+    }
+
+    #[test]
+    fn sc_has_no_multi_jobs() {
+        let mut cfg = SimConfig::das_single_cluster(0.4);
+        cfg.total_jobs = 4_000;
+        cfg.warmup_jobs = 500;
+        let out = run(&cfg);
+        assert_eq!(out.metrics.response_multi, 0.0, "no multi-component jobs under SC");
+        // Gross equals net for SC (no extension applies).
+        let m = &out.metrics;
+        assert!(
+            (m.gross_utilization - m.net_utilization).abs() < 0.01,
+            "gross {} vs net {}",
+            m.gross_utilization,
+            m.net_utilization
+        );
+    }
+}
+
+#[cfg(test)]
+mod trace_replay_tests {
+    use super::*;
+    use coalloc_trace::{generate_das1_log, DasLogConfig};
+
+    #[test]
+    fn replay_runs_the_whole_log() {
+        let log = generate_das1_log(&DasLogConfig { jobs: 4_000, ..Default::default() });
+        let mut cfg = SimConfig::das(PolicyKind::Ls, 16, 0.5); // rate ignored
+        cfg.warmup_jobs = 400;
+        let out = run_trace(&cfg, &log, 1.0);
+        assert_eq!(out.arrivals, 4_000);
+        assert_eq!(out.completed as usize + out.residual_queued, 4_000);
+        assert!(out.metrics.mean_response > 0.0);
+        assert!(out.offered_gross_utilization.is_finite());
+    }
+
+    #[test]
+    fn compressing_time_raises_load_and_response() {
+        let log = generate_das1_log(&DasLogConfig { jobs: 6_000, ..Default::default() });
+        let mut cfg = SimConfig::das(PolicyKind::Gs, 16, 0.5);
+        cfg.warmup_jobs = 600;
+        let relaxed = run_trace(&cfg, &log, 1.0);
+        let compressed = run_trace(&cfg, &log, 0.25);
+        assert!(
+            compressed.offered_gross_utilization > 2.0 * relaxed.offered_gross_utilization,
+            "offered {} vs {}",
+            compressed.offered_gross_utilization,
+            relaxed.offered_gross_utilization
+        );
+        assert!(
+            compressed.metrics.mean_response > relaxed.metrics.mean_response,
+            "response {} vs {}",
+            compressed.metrics.mean_response,
+            relaxed.metrics.mean_response
+        );
+    }
+
+    #[test]
+    fn replay_is_deterministic_per_policy() {
+        let log = generate_das1_log(&DasLogConfig { jobs: 2_000, ..Default::default() });
+        let cfg = {
+            let mut c = SimConfig::das(PolicyKind::Lp, 16, 0.5);
+            c.warmup_jobs = 200;
+            c
+        };
+        let a = run_trace(&cfg, &log, 1.0);
+        let b = run_trace(&cfg, &log, 1.0);
+        assert_eq!(a.metrics.mean_response, b.metrics.mean_response);
+    }
+}

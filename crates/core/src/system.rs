@@ -1,0 +1,119 @@
+//! The multicluster system (§2.2): `C` clusters of possibly different
+//! sizes with identical processor service rates.
+
+use crate::cluster::Cluster;
+use crate::job::Placement;
+
+/// The processors of a multicluster system.
+#[derive(Clone, Debug)]
+pub struct MultiCluster {
+    clusters: Vec<Cluster>,
+}
+
+impl MultiCluster {
+    /// Builds a system from per-cluster capacities.
+    pub fn new(capacities: &[u32]) -> Self {
+        assert!(!capacities.is_empty(), "a system needs at least one cluster");
+        MultiCluster { clusters: capacities.iter().map(|&c| Cluster::new(c)).collect() }
+    }
+
+    /// The paper's simulated multicluster: 4 clusters of 32 processors.
+    pub fn das_multicluster() -> Self {
+        MultiCluster::new(&[32, 32, 32, 32])
+    }
+
+    /// The paper's single-cluster comparison system: 128 processors.
+    pub fn das_single_cluster() -> Self {
+        MultiCluster::new(&[128])
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Total processors across all clusters.
+    pub fn total_capacity(&self) -> u32 {
+        self.clusters.iter().map(Cluster::capacity).sum()
+    }
+
+    /// Total busy processors.
+    pub fn total_busy(&self) -> u32 {
+        self.clusters.iter().map(Cluster::busy).sum()
+    }
+
+    /// Idle processors in each cluster.
+    pub fn idle_per_cluster(&self) -> Vec<u32> {
+        self.clusters.iter().map(Cluster::idle).collect()
+    }
+
+    /// Idle processors in one cluster.
+    pub fn idle(&self, cluster: usize) -> u32 {
+        self.clusters[cluster].idle()
+    }
+
+    /// Capacity of one cluster.
+    pub fn capacity(&self, cluster: usize) -> u32 {
+        self.clusters[cluster].capacity()
+    }
+
+    /// Applies a placement: allocates every component's processors.
+    ///
+    /// # Panics
+    /// Panics (in [`Cluster::allocate`]) if the placement does not fit —
+    /// placements must come from a fit check against the current state.
+    pub fn apply(&mut self, placement: &Placement) {
+        for &(cluster, procs) in placement.assignments() {
+            self.clusters[cluster].allocate(procs);
+        }
+    }
+
+    /// Undoes a placement: releases every component's processors.
+    pub fn release(&mut self, placement: &Placement) {
+        for &(cluster, procs) in placement.assignments() {
+            self.clusters[cluster].release(procs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn das_geometries() {
+        let mc = MultiCluster::das_multicluster();
+        assert_eq!(mc.num_clusters(), 4);
+        assert_eq!(mc.total_capacity(), 128);
+        let sc = MultiCluster::das_single_cluster();
+        assert_eq!(sc.num_clusters(), 1);
+        assert_eq!(sc.total_capacity(), 128);
+    }
+
+    #[test]
+    fn apply_and_release_roundtrip() {
+        let mut mc = MultiCluster::das_multicluster();
+        let p = Placement::new(vec![(0, 16), (2, 16), (3, 10)]);
+        mc.apply(&p);
+        assert_eq!(mc.total_busy(), 42);
+        assert_eq!(mc.idle_per_cluster(), vec![16, 32, 16, 22]);
+        mc.release(&p);
+        assert_eq!(mc.total_busy(), 0);
+    }
+
+    #[test]
+    fn heterogeneous_capacities() {
+        // The DAS2 itself is 72+32+32+32+32; the model allows different
+        // cluster sizes even though the paper simulates equal ones.
+        let mc = MultiCluster::new(&[72, 32, 32, 32, 32]);
+        assert_eq!(mc.total_capacity(), 200);
+        assert_eq!(mc.capacity(0), 72);
+        assert_eq!(mc.idle(0), 72);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn empty_system_rejected() {
+        MultiCluster::new(&[]);
+    }
+}

@@ -1,0 +1,484 @@
+//! Future-event lists.
+//!
+//! Two interchangeable implementations of the pending-event set are
+//! provided:
+//!
+//! * [`HeapCalendar`] — a binary heap, `O(log n)` per operation, the
+//!   default and the right choice for the event populations this simulator
+//!   produces (tens of thousands of pending events at most).
+//! * [`CalendarQueue`] — R. Brown's calendar queue, amortized `O(1)` per
+//!   operation under stationary event-time distributions; kept as an
+//!   ablation target (see the `calendar` Criterion bench) and property-
+//!   tested for equivalence with the heap.
+//!
+//! Both support cancellation through [`EventId`] handles using lazy
+//! deletion: a cancelled id is remembered and the entry discarded when it
+//! surfaces, so cancellation is `O(1)`.
+
+use std::collections::HashSet;
+
+use crate::event::{Event, EventId};
+use crate::time::SimTime;
+
+/// The pending-event set abstraction used by the simulation engine.
+pub trait EventCalendar<E> {
+    /// Inserts a scheduled event.
+    fn insert(&mut self, ev: Event<E>);
+
+    /// Cancels a previously inserted event. Returns `true` if the event was
+    /// still pending (i.e. had not fired and had not already been
+    /// cancelled).
+    fn cancel(&mut self, id: EventId) -> bool;
+
+    /// Removes and returns the earliest pending event (FIFO among equal
+    /// times).
+    fn pop(&mut self) -> Option<Event<E>>;
+
+    /// The time of the earliest pending event without removing it.
+    fn peek_time(&mut self) -> Option<SimTime>;
+
+    /// Number of live (non-cancelled) pending events.
+    fn len(&self) -> usize;
+
+    /// Whether no live events remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary-heap calendar
+// ---------------------------------------------------------------------------
+
+struct HeapEntry<E>(Event<E>);
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key() == other.0.key()
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
+        other.0.key().cmp(&self.0.key())
+    }
+}
+
+/// Binary-heap future-event list with lazy cancellation.
+///
+/// The set of live (inserted, not yet popped or cancelled) ids is tracked
+/// explicitly, so cancelling a stale handle — one that already fired or
+/// was already cancelled — is a safe no-op rather than a count corruption.
+pub struct HeapCalendar<E> {
+    heap: std::collections::BinaryHeap<HeapEntry<E>>,
+    live_ids: HashSet<u64>,
+}
+
+impl<E> Default for HeapCalendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> HeapCalendar<E> {
+    /// Creates an empty calendar.
+    pub fn new() -> Self {
+        HeapCalendar { heap: std::collections::BinaryHeap::new(), live_ids: HashSet::new() }
+    }
+
+    /// Creates an empty calendar with room for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        HeapCalendar {
+            heap: std::collections::BinaryHeap::with_capacity(cap),
+            live_ids: HashSet::with_capacity(cap),
+        }
+    }
+
+    /// Discards cancelled entries sitting at the top of the heap.
+    fn skim(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.live_ids.contains(&top.0.id.0) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+}
+
+impl<E> EventCalendar<E> for HeapCalendar<E> {
+    fn insert(&mut self, ev: Event<E>) {
+        assert!(self.live_ids.insert(ev.id.0), "duplicate event id {:?}", ev.id);
+        self.heap.push(HeapEntry(ev));
+    }
+
+    fn cancel(&mut self, id: EventId) -> bool {
+        self.live_ids.remove(&id.0)
+    }
+
+    fn pop(&mut self) -> Option<Event<E>> {
+        self.skim();
+        let ev = self.heap.pop()?.0;
+        self.live_ids.remove(&ev.id.0);
+        Some(ev)
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        self.skim();
+        self.heap.peek().map(|e| e.0.time)
+    }
+
+    fn len(&self) -> usize {
+        self.live_ids.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Calendar queue
+// ---------------------------------------------------------------------------
+
+/// R. Brown's calendar queue: an array of time buckets (days) cycled like a
+/// wall calendar, with automatic resizing to keep about one event per
+/// bucket. Amortized `O(1)` insert/pop for stationary event-time
+/// distributions.
+pub struct CalendarQueue<E> {
+    /// `buckets[i]` holds events with `floor(t / width) % nbuckets == i`,
+    /// each bucket sorted by (time, id).
+    buckets: Vec<Vec<Event<E>>>,
+    width: f64,
+    /// Index of the bucket the next pop scans first.
+    cursor: usize,
+    /// Start time of the cursor bucket's current "day".
+    bucket_top: f64,
+    /// Ids inserted and not yet popped or cancelled.
+    live_ids: HashSet<u64>,
+    /// Resize thresholds: grow above `live > 2*nbuckets`, shrink below
+    /// `live < nbuckets/2`.
+    resize_enabled: bool,
+    last_popped: f64,
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> CalendarQueue<E> {
+    /// Creates an empty queue with a small initial bucket array.
+    pub fn new() -> Self {
+        Self::with_parameters(8, 1.0)
+    }
+
+    /// Creates an empty queue with an explicit bucket count and width;
+    /// mostly useful for tests and benchmarks.
+    pub fn with_parameters(nbuckets: usize, width: f64) -> Self {
+        assert!(nbuckets > 0, "need at least one bucket");
+        assert!(width > 0.0 && width.is_finite(), "bucket width must be positive");
+        CalendarQueue {
+            buckets: (0..nbuckets).map(|_| Vec::new()).collect(),
+            width,
+            cursor: 0,
+            bucket_top: 0.0,
+            live_ids: HashSet::new(),
+            resize_enabled: true,
+            last_popped: 0.0,
+        }
+    }
+
+    fn nbuckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn bucket_index(&self, t: f64) -> usize {
+        ((t / self.width) as u64 % self.nbuckets() as u64) as usize
+    }
+
+    fn insert_sorted(bucket: &mut Vec<Event<E>>, ev: Event<E>) {
+        let key = ev.key();
+        let pos = bucket.partition_point(|e| e.key() <= key);
+        bucket.insert(pos, ev);
+    }
+
+    /// Total entries including not-yet-skimmed cancelled ones.
+    fn stored(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+
+    /// Re-buckets every stored event into `new_n` buckets of `new_width`.
+    fn resize(&mut self, new_n: usize, new_width: f64) {
+        let mut all: Vec<Event<E>> = Vec::with_capacity(self.stored());
+        for b in &mut self.buckets {
+            all.append(b);
+        }
+        self.buckets = (0..new_n).map(|_| Vec::new()).collect();
+        self.width = new_width;
+        for ev in all {
+            let idx = self.bucket_index(ev.time.seconds());
+            Self::insert_sorted(&mut self.buckets[idx], ev);
+        }
+        // Restart the scan from the day that contains the last popped time.
+        self.cursor = self.bucket_index(self.last_popped);
+        self.bucket_top = (self.last_popped / self.width).floor() * self.width;
+    }
+
+    /// Picks a new bucket width as a multiple of the mean gap between a
+    /// sample of the earliest pending events (Brown's heuristic).
+    fn estimate_width(&mut self) -> f64 {
+        let sample: usize = 25.min(self.live_ids.len().max(2));
+        let mut times: Vec<f64> = Vec::with_capacity(sample);
+        'outer: for b in &self.buckets {
+            for ev in b {
+                if self.live_ids.contains(&ev.id.0) {
+                    times.push(ev.time.seconds());
+                    if times.len() >= sample {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        if times.len() < 2 {
+            return self.width;
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("event times are never NaN"));
+        let span = times[times.len() - 1] - times[0];
+        let mean_gap = span / (times.len() - 1) as f64;
+        if mean_gap > 0.0 {
+            mean_gap * 3.0
+        } else {
+            self.width
+        }
+    }
+
+    fn maybe_resize(&mut self) {
+        if !self.resize_enabled {
+            return;
+        }
+        let n = self.nbuckets();
+        let live = self.live_ids.len();
+        if live > 2 * n {
+            let w = self.estimate_width();
+            self.resize(2 * n, w);
+        } else if n > 8 && live < n / 2 {
+            let w = self.estimate_width();
+            self.resize((n / 2).max(8), w);
+        }
+    }
+
+    /// Drops cancelled entries from the front of a bucket in place.
+    fn skim_bucket(bucket: &mut Vec<Event<E>>, live_ids: &HashSet<u64>) {
+        while let Some(first) = bucket.first() {
+            if live_ids.contains(&first.id.0) {
+                break;
+            }
+            bucket.remove(0);
+        }
+    }
+
+    /// Finds the position of the earliest live event by direct search —
+    /// the fallback when a full calendar year passes without finding one.
+    fn direct_min(&mut self) -> Option<(usize, usize)> {
+        let mut best: Option<(usize, usize, (SimTime, u64))> = None;
+        for (bi, bucket) in self.buckets.iter().enumerate() {
+            for (ei, ev) in bucket.iter().enumerate() {
+                if !self.live_ids.contains(&ev.id.0) {
+                    continue;
+                }
+                let key = ev.key();
+                if best.is_none_or(|(_, _, bk)| key < bk) {
+                    best = Some((bi, ei, key));
+                }
+                break; // buckets are sorted; first live entry is the bucket min
+            }
+        }
+        best.map(|(bi, ei, _)| (bi, ei))
+    }
+}
+
+impl<E> EventCalendar<E> for CalendarQueue<E> {
+    fn insert(&mut self, ev: Event<E>) {
+        assert!(self.live_ids.insert(ev.id.0), "duplicate event id {:?}", ev.id);
+        let idx = self.bucket_index(ev.time.seconds());
+        Self::insert_sorted(&mut self.buckets[idx], ev);
+        self.maybe_resize();
+    }
+
+    fn cancel(&mut self, id: EventId) -> bool {
+        self.live_ids.remove(&id.0)
+    }
+
+    fn pop(&mut self) -> Option<Event<E>> {
+        if self.live_ids.is_empty() {
+            return None;
+        }
+        let n = self.nbuckets();
+        // Scan at most one full year; events further out are found directly.
+        for _ in 0..n {
+            let cursor = self.cursor;
+            let day_end = self.bucket_top + self.width;
+            Self::skim_bucket(&mut self.buckets[cursor], &self.live_ids);
+            if let Some(first) = self.buckets[cursor].first() {
+                if first.time.seconds() < day_end {
+                    let ev = self.buckets[cursor].remove(0);
+                    self.live_ids.remove(&ev.id.0);
+                    self.last_popped = ev.time.seconds();
+                    self.maybe_resize();
+                    return Some(ev);
+                }
+            }
+            self.cursor = (cursor + 1) % n;
+            self.bucket_top = day_end;
+        }
+        // Sparse regime: jump straight to the global minimum.
+        let (bi, ei) = self.direct_min()?;
+        let ev = self.buckets[bi].remove(ei);
+        self.live_ids.remove(&ev.id.0);
+        self.last_popped = ev.time.seconds();
+        self.cursor = self.bucket_index(self.last_popped);
+        self.bucket_top = (self.last_popped / self.width).floor() * self.width;
+        self.maybe_resize();
+        Some(ev)
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        if self.live_ids.is_empty() {
+            return None;
+        }
+        let (bi, ei) = self.direct_min()?;
+        Some(self.buckets[bi][ei].time)
+    }
+
+    fn len(&self) -> usize {
+        self.live_ids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64, id: u64) -> Event<u32> {
+        Event { time: SimTime::new(t), id: EventId(id), payload: id as u32 }
+    }
+
+    fn drain<C: EventCalendar<u32>>(cal: &mut C) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        while let Some(e) = cal.pop() {
+            out.push((e.time.seconds(), e.id.raw()));
+        }
+        out
+    }
+
+    #[test]
+    fn heap_orders_by_time() {
+        let mut c = HeapCalendar::new();
+        c.insert(ev(3.0, 0));
+        c.insert(ev(1.0, 1));
+        c.insert(ev(2.0, 2));
+        assert_eq!(drain(&mut c), vec![(1.0, 1), (2.0, 2), (3.0, 0)]);
+    }
+
+    #[test]
+    fn heap_fifo_among_equal_times() {
+        let mut c = HeapCalendar::new();
+        c.insert(ev(1.0, 0));
+        c.insert(ev(1.0, 1));
+        c.insert(ev(1.0, 2));
+        assert_eq!(drain(&mut c), vec![(1.0, 0), (1.0, 1), (1.0, 2)]);
+    }
+
+    #[test]
+    fn heap_cancel_removes_event() {
+        let mut c = HeapCalendar::new();
+        c.insert(ev(1.0, 0));
+        c.insert(ev(2.0, 1));
+        assert!(c.cancel(EventId(0)));
+        assert!(!c.cancel(EventId(0)), "double cancel must fail");
+        assert_eq!(c.len(), 1);
+        assert_eq!(drain(&mut c), vec![(2.0, 1)]);
+    }
+
+    #[test]
+    fn heap_peek_skips_cancelled() {
+        let mut c = HeapCalendar::new();
+        c.insert(ev(1.0, 0));
+        c.insert(ev(2.0, 1));
+        c.cancel(EventId(0));
+        assert_eq!(c.peek_time(), Some(SimTime::new(2.0)));
+    }
+
+    #[test]
+    fn heap_empty_pop_is_none() {
+        let mut c: HeapCalendar<u32> = HeapCalendar::new();
+        assert!(c.pop().is_none());
+        assert!(c.peek_time().is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn calendar_queue_orders_by_time() {
+        let mut c = CalendarQueue::new();
+        c.insert(ev(3.0, 0));
+        c.insert(ev(1.0, 1));
+        c.insert(ev(2.0, 2));
+        c.insert(ev(0.5, 3));
+        assert_eq!(drain(&mut c), vec![(0.5, 3), (1.0, 1), (2.0, 2), (3.0, 0)]);
+    }
+
+    #[test]
+    fn calendar_queue_handles_far_future_events() {
+        let mut c = CalendarQueue::with_parameters(4, 1.0);
+        c.insert(ev(1000.0, 0));
+        c.insert(ev(0.5, 1));
+        assert_eq!(drain(&mut c), vec![(0.5, 1), (1000.0, 0)]);
+    }
+
+    #[test]
+    fn calendar_queue_cancel() {
+        let mut c = CalendarQueue::new();
+        c.insert(ev(1.0, 0));
+        c.insert(ev(2.0, 1));
+        c.insert(ev(3.0, 2));
+        assert!(c.cancel(EventId(1)));
+        assert_eq!(c.len(), 2);
+        assert_eq!(drain(&mut c), vec![(1.0, 0), (3.0, 2)]);
+    }
+
+    #[test]
+    fn calendar_queue_resizes_under_load() {
+        let mut c = CalendarQueue::with_parameters(8, 0.1);
+        for i in 0..1000u64 {
+            c.insert(ev(i as f64 * 0.37, i));
+        }
+        assert!(c.nbuckets() > 8, "queue should have grown");
+        let out = drain(&mut c);
+        assert_eq!(out.len(), 1000);
+        assert!(out.windows(2).all(|w| w[0].0 <= w[1].0), "must pop in time order");
+    }
+
+    #[test]
+    fn calendar_queue_fifo_among_equal_times() {
+        let mut c = CalendarQueue::new();
+        for id in 0..5 {
+            c.insert(ev(2.0, id));
+        }
+        assert_eq!(
+            drain(&mut c).iter().map(|x| x.1).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn calendar_queue_peek_matches_pop() {
+        let mut c = CalendarQueue::new();
+        c.insert(ev(5.0, 0));
+        c.insert(ev(3.0, 1));
+        assert_eq!(c.peek_time(), Some(SimTime::new(3.0)));
+        assert_eq!(c.pop().map(|e| e.id.raw()), Some(1));
+    }
+}

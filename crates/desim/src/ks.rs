@@ -1,0 +1,106 @@
+//! Empirical-distribution comparison: the two-sample Kolmogorov–Smirnov
+//! statistic and critical values.
+//!
+//! Used to verify that resampled distributions match their sources (the
+//! synthetic log vs its pmf; trace replay vs stochastic sampling) with a
+//! principled tolerance instead of ad-hoc bin comparisons.
+
+/// The two-sample Kolmogorov–Smirnov statistic: the largest absolute
+/// difference between the two empirical CDFs.
+///
+/// # Panics
+/// Panics if either sample is empty or contains NaN.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "KS needs non-empty samples");
+    let mut a: Vec<f64> = a.to_vec();
+    let mut b: Vec<f64> = b.to_vec();
+    a.sort_by(|x, y| x.partial_cmp(y).expect("NaN in sample"));
+    b.sort_by(|x, y| x.partial_cmp(y).expect("NaN in sample"));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < a.len() && j < b.len() {
+        let x = a[i].min(b[j]);
+        while i < a.len() && a[i] <= x {
+            i += 1;
+        }
+        while j < b.len() && b[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    d
+}
+
+/// The approximate critical KS distance at significance `alpha` for two
+/// samples of sizes `n` and `m` (large-sample approximation
+/// `c(α)·√((n+m)/(n·m))` with `c(α) = √(−ln(α/2)/2)`).
+pub fn ks_critical(n: usize, m: usize, alpha: f64) -> f64 {
+    assert!(n > 0 && m > 0);
+    assert!(alpha > 0.0 && alpha < 1.0);
+    let c = (-(alpha / 2.0).ln() / 2.0).sqrt();
+    c * (((n + m) as f64) / ((n * m) as f64)).sqrt()
+}
+
+/// Convenience: whether two samples are consistent with the same
+/// distribution at significance `alpha` (fails to reject).
+pub fn ks_same_distribution(a: &[f64], b: &[f64], alpha: f64) -> bool {
+    ks_statistic(a, b) <= ks_critical(a.len(), b.len(), alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Exponential, Variate};
+    use crate::rng::RngStream;
+
+    #[test]
+    fn identical_samples_have_zero_distance() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ks_statistic(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn disjoint_samples_have_distance_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0];
+        assert!((ks_statistic(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_distribution_passes() {
+        let d = Exponential::with_mean(5.0);
+        let mut r1 = RngStream::new(1);
+        let mut r2 = RngStream::new(2);
+        let a: Vec<f64> = (0..5_000).map(|_| d.sample(&mut r1)).collect();
+        let b: Vec<f64> = (0..5_000).map(|_| d.sample(&mut r2)).collect();
+        assert!(ks_same_distribution(&a, &b, 0.01), "d = {}", ks_statistic(&a, &b));
+    }
+
+    #[test]
+    fn different_distributions_fail() {
+        let d1 = Exponential::with_mean(5.0);
+        let d2 = Exponential::with_mean(7.0);
+        let mut r = RngStream::new(3);
+        let a: Vec<f64> = (0..5_000).map(|_| d1.sample(&mut r)).collect();
+        let b: Vec<f64> = (0..5_000).map(|_| d2.sample(&mut r)).collect();
+        assert!(!ks_same_distribution(&a, &b, 0.01), "d = {}", ks_statistic(&a, &b));
+    }
+
+    #[test]
+    fn critical_value_shrinks_with_sample_size() {
+        assert!(ks_critical(100, 100, 0.05) > ks_critical(10_000, 10_000, 0.05));
+        // Known value: c(0.05) ≈ 1.358; equal n: c·sqrt(2/n).
+        let crit = ks_critical(1_000, 1_000, 0.05);
+        assert!((crit - 1.3581 * (2.0f64 / 1000.0).sqrt()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn uneven_sample_sizes() {
+        let d = Exponential::with_mean(1.0);
+        let mut r = RngStream::new(4);
+        let a: Vec<f64> = (0..200).map(|_| d.sample(&mut r)).collect();
+        let b: Vec<f64> = (0..20_000).map(|_| d.sample(&mut r)).collect();
+        assert!(ks_same_distribution(&a, &b, 0.01));
+    }
+}

@@ -1,0 +1,52 @@
+//! # desim — a deterministic discrete-event simulation engine
+//!
+//! This crate is the simulation substrate for the `coalloc` workspace, the
+//! role played by the commercial CSIM-18 package in Bucur & Epema's HPDC'03
+//! study of processor co-allocation. It provides:
+//!
+//! * a simulated clock and a future-event list ([`Simulation`]), with
+//!   pluggable calendars ([`HeapCalendar`], [`CalendarQueue`]);
+//! * reproducible, independently seedable random streams ([`RngStream`]);
+//! * the variate generators a trace-driven queueing study needs
+//!   ([`Exponential`], [`EmpiricalDiscrete`], [`EmpiricalContinuous`], …);
+//! * output analysis: streaming moments, time-weighted averages,
+//!   histograms, and batch-means confidence intervals ([`stats`]);
+//! * counted resources with FIFO queueing ([`Resource`]), the CSIM
+//!   "facility" analogue, used for analytic validation (M/M/c).
+//!
+//! Determinism is a design rule: every source of randomness is an explicit
+//! [`RngStream`], event ties break FIFO by schedule order, and no global
+//! state exists, so a run is a pure function of its configuration and seed.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod calendar;
+pub mod dist;
+pub mod engine;
+pub mod event;
+pub mod ks;
+pub mod quantile;
+pub mod record;
+pub mod queueing;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod warmup;
+
+pub use calendar::{CalendarQueue, EventCalendar, HeapCalendar};
+pub use dist::{
+    Deterministic, EmpiricalContinuous, EmpiricalDiscrete, Erlang, Exponential, HyperExponential,
+    Uniform, Variate,
+};
+pub use engine::Simulation;
+pub use event::{Event, EventId};
+pub use ks::{ks_critical, ks_same_distribution, ks_statistic};
+pub use resource::{GrantDiscipline, Pending, Resource};
+pub use quantile::P2Quantile;
+pub use record::RingLog;
+pub use rng::RngStream;
+pub use stats::{BatchMeans, Estimate, Histogram, TimeWeighted, Welford};
+pub use time::{Duration, SimTime};
+pub use warmup::{autocorrelation, mser, mser5, MserResult};

@@ -1,0 +1,224 @@
+//! Streaming quantile estimation with the P² algorithm (Jain &
+//! Chlamtac, 1985).
+//!
+//! Response-time *distributions*, not just means, decide whether a
+//! scheduling policy is acceptable; P² estimates any quantile in O(1)
+//! space without storing observations, which keeps million-job runs
+//! cheap.
+
+/// A streaming estimator of one quantile.
+///
+/// ```
+/// use desim::P2Quantile;
+/// let mut p95 = P2Quantile::new(0.95);
+/// for i in 1..=1000 {
+///     p95.add(f64::from(i));
+/// }
+/// let q = p95.estimate();
+/// assert!((q - 950.0).abs() < 20.0, "q = {q}");
+/// ```
+#[derive(Clone, Debug)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights (estimated quantile values).
+    q: [f64; 5],
+    /// Marker positions (1-based observation ranks).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Position increments per observation.
+    dn: [f64; 5],
+    count: u64,
+    /// The first five observations, collected before the markers start.
+    init: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `p`-quantile (e.g. 0.5, 0.95).
+    ///
+    /// # Panics
+    /// Panics unless `0 < p < 1`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0, 1), got {p}");
+        P2Quantile {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            init: Vec::with_capacity(5),
+        }
+    }
+
+    /// The quantile this estimator tracks.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of observations consumed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        debug_assert!(x.is_finite());
+        self.count += 1;
+        if self.init.len() < 5 {
+            self.init.push(x);
+            if self.init.len() == 5 {
+                self.init.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+                for (qi, &v) in self.q.iter_mut().zip(&self.init) {
+                    *qi = v;
+                }
+            }
+            return;
+        }
+
+        // Find the cell k with q[k] <= x < q[k+1], adjusting extremes.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if self.q[i] <= x && x < self.q[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+
+        // Adjust the three middle markers with parabolic interpolation.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let d = d.signum();
+                let qp = self.parabolic(i, d);
+                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
+                    qp
+                } else {
+                    self.linear(i, d)
+                };
+                self.n[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (q, n) = (&self.q, &self.n);
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// The current quantile estimate. With fewer than five observations,
+    /// falls back to the empirical quantile of what has been seen.
+    pub fn estimate(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.init.len() < 5 {
+            let mut v = self.init.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+            let idx = ((v.len() as f64 - 1.0) * self.p).round() as usize;
+            return v[idx];
+        }
+        self.q[2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::RngStream;
+
+    #[test]
+    fn median_of_uniform_is_half() {
+        let mut est = P2Quantile::new(0.5);
+        let mut rng = RngStream::new(3);
+        for _ in 0..100_000 {
+            est.add(rng.uniform());
+        }
+        let m = est.estimate();
+        assert!((m - 0.5).abs() < 0.01, "median {m}");
+        assert_eq!(est.count(), 100_000);
+        assert_eq!(est.p(), 0.5);
+    }
+
+    #[test]
+    fn p95_of_uniform() {
+        let mut est = P2Quantile::new(0.95);
+        let mut rng = RngStream::new(5);
+        for _ in 0..100_000 {
+            est.add(rng.uniform());
+        }
+        let q = est.estimate();
+        assert!((q - 0.95).abs() < 0.01, "p95 {q}");
+    }
+
+    #[test]
+    fn p95_of_exponential() {
+        // Exact 95th percentile of Exp(mean=100): -100 ln(0.05) ≈ 299.57.
+        let mut est = P2Quantile::new(0.95);
+        let mut rng = RngStream::new(7);
+        for _ in 0..200_000 {
+            est.add(-100.0 * rng.uniform_pos().ln());
+        }
+        let q = est.estimate();
+        let exact = -100.0 * 0.05f64.ln();
+        assert!((q - exact).abs() / exact < 0.03, "p95 {q} vs {exact}");
+    }
+
+    #[test]
+    fn few_observations_fall_back() {
+        let mut est = P2Quantile::new(0.5);
+        assert_eq!(est.estimate(), 0.0);
+        est.add(10.0);
+        assert_eq!(est.estimate(), 10.0);
+        est.add(20.0);
+        est.add(30.0);
+        assert_eq!(est.estimate(), 20.0, "empirical median of three");
+    }
+
+    #[test]
+    fn sorted_and_reverse_inputs_agree() {
+        let mut a = P2Quantile::new(0.9);
+        let mut b = P2Quantile::new(0.9);
+        let xs: Vec<f64> = (0..10_000).map(f64::from).collect();
+        for &x in &xs {
+            a.add(x);
+        }
+        for &x in xs.iter().rev() {
+            b.add(x);
+        }
+        let exact = 0.9 * 9_999.0;
+        assert!((a.estimate() - exact).abs() / exact < 0.02, "sorted {}", a.estimate());
+        assert!((b.estimate() - exact).abs() / exact < 0.02, "reversed {}", b.estimate());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0, 1)")]
+    fn invalid_p_rejected() {
+        P2Quantile::new(1.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! A bounded event log for debugging simulations.
+//!
+//! Long runs produce millions of events; when a run misbehaves you want
+//! the *recent* history, not all of it. [`RingLog`] keeps the last `N`
+//! entries with O(1) appends, timestamped in simulated time.
+
+use std::collections::VecDeque;
+
+use crate::time::SimTime;
+
+/// A fixed-capacity ring of timestamped entries; the oldest entries are
+/// evicted as new ones arrive.
+#[derive(Clone, Debug)]
+pub struct RingLog<T> {
+    cap: usize,
+    buf: VecDeque<(SimTime, T)>,
+    evicted: u64,
+}
+
+impl<T> RingLog<T> {
+    /// A log keeping at most `cap` entries.
+    ///
+    /// # Panics
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "a zero-capacity log records nothing");
+        RingLog { cap, buf: VecDeque::with_capacity(cap), evicted: 0 }
+    }
+
+    /// Appends an entry, evicting the oldest if full.
+    pub fn push(&mut self, time: SimTime, entry: T) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back((time, entry));
+    }
+
+    /// Entries currently held, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &(SimTime, T)> {
+        self.buf.iter()
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// How many entries have been evicted over the log's lifetime.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Drains the log into a vector, oldest first.
+    pub fn take(&mut self) -> Vec<(SimTime, T)> {
+        self.buf.drain(..).collect()
+    }
+}
+
+impl<T: core::fmt::Display> RingLog<T> {
+    /// Renders the held entries one per line as `t=… entry`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.evicted > 0 {
+            out.push_str(&format!("… {} earlier entries evicted …\n", self.evicted));
+        }
+        for (t, e) in &self.buf {
+            out.push_str(&format!("{t} {e}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::new(s)
+    }
+
+    #[test]
+    fn keeps_only_the_last_n() {
+        let mut log = RingLog::new(3);
+        for i in 0..5u32 {
+            log.push(t(f64::from(i)), i);
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.evicted(), 2);
+        let held: Vec<u32> = log.iter().map(|&(_, e)| e).collect();
+        assert_eq!(held, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn take_drains() {
+        let mut log = RingLog::new(4);
+        log.push(t(1.0), "a");
+        log.push(t(2.0), "b");
+        let taken = log.take();
+        assert_eq!(taken.len(), 2);
+        assert!(log.is_empty());
+        assert_eq!(taken[0].1, "a");
+    }
+
+    #[test]
+    fn render_mentions_evictions() {
+        let mut log = RingLog::new(1);
+        log.push(t(1.0), "first");
+        log.push(t(2.5), "second");
+        let text = log.render();
+        assert!(text.contains("1 earlier entries evicted"));
+        assert!(text.contains("2.500s second"));
+        assert!(!text.contains("first\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_rejected() {
+        RingLog::<u32>::new(0);
+    }
+}

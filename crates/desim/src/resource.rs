@@ -1,0 +1,262 @@
+//! Counted resources — the analogue of CSIM's "facilities".
+//!
+//! A [`Resource`] holds a fixed number of identical units (e.g. the
+//! processors of one cluster). Requests either succeed immediately or are
+//! queued FIFO; on release, the head of the queue is re-examined. Under the
+//! default [`GrantDiscipline::FcfsBlocking`] the queue head blocks all
+//! later requests (the discipline the paper's schedulers use); the
+//! alternative [`GrantDiscipline::Greedy`] skips over requests that do not
+//! fit, a simple form of backfilling kept for ablation studies.
+
+use crate::stats::TimeWeighted;
+use crate::time::SimTime;
+
+/// How queued requests are granted when capacity frees up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GrantDiscipline {
+    /// Strict FCFS: if the head request does not fit, nothing is granted.
+    FcfsBlocking,
+    /// Grant any queued request that fits, in FIFO order (backfilling).
+    Greedy,
+}
+
+/// A pending request: an opaque caller token plus the requested unit count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pending {
+    /// Caller-chosen identifier returned when the request is granted.
+    pub token: u64,
+    /// Requested number of units.
+    pub units: u32,
+}
+
+/// A pool of identical capacity units with a FIFO wait queue and
+/// time-weighted busy statistics.
+#[derive(Debug)]
+pub struct Resource {
+    capacity: u32,
+    in_use: u32,
+    queue: std::collections::VecDeque<Pending>,
+    discipline: GrantDiscipline,
+    busy: TimeWeighted,
+}
+
+impl Resource {
+    /// Creates a resource with `capacity` units, tracking statistics from
+    /// time `start`.
+    pub fn new(capacity: u32, start: SimTime) -> Self {
+        Resource {
+            capacity,
+            in_use: 0,
+            queue: std::collections::VecDeque::new(),
+            discipline: GrantDiscipline::FcfsBlocking,
+            busy: TimeWeighted::new(start, 0.0),
+        }
+    }
+
+    /// Sets the grant discipline (default FCFS-blocking).
+    pub fn with_discipline(mut self, d: GrantDiscipline) -> Self {
+        self.discipline = d;
+        self
+    }
+
+    /// Total units.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Units currently held.
+    pub fn in_use(&self) -> u32 {
+        self.in_use
+    }
+
+    /// Units currently free.
+    pub fn idle(&self) -> u32 {
+        self.capacity - self.in_use
+    }
+
+    /// Number of queued requests.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Attempts to take `units` immediately, bypassing the queue. Fails if
+    /// the queue is non-empty under FCFS-blocking (to preserve ordering) or
+    /// if not enough units are free.
+    ///
+    /// # Panics
+    /// Panics if `units` exceeds the total capacity (the request could
+    /// never be satisfied).
+    pub fn try_acquire(&mut self, now: SimTime, units: u32) -> bool {
+        assert!(units <= self.capacity, "request for {units} exceeds capacity {}", self.capacity);
+        if self.discipline == GrantDiscipline::FcfsBlocking && !self.queue.is_empty() {
+            return false;
+        }
+        if units <= self.idle() {
+            self.busy.update(now, f64::from(self.in_use + units));
+            self.in_use += units;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Queues a request; it will be granted by a later [`Self::release`].
+    pub fn enqueue(&mut self, token: u64, units: u32) {
+        assert!(units <= self.capacity, "request for {units} exceeds capacity {}", self.capacity);
+        self.queue.push_back(Pending { token, units });
+    }
+
+    /// Returns `units` to the pool and grants queued requests according to
+    /// the discipline. Returns the tokens of requests granted now.
+    ///
+    /// # Panics
+    /// Panics if more units are released than are in use.
+    pub fn release(&mut self, now: SimTime, units: u32) -> Vec<u64> {
+        assert!(units <= self.in_use, "releasing {units} but only {} in use", self.in_use);
+        self.in_use -= units;
+        let granted = self.grant(now);
+        self.busy.update(now, f64::from(self.in_use));
+        granted
+    }
+
+    fn grant(&mut self, _now: SimTime) -> Vec<u64> {
+        let mut granted = Vec::new();
+        match self.discipline {
+            GrantDiscipline::FcfsBlocking => {
+                while let Some(&head) = self.queue.front() {
+                    if head.units <= self.idle() {
+                        self.in_use += head.units;
+                        self.queue.pop_front();
+                        granted.push(head.token);
+                    } else {
+                        break;
+                    }
+                }
+            }
+            GrantDiscipline::Greedy => {
+                let mut i = 0;
+                while i < self.queue.len() {
+                    if self.queue[i].units <= self.idle() {
+                        let p = self.queue.remove(i).expect("index checked");
+                        self.in_use += p.units;
+                        granted.push(p.token);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        granted
+    }
+
+    /// Time-average number of busy units over the observation window.
+    pub fn average_busy(&self, now: SimTime) -> f64 {
+        self.busy.average(now)
+    }
+
+    /// Time-average utilization (busy fraction of capacity).
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.average_busy(now) / f64::from(self.capacity)
+        }
+    }
+
+    /// Restarts the statistics window at `now` (discard warm-up).
+    pub fn reset_stats(&mut self, now: SimTime) {
+        let v = f64::from(self.in_use);
+        self.busy.update(now, v);
+        self.busy.reset_window(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::new(s)
+    }
+
+    #[test]
+    fn acquire_and_release() {
+        let mut r = Resource::new(10, SimTime::ZERO);
+        assert!(r.try_acquire(t(0.0), 6));
+        assert_eq!(r.idle(), 4);
+        assert!(!r.try_acquire(t(1.0), 5));
+        assert!(r.try_acquire(t(1.0), 4));
+        assert_eq!(r.idle(), 0);
+        let granted = r.release(t(2.0), 6);
+        assert!(granted.is_empty());
+        assert_eq!(r.idle(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn oversized_request_panics() {
+        let mut r = Resource::new(4, SimTime::ZERO);
+        r.try_acquire(t(0.0), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "only")]
+    fn over_release_panics() {
+        let mut r = Resource::new(4, SimTime::ZERO);
+        r.try_acquire(t(0.0), 2);
+        r.release(t(1.0), 3);
+    }
+
+    #[test]
+    fn fcfs_blocking_head_of_line() {
+        let mut r = Resource::new(10, SimTime::ZERO);
+        assert!(r.try_acquire(t(0.0), 8));
+        r.enqueue(1, 6); // does not fit
+        r.enqueue(2, 2); // would fit but must wait behind token 1
+        assert!(!r.try_acquire(t(0.5), 1), "queue present blocks direct acquire");
+        let granted = r.release(t(1.0), 8);
+        // 10 free: token 1 (6 units) fits, then token 2 (2 units) fits.
+        assert_eq!(granted, vec![1, 2]);
+        assert_eq!(r.in_use(), 8);
+        assert_eq!(r.queue_len(), 0);
+    }
+
+    #[test]
+    fn fcfs_blocking_stops_at_head() {
+        let mut r = Resource::new(10, SimTime::ZERO);
+        assert!(r.try_acquire(t(0.0), 9));
+        r.enqueue(1, 8);
+        r.enqueue(2, 1);
+        let granted = r.release(t(1.0), 2); // 3 free: head (8) does not fit
+        assert!(granted.is_empty());
+        assert_eq!(r.queue_len(), 2);
+    }
+
+    #[test]
+    fn greedy_skips_blocked_head() {
+        let mut r = Resource::new(10, SimTime::ZERO).with_discipline(GrantDiscipline::Greedy);
+        assert!(r.try_acquire(t(0.0), 9));
+        r.enqueue(1, 8);
+        r.enqueue(2, 1);
+        let granted = r.release(t(1.0), 2); // 3 free: grants token 2 past token 1
+        assert_eq!(granted, vec![2]);
+        assert_eq!(r.queue_len(), 1);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut r = Resource::new(4, SimTime::ZERO);
+        assert!(r.try_acquire(t(0.0), 4)); // busy 4 over [0, 10)
+        r.release(t(10.0), 4); // busy 0 over [10, 20)
+        assert!((r.utilization(t(20.0)) - 0.5).abs() < 1e-12);
+        assert!((r.average_busy(t(20.0)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_stats_discards_history() {
+        let mut r = Resource::new(2, SimTime::ZERO);
+        assert!(r.try_acquire(t(0.0), 2));
+        r.reset_stats(t(10.0));
+        assert!((r.utilization(t(20.0)) - 1.0).abs() < 1e-12);
+    }
+}

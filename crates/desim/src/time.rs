@@ -1,0 +1,239 @@
+//! Simulation time.
+//!
+//! Simulated time is a non-negative, finite `f64` wrapped in a newtype so
+//! that it is totally ordered (construction rejects NaN) and cannot be
+//! confused with other scalar quantities such as service demands or rates.
+
+use core::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in seconds since the start of the run.
+///
+/// `SimTime` is totally ordered; constructing one from a NaN panics, which
+/// turns silent time corruption into an immediate, debuggable failure.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero, the start of every simulation run.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// The largest representable time; used as an "end of time" sentinel.
+    pub const MAX: SimTime = SimTime(f64::MAX);
+
+    /// Creates a time point from seconds.
+    ///
+    /// # Panics
+    /// Panics if `seconds` is NaN or negative; simulated time never runs
+    /// backwards from the origin.
+    #[inline]
+    pub fn new(seconds: f64) -> Self {
+        assert!(!seconds.is_nan(), "SimTime cannot be NaN");
+        assert!(seconds >= 0.0, "SimTime cannot be negative: {seconds}");
+        SimTime(seconds)
+    }
+
+    /// The raw number of seconds.
+    #[inline]
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// Duration from `earlier` to `self`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `earlier` is later than `self`.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> Duration {
+        debug_assert!(
+            earlier.0 <= self.0,
+            "since() called with a later time: {} > {}",
+            earlier.0,
+            self.0
+        );
+        Duration::new((self.0 - earlier.0).max(0.0))
+    }
+}
+
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // Construction guarantees the value is never NaN.
+        self.partial_cmp(other).expect("SimTime is never NaN")
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+/// A span of simulated time, in seconds. Always non-negative and finite
+/// (NaN rejected at construction).
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+pub struct Duration(f64);
+
+impl Duration {
+    /// The empty duration.
+    pub const ZERO: Duration = Duration(0.0);
+
+    /// Creates a duration from seconds.
+    ///
+    /// # Panics
+    /// Panics if `seconds` is NaN or negative.
+    #[inline]
+    pub fn new(seconds: f64) -> Self {
+        assert!(!seconds.is_nan(), "Duration cannot be NaN");
+        assert!(seconds >= 0.0, "Duration cannot be negative: {seconds}");
+        Duration(seconds)
+    }
+
+    /// The raw number of seconds.
+    #[inline]
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// Scales the duration by a non-negative factor (e.g. the wide-area
+    /// communication extension factor applied to multi-component jobs).
+    #[inline]
+    pub fn scaled(self, factor: f64) -> Duration {
+        Duration::new(self.0 * factor)
+    }
+}
+
+impl Eq for Duration {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Duration {
+    #[inline]
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.partial_cmp(other).expect("Duration is never NaN")
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime::new(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration::new(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.since(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+        assert_eq!(Duration::default(), Duration::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::new(1.0);
+        let b = SimTime::new(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn add_duration_advances_time() {
+        let t = SimTime::new(10.0) + Duration::new(5.5);
+        assert_eq!(t.seconds(), 15.5);
+    }
+
+    #[test]
+    fn since_computes_span() {
+        let d = SimTime::new(12.0).since(SimTime::new(2.0));
+        assert_eq!(d.seconds(), 10.0);
+    }
+
+    #[test]
+    fn sub_is_since() {
+        let d = SimTime::new(7.0) - SimTime::new(3.0);
+        assert_eq!(d.seconds(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_time_rejected() {
+        SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_time_rejected() {
+        SimTime::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_duration_rejected() {
+        Duration::new(-0.5);
+    }
+
+    #[test]
+    fn scaled_duration() {
+        assert_eq!(Duration::new(4.0).scaled(1.25).seconds(), 5.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimTime::new(1.5)), "1.500s");
+        assert_eq!(format!("{}", Duration::new(2.25)), "2.250s");
+    }
+}

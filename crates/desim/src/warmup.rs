@@ -1,0 +1,162 @@
+//! Warm-up (initial-transient) detection for steady-state simulation.
+//!
+//! The co-allocation experiments discard a fixed number of departures as
+//! warm-up; this module provides the tools to *check* that choice rather
+//! than guess it: the MSER-5 truncation rule (White 1997) — the most
+//! widely recommended automatic method — and lag-k autocorrelation of
+//! the output series (to judge batch-size adequacy for batch means).
+
+/// The result of an MSER analysis.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MserResult {
+    /// Number of *raw observations* to truncate (a multiple of the batch
+    /// size used in the scan).
+    pub truncate: usize,
+    /// The MSER statistic (half-width proxy) at the chosen truncation.
+    pub statistic: f64,
+}
+
+/// MSER-m: batch the series into means of `m` observations, then choose
+/// the truncation point d* minimizing the standard error of the mean of
+/// the remaining batches. Returns the number of raw observations to
+/// discard. MSER-5 (m = 5) is the standard recommendation.
+///
+/// The scan is restricted to the first half of the batched series, as
+/// the literature prescribes (a truncation point in the second half
+/// means the run is too short to judge).
+///
+/// # Panics
+/// Panics if `m == 0` or the series holds fewer than `2 m` observations.
+pub fn mser(series: &[f64], m: usize) -> MserResult {
+    assert!(m > 0, "batch size must be positive");
+    assert!(series.len() >= 2 * m, "series too short for MSER-{m}");
+    let batches: Vec<f64> = series
+        .chunks_exact(m)
+        .map(|c| c.iter().sum::<f64>() / m as f64)
+        .collect();
+    let n = batches.len();
+    let half = n / 2;
+    let mut best = MserResult { truncate: 0, statistic: f64::INFINITY };
+    // Suffix sums allow O(1) mean/variance per candidate d.
+    for d in 0..=half {
+        let rest = &batches[d..];
+        let k = rest.len() as f64;
+        if rest.len() < 2 {
+            break;
+        }
+        let mean = rest.iter().sum::<f64>() / k;
+        let var = rest.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / k;
+        let stat = (var / k).sqrt() / k.sqrt(); // sqrt(var)/k = MSER statistic
+        if stat < best.statistic {
+            best = MserResult { truncate: d * m, statistic: stat };
+        }
+    }
+    best
+}
+
+/// MSER-5, the standard variant.
+pub fn mser5(series: &[f64]) -> MserResult {
+    mser(series, 5)
+}
+
+/// Lag-`k` sample autocorrelation of a series. Near-zero autocorrelation
+/// at the batch spacing justifies treating batch means as independent.
+///
+/// # Panics
+/// Panics unless `0 < k < series.len()`.
+pub fn autocorrelation(series: &[f64], k: usize) -> f64 {
+    assert!(k > 0 && k < series.len(), "lag must be in 1..len");
+    let n = series.len();
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|x| (x - mean) * (x - mean)).sum();
+    if var == 0.0 {
+        return 0.0;
+    }
+    let cov: f64 = series[..n - k]
+        .iter()
+        .zip(&series[k..])
+        .map(|(a, b)| (a - mean) * (b - mean))
+        .sum();
+    cov / var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::RngStream;
+
+    /// A series with an obvious transient: starts high, settles to noise
+    /// around zero.
+    fn transient_series(warm: usize, total: usize, seed: u64) -> Vec<f64> {
+        let mut rng = RngStream::new(seed);
+        (0..total)
+            .map(|i| {
+                let bias = if i < warm { 50.0 * (1.0 - i as f64 / warm as f64) } else { 0.0 };
+                bias + rng.uniform() - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mser_finds_the_transient() {
+        let series = transient_series(200, 2_000, 1);
+        let r = mser5(&series);
+        assert!(
+            (150..=400).contains(&r.truncate),
+            "truncation {} should bracket the 200-observation transient",
+            r.truncate
+        );
+    }
+
+    #[test]
+    fn mser_on_stationary_series_truncates_little() {
+        let mut rng = RngStream::new(2);
+        let series: Vec<f64> = (0..2_000).map(|_| rng.uniform()).collect();
+        let r = mser5(&series);
+        assert!(r.truncate <= 600, "stationary series truncated at {}", r.truncate);
+    }
+
+    #[test]
+    fn mser_statistic_is_finite() {
+        let series = transient_series(50, 400, 3);
+        let r = mser(&series, 5);
+        assert!(r.statistic.is_finite() && r.statistic > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn mser_rejects_tiny_series() {
+        mser(&[1.0, 2.0], 5);
+    }
+
+    #[test]
+    fn autocorrelation_of_iid_is_near_zero() {
+        let mut rng = RngStream::new(4);
+        let series: Vec<f64> = (0..20_000).map(|_| rng.uniform()).collect();
+        let r1 = autocorrelation(&series, 1);
+        assert!(r1.abs() < 0.03, "lag-1 autocorr {r1}");
+    }
+
+    #[test]
+    fn autocorrelation_of_ar1_is_positive() {
+        // x[t] = 0.8 x[t-1] + noise: lag-1 autocorrelation ≈ 0.8.
+        let mut rng = RngStream::new(5);
+        let mut x = 0.0;
+        let series: Vec<f64> = (0..50_000)
+            .map(|_| {
+                x = 0.8 * x + (rng.uniform() - 0.5);
+                x
+            })
+            .collect();
+        let r1 = autocorrelation(&series, 1);
+        assert!((r1 - 0.8).abs() < 0.05, "lag-1 autocorr {r1}");
+        let r10 = autocorrelation(&series, 10);
+        assert!(r10 < r1, "autocorrelation decays with lag");
+    }
+
+    #[test]
+    fn autocorrelation_of_constant_is_zero() {
+        let series = vec![3.0; 100];
+        assert_eq!(autocorrelation(&series, 5), 0.0);
+    }
+}

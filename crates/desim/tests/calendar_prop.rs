@@ -1,0 +1,128 @@
+//! Property tests: the two future-event-list implementations are
+//! observationally equivalent, and both behave like a sorted multiset.
+
+use desim::{CalendarQueue, Event, EventCalendar, EventId, HeapCalendar, SimTime};
+use proptest::prelude::*;
+
+/// A scripted operation against a calendar.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Insert an event at the given (non-negative) time.
+    Insert(f64),
+    /// Cancel the i-th inserted event (modulo inserts so far).
+    Cancel(usize),
+    /// Pop the earliest event.
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0.0f64..1000.0).prop_map(Op::Insert),
+        1 => any::<usize>().prop_map(Op::Cancel),
+        2 => Just(Op::Pop),
+    ]
+}
+
+/// Runs a script against one calendar, returning the observable trace.
+fn run<C: EventCalendar<u64>>(mut cal: C, ops: &[Op]) -> Vec<(u64, Option<(f64, u64)>)> {
+    let mut trace = Vec::new();
+    let mut ids: Vec<EventId> = Vec::new();
+    let mut next = 0u64;
+    let mut last_popped = 0.0f64;
+    for op in ops {
+        match op {
+            Op::Insert(t) => {
+                // Calendars (like the engine) only ever see non-decreasing
+                // insert times relative to the last pop.
+                let t = last_popped + t;
+                let id = EventId::for_tests(next);
+                ids.push(id);
+                cal.insert(Event { time: SimTime::new(t), id, payload: next });
+                next += 1;
+            }
+            Op::Cancel(i) => {
+                if !ids.is_empty() {
+                    let id = ids[i % ids.len()];
+                    let ok = cal.cancel(id);
+                    trace.push((u64::MAX, Some((if ok { 1.0 } else { 0.0 }, id.raw()))));
+                }
+            }
+            Op::Pop => {
+                let got = cal.pop().map(|e| {
+                    last_popped = e.time.seconds();
+                    (e.time.seconds(), e.id.raw())
+                });
+                trace.push((cal.len() as u64, got));
+            }
+        }
+    }
+    // Drain the remainder.
+    while let Some(e) = cal.pop() {
+        trace.push((cal.len() as u64, Some((e.time.seconds(), e.id.raw()))));
+    }
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Heap calendar and calendar queue produce identical traces for any
+    /// script of inserts, cancels, and pops.
+    #[test]
+    fn calendars_are_equivalent(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+        let heap_trace = run(HeapCalendar::new(), &ops);
+        let cq_trace = run(CalendarQueue::new(), &ops);
+        prop_assert_eq!(heap_trace, cq_trace);
+    }
+
+    /// Popping drains events in non-decreasing time order with FIFO ties.
+    #[test]
+    fn pops_are_time_ordered(times in proptest::collection::vec(0.0f64..1e6, 1..300)) {
+        let mut cal = HeapCalendar::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.insert(Event { time: SimTime::new(t), id: EventId::for_tests(i as u64), payload: i });
+        }
+        let mut prev: Option<(f64, u64)> = None;
+        while let Some(e) = cal.pop() {
+            let key = (e.time.seconds(), e.id.raw());
+            if let Some(p) = prev {
+                prop_assert!(key > p, "out of order: {:?} after {:?}", key, p);
+            }
+            prev = Some(key);
+        }
+    }
+
+    /// len() always equals inserted - popped - cancelled.
+    #[test]
+    fn len_is_consistent(ops in proptest::collection::vec(op_strategy(), 0..150)) {
+        let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+        let mut ids = Vec::new();
+        let mut live = 0usize;
+        let mut next = 0u64;
+        for op in &ops {
+            match op {
+                Op::Insert(t) => {
+                    let id = EventId::for_tests(next);
+                    ids.push(id);
+                    cal.insert(Event { time: SimTime::new(*t), id, payload: next });
+                    next += 1;
+                    live += 1;
+                }
+                Op::Cancel(i) => {
+                    if !ids.is_empty() {
+                        let id = ids[i % ids.len()];
+                        if cal.cancel(id) {
+                            live -= 1;
+                        }
+                    }
+                }
+                Op::Pop => {
+                    if cal.pop().is_some() {
+                        live -= 1;
+                    }
+                }
+            }
+            prop_assert_eq!(cal.len(), live);
+        }
+    }
+}

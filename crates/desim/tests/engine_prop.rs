@@ -1,0 +1,110 @@
+//! Model-based property test: [`desim::Simulation`] against a naive
+//! reference implementation (a plain sorted vector of events).
+
+use desim::{Duration, EventId, SimTime, Simulation};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Schedule a payload this many seconds after "now".
+    ScheduleIn(f64),
+    /// Cancel the i-th scheduled event (modulo issued handles).
+    Cancel(usize),
+    /// Pop one event.
+    Step,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0.0f64..500.0).prop_map(Op::ScheduleIn),
+        1 => any::<usize>().prop_map(Op::Cancel),
+        3 => Just(Op::Step),
+    ]
+}
+
+/// The reference: a vector of (time, seq, payload) with linear scans.
+#[derive(Default)]
+struct Reference {
+    pending: Vec<(f64, u64, u64)>,
+    now: f64,
+}
+
+impl Reference {
+    fn schedule(&mut self, at: f64, seq: u64) {
+        self.pending.push((at, seq, seq));
+    }
+
+    fn cancel(&mut self, seq: u64) -> bool {
+        if let Some(pos) = self.pending.iter().position(|&(_, s, _)| s == seq) {
+            self.pending.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn step(&mut self) -> Option<(f64, u64)> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let best = self
+            .pending
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        let (t, _, payload) = self.pending.remove(best);
+        self.now = t;
+        Some((t, payload))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// For any script of schedules, cancels, and steps the engine and the
+    /// reference observe the same event sequence.
+    #[test]
+    fn engine_matches_reference(ops in proptest::collection::vec(op(), 0..200)) {
+        let mut sim: Simulation<u64> = Simulation::new();
+        let mut reference = Reference::default();
+        let mut handles: Vec<EventId> = Vec::new();
+        let mut seq: u64 = 0;
+        for op in &ops {
+            match op {
+                Op::ScheduleIn(dt) => {
+                    let id = sim.schedule_in(Duration::new(*dt), seq);
+                    reference.schedule(sim.now().seconds() + dt, seq);
+                    handles.push(id);
+                    prop_assert_eq!(id.raw(), seq, "engine ids are sequential");
+                    seq += 1;
+                }
+                Op::Cancel(i) => {
+                    if handles.is_empty() {
+                        continue;
+                    }
+                    let idx = i % handles.len();
+                    let engine_ok = sim.cancel(handles[idx]);
+                    let reference_ok = reference.cancel(handles[idx].raw());
+                    prop_assert_eq!(engine_ok, reference_ok);
+                }
+                Op::Step => {
+                    let got = sim.step().map(|e| (e.time, e.payload));
+                    let want = reference.step().map(|(t, p)| (SimTime::new(t), p));
+                    prop_assert_eq!(got, want);
+                    prop_assert_eq!(sim.events_pending(), reference.pending.len());
+                }
+            }
+        }
+        // Drain both to the end.
+        loop {
+            let got = sim.step().map(|e| e.payload);
+            let want = reference.step().map(|(_, p)| p);
+            prop_assert_eq!(got, want);
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the statistics toolkit: each streaming estimator
+//! is checked against a naive reference implementation on arbitrary
+//! inputs.
+
+use desim::stats::{BatchMeans, TimeWeighted, Welford};
+use desim::{EmpiricalContinuous, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Welford mean/variance equal the two-pass reference.
+    #[test]
+    fn welford_matches_two_pass(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.add(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        prop_assert!((w.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        if xs.len() > 1 {
+            let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+            prop_assert!((w.variance() - var).abs() < 1e-4 * (1.0 + var.abs()));
+        }
+    }
+
+    /// Any split-merge of a Welford equals the sequential fold.
+    #[test]
+    fn welford_merge_associative(
+        xs in proptest::collection::vec(-1e3f64..1e3, 2..100),
+        cut in any::<proptest::sample::Index>()
+    ) {
+        let k = cut.index(xs.len() - 1) + 1;
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..k] {
+            a.add(x);
+        }
+        for &x in &xs[k..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-8);
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-6);
+    }
+
+    /// The batch-means grand mean over complete batches equals the plain
+    /// mean of those observations.
+    #[test]
+    fn batch_means_grand_mean(
+        xs in proptest::collection::vec(0.0f64..1e4, 10..300),
+        batch in 1u64..20
+    ) {
+        let mut bm = BatchMeans::new(batch);
+        for &x in &xs {
+            bm.add(x);
+        }
+        let complete = (xs.len() as u64 / batch * batch) as usize;
+        if complete > 0 {
+            let mean = xs[..complete].iter().sum::<f64>() / complete as f64;
+            prop_assert!((bm.estimate().mean - mean).abs() < 1e-7 * (1.0 + mean));
+        }
+    }
+
+    /// The time-weighted average equals the explicit integral of the
+    /// piecewise-constant signal.
+    #[test]
+    fn time_weighted_matches_integral(
+        steps in proptest::collection::vec((0.01f64..100.0, -50.0f64..50.0), 1..50)
+    ) {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        let mut t = 0.0;
+        let mut integral = 0.0;
+        let mut value = 0.0;
+        for &(dt, v) in &steps {
+            integral += value * dt;
+            t += dt;
+            tw.update(SimTime::new(t), v);
+            value = v;
+        }
+        // Close the window one unit later.
+        integral += value * 1.0;
+        t += 1.0;
+        let avg = tw.average(SimTime::new(t));
+        prop_assert!((avg - integral / t).abs() < 1e-9 * (1.0 + avg.abs()),
+            "avg {} vs {}", avg, integral / t);
+    }
+
+    /// Empirical-continuous quantiles are monotone in u and stay inside
+    /// the support.
+    #[test]
+    fn empirical_continuous_quantiles_monotone(
+        weights in proptest::collection::vec(0.0f64..10.0, 1..20),
+        us in proptest::collection::vec(0.0f64..=1.0, 2..20)
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let edges: Vec<f64> = (0..=weights.len()).map(|i| i as f64 * 5.0).collect();
+        let d = EmpiricalContinuous::from_histogram(&edges, &weights);
+        let mut us = us;
+        us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let qs: Vec<f64> = us.iter().map(|&u| d.quantile(u)).collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12, "quantiles must be monotone: {qs:?}");
+        }
+        for &q in &qs {
+            prop_assert!((0.0..=d.max_value()).contains(&q));
+        }
+    }
+}

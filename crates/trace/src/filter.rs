@@ -1,0 +1,196 @@
+//! Log cutting, as the paper applies it.
+//!
+//! * DAS-s-64 is the size distribution of the log **cut at 64
+//!   processors** — jobs requesting more are dropped (§2.4).
+//! * DAS-t-900 is the service-time distribution of the log **cut at
+//!   900 seconds** — longer jobs are dropped (§2.4).
+
+use crate::job::Trace;
+
+/// Returns the sub-log of jobs with `size <= max_size`, renumbered
+/// contiguously. The paper's DAS-s-64 uses `max_size = 64`.
+pub fn cut_by_size(trace: &Trace, max_size: u32) -> Trace {
+    let mut out = Trace::new(format!("{} (size<={})", trace.source, max_size), trace.machine_size.min(max_size));
+    out.jobs = trace.jobs.iter().filter(|j| j.size <= max_size).copied().collect();
+    for (i, j) in out.jobs.iter_mut().enumerate() {
+        j.id = i as u32 + 1;
+    }
+    out
+}
+
+/// Returns the sub-log of jobs with `runtime <= max_runtime` seconds,
+/// renumbered contiguously. The paper's DAS-t-900 uses `max_runtime = 900`.
+pub fn cut_by_runtime(trace: &Trace, max_runtime: f64) -> Trace {
+    let mut out = Trace::new(format!("{} (runtime<={}s)", trace.source, max_runtime), trace.machine_size);
+    out.jobs = trace.jobs.iter().filter(|j| j.runtime <= max_runtime).copied().collect();
+    for (i, j) in out.jobs.iter_mut().enumerate() {
+        j.id = i as u32 + 1;
+    }
+    out
+}
+
+/// Fraction of jobs a size cut would exclude.
+pub fn excluded_by_size(trace: &Trace, max_size: u32) -> f64 {
+    if trace.is_empty() {
+        return 0.0;
+    }
+    trace.jobs.iter().filter(|j| j.size > max_size).count() as f64 / trace.len() as f64
+}
+
+/// Fraction of jobs a runtime cut would exclude.
+pub fn excluded_by_runtime(trace: &Trace, max_runtime: f64) -> f64 {
+    if trace.is_empty() {
+        return 0.0;
+    }
+    trace.jobs.iter().filter(|j| j.runtime > max_runtime).count() as f64 / trace.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::das::{generate_das1_log, DasLogConfig};
+    use crate::job::{JobStatus, TraceJob};
+
+    fn toy() -> Trace {
+        let mut t = Trace::new("toy", 128);
+        for (i, (size, rt)) in [(4u32, 10.0), (64, 2000.0), (128, 100.0), (16, 900.0)]
+            .iter()
+            .enumerate()
+        {
+            t.jobs.push(TraceJob {
+                id: i as u32 + 1,
+                submit: i as f64,
+                size: *size,
+                runtime: *rt,
+                user: 0,
+                status: JobStatus::Completed,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn size_cut_drops_large_jobs() {
+        let t = toy();
+        let cut = cut_by_size(&t, 64);
+        assert_eq!(cut.len(), 3);
+        assert!(cut.jobs.iter().all(|j| j.size <= 64));
+        assert_eq!(cut.machine_size, 64);
+        assert_eq!(cut.jobs.iter().map(|j| j.id).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!((excluded_by_size(&t, 64) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runtime_cut_keeps_exact_limit() {
+        let t = toy();
+        let cut = cut_by_runtime(&t, 900.0);
+        assert_eq!(cut.len(), 3, "900.0 itself is kept");
+        assert!(cut.jobs.iter().all(|j| j.runtime <= 900.0));
+        assert!((excluded_by_runtime(&t, 900.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_edge_cases() {
+        let t = Trace::new("empty", 8);
+        assert_eq!(excluded_by_size(&t, 4), 0.0);
+        assert_eq!(excluded_by_runtime(&t, 10.0), 0.0);
+        assert!(cut_by_size(&t, 4).is_empty());
+    }
+
+    #[test]
+    fn das_cut_excludes_only_a_few_percent() {
+        // The paper: limiting the size to 64 excludes only the small
+        // percentage of jobs that need more than 64 processors.
+        let log = generate_das1_log(&DasLogConfig { jobs: 20_000, ..DasLogConfig::default() });
+        let frac = excluded_by_size(&log, 64);
+        assert!(frac > 0.005 && frac < 0.05, "excluded fraction {frac:.4}");
+        let cut = cut_by_size(&log, 64);
+        assert!(cut.distinct_sizes().iter().all(|&s| s <= 64));
+    }
+}
+
+/// Interleaves two logs by submit time (e.g. to combine months), keeping
+/// provenance in the source string and renumbering ids.
+pub fn merge(a: &Trace, b: &Trace) -> Trace {
+    let mut out = Trace::new(
+        format!("{} + {}", a.source, b.source),
+        a.machine_size.max(b.machine_size),
+    );
+    out.jobs.reserve(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.jobs.len() || j < b.jobs.len() {
+        let take_a = match (a.jobs.get(i), b.jobs.get(j)) {
+            (Some(x), Some(y)) => x.submit <= y.submit,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if take_a {
+            out.jobs.push(a.jobs[i]);
+            i += 1;
+        } else {
+            out.jobs.push(b.jobs[j]);
+            j += 1;
+        }
+    }
+    for (n, job) in out.jobs.iter_mut().enumerate() {
+        job.id = n as u32 + 1;
+    }
+    out
+}
+
+/// Compresses or stretches all submit times by `factor` (< 1 raises the
+/// offered load) — the standard load-scaling transformation of
+/// trace-driven studies.
+pub fn rescale_time(trace: &Trace, factor: f64) -> Trace {
+    assert!(factor > 0.0 && factor.is_finite(), "time factor must be positive");
+    let mut out = trace.clone();
+    out.source = format!("{} (time x{factor})", trace.source);
+    for j in &mut out.jobs {
+        j.submit *= factor;
+    }
+    out
+}
+
+#[cfg(test)]
+mod util_tests {
+    use super::*;
+    use crate::job::{JobStatus, TraceJob};
+
+    fn job(id: u32, submit: f64) -> TraceJob {
+        TraceJob { id, submit, size: 1, runtime: 1.0, user: 0, status: JobStatus::Completed }
+    }
+
+    #[test]
+    fn merge_interleaves_by_submit() {
+        let mut a = Trace::new("a", 64);
+        a.jobs.extend([job(1, 0.0), job(2, 10.0)]);
+        let mut b = Trace::new("b", 128);
+        b.jobs.extend([job(1, 5.0), job(2, 20.0)]);
+        let m = merge(&a, &b);
+        assert_eq!(m.machine_size, 128);
+        let submits: Vec<f64> = m.jobs.iter().map(|j| j.submit).collect();
+        assert_eq!(submits, vec![0.0, 5.0, 10.0, 20.0]);
+        assert_eq!(m.jobs.iter().map(|j| j.id).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = Trace::new("a", 8);
+        a.jobs.push(job(1, 3.0));
+        let empty = Trace::new("b", 8);
+        assert_eq!(merge(&a, &empty).len(), 1);
+        assert_eq!(merge(&empty, &a).len(), 1);
+    }
+
+    #[test]
+    fn rescale_compresses_submits() {
+        let mut a = Trace::new("a", 8);
+        a.jobs.extend([job(1, 10.0), job(2, 30.0)]);
+        let r = rescale_time(&a, 0.5);
+        assert_eq!(r.jobs[0].submit, 5.0);
+        assert_eq!(r.jobs[1].submit, 15.0);
+        assert_eq!(r.jobs[1].runtime, 1.0, "runtimes untouched");
+        assert!(r.source.contains("x0.5"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Trace records.
+
+/// Why a job left the system, as recorded in the log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum JobStatus {
+    /// The job ran to completion.
+    Completed,
+    /// The job hit the 15-minute working-hours limit and was killed by the
+    /// system (DAS operational policy; see §2.4 of the paper).
+    Killed,
+}
+
+/// One job as recorded in a workload log: submission time, requested
+/// processors, and measured runtime.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TraceJob {
+    /// Sequential job number, 1-based as in SWF.
+    pub id: u32,
+    /// Submission time in seconds from the start of the log.
+    pub submit: f64,
+    /// Number of processors requested (and, for rigid jobs, allocated).
+    pub size: u32,
+    /// Measured runtime in seconds.
+    pub runtime: f64,
+    /// Anonymized user id.
+    pub user: u32,
+    /// Completion status.
+    pub status: JobStatus,
+}
+
+impl TraceJob {
+    /// Whether this record is plausible: positive size, non-negative
+    /// submit/runtime, finite values.
+    pub fn is_valid(&self) -> bool {
+        self.size > 0
+            && self.submit.is_finite()
+            && self.submit >= 0.0
+            && self.runtime.is_finite()
+            && self.runtime >= 0.0
+    }
+}
+
+/// A whole workload log: jobs in submission order plus provenance.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct Trace {
+    /// Free-text description of where the log came from.
+    pub source: String,
+    /// Capacity of the machine the log was taken on, in processors.
+    pub machine_size: u32,
+    /// The job records, sorted by submission time.
+    pub jobs: Vec<TraceJob>,
+}
+
+impl Trace {
+    /// Creates an empty trace for the given machine size.
+    pub fn new(source: impl Into<String>, machine_size: u32) -> Self {
+        Trace { source: source.into(), machine_size, jobs: Vec::new() }
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the log holds no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The distinct requested sizes, sorted ascending.
+    pub fn distinct_sizes(&self) -> Vec<u32> {
+        let mut s: Vec<u32> = self.jobs.iter().map(|j| j.size).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+
+    /// The number of distinct users that appear in the log.
+    pub fn distinct_users(&self) -> usize {
+        let mut u: Vec<u32> = self.jobs.iter().map(|j| j.user).collect();
+        u.sort_unstable();
+        u.dedup();
+        u.len()
+    }
+
+    /// Sorts jobs by submission time (stable), normalizing a log assembled
+    /// out of order.
+    pub fn sort_by_submit(&mut self) {
+        self.jobs.sort_by(|a, b| {
+            a.submit.partial_cmp(&b.submit).expect("submit times are finite")
+        });
+    }
+
+    /// Asserts internal consistency; returns the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, j) in self.jobs.iter().enumerate() {
+            if !j.is_valid() {
+                return Err(format!("job index {i} (id {}) is invalid: {j:?}", j.id));
+            }
+            if j.size > self.machine_size {
+                return Err(format!(
+                    "job id {} requests {} processors but the machine has {}",
+                    j.id, j.size, self.machine_size
+                ));
+            }
+            if i > 0 && self.jobs[i - 1].submit > j.submit {
+                return Err(format!("jobs out of submit order at index {i}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u32, submit: f64, size: u32, runtime: f64) -> TraceJob {
+        TraceJob { id, submit, size, runtime, user: 0, status: JobStatus::Completed }
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(job(1, 0.0, 4, 10.0).is_valid());
+        assert!(!job(1, 0.0, 0, 10.0).is_valid());
+        assert!(!job(1, -1.0, 4, 10.0).is_valid());
+        assert!(!job(1, 0.0, 4, f64::NAN).is_valid());
+    }
+
+    #[test]
+    fn trace_validate_catches_oversize() {
+        let mut t = Trace::new("test", 8);
+        t.jobs.push(job(1, 0.0, 16, 5.0));
+        assert!(t.validate().expect_err("oversize").contains("16"));
+    }
+
+    #[test]
+    fn trace_validate_catches_disorder() {
+        let mut t = Trace::new("test", 8);
+        t.jobs.push(job(1, 10.0, 1, 5.0));
+        t.jobs.push(job(2, 5.0, 1, 5.0));
+        assert!(t.validate().is_err());
+        t.sort_by_submit();
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn distinct_sizes_and_users() {
+        let mut t = Trace::new("test", 128);
+        for (i, s) in [4u32, 8, 4, 16].iter().enumerate() {
+            let mut j = job(i as u32 + 1, i as f64, *s, 1.0);
+            j.user = (i % 2) as u32;
+            t.jobs.push(j);
+        }
+        assert_eq!(t.distinct_sizes(), vec![4, 8, 16]);
+        assert_eq!(t.distinct_users(), 2);
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+    }
+}

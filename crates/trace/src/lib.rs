@@ -1,0 +1,36 @@
+//! # coalloc-trace — workload-trace substrate
+//!
+//! The HPDC'03 co-allocation study is *trace-based*: its job-size and
+//! service-time distributions are sampled from a 3-month log of the
+//! largest DAS1 cluster. That log is proprietary and was never published,
+//! so this crate provides
+//!
+//! * [`das::generate_das1_log`] — a synthetic log reproducing every
+//!   statistic the paper reports about the real one (Table 1 exactly;
+//!   Figs 1–2 in shape; 58 distinct sizes; the 15-minute working-hours
+//!   kill rule);
+//! * [`swf`] — a Standard Workload Format subset reader/writer, so a real
+//!   archive log can be substituted for the synthetic one;
+//! * [`filter`] — the size- and runtime-cuts that define DAS-s-64 and
+//!   DAS-t-900;
+//! * [`stats`] — the descriptive statistics behind Table 1 and Figs 1–2.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod das;
+pub mod filter;
+pub mod job;
+pub mod profile;
+pub mod stats;
+pub mod swf;
+
+pub use das::{das1_size_pmf, generate_das1_log, DasLogConfig, KILL_LIMIT_SECS, TABLE1_POWERS};
+pub use filter::{cut_by_runtime, cut_by_size, excluded_by_runtime, excluded_by_size, merge, rescale_time};
+pub use job::{JobStatus, Trace, TraceJob};
+pub use profile::{daily_burstiness, hourly_profile, interarrival_moments, working_hours_fraction};
+pub use stats::{
+    power_of_two_fractions, power_of_two_mass, runtime_histogram, runtime_moments, size_density,
+    size_moments, Moments,
+};
+pub use swf::{parse_swf, write_swf, SwfError};

@@ -1,0 +1,127 @@
+//! Arrival-process statistics of a log: interarrival moments and the
+//! hour-of-day submission profile.
+//!
+//! The paper models arrivals as a homogeneous Poisson process; a real
+//! log has a strong day/night cycle (which is also what makes the
+//! 15-minute working-hours kill rule bite). These statistics quantify
+//! that structure, validate the synthetic generator, and let a user
+//! judge how far their own log is from the Poisson assumption.
+
+use desim::stats::Welford;
+
+use crate::job::Trace;
+use crate::stats::Moments;
+
+/// Interarrival-time moments of the log.
+pub fn interarrival_moments(trace: &Trace) -> Moments {
+    let mut w = Welford::new();
+    for pair in trace.jobs.windows(2) {
+        let gap = pair[1].submit - pair[0].submit;
+        debug_assert!(gap >= 0.0, "jobs must be sorted by submit time");
+        w.add(gap.max(0.0));
+    }
+    Moments { n: w.count(), mean: w.mean(), cv: w.cv(), min: w.min(), max: w.max() }
+}
+
+/// The fraction of jobs submitted in each hour of the day (24 bins).
+pub fn hourly_profile(trace: &Trace) -> [f64; 24] {
+    let mut counts = [0u64; 24];
+    for j in &trace.jobs {
+        let hour = ((j.submit / 3600.0) % 24.0) as usize;
+        counts[hour.min(23)] += 1;
+    }
+    let total: u64 = counts.iter().sum();
+    let mut out = [0.0; 24];
+    if total > 0 {
+        for (o, &c) in out.iter_mut().zip(&counts) {
+            *o = c as f64 / total as f64;
+        }
+    }
+    out
+}
+
+/// The fraction of jobs submitted during working hours (09:00–17:00).
+pub fn working_hours_fraction(trace: &Trace) -> f64 {
+    if trace.is_empty() {
+        return 0.0;
+    }
+    let profile = hourly_profile(trace);
+    profile[9..17].iter().sum()
+}
+
+/// A crude peak-to-trough ratio of the hourly profile: how bursty the
+/// daily cycle is (1.0 = flat).
+pub fn daily_burstiness(trace: &Trace) -> f64 {
+    let profile = hourly_profile(trace);
+    let max = profile.iter().copied().fold(0.0, f64::max);
+    let min = profile.iter().copied().fold(f64::INFINITY, f64::min);
+    if min > 0.0 {
+        max / min
+    } else {
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::das::{generate_das1_log, DasLogConfig};
+    use crate::job::{JobStatus, TraceJob};
+
+    fn job_at(submit: f64) -> TraceJob {
+        TraceJob { id: 0, submit, size: 1, runtime: 1.0, user: 0, status: JobStatus::Completed }
+    }
+
+    #[test]
+    fn interarrival_moments_hand_computed() {
+        let mut t = Trace::new("toy", 8);
+        for s in [0.0, 10.0, 30.0, 60.0] {
+            t.jobs.push(job_at(s));
+        }
+        let m = interarrival_moments(&t);
+        assert_eq!(m.n, 3);
+        assert!((m.mean - 20.0).abs() < 1e-12);
+        assert_eq!(m.min, 10.0);
+        assert_eq!(m.max, 30.0);
+    }
+
+    #[test]
+    fn hourly_profile_sums_to_one() {
+        let log = generate_das1_log(&DasLogConfig { jobs: 10_000, ..Default::default() });
+        let p = hourly_profile(&log);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn synthetic_log_has_daytime_peak() {
+        let log = generate_das1_log(&DasLogConfig { jobs: 20_000, ..Default::default() });
+        let f = working_hours_fraction(&log);
+        assert!((f - 0.65).abs() < 0.05, "working-hours fraction {f:.3}");
+        let p = hourly_profile(&log);
+        // Any working hour is busier than any night hour.
+        let day_min = p[9..17].iter().copied().fold(f64::INFINITY, f64::min);
+        let night_max =
+            p[..9].iter().chain(&p[17..]).copied().fold(0.0, f64::max);
+        assert!(day_min > night_max, "day min {day_min:.4} vs night max {night_max:.4}");
+        assert!(daily_burstiness(&log) > 2.0);
+    }
+
+    #[test]
+    fn interarrival_cv_reflects_day_night_cycle() {
+        // The thinned (nonhomogeneous) process is burstier than Poisson:
+        // CV of interarrivals exceeds 1.
+        let log = generate_das1_log(&DasLogConfig { jobs: 20_000, ..Default::default() });
+        let m = interarrival_moments(&log);
+        assert!(m.cv > 1.0, "interarrival CV {:.3}", m.cv);
+    }
+
+    #[test]
+    fn empty_and_single_job_edge_cases() {
+        let t = Trace::new("empty", 8);
+        assert_eq!(interarrival_moments(&t).n, 0);
+        assert_eq!(working_hours_fraction(&t), 0.0);
+        let mut one = Trace::new("one", 8);
+        one.jobs.push(job_at(5.0));
+        assert_eq!(interarrival_moments(&one).n, 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Descriptive statistics of a workload log — the numbers behind the
+//! paper's Table 1 and Figures 1 and 2.
+
+use desim::stats::{Histogram, Welford};
+
+use crate::job::Trace;
+
+/// Summary moments of a sample.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Moments {
+    /// Number of observations.
+    pub n: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Coefficient of variation (std dev / mean).
+    pub cv: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+fn moments(values: impl Iterator<Item = f64>) -> Moments {
+    let mut w = Welford::new();
+    for v in values {
+        w.add(v);
+    }
+    Moments { n: w.count(), mean: w.mean(), cv: w.cv(), min: w.min(), max: w.max() }
+}
+
+/// Moments of the requested job sizes.
+pub fn size_moments(trace: &Trace) -> Moments {
+    moments(trace.jobs.iter().map(|j| f64::from(j.size)))
+}
+
+/// Moments of the recorded runtimes.
+pub fn runtime_moments(trace: &Trace) -> Moments {
+    moments(trace.jobs.iter().map(|j| j.runtime))
+}
+
+/// The density of job-request sizes: `(size, count)` for every distinct
+/// size, ascending — the data behind Fig. 1.
+pub fn size_density(trace: &Trace) -> Vec<(u32, u64)> {
+    let mut counts: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+    for j in &trace.jobs {
+        *counts.entry(j.size).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+/// The fraction of jobs at each power-of-two size up to the machine size —
+/// the paper's Table 1.
+pub fn power_of_two_fractions(trace: &Trace) -> Vec<(u32, f64)> {
+    let n = trace.len() as f64;
+    let mut out = Vec::new();
+    let mut p = 1u32;
+    while p <= trace.machine_size.max(1) {
+        let count = trace.jobs.iter().filter(|j| j.size == p).count();
+        out.push((p, if n > 0.0 { count as f64 / n } else { 0.0 }));
+        match p.checked_mul(2) {
+            Some(next) => p = next,
+            None => break,
+        }
+    }
+    out
+}
+
+/// Histogram of runtimes with `bin_width`-second bins over `[0, max)` —
+/// the data behind Fig. 2.
+pub fn runtime_histogram(trace: &Trace, bin_width: f64, max: f64) -> Histogram {
+    assert!(bin_width > 0.0 && max > bin_width);
+    let nbins = (max / bin_width).ceil() as usize;
+    let mut h = Histogram::new(0.0, bin_width * nbins as f64, nbins);
+    for j in &trace.jobs {
+        h.add(j.runtime);
+    }
+    h
+}
+
+/// Fraction of all jobs whose size is an exact power of two.
+pub fn power_of_two_mass(trace: &Trace) -> f64 {
+    if trace.is_empty() {
+        return 0.0;
+    }
+    let count = trace.jobs.iter().filter(|j| j.size.is_power_of_two()).count();
+    count as f64 / trace.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::das::{generate_das1_log, DasLogConfig, TABLE1_POWERS};
+    use crate::job::{JobStatus, TraceJob};
+
+    fn toy() -> Trace {
+        let mut t = Trace::new("toy", 8);
+        for (i, (size, rt)) in [(1u32, 10.0), (2, 20.0), (2, 30.0), (3, 40.0)].iter().enumerate() {
+            t.jobs.push(TraceJob {
+                id: i as u32 + 1,
+                submit: i as f64,
+                size: *size,
+                runtime: *rt,
+                user: 0,
+                status: JobStatus::Completed,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn size_density_counts() {
+        assert_eq!(size_density(&toy()), vec![(1, 1), (2, 2), (3, 1)]);
+    }
+
+    #[test]
+    fn size_moments_match_hand_computation() {
+        let m = size_moments(&toy());
+        assert_eq!(m.n, 4);
+        assert!((m.mean - 2.0).abs() < 1e-12);
+        assert_eq!(m.min, 1.0);
+        assert_eq!(m.max, 3.0);
+    }
+
+    #[test]
+    fn power_fractions_toy() {
+        let f = power_of_two_fractions(&toy());
+        assert_eq!(f.len(), 4); // 1, 2, 4, 8
+        assert!((f[0].1 - 0.25).abs() < 1e-12);
+        assert!((f[1].1 - 0.5).abs() < 1e-12);
+        assert_eq!(f[2].1, 0.0);
+        assert!((power_of_two_mass(&toy()) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runtime_histogram_bins() {
+        let h = runtime_histogram(&toy(), 10.0, 50.0);
+        assert_eq!(h.counts(), &[0, 1, 1, 1, 1]);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn synthetic_log_table1_within_tolerance() {
+        let log = generate_das1_log(&DasLogConfig { jobs: 30_000, ..DasLogConfig::default() });
+        let fractions = power_of_two_fractions(&log);
+        for &(v, expected) in TABLE1_POWERS {
+            let got = fractions
+                .iter()
+                .find(|&&(x, _)| x == v)
+                .map(|&(_, f)| f)
+                .expect("power of two in range");
+            let n = log.len() as f64;
+            let tol = 4.5 * (expected * (1.0 - expected) / n).sqrt() + 1e-3;
+            assert!((got - expected).abs() < tol, "size {v}: {got:.4} vs {expected}");
+        }
+        // The paper emphasizes the dominance of powers of two.
+        let mass = power_of_two_mass(&log);
+        assert!((mass - 0.705).abs() < 0.02, "power-of-two mass {mass:.3}");
+    }
+
+    #[test]
+    fn synthetic_log_runtime_density_is_decreasing_then_spiked() {
+        // Fig. 2 shape: mass concentrated at short runtimes. The kill rule
+        // puts a visible spike in the last bin before 900 s.
+        let log = generate_das1_log(&DasLogConfig { jobs: 30_000, ..DasLogConfig::default() });
+        let h = runtime_histogram(&log, 100.0, 1000.0);
+        let c = h.counts();
+        assert!(c[0] > c[4], "density should decrease: {c:?}");
+        // Killed jobs sit at exactly 900 s, i.e. in the [900, 1000) bin.
+        assert!(c[9] > c[8], "kill spike expected at 900 s: {c:?}");
+        assert_eq!(h.underflow(), 0);
+    }
+}

@@ -1,0 +1,250 @@
+//! A reader/writer for the Standard Workload Format (SWF) subset this
+//! study needs.
+//!
+//! SWF (Feitelson's Parallel Workloads Archive format) stores one job per
+//! line as 18 whitespace-separated integer fields, with `;` comment lines.
+//! We populate / consume the fields that a rigid-job, space-sharing study
+//! uses — job number, submit time, run time, allocated processors, status,
+//! user id — and write `-1` ("unknown") for the rest, exactly as archive
+//! tools do.
+
+use crate::job::{JobStatus, Trace, TraceJob};
+
+/// Errors arising while parsing an SWF document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwfError {
+    /// A data line did not have the 18 required fields.
+    FieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Number of fields found.
+        found: usize,
+    },
+    /// A field could not be parsed as an integer.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// 0-based field index.
+        field: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A job had a non-positive processor count.
+    BadSize {
+        /// 1-based line number.
+        line: usize,
+        /// The size found.
+        size: i64,
+    },
+}
+
+impl core::fmt::Display for SwfError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SwfError::FieldCount { line, found } => {
+                write!(f, "line {line}: expected 18 SWF fields, found {found}")
+            }
+            SwfError::BadField { line, field, token } => {
+                write!(f, "line {line}: field {field} is not an integer: {token:?}")
+            }
+            SwfError::BadSize { line, size } => {
+                write!(f, "line {line}: non-positive processor count {size}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SwfError {}
+
+/// Number of fields in an SWF record.
+pub const SWF_FIELDS: usize = 18;
+
+/// SWF status code for a completed job.
+pub const STATUS_COMPLETED: i64 = 1;
+/// SWF status code for a cancelled/killed job.
+pub const STATUS_CANCELLED: i64 = 5;
+
+/// Serializes a trace to SWF text, including a provenance header.
+///
+/// ```
+/// use coalloc_trace::{generate_das1_log, parse_swf, write_swf, DasLogConfig};
+/// let log = generate_das1_log(&DasLogConfig { jobs: 50, ..Default::default() });
+/// let text = write_swf(&log);
+/// let back = parse_swf(&text).unwrap();
+/// assert_eq!(back.jobs.len(), 50);
+/// ```
+pub fn write_swf(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.jobs.len() * 64 + 256);
+    out.push_str("; SWF trace written by coalloc-trace\n");
+    out.push_str(&format!("; Computer: {}\n", trace.source));
+    out.push_str(&format!("; MaxNodes: {}\n", trace.machine_size));
+    out.push_str(&format!("; MaxJobs: {}\n", trace.jobs.len()));
+    out.push_str("; UnixStartTime: 0\n");
+    for j in &trace.jobs {
+        let status = match j.status {
+            JobStatus::Completed => STATUS_COMPLETED,
+            JobStatus::Killed => STATUS_CANCELLED,
+        };
+        // Fields: 1 job, 2 submit, 3 wait, 4 runtime, 5 procs-used,
+        // 6 avg-cpu, 7 memory, 8 procs-requested, 9 time-requested,
+        // 10 memory-requested, 11 status, 12 user, 13 group, 14 app,
+        // 15 queue, 16 partition, 17 preceding-job, 18 think-time.
+        out.push_str(&format!(
+            "{} {} -1 {} {} -1 -1 {} -1 -1 {} {} -1 -1 -1 -1 -1 -1\n",
+            j.id,
+            j.submit.round() as i64,
+            j.runtime.round() as i64,
+            j.size,
+            j.size,
+            status,
+            j.user,
+        ));
+    }
+    out
+}
+
+/// Parses SWF text into a trace. `machine_size` is taken from the
+/// `; MaxNodes:` header when present, else from the largest job.
+pub fn parse_swf(text: &str) -> Result<Trace, SwfError> {
+    let mut trace = Trace::new("swf", 0);
+    let mut max_nodes: Option<u32> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let l = raw.trim();
+        if l.is_empty() {
+            continue;
+        }
+        if let Some(comment) = l.strip_prefix(';') {
+            let c = comment.trim();
+            if let Some(v) = c.strip_prefix("MaxNodes:") {
+                max_nodes = v.trim().parse::<u32>().ok();
+            } else if let Some(v) = c.strip_prefix("Computer:") {
+                trace.source = v.trim().to_string();
+            }
+            continue;
+        }
+        let tokens: Vec<&str> = l.split_whitespace().collect();
+        if tokens.len() != SWF_FIELDS {
+            return Err(SwfError::FieldCount { line, found: tokens.len() });
+        }
+        let field = |i: usize| -> Result<i64, SwfError> {
+            tokens[i]
+                .parse::<i64>()
+                .map_err(|_| SwfError::BadField { line, field: i, token: tokens[i].to_string() })
+        };
+        let id = field(0)?;
+        let submit = field(1)?;
+        let runtime = field(3)?;
+        // Prefer allocated processors (field 5 in SWF numbering, index 4);
+        // fall back to requested (index 7).
+        let procs_alloc = field(4)?;
+        let procs_req = field(7)?;
+        let status = field(10)?;
+        let user = field(11)?;
+        let size = if procs_alloc > 0 { procs_alloc } else { procs_req };
+        if size <= 0 {
+            return Err(SwfError::BadSize { line, size });
+        }
+        trace.jobs.push(TraceJob {
+            id: id.max(0) as u32,
+            submit: submit.max(0) as f64,
+            runtime: runtime.max(0) as f64,
+            size: size as u32,
+            user: user.max(0) as u32,
+            status: if status == STATUS_CANCELLED { JobStatus::Killed } else { JobStatus::Completed },
+        });
+    }
+    trace.machine_size = max_nodes
+        .unwrap_or_else(|| trace.jobs.iter().map(|j| j.size).max().unwrap_or(0));
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new("DAS1/TUDelft", 128);
+        t.jobs.push(TraceJob {
+            id: 1,
+            submit: 0.0,
+            size: 16,
+            runtime: 120.0,
+            user: 3,
+            status: JobStatus::Completed,
+        });
+        t.jobs.push(TraceJob {
+            id: 2,
+            submit: 60.0,
+            size: 64,
+            runtime: 900.0,
+            user: 5,
+            status: JobStatus::Killed,
+        });
+        t
+    }
+
+    #[test]
+    fn roundtrip_preserves_jobs() {
+        let t = sample_trace();
+        let text = write_swf(&t);
+        let back = parse_swf(&text).expect("valid SWF");
+        assert_eq!(back.machine_size, 128);
+        assert_eq!(back.source, "DAS1/TUDelft");
+        assert_eq!(back.jobs.len(), 2);
+        assert_eq!(back.jobs[0], t.jobs[0]);
+        assert_eq!(back.jobs[1], t.jobs[1]);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "; a comment\n\n; another\n";
+        let t = parse_swf(text).expect("valid SWF");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn field_count_error() {
+        let err = parse_swf("1 2 3\n").expect_err("too few fields");
+        assert_eq!(err, SwfError::FieldCount { line: 1, found: 3 });
+        assert!(err.to_string().contains("expected 18"));
+    }
+
+    #[test]
+    fn bad_field_error() {
+        let mut fields = vec!["1"; SWF_FIELDS];
+        fields[3] = "abc";
+        let err = parse_swf(&fields.join(" ")).expect_err("non-integer");
+        match err {
+            SwfError::BadField { line: 1, field: 3, token } => assert_eq!(token, "abc"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_size_error() {
+        // allocated == -1 and requested == -1 → no usable size
+        let line = "1 0 -1 10 -1 -1 -1 -1 -1 -1 1 0 -1 -1 -1 -1 -1 -1";
+        let err = parse_swf(line).expect_err("no size");
+        assert!(matches!(err, SwfError::BadSize { line: 1, .. }));
+    }
+
+    #[test]
+    fn falls_back_to_requested_procs() {
+        let line = "7 100 -1 50 -1 -1 -1 24 -1 -1 1 2 -1 -1 -1 -1 -1 -1";
+        let t = parse_swf(line).expect("valid SWF");
+        assert_eq!(t.jobs[0].size, 24);
+        assert_eq!(t.jobs[0].id, 7);
+        assert_eq!(t.jobs[0].submit, 100.0);
+        assert_eq!(t.jobs[0].runtime, 50.0);
+        assert_eq!(t.machine_size, 24, "inferred from largest job");
+    }
+
+    #[test]
+    fn killed_status_roundtrip() {
+        let t = sample_trace();
+        let back = parse_swf(&write_swf(&t)).expect("valid SWF");
+        assert_eq!(back.jobs[1].status, JobStatus::Killed);
+        assert_eq!(back.jobs[0].status, JobStatus::Completed);
+    }
+}

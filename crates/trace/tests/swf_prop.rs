@@ -1,0 +1,63 @@
+//! Property tests for the SWF reader/writer: round-trip fidelity on
+//! arbitrary traces, and robustness (no panics) on arbitrary input text.
+
+use coalloc_trace::{parse_swf, write_swf, JobStatus, Trace, TraceJob};
+use proptest::prelude::*;
+
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    let job = (
+        0u32..1_000_000,
+        0.0f64..1e7,
+        1u32..=128,
+        0.0f64..1e5,
+        0u32..64,
+        prop::bool::ANY,
+    )
+        .prop_map(|(id, submit, size, runtime, user, killed)| TraceJob {
+            id,
+            // SWF stores whole seconds; keep values integral so the
+            // round-trip is exact.
+            submit: submit.round(),
+            size,
+            runtime: runtime.round(),
+            user,
+            status: if killed { JobStatus::Killed } else { JobStatus::Completed },
+        });
+    proptest::collection::vec(job, 0..100).prop_map(|mut jobs| {
+        jobs.sort_by(|a, b| a.submit.partial_cmp(&b.submit).expect("finite"));
+        let mut t = Trace::new("prop", 128);
+        t.jobs = jobs;
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// write → parse is the identity on job records.
+    #[test]
+    fn roundtrip_is_identity(t in trace_strategy()) {
+        let text = write_swf(&t);
+        let back = parse_swf(&text).expect("writer output is always valid");
+        prop_assert_eq!(back.jobs.len(), t.jobs.len());
+        for (a, b) in back.jobs.iter().zip(&t.jobs) {
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(back.machine_size, t.machine_size);
+    }
+
+    /// The parser never panics on arbitrary text: it returns Ok or Err.
+    #[test]
+    fn parser_is_total_on_garbage(text in "[ -~\n]{0,500}") {
+        let _ = parse_swf(&text);
+    }
+
+    /// The parser never panics on near-miss numeric lines either.
+    #[test]
+    fn parser_is_total_on_numeric_soup(
+        fields in proptest::collection::vec(-2i64..1_000_000, 0..40)
+    ) {
+        let line = fields.iter().map(|f| f.to_string()).collect::<Vec<_>>().join(" ");
+        let _ = parse_swf(&line);
+    }
+}

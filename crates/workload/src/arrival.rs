@@ -1,0 +1,133 @@
+//! The job arrival process (§2.2): Poisson arrivals, plus the conversion
+//! between arrival rate and offered utilization that the experiment
+//! harness sweeps over.
+
+use desim::{Duration, Exponential, HyperExponential, RngStream, Variate};
+
+enum Gaps {
+    Exponential(Exponential),
+    Hyper(HyperExponential),
+}
+
+/// A renewal arrival process: Poisson by default (the paper's model), or
+/// a burstier hyperexponential-gap variant for sensitivity studies.
+pub struct ArrivalProcess {
+    gaps: Gaps,
+    rate: f64,
+}
+
+impl ArrivalProcess {
+    /// Creates a Poisson process generating `rate` jobs per second on
+    /// average (the paper's exponential interarrival times).
+    pub fn new(rate: f64) -> Self {
+        ArrivalProcess { gaps: Gaps::Exponential(Exponential::with_rate(rate)), rate }
+    }
+
+    /// Creates a renewal process with mean rate `rate` and interarrival
+    /// squared coefficient of variation `cv2` (`cv2 == 1` is Poisson;
+    /// larger values give burstier arrivals via a two-phase
+    /// hyperexponential).
+    ///
+    /// # Panics
+    /// Panics if `cv2 < 1` (hypoexponential gaps are not modelled).
+    pub fn with_cv2(rate: f64, cv2: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite());
+        if (cv2 - 1.0).abs() < 1e-12 {
+            return ArrivalProcess::new(rate);
+        }
+        assert!(cv2 > 1.0, "interarrival CV^2 must be >= 1, got {cv2}");
+        ArrivalProcess { gaps: Gaps::Hyper(HyperExponential::fit(1.0 / rate, cv2)), rate }
+    }
+
+    /// The mean arrival rate in jobs per second.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Draws the gap to the next arrival.
+    #[inline]
+    pub fn next_gap(&self, rng: &mut RngStream) -> Duration {
+        let g = match &self.gaps {
+            Gaps::Exponential(e) => e.sample(rng),
+            Gaps::Hyper(h) => h.sample(rng),
+        };
+        Duration::new(g)
+    }
+}
+
+/// Converts a target *offered* utilization into the arrival rate that
+/// produces it: `rate = utilization * capacity / work_per_job`, where
+/// `work_per_job` is the mean processor-seconds demanded per job.
+pub fn rate_for_utilization(utilization: f64, capacity: u32, work_per_job: f64) -> f64 {
+    assert!(utilization > 0.0 && utilization.is_finite(), "utilization must be positive");
+    assert!(capacity > 0, "capacity must be positive");
+    assert!(work_per_job > 0.0 && work_per_job.is_finite(), "work per job must be positive");
+    utilization * f64::from(capacity) / work_per_job
+}
+
+/// The offered utilization produced by an arrival rate (inverse of
+/// [`rate_for_utilization`]).
+pub fn utilization_for_rate(rate: f64, capacity: u32, work_per_job: f64) -> f64 {
+    assert!(capacity > 0);
+    rate * work_per_job / f64::from(capacity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_mean_matches_rate() {
+        let a = ArrivalProcess::new(0.5); // one job every 2 s on average
+        assert!((a.rate() - 0.5).abs() < 1e-12);
+        let mut rng = RngStream::new(8);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| a.next_gap(&mut rng).seconds()).sum::<f64>() / f64::from(n);
+        assert!((mean - 2.0).abs() < 0.03, "mean gap {mean}");
+    }
+
+    #[test]
+    fn rate_utilization_roundtrip() {
+        // 128 processors, mean work 23.5 procs × 150 s = 3525 proc-s/job.
+        let rate = rate_for_utilization(0.7, 128, 3525.0);
+        let util = utilization_for_rate(rate, 128, 3525.0);
+        assert!((util - 0.7).abs() < 1e-12);
+        // Sanity: higher target utilization needs a higher rate.
+        assert!(rate_for_utilization(0.9, 128, 3525.0) > rate);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_utilization_rejected() {
+        rate_for_utilization(0.0, 128, 100.0);
+    }
+
+    #[test]
+    fn bursty_gaps_keep_the_mean_rate() {
+        let a = ArrivalProcess::with_cv2(0.25, 9.0);
+        assert!((a.rate() - 0.25).abs() < 1e-12);
+        let mut rng = RngStream::new(17);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| a.next_gap(&mut rng).seconds()).collect();
+        let mean = xs.iter().sum::<f64>() / f64::from(n);
+        assert!((mean - 4.0).abs() < 0.1, "mean gap {mean}");
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / f64::from(n);
+        let cv2 = var / (mean * mean);
+        assert!((cv2 - 9.0).abs() < 0.8, "cv2 {cv2}");
+    }
+
+    #[test]
+    fn cv2_one_is_poisson() {
+        let a = ArrivalProcess::with_cv2(0.5, 1.0);
+        let b = ArrivalProcess::new(0.5);
+        let mut r1 = RngStream::new(3);
+        let mut r2 = RngStream::new(3);
+        assert_eq!(a.next_gap(&mut r1), b.next_gap(&mut r2));
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1")]
+    fn sub_poisson_cv_rejected() {
+        ArrivalProcess::with_cv2(1.0, 0.5);
+    }
+}

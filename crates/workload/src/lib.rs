@@ -1,0 +1,38 @@
+//! # coalloc-workload — the workload model of the co-allocation study
+//!
+//! Everything between a raw log and the simulator:
+//!
+//! * [`JobSizeDist`] — total-size distributions (DAS-s-128, DAS-s-64,
+//!   from-trace, custom);
+//! * [`ServiceDist`] — base service-time distributions (DAS-t-900,
+//!   exponential/deterministic for validation);
+//! * [`mod@split`] — the component-splitting rule of §2.4, including the
+//!   paper's size-64 worked example;
+//! * [`JobRequest`] / [`component_count_fractions`] — unordered requests
+//!   and the analytic Table 2;
+//! * [`ArrivalProcess`] — Poisson arrivals and the rate ↔ utilization
+//!   conversion;
+//! * [`QueueRouting`] — balanced / unbalanced (40/20/20/20) local-queue
+//!   routing;
+//! * [`Workload`] — the assembled model, with the §4 gross/net closed
+//!   form and the 1.25 wide-area extension factor
+//!   ([`EXTENSION_FACTOR`]).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod arrival;
+pub mod config;
+pub mod jobsize;
+pub mod request;
+pub mod routing;
+pub mod service;
+pub mod split;
+
+pub use arrival::{rate_for_utilization, utilization_for_rate, ArrivalProcess};
+pub use config::{JobSpec, Workload, EXTENSION_FACTOR};
+pub use jobsize::JobSizeDist;
+pub use request::{component_count_fractions, multi_component_fraction, JobRequest, RequestKind};
+pub use routing::QueueRouting;
+pub use service::ServiceDist;
+pub use split::{component_count, split, split_evenly};

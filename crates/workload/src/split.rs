@@ -1,0 +1,145 @@
+//! Splitting a total job size into components (§2.4 of the paper).
+//!
+//! Given a job-component-size limit `L` and `C` clusters, the number of
+//! components is the smallest `n` such that `ceil(total/n) <= L`, "as long
+//! as the number of components does not exceed the number of clusters" —
+//! i.e. capped at `C`, in which case components may exceed the limit.
+//! The total is then split into components "of sizes as equal as
+//! possible".
+//!
+//! The paper's own worked example (§3.3) for total size 64:
+//! limit 16 → (16,16,16,16); limit 24 → (22,21,21); limit 32 → (32,32).
+
+/// The number of components a job of `total` processors is split into
+/// under component-size `limit` on a system of `clusters` clusters.
+///
+/// # Panics
+/// Panics if `total` or `limit` is zero or `clusters` is zero.
+pub fn component_count(total: u32, limit: u32, clusters: usize) -> usize {
+    assert!(total > 0, "job size must be positive");
+    assert!(limit > 0, "component-size limit must be positive");
+    assert!(clusters > 0, "need at least one cluster");
+    // Smallest n with ceil(total/n) <= limit  ⇔  n >= ceil(total/limit).
+    let needed = total.div_ceil(limit) as usize;
+    needed.clamp(1, clusters)
+}
+
+/// Splits `total` into `n` parts as equal as possible, in non-increasing
+/// order: `total % n` parts of `ceil(total/n)` followed by parts of
+/// `floor(total/n)`.
+pub fn split_evenly(total: u32, n: usize) -> Vec<u32> {
+    assert!(n > 0, "cannot split into zero components");
+    assert!(total as usize >= n, "cannot split {total} processors into {n} non-empty components");
+    let n32 = n as u32;
+    let base = total / n32;
+    let rem = (total % n32) as usize;
+    let mut parts = Vec::with_capacity(n);
+    parts.extend(std::iter::repeat_n(base + 1, rem));
+    parts.extend(std::iter::repeat_n(base, n - rem));
+    parts
+}
+
+/// Splits a job of `total` processors under the given component-size
+/// limit: [`component_count`] followed by [`split_evenly`]. Components are
+/// returned in non-increasing order (the placement order of §2.3).
+///
+/// The paper's own worked example:
+/// ```
+/// use coalloc_workload::split;
+/// assert_eq!(split(64, 16, 4), vec![16, 16, 16, 16]);
+/// assert_eq!(split(64, 24, 4), vec![22, 21, 21]);
+/// assert_eq!(split(64, 32, 4), vec![32, 32]);
+/// ```
+pub fn split(total: u32, limit: u32, clusters: usize) -> Vec<u32> {
+    split_evenly(total, component_count(total, limit, clusters))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_size_64() {
+        assert_eq!(split(64, 16, 4), vec![16, 16, 16, 16]);
+        assert_eq!(split(64, 24, 4), vec![22, 21, 21]);
+        assert_eq!(split(64, 32, 4), vec![32, 32]);
+    }
+
+    #[test]
+    fn cluster_cap_allows_oversize_components() {
+        // Size 128 with limit 24 would need 6 components, but the cap at
+        // 4 clusters forces components of 32 > 24 (per the paper's "as
+        // long as" proviso).
+        assert_eq!(component_count(128, 24, 4), 4);
+        assert_eq!(split(128, 24, 4), vec![32, 32, 32, 32]);
+        assert_eq!(split(128, 16, 4), vec![32, 32, 32, 32]);
+    }
+
+    #[test]
+    fn small_jobs_stay_single_component() {
+        for s in 1..=16 {
+            assert_eq!(component_count(s, 16, 4), 1);
+            assert_eq!(split(s, 16, 4), vec![s]);
+        }
+        assert_eq!(component_count(24, 24, 4), 1);
+        assert_eq!(component_count(25, 24, 4), 2);
+    }
+
+    #[test]
+    fn split_is_conservative_and_sorted() {
+        for total in 1..=128u32 {
+            for limit in [16u32, 24, 32] {
+                let parts = split(total, limit, 4);
+                assert_eq!(parts.iter().sum::<u32>(), total, "total {total} limit {limit}");
+                assert!(parts.windows(2).all(|w| w[0] >= w[1]), "sorted: {parts:?}");
+                assert!(parts.iter().all(|&p| p > 0));
+                // Parts differ by at most one.
+                let max = *parts.iter().max().expect("non-empty");
+                let min = *parts.iter().min().expect("non-empty");
+                assert!(max - min <= 1, "as equal as possible: {parts:?}");
+                // Within the limit unless the cluster cap forced more.
+                if total.div_ceil(limit) <= 4 {
+                    assert!(max <= limit, "limit respected: {parts:?} (limit {limit})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minimality_of_component_count() {
+        // n is the *smallest* count satisfying the limit.
+        for total in 1..=128u32 {
+            for limit in [16u32, 24, 32] {
+                let n = component_count(total, limit, 4);
+                if n > 1 && total.div_ceil(limit) <= 4 {
+                    let fewer = split_evenly(total, n - 1);
+                    assert!(
+                        fewer[0] > limit,
+                        "size {total} limit {limit}: {} components already suffice",
+                        n - 1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn even_split_examples() {
+        assert_eq!(split_evenly(10, 3), vec![4, 3, 3]);
+        assert_eq!(split_evenly(12, 4), vec![3, 3, 3, 3]);
+        assert_eq!(split_evenly(7, 2), vec![4, 3]);
+        assert_eq!(split_evenly(1, 1), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty components")]
+    fn cannot_split_below_one_each() {
+        split_evenly(2, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_total_rejected() {
+        component_count(0, 16, 4);
+    }
+}

@@ -1,0 +1,68 @@
+//! The real DAS2 geometry: five clusters of 72 + 4×32 processors.
+//!
+//! The paper simulates an idealized 4×32 multicluster; the system that
+//! motivated it has an odd-sized head cluster. This example runs the
+//! paper's policies on the true geometry and shows how the bigger
+//! cluster changes the picture (local jobs routed proportionally; the
+//! head cluster absorbs larger single-component jobs).
+//!
+//! Run with: `cargo run --release --example das2_heterogeneous`
+
+use coalloc::core::report::format_table;
+use coalloc::core::{run, PlacementRule, PolicyKind, SimConfig};
+use coalloc::workload::{QueueRouting, Workload};
+
+fn das2_config(policy: PolicyKind, util: f64) -> SimConfig {
+    let capacities = vec![72u32, 32, 32, 32, 32];
+    let total: u32 = capacities.iter().sum();
+    // Jobs may split over all five clusters; the limit stays 16.
+    let workload = Workload { clusters: 5, ..Workload::das(16) };
+    let rate = workload.rate_for_gross_utilization(util, total);
+    // Route local jobs proportionally to cluster size.
+    let weights: Vec<f64> = capacities.iter().map(|&c| f64::from(c)).collect();
+    SimConfig {
+        policy,
+        workload,
+        routing: QueueRouting::custom(&weights),
+        capacities,
+        arrival_rate: rate,
+        arrival_cv2: 1.0,
+        total_jobs: 15_000,
+        warmup_jobs: 1_500,
+        batch_size: 300,
+        rule: PlacementRule::WorstFit,
+        record_series: false,
+        seed: 2003,
+    }
+}
+
+fn main() {
+    println!("DAS2 geometry: clusters of 72 + 32 + 32 + 32 + 32 = 200 processors");
+    println!("(the paper idealizes this as 4 x 32 = 128).");
+    println!();
+
+    let mut rows = Vec::new();
+    for util in [0.4, 0.5, 0.6] {
+        let mut row = vec![format!("{util:.1}")];
+        for policy in [PolicyKind::Ls, PolicyKind::Gs, PolicyKind::Lp] {
+            let out = run(&das2_config(policy, util));
+            row.push(format!(
+                "{:.0}{}",
+                out.metrics.mean_response,
+                if out.saturated { "*" } else { "" }
+            ));
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        format_table(
+            "Mean response time (s) on the DAS2 geometry (limit 16, size-proportional routing)",
+            &["util", "LS", "GS", "LP"],
+            &rows
+        )
+    );
+    println!("The 72-processor head cluster gives single-component jobs more room,");
+    println!("so the heterogeneous system sustains higher utilization than 4 x 32");
+    println!("at equal total capacity per processor.");
+}

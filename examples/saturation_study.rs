@@ -1,0 +1,65 @@
+//! The constant-backlog maximal-utilization study behind Table 3,
+//! extended with the LS and LP policies and an ablation over placement
+//! rules.
+//!
+//! Run with: `cargo run --release --example saturation_study`
+
+use coalloc::core::report::format_table;
+use coalloc::core::saturation::{maximal_utilization, SaturationConfig};
+use coalloc::core::{PlacementRule, PolicyKind};
+
+fn main() {
+    // Table 3: GS per component-size limit, plus the SC baseline.
+    let mut rows = Vec::new();
+    for limit in [16u32, 24, 32] {
+        let mut cfg = SaturationConfig::das_gs(limit);
+        cfg.measured_departures = 15_000;
+        let r = maximal_utilization(&cfg);
+        rows.push(vec![
+            format!("GS, limit {limit}"),
+            format!("{:.3}", r.max_gross_utilization),
+            format!("{:.3}", r.max_net_utilization),
+        ]);
+    }
+    for policy in [PolicyKind::Ls, PolicyKind::Lp] {
+        let mut cfg = SaturationConfig::das_gs(16);
+        cfg.policy = policy;
+        cfg.measured_departures = 15_000;
+        let r = maximal_utilization(&cfg);
+        rows.push(vec![
+            format!("{}, limit 16", policy.label()),
+            format!("{:.3}", r.max_gross_utilization),
+            format!("{:.3}", r.max_net_utilization),
+        ]);
+    }
+    let mut sc = SaturationConfig::das_sc();
+    sc.measured_departures = 15_000;
+    let r = maximal_utilization(&sc);
+    rows.push(vec!["SC".to_string(), format!("{:.3}", r.max_gross_utilization), format!("{:.3}", r.max_net_utilization)]);
+    println!(
+        "{}",
+        format_table(
+            "Maximal utilization under constant backlog (Table 3 + extensions)",
+            &["configuration", "max gross", "max net"],
+            &rows
+        )
+    );
+
+    // Ablation: how much does the placement rule matter for GS?
+    let mut rows = Vec::new();
+    for rule in [PlacementRule::WorstFit, PlacementRule::BestFit, PlacementRule::FirstFit] {
+        let mut cfg = SaturationConfig::das_gs(16);
+        cfg.rule = rule;
+        cfg.measured_departures = 15_000;
+        let r = maximal_utilization(&cfg);
+        rows.push(vec![format!("{rule:?}"), format!("{:.3}", r.max_gross_utilization)]);
+    }
+    println!(
+        "{}",
+        format_table(
+            "Placement-rule ablation (GS, limit 16): the paper uses Worst Fit",
+            &["placement rule", "max gross utilization"],
+            &rows
+        )
+    );
+}

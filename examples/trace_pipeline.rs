@@ -1,0 +1,64 @@
+//! The full trace-based methodology of the paper, end to end:
+//!
+//! 1. obtain a workload log (here: the synthetic DAS1 log; substitute a
+//!    real SWF file if you have one),
+//! 2. write/read it through the SWF subset (proving interchangeability),
+//! 3. derive the size distribution (cut at 64 → DAS-s-64) and the
+//!    service-time distribution (cut at 900 s → DAS-t-900),
+//! 4. drive a multicluster simulation with them.
+//!
+//! Run with: `cargo run --release --example trace_pipeline [path.swf]`
+
+use coalloc::core::{run, PolicyKind, SimConfig};
+use coalloc::trace::{self, DasLogConfig};
+use coalloc::workload::{JobSizeDist, ServiceDist, Workload};
+
+fn main() {
+    // 1. Load or synthesize the log.
+    let log = match std::env::args().nth(1) {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path).expect("readable SWF file");
+            trace::parse_swf(&text).expect("valid SWF")
+        }
+        None => trace::generate_das1_log(&DasLogConfig::default()),
+    };
+    println!("log: {} jobs from {:?}", log.len(), log.source);
+    let sm = trace::size_moments(&log);
+    let rm = trace::runtime_moments(&log);
+    println!("  sizes   : mean {:.2}, cv {:.2}, {} distinct values", sm.mean, sm.cv, log.distinct_sizes().len());
+    println!("  runtimes: mean {:.1} s, cv {:.2}", rm.mean, rm.cv);
+
+    // 2. Round-trip through SWF.
+    let swf = trace::write_swf(&log);
+    let back = trace::parse_swf(&swf).expect("round-trip");
+    assert_eq!(back.len(), log.len());
+    println!("  SWF round-trip: {} bytes, {} jobs preserved", swf.len(), back.len());
+
+    // 3. Derive the paper's distributions from the log.
+    let cut_sizes = trace::cut_by_size(&log, 64);
+    let cut_times = trace::cut_by_runtime(&log, 900.0);
+    println!(
+        "  cut at 64 procs excludes {:.2}% of jobs; cut at 900 s excludes {:.2}%",
+        100.0 * trace::excluded_by_size(&log, 64),
+        100.0 * trace::excluded_by_runtime(&log, 900.0)
+    );
+    let sizes = JobSizeDist::from_trace("log-s-64", &cut_sizes);
+    let service = ServiceDist::from_trace("log-t-900", &cut_times, 10.0);
+
+    // 4. Simulate LS on the 4×32 multicluster with the derived workload.
+    let workload = Workload::custom(sizes, service, 16, 4);
+    let rate = workload.rate_for_gross_utilization(0.5, 128);
+    let mut cfg = SimConfig::das(PolicyKind::Ls, 16, 0.5);
+    cfg.workload = workload;
+    cfg.arrival_rate = rate;
+    cfg.total_jobs = 15_000;
+    cfg.warmup_jobs = 1_500;
+    let out = run(&cfg);
+    println!();
+    println!("LS at offered gross utilization 0.5 with the log-derived workload:");
+    println!("  mean response {:.0} s, gross util {:.3}, net util {:.3}, saturated: {}",
+        out.metrics.mean_response,
+        out.metrics.gross_utilization,
+        out.metrics.net_utilization,
+        out.saturated);
+}

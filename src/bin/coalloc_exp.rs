@@ -1,0 +1,173 @@
+//! `coalloc-exp` — regenerates every table and figure of Bucur & Epema
+//! (HPDC 2003) from the simulator.
+//!
+//! ```text
+//! coalloc-exp <target> [--full]
+//!
+//! targets:
+//!   table1 table2 table3 ratios        the paper's tables and §4 ratios
+//!   fig1 fig2 fig3 fig4 fig5 fig6 fig7 the paper's figures (data series)
+//!   all                                everything, in paper order
+//!
+//! --full runs paper-scale simulations (tens of CPU-minutes); the
+//! default quick scale reproduces every qualitative shape in ~a minute.
+//! ```
+
+use coalloc::experiments::{self, Scale};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: coalloc-exp <target> [--full] [--save <dir>]\n\
+         targets: table1 table2 table3 ratios fig1..fig7 packing\n\
+         \x20        reqtypes placement backfill extfactor burstiness plot all\n\
+         \x20        runjson <GS|LS|LP|SC|GB> <limit> <utilization>   (JSON SimOutcome)"
+    );
+    std::process::exit(2);
+}
+
+/// Runs one simulation and prints the full outcome as JSON.
+fn runjson(args: &[String], scale: Scale) {
+    use coalloc::core::{run, PolicyKind, SimConfig};
+    let policy = match args.first().map(String::as_str) {
+        Some("GS") => PolicyKind::Gs,
+        Some("LS") => PolicyKind::Ls,
+        Some("LP") => PolicyKind::Lp,
+        Some("SC") => PolicyKind::Sc,
+        Some("GB") => PolicyKind::Gb,
+        _ => usage(),
+    };
+    let limit: u32 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or_else(|| usage());
+    let util: f64 = args.get(2).and_then(|a| a.parse().ok()).unwrap_or_else(|| usage());
+    let mut cfg = if policy == PolicyKind::Sc {
+        SimConfig::das_single_cluster(util)
+    } else {
+        SimConfig::das(policy, limit, util)
+    };
+    cfg.total_jobs = scale.total_jobs();
+    cfg.warmup_jobs = scale.warmup_jobs();
+    let out = run(&cfg);
+    println!("{}", serde_json::to_string_pretty(&out).expect("SimOutcome serializes"));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let scale = if args.iter().any(|a| a == "--full") { Scale::Full } else { Scale::Quick };
+    let save_dir: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--save")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    if let Some(dir) = &save_dir {
+        std::fs::create_dir_all(dir).expect("can create the save directory");
+    }
+    let target = args.first().map(String::as_str).unwrap_or("");
+    if target == "runjson" {
+        runjson(&args[1..], scale);
+        return;
+    }
+    if target == "list" {
+        for (name, what) in [
+            ("table1", "fractions of jobs with power-of-two sizes (paper Table 1)"),
+            ("fig1", "density of job-request sizes (paper Fig 1)"),
+            ("fig2", "density of service times (paper Fig 2)"),
+            ("table2", "component-count fractions per limit (paper Table 2)"),
+            ("fig3", "response vs gross utilization, 6 panels (paper Fig 3)"),
+            ("fig4", "per-queue responses near LP saturation (paper Fig 4)"),
+            ("fig5", "DAS-s-64 vs DAS-s-128 (paper Fig 5)"),
+            ("fig6", "per-policy limit comparison (paper Fig 6)"),
+            ("fig7", "gross vs net utilization curves (paper Fig 7)"),
+            ("table3", "maximal utilizations, GS + SC (paper Table 3)"),
+            ("ratios", "closed-form gross/net ratios (paper section 4)"),
+            ("table3x", "maximal utilizations for every policy (extension)"),
+            ("packing", "mechanized section 3.3 packing analysis"),
+            ("scorecard", "all headline claims re-evaluated, PASS/FAIL"),
+            ("reqtypes", "ordered vs unordered vs flexible requests (extension)"),
+            ("placement", "Worst/Best/First Fit ablation"),
+            ("backfill", "GS vs GB (aggressive backfilling) vs LS (extension)"),
+            ("extfactor", "extension-factor sensitivity (viability conclusion)"),
+            ("burstiness", "arrival-burstiness sensitivity (extension)"),
+            ("correlation", "size-service correlation sensitivity (extension)"),
+            ("das2", "the real 72+4x32 DAS2 geometry (extension)"),
+            ("plot", "ASCII terminal plot of the headline panel"),
+            ("runjson", "one simulation, full JSON outcome"),
+            ("all", "everything above, in paper order"),
+        ] {
+            use std::io::Write;
+            if writeln!(std::io::stdout(), "{name:<12} {what}").is_err() {
+                break; // reader (e.g. `| head`) closed the pipe
+            }
+        }
+        return;
+    }
+    let known = [
+        "table1", "table2", "table3", "ratios", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+        "fig7", "reqtypes", "placement", "backfill", "extfactor", "burstiness", "correlation", "das2", "packing", "table3x", "scorecard", "plot", "list", "all", "runjson",
+    ];
+    if !known.contains(&target) {
+        usage();
+    }
+
+    // Write with errors ignored so `coalloc-exp ... | head` exits
+    // quietly instead of panicking on the closed pipe.
+    let emit = |name: &str, text: String| {
+        use std::io::Write;
+        let mut out = std::io::stdout();
+        let _ = writeln!(out, "=============================================================");
+        let _ = writeln!(out, "== {name}");
+        let _ = writeln!(out, "=============================================================");
+        let _ = writeln!(out, "{text}");
+        if let Some(dir) = &save_dir {
+            let slug: String = name
+                .to_lowercase()
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            let file = dir.join(format!("{slug}.txt"));
+            std::fs::write(&file, &text).expect("can write the result file");
+        }
+    };
+
+    let run_one = |name: &str| match name {
+        "table1" => emit("Table 1", experiments::table1()),
+        "table2" => emit("Table 2", experiments::table2()),
+        "table3" => emit("Table 3", experiments::table3(scale)),
+        "table3x" => emit("Table 3 (extended)", experiments::table3_extended(scale)),
+        "ratios" => emit("Gross/net ratios (§4)", experiments::ratios()),
+        "packing" => emit("Packing analysis (§3.3)", experiments::packing()),
+        "scorecard" => emit("Conclusions scorecard", experiments::scorecard(scale)),
+        "fig1" => emit("Figure 1", experiments::fig1()),
+        "fig2" => emit("Figure 2", experiments::fig2()),
+        "fig3" => emit("Figure 3", experiments::fig3(scale)),
+        "fig4" => emit("Figure 4", experiments::fig4(scale)),
+        "fig5" => emit("Figure 5", experiments::fig5(scale)),
+        "fig6" => emit("Figure 6", experiments::fig6(scale)),
+        "fig7" => emit("Figure 7", experiments::fig7(scale)),
+        "reqtypes" => emit("Extension: request structures", experiments::request_types(scale)),
+        "placement" => emit("Ablation: placement rules", experiments::placement_rules(scale)),
+        "plot" => emit("Terminal plot (Fig 3, limit 16)", experiments::terminal_plot(scale)),
+        "backfill" => emit("Extension: backfilling", experiments::backfilling(scale)),
+        "burstiness" => emit("Extension: arrival burstiness", experiments::burstiness(scale)),
+        "correlation" => {
+            emit("Extension: size-service correlation", experiments::correlation(scale))
+        }
+        "das2" => emit("Extension: the real DAS2 geometry", experiments::das2(scale)),
+        "extfactor" => {
+            emit("Extension: extension-factor sensitivity", experiments::extension_sensitivity(scale))
+        }
+        _ => unreachable!("validated above"),
+    };
+
+    if target == "all" {
+        for name in [
+            "table1", "fig1", "fig2", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "table3",
+            "ratios", "table3x", "packing", "scorecard", "reqtypes", "placement", "backfill", "extfactor", "burstiness", "correlation", "das2",
+        ] {
+            run_one(name);
+        }
+    } else {
+        run_one(target);
+    }
+}

@@ -1,0 +1,121 @@
+//! The experiment harness: one function per table and figure of the
+//! paper's evaluation, each returning plain text in the layout the paper
+//! reports (tables as aligned rows, figures as gnuplot-style `x y`
+//! series). The `coalloc-exp` binary wraps these; EXPERIMENTS.md records
+//! paper-vs-measured for each.
+
+pub mod extensions;
+pub mod figures;
+pub mod scorecard;
+pub mod tables;
+
+pub use extensions::{backfilling, burstiness, correlation, das2, extension_sensitivity, placement_rules, request_types};
+pub use figures::{fig1, fig2, fig3, fig4, fig5, fig6, fig7, terminal_plot};
+pub use scorecard::scorecard;
+pub use tables::{packing, ratios, table1, table2, table3, table3_extended};
+
+use coalloc_core::experiment::{SweepConfig, SweepPoint};
+use coalloc_core::PolicyKind;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// How big the experiment runs are.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Small runs for tests and smoke checks (minutes of CPU overall).
+    Quick,
+    /// Paper-scale runs (tens of minutes of CPU overall).
+    Full,
+}
+
+impl Scale {
+    /// Arrivals generated per simulation run.
+    pub fn total_jobs(self) -> u64 {
+        match self {
+            Scale::Quick => 8_000,
+            Scale::Full => 40_000,
+        }
+    }
+
+    /// Warm-up departures discarded per run.
+    pub fn warmup_jobs(self) -> u64 {
+        match self {
+            Scale::Quick => 1_000,
+            Scale::Full => 4_000,
+        }
+    }
+
+    /// Independent replications per sweep point.
+    pub fn replications(self) -> u64 {
+        match self {
+            Scale::Quick => 2,
+            Scale::Full => 3,
+        }
+    }
+
+    /// The utilization grid of the response-time curves.
+    pub fn utilizations(self) -> Vec<f64> {
+        match self {
+            Scale::Quick => vec![0.3, 0.45, 0.55, 0.65, 0.75],
+            Scale::Full => (6..=17).map(|i| f64::from(i) * 0.05).collect(), // 0.30..=0.85
+        }
+    }
+
+    /// Departures measured in a constant-backlog saturation run.
+    pub fn saturation_departures(self) -> u64 {
+        match self {
+            Scale::Quick => 8_000,
+            Scale::Full => 40_000,
+        }
+    }
+
+    /// The sweep configuration for this scale.
+    pub fn sweep(self) -> SweepConfig {
+        SweepConfig {
+            utilizations: self.utilizations(),
+            replications: self.replications(),
+            base_seed: 2003,
+            threads: 0,
+        }
+    }
+}
+
+/// Applies this scale's run sizes to a simulation configuration.
+pub fn scaled(mut cfg: coalloc_core::SimConfig, scale: Scale) -> coalloc_core::SimConfig {
+    cfg.total_jobs = scale.total_jobs();
+    cfg.warmup_jobs = scale.warmup_jobs();
+    cfg.batch_size = (scale.total_jobs() / 40).max(50);
+    cfg
+}
+
+/// A process-wide memo of policy sweeps: the paper's figures share most
+/// of their curves (Fig 3's panels reappear in Figs 6 and 7), so one
+/// harness invocation computes each (policy, limit, balanced, cut64,
+/// scale) sweep once.
+#[allow(clippy::type_complexity)]
+static SWEEP_CACHE: Mutex<
+    Option<HashMap<(PolicyKind, u32, bool, bool, Scale), Vec<SweepPoint>>>,
+> = Mutex::new(None);
+
+/// Memoized policy sweep used by the figure builders.
+pub(crate) fn cached_sweep(
+    policy: PolicyKind,
+    limit: u32,
+    balanced: bool,
+    cut64: bool,
+    scale: Scale,
+    compute: impl FnOnce() -> Vec<SweepPoint>,
+) -> Vec<SweepPoint> {
+    let key = (policy, limit, balanced, cut64, scale);
+    if let Some(hit) = SWEEP_CACHE.lock().expect("cache lock").get_or_insert_with(HashMap::new).get(&key) {
+        return hit.clone();
+    }
+    let pts = compute();
+    SWEEP_CACHE
+        .lock()
+        .expect("cache lock")
+        .get_or_insert_with(HashMap::new)
+        .insert(key, pts.clone());
+    pts
+}
+

@@ -1,0 +1,174 @@
+//! Property-based invariants of the scheduling core, driven through the
+//! public policy API with randomized job streams.
+
+use coalloc::core::{
+    ActiveJob, JobId, JobTable, MultiCluster, PlacementRule, PolicyKind, Scheduler,
+};
+use coalloc::desim::{Duration, RngStream, SimTime};
+use coalloc::workload::{JobRequest, JobSpec, QueueRouting};
+use proptest::prelude::*;
+
+/// A randomized scenario: a sequence of job total sizes plus a limit.
+#[derive(Debug, Clone)]
+struct Scenario {
+    policy: PolicyKind,
+    limit: u32,
+    sizes: Vec<u32>,
+    /// Departure order permutation seeds.
+    seed: u64,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        prop_oneof![
+            Just(PolicyKind::Gs),
+            Just(PolicyKind::Ls),
+            Just(PolicyKind::Lp)
+        ],
+        prop_oneof![Just(16u32), Just(24u32), Just(32u32)],
+        proptest::collection::vec(1u32..=128, 1..60),
+        any::<u64>(),
+    )
+        .prop_map(|(policy, limit, sizes, seed)| Scenario { policy, limit, sizes, seed })
+}
+
+/// Drives a full submit/schedule/depart lifecycle and checks invariants
+/// at every step. Returns (started, completed).
+fn drive(sc: &Scenario) -> (usize, usize) {
+    let mut system = MultiCluster::das_multicluster();
+    let mut policy: Box<dyn Scheduler> = sc.policy.build(
+        4,
+        QueueRouting::balanced(4),
+        RngStream::new(sc.seed),
+        PlacementRule::WorstFit,
+    );
+    let mut table = JobTable::new();
+    let mut rng = RngStream::new(sc.seed ^ 0xD15EA5E);
+    let mut running: Vec<JobId> = Vec::new();
+    let mut started = 0usize;
+    let mut completed = 0usize;
+    let mut now = 0.0f64;
+
+    let check = |system: &MultiCluster, table: &JobTable, running: &[JobId]| {
+        // Processor conservation: busy == sum over running placements.
+        let placed: u32 = running
+            .iter()
+            .map(|&id| table.get(id).placement.as_ref().expect("running job placed").total())
+            .sum();
+        assert_eq!(system.total_busy(), placed, "busy processors must match placements");
+        assert!(system.total_busy() <= system.total_capacity());
+        for &id in running {
+            let job = table.get(id);
+            let placement = job.placement.as_ref().expect("placed");
+            // Components on distinct clusters, matching the request.
+            let mut clusters: Vec<usize> =
+                placement.assignments().iter().map(|&(c, _)| c).collect();
+            clusters.sort_unstable();
+            clusters.dedup();
+            assert_eq!(clusters.len(), placement.assignments().len());
+            assert_eq!(placement.total(), job.spec.request.total());
+        }
+    };
+
+    for &size in &sc.sizes {
+        now += 1.0;
+        let spec = JobSpec {
+            request: JobRequest::from_total(size, sc.limit, 4),
+            base_service: Duration::new(10.0 + f64::from(size)),
+        };
+        let queue = policy.route(&spec);
+        let id = table.insert(ActiveJob::new(spec, SimTime::new(now), queue));
+        policy.enqueue(id, queue);
+        let newly = policy.schedule(SimTime::new(now), &mut system, &mut table);
+        started += newly.len();
+        running.extend(newly);
+        check(&system, &table, &running);
+
+        // Randomly depart some running jobs.
+        while !running.is_empty() && rng.chance(0.4) {
+            let idx = rng.index(running.len());
+            let id = running.swap_remove(idx);
+            let placement = table.get(id).placement.clone().expect("placed");
+            system.release(&placement);
+            policy.on_departure();
+            completed += 1;
+            let newly = policy.schedule(SimTime::new(now), &mut system, &mut table);
+            started += newly.len();
+            running.extend(newly);
+            check(&system, &table, &running);
+        }
+    }
+
+    // Drain: depart everything and keep scheduling until quiescent.
+    while let Some(id) = running.pop() {
+        let placement = table.get(id).placement.clone().expect("placed");
+        system.release(&placement);
+        policy.on_departure();
+        completed += 1;
+        let newly = policy.schedule(SimTime::new(now), &mut system, &mut table);
+        started += newly.len();
+        running.extend(newly);
+        check(&system, &table, &running);
+    }
+    assert_eq!(system.total_busy(), 0, "everything released after the drain");
+    (started, completed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Under any policy and any job stream: processors are conserved,
+    /// components land on distinct clusters, and the full drain empties
+    /// the system and serves every job.
+    #[test]
+    fn scheduling_invariants(sc in scenario()) {
+        let (started, completed) = drive(&sc);
+        prop_assert_eq!(started, completed, "every started job departs");
+        prop_assert_eq!(started, sc.sizes.len(), "the final drain serves every queued job");
+    }
+}
+
+// FCFS within a queue: under GS, jobs start in submission order.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gs_starts_in_fcfs_order(sizes in proptest::collection::vec(1u32..=128, 1..40)) {
+        let mut system = MultiCluster::das_multicluster();
+        let mut policy: Box<dyn Scheduler> = PolicyKind::Gs.build(
+            4,
+            QueueRouting::balanced(4),
+            RngStream::new(1),
+            PlacementRule::WorstFit,
+        );
+        let mut table = JobTable::new();
+        let mut order: Vec<JobId> = Vec::new();
+        let mut running: Vec<JobId> = Vec::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            let spec = JobSpec {
+                request: JobRequest::from_total(size, 16, 4),
+                base_service: Duration::new(10.0),
+            };
+            let queue = policy.route(&spec);
+            let id = table.insert(ActiveJob::new(spec, SimTime::new(i as f64), queue));
+            policy.enqueue(id, queue);
+            let newly = policy.schedule(SimTime::new(i as f64), &mut system, &mut table);
+            order.extend(newly.iter().copied());
+            running.extend(newly);
+        }
+        // Drain in FIFO of start order.
+        let mut k = 0;
+        while k < running.len() {
+            let id = running[k];
+            k += 1;
+            let placement = table.get(id).placement.clone().expect("placed");
+            system.release(&placement);
+            policy.on_departure();
+            let newly = policy.schedule(SimTime::new(1e6), &mut system, &mut table);
+            order.extend(newly.iter().copied());
+            running.extend(newly);
+        }
+        // Start order must be monotone in JobId (submission order).
+        prop_assert!(order.windows(2).all(|w| w[0] < w[1]), "GS start order {order:?}");
+    }
+}

@@ -1,0 +1,242 @@
+//! The paper's qualitative findings, asserted as integration tests.
+//! Each test names the section of the paper whose claim it checks. These
+//! use moderate run sizes with fixed seeds; the inequalities asserted are
+//! the robust ones the conclusions rest on.
+
+use coalloc::core::saturation::{maximal_utilization, SaturationConfig};
+use coalloc::core::{run, PolicyKind, SimConfig};
+
+fn das_run(policy: PolicyKind, limit: u32, util: f64, balanced: bool) -> coalloc::core::SimOutcome {
+    let mut cfg = SimConfig::das(policy, limit, util);
+    if !balanced {
+        cfg = cfg.unbalanced();
+    }
+    cfg.total_jobs = 20_000;
+    cfg.warmup_jobs = 2_000;
+    run(&cfg)
+}
+
+fn sc_run(util: f64) -> coalloc::core::SimOutcome {
+    let mut cfg = SimConfig::das_single_cluster(util);
+    cfg.total_jobs = 20_000;
+    cfg.warmup_jobs = 2_000;
+    run(&cfg)
+}
+
+/// §3.1.1: "LS performs much better than the other multicluster policies
+/// for a size limit of 16"; "In all the graphs LP displays the worst
+/// results"; "GS ... is consistently better than LP".
+#[test]
+fn limit16_policy_ordering() {
+    // At moderate load GS and LP are near-tied; the ordering is sharp
+    // from the mid-range on, so LS<GS is asserted everywhere and GS<LP
+    // where LP's global-queue bottleneck has set in.
+    for util in [0.5, 0.55, 0.6] {
+        let ls = das_run(PolicyKind::Ls, 16, util, true).metrics.mean_response;
+        let gs = das_run(PolicyKind::Gs, 16, util, true).metrics.mean_response;
+        assert!(ls < gs, "util {util}: LS {ls} must beat GS {gs}");
+        if util >= 0.55 {
+            let lp = das_run(PolicyKind::Lp, 16, util, true).metrics.mean_response;
+            assert!(gs < lp, "util {util}: GS {gs} must beat LP {lp}");
+        }
+    }
+}
+
+/// §3.1.3: LP's bottleneck is the global queue — its global-queue
+/// response dwarfs its local-queue response near saturation.
+#[test]
+fn lp_global_queue_is_the_bottleneck() {
+    let out = das_run(PolicyKind::Lp, 16, 0.55, true);
+    let m = &out.metrics;
+    assert!(
+        m.response_global > 1.5 * m.response_local,
+        "global {} vs local {}",
+        m.response_global,
+        m.response_local
+    );
+}
+
+/// §3.1.2: unbalanced local queues hurt LS (more load on one local
+/// cluster, smaller backfilling window); the deterioration for LP is
+/// small.
+#[test]
+fn unbalance_hurts_ls_more_than_lp() {
+    let util = 0.55;
+    let ls_bal = das_run(PolicyKind::Ls, 32, util, true).metrics.mean_response;
+    let ls_unbal = das_run(PolicyKind::Ls, 32, util, false).metrics.mean_response;
+    let lp_bal = das_run(PolicyKind::Lp, 32, util, true).metrics.mean_response;
+    let lp_unbal = das_run(PolicyKind::Lp, 32, util, false).metrics.mean_response;
+    assert!(ls_unbal > ls_bal, "unbalance must hurt LS: {ls_bal} -> {ls_unbal}");
+    let ls_loss = ls_unbal / ls_bal;
+    let lp_loss = lp_unbal / lp_bal;
+    assert!(
+        ls_loss > lp_loss,
+        "LS deteriorates more: LS ×{ls_loss:.2} vs LP ×{lp_loss:.2}"
+    );
+}
+
+/// §3.2: limiting the total job size to 64 brings large improvements,
+/// "even more so for SC".
+#[test]
+fn das_s_64_improves_performance() {
+    let util = 0.6;
+    // SC with and without the size cut.
+    let sc128 = sc_run(util).metrics.mean_response;
+    let sc64 = {
+        let mut cfg = SimConfig::das_single_cluster(util);
+        cfg.workload = coalloc::workload::Workload::single_cluster_cut64();
+        cfg.arrival_rate = cfg.workload.rate_for_gross_utilization(util, 128);
+        cfg.total_jobs = 20_000;
+        cfg.warmup_jobs = 2_000;
+        run(&cfg).metrics.mean_response
+    };
+    assert!(sc64 < 0.7 * sc128, "SC must improve a lot: {sc128} -> {sc64}");
+
+    // LS as well.
+    let ls128 = das_run(PolicyKind::Ls, 16, util, true).metrics.mean_response;
+    let ls64 = {
+        let mut cfg = SimConfig::das(PolicyKind::Ls, 16, util);
+        cfg.workload = coalloc::workload::Workload::das_cut64(16);
+        cfg.arrival_rate = cfg.workload.rate_for_gross_utilization(util, 128);
+        cfg.total_jobs = 20_000;
+        cfg.warmup_jobs = 2_000;
+        run(&cfg).metrics.mean_response
+    };
+    assert!(ls64 < ls128, "LS must improve: {ls128} -> {ls64}");
+}
+
+/// §3.3: for LS, limit 16 beats limit 32, and limit 24 is the worst of
+/// the three (the size-64 → (22,21,21) packing pathology).
+#[test]
+fn ls_limit_ordering() {
+    let util = 0.55;
+    let r16 = das_run(PolicyKind::Ls, 16, util, true).metrics.mean_response;
+    let r24 = das_run(PolicyKind::Ls, 24, util, true).metrics.mean_response;
+    let r32 = das_run(PolicyKind::Ls, 32, util, true).metrics.mean_response;
+    assert!(r16 < r32, "LS: limit 16 ({r16}) must beat limit 32 ({r32})");
+    assert!(r24 > r32, "LS: limit 24 ({r24}) must be worst (vs {r32})");
+}
+
+/// §3.3 / Table 3: limit 24 is the worst for GS too, in maximal
+/// utilization terms.
+#[test]
+fn gs_limit24_saturates_earliest() {
+    let sat = |limit: u32| {
+        let mut cfg = SaturationConfig::das_gs(limit);
+        cfg.measured_departures = 10_000;
+        maximal_utilization(&cfg).max_gross_utilization
+    };
+    let (u16_, u24, u32_) = (sat(16), sat(24), sat(32));
+    assert!(u24 < u16_ && u24 < u32_, "limit 24 worst: {u16_:.3} {u24:.3} {u32_:.3}");
+}
+
+/// §4: the gross−net gap grows as the limit shrinks (more co-allocation,
+/// more wide-area communication), and the measured ratio matches the
+/// closed form.
+#[test]
+fn gross_net_gap_matches_closed_form() {
+    for limit in [16u32, 24, 32] {
+        let out = das_run(PolicyKind::Gs, limit, 0.45, true);
+        let measured = out.metrics.gross_utilization / out.metrics.net_utilization;
+        let exact = coalloc::workload::Workload::das(limit).gross_net_ratio();
+        assert!(
+            (measured - exact).abs() < 0.03,
+            "limit {limit}: measured ratio {measured:.4} vs closed form {exact:.4}"
+        );
+    }
+}
+
+/// §3.1.1 / §4: LS's maximal gross utilization at limit 16 comes close
+/// to SC's (within 10 %), while in net terms SC is significantly better.
+#[test]
+fn ls_gross_close_to_sc_but_net_worse() {
+    let mut ls = SaturationConfig::das_gs(16);
+    ls.policy = PolicyKind::Ls;
+    ls.measured_departures = 10_000;
+    let ls_r = maximal_utilization(&ls);
+    let mut sc = SaturationConfig::das_sc();
+    sc.measured_departures = 10_000;
+    let sc_r = maximal_utilization(&sc);
+    assert!(
+        ls_r.max_gross_utilization > 0.9 * sc_r.max_gross_utilization,
+        "LS gross {:.3} close to SC {:.3}",
+        ls_r.max_gross_utilization,
+        sc_r.max_gross_utilization
+    );
+    assert!(
+        ls_r.max_net_utilization < 0.85 * sc_r.max_net_utilization,
+        "in net terms SC is significantly better: LS {:.3} vs SC {:.3}",
+        ls_r.max_net_utilization,
+        sc_r.max_net_utilization
+    );
+}
+
+/// §3.1.1: the multicluster policies saturate well below full
+/// utilization — "with the workload considered the performance is poor
+/// for all policies".
+#[test]
+fn everything_saturates_below_08() {
+    for policy in [PolicyKind::Gs, PolicyKind::Lp] {
+        let out = das_run(policy, 16, 0.85, true);
+        assert!(out.saturated, "{policy} must be saturated at offered 0.85");
+    }
+}
+
+/// §3.1.2's causal claim, seen directly in per-queue data: under
+/// unbalanced routing the overloaded local queue (40 % of jobs) has a
+/// clearly higher mean response than the 20 % queues.
+#[test]
+fn unbalanced_ls_overloads_the_heavy_queue() {
+    let out = das_run(PolicyKind::Ls, 32, 0.55, false);
+    let q = &out.metrics.response_per_queue;
+    let heavy = q[0];
+    let light = (q[1] + q[2] + q[3]) / 3.0;
+    assert!(
+        heavy > 1.15 * light,
+        "heavy queue {heavy:.0} vs light queues {light:.0}"
+    );
+}
+
+/// Waiting time plus (extended) service is the response: the
+/// decomposition is consistent for every policy.
+#[test]
+fn response_decomposes_into_wait_and_service() {
+    for policy in [PolicyKind::Gs, PolicyKind::Ls, PolicyKind::Lp] {
+        let out = das_run(policy, 16, 0.5, true);
+        let m = &out.metrics;
+        // Mean occupancy = E[S]·(1 + 0.25·multi_fraction); the workload's
+        // multi fraction at limit 16 is 0.487.
+        let w = coalloc::workload::Workload::das(16);
+        let mean_occ = w.service.mean_secs() * (1.0 + 0.25 * w.multi_fraction());
+        let recon = m.mean_wait + mean_occ;
+        let rel = (m.mean_response - recon).abs() / m.mean_response;
+        assert!(
+            rel < 0.05,
+            "{policy}: response {:.0} vs wait {:.0} + occupancy {:.0}",
+            m.mean_response,
+            m.mean_wait,
+            mean_occ
+        );
+    }
+}
+
+/// Large jobs wait disproportionately (the §3.2 motivation for DAS-s-64):
+/// the 65+ size class has a far higher mean response than the 1-8 class.
+#[test]
+fn large_jobs_suffer_most() {
+    let out = das_run(PolicyKind::Gs, 16, 0.55, true);
+    let by_size = &out.metrics.response_by_size;
+    // Classes: 1-8, 9-16, 17-32, 33-64, 65+.
+    // Under strict FCFS everyone shares the head-of-line wait, so the
+    // gap is in the start-vs-fit difficulty plus the extension: ~1.5x.
+    assert!(
+        by_size[4] > 1.3 * by_size[0],
+        "65+ class {:.0} vs 1-8 class {:.0}",
+        by_size[4],
+        by_size[0]
+    );
+    // Monotone-ish: the largest class is the worst of all.
+    for (i, &r) in by_size.iter().enumerate().take(4) {
+        assert!(by_size[4] >= r, "class {i}: {r}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Machine-readable output: every result type serializes to JSON and
+//! comes back intact (the contract behind `coalloc-exp runjson` and the
+//! serde derives across the workspace).
+
+use coalloc::core::{run, PolicyKind, SimConfig};
+
+#[test]
+fn sim_outcome_roundtrips_through_json() {
+    let mut cfg = SimConfig::das(PolicyKind::Ls, 16, 0.4);
+    cfg.total_jobs = 2_000;
+    cfg.warmup_jobs = 200;
+    let out = run(&cfg);
+    let json = serde_json::to_string(&out).expect("serializes");
+    assert!(json.contains("\"policy\":\"LS\""));
+    let back: coalloc::core::SimOutcome = serde_json::from_str(&json).expect("parses");
+    assert_eq!(back.policy, out.policy);
+    assert_eq!(back.completed, out.completed);
+    assert_eq!(back.metrics.departures, out.metrics.departures);
+    assert!((back.metrics.mean_response - out.metrics.mean_response).abs() < 1e-12);
+}
+
+#[test]
+fn sweep_points_serialize() {
+    use coalloc::core::experiment::{sweep, SweepConfig};
+    let mut sc = SweepConfig::quick();
+    sc.utilizations = vec![0.3];
+    // Two replications give a finite CI half-width: JSON has no
+    // representation for f64::INFINITY (it becomes null).
+    sc.replications = 2;
+    let pts = sweep(
+        |util| {
+            let mut cfg = SimConfig::das(PolicyKind::Gs, 16, util);
+            cfg.total_jobs = 1_000;
+            cfg.warmup_jobs = 100;
+            // Enough batches for a finite CI (JSON cannot carry infinity).
+            cfg.batch_size = 100;
+            cfg
+        },
+        &sc,
+    );
+    let json = serde_json::to_string(&pts).expect("serializes");
+    let back: Vec<coalloc::core::SweepPoint> = serde_json::from_str(&json).expect("parses");
+    assert_eq!(back.len(), 1);
+    assert_eq!(back[0].outcome.runs.len(), 2);
+}
+
+#[test]
+fn saturation_and_packing_serialize() {
+    let rows = coalloc::core::packing_rows(24);
+    let json = serde_json::to_string(&rows).expect("serializes");
+    let back: Vec<coalloc::core::PackingRow> = serde_json::from_str(&json).expect("parses");
+    assert_eq!(back, rows);
+}
