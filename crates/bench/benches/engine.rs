@@ -19,14 +19,22 @@ fn hold<C: EventCalendar<u64>>(cal: &mut C, n: usize, ops: usize) -> f64 {
     let mut now = 0.0;
     for _ in 0..n {
         let t = now + exp.sample(&mut rng);
-        cal.insert(Event { time: SimTime::new(t), id: EventId::from_raw(next_id), payload: next_id });
+        cal.insert(Event {
+            time: SimTime::new(t),
+            id: EventId::from_raw(next_id),
+            payload: next_id,
+        });
         next_id += 1;
     }
     for _ in 0..ops {
         let ev = cal.pop().expect("hold model never empties");
         now = ev.time.seconds();
         let t = now + exp.sample(&mut rng);
-        cal.insert(Event { time: SimTime::new(t), id: EventId::from_raw(next_id), payload: next_id });
+        cal.insert(Event {
+            time: SimTime::new(t),
+            id: EventId::from_raw(next_id),
+            payload: next_id,
+        });
         next_id += 1;
     }
     now

@@ -8,13 +8,8 @@ use std::hint::black_box;
 
 fn bench_placement_rules(c: &mut Criterion) {
     let states = random_idle_states(1_000, 42);
-    let requests: Vec<Vec<u32>> = vec![
-        vec![16, 16, 16, 16],
-        vec![22, 21, 21],
-        vec![32, 32],
-        vec![8],
-        vec![30, 17],
-    ];
+    let requests: Vec<Vec<u32>> =
+        vec![vec![16, 16, 16, 16], vec![22, 21, 21], vec![32, 32], vec![8], vec![30, 17]];
     let mut group = c.benchmark_group("placement");
     group.throughput(Throughput::Elements((states.len() * requests.len()) as u64));
     for rule in [PlacementRule::WorstFit, PlacementRule::BestFit, PlacementRule::FirstFit] {
@@ -41,13 +36,18 @@ fn bench_placement_in_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("placement_sim");
     group.sample_size(10);
     for rule in [PlacementRule::WorstFit, PlacementRule::BestFit, PlacementRule::FirstFit] {
-        group.bench_with_input(BenchmarkId::new("gs_5k_jobs", format!("{rule:?}")), &rule, |b, &rule| {
-            b.iter(|| {
-                let mut cfg = coalloc_bench::bench_sim_config(coalloc_core::PolicyKind::Gs, 5_000);
-                cfg.rule = rule;
-                black_box(coalloc_core::run(&cfg).completed)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("gs_5k_jobs", format!("{rule:?}")),
+            &rule,
+            |b, &rule| {
+                b.iter(|| {
+                    let mut cfg =
+                        coalloc_bench::bench_sim_config(coalloc_core::PolicyKind::Gs, 5_000);
+                    cfg.rule = rule;
+                    black_box(coalloc_core::run(&cfg).completed)
+                })
+            },
+        );
     }
     group.finish();
 }

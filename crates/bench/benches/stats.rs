@@ -55,9 +55,7 @@ fn bench_warmup_analysis(c: &mut Criterion) {
     let xs: Vec<f64> = (0..40_000).map(|_| rng.uniform() * 1e3).collect();
     let mut group = c.benchmark_group("warmup");
     group.sample_size(10);
-    group.bench_function("mser5_40k", |b| {
-        b.iter(|| black_box(desim::mser5(&xs).truncate))
-    });
+    group.bench_function("mser5_40k", |b| b.iter(|| black_box(desim::mser5(&xs).truncate)));
     group.bench_function("autocorrelation_lag100_40k", |b| {
         b.iter(|| black_box(desim::autocorrelation(&xs, 100)))
     });

@@ -22,12 +22,7 @@ pub fn random_idle_states(n: usize, seed: u64) -> Vec<[u32; 4]> {
     let mut rng = desim::RngStream::new(seed);
     (0..n)
         .map(|_| {
-            [
-                rng.index(33) as u32,
-                rng.index(33) as u32,
-                rng.index(33) as u32,
-                rng.index(33) as u32,
-            ]
+            [rng.index(33) as u32, rng.index(33) as u32, rng.index(33) as u32, rng.index(33) as u32]
         })
         .collect()
 }

@@ -89,7 +89,12 @@ pub fn packing_rows(limit: u32) -> Vec<PackingRow> {
                 components: r.components().to_vec(),
                 residual: residual_idle(&capacities, &r, PlacementRule::WorstFit)
                     .expect("powers of two always fit an empty 4x32 system"),
-                self_compatible: self_compatible(&capacities, total, limit, PlacementRule::WorstFit),
+                self_compatible: self_compatible(
+                    &capacities,
+                    total,
+                    limit,
+                    PlacementRule::WorstFit,
+                ),
             }
         })
         .collect()
@@ -109,9 +114,7 @@ pub fn packing_report(limit: u32) -> String {
         })
         .collect();
     format_table(
-        &format!(
-            "Packing analysis, component-size limit {limit} (empty 4x32 system, Worst Fit)"
-        ),
+        &format!("Packing analysis, component-size limit {limit} (empty 4x32 system, Worst Fit)"),
         &["size", "split", "idle after placement", "2nd identical job fits?"],
         &rows,
     )
@@ -122,11 +125,7 @@ pub fn packing_report(limit: u32) -> String {
 /// under constant backlog, the maximal utilization is exactly
 /// `count · total / capacity` — an analytic anchor for the saturation
 /// machinery (the multicluster analogue of `floor(c/s)·s/c`).
-pub fn max_identical_packing(
-    capacities: &[u32],
-    request: &JobRequest,
-    rule: PlacementRule,
-) -> u32 {
+pub fn max_identical_packing(capacities: &[u32], request: &JobRequest, rule: PlacementRule) -> u32 {
     let mut system = MultiCluster::new(capacities);
     let mut count = 0;
     while let Some(p) = place_request(&system.idle_per_cluster(), request, rule) {

@@ -1,0 +1,204 @@
+//! Serializable event records and the JSONL sink.
+
+use std::io::{self, Write};
+
+use desim::{Duration, SimTime};
+
+use crate::job::{ActiveJob, JobId, SubmitQueue};
+
+use super::{PassTrigger, PlacementDecision, SimObserver};
+
+/// One audit event, flattened to a single record so every line of a
+/// JSONL log has the same schema. Fields that do not apply to a given
+/// `kind` hold `null` (options) or `[]` (lists).
+///
+/// | `kind`       | populated fields                                   |
+/// |--------------|----------------------------------------------------|
+/// | `arrival`    | `job`, `queue`, `components`, `service`            |
+/// | `enqueue`    | `job`, `queue`                                     |
+/// | `pass`       | `trigger`                                          |
+/// | `pass_end`   | `started`                                          |
+/// | `disabled`   | `queue`                                            |
+/// | `placement`  | `job`, `queue`, `scope`, `idle_before`, `assignments` |
+/// | `start`      | `job`, `occupancy`                                 |
+/// | `completion` | `job`                                              |
+/// | `end`        | —                                                  |
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct EventRecord {
+    /// Position of this event in the run's event stream, from 0.
+    pub seq: u64,
+    /// Simulated time of the event, seconds.
+    pub t: f64,
+    /// The event kind (see the table above).
+    pub kind: String,
+    /// The job the event concerns, if any.
+    pub job: Option<u64>,
+    /// The queue involved (`"global"` or `"local<i>"`), if any.
+    pub queue: Option<String>,
+    /// What triggered a `pass` (`"arrival"` or `"departure"`).
+    pub trigger: Option<String>,
+    /// `placement`: `"system"` for a system-wide choice, `"cluster<i>"`
+    /// for a locally restricted one.
+    pub scope: Option<String>,
+    /// `arrival`: the request's component sizes (records the split of a
+    /// total request under the component-size limit).
+    pub components: Vec<u32>,
+    /// `arrival`: the base service time, seconds.
+    pub service: Option<f64>,
+    /// `placement`: idle processors per cluster before applying it.
+    pub idle_before: Vec<u32>,
+    /// `placement`: the chosen `(cluster, processors)` pairs.
+    pub assignments: Vec<(u64, u32)>,
+    /// `start`: seconds the job holds its processors (extension
+    /// included).
+    pub occupancy: Option<f64>,
+    /// `pass_end`: ids of the jobs the pass started, in start order.
+    pub started: Vec<u64>,
+}
+
+impl EventRecord {
+    fn blank(seq: u64, now: SimTime, kind: &str) -> Self {
+        EventRecord {
+            seq,
+            t: now.seconds(),
+            kind: kind.to_string(),
+            job: None,
+            queue: None,
+            trigger: None,
+            scope: None,
+            components: Vec::new(),
+            service: None,
+            idle_before: Vec::new(),
+            assignments: Vec::new(),
+            occupancy: None,
+            started: Vec::new(),
+        }
+    }
+}
+
+/// Writes one JSON object per event, newline-delimited (JSONL).
+///
+/// The output is deterministic: field order is fixed by [`EventRecord`]
+/// and numbers use Rust's shortest-round-trip formatting, so two runs
+/// with the same configuration and seed produce byte-identical logs
+/// (the event-log regression test relies on this).
+///
+/// I/O errors are latched: the first error stops further writes and is
+/// returned by [`JsonlSink::finish`].
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: W,
+    seq: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// A sink writing to `out` (wrap files in a `BufWriter`).
+    pub fn new(out: W) -> Self {
+        JsonlSink { out, seq: 0, error: None }
+    }
+
+    /// Events written so far.
+    pub fn events_written(&self) -> u64 {
+        self.seq
+    }
+
+    /// Flushes and returns the writer, or the first I/O error hit.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+
+    fn emit(&mut self, record: &EventRecord) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = serde_json::to_string(record).expect("event records serialize");
+        if let Err(e) = writeln!(self.out, "{line}") {
+            self.error = Some(e);
+        }
+    }
+
+    fn next(&mut self, now: SimTime, kind: &str) -> EventRecord {
+        let record = EventRecord::blank(self.seq, now, kind);
+        self.seq += 1;
+        record
+    }
+}
+
+impl<W: Write> SimObserver for JsonlSink<W> {
+    fn on_arrival(&mut self, now: SimTime, id: JobId, job: &ActiveJob) {
+        let mut r = self.next(now, "arrival");
+        r.job = Some(id.0);
+        r.queue = Some(job.queue.audit_label());
+        r.components = job.spec.request.components().to_vec();
+        r.service = Some(job.spec.base_service.seconds());
+        self.emit(&r);
+    }
+
+    fn on_enqueue(&mut self, now: SimTime, id: JobId, queue: SubmitQueue) {
+        let mut r = self.next(now, "enqueue");
+        r.job = Some(id.0);
+        r.queue = Some(queue.audit_label());
+        self.emit(&r);
+    }
+
+    fn on_pass(&mut self, now: SimTime, trigger: PassTrigger) {
+        let mut r = self.next(now, "pass");
+        r.trigger = Some(
+            match trigger {
+                PassTrigger::Arrival => "arrival",
+                PassTrigger::Departure => "departure",
+            }
+            .to_string(),
+        );
+        self.emit(&r);
+    }
+
+    fn on_pass_end(&mut self, now: SimTime, started: &[JobId]) {
+        let mut r = self.next(now, "pass_end");
+        r.started = started.iter().map(|id| id.0).collect();
+        self.emit(&r);
+    }
+
+    fn on_queue_disabled(&mut self, now: SimTime, queue: SubmitQueue) {
+        let mut r = self.next(now, "disabled");
+        r.queue = Some(queue.audit_label());
+        self.emit(&r);
+    }
+
+    fn on_placement(&mut self, now: SimTime, decision: &PlacementDecision<'_>) {
+        let mut r = self.next(now, "placement");
+        r.job = Some(decision.id.0);
+        r.queue = Some(decision.queue.audit_label());
+        r.scope = Some(match decision.scope {
+            super::PlacementScope::System => "system".to_string(),
+            super::PlacementScope::Cluster(c) => format!("cluster{c}"),
+        });
+        r.idle_before = decision.idle_before.to_vec();
+        r.assignments =
+            decision.placement.assignments().iter().map(|&(c, p)| (c as u64, p)).collect();
+        self.emit(&r);
+    }
+
+    fn on_start(&mut self, now: SimTime, id: JobId, _job: &ActiveJob, occupancy: Duration) {
+        let mut r = self.next(now, "start");
+        r.job = Some(id.0);
+        r.occupancy = Some(occupancy.seconds());
+        self.emit(&r);
+    }
+
+    fn on_completion(&mut self, now: SimTime, id: JobId, _job: &ActiveJob) {
+        let mut r = self.next(now, "completion");
+        r.job = Some(id.0);
+        self.emit(&r);
+    }
+
+    fn on_run_end(&mut self, now: SimTime) {
+        let r = self.next(now, "end");
+        self.emit(&r);
+    }
+}

@@ -1,0 +1,635 @@
+//! The invariant auditor: re-derives every decision and records
+//! violations of the paper's scheduling rules.
+
+use std::collections::VecDeque;
+
+use coalloc_workload::{JobRequest, Workload};
+use desim::{Duration, SimTime};
+
+use crate::job::{ActiveJob, JobId, SubmitQueue};
+use crate::placement::{place_scoped, PlacementRule};
+use crate::sim::SimConfig;
+
+use super::{PlacementDecision, SimObserver};
+
+/// Relative tolerance for time/occupancy comparisons; far below any
+/// real discrepancy (a mis-applied 1.25 extension is a 25% error).
+const TOL: f64 = 1e-9;
+
+/// How many violations are kept verbatim; the total count keeps
+/// growing so a flood is still visible.
+const MAX_RECORDED: usize = 200;
+
+/// The kinds of rule violations the auditor can detect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// A placement claimed more processors than a cluster had idle (or
+    /// a release pushed a cluster above its capacity).
+    CapacityExceeded,
+    /// Two components of one job were assigned to the same cluster.
+    DuplicateCluster,
+    /// The chosen assignment differs from what the configured placement
+    /// rule (Worst Fit in the paper) dictates for the observed idle
+    /// state, or does not cover the request.
+    PlacementRuleViolation,
+    /// A job started while an earlier job in the same queue was still
+    /// waiting (FCFS overtaking; GB is exempt — it backfills by
+    /// design).
+    FcfsOvertaking,
+    /// A job's occupancy does not equal base service times the
+    /// extension factor for the clusters it spans — the factor was
+    /// dropped, doubled, or applied to a single-cluster job.
+    ExtensionMismatch,
+    /// An event carried a time earlier than its predecessor's.
+    NonMonotonicTime,
+    /// An event contradicts the job lifecycle (started twice, placed
+    /// while not waiting, completed while not running, …).
+    JobStateError,
+    /// The idle snapshot a scheduler reported disagrees with the
+    /// auditor's independently tracked ledger.
+    LedgerMismatch,
+}
+
+impl core::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// One detected violation.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// What rule was broken.
+    pub kind: ViolationKind,
+    /// Simulated time of the offending event.
+    pub t: f64,
+    /// The job involved, if any.
+    pub job: Option<u64>,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl core::fmt::Display for Violation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "[t={:.6}] {}", self.t, self.kind)?;
+        if let Some(j) = self.job {
+            write!(f, " job {j}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum JobState {
+    Waiting,
+    Placed,
+    Running,
+    Done,
+}
+
+#[derive(Clone, Debug)]
+struct JobInfo {
+    request: JobRequest,
+    base_service: f64,
+    queue: SubmitQueue,
+    state: JobState,
+    start: f64,
+    occupancy: f64,
+    span: usize,
+    assignments: Vec<(usize, u32)>,
+}
+
+/// An observer that checks, at every event, that the simulation obeys
+/// the paper's rules (see [`ViolationKind`] for the list). It keeps its
+/// own idle-processor ledger and waiting-queue mirror, so a buggy
+/// scheduler cannot vouch for itself.
+///
+/// Attach it via [`crate::sim::run_observed`]; inspect
+/// [`InvariantAuditor::violations`] or call
+/// [`InvariantAuditor::assert_clean`] afterwards.
+#[derive(Clone, Debug)]
+pub struct InvariantAuditor {
+    capacities: Vec<u32>,
+    idle: Vec<u32>,
+    workload: Workload,
+    rule: PlacementRule,
+    /// FCFS is enforced per queue unless the policy overtakes by design
+    /// (GB's aggressive backfilling).
+    strict_fcfs: bool,
+    waiting_local: Vec<VecDeque<u64>>,
+    waiting_global: VecDeque<u64>,
+    jobs: Vec<Option<JobInfo>>,
+    last_t: f64,
+    violations: Vec<Violation>,
+    total: usize,
+}
+
+/// What happened to a job's position in its queue mirror when it was
+/// placed (resolved first so violations can be reported without holding
+/// a borrow on the mirror).
+enum FifoOutcome {
+    Head,
+    Overtook(Vec<u64>),
+    Absent,
+    NoSuchQueue,
+}
+
+impl InvariantAuditor {
+    /// An auditor for runs of `cfg` (capacities, workload extension
+    /// model, placement rule, and FCFS strictness all follow the
+    /// configuration).
+    pub fn new(cfg: &SimConfig) -> Self {
+        Self::with_parts(
+            cfg.capacities.clone(),
+            cfg.workload.clone(),
+            cfg.rule,
+            cfg.policy != crate::policy::PolicyKind::Gb,
+        )
+    }
+
+    /// An auditor from explicit parts (for harnesses that drive the
+    /// scheduler without a [`SimConfig`]).
+    pub fn with_parts(
+        capacities: Vec<u32>,
+        workload: Workload,
+        rule: PlacementRule,
+        strict_fcfs: bool,
+    ) -> Self {
+        let clusters = capacities.len();
+        InvariantAuditor {
+            idle: capacities.clone(),
+            capacities,
+            workload,
+            rule,
+            strict_fcfs,
+            waiting_local: vec![VecDeque::new(); clusters],
+            waiting_global: VecDeque::new(),
+            jobs: Vec::new(),
+            last_t: f64::NEG_INFINITY,
+            violations: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// The recorded violations (capped at an internal limit; see
+    /// [`InvariantAuditor::total_violations`] for the full count).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Total violations detected, including any beyond the recording
+    /// cap.
+    pub fn total_violations(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the run broke no rules.
+    pub fn is_clean(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Whether any recorded violation is of `kind`.
+    pub fn has(&self, kind: ViolationKind) -> bool {
+        self.violations.iter().any(|v| v.kind == kind)
+    }
+
+    /// A one-line summary plus the first recorded violations.
+    pub fn report(&self) -> String {
+        use core::fmt::Write as _;
+        let mut s = format!("{} violation(s)", self.total);
+        for v in self.violations.iter().take(10) {
+            let _ = write!(s, "\n  {v}");
+        }
+        if self.total > 10 {
+            let _ = write!(s, "\n  … and {} more", self.total - 10);
+        }
+        s
+    }
+
+    /// Panics with [`InvariantAuditor::report`] if any violation was
+    /// detected.
+    ///
+    /// # Panics
+    /// When the audited run broke any rule.
+    pub fn assert_clean(&self) {
+        assert!(self.is_clean(), "audit failed: {}", self.report());
+    }
+
+    fn violation(&mut self, kind: ViolationKind, t: f64, job: Option<u64>, detail: String) {
+        self.total += 1;
+        if self.violations.len() < MAX_RECORDED {
+            self.violations.push(Violation { kind, t, job, detail });
+        }
+    }
+
+    fn check_time(&mut self, now: SimTime) -> f64 {
+        let t = now.seconds();
+        if t < self.last_t {
+            let last = self.last_t;
+            self.violation(
+                ViolationKind::NonMonotonicTime,
+                t,
+                None,
+                format!("event at {t} after one at {last}"),
+            );
+        } else {
+            self.last_t = t;
+        }
+        t
+    }
+
+    fn job_mut(&mut self, id: JobId) -> Option<&mut JobInfo> {
+        self.jobs.get_mut(id.0 as usize).and_then(Option::as_mut)
+    }
+
+    fn unknown_job(&mut self, t: f64, id: JobId, context: &str) {
+        self.violation(
+            ViolationKind::JobStateError,
+            t,
+            Some(id.0),
+            format!("{context} for a job never seen arriving"),
+        );
+    }
+
+    /// Removes `id` from the mirror of `queue`, reporting how it sat in
+    /// FIFO order.
+    fn take_from_fifo(&mut self, queue: SubmitQueue, id: u64) -> FifoOutcome {
+        let fifo = match queue {
+            SubmitQueue::Global => &mut self.waiting_global,
+            SubmitQueue::Local(i) => match self.waiting_local.get_mut(i) {
+                Some(f) => f,
+                None => return FifoOutcome::NoSuchQueue,
+            },
+        };
+        match fifo.iter().position(|&j| j == id) {
+            Some(0) => {
+                fifo.pop_front();
+                FifoOutcome::Head
+            }
+            Some(p) => {
+                let ahead: Vec<u64> = fifo.iter().take(p).copied().collect();
+                fifo.remove(p);
+                FifoOutcome::Overtook(ahead)
+            }
+            None => FifoOutcome::Absent,
+        }
+    }
+}
+
+impl SimObserver for InvariantAuditor {
+    fn on_arrival(&mut self, now: SimTime, id: JobId, job: &ActiveJob) {
+        let t = self.check_time(now);
+        let slot = id.0 as usize;
+        if slot < self.jobs.len() && self.jobs[slot].is_some() {
+            self.violation(
+                ViolationKind::JobStateError,
+                t,
+                Some(id.0),
+                "arrived twice".to_string(),
+            );
+            return;
+        }
+        if slot >= self.jobs.len() {
+            self.jobs.resize(slot + 1, None);
+        }
+        self.jobs[slot] = Some(JobInfo {
+            request: job.spec.request.clone(),
+            base_service: job.spec.base_service.seconds(),
+            queue: job.queue,
+            state: JobState::Waiting,
+            start: 0.0,
+            occupancy: 0.0,
+            span: 0,
+            assignments: Vec::new(),
+        });
+    }
+
+    fn on_enqueue(&mut self, now: SimTime, id: JobId, queue: SubmitQueue) {
+        let t = self.check_time(now);
+        let known = match self.job_mut(id) {
+            Some(info) => Some((info.state, info.queue)),
+            None => None,
+        };
+        let Some((state, routed)) = known else {
+            self.unknown_job(t, id, "enqueue");
+            return;
+        };
+        if state != JobState::Waiting {
+            self.violation(
+                ViolationKind::JobStateError,
+                t,
+                Some(id.0),
+                format!("enqueued while {state:?}"),
+            );
+        }
+        if routed != queue {
+            self.violation(
+                ViolationKind::JobStateError,
+                t,
+                Some(id.0),
+                format!("routed to {routed:?} but enqueued on {queue:?}"),
+            );
+        }
+        let pushed = match queue {
+            SubmitQueue::Global => {
+                self.waiting_global.push_back(id.0);
+                true
+            }
+            SubmitQueue::Local(i) => match self.waiting_local.get_mut(i) {
+                Some(fifo) => {
+                    fifo.push_back(id.0);
+                    true
+                }
+                None => false,
+            },
+        };
+        if !pushed {
+            self.violation(
+                ViolationKind::JobStateError,
+                t,
+                Some(id.0),
+                format!("enqueued on nonexistent {queue:?}"),
+            );
+        }
+    }
+
+    fn on_pass(&mut self, now: SimTime, _trigger: super::PassTrigger) {
+        self.check_time(now);
+    }
+
+    fn on_pass_end(&mut self, now: SimTime, started: &[JobId]) {
+        let t = self.check_time(now);
+        for &id in started {
+            let state = self.job_mut(id).map(|info| info.state);
+            if state != Some(JobState::Placed) {
+                self.violation(
+                    ViolationKind::JobStateError,
+                    t,
+                    Some(id.0),
+                    format!("reported started by a pass while {state:?}"),
+                );
+            }
+        }
+    }
+
+    fn on_queue_disabled(&mut self, now: SimTime, _queue: SubmitQueue) {
+        self.check_time(now);
+    }
+
+    fn on_placement(&mut self, now: SimTime, decision: &PlacementDecision<'_>) {
+        let t = self.check_time(now);
+        let id = decision.id;
+        let assignments = decision.placement.assignments().to_vec();
+
+        // The scheduler's view of the system must match the auditor's
+        // independent ledger.
+        if decision.idle_before != self.idle.as_slice() {
+            let (seen, ledger) = (decision.idle_before.to_vec(), self.idle.clone());
+            self.violation(
+                ViolationKind::LedgerMismatch,
+                t,
+                Some(id.0),
+                format!("scheduler saw idle {seen:?}, ledger says {ledger:?}"),
+            );
+        }
+
+        // Components on distinct clusters (§2.3).
+        let mut clusters: Vec<usize> = assignments.iter().map(|&(c, _)| c).collect();
+        clusters.sort_unstable();
+        clusters.dedup();
+        if clusters.len() != assignments.len() {
+            self.violation(
+                ViolationKind::DuplicateCluster,
+                t,
+                Some(id.0),
+                format!("assignments {assignments:?} share a cluster"),
+            );
+        }
+
+        // Lifecycle + FCFS + rule conformance need the job's record.
+        let known = self
+            .jobs
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .map(|info| (info.request.clone(), info.state));
+        let Some((request, state)) = known else {
+            self.unknown_job(t, id, "placement");
+            return;
+        };
+        if state != JobState::Waiting {
+            self.violation(
+                ViolationKind::JobStateError,
+                t,
+                Some(id.0),
+                format!("placed while {state:?}"),
+            );
+        }
+
+        // FCFS: only the head of a queue may start (unless the policy
+        // backfills by design). Either way the job leaves the mirror.
+        match self.take_from_fifo(decision.queue, id.0) {
+            FifoOutcome::Head => {}
+            FifoOutcome::Overtook(ahead) => {
+                if self.strict_fcfs {
+                    self.violation(
+                        ViolationKind::FcfsOvertaking,
+                        t,
+                        Some(id.0),
+                        format!("started ahead of waiting jobs {ahead:?}"),
+                    );
+                }
+            }
+            FifoOutcome::Absent => self.violation(
+                ViolationKind::JobStateError,
+                t,
+                Some(id.0),
+                format!("placed but never waiting on {:?}", decision.queue),
+            ),
+            FifoOutcome::NoSuchQueue => self.violation(
+                ViolationKind::JobStateError,
+                t,
+                Some(id.0),
+                format!("placed from nonexistent {:?}", decision.queue),
+            ),
+        }
+
+        // The placement must be exactly what the configured rule picks
+        // given the idle state (Worst Fit in decreasing component
+        // order, §2.3) — and must cover the request.
+        let total: u32 = assignments.iter().map(|&(_, p)| p).sum();
+        if total != request.total() {
+            let want = request.total();
+            self.violation(
+                ViolationKind::PlacementRuleViolation,
+                t,
+                Some(id.0),
+                format!("assignments cover {total} processors, request wants {want}"),
+            );
+        }
+        let expected = place_scoped(&self.idle, &request, decision.scope, self.rule);
+        match expected {
+            Some(exp) if exp.assignments() == assignments.as_slice() => {}
+            Some(exp) => {
+                let want = exp.assignments().to_vec();
+                let rule = self.rule;
+                self.violation(
+                    ViolationKind::PlacementRuleViolation,
+                    t,
+                    Some(id.0),
+                    format!("{rule:?} dictates {want:?}, scheduler chose {assignments:?}"),
+                );
+            }
+            None => {
+                let idle = self.idle.clone();
+                self.violation(
+                    ViolationKind::PlacementRuleViolation,
+                    t,
+                    Some(id.0),
+                    format!("placed {assignments:?} although nothing fits in idle {idle:?}"),
+                );
+            }
+        }
+
+        // Apply to the ledger; going below zero idle is a capacity
+        // breach.
+        for &(c, p) in &assignments {
+            let shortfall = match self.idle.get_mut(c) {
+                Some(idle) if *idle >= p => {
+                    *idle -= p;
+                    None
+                }
+                Some(idle) => {
+                    let have = *idle;
+                    *idle = 0;
+                    Some(format!("component of {p} on cluster {c} with only {have} idle"))
+                }
+                None => Some(format!("component on nonexistent cluster {c}")),
+            };
+            if let Some(detail) = shortfall {
+                self.violation(ViolationKind::CapacityExceeded, t, Some(id.0), detail);
+            }
+        }
+
+        let span = clusters.len();
+        if let Some(info) = self.job_mut(id) {
+            info.state = JobState::Placed;
+            info.span = span;
+            info.assignments = assignments;
+        }
+    }
+
+    fn on_start(&mut self, now: SimTime, id: JobId, _job: &ActiveJob, occupancy: Duration) {
+        let t = self.check_time(now);
+        let occ = occupancy.seconds();
+        let known = match self.job_mut(id) {
+            Some(info) => {
+                let snapshot = (info.state, info.base_service, info.span);
+                info.state = JobState::Running;
+                info.start = t;
+                info.occupancy = occ;
+                Some(snapshot)
+            }
+            None => None,
+        };
+        let Some((state, base, span)) = known else {
+            self.unknown_job(t, id, "start");
+            return;
+        };
+        if state != JobState::Placed {
+            self.violation(
+                ViolationKind::JobStateError,
+                t,
+                Some(id.0),
+                format!("started while {state:?}"),
+            );
+            return; // span is meaningless without a placement
+        }
+        // The wide-area extension applies exactly once, and only to the
+        // clusters the job actually spans (§2.4).
+        let factor = self.workload.extension_factor(span);
+        let expected = base * factor;
+        if (occ - expected).abs() > TOL * expected.max(1.0) {
+            self.violation(
+                ViolationKind::ExtensionMismatch,
+                t,
+                Some(id.0),
+                format!(
+                    "occupancy {occ} but base {base} × factor {factor} (span {span}) = {expected}"
+                ),
+            );
+        }
+    }
+
+    fn on_completion(&mut self, now: SimTime, id: JobId, _job: &ActiveJob) {
+        let t = self.check_time(now);
+        let known = match self.job_mut(id) {
+            Some(info) => {
+                let snapshot = (info.state, info.start, info.occupancy);
+                info.state = JobState::Done;
+                Some((snapshot, std::mem::take(&mut info.assignments)))
+            }
+            None => None,
+        };
+        let Some(((state, start, occ), assignments)) = known else {
+            self.unknown_job(t, id, "completion");
+            return;
+        };
+        if state != JobState::Running {
+            self.violation(
+                ViolationKind::JobStateError,
+                t,
+                Some(id.0),
+                format!("completed while {state:?}"),
+            );
+        }
+        let held = t - start;
+        if state == JobState::Running && (held - occ).abs() > TOL * occ.max(1.0) {
+            self.violation(
+                ViolationKind::ExtensionMismatch,
+                t,
+                Some(id.0),
+                format!("held processors for {held}, occupancy was {occ}"),
+            );
+        }
+        for (c, p) in assignments {
+            let overflow = match self.idle.get_mut(c) {
+                Some(idle) => {
+                    *idle += p;
+                    if *idle > self.capacities[c] {
+                        let (have, cap) = (*idle, self.capacities[c]);
+                        *idle = cap;
+                        Some(format!("release left cluster {c} with {have} idle of {cap}"))
+                    } else {
+                        None
+                    }
+                }
+                None => Some(format!("release on nonexistent cluster {c}")),
+            };
+            if let Some(detail) = overflow {
+                self.violation(ViolationKind::CapacityExceeded, t, Some(id.0), detail);
+            }
+        }
+    }
+
+    fn on_run_end(&mut self, now: SimTime) {
+        self.check_time(now);
+        // Started-but-unfinished jobs would still hold processors; a
+        // drained run must have returned every allocated processor.
+        let stuck: Vec<(usize, u32, u32)> = self
+            .idle
+            .iter()
+            .zip(&self.capacities)
+            .enumerate()
+            .filter(|(_, (idle, cap))| idle != cap)
+            .map(|(i, (&idle, &cap))| (i, idle, cap))
+            .collect();
+        for (i, idle, cap) in stuck {
+            self.violation(
+                ViolationKind::JobStateError,
+                now.seconds(),
+                None,
+                format!("run ended with cluster {i} at {idle}/{cap} idle"),
+            );
+        }
+    }
+}

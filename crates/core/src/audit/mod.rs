@@ -1,0 +1,219 @@
+//! Structured observation of scheduling decisions (the audit layer).
+//!
+//! Every consequential step the simulator takes — a job arriving, a
+//! queue being disabled, a placement being chosen, a job starting or
+//! completing — is exposed through the [`SimObserver`] trait. Observers
+//! are passive: they see borrowed snapshots of the decision and cannot
+//! influence it, so an attached observer never perturbs a run (the
+//! golden regression values are identical with and without one).
+//!
+//! Three observers ship with the crate:
+//!
+//! * [`NullObserver`] — the default; every hook is an empty default
+//!   method, and the simulation entry points are generic over the
+//!   observer type, so the no-observer path monomorphizes to the exact
+//!   pre-audit code (verified by the engine benchmark).
+//! * [`JsonlSink`] — serializes each event as one JSON line, for
+//!   offline analysis and the byte-stable event-log regression test
+//!   (exposed as `coalloc-exp runjson … --events <path>`).
+//! * [`InvariantAuditor`] — re-derives every decision from its inputs
+//!   and records a [`Violation`] when the simulator strays from the
+//!   paper's rules: cluster over capacity, components sharing a
+//!   cluster, a placement that contradicts the configured fit rule,
+//!   FCFS overtaking, a mis-applied wide-area extension factor, or
+//!   non-monotone event times (exposed as `--audit`).
+//!
+//! The auditor is deliberately paranoid: `audit::mutants` wires
+//! deliberately broken schedulers into the full simulation loop and
+//! asserts each seeded bug trips its distinct violation kind.
+
+mod event;
+mod invariants;
+#[cfg(test)]
+mod mutants;
+
+pub use event::{EventRecord, JsonlSink};
+pub use invariants::{InvariantAuditor, Violation, ViolationKind};
+
+use desim::{Duration, SimTime};
+
+use crate::job::{ActiveJob, JobId, Placement, SubmitQueue};
+
+/// What prompted a scheduling pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PassTrigger {
+    /// A job arrived.
+    Arrival,
+    /// A job departed and released its processors.
+    Departure,
+}
+
+/// The scope a placement was chosen in.
+///
+/// GS, GB, and the multi-component side of LS/LP choose clusters
+/// system-wide; LS and LP restrict single-component jobs to the cluster
+/// of their local queue (§2.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlacementScope {
+    /// The scheduler chose among all clusters
+    /// ([`crate::placement::place_request`]).
+    System,
+    /// The job was restricted to this cluster
+    /// ([`crate::placement::place_on_cluster`]).
+    Cluster(usize),
+}
+
+/// One successful placement decision, borrowed from the scheduler at
+/// the instant it commits.
+#[derive(Debug)]
+pub struct PlacementDecision<'a> {
+    /// The job being started.
+    pub id: JobId,
+    /// The queue it was taken from.
+    pub queue: SubmitQueue,
+    /// Whether the choice was system-wide or cluster-restricted.
+    pub scope: PlacementScope,
+    /// Idle processors per cluster *before* this placement was applied.
+    pub idle_before: &'a [u32],
+    /// The chosen `(cluster, processors)` assignments.
+    pub placement: &'a Placement,
+}
+
+/// A passive observer of one simulation run.
+///
+/// All hooks are no-op defaults, so observers implement only what they
+/// need. Hooks receive the current simulated time first; times are
+/// non-decreasing over a run (the auditor checks this too).
+pub trait SimObserver {
+    /// A job arrived and was recorded in the job table. `job.spec`
+    /// carries the sampled request — including how a total request was
+    /// split into components — and the base service time.
+    fn on_arrival(&mut self, now: SimTime, id: JobId, job: &ActiveJob) {
+        let _ = (now, id, job);
+    }
+
+    /// The arrived job was appended to `queue`.
+    fn on_enqueue(&mut self, now: SimTime, id: JobId, queue: SubmitQueue) {
+        let _ = (now, id, queue);
+    }
+
+    /// A scheduling pass begins (one runs after every arrival and every
+    /// departure).
+    fn on_pass(&mut self, now: SimTime, trigger: PassTrigger) {
+        let _ = (now, trigger);
+    }
+
+    /// A scheduling pass ended having started `started` (in order).
+    fn on_pass_end(&mut self, now: SimTime, started: &[JobId]) {
+        let _ = (now, started);
+    }
+
+    /// A queue's head did not fit; the queue is disabled until the next
+    /// departure.
+    fn on_queue_disabled(&mut self, now: SimTime, queue: SubmitQueue) {
+        let _ = (now, queue);
+    }
+
+    /// A scheduler committed to a placement (processors are applied to
+    /// the system immediately after).
+    fn on_placement(&mut self, now: SimTime, decision: &PlacementDecision<'_>) {
+        let _ = (now, decision);
+    }
+
+    /// A placed job starts running and will hold its processors for
+    /// `occupancy` (base service times the wide-area extension factor
+    /// for the clusters it actually spans).
+    fn on_start(&mut self, now: SimTime, id: JobId, job: &ActiveJob, occupancy: Duration) {
+        let _ = (now, id, job, occupancy);
+    }
+
+    /// A running job completed and released its processors.
+    fn on_completion(&mut self, now: SimTime, id: JobId, job: &ActiveJob) {
+        let _ = (now, id, job);
+    }
+
+    /// The run ended (event queue drained) at `now`.
+    fn on_run_end(&mut self, now: SimTime) {
+        let _ = now;
+    }
+}
+
+/// The do-nothing observer: every hook is the empty default. Simulation
+/// entry points are generic over the observer, so runs with a
+/// `NullObserver` compile down to the unobserved code.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullObserver;
+
+impl SimObserver for NullObserver {}
+
+/// Fans events out to two observers in order (`a` first), so e.g. a
+/// [`JsonlSink`] and an [`InvariantAuditor`] can watch the same run.
+#[derive(Debug)]
+pub struct Tee<'a, A: ?Sized, B: ?Sized> {
+    a: &'a mut A,
+    b: &'a mut B,
+}
+
+impl<'a, A: SimObserver + ?Sized, B: SimObserver + ?Sized> Tee<'a, A, B> {
+    /// Combines two observers.
+    pub fn new(a: &'a mut A, b: &'a mut B) -> Self {
+        Tee { a, b }
+    }
+}
+
+impl<A: SimObserver + ?Sized, B: SimObserver + ?Sized> SimObserver for Tee<'_, A, B> {
+    fn on_arrival(&mut self, now: SimTime, id: JobId, job: &ActiveJob) {
+        self.a.on_arrival(now, id, job);
+        self.b.on_arrival(now, id, job);
+    }
+
+    fn on_enqueue(&mut self, now: SimTime, id: JobId, queue: SubmitQueue) {
+        self.a.on_enqueue(now, id, queue);
+        self.b.on_enqueue(now, id, queue);
+    }
+
+    fn on_pass(&mut self, now: SimTime, trigger: PassTrigger) {
+        self.a.on_pass(now, trigger);
+        self.b.on_pass(now, trigger);
+    }
+
+    fn on_pass_end(&mut self, now: SimTime, started: &[JobId]) {
+        self.a.on_pass_end(now, started);
+        self.b.on_pass_end(now, started);
+    }
+
+    fn on_queue_disabled(&mut self, now: SimTime, queue: SubmitQueue) {
+        self.a.on_queue_disabled(now, queue);
+        self.b.on_queue_disabled(now, queue);
+    }
+
+    fn on_placement(&mut self, now: SimTime, decision: &PlacementDecision<'_>) {
+        self.a.on_placement(now, decision);
+        self.b.on_placement(now, decision);
+    }
+
+    fn on_start(&mut self, now: SimTime, id: JobId, job: &ActiveJob, occupancy: Duration) {
+        self.a.on_start(now, id, job, occupancy);
+        self.b.on_start(now, id, job, occupancy);
+    }
+
+    fn on_completion(&mut self, now: SimTime, id: JobId, job: &ActiveJob) {
+        self.a.on_completion(now, id, job);
+        self.b.on_completion(now, id, job);
+    }
+
+    fn on_run_end(&mut self, now: SimTime) {
+        self.a.on_run_end(now);
+        self.b.on_run_end(now);
+    }
+}
+
+impl SubmitQueue {
+    /// A stable textual name for event records (`"global"`, `"local2"`).
+    pub fn audit_label(self) -> String {
+        match self {
+            SubmitQueue::Global => "global".to_string(),
+            SubmitQueue::Local(i) => format!("local{i}"),
+        }
+    }
+}

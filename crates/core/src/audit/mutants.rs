@@ -1,0 +1,402 @@
+//! Mutation-style tests: wire deliberately broken schedulers (or a
+//! broken occupancy model) into the *real* simulation loop and prove
+//! the [`InvariantAuditor`] trips the expected, distinct
+//! [`ViolationKind`] for each seeded bug — and stays silent on the
+//! faithful simulator.
+
+use coalloc_workload::{JobRequest, JobSpec, Workload};
+use desim::{Duration, SimTime};
+
+use crate::feed::JobFeed;
+use crate::job::{ActiveJob, JobId, JobTable, Placement, SubmitQueue};
+use crate::placement::{place_request, PlacementRule};
+use crate::policy::{GlobalScheduler, PolicyKind, Scheduler};
+use crate::sim::{run_observed, run_with_scheduler, OccupancyModel, SimConfig};
+use crate::system::MultiCluster;
+
+use super::{
+    InvariantAuditor, PassTrigger, PlacementDecision, PlacementScope, SimObserver, ViolationKind,
+};
+
+/// A fixed, scripted job stream for the mutant scenarios.
+struct VecFeed {
+    jobs: std::vec::IntoIter<(f64, JobSpec)>,
+}
+
+impl VecFeed {
+    /// `(arrival_seconds, components, base_service_seconds)` per job.
+    fn new(jobs: &[(f64, &[u32], f64)]) -> Self {
+        let jobs: Vec<(f64, JobSpec)> = jobs
+            .iter()
+            .map(|&(t, components, service)| {
+                (
+                    t,
+                    JobSpec {
+                        request: JobRequest::new(components.to_vec()),
+                        base_service: Duration::new(service),
+                    },
+                )
+            })
+            .collect();
+        VecFeed { jobs: jobs.into_iter() }
+    }
+}
+
+impl JobFeed for VecFeed {
+    fn next_job(&mut self) -> Option<(SimTime, JobSpec)> {
+        self.jobs.next().map(|(t, spec)| (SimTime::new(t), spec))
+    }
+}
+
+/// A config for scripted runs: the 4×32 system under GS (strict FCFS),
+/// with the knobs the stochastic feed would use left at harmless
+/// values.
+fn scripted_cfg(jobs: u64) -> SimConfig {
+    let mut cfg = SimConfig::das(PolicyKind::Gs, 32, 0.5);
+    cfg.total_jobs = jobs;
+    cfg.warmup_jobs = 0;
+    cfg.batch_size = 1;
+    cfg
+}
+
+// ---------------------------------------------------------------------
+// Mutant 1: FCFS overtaking. A scheduler that scans the whole queue and
+// starts the *first fitting* job — correct placements, wrong order.
+// ---------------------------------------------------------------------
+
+struct OvertakingScheduler {
+    queue: std::collections::VecDeque<JobId>,
+    rule: PlacementRule,
+}
+
+impl Scheduler for OvertakingScheduler {
+    fn name(&self) -> &'static str {
+        "GS-overtaking-mutant"
+    }
+
+    fn route(&mut self, _spec: &JobSpec) -> SubmitQueue {
+        SubmitQueue::Global
+    }
+
+    fn enqueue(&mut self, id: JobId, _queue: SubmitQueue) {
+        self.queue.push_back(id);
+    }
+
+    fn on_departure(&mut self) {}
+
+    fn schedule_observed(
+        &mut self,
+        now: SimTime,
+        system: &mut MultiCluster,
+        table: &mut JobTable,
+        obs: &mut dyn SimObserver,
+    ) -> Vec<JobId> {
+        let mut started = Vec::new();
+        loop {
+            let idle = system.idle_per_cluster();
+            let hit = self.queue.iter().enumerate().find_map(|(pos, &id)| {
+                place_request(&idle, &table.get(id).spec.request, self.rule).map(|p| (pos, id, p))
+            });
+            match hit {
+                Some((pos, id, placement)) => {
+                    obs.on_placement(
+                        now,
+                        &PlacementDecision {
+                            id,
+                            queue: SubmitQueue::Global,
+                            scope: PlacementScope::System,
+                            idle_before: &idle,
+                            placement: &placement,
+                        },
+                    );
+                    system.apply(&placement);
+                    table.mark_started(id, placement, now);
+                    self.queue.remove(pos);
+                    started.push(id);
+                }
+                None => break,
+            }
+        }
+        started
+    }
+
+    fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn queue_lengths(&self) -> Vec<usize> {
+        vec![self.queue.len()]
+    }
+}
+
+#[test]
+fn overtaking_mutant_trips_fcfs_overtaking() {
+    // A (64 → [32,32]) fills two clusters; B (128) blocks; C (8) fits.
+    // A faithful GS leaves C waiting behind B — the mutant starts it.
+    let cfg = scripted_cfg(3);
+    let mut feed = VecFeed::new(&[
+        (0.0, &[32, 32], 1000.0),
+        (1.0, &[32, 32, 32, 32], 1000.0),
+        (2.0, &[8], 1000.0),
+    ]);
+    let mut auditor = InvariantAuditor::new(&cfg);
+    let policy = Box::new(OvertakingScheduler {
+        queue: std::collections::VecDeque::new(),
+        rule: PlacementRule::WorstFit,
+    });
+    run_with_scheduler(&cfg, &mut feed, f64::NAN, policy, &mut auditor, OccupancyModel::Faithful);
+    assert!(
+        auditor.has(ViolationKind::FcfsOvertaking),
+        "expected FcfsOvertaking, got: {}",
+        auditor.report()
+    );
+    assert!(!auditor.has(ViolationKind::PlacementRuleViolation), "{}", auditor.report());
+    assert!(!auditor.has(ViolationKind::ExtensionMismatch), "{}", auditor.report());
+}
+
+#[test]
+fn overtaking_is_by_design_for_gb() {
+    // The same scan-ahead behaviour is GB's documented backfilling; with
+    // `policy: Gb` the auditor relaxes FCFS and the run is clean.
+    let mut cfg = scripted_cfg(3);
+    cfg.policy = PolicyKind::Gb;
+    let mut feed = VecFeed::new(&[
+        (0.0, &[32, 32], 1000.0),
+        (1.0, &[32, 32, 32, 32], 1000.0),
+        (2.0, &[8], 1000.0),
+    ]);
+    let mut auditor = InvariantAuditor::new(&cfg);
+    let policy = Box::new(OvertakingScheduler {
+        queue: std::collections::VecDeque::new(),
+        rule: PlacementRule::WorstFit,
+    });
+    run_with_scheduler(&cfg, &mut feed, f64::NAN, policy, &mut auditor, OccupancyModel::Faithful);
+    auditor.assert_clean();
+}
+
+// ---------------------------------------------------------------------
+// Mutant 2: Best Fit instead of Worst Fit. The stock GS scheduler with
+// the wrong placement rule, audited against the configured Worst Fit.
+// ---------------------------------------------------------------------
+
+#[test]
+fn best_fit_mutant_trips_placement_rule_violation() {
+    // After [16] lands on cluster 0, an [8] job separates the rules:
+    // Worst Fit picks an empty cluster, Best Fit squeezes into 0.
+    let cfg = scripted_cfg(2);
+    assert_eq!(cfg.rule, PlacementRule::WorstFit);
+    let mut feed = VecFeed::new(&[(0.0, &[16], 1000.0), (1.0, &[8], 1000.0)]);
+    let mut auditor = InvariantAuditor::new(&cfg);
+    let policy = Box::new(GlobalScheduler::new(PlacementRule::BestFit));
+    run_with_scheduler(&cfg, &mut feed, f64::NAN, policy, &mut auditor, OccupancyModel::Faithful);
+    assert!(
+        auditor.has(ViolationKind::PlacementRuleViolation),
+        "expected PlacementRuleViolation, got: {}",
+        auditor.report()
+    );
+    assert!(!auditor.has(ViolationKind::FcfsOvertaking), "{}", auditor.report());
+    assert!(!auditor.has(ViolationKind::ExtensionMismatch), "{}", auditor.report());
+}
+
+// ---------------------------------------------------------------------
+// Mutant 3: the wide-area extension applied twice. The stock GS
+// scheduler, but occupancies scaled by the extension factor a second
+// time on top of the already-extended service.
+// ---------------------------------------------------------------------
+
+#[test]
+fn double_extension_mutant_trips_extension_mismatch() {
+    let cfg = scripted_cfg(2);
+    // One multi-component job (hit by the 1.25× factor twice under the
+    // mutant) and one single-component job (factor 1, unaffected).
+    let mut feed = VecFeed::new(&[(0.0, &[32, 32], 100.0), (1.0, &[8], 100.0)]);
+    let mut auditor = InvariantAuditor::new(&cfg);
+    let policy = Box::new(GlobalScheduler::new(PlacementRule::WorstFit));
+    run_with_scheduler(
+        &cfg,
+        &mut feed,
+        f64::NAN,
+        policy,
+        &mut auditor,
+        OccupancyModel::DoubleExtension,
+    );
+    assert!(
+        auditor.has(ViolationKind::ExtensionMismatch),
+        "expected ExtensionMismatch, got: {}",
+        auditor.report()
+    );
+    assert!(!auditor.has(ViolationKind::FcfsOvertaking), "{}", auditor.report());
+    assert!(!auditor.has(ViolationKind::PlacementRuleViolation), "{}", auditor.report());
+}
+
+#[test]
+fn double_extension_is_invisible_on_single_component_jobs() {
+    // Factor 1.0 twice is still 1.0: the mutant only betrays itself on
+    // multi-component jobs, and the auditor agrees.
+    let cfg = scripted_cfg(2);
+    let mut feed = VecFeed::new(&[(0.0, &[8], 100.0), (1.0, &[4], 100.0)]);
+    let mut auditor = InvariantAuditor::new(&cfg);
+    let policy = Box::new(GlobalScheduler::new(PlacementRule::WorstFit));
+    run_with_scheduler(
+        &cfg,
+        &mut feed,
+        f64::NAN,
+        policy,
+        &mut auditor,
+        OccupancyModel::DoubleExtension,
+    );
+    auditor.assert_clean();
+}
+
+// ---------------------------------------------------------------------
+// Control: the unmutated simulator is clean under every policy.
+// ---------------------------------------------------------------------
+
+#[test]
+fn faithful_runs_are_clean_for_every_policy() {
+    for policy in [PolicyKind::Gs, PolicyKind::Ls, PolicyKind::Lp, PolicyKind::Gb] {
+        let mut cfg = SimConfig::das(policy, 32, 0.6);
+        cfg.total_jobs = 400;
+        cfg.warmup_jobs = 50;
+        let mut auditor = InvariantAuditor::new(&cfg);
+        run_observed(&cfg, &mut auditor);
+        assert!(auditor.is_clean(), "{policy:?}: {}", auditor.report());
+    }
+    let mut cfg = SimConfig::das_single_cluster(0.6);
+    cfg.total_jobs = 400;
+    cfg.warmup_jobs = 50;
+    let mut auditor = InvariantAuditor::new(&cfg);
+    run_observed(&cfg, &mut auditor);
+    assert!(auditor.is_clean(), "Sc: {}", auditor.report());
+}
+
+// ---------------------------------------------------------------------
+// Synthetic event sequences for the kinds no end-to-end mutant reaches:
+// the auditor is fed hand-crafted (and subtly corrupt) event streams.
+// ---------------------------------------------------------------------
+
+fn synthetic_auditor() -> InvariantAuditor {
+    InvariantAuditor::with_parts(vec![32; 4], Workload::das(32), PlacementRule::WorstFit, true)
+}
+
+/// Arrive + enqueue one global job, returning its id and table.
+fn arrive(
+    auditor: &mut InvariantAuditor,
+    table: &mut JobTable,
+    components: &[u32],
+    t: f64,
+) -> JobId {
+    let spec = JobSpec {
+        request: JobRequest::new(components.to_vec()),
+        base_service: Duration::new(100.0),
+    };
+    let id = table.insert(ActiveJob::new(spec, SimTime::new(t), SubmitQueue::Global));
+    auditor.on_arrival(SimTime::new(t), id, table.get(id));
+    auditor.on_enqueue(SimTime::new(t), id, SubmitQueue::Global);
+    id
+}
+
+#[test]
+fn non_monotonic_time_is_caught() {
+    let mut auditor = synthetic_auditor();
+    auditor.on_pass(SimTime::new(1.0), PassTrigger::Arrival);
+    auditor.on_pass(SimTime::new(0.5), PassTrigger::Departure);
+    assert!(auditor.has(ViolationKind::NonMonotonicTime), "{}", auditor.report());
+}
+
+#[test]
+fn duplicate_cluster_is_caught() {
+    let mut auditor = synthetic_auditor();
+    let mut table = JobTable::new();
+    let id = arrive(&mut auditor, &mut table, &[8, 8], 0.0);
+    let bogus = Placement::raw(vec![(0, 8), (0, 8)]);
+    auditor.on_placement(
+        SimTime::new(0.0),
+        &PlacementDecision {
+            id,
+            queue: SubmitQueue::Global,
+            scope: PlacementScope::System,
+            idle_before: &[32, 32, 32, 32],
+            placement: &bogus,
+        },
+    );
+    assert!(auditor.has(ViolationKind::DuplicateCluster), "{}", auditor.report());
+}
+
+#[test]
+fn capacity_exceeded_is_caught() {
+    let mut auditor = synthetic_auditor();
+    let mut table = JobTable::new();
+    // A first, rule-conformant placement empties one cluster …
+    let a = arrive(&mut auditor, &mut table, &[32], 0.0);
+    let first =
+        place_request(&[32, 32, 32, 32], &table.get(a).spec.request, PlacementRule::WorstFit)
+            .expect("fits an idle system");
+    let target = first.assignments()[0].0;
+    auditor.on_placement(
+        SimTime::new(0.0),
+        &PlacementDecision {
+            id: a,
+            queue: SubmitQueue::Global,
+            scope: PlacementScope::System,
+            idle_before: &[32, 32, 32, 32],
+            placement: &first,
+        },
+    );
+    // … then a second 32-wide component lands on that same full cluster.
+    let b = arrive(&mut auditor, &mut table, &[32], 1.0);
+    let bogus = Placement::new(vec![(target, 32)]);
+    let mut honest_idle = vec![32u32; 4];
+    honest_idle[target] = 0;
+    auditor.on_placement(
+        SimTime::new(1.0),
+        &PlacementDecision {
+            id: b,
+            queue: SubmitQueue::Global,
+            scope: PlacementScope::System,
+            idle_before: &honest_idle,
+            placement: &bogus,
+        },
+    );
+    assert!(auditor.has(ViolationKind::CapacityExceeded), "{}", auditor.report());
+    assert!(!auditor.has(ViolationKind::LedgerMismatch), "{}", auditor.report());
+}
+
+#[test]
+fn job_state_errors_are_caught() {
+    let mut auditor = synthetic_auditor();
+    let mut table = JobTable::new();
+    // Starting a job the auditor never saw arrive.
+    let spec = JobSpec { request: JobRequest::new(vec![8]), base_service: Duration::new(1.0) };
+    let ghost = table.insert(ActiveJob::new(spec, SimTime::new(0.0), SubmitQueue::Global));
+    auditor.on_start(SimTime::new(0.0), ghost, table.get(ghost), Duration::new(1.0));
+    assert!(auditor.has(ViolationKind::JobStateError), "{}", auditor.report());
+
+    // Completing a job that is still waiting.
+    let mut auditor = synthetic_auditor();
+    let id = arrive(&mut auditor, &mut table, &[8], 0.0);
+    auditor.on_completion(SimTime::new(1.0), id, table.get(id));
+    assert!(auditor.has(ViolationKind::JobStateError), "{}", auditor.report());
+}
+
+#[test]
+fn ledger_mismatch_is_caught() {
+    let mut auditor = synthetic_auditor();
+    let mut table = JobTable::new();
+    let id = arrive(&mut auditor, &mut table, &[8], 0.0);
+    // The assignment itself is exactly what Worst Fit dictates on the
+    // true (all-idle) system; only the reported snapshot lies.
+    let p = Placement::new(vec![(0, 8)]);
+    auditor.on_placement(
+        SimTime::new(0.0),
+        &PlacementDecision {
+            id,
+            queue: SubmitQueue::Global,
+            scope: PlacementScope::System,
+            idle_before: &[31, 32, 32, 32],
+            placement: &p,
+        },
+    );
+    assert!(auditor.has(ViolationKind::LedgerMismatch), "{}", auditor.report());
+    assert!(!auditor.has(ViolationKind::CapacityExceeded), "{}", auditor.report());
+}

@@ -105,7 +105,8 @@ fn aggregate(runs: Vec<SimOutcome>) -> ReplicatedOutcome {
         saturated |= r.saturated;
     }
     let k = resp.count();
-    let half = if k >= 2 { t_975(k - 1) * resp.std_dev() / (k as f64).sqrt() } else { f64::INFINITY };
+    let half =
+        if k >= 2 { t_975(k - 1) * resp.std_dev() / (k as f64).sqrt() } else { f64::INFINITY };
     ReplicatedOutcome {
         response: Estimate { mean: resp.mean(), half_width: half, n: k },
         gross_utilization: gross.mean(),
@@ -166,9 +167,7 @@ where
         .zip(results)
         .map(|(&u, reps)| SweepPoint {
             target_utilization: u,
-            outcome: aggregate(
-                reps.into_iter().map(|o| o.expect("every task ran")).collect(),
-            ),
+            outcome: aggregate(reps.into_iter().map(|o| o.expect("every task ran")).collect()),
         })
         .collect()
 }
@@ -204,7 +203,11 @@ pub fn compare_sweeps(a: &[SweepPoint], b: &[SweepPoint]) -> Vec<(f64, Verdict)>
             let b_sat = pb.outcome.saturated;
             let verdict = if a_sat != b_sat {
                 // Only one side is unstable: the stable side wins.
-                if a_sat { Verdict::BWins } else { Verdict::AWins }
+                if a_sat {
+                    Verdict::BWins
+                } else {
+                    Verdict::AWins
+                }
             } else if ra.mean + ra.half_width < rb.mean - rb.half_width {
                 Verdict::AWins
             } else if rb.mean + rb.half_width < ra.mean - ra.half_width {

@@ -158,7 +158,8 @@ mod tests {
 
     #[test]
     fn trace_feed_replays_the_synthetic_log() {
-        let log = coalloc_trace::generate_das1_log(&DasLogConfig { jobs: 500, ..Default::default() });
+        let log =
+            coalloc_trace::generate_das1_log(&DasLogConfig { jobs: 500, ..Default::default() });
         let mut feed = TraceFeed::new(&log, 16, 4, 1.0);
         let mut count = 0;
         let mut prev = SimTime::ZERO;

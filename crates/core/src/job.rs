@@ -41,6 +41,14 @@ impl Placement {
         Placement { assignments }
     }
 
+    /// Builds a placement *without* the distinct-cluster check, so
+    /// audit tests can hand the auditor an invalid placement that the
+    /// public constructor would reject.
+    #[cfg(test)]
+    pub(crate) fn raw(assignments: Vec<(usize, u32)>) -> Self {
+        Placement { assignments }
+    }
+
     /// The `(cluster, processors)` pairs.
     pub fn assignments(&self) -> &[(usize, u32)] {
         &self.assignments
@@ -193,7 +201,8 @@ mod tests {
     #[test]
     fn table_insert_and_start() {
         let mut t = JobTable::new();
-        let id = t.insert(ActiveJob::new(spec(vec![4, 4], 10.0), SimTime::ZERO, SubmitQueue::Global));
+        let id =
+            t.insert(ActiveJob::new(spec(vec![4, 4], 10.0), SimTime::ZERO, SubmitQueue::Global));
         assert_eq!(id, JobId(0));
         assert!(!t.get(id).started());
         t.mark_started(id, Placement::new(vec![(0, 4), (3, 4)]), SimTime::new(5.0));
@@ -207,7 +216,8 @@ mod tests {
     #[cfg(debug_assertions)] // the check is a debug_assert
     fn mismatched_placement_total_debug_panics() {
         let mut t = JobTable::new();
-        let id = t.insert(ActiveJob::new(spec(vec![4, 4], 10.0), SimTime::ZERO, SubmitQueue::Global));
+        let id =
+            t.insert(ActiveJob::new(spec(vec![4, 4], 10.0), SimTime::ZERO, SubmitQueue::Global));
         t.mark_started(id, Placement::new(vec![(0, 4)]), SimTime::new(1.0));
     }
 }

@@ -17,6 +17,7 @@
 #![warn(clippy::all)]
 
 pub mod analysis;
+pub mod audit;
 pub mod cluster;
 pub mod experiment;
 pub mod feed;
@@ -30,14 +31,31 @@ pub mod saturation;
 pub mod sim;
 pub mod system;
 
-pub use analysis::{fits_after, identical_jobs_max_utilization, max_identical_packing, packing_report, packing_rows, residual_idle, self_compatible, PackingRow};
+pub use analysis::{
+    fits_after, identical_jobs_max_utilization, max_identical_packing, packing_report,
+    packing_rows, residual_idle, self_compatible, PackingRow,
+};
+pub use audit::{
+    EventRecord, InvariantAuditor, JsonlSink, NullObserver, PassTrigger, PlacementDecision,
+    PlacementScope, SimObserver, Tee, Violation, ViolationKind,
+};
 pub use cluster::Cluster;
 pub use experiment::{compare_sweeps, sweep, ReplicatedOutcome, SweepConfig, SweepPoint, Verdict};
+pub use feed::{JobFeed, StochasticFeed, TraceFeed};
 pub use job::{ActiveJob, JobId, JobTable, Placement, SubmitQueue};
 pub use metrics::{Metrics, MetricsReport};
-pub use placement::{place_flexible, place_on_cluster, place_ordered, place_request, place_unordered, PlacementRule};
-pub use policy::{GlobalBackfill, GlobalScheduler, LocalPriority, LocalSchedulers, PolicyKind, Scheduler};
-pub use saturation::{bisect_max_utilization, maximal_utilization, SaturationConfig, SaturationResult};
-pub use feed::{JobFeed, StochasticFeed, TraceFeed};
-pub use sim::{run, run_trace, run_with_feed, SimConfig, SimOutcome};
+pub use placement::{
+    place_flexible, place_on_cluster, place_ordered, place_request, place_scoped, place_unordered,
+    PlacementRule,
+};
+pub use policy::{
+    GlobalBackfill, GlobalScheduler, LocalPriority, LocalSchedulers, PolicyKind, Scheduler,
+};
+pub use saturation::{
+    bisect_max_utilization, maximal_utilization, SaturationConfig, SaturationResult,
+};
+pub use sim::{
+    run, run_observed, run_trace, run_with_feed, run_with_feed_observed, run_with_scheduler,
+    OccupancyModel, SimConfig, SimOutcome,
+};
 pub use system::MultiCluster;

@@ -187,8 +187,7 @@ impl Metrics {
         } else {
             self.response_single.add(response);
         }
-        self.net_work +=
-            f64::from(job.spec.request.total()) * job.spec.base_service.seconds();
+        self.net_work += f64::from(job.spec.request.total()) * job.spec.base_service.seconds();
         self.departures_in_window += 1;
     }
 

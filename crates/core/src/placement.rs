@@ -7,7 +7,10 @@
 //! Worst Fit is the paper's rule; Best Fit and First Fit are provided as
 //! ablation alternatives (see the placement bench and DESIGN.md).
 
-use crate::job::Placement;
+use desim::SimTime;
+
+use crate::audit::{PlacementDecision, PlacementScope, SimObserver};
+use crate::job::{JobId, Placement, SubmitQueue};
 
 /// How a component picks among the clusters it fits on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -159,6 +162,46 @@ pub fn place_request(
     }
 }
 
+/// Places a request within a [`PlacementScope`]: system-wide via
+/// [`place_request`], or restricted to one cluster via
+/// [`place_on_cluster`] (how LS/LP treat single-component jobs). This
+/// is the function the policies *and* the invariant auditor share, so
+/// the auditor recomputes decisions with exactly the production code
+/// path.
+pub fn place_scoped(
+    idle: &[u32],
+    request: &coalloc_workload::JobRequest,
+    scope: PlacementScope,
+    rule: PlacementRule,
+) -> Option<Placement> {
+    match scope {
+        PlacementScope::System => place_request(idle, request, rule),
+        PlacementScope::Cluster(c) => place_on_cluster(idle, c, request.total()),
+    }
+}
+
+/// [`place_scoped`], announcing a successful decision to the observer
+/// (with the pre-placement idle snapshot) before returning it. The
+/// single emission point all policies go through.
+#[allow(clippy::too_many_arguments)]
+pub fn place_scoped_observed(
+    idle: &[u32],
+    request: &coalloc_workload::JobRequest,
+    scope: PlacementScope,
+    rule: PlacementRule,
+    now: SimTime,
+    id: JobId,
+    queue: SubmitQueue,
+    obs: &mut dyn SimObserver,
+) -> Option<Placement> {
+    let placement = place_scoped(idle, request, scope, rule)?;
+    obs.on_placement(
+        now,
+        &PlacementDecision { id, queue, scope, idle_before: idle, placement: &placement },
+    );
+    Some(placement)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,7 +263,8 @@ mod tests {
         assert!(place_unordered(&idle, &[22, 21, 21], PlacementRule::WorstFit).is_none());
         // Under limit 16 the second job *would* fit in the 16-split world:
         let mut idle16 = [32u32, 32, 32, 32];
-        let p16 = place_unordered(&idle16, &[16, 16, 16, 16], PlacementRule::WorstFit).expect("fits");
+        let p16 =
+            place_unordered(&idle16, &[16, 16, 16, 16], PlacementRule::WorstFit).expect("fits");
         for &(c, n) in p16.assignments() {
             idle16[c] -= n;
         }

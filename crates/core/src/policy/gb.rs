@@ -15,6 +15,7 @@
 use coalloc_workload::JobSpec;
 use desim::SimTime;
 
+use crate::audit::{PlacementDecision, PlacementScope, SimObserver};
 use crate::job::{JobId, JobTable, SubmitQueue};
 use crate::placement::{place_request, PlacementRule};
 use crate::system::MultiCluster;
@@ -54,11 +55,12 @@ impl Scheduler for GlobalBackfill {
         // Nothing to re-enable: GB re-scans the whole queue every pass.
     }
 
-    fn schedule(
+    fn schedule_observed(
         &mut self,
         now: SimTime,
         system: &mut MultiCluster,
         table: &mut JobTable,
+        obs: &mut dyn SimObserver,
     ) -> Vec<JobId> {
         let mut started = Vec::new();
         loop {
@@ -68,6 +70,16 @@ impl Scheduler for GlobalBackfill {
             });
             match hit {
                 Some((pos, id, placement)) => {
+                    obs.on_placement(
+                        now,
+                        &PlacementDecision {
+                            id,
+                            queue: SubmitQueue::Global,
+                            scope: PlacementScope::System,
+                            idle_before: &idle,
+                            placement: &placement,
+                        },
+                    );
                     system.apply(&placement);
                     table.mark_started(id, placement, now);
                     self.queue.remove(pos);
@@ -94,7 +106,11 @@ mod tests {
     use super::*;
 
     fn setup() -> (GlobalBackfill, MultiCluster, JobTable) {
-        (GlobalBackfill::new(PlacementRule::WorstFit), MultiCluster::das_multicluster(), JobTable::new())
+        (
+            GlobalBackfill::new(PlacementRule::WorstFit),
+            MultiCluster::das_multicluster(),
+            JobTable::new(),
+        )
     }
 
     #[test]

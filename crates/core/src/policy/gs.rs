@@ -14,8 +14,9 @@
 use coalloc_workload::JobSpec;
 use desim::SimTime;
 
+use crate::audit::{PlacementScope, SimObserver};
 use crate::job::{JobId, JobTable, SubmitQueue};
-use crate::placement::{place_request, PlacementRule};
+use crate::placement::{place_scoped_observed, PlacementRule};
 use crate::queue::JobQueue;
 use crate::system::MultiCluster;
 
@@ -54,11 +55,12 @@ impl Scheduler for GlobalScheduler {
         self.queue.enable();
     }
 
-    fn schedule(
+    fn schedule_observed(
         &mut self,
         now: SimTime,
         system: &mut MultiCluster,
         table: &mut JobTable,
+        obs: &mut dyn SimObserver,
     ) -> Vec<JobId> {
         let mut started = Vec::new();
         while let Some(head) = self.queue.head() {
@@ -67,7 +69,16 @@ impl Scheduler for GlobalScheduler {
             // component jobs (it has "the freedom to choose the clusters
             // for the single-component jobs", §3.1.1). Ordered and
             // flexible requests are honored per their structure.
-            match place_request(&idle, &table.get(head).spec.request, self.rule) {
+            match place_scoped_observed(
+                &idle,
+                &table.get(head).spec.request,
+                PlacementScope::System,
+                self.rule,
+                now,
+                head,
+                SubmitQueue::Global,
+                obs,
+            ) {
                 Some(p) => {
                     system.apply(&p);
                     table.mark_started(head, p, now);
@@ -75,7 +86,7 @@ impl Scheduler for GlobalScheduler {
                     started.push(head);
                 }
                 None => {
-                    self.queue.disable();
+                    self.queue.disable_observed(now, SubmitQueue::Global, obs);
                     break;
                 }
             }
@@ -99,7 +110,11 @@ mod tests {
     use crate::job::JobTable;
 
     fn setup() -> (GlobalScheduler, MultiCluster, JobTable) {
-        (GlobalScheduler::new(PlacementRule::WorstFit), MultiCluster::das_multicluster(), JobTable::new())
+        (
+            GlobalScheduler::new(PlacementRule::WorstFit),
+            MultiCluster::das_multicluster(),
+            JobTable::new(),
+        )
     }
 
     #[test]

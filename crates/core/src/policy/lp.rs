@@ -17,8 +17,9 @@
 use coalloc_workload::{JobSpec, QueueRouting, RequestKind};
 use desim::{RngStream, SimTime};
 
+use crate::audit::{PlacementScope, SimObserver};
 use crate::job::{JobId, JobTable, SubmitQueue};
-use crate::placement::{place_on_cluster, place_request, PlacementRule};
+use crate::placement::{place_scoped_observed, PlacementRule};
 use crate::queue::{JobQueue, QueueSet};
 use crate::system::MultiCluster;
 
@@ -38,7 +39,12 @@ pub struct LocalPriority {
 impl LocalPriority {
     /// Builds the policy for `clusters` clusters; `routing` spreads the
     /// single-component jobs over the local queues.
-    pub fn new(clusters: usize, routing: QueueRouting, rng: RngStream, rule: PlacementRule) -> Self {
+    pub fn new(
+        clusters: usize,
+        routing: QueueRouting,
+        rng: RngStream,
+        rule: PlacementRule,
+    ) -> Self {
         assert_eq!(routing.queues(), clusters, "routing must cover exactly the local queues");
         LocalPriority {
             locals: QueueSet::new(clusters),
@@ -60,9 +66,20 @@ impl LocalPriority {
         now: SimTime,
         system: &mut MultiCluster,
         table: &mut JobTable,
+        obs: &mut dyn SimObserver,
     ) -> Option<JobId> {
         let head = self.global.head()?;
-        match place_request(&system.idle_per_cluster(), &table.get(head).spec.request, self.rule) {
+        let placement = place_scoped_observed(
+            &system.idle_per_cluster(),
+            &table.get(head).spec.request,
+            PlacementScope::System,
+            self.rule,
+            now,
+            head,
+            SubmitQueue::Global,
+            obs,
+        );
+        match placement {
             Some(p) => {
                 system.apply(&p);
                 table.mark_started(head, p, now);
@@ -70,7 +87,7 @@ impl LocalPriority {
                 Some(head)
             }
             None => {
-                self.global.disable();
+                self.global.disable_observed(now, SubmitQueue::Global, obs);
                 None
             }
         }
@@ -82,15 +99,26 @@ impl LocalPriority {
         now: SimTime,
         system: &mut MultiCluster,
         table: &mut JobTable,
+        obs: &mut dyn SimObserver,
     ) -> Option<JobId> {
         let head = self.locals.queue(q).head()?;
         let job = table.get(head);
         // Ordered single-component jobs name their cluster themselves.
-        let placement = if job.spec.request.kind() == RequestKind::Ordered {
-            place_request(&system.idle_per_cluster(), &job.spec.request, self.rule)
+        let scope = if job.spec.request.kind() == RequestKind::Ordered {
+            PlacementScope::System
         } else {
-            place_on_cluster(&system.idle_per_cluster(), q, job.spec.request.total())
+            PlacementScope::Cluster(q)
         };
+        let placement = place_scoped_observed(
+            &system.idle_per_cluster(),
+            &job.spec.request,
+            scope,
+            self.rule,
+            now,
+            head,
+            SubmitQueue::Local(q),
+            obs,
+        );
         match placement {
             Some(p) => {
                 system.apply(&p);
@@ -99,7 +127,7 @@ impl LocalPriority {
                 Some(head)
             }
             None => {
-                self.locals.disable(q);
+                self.locals.disable_observed(q, now, obs);
                 None
             }
         }
@@ -140,18 +168,19 @@ impl Scheduler for LocalPriority {
         }
     }
 
-    fn schedule(
+    fn schedule_observed(
         &mut self,
         now: SimTime,
         system: &mut MultiCluster,
         table: &mut JobTable,
+        obs: &mut dyn SimObserver,
     ) -> Vec<JobId> {
         let mut started = Vec::new();
         loop {
             let mut progress = false;
             // The global queue is visited first whenever it may schedule.
             if self.global_may_schedule() {
-                if let Some(id) = self.try_start_global(now, system, table) {
+                if let Some(id) = self.try_start_global(now, system, table, obs) {
                     started.push(id);
                     progress = true;
                 }
@@ -160,7 +189,7 @@ impl Scheduler for LocalPriority {
                 if !self.locals.queue(q).is_enabled() {
                     continue;
                 }
-                if let Some(id) = self.try_start_local(q, now, system, table) {
+                if let Some(id) = self.try_start_local(q, now, system, table, obs) {
                     started.push(id);
                     progress = true;
                     // "The global queue is enabled … when at least one of
@@ -182,7 +211,8 @@ impl Scheduler for LocalPriority {
     }
 
     fn queue_lengths(&self) -> Vec<usize> {
-        let mut v: Vec<usize> = (0..self.locals.len()).map(|i| self.locals.queue(i).len()).collect();
+        let mut v: Vec<usize> =
+            (0..self.locals.len()).map(|i| self.locals.queue(i).len()).collect();
         v.push(self.global.len());
         v
     }
@@ -327,10 +357,7 @@ mod tests {
         depart(&mut p, &mut sys, &table, g);
         let started = pass(&mut p, &mut sys, &mut table, 1.0);
         assert_eq!(started, vec![l]);
-        assert_eq!(
-            table.get(l).placement.as_ref().expect("started").assignments(),
-            &[(0, 30)]
-        );
+        assert_eq!(table.get(l).placement.as_ref().expect("started").assignments(), &[(0, 30)]);
     }
 
     #[test]

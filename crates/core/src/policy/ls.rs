@@ -19,8 +19,9 @@
 use coalloc_workload::{JobSpec, QueueRouting, RequestKind};
 use desim::{RngStream, SimTime};
 
+use crate::audit::{PlacementScope, SimObserver};
 use crate::job::{JobId, JobTable, SubmitQueue};
-use crate::placement::{place_on_cluster, place_request, PlacementRule};
+use crate::placement::{place_scoped_observed, PlacementRule};
 use crate::queue::QueueSet;
 use crate::system::MultiCluster;
 
@@ -41,12 +42,13 @@ pub struct LocalSchedulers {
 impl LocalSchedulers {
     /// Builds the policy for `clusters` clusters with the given routing of
     /// submitted jobs to local queues.
-    pub fn new(clusters: usize, routing: QueueRouting, rng: RngStream, rule: PlacementRule) -> Self {
-        assert_eq!(
-            routing.queues(),
-            clusters,
-            "routing must cover exactly the local queues"
-        );
+    pub fn new(
+        clusters: usize,
+        routing: QueueRouting,
+        rng: RngStream,
+        rule: PlacementRule,
+    ) -> Self {
+        assert_eq!(routing.queues(), clusters, "routing must cover exactly the local queues");
         LocalSchedulers {
             queues: QueueSet::new(clusters),
             visit: (0..clusters).collect(),
@@ -62,19 +64,29 @@ impl LocalSchedulers {
         now: SimTime,
         system: &mut MultiCluster,
         table: &mut JobTable,
+        obs: &mut dyn SimObserver,
     ) -> Option<JobId> {
         let head = self.queues.queue(q).head()?;
         let job = table.get(head);
         // Multi-component jobs are co-allocated over the whole system;
         // single-component jobs run only on the local cluster — except
         // ordered requests, which name their cluster themselves.
-        let placement = if job.spec.request.is_multi()
-            || job.spec.request.kind() == RequestKind::Ordered
-        {
-            place_request(&system.idle_per_cluster(), &job.spec.request, self.rule)
-        } else {
-            place_on_cluster(&system.idle_per_cluster(), q, job.spec.request.total())
-        };
+        let scope =
+            if job.spec.request.is_multi() || job.spec.request.kind() == RequestKind::Ordered {
+                PlacementScope::System
+            } else {
+                PlacementScope::Cluster(q)
+            };
+        let placement = place_scoped_observed(
+            &system.idle_per_cluster(),
+            &job.spec.request,
+            scope,
+            self.rule,
+            now,
+            head,
+            SubmitQueue::Local(q),
+            obs,
+        );
         match placement {
             Some(p) => {
                 system.apply(&p);
@@ -83,7 +95,7 @@ impl LocalSchedulers {
                 Some(head)
             }
             None => {
-                self.queues.disable(q);
+                self.queues.disable_observed(q, now, obs);
                 self.visit.retain(|&x| x != q);
                 None
             }
@@ -112,11 +124,12 @@ impl Scheduler for LocalSchedulers {
         self.visit.extend(order);
     }
 
-    fn schedule(
+    fn schedule_observed(
         &mut self,
         now: SimTime,
         system: &mut MultiCluster,
         table: &mut JobTable,
+        obs: &mut dyn SimObserver,
     ) -> Vec<JobId> {
         let mut started = Vec::new();
         loop {
@@ -128,7 +141,7 @@ impl Scheduler for LocalSchedulers {
                 if !self.queues.queue(q).is_enabled() {
                     continue; // disabled earlier in this pass
                 }
-                if let Some(id) = self.try_start(q, now, system, table) {
+                if let Some(id) = self.try_start(q, now, system, table, obs) {
                     started.push(id);
                     progress = true;
                 }
@@ -278,9 +291,12 @@ mod tests {
 
     /// Fills all four clusters from the four local queues and returns the
     /// filler ids.
-    fn fill_system(p: &mut LocalSchedulers, sys: &mut MultiCluster, table: &mut JobTable) -> Vec<JobId> {
-        let fillers: Vec<JobId> =
-            (0..4).map(|q| submit_to(p, table, q, &[32], 0.0)).collect();
+    fn fill_system(
+        p: &mut LocalSchedulers,
+        sys: &mut MultiCluster,
+        table: &mut JobTable,
+    ) -> Vec<JobId> {
+        let fillers: Vec<JobId> = (0..4).map(|q| submit_to(p, table, q, &[32], 0.0)).collect();
         let started = pass(p, sys, table, 0.0);
         assert_eq!(started.len(), 4);
         fillers

@@ -20,6 +20,7 @@ pub use sc::single_cluster_policy;
 use coalloc_workload::{JobSpec, QueueRouting};
 use desim::{RngStream, SimTime};
 
+use crate::audit::{NullObserver, SimObserver};
 use crate::job::{JobId, JobTable, SubmitQueue};
 use crate::placement::PlacementRule;
 use crate::system::MultiCluster;
@@ -29,7 +30,7 @@ use crate::system::MultiCluster;
 /// The simulation loop drives a scheduler through three entry points:
 /// [`Scheduler::route`] + [`Scheduler::enqueue`] at each arrival,
 /// [`Scheduler::on_departure`] at each departure, and
-/// [`Scheduler::schedule`] after both.
+/// [`Scheduler::schedule_observed`] after both.
 pub trait Scheduler: Send {
     /// The policy's short name (GS/LS/LP/SC).
     fn name(&self) -> &'static str;
@@ -45,11 +46,33 @@ pub trait Scheduler: Send {
     /// A job departed: re-enable queues according to the policy's rules.
     fn on_departure(&mut self);
 
-    /// Starts every job the policy can start now. Placements are applied
-    /// to `system` and recorded in `table`; the started ids are returned
-    /// so the simulation loop can schedule their departures.
-    fn schedule(&mut self, now: SimTime, system: &mut MultiCluster, table: &mut JobTable)
-        -> Vec<JobId>;
+    /// Starts every job the policy can start now, announcing each
+    /// placement decision (and each queue disable) to `obs`. Placements
+    /// are applied to `system` and recorded in `table`; the started ids
+    /// are returned so the simulation loop can schedule their
+    /// departures.
+    ///
+    /// Observers are passive: a scheduler must make identical decisions
+    /// whatever `obs` is (see [`crate::audit`]).
+    fn schedule_observed(
+        &mut self,
+        now: SimTime,
+        system: &mut MultiCluster,
+        table: &mut JobTable,
+        obs: &mut dyn SimObserver,
+    ) -> Vec<JobId>;
+
+    /// [`Scheduler::schedule_observed`] without an observer (the
+    /// pre-audit entry point; unit tests and external harnesses use
+    /// this).
+    fn schedule(
+        &mut self,
+        now: SimTime,
+        system: &mut MultiCluster,
+        table: &mut JobTable,
+    ) -> Vec<JobId> {
+        self.schedule_observed(now, system, table, &mut NullObserver)
+    }
 
     /// Number of jobs currently waiting in all queues.
     fn queued(&self) -> usize;
@@ -176,5 +199,4 @@ pub(crate) mod testutil {
         system.release(&placement);
         policy.on_departure();
     }
-
 }

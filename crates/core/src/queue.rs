@@ -6,7 +6,10 @@
 
 use std::collections::VecDeque;
 
-use crate::job::JobId;
+use desim::SimTime;
+
+use crate::audit::SimObserver;
+use crate::job::{JobId, SubmitQueue};
 
 /// A FIFO queue of waiting jobs plus an enabled flag.
 #[derive(Clone, Debug, Default)]
@@ -60,6 +63,21 @@ impl JobQueue {
     pub fn enable(&mut self) {
         self.enabled = true;
     }
+
+    /// [`JobQueue::disable`], announcing the transition to the observer
+    /// (only when the queue was actually enabled, so repeated disables
+    /// emit one event). `label` names this queue in the event stream.
+    pub fn disable_observed(
+        &mut self,
+        now: SimTime,
+        label: SubmitQueue,
+        obs: &mut dyn SimObserver,
+    ) {
+        if self.enabled {
+            obs.on_queue_disabled(now, label);
+        }
+        self.disable();
+    }
 }
 
 /// A set of queues plus the disable-order bookkeeping the paper's LS and
@@ -106,6 +124,15 @@ impl QueueSet {
             self.queues[i].disable();
             self.disabled_order.push(i);
         }
+    }
+
+    /// [`QueueSet::disable`], announcing the transition to the observer
+    /// (only when queue `i` was actually enabled).
+    pub fn disable_observed(&mut self, i: usize, now: SimTime, obs: &mut dyn SimObserver) {
+        if self.queues[i].is_enabled() {
+            obs.on_queue_disabled(now, SubmitQueue::Local(i));
+        }
+        self.disable(i);
     }
 
     /// Re-enables every disabled queue in the order it was disabled

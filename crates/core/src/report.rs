@@ -151,10 +151,8 @@ mod tests {
 
     #[test]
     fn series_drops_saturated_points() {
-        let pts = vec![
-            point(0.3, 0.29, 0.25, 500.0, false),
-            point(0.9, 0.62, 0.53, 50_000.0, true),
-        ];
+        let pts =
+            vec![point(0.3, 0.29, 0.25, 500.0, false), point(0.9, 0.62, 0.53, 50_000.0, true)];
         let s = Series::response_vs_gross("GS", &pts);
         assert_eq!(s.points.len(), 1);
         assert_eq!(s.points[0], (0.29, 500.0));
@@ -178,8 +176,7 @@ mod tests {
 pub fn ascii_plot(title: &str, series: &[Series], width: usize, height: usize) -> String {
     assert!(width >= 16 && height >= 4, "plot too small to be readable");
     const GLYPHS: &[char] = &['*', '+', 'o', 'x', '#', '@', '%', '&'];
-    let points: Vec<(f64, f64)> =
-        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let points: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
     let mut out = String::new();
     out.push_str(title);
     out.push('\n');
@@ -222,7 +219,12 @@ pub fn ascii_plot(title: &str, series: &[Series], width: usize, height: usize) -
     out.push_str(&grid[height - 1].iter().collect::<String>());
     out.push('\n');
     out.push_str(&format!("{:>11}└{}\n", "", "─".repeat(width)));
-    out.push_str(&format!("{:>12}{x0:<10.3}{:>pad$}{x1:>10.3}\n", "", "", pad = width.saturating_sub(20)));
+    out.push_str(&format!(
+        "{:>12}{x0:<10.3}{:>pad$}{x1:>10.3}\n",
+        "",
+        "",
+        pad = width.saturating_sub(20)
+    ));
     for (si, s) in series.iter().enumerate() {
         out.push_str(&format!("{:>12}{} {}\n", "", GLYPHS[si % GLYPHS.len()], s.name));
     }

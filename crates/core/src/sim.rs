@@ -3,6 +3,7 @@
 use coalloc_workload::{QueueRouting, Workload};
 use desim::{Duration, RngStream, Simulation};
 
+use crate::audit::{NullObserver, PassTrigger, SimObserver};
 use crate::feed::{JobFeed, StochasticFeed, TraceFeed};
 use crate::job::{ActiveJob, JobId, JobTable};
 use crate::metrics::{Metrics, MetricsReport};
@@ -169,10 +170,48 @@ pub struct SimOutcome {
     pub response_series: Vec<f64>,
 }
 
+/// How the wide-area extension enters a started job's occupancy.
+///
+/// [`OccupancyModel::Faithful`] is the paper's model and what every
+/// public entry point uses. The broken variants are seeded bugs for
+/// mutation-testing the [`crate::audit::InvariantAuditor`] — they exist
+/// so the test suite can prove the auditor catches a mis-applied
+/// extension factor in the *full* simulation loop, not a synthetic
+/// event stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OccupancyModel {
+    /// Base service × extension factor for the spanned clusters,
+    /// applied exactly once (§2.4).
+    #[default]
+    Faithful,
+    /// The extension factor applied twice to multi-cluster jobs (a
+    /// seeded bug).
+    DoubleExtension,
+}
+
+impl OccupancyModel {
+    fn occupancy(self, job: &ActiveJob, workload: &Workload) -> Duration {
+        let faithful = job.occupancy_in(workload);
+        match self {
+            OccupancyModel::Faithful => faithful,
+            OccupancyModel::DoubleExtension => {
+                let span = job.placement.as_ref().map_or(1, |p| p.assignments().len());
+                faithful.scaled(workload.extension_factor(span))
+            }
+        }
+    }
+}
+
 /// Runs one simulation to completion (all arrivals generated, then the
 /// system drained of *running* jobs; waiting jobs that can never start
 /// are left queued and reported).
 pub fn run(cfg: &SimConfig) -> SimOutcome {
+    run_observed(cfg, &mut NullObserver)
+}
+
+/// [`run`] with an observer attached (see [`crate::audit`]). Observers
+/// are passive: the outcome is bit-identical to [`run`]'s.
+pub fn run_observed<O: SimObserver>(cfg: &SimConfig, obs: &mut O) -> SimOutcome {
     cfg.validate();
     let master = RngStream::new(cfg.seed);
     let mut feed = StochasticFeed::new(
@@ -182,7 +221,7 @@ pub fn run(cfg: &SimConfig) -> SimOutcome {
         cfg.total_jobs,
         &master,
     );
-    run_with_feed(cfg, &mut feed, cfg.offered_gross_utilization())
+    run_with_feed_observed(cfg, &mut feed, cfg.offered_gross_utilization(), obs)
 }
 
 /// Runs a *trace-driven* simulation: the log's submit times (compressed
@@ -194,30 +233,54 @@ pub fn run_trace(cfg: &SimConfig, trace: &coalloc_trace::Trace, time_scale: f64)
     let mut cfg = cfg.clone();
     cfg.total_jobs = trace.len() as u64;
     cfg.validate();
-    let mut feed =
-        TraceFeed::new(trace, cfg.workload.limit, cfg.workload.clusters, time_scale);
+    let mut feed = TraceFeed::new(trace, cfg.workload.limit, cfg.workload.clusters, time_scale);
     // Offered gross utilization of the replay: the trace's gross work
     // over its (scaled) span times the capacity.
     let span = trace.jobs.last().expect("non-empty").submit * time_scale;
     let ratio = cfg.workload.gross_net_ratio();
-    let work: f64 =
-        trace.jobs.iter().map(|j| f64::from(j.size) * j.runtime).sum::<f64>() * ratio;
+    let work: f64 = trace.jobs.iter().map(|j| f64::from(j.size) * j.runtime).sum::<f64>() * ratio;
     let offered = if span > 0.0 { work / (span * f64::from(cfg.capacity())) } else { f64::NAN };
     run_with_feed(&cfg, &mut feed, offered)
 }
 
 /// The shared event loop, driven by any [`JobFeed`].
 pub fn run_with_feed(cfg: &SimConfig, feed: &mut dyn JobFeed, offered: f64) -> SimOutcome {
-    let master = RngStream::new(cfg.seed);
-    let routing_rng = master.labelled("routing");
+    run_with_feed_observed(cfg, feed, offered, &mut NullObserver)
+}
 
+/// [`run_with_feed`] with an observer attached. Generic over the
+/// observer so the [`NullObserver`] path monomorphizes to the
+/// unobserved loop (every hook is an empty inlined default).
+pub fn run_with_feed_observed<O: SimObserver>(
+    cfg: &SimConfig,
+    feed: &mut dyn JobFeed,
+    offered: f64,
+    obs: &mut O,
+) -> SimOutcome {
+    let routing_rng = RngStream::new(cfg.seed).labelled("routing");
+    let policy = cfg.policy.build(cfg.capacities.len(), cfg.routing.clone(), routing_rng, cfg.rule);
+    run_with_scheduler(cfg, feed, offered, policy, obs, OccupancyModel::Faithful)
+}
+
+/// The event loop with an explicitly supplied scheduler and occupancy
+/// model, bypassing [`PolicyKind::build`]. This is the seam the
+/// mutation tests use to wire deliberately broken schedulers (or a
+/// broken extension model) into the *real* loop and prove the
+/// [`crate::audit::InvariantAuditor`] catches them; it also serves
+/// ablations that implement [`Scheduler`] outside this crate. `cfg` is
+/// validated, but its `policy` field only labels the outcome (and
+/// configures the auditor) — the supplied `policy` does the
+/// scheduling.
+pub fn run_with_scheduler<O: SimObserver>(
+    cfg: &SimConfig,
+    feed: &mut dyn JobFeed,
+    offered: f64,
+    mut policy: Box<dyn Scheduler>,
+    obs: &mut O,
+    model: OccupancyModel,
+) -> SimOutcome {
+    cfg.validate();
     let mut system = MultiCluster::new(&cfg.capacities);
-    let mut policy: Box<dyn Scheduler> = cfg.policy.build(
-        cfg.capacities.len(),
-        cfg.routing.clone(),
-        routing_rng,
-        cfg.rule,
-    );
     let mut table = JobTable::with_capacity(cfg.total_jobs as usize);
     let queues = policy.queue_lengths().len();
     let mut metrics = Metrics::new(cfg.capacity(), queues, cfg.batch_size);
@@ -240,13 +303,15 @@ pub fn run_with_feed(cfg: &SimConfig, feed: &mut dyn JobFeed, offered: f64) -> S
 
     while let Some(ev) = sim.step() {
         let now = sim.now();
-        match ev.payload {
+        let trigger = match ev.payload {
             SimEvent::Arrival => {
                 generated += 1;
                 let spec = pending.take().expect("an Arrival always has a pending spec");
                 let queue = policy.route(&spec);
                 let id = table.insert(ActiveJob::new(spec, now, queue));
+                obs.on_arrival(now, id, table.get(id));
                 policy.enqueue(id, queue);
+                obs.on_enqueue(now, id, queue);
                 metrics.record_arrival(now);
                 if let Some((t, spec)) = feed.next_job() {
                     pending = Some(spec);
@@ -254,11 +319,12 @@ pub fn run_with_feed(cfg: &SimConfig, feed: &mut dyn JobFeed, offered: f64) -> S
                 } else {
                     backlog_at_last_arrival = policy.queued();
                 }
+                PassTrigger::Arrival
             }
             SimEvent::Departure(id) => {
-                let placement =
-                    table.get(id).placement.clone().expect("departing job was started");
+                let placement = table.get(id).placement.clone().expect("departing job was started");
                 system.release(&placement);
+                obs.on_completion(now, id, table.get(id));
                 metrics.record_release(now, placement.total());
                 metrics.record_exit(now);
                 completed += 1;
@@ -268,25 +334,28 @@ pub fn run_with_feed(cfg: &SimConfig, feed: &mut dyn JobFeed, offered: f64) -> S
                     metrics.record_departure(now, table.get(id));
                 }
                 policy.on_departure();
+                PassTrigger::Departure
             }
-        }
+        };
         // A scheduling pass follows every arrival and every departure.
-        for id in policy.schedule(now, &mut system, &mut table) {
+        obs.on_pass(now, trigger);
+        let started = policy.schedule_observed(now, &mut system, &mut table, obs);
+        obs.on_pass_end(now, &started);
+        for id in started {
             let job = table.get(id);
-            let occupancy: Duration = job.occupancy_in(&cfg.workload);
+            let occupancy: Duration = model.occupancy(job, &cfg.workload);
             let procs = job.spec.request.total();
+            obs.on_start(now, id, job, occupancy);
             metrics.record_allocate(now, procs);
             sim.schedule_at(now + occupancy, SimEvent::Departure(id));
         }
         metrics.record_queue_length(now, policy.queued());
         peak_backlog = peak_backlog.max(policy.queued());
-        debug_assert!(
-            system.total_busy() <= cfg.capacity(),
-            "more processors busy than exist"
-        );
+        debug_assert!(system.total_busy() <= cfg.capacity(), "more processors busy than exist");
     }
 
     let now = sim.now();
+    obs.on_run_end(now);
     let residual = policy.queued();
     // Saturation heuristic: if a non-trivial share of all generated jobs
     // was still waiting when the arrival process ended, the queues were

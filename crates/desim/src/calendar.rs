@@ -467,10 +467,7 @@ mod tests {
         for id in 0..5 {
             c.insert(ev(2.0, id));
         }
-        assert_eq!(
-            drain(&mut c).iter().map(|x| x.1).collect::<Vec<_>>(),
-            vec![0, 1, 2, 3, 4]
-        );
+        assert_eq!(drain(&mut c).iter().map(|x| x.1).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

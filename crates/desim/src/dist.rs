@@ -298,12 +298,7 @@ impl EmpiricalDiscrete {
 
     /// Probability mass of a specific value (0 if not in the support).
     pub fn pmf(&self, value: u32) -> f64 {
-        self.values
-            .iter()
-            .zip(&self.probs)
-            .filter(|(v, _)| **v == value)
-            .map(|(_, p)| *p)
-            .sum()
+        self.values.iter().zip(&self.probs).filter(|(v, _)| **v == value).map(|(_, p)| *p).sum()
     }
 
     /// Theoretical mean of the distribution.
@@ -314,7 +309,12 @@ impl EmpiricalDiscrete {
     /// Theoretical coefficient of variation.
     pub fn cv(&self) -> f64 {
         let m = self.mean_value();
-        let m2: f64 = self.values.iter().zip(&self.probs).map(|(&v, &p)| f64::from(v) * f64::from(v) * p).sum();
+        let m2: f64 = self
+            .values
+            .iter()
+            .zip(&self.probs)
+            .map(|(&v, &p)| f64::from(v) * f64::from(v) * p)
+            .sum();
         let var = (m2 - m * m).max(0.0);
         var.sqrt() / m
     }

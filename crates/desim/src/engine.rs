@@ -58,7 +58,13 @@ impl<E> Default for Simulation<E, HeapCalendar<E>> {
 impl<E, C: EventCalendar<E>> Simulation<E, C> {
     /// Creates a simulation at time zero over a custom calendar.
     pub fn with_calendar(calendar: C) -> Self {
-        Simulation { now: SimTime::ZERO, next_id: 0, calendar, processed: 0, _marker: core::marker::PhantomData }
+        Simulation {
+            now: SimTime::ZERO,
+            next_id: 0,
+            calendar,
+            processed: 0,
+            _marker: core::marker::PhantomData,
+        }
     }
 
     /// The current simulated time.

@@ -27,8 +27,8 @@ pub mod engine;
 pub mod event;
 pub mod ks;
 pub mod quantile;
-pub mod record;
 pub mod queueing;
+pub mod record;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -43,9 +43,9 @@ pub use dist::{
 pub use engine::Simulation;
 pub use event::{Event, EventId};
 pub use ks::{ks_critical, ks_same_distribution, ks_statistic};
-pub use resource::{GrantDiscipline, Pending, Resource};
 pub use quantile::P2Quantile;
 pub use record::RingLog;
+pub use resource::{GrantDiscipline, Pending, Resource};
 pub use rng::RngStream;
 pub use stats::{BatchMeans, Estimate, Histogram, TimeWeighted, Welford};
 pub use time::{Duration, SimTime};

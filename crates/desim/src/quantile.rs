@@ -109,11 +109,8 @@ impl P2Quantile {
             {
                 let d = d.signum();
                 let qp = self.parabolic(i, d);
-                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
-                    qp
-                } else {
-                    self.linear(i, d)
-                };
+                self.q[i] =
+                    if self.q[i - 1] < qp && qp < self.q[i + 1] { qp } else { self.linear(i, d) };
                 self.n[i] += d;
             }
         }

@@ -182,7 +182,14 @@ impl Histogram {
     /// Creates a histogram of `nbins` equal bins spanning `[lo, hi)`.
     pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
         assert!(nbins > 0 && hi > lo);
-        Histogram { lo, width: (hi - lo) / nbins as f64, bins: vec![0; nbins], underflow: 0, overflow: 0, total: 0 }
+        Histogram {
+            lo,
+            width: (hi - lo) / nbins as f64,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
     }
 
     /// Records one observation.
@@ -407,7 +414,7 @@ mod tests {
         let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
         tw.update(SimTime::new(10.0), 4.0); // value 0 for 10s
         tw.update(SimTime::new(20.0), 2.0); // value 4 for 10s
-        // value 2 for 20s
+                                            // value 2 for 20s
         let avg = tw.average(SimTime::new(40.0));
         // (0*10 + 4*10 + 2*20) / 40 = 80/40 = 2
         assert!((avg - 2.0).abs() < 1e-12);

@@ -30,10 +30,8 @@ pub struct MserResult {
 pub fn mser(series: &[f64], m: usize) -> MserResult {
     assert!(m > 0, "batch size must be positive");
     assert!(series.len() >= 2 * m, "series too short for MSER-{m}");
-    let batches: Vec<f64> = series
-        .chunks_exact(m)
-        .map(|c| c.iter().sum::<f64>() / m as f64)
-        .collect();
+    let batches: Vec<f64> =
+        series.chunks_exact(m).map(|c| c.iter().sum::<f64>() / m as f64).collect();
     let n = batches.len();
     let half = n / 2;
     let mut best = MserResult { truncate: 0, statistic: f64::INFINITY };
@@ -72,11 +70,8 @@ pub fn autocorrelation(series: &[f64], k: usize) -> f64 {
     if var == 0.0 {
         return 0.0;
     }
-    let cov: f64 = series[..n - k]
-        .iter()
-        .zip(&series[k..])
-        .map(|(a, b)| (a - mean) * (b - mean))
-        .sum();
+    let cov: f64 =
+        series[..n - k].iter().zip(&series[k..]).map(|(a, b)| (a - mean) * (b - mean)).sum();
     cov / var
 }
 

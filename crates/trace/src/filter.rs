@@ -10,7 +10,10 @@ use crate::job::Trace;
 /// Returns the sub-log of jobs with `size <= max_size`, renumbered
 /// contiguously. The paper's DAS-s-64 uses `max_size = 64`.
 pub fn cut_by_size(trace: &Trace, max_size: u32) -> Trace {
-    let mut out = Trace::new(format!("{} (size<={})", trace.source, max_size), trace.machine_size.min(max_size));
+    let mut out = Trace::new(
+        format!("{} (size<={})", trace.source, max_size),
+        trace.machine_size.min(max_size),
+    );
     out.jobs = trace.jobs.iter().filter(|j| j.size <= max_size).copied().collect();
     for (i, j) in out.jobs.iter_mut().enumerate() {
         j.id = i as u32 + 1;
@@ -21,7 +24,8 @@ pub fn cut_by_size(trace: &Trace, max_size: u32) -> Trace {
 /// Returns the sub-log of jobs with `runtime <= max_runtime` seconds,
 /// renumbered contiguously. The paper's DAS-t-900 uses `max_runtime = 900`.
 pub fn cut_by_runtime(trace: &Trace, max_runtime: f64) -> Trace {
-    let mut out = Trace::new(format!("{} (runtime<={}s)", trace.source, max_runtime), trace.machine_size);
+    let mut out =
+        Trace::new(format!("{} (runtime<={}s)", trace.source, max_runtime), trace.machine_size);
     out.jobs = trace.jobs.iter().filter(|j| j.runtime <= max_runtime).copied().collect();
     for (i, j) in out.jobs.iter_mut().enumerate() {
         j.id = i as u32 + 1;
@@ -53,9 +57,8 @@ mod tests {
 
     fn toy() -> Trace {
         let mut t = Trace::new("toy", 128);
-        for (i, (size, rt)) in [(4u32, 10.0), (64, 2000.0), (128, 100.0), (16, 900.0)]
-            .iter()
-            .enumerate()
+        for (i, (size, rt)) in
+            [(4u32, 10.0), (64, 2000.0), (128, 100.0), (16, 900.0)].iter().enumerate()
         {
             t.jobs.push(TraceJob {
                 id: i as u32 + 1,
@@ -112,10 +115,8 @@ mod tests {
 /// Interleaves two logs by submit time (e.g. to combine months), keeping
 /// provenance in the source string and renumbering ids.
 pub fn merge(a: &Trace, b: &Trace) -> Trace {
-    let mut out = Trace::new(
-        format!("{} + {}", a.source, b.source),
-        a.machine_size.max(b.machine_size),
-    );
+    let mut out =
+        Trace::new(format!("{} + {}", a.source, b.source), a.machine_size.max(b.machine_size));
     out.jobs.reserve(a.len() + b.len());
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.jobs.len() || j < b.jobs.len() {

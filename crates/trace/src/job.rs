@@ -86,9 +86,7 @@ impl Trace {
     /// Sorts jobs by submission time (stable), normalizing a log assembled
     /// out of order.
     pub fn sort_by_submit(&mut self) {
-        self.jobs.sort_by(|a, b| {
-            a.submit.partial_cmp(&b.submit).expect("submit times are finite")
-        });
+        self.jobs.sort_by(|a, b| a.submit.partial_cmp(&b.submit).expect("submit times are finite"));
     }
 
     /// Asserts internal consistency; returns the first problem found.

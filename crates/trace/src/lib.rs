@@ -26,7 +26,9 @@ pub mod stats;
 pub mod swf;
 
 pub use das::{das1_size_pmf, generate_das1_log, DasLogConfig, KILL_LIMIT_SECS, TABLE1_POWERS};
-pub use filter::{cut_by_runtime, cut_by_size, excluded_by_runtime, excluded_by_size, merge, rescale_time};
+pub use filter::{
+    cut_by_runtime, cut_by_size, excluded_by_runtime, excluded_by_size, merge, rescale_time,
+};
 pub use job::{JobStatus, Trace, TraceJob};
 pub use profile::{daily_burstiness, hourly_profile, interarrival_moments, working_hours_fraction};
 pub use stats::{

@@ -100,8 +100,7 @@ mod tests {
         let p = hourly_profile(&log);
         // Any working hour is busier than any night hour.
         let day_min = p[9..17].iter().copied().fold(f64::INFINITY, f64::min);
-        let night_max =
-            p[..9].iter().chain(&p[17..]).copied().fold(0.0, f64::max);
+        let night_max = p[..9].iter().chain(&p[17..]).copied().fold(0.0, f64::max);
         assert!(day_min > night_max, "day min {day_min:.4} vs night max {night_max:.4}");
         assert!(daily_burstiness(&log) > 2.0);
     }

@@ -128,9 +128,11 @@ pub fn parse_swf(text: &str) -> Result<Trace, SwfError> {
             return Err(SwfError::FieldCount { line, found: tokens.len() });
         }
         let field = |i: usize| -> Result<i64, SwfError> {
-            tokens[i]
-                .parse::<i64>()
-                .map_err(|_| SwfError::BadField { line, field: i, token: tokens[i].to_string() })
+            tokens[i].parse::<i64>().map_err(|_| SwfError::BadField {
+                line,
+                field: i,
+                token: tokens[i].to_string(),
+            })
         };
         let id = field(0)?;
         let submit = field(1)?;
@@ -151,11 +153,15 @@ pub fn parse_swf(text: &str) -> Result<Trace, SwfError> {
             runtime: runtime.max(0) as f64,
             size: size as u32,
             user: user.max(0) as u32,
-            status: if status == STATUS_CANCELLED { JobStatus::Killed } else { JobStatus::Completed },
+            status: if status == STATUS_CANCELLED {
+                JobStatus::Killed
+            } else {
+                JobStatus::Completed
+            },
         });
     }
-    trace.machine_size = max_nodes
-        .unwrap_or_else(|| trace.jobs.iter().map(|j| j.size).max().unwrap_or(0));
+    trace.machine_size =
+        max_nodes.unwrap_or_else(|| trace.jobs.iter().map(|j| j.size).max().unwrap_or(0));
     Ok(trace)
 }
 

@@ -5,14 +5,7 @@ use coalloc_trace::{parse_swf, write_swf, JobStatus, Trace, TraceJob};
 use proptest::prelude::*;
 
 fn trace_strategy() -> impl Strategy<Value = Trace> {
-    let job = (
-        0u32..1_000_000,
-        0.0f64..1e7,
-        1u32..=128,
-        0.0f64..1e5,
-        0u32..64,
-        prop::bool::ANY,
-    )
+    let job = (0u32..1_000_000, 0.0f64..1e7, 1u32..=128, 0.0f64..1e5, 0u32..64, prop::bool::ANY)
         .prop_map(|(id, submit, size, runtime, user, killed)| TraceJob {
             id,
             // SWF stores whole seconds; keep values integral so the

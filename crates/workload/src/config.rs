@@ -130,12 +130,7 @@ impl Workload {
     /// remaining knobs (extension 1.25, no spread penalty, unordered
     /// requests). Prefer this over struct literals: new knobs get sound
     /// defaults instead of breaking your build.
-    pub fn custom(
-        sizes: JobSizeDist,
-        service: ServiceDist,
-        limit: u32,
-        clusters: usize,
-    ) -> Self {
+    pub fn custom(sizes: JobSizeDist, service: ServiceDist, limit: u32, clusters: usize) -> Self {
         assert!(clusters > 0, "need at least one cluster");
         assert!(limit > 0, "component-size limit must be positive");
         Workload {
@@ -208,8 +203,7 @@ impl Workload {
                 JobRequest::ordered(components, idx)
             }
         };
-        let base_service =
-            self.service.sample(service_rng).scaled(self.service_factor(total));
+        let base_service = self.service.sample(service_rng).scaled(self.service_factor(total));
         JobSpec { request, base_service }
     }
 
@@ -271,10 +265,8 @@ mod tests {
 
     #[test]
     fn jobspec_extension_applies_to_multi_only() {
-        let single = JobSpec {
-            request: JobRequest::total_request(8),
-            base_service: Duration::new(100.0),
-        };
+        let single =
+            JobSpec { request: JobRequest::total_request(8), base_service: Duration::new(100.0) };
         let multi = JobSpec {
             request: JobRequest::from_total(64, 16, 4),
             base_service: Duration::new(100.0),
@@ -369,7 +361,8 @@ mod tests {
         assert_eq!(w.extension, EXTENSION_FACTOR);
         assert_eq!(w.spread_penalty, 0.0);
         assert_eq!(w.request_kind, RequestKind::Unordered);
-        let one = Workload::custom(JobSizeDist::das_s_64(), ServiceDist::deterministic(10.0), 64, 1);
+        let one =
+            Workload::custom(JobSizeDist::das_s_64(), ServiceDist::deterministic(10.0), 64, 1);
         assert_eq!(one.request_kind, RequestKind::Total);
         let e = Workload::das(16).with_extension(1.5);
         assert_eq!(e.extension, 1.5);

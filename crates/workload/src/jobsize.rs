@@ -70,12 +70,8 @@ impl JobSizeDist {
     pub fn custom(name: impl Into<String>, pmf: &[(u32, f64)]) -> Self {
         assert!(pmf.iter().all(|&(v, _)| v > 0), "job sizes must be positive");
         let dist = EmpiricalDiscrete::new(pmf);
-        let max = pmf
-            .iter()
-            .filter(|&&(_, w)| w > 0.0)
-            .map(|&(v, _)| v)
-            .max()
-            .expect("non-empty pmf");
+        let max =
+            pmf.iter().filter(|&&(_, w)| w > 0.0).map(|&(v, _)| v).max().expect("non-empty pmf");
         JobSizeDist { name: name.into(), dist, max }
     }
 
@@ -121,25 +117,15 @@ impl JobSizeDist {
 
     /// `(size, probability)` pairs over the support, ascending by size.
     pub fn support(&self) -> Vec<(u32, f64)> {
-        let mut v: Vec<(u32, f64)> = self
-            .dist
-            .values()
-            .iter()
-            .zip(self.dist.probs())
-            .map(|(&s, &p)| (s, p))
-            .collect();
+        let mut v: Vec<(u32, f64)> =
+            self.dist.values().iter().zip(self.dist.probs()).map(|(&s, &p)| (s, p)).collect();
         v.sort_unstable_by_key(|&(s, _)| s);
         v
     }
 
     /// Expectation of `f(size)` under the distribution.
     pub fn expect(&self, mut f: impl FnMut(u32) -> f64) -> f64 {
-        self.dist
-            .values()
-            .iter()
-            .zip(self.dist.probs())
-            .map(|(&s, &p)| p * f(s))
-            .sum()
+        self.dist.values().iter().zip(self.dist.probs()).map(|(&s, &p)| p * f(s)).sum()
     }
 }
 

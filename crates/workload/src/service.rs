@@ -61,7 +61,11 @@ impl ServiceDist {
             let cut = coalloc_trace::cut_by_runtime(&log, coalloc_trace::KILL_LIMIT_SECS);
             empirical_from_runtimes(&cut, DEFAULT_BIN_WIDTH)
         });
-        ServiceDist { name: "DAS-t-900".to_string(), inner: Inner::Empirical(emp.clone()), cap: None }
+        ServiceDist {
+            name: "DAS-t-900".to_string(),
+            inner: Inner::Empirical(emp.clone()),
+            cap: None,
+        }
     }
 
     /// Derives the service-time distribution from a log by binning the

@@ -34,7 +34,7 @@ fn main() {
             routing: QueueRouting::balanced(1),
             capacities: vec![c],
             arrival_rate: lambda,
-        arrival_cv2: 1.0,
+            arrival_cv2: 1.0,
             total_jobs: 200_000,
             warmup_jobs: 20_000,
             batch_size: 2_000,

@@ -27,13 +27,18 @@ fn main() {
     let out = run(&cfg);
     let m = &out.metrics;
     println!("jobs simulated     : {} ({} measured after warm-up)", out.arrivals, m.departures);
-    println!("mean response time : {:.0} s  (95% CI ±{:.0})", m.response.mean, m.response.half_width);
+    println!(
+        "mean response time : {:.0} s  (95% CI ±{:.0})",
+        m.response.mean, m.response.half_width
+    );
     println!("single-component   : {:.0} s", m.response_single);
     println!("multi-component    : {:.0} s", m.response_multi);
     println!("measured gross util: {:.3}", m.gross_utilization);
     println!("measured net util  : {:.3}", m.net_utilization);
-    println!("gross/net ratio    : {:.4} (closed form {:.4})",
+    println!(
+        "gross/net ratio    : {:.4} (closed form {:.4})",
         m.gross_utilization / m.net_utilization,
-        cfg.workload.gross_net_ratio());
+        cfg.workload.gross_net_ratio()
+    );
     println!("saturated          : {}", out.saturated);
 }

@@ -35,7 +35,11 @@ fn main() {
     let mut sc = SaturationConfig::das_sc();
     sc.measured_departures = 15_000;
     let r = maximal_utilization(&sc);
-    rows.push(vec!["SC".to_string(), format!("{:.3}", r.max_gross_utilization), format!("{:.3}", r.max_net_utilization)]);
+    rows.push(vec![
+        "SC".to_string(),
+        format!("{:.3}", r.max_gross_utilization),
+        format!("{:.3}", r.max_net_utilization),
+    ]);
     println!(
         "{}",
         format_table(

@@ -25,7 +25,12 @@ fn main() {
     println!("log: {} jobs from {:?}", log.len(), log.source);
     let sm = trace::size_moments(&log);
     let rm = trace::runtime_moments(&log);
-    println!("  sizes   : mean {:.2}, cv {:.2}, {} distinct values", sm.mean, sm.cv, log.distinct_sizes().len());
+    println!(
+        "  sizes   : mean {:.2}, cv {:.2}, {} distinct values",
+        sm.mean,
+        sm.cv,
+        log.distinct_sizes().len()
+    );
     println!("  runtimes: mean {:.1} s, cv {:.2}", rm.mean, rm.cv);
 
     // 2. Round-trip through SWF.
@@ -56,9 +61,11 @@ fn main() {
     let out = run(&cfg);
     println!();
     println!("LS at offered gross utilization 0.5 with the log-derived workload:");
-    println!("  mean response {:.0} s, gross util {:.3}, net util {:.3}, saturated: {}",
+    println!(
+        "  mean response {:.0} s, gross util {:.3}, net util {:.3}, saturated: {}",
         out.metrics.mean_response,
         out.metrics.gross_utilization,
         out.metrics.net_utilization,
-        out.saturated);
+        out.saturated
+    );
 }

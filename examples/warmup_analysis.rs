@@ -23,7 +23,10 @@ fn main() {
     let mser = mser5(series);
     println!();
     println!("MSER-5 truncation point : {} departures", mser.truncate);
-    println!("experiments discard     : {} departures (SimConfig::das default: 5000 at 60k jobs)", 4_000);
+    println!(
+        "experiments discard     : {} departures (SimConfig::das default: 5000 at 60k jobs)",
+        4_000
+    );
     if mser.truncate <= 4_000 {
         println!("=> the fixed warm-up is conservative enough.");
     } else {

@@ -20,14 +20,18 @@ fn usage() -> ! {
         "usage: coalloc-exp <target> [--full] [--save <dir>]\n\
          targets: table1 table2 table3 ratios fig1..fig7 packing\n\
          \x20        reqtypes placement backfill extfactor burstiness plot all\n\
-         \x20        runjson <GS|LS|LP|SC|GB> <limit> <utilization>   (JSON SimOutcome)"
+         \x20        runjson <GS|LS|LP|SC|GB> <limit> <utilization>\n\
+         \x20                [--events <path>] [--audit]              (JSON SimOutcome)"
     );
     std::process::exit(2);
 }
 
-/// Runs one simulation and prints the full outcome as JSON.
+/// Runs one simulation and prints the full outcome as JSON. `--events
+/// <path>` additionally writes the structured decision-event log (one
+/// JSON object per line); `--audit` attaches the invariant auditor and
+/// exits nonzero if the run broke any of the paper's rules.
 fn runjson(args: &[String], scale: Scale) {
-    use coalloc::core::{run, PolicyKind, SimConfig};
+    use coalloc::core::{run_observed, InvariantAuditor, JsonlSink, PolicyKind, SimConfig, Tee};
     let policy = match args.first().map(String::as_str) {
         Some("GS") => PolicyKind::Gs,
         Some("LS") => PolicyKind::Ls,
@@ -38,6 +42,11 @@ fn runjson(args: &[String], scale: Scale) {
     };
     let limit: u32 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or_else(|| usage());
     let util: f64 = args.get(2).and_then(|a| a.parse().ok()).unwrap_or_else(|| usage());
+    let events_path = args
+        .iter()
+        .position(|a| a == "--events")
+        .map(|i| args.get(i + 1).map(std::path::PathBuf::from).unwrap_or_else(|| usage()));
+    let audit = args.iter().any(|a| a == "--audit");
     let mut cfg = if policy == PolicyKind::Sc {
         SimConfig::das_single_cluster(util)
     } else {
@@ -45,8 +54,32 @@ fn runjson(args: &[String], scale: Scale) {
     };
     cfg.total_jobs = scale.total_jobs();
     cfg.warmup_jobs = scale.warmup_jobs();
-    let out = run(&cfg);
+
+    let mut sink = events_path.map(|path| {
+        let file = std::fs::File::create(&path)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+        JsonlSink::new(std::io::BufWriter::new(file))
+    });
+    let mut auditor = audit.then(|| InvariantAuditor::new(&cfg));
+
+    let out = match (&mut sink, &mut auditor) {
+        (Some(sink), Some(auditor)) => run_observed(&cfg, &mut Tee::new(sink, auditor)),
+        (Some(sink), None) => run_observed(&cfg, sink),
+        (None, Some(auditor)) => run_observed(&cfg, auditor),
+        (None, None) => coalloc::core::run(&cfg),
+    };
+    if let Some(sink) = sink {
+        let n = sink.events_written();
+        sink.finish().expect("event log written");
+        eprintln!("wrote {n} events");
+    }
     println!("{}", serde_json::to_string_pretty(&out).expect("SimOutcome serializes"));
+    if let Some(auditor) = auditor {
+        eprintln!("audit: {}", auditor.report());
+        if !auditor.is_clean() {
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -103,8 +136,31 @@ fn main() {
         return;
     }
     let known = [
-        "table1", "table2", "table3", "ratios", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
-        "fig7", "reqtypes", "placement", "backfill", "extfactor", "burstiness", "correlation", "das2", "packing", "table3x", "scorecard", "plot", "list", "all", "runjson",
+        "table1",
+        "table2",
+        "table3",
+        "ratios",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "reqtypes",
+        "placement",
+        "backfill",
+        "extfactor",
+        "burstiness",
+        "correlation",
+        "das2",
+        "packing",
+        "table3x",
+        "scorecard",
+        "plot",
+        "list",
+        "all",
+        "runjson",
     ];
     if !known.contains(&target) {
         usage();
@@ -154,16 +210,36 @@ fn main() {
             emit("Extension: size-service correlation", experiments::correlation(scale))
         }
         "das2" => emit("Extension: the real DAS2 geometry", experiments::das2(scale)),
-        "extfactor" => {
-            emit("Extension: extension-factor sensitivity", experiments::extension_sensitivity(scale))
-        }
+        "extfactor" => emit(
+            "Extension: extension-factor sensitivity",
+            experiments::extension_sensitivity(scale),
+        ),
         _ => unreachable!("validated above"),
     };
 
     if target == "all" {
         for name in [
-            "table1", "fig1", "fig2", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "table3",
-            "ratios", "table3x", "packing", "scorecard", "reqtypes", "placement", "backfill", "extfactor", "burstiness", "correlation", "das2",
+            "table1",
+            "fig1",
+            "fig2",
+            "table2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "table3",
+            "ratios",
+            "table3x",
+            "packing",
+            "scorecard",
+            "reqtypes",
+            "placement",
+            "backfill",
+            "extfactor",
+            "burstiness",
+            "correlation",
+            "das2",
         ] {
             run_one(name);
         }

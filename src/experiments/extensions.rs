@@ -68,10 +68,7 @@ pub fn placement_rules(scale: Scale) -> String {
 pub fn backfilling(scale: Scale) -> String {
     let mut series = Vec::new();
     for policy in [PolicyKind::Gs, PolicyKind::Gb, PolicyKind::Ls] {
-        let pts = sweep(
-            |util| scaled(SimConfig::das(policy, 16, util), scale),
-            &scale.sweep(),
-        );
+        let pts = sweep(|util| scaled(SimConfig::das(policy, 16, util), scale), &scale.sweep());
         series.push(Series::response_vs_gross(policy.label(), &pts));
     }
     format_figure(
@@ -99,10 +96,7 @@ pub fn extension_sensitivity(scale: Scale) -> String {
         }
     }
     sc_sweep.utilizations.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let sc_pts = sweep(
-        |util| scaled(SimConfig::das_single_cluster(util), scale),
-        &sc_sweep,
-    );
+    let sc_pts = sweep(|util| scaled(SimConfig::das_single_cluster(util), scale), &sc_sweep);
     let sc_takeoff = utilization_at_response(&Series::response_vs_gross("SC", &sc_pts), LEVEL);
     for ext in [1.0, 1.1, 1.25, 1.5, 2.0] {
         let pts = sweep(
@@ -169,8 +163,7 @@ pub fn correlation(scale: Scale) -> String {
                         scaled(SimConfig::das(policy, 16, util), scale)
                     };
                     cfg.workload.size_service_exponent = alpha;
-                    cfg.arrival_rate =
-                        cfg.workload.rate_for_gross_utilization(util, 128);
+                    cfg.arrival_rate = cfg.workload.rate_for_gross_utilization(util, 128);
                     cfg
                 },
                 &scale.sweep(),

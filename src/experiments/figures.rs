@@ -219,10 +219,7 @@ pub fn fig6(scale: Scale) -> String {
         let mut series = Vec::new();
         for &limit in &[16u32, 24, 32] {
             let pts = sweep_policy(policy, limit, balanced, false, scale);
-            series.push(Series::response_vs_gross(
-                format!("{} {limit}", policy.label()),
-                &pts,
-            ));
+            series.push(Series::response_vs_gross(format!("{} {limit}", policy.label()), &pts));
         }
         out.push_str(&format_figure(
             &format!("Fig 6. Performance of {label} depending on the job-component-size limit"),
@@ -285,11 +282,9 @@ mod tests {
         assert!(f.contains("# powers of 2"));
         assert!(f.contains("# other numbers"));
         // Size 64 dominates (19% of ~30k jobs ≈ 5700 ± noise).
-        let line64 = f
-            .lines()
-            .find(|l| l.starts_with("64.0000"))
-            .expect("size 64 present");
-        let count: f64 = line64.split_whitespace().nth(1).expect("y value").parse().expect("number");
+        let line64 = f.lines().find(|l| l.starts_with("64.0000")).expect("size 64 present");
+        let count: f64 =
+            line64.split_whitespace().nth(1).expect("y value").parse().expect("number");
         assert!(count > 5_000.0, "{line64}");
     }
 

@@ -9,7 +9,10 @@ pub mod figures;
 pub mod scorecard;
 pub mod tables;
 
-pub use extensions::{backfilling, burstiness, correlation, das2, extension_sensitivity, placement_rules, request_types};
+pub use extensions::{
+    backfilling, burstiness, correlation, das2, extension_sensitivity, placement_rules,
+    request_types,
+};
 pub use figures::{fig1, fig2, fig3, fig4, fig5, fig6, fig7, terminal_plot};
 pub use scorecard::scorecard;
 pub use tables::{packing, ratios, table1, table2, table3, table3_extended};
@@ -93,9 +96,8 @@ pub fn scaled(mut cfg: coalloc_core::SimConfig, scale: Scale) -> coalloc_core::S
 /// harness invocation computes each (policy, limit, balanced, cut64,
 /// scale) sweep once.
 #[allow(clippy::type_complexity)]
-static SWEEP_CACHE: Mutex<
-    Option<HashMap<(PolicyKind, u32, bool, bool, Scale), Vec<SweepPoint>>>,
-> = Mutex::new(None);
+static SWEEP_CACHE: Mutex<Option<HashMap<(PolicyKind, u32, bool, bool, Scale), Vec<SweepPoint>>>> =
+    Mutex::new(None);
 
 /// Memoized policy sweep used by the figure builders.
 pub(crate) fn cached_sweep(
@@ -107,7 +109,9 @@ pub(crate) fn cached_sweep(
     compute: impl FnOnce() -> Vec<SweepPoint>,
 ) -> Vec<SweepPoint> {
     let key = (policy, limit, balanced, cut64, scale);
-    if let Some(hit) = SWEEP_CACHE.lock().expect("cache lock").get_or_insert_with(HashMap::new).get(&key) {
+    if let Some(hit) =
+        SWEEP_CACHE.lock().expect("cache lock").get_or_insert_with(HashMap::new).get(&key)
+    {
         return hit.clone();
     }
     let pts = compute();
@@ -118,4 +122,3 @@ pub(crate) fn cached_sweep(
         .insert(key, pts.clone());
     pts
 }
-

@@ -20,11 +20,16 @@ struct Claim {
 /// utilization at which the mean response crosses 1000 s, or — when the
 /// sweep grid does not bracket that level — the highest stable point
 /// (the curve's observed end), which orders policies the same way.
-fn takeoff(policy: PolicyKind, limit: u32, balanced: bool, cut64: bool, scale: Scale) -> Option<f64> {
+fn takeoff(
+    policy: PolicyKind,
+    limit: u32,
+    balanced: bool,
+    cut64: bool,
+    scale: Scale,
+) -> Option<f64> {
     let pts = super::figures::sweep_for_scorecard(policy, limit, balanced, cut64, scale);
     let series = Series::response_vs_gross("x", &pts);
-    utilization_at_response(&series, 1_000.0)
-        .or_else(|| series.points.last().map(|&(x, _)| x))
+    utilization_at_response(&series, 1_000.0).or_else(|| series.points.last().map(|&(x, _)| x))
 }
 
 /// Evaluates every headline claim and renders the verdict table.

@@ -64,7 +64,11 @@ pub fn table3(scale: Scale) -> String {
     let mut sc = SaturationConfig::das_sc();
     sc.measured_departures = scale.saturation_departures();
     let r = maximal_utilization(&sc);
-    rows.push(vec!["SC".to_string(), format!("{:.3}", r.max_gross_utilization), format!("{:.3}", r.max_net_utilization)]);
+    rows.push(vec![
+        "SC".to_string(),
+        format!("{:.3}", r.max_gross_utilization),
+        format!("{:.3}", r.max_net_utilization),
+    ]);
     format_table(
         "Table 3. The maximal gross and net utilizations for different\n\
          job-component-size limits for the GS policy (and the SC baseline)",

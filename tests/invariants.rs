@@ -2,7 +2,8 @@
 //! public policy API with randomized job streams.
 
 use coalloc::core::{
-    ActiveJob, JobId, JobTable, MultiCluster, PlacementRule, PolicyKind, Scheduler,
+    run_observed, ActiveJob, InvariantAuditor, JobId, JobTable, MultiCluster, PlacementRule,
+    PolicyKind, Scheduler, SimConfig,
 };
 use coalloc::desim::{Duration, RngStream, SimTime};
 use coalloc::workload::{JobRequest, JobSpec, QueueRouting};
@@ -20,11 +21,7 @@ struct Scenario {
 
 fn scenario() -> impl Strategy<Value = Scenario> {
     (
-        prop_oneof![
-            Just(PolicyKind::Gs),
-            Just(PolicyKind::Ls),
-            Just(PolicyKind::Lp)
-        ],
+        prop_oneof![Just(PolicyKind::Gs), Just(PolicyKind::Ls), Just(PolicyKind::Lp)],
         prop_oneof![Just(16u32), Just(24u32), Just(32u32)],
         proptest::collection::vec(1u32..=128, 1..60),
         any::<u64>(),
@@ -125,6 +122,80 @@ proptest! {
         let (started, completed) = drive(&sc);
         prop_assert_eq!(started, completed, "every started job departs");
         prop_assert_eq!(started, sc.sizes.len(), "the final drain serves every queued job");
+    }
+}
+
+/// An end-to-end auditing scenario: a full simulation run under a
+/// randomized policy, limit, load, length and seed.
+#[derive(Debug, Clone)]
+struct AuditScenario {
+    policy: PolicyKind,
+    limit: u32,
+    util: f64,
+    jobs: u64,
+    seed: u64,
+}
+
+fn audit_scenario() -> impl Strategy<Value = AuditScenario> {
+    (
+        prop_oneof![
+            Just(PolicyKind::Gs),
+            Just(PolicyKind::Ls),
+            Just(PolicyKind::Lp),
+            Just(PolicyKind::Sc),
+            Just(PolicyKind::Gb)
+        ],
+        prop_oneof![Just(16u32), Just(24u32), Just(32u32)],
+        0.3f64..0.8,
+        50u64..300,
+        any::<u64>(),
+    )
+        .prop_map(|(policy, limit, util, jobs, seed)| AuditScenario {
+            policy,
+            limit,
+            util,
+            jobs,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The faithful simulator audits clean: whatever the policy, limit,
+    /// offered load, run length and seed, the [`InvariantAuditor`]
+    /// attached to a full run reports zero violations.
+    #[test]
+    fn faithful_runs_audit_clean(sc in audit_scenario()) {
+        let mut cfg = if sc.policy == PolicyKind::Sc {
+            SimConfig::das_single_cluster(sc.util)
+        } else {
+            SimConfig::das(sc.policy, sc.limit, sc.util)
+        };
+        cfg.total_jobs = sc.jobs;
+        cfg.warmup_jobs = sc.jobs / 10;
+        cfg.seed = sc.seed;
+        let mut auditor = InvariantAuditor::new(&cfg);
+        run_observed(&cfg, &mut auditor);
+        prop_assert!(auditor.is_clean(), "{:?}: {}", sc, auditor.report());
+    }
+}
+
+/// The deterministic quick-scale check behind the proptest: every
+/// policy at the golden-regression operating point, audited end to end.
+#[test]
+fn quick_scale_sweep_audits_clean() {
+    for policy in [PolicyKind::Gs, PolicyKind::Ls, PolicyKind::Lp, PolicyKind::Sc, PolicyKind::Gb] {
+        let mut cfg = if policy == PolicyKind::Sc {
+            SimConfig::das_single_cluster(0.5)
+        } else {
+            SimConfig::das(policy, 16, 0.5)
+        };
+        cfg.total_jobs = 8_000;
+        cfg.warmup_jobs = 1_000;
+        let mut auditor = InvariantAuditor::new(&cfg);
+        run_observed(&cfg, &mut auditor);
+        assert!(auditor.is_clean(), "{policy}: {}", auditor.report());
     }
 }
 

@@ -31,10 +31,7 @@ fn common_random_numbers_reduce_variance() {
         xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
     };
     let (v_crn, v_indep) = (var(&crn), var(&indep));
-    assert!(
-        v_crn < v_indep,
-        "CRN variance {v_crn:.0} must undercut independent {v_indep:.0}"
-    );
+    assert!(v_crn < v_indep, "CRN variance {v_crn:.0} must undercut independent {v_indep:.0}");
 }
 
 /// The synthetic log's sampled sizes match the master pmf by a KS test.

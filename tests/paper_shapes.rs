@@ -69,10 +69,7 @@ fn unbalance_hurts_ls_more_than_lp() {
     assert!(ls_unbal > ls_bal, "unbalance must hurt LS: {ls_bal} -> {ls_unbal}");
     let ls_loss = ls_unbal / ls_bal;
     let lp_loss = lp_unbal / lp_bal;
-    assert!(
-        ls_loss > lp_loss,
-        "LS deteriorates more: LS ×{ls_loss:.2} vs LP ×{lp_loss:.2}"
-    );
+    assert!(ls_loss > lp_loss, "LS deteriorates more: LS ×{ls_loss:.2} vs LP ×{lp_loss:.2}");
 }
 
 /// §3.2: limiting the total job size to 64 brings large improvements,
@@ -191,10 +188,7 @@ fn unbalanced_ls_overloads_the_heavy_queue() {
     let q = &out.metrics.response_per_queue;
     let heavy = q[0];
     let light = (q[1] + q[2] + q[3]) / 3.0;
-    assert!(
-        heavy > 1.15 * light,
-        "heavy queue {heavy:.0} vs light queues {light:.0}"
-    );
+    assert!(heavy > 1.15 * light, "heavy queue {heavy:.0} vs light queues {light:.0}");
 }
 
 /// Waiting time plus (extended) service is the response: the

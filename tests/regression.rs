@@ -7,7 +7,7 @@
 //! A small tolerance absorbs platform differences in `ln`/`exp`
 //! rounding; it is far below any behavioural change.
 
-use coalloc::core::{run, PolicyKind, SimConfig};
+use coalloc::core::{run, run_observed, InvariantAuditor, JsonlSink, PolicyKind, SimConfig};
 
 const TOL: f64 = 1e-6;
 
@@ -46,6 +46,53 @@ fn golden_outcomes_per_policy() {
             out.metrics.gross_utilization
         );
         assert_eq!(out.completed, completed, "{policy}");
+    }
+}
+
+#[test]
+fn observers_do_not_perturb_the_golden_outcomes() {
+    // Observers are passive by contract: the audited run must reproduce
+    // the exact golden numbers of the unobserved run, and a faithful
+    // run must audit clean.
+    let cfg = golden_cfg(PolicyKind::Gs);
+    let mut auditor = InvariantAuditor::new(&cfg);
+    let out = run_observed(&cfg, &mut auditor);
+    auditor.assert_clean();
+    assert!(
+        (out.metrics.mean_response - 827.1489226324).abs() < TOL * 827.0,
+        "observer perturbed the run: mean response {}",
+        out.metrics.mean_response
+    );
+}
+
+/// The JSONL event log of a small fixed-seed GS run, as bytes.
+fn event_log() -> Vec<u8> {
+    let mut cfg = SimConfig::das(PolicyKind::Gs, 16, 0.5);
+    cfg.total_jobs = 300;
+    cfg.warmup_jobs = 50;
+    let mut sink = JsonlSink::new(Vec::new());
+    run_observed(&cfg, &mut sink);
+    sink.finish().expect("writing to a Vec cannot fail")
+}
+
+#[test]
+fn golden_event_log_is_byte_stable() {
+    // Same config + seed → byte-identical JSONL, run-to-run and across
+    // concurrently running threads (the simulator shares no hidden
+    // mutable state).
+    let reference = event_log();
+    assert!(!reference.is_empty());
+    let first = reference.split(|&b| b == b'\n').next().unwrap();
+    assert!(
+        first.starts_with(br#"{"seq":0,"t":"#),
+        "schema drift in the first record: {}",
+        String::from_utf8_lossy(first)
+    );
+    assert_eq!(reference, event_log(), "two identical runs diverged");
+    let handles: Vec<_> = (0..4).map(|_| std::thread::spawn(event_log)).collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        let log = h.join().expect("event-log thread panicked");
+        assert_eq!(log, reference, "thread {i} produced a different log");
     }
 }
 

@@ -95,10 +95,7 @@ fn littles_law_holds() {
         let l = m.mean_jobs_in_system;
         let lam_w = m.throughput * m.mean_response;
         let rel = (l - lam_w).abs() / l.max(1e-9);
-        assert!(
-            rel < 0.08,
-            "{policy}: L {l:.1} vs lambda*W {lam_w:.1} (rel err {rel:.3})"
-        );
+        assert!(rel < 0.08, "{policy}: L {l:.1} vs lambda*W {lam_w:.1} (rel err {rel:.3})");
     }
 }
 

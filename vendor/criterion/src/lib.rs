@@ -1,0 +1,229 @@
+//! Offline stand-in for the slice of `criterion` this workspace uses
+//! (see `vendor/README.md`). It runs each benchmark adaptively (a few
+//! hundred milliseconds per benchmark), reports mean wall-clock time
+//! per iteration plus element throughput, and honors the first
+//! positional CLI argument as a substring filter like real criterion —
+//! but keeps no baselines and does no statistical analysis.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The benchmark driver; one per `criterion_group!` function.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` forwards everything after `--`;
+        // flags (e.g. --bench, --exact) are ignored, the first bare
+        // token is the name filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(self, name, 100, None, f);
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target sample count (used to bound adaptive timing).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares work per iteration so a rate can be reported.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = t.into();
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into());
+        run_benchmark(self.criterion, &name, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I, N, F>(&mut self, id: N, input: &I, mut f: F) -> &mut Self
+    where
+        N: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name, optionally with a
+/// parameter rendered after a slash (`name/16`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id for `name` at `parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{parameter}", name.into()))
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId(name.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId(name)
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// code under measurement.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iterations` calls of `f`, keeping each result alive
+    /// through `black_box` so the work is not optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Prevents the compiler from optimizing a value away (re-export of
+/// the std hint, which real criterion also uses on modern toolchains).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn run_benchmark<F>(
+    criterion: &Criterion,
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if !criterion.matches(name) {
+        return;
+    }
+    // Calibration pass: one iteration, to size the measurement run.
+    let mut bencher = Bencher { iterations: 1, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let once = bencher.elapsed.max(Duration::from_nanos(1));
+    // Aim for ~300 ms of measurement, capped by the sample size.
+    let target = Duration::from_millis(300);
+    let iterations =
+        (target.as_nanos() / once.as_nanos()).clamp(1, sample_size.max(1) as u128) as u64;
+    bencher.iterations = iterations;
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.as_secs_f64() / iterations as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(" ({:.0} elem/s)", n as f64 / per_iter),
+        Throughput::Bytes(n) => format!(" ({:.0} B/s)", n as f64 / per_iter),
+    });
+    println!(
+        "{name}: {}{} [{iterations} iterations]",
+        format_seconds(per_iter),
+        rate.unwrap_or_default()
+    );
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s/iter")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms/iter", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs/iter", s * 1e6)
+    } else {
+        format!("{:.1} ns/iter", s * 1e9)
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,62 @@
+//! Offline stand-in for the slice of `crossbeam` this workspace uses:
+//! `crossbeam::thread::scope` + `Scope::spawn` (see `vendor/README.md`).
+//! Implemented over `std::thread::scope`, which provides the same
+//! structured-concurrency guarantee (all spawned threads join before
+//! `scope` returns, so borrowing from the enclosing stack is sound).
+
+/// Scoped threads.
+pub mod thread {
+    /// Result alias matching `crossbeam::thread::scope`'s return type.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A scope handle; spawn borrows non-`'static` data from the
+    /// enclosing stack frame.
+    pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+    /// The scope token handed to a spawned closure. Real crossbeam
+    /// passes the scope itself for nested spawns; this workspace never
+    /// nests, so the token carries no operations.
+    pub struct NestedScope {
+        _priv: (),
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; it is joined when the scope ends.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.0.spawn(move || f(&NestedScope { _priv: () }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned.
+    ///
+    /// Unlike real crossbeam, a panicking child panics the caller when
+    /// the scope joins (std semantics) instead of surfacing through the
+    /// returned `Result`, which is therefore always `Ok`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope(s))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        crate::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+}

@@ -1,0 +1,26 @@
+//! Sampling helpers (`proptest::sample::Index`).
+
+use crate::strategy::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// An index into a collection whose length is only known inside the
+/// test body; `any::<Index>()` then `idx.index(len)` picks a position.
+#[derive(Clone, Copy, Debug)]
+pub struct Index(usize);
+
+impl Index {
+    /// Projects this abstract index into `0..len`.
+    ///
+    /// # Panics
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        self.0 % len
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64() as usize)
+    }
+}

@@ -1,0 +1,136 @@
+//! A tiny regex-subset generator backing `"pattern"` string
+//! strategies. Supports literals, escapes, `.`, character classes
+//! with ranges, and the quantifiers `*`, `+`, `?`, `{m}`, `{m,n}`,
+//! `{m,}`. Anything else (groups, alternation, anchors) panics, so an
+//! unsupported pattern fails loudly instead of generating garbage.
+
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Debug)]
+struct Atom {
+    /// Inclusive character ranges to draw from.
+    ranges: Vec<(char, char)>,
+    min: usize,
+    max: usize,
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms: Vec<Atom> = Vec::new();
+    while let Some(c) = chars.next() {
+        let ranges = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let c = chars.next().unwrap_or_else(|| {
+                        panic!("unterminated character class in pattern {pattern:?}")
+                    });
+                    match c {
+                        ']' => break,
+                        '\\' => {
+                            let e = unescape(chars.next().expect("dangling escape"));
+                            ranges.push((e, e));
+                        }
+                        lo => {
+                            if chars.peek() == Some(&'-') {
+                                chars.next();
+                                match chars.peek() {
+                                    Some(']') | None => {
+                                        ranges.push((lo, lo));
+                                        ranges.push(('-', '-'));
+                                    }
+                                    Some(_) => {
+                                        let hi = chars.next().expect("range end");
+                                        ranges.push((lo, hi));
+                                    }
+                                }
+                            } else {
+                                ranges.push((lo, lo));
+                            }
+                        }
+                    }
+                }
+                ranges
+            }
+            '\\' => {
+                let e = unescape(chars.next().expect("dangling escape"));
+                vec![(e, e)]
+            }
+            '.' => vec![(' ', '~')],
+            '(' | ')' | '|' | '^' | '$' => {
+                panic!("unsupported regex feature {c:?} in pattern {pattern:?}")
+            }
+            lit => vec![(lit, lit)],
+        };
+        // Quantifier, if any.
+        let (min, max) = match chars.peek() {
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                let (lo, hi) = match spec.split_once(',') {
+                    None => {
+                        let n: usize = spec.trim().parse().expect("numeric repeat");
+                        (n, n)
+                    }
+                    Some((lo, "")) => {
+                        let lo: usize = lo.trim().parse().expect("numeric repeat");
+                        (lo, lo + 8)
+                    }
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("numeric repeat"),
+                        hi.trim().parse().expect("numeric repeat"),
+                    ),
+                };
+                (lo, hi)
+            }
+            _ => (1, 1),
+        };
+        atoms.push(Atom { ranges, min, max });
+    }
+    atoms
+}
+
+/// Generates a string matching `pattern` (within the supported subset).
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let span = (atom.max - atom.min + 1) as u64;
+        let count = atom.min + rng.below(span) as usize;
+        for _ in 0..count {
+            let (lo, hi) = atom.ranges[rng.below(atom.ranges.len() as u64) as usize];
+            let width = hi as u32 - lo as u32 + 1;
+            let c = char::from_u32(lo as u32 + rng.below(u64::from(width)) as u32)
+                .expect("class ranges stay inside valid scalar values");
+            out.push(c);
+        }
+    }
+    out
+}

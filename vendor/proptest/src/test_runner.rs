@@ -1,0 +1,108 @@
+//! The case runner and its deterministic RNG.
+
+/// Why a test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// A `prop_assume!` filtered this input out; the case is retried
+    /// with fresh input and does not count against the case budget.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed property with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (assumed-away) input.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Runner configuration; only the case count is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A small deterministic generator (splitmix64), seeded per case so
+/// every failure reproduces bit-for-bit on rerun.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n` (`n > 0`), bias negligible for test sizes.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Drives one property: generates inputs until `cfg.cases` accepted
+/// cases pass, panicking on the first failure. Rejected cases are
+/// retried (bounded, so a bad assumption cannot loop forever).
+pub fn run_cases<F>(cfg: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut accepted: u32 = 0;
+    let mut rejected: u32 = 0;
+    let mut sequence: u64 = 0;
+    let reject_budget = cfg.cases.saturating_mul(16).max(1024);
+    while accepted < cfg.cases {
+        let seed = 0xC0A1_10C5_EED5_EED5u64 ^ sequence.wrapping_mul(0xA24B_AED4_963E_E407);
+        sequence += 1;
+        let mut rng = TestRng::new(seed);
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected < reject_budget,
+                    "proptest: too many rejected cases ({rejected}); weaken the prop_assume!"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest case {accepted} (seed {seed:#x}) failed: {msg}")
+            }
+        }
+    }
+}

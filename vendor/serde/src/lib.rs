@@ -1,0 +1,213 @@
+//! Offline stand-in for the `serde` facade (see `vendor/README.md`).
+//!
+//! The real serde models serialization as a visitor pipeline; this
+//! stand-in goes through an owned [`value::Value`] tree instead, which
+//! is all the workspace needs (derived structs/enums serialized to and
+//! from JSON by the vendored `serde_json`). Field order is preserved,
+//! so JSON output is deterministic and matches declaration order just
+//! like real `serde_json` on a derived struct.
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can be converted into a [`value::Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> value::Value;
+}
+
+/// Types that can be reconstructed from a [`value::Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(v: &value::Value) -> Result<Self, value::Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> value::Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> value::Value {
+        value::Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &value::Value) -> Result<Self, value::Error> {
+        match v {
+            value::Value::Bool(b) => Ok(*b),
+            other => Err(value::Error::type_mismatch("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> value::Value {
+                value::Value::Uint(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &value::Value) -> Result<Self, value::Error> {
+                let n = match v {
+                    value::Value::Uint(n) => *n,
+                    value::Value::Int(n) if *n >= 0 => *n as u64,
+                    value::Value::Num(x) if x.fract() == 0.0 && *x >= 0.0 && *x <= u64::MAX as f64 => {
+                        *x as u64
+                    }
+                    other => return Err(value::Error::type_mismatch(stringify!($t), other)),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    value::Error::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> value::Value {
+                value::Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &value::Value) -> Result<Self, value::Error> {
+                let n = match v {
+                    value::Value::Int(n) => *n,
+                    value::Value::Uint(n) if *n <= i64::MAX as u64 => *n as i64,
+                    value::Value::Num(x)
+                        if x.fract() == 0.0 && *x >= i64::MIN as f64 && *x <= i64::MAX as f64 =>
+                    {
+                        *x as i64
+                    }
+                    other => return Err(value::Error::type_mismatch(stringify!($t), other)),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    value::Error::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> value::Value {
+                // Real serde_json writes null for non-finite floats.
+                if self.is_finite() {
+                    value::Value::Num(*self as f64)
+                } else {
+                    value::Value::Null
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &value::Value) -> Result<Self, value::Error> {
+                match v {
+                    value::Value::Num(x) => Ok(*x as $t),
+                    value::Value::Uint(n) => Ok(*n as $t),
+                    value::Value::Int(n) => Ok(*n as $t),
+                    other => Err(value::Error::type_mismatch(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> value::Value {
+        value::Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> value::Value {
+        value::Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &value::Value) -> Result<Self, value::Error> {
+        match v {
+            value::Value::String(s) => Ok(s.clone()),
+            other => Err(value::Error::type_mismatch("string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> value::Value {
+        value::Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> value::Value {
+        value::Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &value::Value) -> Result<Self, value::Error> {
+        match v {
+            value::Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(value::Error::type_mismatch("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> value::Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => value::Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &value::Value) -> Result<Self, value::Error> {
+        match v {
+            value::Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $i:tt),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> value::Value {
+                value::Value::Array(vec![$(self.$i.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &value::Value) -> Result<Self, value::Error> {
+                Ok(($($t::from_value(value::element(v, $i)?)?,)+))
+            }
+        }
+    )+};
+}
+impl_tuple!((A.0, B.1), (A.0, B.1, C.2));
+
+impl Serialize for value::Value {
+    fn to_value(&self) -> value::Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for value::Value {
+    fn from_value(v: &value::Value) -> Result<Self, value::Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,275 @@
+//! Offline stand-in for `serde_derive`, written against the vendored
+//! `serde` facade in `vendor/serde` (see `vendor/README.md`).
+//!
+//! Supports exactly the shapes this workspace derives on:
+//! - structs with named fields (any visibility),
+//! - tuple structs (arity 1 is transparent, like real serde newtypes),
+//! - fieldless (unit-variant) enums, serialized as the variant name.
+//!
+//! Generics, payload-carrying enum variants and `#[serde(...)]`
+//! attributes are not supported and fail with a compile error naming
+//! the limitation, so accidental divergence from the real crate is
+//! loud rather than silent.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = gen_serialize(&parse_item(input));
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = gen_deserialize(&parse_item(input));
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn skip_attrs_and_vis(toks: &mut Tokens) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn expect_ident(toks: &mut Tokens, what: &str) -> String {
+    match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected {what}, found {other:?}"),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+    let kw = expect_ident(&mut toks, "`struct` or `enum`");
+    let name = expect_ident(&mut toks, "a type name");
+    match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kw == "struct" {
+                Item::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+            } else {
+                Item::UnitEnum { name, variants: parse_unit_variants(g.stream()) }
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && kw == "struct" => {
+            Item::TupleStruct { name, arity: count_tuple_fields(g.stream()) }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde_derive: generic type `{name}` is not supported by the vendored derive")
+        }
+        other => panic!("serde_derive: unsupported item shape for `{name}`: {other:?}"),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut toks = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let field = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected a field name, found {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after `{field}`, found {other:?}"),
+        }
+        fields.push(field);
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth: i32 = 0;
+        loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth: i32 = 0;
+    let mut saw_tokens = false;
+    let mut count = 0;
+    for tok in body {
+        saw_tokens = true;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // "a, b" has one separating comma; a trailing comma overcounts by
+    // one but no tuple struct in this workspace writes one.
+    if saw_tokens {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let mut toks = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let variant = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected a variant name, found {other:?}"),
+        };
+        match toks.next() {
+            None => {
+                variants.push(variant);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(variant),
+            Some(TokenTree::Group(_)) => panic!(
+                "serde_derive: enum variant `{variant}` carries data; the vendored derive \
+                 only supports fieldless enums"
+            ),
+            other => panic!("serde_derive: unexpected token after `{variant}`: {other:?}"),
+        }
+    }
+    variants
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         ::serde::value::Value::Object(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::value::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems: String =
+                (0..*arity).map(|i| format!("::serde::Serialize::to_value(&self.{i}),")).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         ::serde::value::Value::Array(::std::vec![{elems}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => \
+                         ::serde::value::Value::String(::std::string::String::from({v:?})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let header = |name: &str| {
+        format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::value::Value) \
+                 -> ::std::result::Result<Self, ::serde::value::Error> {{\n"
+        )
+    };
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::value::field(v, {f:?})?)?,"
+                    )
+                })
+                .collect();
+            format!("{}::std::result::Result::Ok({name} {{ {inits} }})\n}}\n}}", header(name))
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "{}::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n}}\n}}",
+            header(name)
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems: String = (0..*arity)
+                .map(|i| {
+                    format!("::serde::Deserialize::from_value(::serde::value::element(v, {i})?)?,")
+                })
+                .collect();
+            format!("{}::std::result::Result::Ok({name}({elems}))\n}}\n}}", header(name))
+        }
+        Item::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "{}match ::serde::value::variant(v)? {{\n\
+                     {arms}\n\
+                     other => ::std::result::Result::Err(\
+                         ::serde::value::Error::custom(::std::format!(\
+                             \"unknown variant `{{other}}` for {name}\"))),\n\
+                 }}\n}}\n}}",
+                header(name)
+            )
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Offline stand-in for `serde_json` over the vendored `serde` facade
+//! (see `vendor/README.md`). Compact output carries no whitespace and
+//! preserves struct field order; pretty output is two-space indented —
+//! both matching the real crate's observable format.
+
+pub use serde::value::{Error, Value};
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::value::write_compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as two-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::value::write_pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Parses a JSON document into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(input: &str) -> Result<T, Error> {
+    T::from_value(&serde::value::parse(input)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_scalars() {
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&u64::MAX).unwrap(), u64::MAX.to_string());
+        let n: u64 = from_str(&u64::MAX.to_string()).unwrap();
+        assert_eq!(n, u64::MAX);
+        let x: f64 = from_str("827.1489226324").unwrap();
+        assert_eq!(x, 827.1489226324);
+    }
+
+    #[test]
+    fn nonfinite_floats_are_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn strings_escape_and_parse() {
+        let s = "a\"b\\c\nd\te\u{1}";
+        let json = to_string(&s.to_string()).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn vectors_and_options() {
+        let xs = vec![1u32, 2, 3];
+        assert_eq!(to_string(&xs).unwrap(), "[1,2,3]");
+        let back: Vec<u32> = from_str("[1,2,3]").unwrap();
+        assert_eq!(back, xs);
+        let none: Option<f64> = from_str("null").unwrap();
+        assert_eq!(none, None);
+        let some: Option<f64> = from_str("2.5").unwrap();
+        assert_eq!(some, Some(2.5));
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = Value::Object(vec![("a".into(), Value::Uint(1))]);
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": 1\n}");
+        assert_eq!(to_string(&v).unwrap(), "{\"a\":1}");
+    }
+}
