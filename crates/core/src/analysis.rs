@@ -23,9 +23,9 @@ pub fn residual_idle(
     rule: PlacementRule,
 ) -> Option<Vec<u32>> {
     let mut system = MultiCluster::new(capacities);
-    let placement = place_request(&system.idle_per_cluster(), request, rule)?;
+    let placement = place_request(system.idle_per_cluster(), request, rule)?;
     system.apply(&placement);
-    let mut idle = system.idle_per_cluster();
+    let mut idle = system.idle_per_cluster().to_vec();
     idle.sort_unstable_by(|a, b| b.cmp(a));
     Some(idle)
 }
@@ -39,11 +39,11 @@ pub fn fits_after(
     rule: PlacementRule,
 ) -> bool {
     let mut system = MultiCluster::new(capacities);
-    let Some(p1) = place_request(&system.idle_per_cluster(), first, rule) else {
+    let Some(p1) = place_request(system.idle_per_cluster(), first, rule) else {
         return false;
     };
     system.apply(&p1);
-    place_request(&system.idle_per_cluster(), second, rule).is_some()
+    place_request(system.idle_per_cluster(), second, rule).is_some()
 }
 
 /// Whether two jobs of the same total size co-fit in an empty system
@@ -128,7 +128,7 @@ pub fn packing_report(limit: u32) -> String {
 pub fn max_identical_packing(capacities: &[u32], request: &JobRequest, rule: PlacementRule) -> u32 {
     let mut system = MultiCluster::new(capacities);
     let mut count = 0;
-    while let Some(p) = place_request(&system.idle_per_cluster(), request, rule) {
+    while let Some(p) = place_request(system.idle_per_cluster(), request, rule) {
         system.apply(&p);
         count += 1;
         if count > 10_000 {

@@ -10,7 +10,6 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use desim::stats::{t_975, Estimate, Welford};
-use parking_lot::Mutex;
 
 use crate::sim::{run, SimConfig, SimOutcome};
 
@@ -136,38 +135,53 @@ where
         .flat_map(|(ui, _)| (0..sweep_cfg.replications).map(move |r| (ui, r)))
         .collect();
 
-    let results: Mutex<Vec<Vec<Option<SimOutcome>>>> = Mutex::new(
-        sweep_cfg
-            .utilizations
-            .iter()
-            .map(|_| (0..sweep_cfg.replications).map(|_| None).collect())
-            .collect(),
-    );
     let next = AtomicUsize::new(0);
     let threads = sweep_cfg.effective_threads(tasks.len());
 
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(ui, rep)) = tasks.get(i) else { break };
-                let util = sweep_cfg.utilizations[ui];
-                let cfg = make_cfg(util).with_seed(sweep_cfg.base_seed.wrapping_add(rep));
-                let outcome = run(&cfg);
-                results.lock()[ui][rep as usize] = Some(outcome);
-            });
-        }
+    // Lock-free result collection: workers claim task indices from one
+    // atomic counter and append (index, outcome) pairs to a worker-local
+    // vector returned through the join handle — the only shared mutable
+    // state is the counter, so runs never contend on a results lock.
+    // Results are re-slotted by task index after the join barrier, which
+    // keeps the outcome deterministic whatever the interleaving.
+    let per_worker: Vec<Vec<(usize, SimOutcome)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|_| {
+                    let mut mine: Vec<(usize, SimOutcome)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(ui, rep)) = tasks.get(i) else { break mine };
+                        let util = sweep_cfg.utilizations[ui];
+                        let cfg = make_cfg(util).with_seed(sweep_cfg.base_seed.wrapping_add(rep));
+                        mine.push((i, run(&cfg)));
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
     })
-    .expect("sweep worker panicked");
+    .expect("sweep scope failed");
 
-    let results = results.into_inner();
+    // Disjoint slots: task i was (ui, rep) with i = ui * replications + rep.
+    let mut slots: Vec<Option<SimOutcome>> = (0..tasks.len()).map(|_| None).collect();
+    for (i, outcome) in per_worker.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "task {i} ran twice");
+        slots[i] = Some(outcome);
+    }
+    let reps = sweep_cfg.replications as usize;
     sweep_cfg
         .utilizations
         .iter()
-        .zip(results)
-        .map(|(&u, reps)| SweepPoint {
+        .enumerate()
+        .map(|(ui, &u)| SweepPoint {
             target_utilization: u,
-            outcome: aggregate(reps.into_iter().map(|o| o.expect("every task ran")).collect()),
+            outcome: aggregate(
+                slots[ui * reps..(ui + 1) * reps]
+                    .iter_mut()
+                    .map(|o| o.take().expect("every task ran"))
+                    .collect(),
+            ),
         })
         .collect()
 }

@@ -79,8 +79,16 @@ pub struct TraceFeed {
 impl TraceFeed {
     /// Builds a replay feed from a log.
     ///
+    /// Records with a non-positive runtime — cancelled or failed jobs,
+    /// common in real logs — are **skipped**, not replayed: such a job
+    /// never occupied processors, and replaying it with a clamped
+    /// near-zero runtime (as an earlier version did) injects phantom
+    /// arrivals that perturb queue order and the arrival count. Size
+    /// the run by [`TraceFeed::len`], not by the raw log length.
+    ///
     /// # Panics
-    /// Panics on an empty or unsorted log, or a non-positive time scale.
+    /// Panics on an unsorted log, a non-positive time scale, or a log
+    /// with no positive-runtime record left to replay.
     pub fn new(trace: &Trace, limit: u32, clusters: usize, time_scale: f64) -> Self {
         assert!(!trace.is_empty(), "cannot replay an empty log");
         assert!(time_scale > 0.0 && time_scale.is_finite(), "time scale must be positive");
@@ -91,9 +99,21 @@ impl TraceFeed {
         let jobs: Vec<(f64, u32, f64)> = trace
             .jobs
             .iter()
-            .map(|j| (j.submit, j.size, j.runtime.max(f64::MIN_POSITIVE)))
+            .filter(|j| j.runtime > 0.0)
+            .map(|j| (j.submit, j.size, j.runtime))
             .collect();
+        assert!(!jobs.is_empty(), "cannot replay a log with no positive-runtime jobs");
         TraceFeed { jobs: jobs.into_iter(), limit, clusters, time_scale }
+    }
+
+    /// Jobs remaining to replay (zero-runtime records already filtered).
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the feed is exhausted.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.len() == 0
     }
 }
 
@@ -169,6 +189,44 @@ mod tests {
             count += 1;
         }
         assert_eq!(count, 500);
+    }
+
+    fn toy_trace(records: &[(f64, u32, f64)]) -> Trace {
+        let mut trace = Trace::new("toy", 128);
+        for (i, &(submit, size, runtime)) in records.iter().enumerate() {
+            trace.jobs.push(TraceJob {
+                id: i as u32 + 1,
+                submit,
+                size,
+                runtime,
+                user: 0,
+                status: JobStatus::Completed,
+            });
+        }
+        trace
+    }
+
+    #[test]
+    fn zero_runtime_records_are_skipped() {
+        // The middle record is a cancelled job (runtime 0): it is not
+        // replayed at all — the old clamp to f64::MIN_POSITIVE turned it
+        // into a phantom near-instantaneous arrival.
+        let trace = toy_trace(&[(0.0, 8, 100.0), (5.0, 16, 0.0), (9.0, 4, 50.0)]);
+        let mut feed = TraceFeed::new(&trace, 16, 4, 1.0);
+        assert_eq!(feed.len(), 2);
+        let (t1, s1) = feed.next_job().expect("first job");
+        assert_eq!((t1, s1.request.total()), (SimTime::ZERO, 8));
+        let (t2, s2) = feed.next_job().expect("second job");
+        assert_eq!((t2, s2.request.total()), (SimTime::new(9.0), 4));
+        assert!(s2.base_service.seconds() > 0.0);
+        assert!(feed.next_job().is_none());
+        assert!(feed.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no positive-runtime")]
+    fn all_zero_runtime_log_rejected() {
+        TraceFeed::new(&toy_trace(&[(0.0, 8, 0.0), (1.0, 4, 0.0)]), 16, 4, 1.0);
     }
 
     #[test]

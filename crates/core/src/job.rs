@@ -17,28 +17,99 @@ pub enum SubmitQueue {
     Global,
 }
 
+/// Placements of up to this many components are stored inline in the
+/// job's state — the paper's systems have at most five clusters and
+/// unordered splits cap at four components, so in practice no placement
+/// on the hot start path touches the heap.
+const INLINE_ASSIGNMENTS: usize = 4;
+
+/// `(cluster, processors)` pairs with inline storage for small
+/// placements and a heap spill for wider ones. Equality sees only the
+/// logical slice, so the two storage forms compare equal.
+#[derive(Clone, Debug)]
+enum Assignments {
+    Inline { len: u8, buf: [(usize, u32); INLINE_ASSIGNMENTS] },
+    Heap(Vec<(usize, u32)>),
+}
+
+impl Assignments {
+    fn from_slice(pairs: &[(usize, u32)]) -> Self {
+        if pairs.len() <= INLINE_ASSIGNMENTS {
+            let mut buf = [(0usize, 0u32); INLINE_ASSIGNMENTS];
+            buf[..pairs.len()].copy_from_slice(pairs);
+            Assignments::Inline { len: pairs.len() as u8, buf }
+        } else {
+            Assignments::Heap(pairs.to_vec())
+        }
+    }
+
+    fn from_vec(pairs: Vec<(usize, u32)>) -> Self {
+        if pairs.len() <= INLINE_ASSIGNMENTS {
+            Assignments::from_slice(&pairs)
+        } else {
+            Assignments::Heap(pairs)
+        }
+    }
+
+    fn as_slice(&self) -> &[(usize, u32)] {
+        match self {
+            Assignments::Inline { len, buf } => &buf[..usize::from(*len)],
+            Assignments::Heap(v) => v,
+        }
+    }
+}
+
+impl PartialEq for Assignments {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Assignments {}
+
 /// Where each component of a started job runs: `(cluster, processors)`
 /// pairs over *distinct* clusters.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Placement {
-    assignments: Vec<(usize, u32)>,
+    assignments: Assignments,
 }
 
 impl Placement {
+    fn validate(assignments: &[(usize, u32)]) {
+        assert!(!assignments.is_empty(), "a placement needs at least one component");
+        assert!(assignments.iter().all(|&(_, p)| p > 0), "components are non-empty");
+        // Quadratic distinctness scan: placements have at most one
+        // component per cluster, so this stays tiny — and allocation-free,
+        // which the hot start path relies on (starting a paper-scale job
+        // touches no heap memory at all).
+        for (i, &(c, _)) in assignments.iter().enumerate() {
+            assert!(
+                assignments[..i].iter().all(|&(d, _)| d != c),
+                "components must go to distinct clusters"
+            );
+        }
+    }
+
     /// Builds a placement from `(cluster, processors)` pairs.
     ///
     /// # Panics
     /// Panics if two components share a cluster (unordered requests place
     /// components on distinct clusters, §2.3) or any component is empty.
     pub fn new(assignments: Vec<(usize, u32)>) -> Self {
-        assert!(!assignments.is_empty(), "a placement needs at least one component");
-        assert!(assignments.iter().all(|&(_, p)| p > 0), "components are non-empty");
-        let mut clusters: Vec<usize> = assignments.iter().map(|&(c, _)| c).collect();
-        clusters.sort_unstable();
-        let before = clusters.len();
-        clusters.dedup();
-        assert_eq!(before, clusters.len(), "components must go to distinct clusters");
-        Placement { assignments }
+        Self::validate(&assignments);
+        Placement { assignments: Assignments::from_vec(assignments) }
+    }
+
+    /// Builds a placement from a borrowed slice of pairs — the hot-path
+    /// constructor: placements of at most [`INLINE_ASSIGNMENTS`]
+    /// components (every real configuration) are stored inline with no
+    /// heap allocation.
+    ///
+    /// # Panics
+    /// Same validation as [`Placement::new`].
+    pub fn from_slice(assignments: &[(usize, u32)]) -> Self {
+        Self::validate(assignments);
+        Placement { assignments: Assignments::from_slice(assignments) }
     }
 
     /// Builds a placement *without* the distinct-cluster check, so
@@ -46,17 +117,17 @@ impl Placement {
     /// public constructor would reject.
     #[cfg(test)]
     pub(crate) fn raw(assignments: Vec<(usize, u32)>) -> Self {
-        Placement { assignments }
+        Placement { assignments: Assignments::from_vec(assignments) }
     }
 
     /// The `(cluster, processors)` pairs.
     pub fn assignments(&self) -> &[(usize, u32)] {
-        &self.assignments
+        self.assignments.as_slice()
     }
 
     /// Total processors across components.
     pub fn total(&self) -> u32 {
-        self.assignments.iter().map(|&(_, p)| p).sum()
+        self.assignments.as_slice().iter().map(|&(_, p)| p).sum()
     }
 }
 

@@ -23,14 +23,20 @@ pub enum PlacementRule {
     FirstFit,
 }
 
+/// The largest system [`place_unordered`] supports: the already-used
+/// clusters of an attempt are tracked in a `u64` bitmask so a *failed*
+/// fit check touches no heap memory at all (fit checks dominate the
+/// scheduling pass under load).
+pub const MAX_CLUSTERS: usize = 64;
+
 impl PlacementRule {
     /// Chooses a cluster index for a component of `size` among clusters
-    /// whose current idle counts are `idle`, excluding already-`used`
-    /// clusters. Ties break to the lowest index.
-    fn choose(self, idle: &[u32], used: &[bool], size: u32) -> Option<usize> {
+    /// whose current idle counts are `idle`, excluding clusters whose
+    /// bit is set in `used`. Ties break to the lowest index.
+    fn choose(self, idle: &[u32], used: u64, size: u32) -> Option<usize> {
         let mut best: Option<(usize, u32)> = None;
         for (i, &free) in idle.iter().enumerate() {
-            if used[i] || free < size {
+            if used & (1 << i) != 0 || free < size {
                 continue;
             }
             match self {
@@ -77,21 +83,26 @@ pub fn place_unordered(idle: &[u32], components: &[u32], rule: PlacementRule) ->
         components.len(),
         idle.len()
     );
-    let mut used = vec![false; idle.len()];
-    let mut assignments = Vec::with_capacity(components.len());
-    for &comp in components {
-        let cluster = rule.choose(idle, &used, comp)?;
-        used[cluster] = true;
-        assignments.push((cluster, comp));
+    assert!(idle.len() <= MAX_CLUSTERS, "at most {MAX_CLUSTERS} clusters supported");
+    // Stack-only placement: the chosen assignments live in a fixed
+    // array and the distinctness constraint in a bitmask, so neither a
+    // failed attempt nor a paper-scale success touches the heap — the
+    // resulting `Placement` stores small assignment lists inline.
+    let mut used: u64 = 0;
+    let mut pairs = [(0usize, 0u32); MAX_CLUSTERS];
+    for (slot, &comp) in components.iter().enumerate() {
+        let cluster = rule.choose(idle, used, comp)?;
+        used |= 1 << cluster;
+        pairs[slot] = (cluster, comp);
     }
-    Some(Placement::new(assignments))
+    Some(Placement::from_slice(&pairs[..components.len()]))
 }
 
 /// Attempts to place a single-component job on one *specific* cluster
 /// (LS restricts single-component jobs to their local cluster, §2.5).
 pub fn place_on_cluster(idle: &[u32], cluster: usize, size: u32) -> Option<Placement> {
     if idle[cluster] >= size {
-        Some(Placement::new(vec![(cluster, size)]))
+        Some(Placement::from_slice(&[(cluster, size)]))
     } else {
         None
     }

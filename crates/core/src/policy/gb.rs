@@ -55,18 +55,18 @@ impl Scheduler for GlobalBackfill {
         // Nothing to re-enable: GB re-scans the whole queue every pass.
     }
 
-    fn schedule_observed(
+    fn schedule_into(
         &mut self,
         now: SimTime,
         system: &mut MultiCluster,
         table: &mut JobTable,
         obs: &mut dyn SimObserver,
-    ) -> Vec<JobId> {
-        let mut started = Vec::new();
+        started: &mut Vec<JobId>,
+    ) {
         loop {
             let idle = system.idle_per_cluster();
             let hit = self.queue.iter().enumerate().find_map(|(pos, &id)| {
-                place_request(&idle, &table.get(id).spec.request, self.rule).map(|p| (pos, id, p))
+                place_request(idle, &table.get(id).spec.request, self.rule).map(|p| (pos, id, p))
             });
             match hit {
                 Some((pos, id, placement)) => {
@@ -76,7 +76,7 @@ impl Scheduler for GlobalBackfill {
                             id,
                             queue: SubmitQueue::Global,
                             scope: PlacementScope::System,
-                            idle_before: &idle,
+                            idle_before: system.idle_per_cluster(),
                             placement: &placement,
                         },
                     );
@@ -88,15 +88,18 @@ impl Scheduler for GlobalBackfill {
                 None => break,
             }
         }
-        started
     }
 
     fn queued(&self) -> usize {
         self.queue.len()
     }
 
-    fn queue_lengths(&self) -> Vec<usize> {
-        vec![self.queue.len()]
+    fn num_queues(&self) -> usize {
+        1
+    }
+
+    fn queue_lengths_into(&self, out: &mut Vec<usize>) {
+        out.push(self.queue.len());
     }
 }
 

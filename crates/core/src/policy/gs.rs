@@ -55,22 +55,28 @@ impl Scheduler for GlobalScheduler {
         self.queue.enable();
     }
 
-    fn schedule_observed(
+    fn schedule_into(
         &mut self,
         now: SimTime,
         system: &mut MultiCluster,
         table: &mut JobTable,
         obs: &mut dyn SimObserver,
-    ) -> Vec<JobId> {
-        let mut started = Vec::new();
+        started: &mut Vec<JobId>,
+    ) {
+        // Disabled means the head failed to fit since the last departure.
+        // Arrivals never increase idle processors, so re-attempting the
+        // (deterministic) placement is a guaranteed miss — skip the pass.
+        // Departures re-enable the queue before their pass runs.
+        if !self.queue.is_enabled() {
+            return;
+        }
         while let Some(head) = self.queue.head() {
-            let idle = system.idle_per_cluster();
             // GS chooses clusters for every component, including single-
             // component jobs (it has "the freedom to choose the clusters
             // for the single-component jobs", §3.1.1). Ordered and
             // flexible requests are honored per their structure.
-            match place_scoped_observed(
-                &idle,
+            let placed = place_scoped_observed(
+                system.idle_per_cluster(),
                 &table.get(head).spec.request,
                 PlacementScope::System,
                 self.rule,
@@ -78,7 +84,8 @@ impl Scheduler for GlobalScheduler {
                 head,
                 SubmitQueue::Global,
                 obs,
-            ) {
+            );
+            match placed {
                 Some(p) => {
                     system.apply(&p);
                     table.mark_started(head, p, now);
@@ -91,15 +98,18 @@ impl Scheduler for GlobalScheduler {
                 }
             }
         }
-        started
     }
 
     fn queued(&self) -> usize {
         self.queue.len()
     }
 
-    fn queue_lengths(&self) -> Vec<usize> {
-        vec![self.queue.len()]
+    fn num_queues(&self) -> usize {
+        1
+    }
+
+    fn queue_lengths_into(&self, out: &mut Vec<usize>) {
+        out.push(self.queue.len());
     }
 }
 

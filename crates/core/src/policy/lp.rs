@@ -70,7 +70,7 @@ impl LocalPriority {
     ) -> Option<JobId> {
         let head = self.global.head()?;
         let placement = place_scoped_observed(
-            &system.idle_per_cluster(),
+            system.idle_per_cluster(),
             &table.get(head).spec.request,
             PlacementScope::System,
             self.rule,
@@ -110,7 +110,7 @@ impl LocalPriority {
             PlacementScope::Cluster(q)
         };
         let placement = place_scoped_observed(
-            &system.idle_per_cluster(),
+            system.idle_per_cluster(),
             &job.spec.request,
             scope,
             self.rule,
@@ -123,7 +123,7 @@ impl LocalPriority {
             Some(p) => {
                 system.apply(&p);
                 table.mark_started(head, p, now);
-                self.locals.queue_mut(q).pop();
+                self.locals.pop(q);
                 Some(head)
             }
             None => {
@@ -154,7 +154,7 @@ impl Scheduler for LocalPriority {
     fn enqueue(&mut self, id: JobId, queue: SubmitQueue) {
         match queue {
             SubmitQueue::Global => self.global.push(id),
-            SubmitQueue::Local(q) => self.locals.queue_mut(q).push(id),
+            SubmitQueue::Local(q) => self.locals.push(q, id),
         }
     }
 
@@ -168,14 +168,14 @@ impl Scheduler for LocalPriority {
         }
     }
 
-    fn schedule_observed(
+    fn schedule_into(
         &mut self,
         now: SimTime,
         system: &mut MultiCluster,
         table: &mut JobTable,
         obs: &mut dyn SimObserver,
-    ) -> Vec<JobId> {
-        let mut started = Vec::new();
+        started: &mut Vec<JobId>,
+    ) {
         loop {
             let mut progress = false;
             // The global queue is visited first whenever it may schedule.
@@ -203,18 +203,19 @@ impl Scheduler for LocalPriority {
                 break;
             }
         }
-        started
     }
 
     fn queued(&self) -> usize {
         self.locals.total_queued() + self.global.len()
     }
 
-    fn queue_lengths(&self) -> Vec<usize> {
-        let mut v: Vec<usize> =
-            (0..self.locals.len()).map(|i| self.locals.queue(i).len()).collect();
-        v.push(self.global.len());
-        v
+    fn num_queues(&self) -> usize {
+        self.locals.len() + 1
+    }
+
+    fn queue_lengths_into(&self, out: &mut Vec<usize>) {
+        out.extend((0..self.locals.len()).map(|i| self.locals.queue(i).len()));
+        out.push(self.global.len());
     }
 }
 

@@ -34,6 +34,9 @@ pub struct LocalSchedulers {
     /// Enabled queues in visiting order: initially cluster order; queues
     /// drop out when disabled and re-join in disable order at departures.
     visit: Vec<usize>,
+    /// Per-round snapshot of `visit`, reused across passes so a round
+    /// allocates nothing once its capacity covers the clusters.
+    round: Vec<usize>,
     routing: QueueRouting,
     rng: RngStream,
     rule: PlacementRule,
@@ -52,6 +55,7 @@ impl LocalSchedulers {
         LocalSchedulers {
             queues: QueueSet::new(clusters),
             visit: (0..clusters).collect(),
+            round: Vec::with_capacity(clusters),
             routing,
             rng,
             rule,
@@ -78,7 +82,7 @@ impl LocalSchedulers {
                 PlacementScope::Cluster(q)
             };
         let placement = place_scoped_observed(
-            &system.idle_per_cluster(),
+            system.idle_per_cluster(),
             &job.spec.request,
             scope,
             self.rule,
@@ -91,7 +95,7 @@ impl LocalSchedulers {
             Some(p) => {
                 system.apply(&p);
                 table.mark_started(head, p, now);
-                self.queues.queue_mut(q).pop();
+                self.queues.pop(q);
                 Some(head)
             }
             None => {
@@ -114,30 +118,36 @@ impl Scheduler for LocalSchedulers {
 
     fn enqueue(&mut self, id: JobId, queue: SubmitQueue) {
         match queue {
-            SubmitQueue::Local(q) => self.queues.queue_mut(q).push(id),
+            SubmitQueue::Local(q) => self.queues.push(q, id),
             SubmitQueue::Global => panic!("LS has no global queue"),
         }
     }
 
     fn on_departure(&mut self) {
-        let order = self.queues.enable_all();
-        self.visit.extend(order);
+        // Disabled queues re-join the visit order in disable order,
+        // appended straight into the reused `visit` buffer.
+        self.queues.enable_all_into(&mut self.visit);
     }
 
-    fn schedule_observed(
+    fn schedule_into(
         &mut self,
         now: SimTime,
         system: &mut MultiCluster,
         table: &mut JobTable,
         obs: &mut dyn SimObserver,
-    ) -> Vec<JobId> {
-        let mut started = Vec::new();
+        started: &mut Vec<JobId>,
+    ) {
+        // `round` is swapped out of self so try_start can borrow self
+        // mutably; its capacity survives the swap (mem::take leaves an
+        // unallocated empty Vec behind for the duration of the pass).
+        let mut round = std::mem::take(&mut self.round);
         loop {
             let mut progress = false;
             // Snapshot: in each round every currently enabled queue is
             // visited once (at most one start per queue per round).
-            let round: Vec<usize> = self.visit.clone();
-            for q in round {
+            round.clear();
+            round.extend_from_slice(&self.visit);
+            for &q in &round {
                 if !self.queues.queue(q).is_enabled() {
                     continue; // disabled earlier in this pass
                 }
@@ -150,15 +160,19 @@ impl Scheduler for LocalSchedulers {
                 break;
             }
         }
-        started
+        self.round = round;
     }
 
     fn queued(&self) -> usize {
         self.queues.total_queued()
     }
 
-    fn queue_lengths(&self) -> Vec<usize> {
-        (0..self.queues.len()).map(|i| self.queues.queue(i).len()).collect()
+    fn num_queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    fn queue_lengths_into(&self, out: &mut Vec<usize>) {
+        out.extend((0..self.queues.len()).map(|i| self.queues.queue(i).len()));
     }
 }
 

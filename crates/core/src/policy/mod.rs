@@ -30,7 +30,28 @@ use crate::system::MultiCluster;
 /// The simulation loop drives a scheduler through three entry points:
 /// [`Scheduler::route`] + [`Scheduler::enqueue`] at each arrival,
 /// [`Scheduler::on_departure`] at each departure, and
-/// [`Scheduler::schedule_observed`] after both.
+/// [`Scheduler::schedule_into`] after both.
+///
+/// # The allocation-free contract
+///
+/// The scheduling pass runs after *every* event, so its entry points
+/// must not touch the heap in steady state:
+///
+/// * [`Scheduler::schedule_into`] appends started jobs to a
+///   **caller-owned scratch buffer**. The caller clears it before the
+///   pass and owns its capacity across passes; the scheduler only
+///   appends. Any internal per-pass working set (e.g. LS's round
+///   snapshot) must likewise live in a reused buffer owned by the
+///   scheduler.
+/// * [`Scheduler::queued`] is **O(1)**: policies maintain a running
+///   counter (or sum O(1) queue lengths) instead of walking queues —
+///   the loop reads it after every event for backlog tracking.
+/// * [`Scheduler::on_departure`] re-enables queues in place; it must
+///   not return or build collections.
+///
+/// The allocating conveniences ([`Scheduler::schedule`],
+/// [`Scheduler::schedule_observed`], [`Scheduler::queue_lengths`]) are
+/// provided for tests and one-off diagnostics only.
 pub trait Scheduler: Send {
     /// The policy's short name (GS/LS/LP/SC).
     fn name(&self) -> &'static str;
@@ -49,18 +70,35 @@ pub trait Scheduler: Send {
     /// Starts every job the policy can start now, announcing each
     /// placement decision (and each queue disable) to `obs`. Placements
     /// are applied to `system` and recorded in `table`; the started ids
-    /// are returned so the simulation loop can schedule their
+    /// are appended to `started` — the caller-owned scratch buffer of
+    /// the allocation-free contract (cleared by the caller, never by
+    /// the scheduler) — so the simulation loop can schedule their
     /// departures.
     ///
     /// Observers are passive: a scheduler must make identical decisions
     /// whatever `obs` is (see [`crate::audit`]).
+    fn schedule_into(
+        &mut self,
+        now: SimTime,
+        system: &mut MultiCluster,
+        table: &mut JobTable,
+        obs: &mut dyn SimObserver,
+        started: &mut Vec<JobId>,
+    );
+
+    /// [`Scheduler::schedule_into`] returning a fresh vector (tests and
+    /// external harnesses; allocates, so not for the event loop).
     fn schedule_observed(
         &mut self,
         now: SimTime,
         system: &mut MultiCluster,
         table: &mut JobTable,
         obs: &mut dyn SimObserver,
-    ) -> Vec<JobId>;
+    ) -> Vec<JobId> {
+        let mut started = Vec::new();
+        self.schedule_into(now, system, table, obs, &mut started);
+        started
+    }
 
     /// [`Scheduler::schedule_observed`] without an observer (the
     /// pre-audit entry point; unit tests and external harnesses use
@@ -74,12 +112,28 @@ pub trait Scheduler: Send {
         self.schedule_observed(now, system, table, &mut NullObserver)
     }
 
-    /// Number of jobs currently waiting in all queues.
+    /// Number of jobs currently waiting in all queues. O(1) — see the
+    /// allocation-free contract; always equals the sum of
+    /// [`Scheduler::queue_lengths`].
     fn queued(&self) -> usize;
 
-    /// Number of jobs currently waiting in each queue, for per-queue
-    /// diagnostics (local queues first, then the global queue if any).
-    fn queue_lengths(&self) -> Vec<usize>;
+    /// Number of queues this policy schedules from (local queues first,
+    /// then the global queue if any) — the length
+    /// [`Scheduler::queue_lengths_into`] writes.
+    fn num_queues(&self) -> usize;
+
+    /// Appends the current length of every queue to `out`, for
+    /// per-queue diagnostics (local queues first, then the global queue
+    /// if any).
+    fn queue_lengths_into(&self, out: &mut Vec<usize>);
+
+    /// [`Scheduler::queue_lengths_into`] returning a fresh vector
+    /// (diagnostics; allocates).
+    fn queue_lengths(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.num_queues());
+        self.queue_lengths_into(&mut out);
+        out
+    }
 }
 
 /// Which policy to build; the unit of comparison in every figure.

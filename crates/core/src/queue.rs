@@ -82,18 +82,29 @@ impl JobQueue {
 
 /// A set of queues plus the disable-order bookkeeping the paper's LS and
 /// LP policies require.
+///
+/// Pushes and pops must go through [`QueueSet::push`]/[`QueueSet::pop`]
+/// so the set can keep an O(1) total-queued counter — the simulation
+/// loop reads that total after every event, and re-summing the queues
+/// there would put an O(clusters) walk on the hot path.
 #[derive(Clone, Debug, Default)]
 pub struct QueueSet {
     queues: Vec<JobQueue>,
     /// Indices of disabled queues, in the order they were disabled.
     disabled_order: Vec<usize>,
+    /// Jobs waiting across all queues (kept in sync by push/pop).
+    queued: usize,
 }
 
 impl QueueSet {
     /// `n` empty, enabled queues.
     pub fn new(n: usize) -> Self {
         assert!(n > 0);
-        QueueSet { queues: (0..n).map(|_| JobQueue::new()).collect(), disabled_order: Vec::new() }
+        QueueSet {
+            queues: (0..n).map(|_| JobQueue::new()).collect(),
+            disabled_order: Vec::new(),
+            queued: 0,
+        }
     }
 
     /// Number of queues.
@@ -111,11 +122,20 @@ impl QueueSet {
         &self.queues[i]
     }
 
-    /// Mutable access to one queue (for pushes and pops; use
-    /// [`QueueSet::disable`]/[`QueueSet::enable_all`] for state changes so
-    /// the disable order stays consistent).
-    pub fn queue_mut(&mut self, i: usize) -> &mut JobQueue {
-        &mut self.queues[i]
+    /// Appends a job to queue `i`, maintaining the total-queued counter.
+    pub fn push(&mut self, i: usize, id: JobId) {
+        self.queues[i].push(id);
+        self.queued += 1;
+    }
+
+    /// Removes and returns the head of queue `i`, maintaining the
+    /// total-queued counter.
+    pub fn pop(&mut self, i: usize) -> Option<JobId> {
+        let id = self.queues[i].pop();
+        if id.is_some() {
+            self.queued -= 1;
+        }
+        id
     }
 
     /// Disables queue `i`, recording its position in the disable order.
@@ -136,23 +156,38 @@ impl QueueSet {
     }
 
     /// Re-enables every disabled queue in the order it was disabled
-    /// (called at job departures), returning that order.
-    pub fn enable_all(&mut self) -> Vec<usize> {
-        let order = std::mem::take(&mut self.disabled_order);
-        for &i in &order {
+    /// (called at job departures). Callers that need the re-enable order
+    /// use [`QueueSet::enable_all_into`]; this variant discards it
+    /// without allocating.
+    pub fn enable_all(&mut self) {
+        for &i in &self.disabled_order {
             self.queues[i].enable();
         }
-        order
+        self.disabled_order.clear();
     }
 
-    /// Indices of currently enabled queues, ascending.
+    /// [`QueueSet::enable_all`], appending the re-enable order to `out`
+    /// (the caller-owned buffer pattern: no allocation once `out` has
+    /// capacity).
+    pub fn enable_all_into(&mut self, out: &mut Vec<usize>) {
+        for &i in &self.disabled_order {
+            self.queues[i].enable();
+            out.push(i);
+        }
+        self.disabled_order.clear();
+    }
+
+    /// Indices of currently enabled queues, ascending (diagnostics; not
+    /// on the hot path).
     pub fn enabled_indices(&self) -> Vec<usize> {
         (0..self.queues.len()).filter(|&i| self.queues[i].is_enabled()).collect()
     }
 
-    /// Total jobs waiting across all queues.
+    /// Total jobs waiting across all queues — O(1), from the counter
+    /// maintained by [`QueueSet::push`]/[`QueueSet::pop`].
     pub fn total_queued(&self) -> usize {
-        self.queues.iter().map(JobQueue::len).sum()
+        debug_assert_eq!(self.queued, self.queues.iter().map(JobQueue::len).sum::<usize>());
+        self.queued
     }
 
     /// Whether at least one queue is empty (LP's global-queue gate).
@@ -194,10 +229,13 @@ mod tests {
         s.disable(0);
         s.disable(3);
         assert_eq!(s.enabled_indices(), vec![1]);
-        let order = s.enable_all();
+        let mut order = Vec::new();
+        s.enable_all_into(&mut order);
         assert_eq!(order, vec![2, 0, 3], "re-enabled in disable order");
         assert_eq!(s.enabled_indices(), vec![0, 1, 2, 3]);
-        assert!(s.enable_all().is_empty(), "nothing left disabled");
+        order.clear();
+        s.enable_all_into(&mut order);
+        assert!(order.is_empty(), "nothing left disabled");
     }
 
     #[test]
@@ -205,19 +243,38 @@ mod tests {
         let mut s = QueueSet::new(2);
         s.disable(1);
         s.disable(1);
-        assert_eq!(s.enable_all(), vec![1]);
+        let mut order = Vec::new();
+        s.enable_all_into(&mut order);
+        assert_eq!(order, vec![1]);
+    }
+
+    #[test]
+    fn enable_all_without_order() {
+        let mut s = QueueSet::new(3);
+        s.disable(2);
+        s.disable(0);
+        s.enable_all();
+        assert_eq!(s.enabled_indices(), vec![0, 1, 2]);
+        let mut order = Vec::new();
+        s.enable_all_into(&mut order);
+        assert!(order.is_empty(), "enable_all drained the disable order");
     }
 
     #[test]
     fn queue_set_counters() {
         let mut s = QueueSet::new(3);
-        s.queue_mut(0).push(JobId(1));
-        s.queue_mut(0).push(JobId(2));
-        s.queue_mut(2).push(JobId(3));
+        s.push(0, JobId(1));
+        s.push(0, JobId(2));
+        s.push(2, JobId(3));
         assert_eq!(s.total_queued(), 3);
         assert!(s.any_empty(), "queue 1 is empty");
-        s.queue_mut(1).push(JobId(4));
+        s.push(1, JobId(4));
         assert!(!s.any_empty());
         assert_eq!(s.len(), 3);
+        assert_eq!(s.pop(0), Some(JobId(1)));
+        assert_eq!(s.total_queued(), 3);
+        assert_eq!(s.pop(1), Some(JobId(4)));
+        assert_eq!(s.pop(1), None, "empty pop leaves the counter alone");
+        assert_eq!(s.total_queued(), 2);
     }
 }

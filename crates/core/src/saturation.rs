@@ -115,27 +115,32 @@ pub fn maximal_utilization(cfg: &SaturationConfig) -> SaturationResult {
     let total = cfg.warmup_departures + cfg.measured_departures;
 
     // Refill the backlog, run a scheduling pass, schedule departures.
-    let mut refill_and_schedule =
-        |sim: &mut Simulation<JobId>,
-         policy: &mut Box<dyn Scheduler>,
-         system: &mut MultiCluster,
-         table: &mut JobTable,
-         busy: &mut desim::TimeWeighted| {
-            let now = sim.now();
-            while policy.queued() < cfg.backlog {
-                let spec = cfg.workload.sample(&mut size_rng, &mut service_rng);
-                let queue = policy.route(&spec);
-                let id = table.insert(ActiveJob::new(spec, now, queue));
-                policy.enqueue(id, queue);
-            }
-            for id in policy.schedule(now, system, table) {
-                let occupancy = table.get(id).occupancy_in(&cfg.workload);
-                busy.add(now, f64::from(table.get(id).spec.request.total()));
-                sim.schedule_at(now + occupancy, id);
-            }
-        };
+    // `started` is the caller-owned scratch of the Scheduler contract,
+    // reused across every pass of the run.
+    let mut refill_and_schedule = |sim: &mut Simulation<JobId>,
+                                   policy: &mut Box<dyn Scheduler>,
+                                   system: &mut MultiCluster,
+                                   table: &mut JobTable,
+                                   busy: &mut desim::TimeWeighted,
+                                   started: &mut Vec<JobId>| {
+        let now = sim.now();
+        while policy.queued() < cfg.backlog {
+            let spec = cfg.workload.sample(&mut size_rng, &mut service_rng);
+            let queue = policy.route(&spec);
+            let id = table.insert(ActiveJob::new(spec, now, queue));
+            policy.enqueue(id, queue);
+        }
+        started.clear();
+        policy.schedule_into(now, system, table, &mut crate::audit::NullObserver, started);
+        for &id in started.iter() {
+            let occupancy = table.get(id).occupancy_in(&cfg.workload);
+            busy.add(now, f64::from(table.get(id).spec.request.total()));
+            sim.schedule_at(now + occupancy, id);
+        }
+    };
 
-    refill_and_schedule(&mut sim, &mut policy, &mut system, &mut table, &mut busy);
+    let mut started: Vec<JobId> = Vec::new();
+    refill_and_schedule(&mut sim, &mut policy, &mut system, &mut table, &mut busy, &mut started);
 
     while departures < total {
         let Some(ev) = sim.step() else {
@@ -143,16 +148,25 @@ pub fn maximal_utilization(cfg: &SaturationConfig) -> SaturationResult {
         };
         let now = sim.now();
         let id = ev.payload;
-        let placement = table.get(id).placement.clone().expect("job was started");
-        system.release(&placement);
-        busy.add(now, -f64::from(placement.total()));
+        // Borrow (not clone) the placement out of the table for release.
+        let placement = table.get(id).placement.as_ref().expect("job was started");
+        system.release(placement);
+        let released = f64::from(placement.total());
+        busy.add(now, -released);
         policy.on_departure();
         departures += 1;
         if departures == cfg.warmup_departures {
             busy.reset_window(now);
             window_start = now;
         }
-        refill_and_schedule(&mut sim, &mut policy, &mut system, &mut table, &mut busy);
+        refill_and_schedule(
+            &mut sim,
+            &mut policy,
+            &mut system,
+            &mut table,
+            &mut busy,
+            &mut started,
+        );
     }
 
     let now = sim.now();
@@ -175,14 +189,30 @@ pub fn maximal_utilization(cfg: &SaturationConfig) -> SaturationResult {
 /// `make_cfg` builds the run for a target offered gross utilization;
 /// the search narrows `[lo, hi]` until `hi - lo <= tolerance` and
 /// returns the last stable utilization found.
+///
+/// # Panics
+/// Panics when `[lo, hi]` does not bracket the saturation threshold:
+/// `lo` must be stable and `hi` saturated. Both ends are checked
+/// unconditionally (also in release builds) — an unchecked bracket
+/// silently converges to the nearest bound and reports it as the
+/// saturation point, which is a wrong *number*, not a crash.
 pub fn bisect_max_utilization<F>(make_cfg: F, mut lo: f64, mut hi: f64, tolerance: f64) -> f64
 where
     F: Fn(f64) -> crate::sim::SimConfig,
 {
     assert!(0.0 < lo && lo < hi && hi <= 2.0, "search bounds must satisfy 0 < lo < hi <= 2");
     assert!(tolerance > 0.0);
-    // The bounds must bracket the threshold.
-    debug_assert!(!crate::sim::run(&make_cfg(lo)).saturated, "lo must be stable");
+    // The bounds must bracket the threshold. These two runs are the
+    // price of a trustworthy answer; a debug_assert! would vanish in
+    // release builds, where all real searches run.
+    assert!(
+        !crate::sim::run(&make_cfg(lo)).saturated,
+        "bisection bracket invalid: lo = {lo} is already saturated; lower lo"
+    );
+    assert!(
+        crate::sim::run(&make_cfg(hi)).saturated,
+        "bisection bracket invalid: hi = {hi} is still stable; the saturation point lies above hi"
+    );
     while hi - lo > tolerance {
         let mid = 0.5 * (lo + hi);
         if crate::sim::run(&make_cfg(mid)).saturated {
@@ -260,6 +290,30 @@ mod tests {
             (bisect - backlog).abs() < 0.06,
             "bisection {bisect:.3} vs constant-backlog {backlog:.3}"
         );
+    }
+
+    /// A tiny open-system config for the bracket-validation tests.
+    fn tiny_cfg(util: f64) -> crate::sim::SimConfig {
+        let mut cfg = crate::sim::SimConfig::das(PolicyKind::Gs, 16, util);
+        cfg.total_jobs = 400;
+        cfg.warmup_jobs = 50;
+        cfg
+    }
+
+    #[test]
+    #[should_panic(expected = "still stable")]
+    fn bisection_rejects_a_stable_hi() {
+        // Both ends stable: the old code silently converged to ~hi and
+        // reported a bound, not a measurement. Now it panics.
+        bisect_max_utilization(tiny_cfg, 0.05, 0.2, 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "already saturated")]
+    fn bisection_rejects_a_saturated_lo() {
+        // Checked unconditionally — the old debug_assert! (with a
+        // different message) vanished entirely in release builds.
+        bisect_max_utilization(tiny_cfg, 1.5, 1.8, 0.05);
     }
 
     #[test]

@@ -130,6 +130,31 @@ impl SimConfig {
                 self.capacities.len(),
                 "routing must have one weight per cluster"
             );
+            // Single-component jobs are confined to the cluster of their
+            // local queue (LS/LP, §2.5) — except ordered requests, which
+            // name their clusters themselves. Such a job routed to a
+            // cluster smaller than its size blocks its queue forever, so
+            // the largest single-component size must fit the *smallest*
+            // cluster, not just the system.
+            if self.workload.request_kind != coalloc_workload::RequestKind::Ordered {
+                let min_cap = *self.capacities.iter().min().expect("non-empty");
+                let max_single = self
+                    .workload
+                    .sizes
+                    .support()
+                    .iter()
+                    .map(|&(s, _)| s)
+                    .filter(|&s| !self.workload.is_multi(s))
+                    .max();
+                if let Some(m) = max_single {
+                    assert!(
+                        m <= min_cap,
+                        "single-component jobs of size {m} can never start: they are \
+                         confined to their local cluster and the smallest cluster has \
+                         only {min_cap} processors"
+                    );
+                }
+            }
         }
         let max_size = self.workload.sizes.max_size();
         assert!(
@@ -231,9 +256,11 @@ pub fn run_observed<O: SimObserver>(cfg: &SimConfig, obs: &mut O) -> SimOutcome 
 /// limit, clusters and extension model still apply.
 pub fn run_trace(cfg: &SimConfig, trace: &coalloc_trace::Trace, time_scale: f64) -> SimOutcome {
     let mut cfg = cfg.clone();
-    cfg.total_jobs = trace.len() as u64;
-    cfg.validate();
     let mut feed = TraceFeed::new(trace, cfg.workload.limit, cfg.workload.clusters, time_scale);
+    // The feed drops zero-runtime records (cancelled jobs); the run is
+    // sized by what will actually be replayed, not the raw log length.
+    cfg.total_jobs = feed.len() as u64;
+    cfg.validate();
     // Offered gross utilization of the replay: the trace's gross work
     // over its (scaled) span times the capacity.
     let span = trace.jobs.last().expect("non-empty").submit * time_scale;
@@ -282,7 +309,7 @@ pub fn run_with_scheduler<O: SimObserver>(
     cfg.validate();
     let mut system = MultiCluster::new(&cfg.capacities);
     let mut table = JobTable::with_capacity(cfg.total_jobs as usize);
-    let queues = policy.queue_lengths().len();
+    let queues = policy.num_queues();
     let mut metrics = Metrics::new(cfg.capacity(), queues, cfg.batch_size);
     if cfg.record_series {
         metrics.record_series();
@@ -300,6 +327,10 @@ pub fn run_with_scheduler<O: SimObserver>(
     let mut backlog_at_last_arrival: usize = 0;
     let mut peak_backlog: usize = 0;
     let warmup_done = |completed: u64| completed >= cfg.warmup_jobs;
+    // Caller-owned scratch for the scheduling pass (see the Scheduler
+    // trait's allocation-free contract): cleared per pass, capacity
+    // reused for the whole run.
+    let mut started: Vec<JobId> = Vec::new();
 
     while let Some(ev) = sim.step() {
         let now = sim.now();
@@ -322,16 +353,21 @@ pub fn run_with_scheduler<O: SimObserver>(
                 PassTrigger::Arrival
             }
             SimEvent::Departure(id) => {
-                let placement = table.get(id).placement.clone().expect("departing job was started");
-                system.release(&placement);
-                obs.on_completion(now, id, table.get(id));
-                metrics.record_release(now, placement.total());
+                // Borrow the placement out of the table for the release
+                // (it stays the job's state); cloning it here would put
+                // one heap round-trip on every departure.
+                let job = table.get(id);
+                let placement = job.placement.as_ref().expect("departing job was started");
+                system.release(placement);
+                let released = placement.total();
+                obs.on_completion(now, id, job);
+                metrics.record_release(now, released);
                 metrics.record_exit(now);
                 completed += 1;
                 if completed == cfg.warmup_jobs {
                     metrics.reset_window(now);
                 } else if warmup_done(completed) {
-                    metrics.record_departure(now, table.get(id));
+                    metrics.record_departure(now, job);
                 }
                 policy.on_departure();
                 PassTrigger::Departure
@@ -339,9 +375,10 @@ pub fn run_with_scheduler<O: SimObserver>(
         };
         // A scheduling pass follows every arrival and every departure.
         obs.on_pass(now, trigger);
-        let started = policy.schedule_observed(now, &mut system, &mut table, obs);
+        started.clear();
+        policy.schedule_into(now, &mut system, &mut table, obs, &mut started);
         obs.on_pass_end(now, &started);
-        for id in started {
+        for &id in &started {
             let job = table.get(id);
             let occupancy: Duration = model.occupancy(job, &cfg.workload);
             let procs = job.spec.request.total();
@@ -349,8 +386,9 @@ pub fn run_with_scheduler<O: SimObserver>(
             metrics.record_allocate(now, procs);
             sim.schedule_at(now + occupancy, SimEvent::Departure(id));
         }
-        metrics.record_queue_length(now, policy.queued());
-        peak_backlog = peak_backlog.max(policy.queued());
+        let queued_now = policy.queued();
+        metrics.record_queue_length(now, queued_now);
+        peak_backlog = peak_backlog.max(queued_now);
         debug_assert!(system.total_busy() <= cfg.capacity(), "more processors busy than exist");
     }
 
@@ -484,6 +522,20 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "can never start")]
+    fn local_queues_reject_clusters_too_small_for_single_jobs() {
+        // Under LS a single-component job is confined to the cluster of
+        // its local queue: a size-16 job routed to the 8-processor
+        // cluster blocks its queue forever. The old validation only
+        // compared the max *total* size (128) against the *system*
+        // capacity (128) and let this config through.
+        let mut cfg = quick(PolicyKind::Ls, 16, 0.4);
+        cfg.capacities = vec![8, 120];
+        cfg.routing = QueueRouting::balanced(2);
+        run(&cfg);
+    }
+
+    #[test]
     fn sc_has_no_multi_jobs() {
         let mut cfg = SimConfig::das_single_cluster(0.4);
         cfg.total_jobs = 4_000;
@@ -537,6 +589,22 @@ mod trace_replay_tests {
             compressed.metrics.mean_response,
             relaxed.metrics.mean_response
         );
+    }
+
+    #[test]
+    fn replay_skips_zero_runtime_records() {
+        // Cancelled jobs (runtime 0) do not enter the replay: the run is
+        // sized by the filtered feed, so arrivals and the conservation
+        // identity both reflect only real jobs.
+        let mut log = generate_das1_log(&DasLogConfig { jobs: 3_000, ..Default::default() });
+        for j in log.jobs.iter_mut().step_by(10) {
+            j.runtime = 0.0;
+        }
+        let mut cfg = SimConfig::das(PolicyKind::Gs, 16, 0.5);
+        cfg.warmup_jobs = 200;
+        let out = run_trace(&cfg, &log, 1.0);
+        assert_eq!(out.arrivals, 2_700);
+        assert_eq!(out.completed as usize + out.residual_queued, 2_700);
     }
 
     #[test]

@@ -5,16 +5,27 @@ use crate::cluster::Cluster;
 use crate::job::Placement;
 
 /// The processors of a multicluster system.
+///
+/// The per-cluster idle counts are cached in a flat vector kept in sync
+/// by [`MultiCluster::apply`]/[`MultiCluster::release`], so the
+/// schedulers' fit checks ([`MultiCluster::idle_per_cluster`]) borrow a
+/// slice instead of collecting a fresh `Vec` on every placement attempt.
 #[derive(Clone, Debug)]
 pub struct MultiCluster {
     clusters: Vec<Cluster>,
+    /// Idle processors per cluster, mirroring `clusters` (the
+    /// allocation-free fast path for placement fit checks).
+    idle: Vec<u32>,
 }
 
 impl MultiCluster {
     /// Builds a system from per-cluster capacities.
     pub fn new(capacities: &[u32]) -> Self {
         assert!(!capacities.is_empty(), "a system needs at least one cluster");
-        MultiCluster { clusters: capacities.iter().map(|&c| Cluster::new(c)).collect() }
+        MultiCluster {
+            clusters: capacities.iter().map(|&c| Cluster::new(c)).collect(),
+            idle: capacities.to_vec(),
+        }
     }
 
     /// The paper's simulated multicluster: 4 clusters of 32 processors.
@@ -42,9 +53,11 @@ impl MultiCluster {
         self.clusters.iter().map(Cluster::busy).sum()
     }
 
-    /// Idle processors in each cluster.
-    pub fn idle_per_cluster(&self) -> Vec<u32> {
-        self.clusters.iter().map(Cluster::idle).collect()
+    /// Idle processors in each cluster, as a borrowed slice (no
+    /// allocation; the cache is maintained by apply/release).
+    pub fn idle_per_cluster(&self) -> &[u32] {
+        debug_assert!(self.idle.iter().zip(&self.clusters).all(|(&i, c)| i == c.idle()));
+        &self.idle
     }
 
     /// Idle processors in one cluster.
@@ -65,6 +78,7 @@ impl MultiCluster {
     pub fn apply(&mut self, placement: &Placement) {
         for &(cluster, procs) in placement.assignments() {
             self.clusters[cluster].allocate(procs);
+            self.idle[cluster] -= procs;
         }
     }
 
@@ -72,6 +86,7 @@ impl MultiCluster {
     pub fn release(&mut self, placement: &Placement) {
         for &(cluster, procs) in placement.assignments() {
             self.clusters[cluster].release(procs);
+            self.idle[cluster] += procs;
         }
     }
 }

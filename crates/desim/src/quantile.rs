@@ -77,21 +77,24 @@ impl P2Quantile {
         }
 
         // Find the cell k with q[k] <= x < q[k+1], adjusting extremes.
+        // The chained comparison handles tied markers (q[i] == q[i+1]
+        // makes a cell empty) without a fall-through default: an earlier
+        // version scanned for `q[i] <= x < q[i+1]` and silently fell back
+        // to cell 0 when no cell matched.
         let k = if x < self.q[0] {
             self.q[0] = x;
             0
         } else if x >= self.q[4] {
             self.q[4] = x;
             3
+        } else if x < self.q[1] {
+            0
+        } else if x < self.q[2] {
+            1
+        } else if x < self.q[3] {
+            2
         } else {
-            let mut k = 0;
-            for i in 0..4 {
-                if self.q[i] <= x && x < self.q[i + 1] {
-                    k = i;
-                    break;
-                }
-            }
-            k
+            3
         };
 
         for i in (k + 1)..5 {
@@ -217,5 +220,99 @@ mod tests {
     #[should_panic(expected = "quantile must be in (0, 1)")]
     fn invalid_p_rejected() {
         P2Quantile::new(1.0);
+    }
+
+    /// Exact empirical `p`-quantile by sorting (nearest-rank style, the
+    /// same convention as the small-sample fallback).
+    fn exact_quantile(xs: &[f64], p: f64) -> f64 {
+        let mut v = xs.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v[((v.len() as f64 - 1.0) * p).round() as usize]
+    }
+
+    #[test]
+    fn constant_series_is_exact() {
+        // Every marker collapses onto the constant; the estimate must be
+        // exact for any p, with no drift from empty-cell mishandling.
+        for p in [0.1, 0.5, 0.9, 0.99] {
+            let mut est = P2Quantile::new(p);
+            for _ in 0..10_000 {
+                est.add(42.0);
+            }
+            assert_eq!(est.estimate(), 42.0, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn heavily_tied_series_tracks_exact_quantiles() {
+        // A three-point distribution: almost every observation ties with
+        // a marker, the regime where the cell search degenerates.
+        let mut rng = RngStream::new(11);
+        let xs: Vec<f64> = (0..50_000)
+            .map(|_| {
+                let u = rng.uniform();
+                if u < 0.5 {
+                    1.0
+                } else if u < 0.8 {
+                    2.0
+                } else {
+                    3.0
+                }
+            })
+            .collect();
+        for p in [0.25, 0.5, 0.75, 0.9] {
+            let mut est = P2Quantile::new(p);
+            for &x in &xs {
+                est.add(x);
+            }
+            let exact = exact_quantile(&xs, p);
+            // On an atomic distribution P² interpolates between atoms;
+            // accept the estimate within one atom of the exact value.
+            assert!(
+                (est.estimate() - exact).abs() <= 1.0,
+                "p = {p}: estimate {} vs exact {exact}",
+                est.estimate()
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_ties_and_spread_stay_close_to_exact() {
+        // Half the mass is one tied atom inside a continuous range: the
+        // markers straddle the atom so some cells are empty while others
+        // are wide. Property: within a few percent of the exact quantile
+        // across seeds and quantiles.
+        for seed in [1u64, 2, 3, 4, 5] {
+            let mut rng = RngStream::new(seed);
+            let xs: Vec<f64> = (0..40_000)
+                .map(|_| if rng.uniform() < 0.5 { 50.0 } else { 100.0 * rng.uniform() })
+                .collect();
+            for p in [0.5, 0.9, 0.95] {
+                let mut est = P2Quantile::new(p);
+                for &x in &xs {
+                    est.add(x);
+                }
+                let exact = exact_quantile(&xs, p);
+                assert!(
+                    (est.estimate() - exact).abs() <= 0.05 * exact.abs().max(1.0),
+                    "seed {seed} p {p}: estimate {} vs exact {exact}",
+                    est.estimate()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_step_series_tracks_exact_quantiles() {
+        // A repeating 0,0,0,10 pattern: deterministic, heavily tied at
+        // the bottom. The p90 lies on the upper atom.
+        let xs: Vec<f64> = (0..20_000).map(|i| if i % 4 == 3 { 10.0 } else { 0.0 }).collect();
+        let mut est = P2Quantile::new(0.9);
+        for &x in &xs {
+            est.add(x);
+        }
+        let q = est.estimate();
+        assert!((0.0..=10.0).contains(&q), "p90 within the support: {q}");
+        assert!(q >= 5.0, "p90 of a 75/25 split at 0/10 lies in the upper half: {q}");
     }
 }

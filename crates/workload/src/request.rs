@@ -9,7 +9,7 @@
 //! over the clusters any way it likes.
 
 use crate::jobsize::JobSizeDist;
-use crate::split::{component_count, split};
+use crate::split::component_count;
 
 /// The structure of a co-allocation request (the taxonomy of the
 /// authors' JSSPP'00/'01 studies; the HPDC'03 paper evaluates
@@ -28,6 +28,78 @@ pub enum RequestKind {
     Total,
 }
 
+/// Requests of up to this many components store them inline — every
+/// configuration in the paper (≤ 5 clusters) samples jobs without
+/// touching the heap, which the simulator's hot arrival path relies on.
+const INLINE_COMPONENTS: usize = 8;
+
+/// Component sizes with inline storage for small tuples and a heap
+/// spill for systems of more than [`INLINE_COMPONENTS`] clusters.
+/// Equality and serialization see only the logical slice, so the two
+/// storage forms are indistinguishable (serialized as a plain sequence,
+/// exactly like the `Vec<u32>` it replaced).
+#[derive(Clone, Debug)]
+enum Components {
+    Inline { len: u8, buf: [u32; INLINE_COMPONENTS] },
+    Heap(Vec<u32>),
+}
+
+impl Components {
+    fn from_vec(v: Vec<u32>) -> Self {
+        if v.len() <= INLINE_COMPONENTS {
+            let mut buf = [0u32; INLINE_COMPONENTS];
+            buf[..v.len()].copy_from_slice(&v);
+            Components::Inline { len: v.len() as u8, buf }
+        } else {
+            Components::Heap(v)
+        }
+    }
+
+    /// The split of `total` into `n` non-increasing parts (the layout of
+    /// [`split_evenly`]), built without an allocation when it fits inline.
+    fn from_even_split(total: u32, n: usize) -> Self {
+        if n <= INLINE_COMPONENTS {
+            assert!(total as usize >= n, "cannot split {total} into {n} non-empty components");
+            let base = total / n as u32;
+            let rem = (total % n as u32) as usize;
+            let mut buf = [0u32; INLINE_COMPONENTS];
+            for (i, slot) in buf[..n].iter_mut().enumerate() {
+                *slot = base + u32::from(i < rem);
+            }
+            Components::Inline { len: n as u8, buf }
+        } else {
+            Components::Heap(crate::split::split_evenly(total, n))
+        }
+    }
+
+    fn as_slice(&self) -> &[u32] {
+        match self {
+            Components::Inline { len, buf } => &buf[..usize::from(*len)],
+            Components::Heap(v) => v,
+        }
+    }
+}
+
+impl PartialEq for Components {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Components {}
+
+impl serde::Serialize for Components {
+    fn to_value(&self) -> serde::value::Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl serde::Deserialize for Components {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::value::Error> {
+        Vec::<u32>::from_value(v).map(Components::from_vec)
+    }
+}
+
 /// A co-allocation request: component sizes plus the request structure.
 ///
 /// For `Unordered`, `Flexible` and `Total` requests the components are
@@ -37,7 +109,7 @@ pub enum RequestKind {
 /// cluster.
 #[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct JobRequest {
-    components: Vec<u32>,
+    components: Components,
     /// For `Ordered`: the cluster index of each component.
     targets: Option<Vec<usize>>,
     kind: RequestKind,
@@ -53,14 +125,21 @@ impl JobRequest {
         assert!(!components.is_empty(), "a request needs at least one component");
         assert!(components.iter().all(|&c| c > 0), "components must be positive");
         components.sort_unstable_by(|a, b| b.cmp(a));
-        JobRequest { components, targets: None, kind: RequestKind::Unordered }
+        JobRequest {
+            components: Components::from_vec(components),
+            targets: None,
+            kind: RequestKind::Unordered,
+        }
     }
 
     /// Builds the unordered request for a job of `total` processors under
-    /// the given component-size limit on `clusters` clusters.
+    /// the given component-size limit on `clusters` clusters. This is the
+    /// sampling hot path: the even split is written straight into the
+    /// inline buffer (already non-increasing by construction), so no heap
+    /// allocation happens for paper-scale systems.
     pub fn from_total(total: u32, limit: u32, clusters: usize) -> Self {
         JobRequest {
-            components: split(total, limit, clusters),
+            components: Components::from_even_split(total, component_count(total, limit, clusters)),
             targets: None,
             kind: RequestKind::Unordered,
         }
@@ -69,7 +148,11 @@ impl JobRequest {
     /// A single-component (total) request.
     pub fn total_request(total: u32) -> Self {
         assert!(total > 0, "a request needs at least one processor");
-        JobRequest { components: vec![total], targets: None, kind: RequestKind::Total }
+        JobRequest {
+            components: Components::from_even_split(total, 1),
+            targets: None,
+            kind: RequestKind::Total,
+        }
     }
 
     /// Builds an ordered request: `components[i]` must run on cluster
@@ -87,7 +170,11 @@ impl JobRequest {
         let before = t.len();
         t.dedup();
         assert_eq!(before, t.len(), "ordered components must name distinct clusters");
-        JobRequest { components, targets: Some(targets), kind: RequestKind::Ordered }
+        JobRequest {
+            components: Components::from_vec(components),
+            targets: Some(targets),
+            kind: RequestKind::Ordered,
+        }
     }
 
     /// Builds a flexible request for `total` processors. The `limit` and
@@ -95,7 +182,7 @@ impl JobRequest {
     /// offered-load accounting); the scheduler repacks at placement time.
     pub fn flexible(total: u32, limit: u32, clusters: usize) -> Self {
         JobRequest {
-            components: split(total, limit, clusters),
+            components: Components::from_even_split(total, component_count(total, limit, clusters)),
             targets: None,
             kind: RequestKind::Flexible,
         }
@@ -109,7 +196,7 @@ impl JobRequest {
     /// Component sizes: non-increasing, except for `Ordered` requests
     /// where the order matches [`JobRequest::targets`].
     pub fn components(&self) -> &[u32] {
-        &self.components
+        self.components.as_slice()
     }
 
     /// For `Ordered` requests, the cluster index of each component.
@@ -119,12 +206,12 @@ impl JobRequest {
 
     /// Total processors requested.
     pub fn total(&self) -> u32 {
-        self.components.iter().sum()
+        self.components.as_slice().iter().sum()
     }
 
     /// Number of components.
     pub fn num_components(&self) -> usize {
-        self.components.len()
+        self.components.as_slice().len()
     }
 
     /// Whether the job is classified multi-component (for routing and
@@ -132,12 +219,12 @@ impl JobRequest {
     /// decided by the placement a job receives — relevant for `Flexible`
     /// requests, which may end up in a single cluster.
     pub fn is_multi(&self) -> bool {
-        self.components.len() > 1
+        self.components.as_slice().len() > 1
     }
 
     /// The largest component.
     pub fn max_component(&self) -> u32 {
-        *self.components.iter().max().expect("non-empty")
+        *self.components.as_slice().iter().max().expect("non-empty")
     }
 }
 
@@ -148,7 +235,7 @@ impl core::fmt::Display for JobRequest {
             RequestKind::Ordered => {
                 write!(f, "[")?;
                 let targets = self.targets.as_ref().expect("ordered has targets");
-                for (i, (c, t)) in self.components.iter().zip(targets).enumerate() {
+                for (i, (c, t)) in self.components.as_slice().iter().zip(targets).enumerate() {
                     if i > 0 {
                         write!(f, ",")?;
                     }
@@ -158,7 +245,7 @@ impl core::fmt::Display for JobRequest {
             }
             _ => {
                 write!(f, "(")?;
-                for (i, c) in self.components.iter().enumerate() {
+                for (i, c) in self.components.as_slice().iter().enumerate() {
                     if i > 0 {
                         write!(f, ",")?;
                     }

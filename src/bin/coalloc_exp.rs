@@ -21,9 +21,36 @@ fn usage() -> ! {
          targets: table1 table2 table3 ratios fig1..fig7 packing\n\
          \x20        reqtypes placement backfill extfactor burstiness plot all\n\
          \x20        runjson <GS|LS|LP|SC|GB> <limit> <utilization>\n\
-         \x20                [--events <path>] [--audit]              (JSON SimOutcome)"
+         \x20                [--events <path>] [--audit]              (JSON SimOutcome)\n\
+         \x20        bench [--quick|--full] [--out <dir>]   (throughput -> BENCH_<n>.json)"
     );
     std::process::exit(2);
+}
+
+/// Runs the fixed-seed throughput harness and appends the next
+/// `BENCH_<n>.json` (see `coalloc::bench` for the methodology).
+fn bench(args: &[String]) {
+    use coalloc::bench::{next_bench_path, run_bench, BenchScale};
+    let scale =
+        if args.iter().any(|a| a == "--full") { BenchScale::Full } else { BenchScale::Quick };
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| args.get(i + 1).map(std::path::PathBuf::from).unwrap_or_else(|| usage()))
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    std::fs::create_dir_all(&out_dir).expect("can create the output directory");
+    let report = run_bench(scale);
+    for r in &report.results {
+        eprintln!(
+            "{:<3} {:>9} events  best {:>7.3} s  {:>12.0} events/s",
+            r.policy, r.events, r.best_wall_seconds, r.events_per_sec
+        );
+    }
+    eprintln!("peak RSS: {:.1} MiB", report.peak_rss_bytes as f64 / (1024.0 * 1024.0));
+    let path = next_bench_path(&out_dir);
+    let json = serde_json::to_string_pretty(&report).expect("BenchReport serializes");
+    std::fs::write(&path, json + "\n").expect("can write the bench report");
+    println!("{}", path.display());
 }
 
 /// Runs one simulation and prints the full outcome as JSON. `--events
@@ -101,6 +128,10 @@ fn main() {
         runjson(&args[1..], scale);
         return;
     }
+    if target == "bench" {
+        bench(&args[1..]);
+        return;
+    }
     if target == "list" {
         for (name, what) in [
             ("table1", "fractions of jobs with power-of-two sizes (paper Table 1)"),
@@ -126,6 +157,7 @@ fn main() {
             ("das2", "the real 72+4x32 DAS2 geometry (extension)"),
             ("plot", "ASCII terminal plot of the headline panel"),
             ("runjson", "one simulation, full JSON outcome"),
+            ("bench", "fixed-seed throughput harness -> BENCH_<n>.json"),
             ("all", "everything above, in paper order"),
         ] {
             use std::io::Write;

@@ -37,4 +37,5 @@ pub use coalloc_trace as trace;
 pub use coalloc_workload as workload;
 pub use desim;
 
+pub mod bench;
 pub mod experiments;
