@@ -1,15 +1,35 @@
 //! Response-time-vs-utilization sweeps — the machinery behind every
 //! figure in the paper's evaluation.
 //!
-//! A sweep runs one simulation per (target utilization × replication)
-//! pair and aggregates replications into a mean with a 95 % confidence
-//! interval. Runs are independent, so they execute in parallel on scoped
-//! worker threads (crossbeam); results are deterministic for a fixed
-//! seed regardless of thread count.
+//! A sweep estimates the mean response time at each target utilization
+//! from independent replications. Instead of a fixed replication count,
+//! a round-based **adaptive engine** drives every point to a target
+//! relative 95 % confidence half-width (see [`desim::stopping`]): each
+//! round runs the pending replications of *all* points through one
+//! work-stealing worker pool, then the stopping rule decides per point
+//! whether to stop (precision met, cap hit, or saturated) or how many
+//! replications to add. Because decisions depend only on completed
+//! replications in replication order — never on scheduling interleaving
+//! — results are deterministic for a fixed seed regardless of thread
+//! count.
+//!
+//! Replication seeds are derived via [`RngStream::substream`] from the
+//! base seed and the replication index *only*, so two sweeps with the
+//! same base seed see common random numbers at every replication across
+//! policies and utilizations — the variance-reduction discipline behind
+//! [`compare_sweeps`].
+//!
+//! Long sweeps checkpoint their completed replications to JSON after
+//! every round ([`SweepConfig::checkpoint`]); an interrupted sweep
+//! resumes from the file and finishes exactly as an uninterrupted run
+//! would.
 
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use desim::stats::{t_975, Estimate, Welford};
+use desim::stopping::{Decision, StoppingRule};
+use desim::RngStream;
 
 use crate::sim::{run, SimConfig, SimOutcome};
 
@@ -18,34 +38,58 @@ use crate::sim::{run, SimConfig, SimOutcome};
 pub struct SweepConfig {
     /// The target gross utilizations to simulate (the x-axis).
     pub utilizations: Vec<f64>,
-    /// Independent replications per utilization (different seeds).
-    pub replications: u64,
-    /// Base seed; replication `r` uses `base_seed + r`.
+    /// Replications every point runs before the first assessment.
+    pub min_replications: u64,
+    /// Hard cap on replications per point.
+    pub max_replications: u64,
+    /// Target relative 95 % half-width of the mean response per point
+    /// (0.05 = ±5 %). Points stop adding replications once they meet it.
+    pub rel_ci_target: f64,
+    /// Base seed; replication `r` runs on the substream-derived seed
+    /// [`replication_seed`]`(base_seed, r)` at every utilization.
     pub base_seed: u64,
     /// Worker threads; 0 means one per available core.
     pub threads: usize,
+    /// Checkpoint file: completed replications are written here after
+    /// every round, and a matching file is loaded before the first.
+    pub checkpoint: Option<PathBuf>,
 }
 
 impl Default for SweepConfig {
     fn default() -> Self {
         SweepConfig {
             utilizations: (1..=9).map(|i| f64::from(i) * 0.1).collect(),
-            replications: 3,
+            min_replications: 3,
+            max_replications: 12,
+            rel_ci_target: 0.05,
             base_seed: 2003,
             threads: 0,
+            checkpoint: None,
         }
     }
 }
 
 impl SweepConfig {
-    /// A reduced sweep for fast test/CI runs.
+    /// A reduced sweep for fast test/CI runs: fixed two replications
+    /// (min = max), so the adaptive engine never adds rounds.
     pub fn quick() -> Self {
         SweepConfig {
             utilizations: vec![0.2, 0.4, 0.6],
-            replications: 2,
+            min_replications: 2,
+            max_replications: 2,
+            rel_ci_target: 0.05,
             base_seed: 2003,
             threads: 0,
+            checkpoint: None,
         }
+    }
+
+    /// Pins the engine to exactly `n` replications per point (min = max),
+    /// recovering the classic fixed-replication design.
+    pub fn fixed_replications(mut self, n: u64) -> Self {
+        self.min_replications = n;
+        self.max_replications = n;
+        self
     }
 
     fn effective_threads(&self, tasks: usize) -> usize {
@@ -56,25 +100,58 @@ impl SweepConfig {
         };
         t.clamp(1, tasks.max(1))
     }
+
+    fn validate(&self) {
+        assert!(!self.utilizations.is_empty(), "sweep needs at least one utilization");
+        assert!(self.min_replications > 0, "sweep needs at least one replication");
+        assert!(
+            self.max_replications >= self.min_replications,
+            "replication cap below the minimum"
+        );
+        assert!(
+            self.rel_ci_target > 0.0 && self.rel_ci_target.is_finite(),
+            "relative-CI target must be positive and finite"
+        );
+    }
+
+    fn rule(&self) -> StoppingRule {
+        StoppingRule::new(self.rel_ci_target, self.min_replications, self.max_replications)
+    }
+}
+
+/// The master seed of replication `rep` under `base_seed`: an
+/// independent substream derived from `(base_seed, rep)` alone. Every
+/// policy and utilization sees the *same* seed at replication `rep`, so
+/// compared sweeps run on common random numbers, and adding utilization
+/// points or changing the policy never reshuffles the randomness of
+/// existing replications.
+pub fn replication_seed(base_seed: u64, rep: u64) -> u64 {
+    RngStream::new(base_seed).substream(rep).seed()
 }
 
 /// Replication-aggregated results at one target utilization.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct ReplicatedOutcome {
-    /// Mean response time across replications, with a 95 % CI over
-    /// replication means.
+    /// Mean response time with a 95 % CI over the means of the
+    /// *non-saturated* replications (`n` counts those); a saturated
+    /// run's mean response reflects queue blow-up, not steady state, so
+    /// it never enters this estimate. When every replication saturated,
+    /// the mean is 0 with an infinite half-width — consult `saturated`
+    /// and `runs`.
     pub response: Estimate,
-    /// Mean measured gross utilization across replications.
+    /// Mean measured gross utilization across all replications.
     pub gross_utilization: f64,
-    /// Mean measured net utilization across replications.
+    /// Mean measured net utilization across all replications.
     pub net_utilization: f64,
-    /// Mean response of local-queue jobs (LS/LP).
-    pub response_local: f64,
-    /// Mean response of global-queue jobs (GS/LP).
-    pub response_global: f64,
+    /// Mean response of local-queue jobs (LS/LP) over replications that
+    /// measured any; `None` when the class is empty everywhere (GS/SC).
+    pub response_local: Option<f64>,
+    /// Mean response of global-queue jobs (GS/LP) over replications
+    /// that measured any; `None` when the class is empty everywhere.
+    pub response_global: Option<f64>,
     /// Whether any replication saturated.
     pub saturated: bool,
-    /// The individual runs.
+    /// The individual runs, in replication order.
     pub runs: Vec<SimOutcome>,
 }
 
@@ -87,63 +164,74 @@ pub struct SweepPoint {
     pub outcome: ReplicatedOutcome,
 }
 
+/// The CI over non-saturated replication mean responses. `n` is the
+/// number of observations *kept*, not replications spent.
+fn response_estimate(runs: &[SimOutcome]) -> Estimate {
+    let mut resp = Welford::new();
+    for r in runs.iter().filter(|r| !r.saturated) {
+        resp.add(r.metrics.mean_response);
+    }
+    let k = resp.count();
+    let half =
+        if k >= 2 { t_975(k - 1) * resp.std_dev() / (k as f64).sqrt() } else { f64::INFINITY };
+    Estimate { mean: resp.mean(), half_width: half, n: k }
+}
+
 fn aggregate(runs: Vec<SimOutcome>) -> ReplicatedOutcome {
     assert!(!runs.is_empty());
-    let mut resp = Welford::new();
+    let response = response_estimate(&runs);
     let mut gross = Welford::new();
     let mut net = Welford::new();
     let mut local = Welford::new();
     let mut global = Welford::new();
     let mut saturated = false;
     for r in &runs {
-        resp.add(r.metrics.mean_response);
         gross.add(r.metrics.gross_utilization);
         net.add(r.metrics.net_utilization);
-        local.add(r.metrics.response_local);
-        global.add(r.metrics.response_global);
+        // Empty classes are None, not 0.0: averaging a GS run's absent
+        // local-queue mean as zero used to poison the aggregate.
+        if let Some(x) = r.metrics.response_local {
+            local.add(x);
+        }
+        if let Some(x) = r.metrics.response_global {
+            global.add(x);
+        }
         saturated |= r.saturated;
     }
-    let k = resp.count();
-    let half =
-        if k >= 2 { t_975(k - 1) * resp.std_dev() / (k as f64).sqrt() } else { f64::INFINITY };
     ReplicatedOutcome {
-        response: Estimate { mean: resp.mean(), half_width: half, n: k },
+        response,
         gross_utilization: gross.mean(),
         net_utilization: net.mean(),
-        response_local: local.mean(),
-        response_global: global.mean(),
+        response_local: local.mean_opt(),
+        response_global: global.mean_opt(),
         saturated,
         runs,
     }
 }
 
-/// Runs a sweep: `make_cfg` builds the simulation configuration for a
-/// target utilization; the sweep runs `replications` seeds of it at every
-/// utilization, in parallel, and aggregates.
-pub fn sweep<F>(make_cfg: F, sweep_cfg: &SweepConfig) -> Vec<SweepPoint>
-where
-    F: Fn(f64) -> SimConfig + Sync,
-{
-    assert!(!sweep_cfg.utilizations.is_empty(), "sweep needs at least one utilization");
-    assert!(sweep_cfg.replications > 0, "sweep needs at least one replication");
+/// Replications the adaptive engine still owes one point. Saturated
+/// points stop at the minimum: their steady-state response is unbounded,
+/// so no replication count buys precision there.
+fn replications_to_add(rule: &StoppingRule, runs: &[SimOutcome]) -> u64 {
+    let spent = runs.len() as u64;
+    if spent >= rule.min_n && runs.iter().any(|r| r.saturated) {
+        return 0;
+    }
+    match rule.assess(spent, &response_estimate(runs)) {
+        Decision::Continue { add } => add,
+        Decision::Stop(_) => 0,
+    }
+}
 
-    // Task list: (utilization index, replication).
-    let tasks: Vec<(usize, u64)> = sweep_cfg
-        .utilizations
-        .iter()
-        .enumerate()
-        .flat_map(|(ui, _)| (0..sweep_cfg.replications).map(move |r| (ui, r)))
-        .collect();
-
+/// Runs `cfgs` through the lock-free worker pool and returns outcomes in
+/// task order. Workers claim task indices from one atomic counter and
+/// append `(index, outcome)` pairs to a worker-local vector returned
+/// through the join handle — the only shared mutable state is the
+/// counter, so runs never contend on a results lock. Results are
+/// re-slotted by task index after the join barrier, which keeps the
+/// outcome deterministic whatever the interleaving.
+pub(crate) fn run_parallel(cfgs: &[SimConfig], threads: usize) -> Vec<SimOutcome> {
     let next = AtomicUsize::new(0);
-    let threads = sweep_cfg.effective_threads(tasks.len());
-
-    // Lock-free result collection: workers claim task indices from one
-    // atomic counter and append (index, outcome) pairs to a worker-local
-    // vector returned through the join handle — the only shared mutable
-    // state is the counter, so runs never contend on a results lock.
-    // Results are re-slotted by task index after the join barrier, which
-    // keeps the outcome deterministic whatever the interleaving.
     let per_worker: Vec<Vec<(usize, SimOutcome)>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
@@ -151,10 +239,8 @@ where
                     let mut mine: Vec<(usize, SimOutcome)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&(ui, rep)) = tasks.get(i) else { break mine };
-                        let util = sweep_cfg.utilizations[ui];
-                        let cfg = make_cfg(util).with_seed(sweep_cfg.base_seed.wrapping_add(rep));
-                        mine.push((i, run(&cfg)));
+                        let Some(cfg) = cfgs.get(i) else { break mine };
+                        mine.push((i, run(cfg)));
                     }
                 })
             })
@@ -163,25 +249,138 @@ where
     })
     .expect("sweep scope failed");
 
-    // Disjoint slots: task i was (ui, rep) with i = ui * replications + rep.
-    let mut slots: Vec<Option<SimOutcome>> = (0..tasks.len()).map(|_| None).collect();
+    let mut slots: Vec<Option<SimOutcome>> = (0..cfgs.len()).map(|_| None).collect();
     for (i, outcome) in per_worker.into_iter().flatten() {
         debug_assert!(slots[i].is_none(), "task {i} ran twice");
         slots[i] = Some(outcome);
     }
-    let reps = sweep_cfg.replications as usize;
+    slots.into_iter().map(|o| o.expect("every task ran")).collect()
+}
+
+/// On-disk state of a partially completed sweep: every finished
+/// replication, per utilization point, in replication order. The
+/// fingerprint is `(version, base_seed, utilizations)` — precision knobs
+/// (`rel_ci_target`, the replication bounds) may change between the
+/// interrupted and the resuming invocation without invalidating the
+/// completed runs, because replication seeds depend only on the base
+/// seed and the replication index.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct SweepCheckpoint {
+    /// Format version (see [`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// The sweep's base seed.
+    pub base_seed: u64,
+    /// The target-utilization grid.
+    pub utilizations: Vec<f64>,
+    /// Completed runs: `runs[i][r]` is replication `r` of point `i`.
+    pub runs: Vec<Vec<SimOutcome>>,
+}
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Loads a checkpoint if `path` holds one matching this sweep's
+/// fingerprint; a missing, unreadable, or mismatched file restarts the
+/// sweep from scratch (with a note on stderr for the non-missing cases).
+fn load_checkpoint(path: &Path, cfg: &SweepConfig) -> Option<Vec<Vec<SimOutcome>>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let cp: SweepCheckpoint = match serde_json::from_str(&text) {
+        Ok(cp) => cp,
+        Err(e) => {
+            eprintln!("sweep checkpoint {} unreadable ({e}); restarting", path.display());
+            return None;
+        }
+    };
+    let grid_matches = cp.utilizations.len() == cfg.utilizations.len()
+        && cp.utilizations.iter().zip(&cfg.utilizations).all(|(a, b)| (a - b).abs() < 1e-12);
+    if cp.version != CHECKPOINT_VERSION
+        || cp.base_seed != cfg.base_seed
+        || !grid_matches
+        || cp.runs.len() != cfg.utilizations.len()
+    {
+        eprintln!(
+            "sweep checkpoint {} belongs to a different sweep (seed/grid/version); restarting",
+            path.display()
+        );
+        return None;
+    }
+    Some(cp.runs)
+}
+
+/// Writes the checkpoint atomically (temp file + rename) so an
+/// interruption mid-write never corrupts the previous round's state.
+fn save_checkpoint(path: &Path, cfg: &SweepConfig, runs: &[Vec<SimOutcome>]) {
+    let cp = SweepCheckpoint {
+        version: CHECKPOINT_VERSION,
+        base_seed: cfg.base_seed,
+        utilizations: cfg.utilizations.clone(),
+        runs: runs.to_vec(),
+    };
+    let json = serde_json::to_string(&cp).expect("checkpoint serializes");
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, json)
+        .unwrap_or_else(|e| panic!("cannot write checkpoint {}: {e}", tmp.display()));
+    std::fs::rename(&tmp, path)
+        .unwrap_or_else(|e| panic!("cannot commit checkpoint {}: {e}", path.display()));
+}
+
+/// Runs an adaptive sweep: `make_cfg` builds the simulation for a target
+/// utilization; the engine replicates every point until its relative
+/// 95 % CI meets `rel_ci_target` (or the cap / saturation ends it),
+/// running each round's mixed batch through the worker pool.
+pub fn sweep<F>(make_cfg: F, sweep_cfg: &SweepConfig) -> Vec<SweepPoint>
+where
+    F: Fn(f64) -> SimConfig + Sync,
+{
+    sweep_cfg.validate();
+    let rule = sweep_cfg.rule();
+
+    let mut runs: Vec<Vec<SimOutcome>> = sweep_cfg
+        .checkpoint
+        .as_deref()
+        .and_then(|p| load_checkpoint(p, sweep_cfg))
+        .unwrap_or_else(|| vec![Vec::new(); sweep_cfg.utilizations.len()]);
+
+    loop {
+        // Plan the round from completed state only: (point, replication)
+        // tasks for every point the stopping rule keeps open. The plan —
+        // and therefore every seed — is a pure function of prior rounds,
+        // so thread count and interleaving cannot change it.
+        let batch: Vec<(usize, u64)> = runs
+            .iter()
+            .enumerate()
+            .flat_map(|(ui, point_runs)| {
+                let first = point_runs.len() as u64;
+                let add = replications_to_add(&rule, point_runs);
+                (first..first + add).map(move |rep| (ui, rep))
+            })
+            .collect();
+        if batch.is_empty() {
+            break;
+        }
+        let cfgs: Vec<SimConfig> = batch
+            .iter()
+            .map(|&(ui, rep)| {
+                make_cfg(sweep_cfg.utilizations[ui])
+                    .with_seed(replication_seed(sweep_cfg.base_seed, rep))
+            })
+            .collect();
+        let outcomes = run_parallel(&cfgs, sweep_cfg.effective_threads(cfgs.len()));
+        for (&(ui, _), outcome) in batch.iter().zip(outcomes) {
+            runs[ui].push(outcome);
+        }
+        if let Some(path) = sweep_cfg.checkpoint.as_deref() {
+            save_checkpoint(path, sweep_cfg, &runs);
+        }
+    }
+
     sweep_cfg
         .utilizations
         .iter()
-        .enumerate()
-        .map(|(ui, &u)| SweepPoint {
+        .zip(runs)
+        .map(|(&u, point_runs)| SweepPoint {
             target_utilization: u,
-            outcome: aggregate(
-                slots[ui * reps..(ui + 1) * reps]
-                    .iter_mut()
-                    .map(|o| o.take().expect("every task ran"))
-                    .collect(),
-            ),
+            outcome: aggregate(point_runs),
         })
         .collect()
 }
@@ -232,6 +431,32 @@ pub fn compare_sweeps(a: &[SweepPoint], b: &[SweepPoint]) -> Vec<(f64, Verdict)>
             (pa.target_utilization, verdict)
         })
         .collect()
+}
+
+/// Runs two adaptive sweeps on the *same* base seed (common random
+/// numbers: replication `r` of either side sees identical arrivals and
+/// service draws) and compares them point by point.
+///
+/// # Panics
+/// Panics if `sweep_cfg.checkpoint` is set — the two sweeps would
+/// clobber one file; checkpoint each side separately via [`sweep`].
+pub fn compare<FA, FB>(
+    make_a: FA,
+    make_b: FB,
+    sweep_cfg: &SweepConfig,
+) -> (Vec<SweepPoint>, Vec<SweepPoint>, Vec<(f64, Verdict)>)
+where
+    FA: Fn(f64) -> SimConfig + Sync,
+    FB: Fn(f64) -> SimConfig + Sync,
+{
+    assert!(
+        sweep_cfg.checkpoint.is_none(),
+        "compare runs two sweeps; checkpoint each separately via sweep()"
+    );
+    let a = sweep(make_a, sweep_cfg);
+    let b = sweep(make_b, sweep_cfg);
+    let verdicts = compare_sweeps(&a, &b);
+    (a, b, verdicts)
 }
 
 #[cfg(test)]
@@ -285,11 +510,71 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_engine_stops_by_precision_or_cap() {
+        let mut cfg = SweepConfig::quick();
+        cfg.utilizations = vec![0.3, 0.6];
+        cfg.min_replications = 2;
+        cfg.max_replications = 5;
+        cfg.rel_ci_target = 0.15;
+        let points = sweep(quick_cfg(PolicyKind::Gs), &cfg);
+        for p in &points {
+            let n = p.outcome.runs.len() as u64;
+            assert!((2..=5).contains(&n), "replications {n} outside bounds");
+            assert!(
+                p.outcome.saturated
+                    || p.outcome.response.relative_error() <= 0.15
+                    || n == cfg.max_replications,
+                "point {} stopped early: rel {} at n {n}",
+                p.target_utilization,
+                p.outcome.response.relative_error()
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_replication_count_follows_the_target() {
+        // A loose target stops every stable point at the minimum; an
+        // unreachably tight target drives the same points to the cap.
+        let mut cfg = SweepConfig::quick();
+        cfg.utilizations = vec![0.3, 0.5];
+        cfg.min_replications = 2;
+        cfg.max_replications = 4;
+        cfg.rel_ci_target = 10.0;
+        let loose = sweep(quick_cfg(PolicyKind::Gs), &cfg);
+        for p in &loose {
+            assert_eq!(p.outcome.runs.len(), 2, "loose target must stop at the minimum");
+        }
+        cfg.rel_ci_target = 1e-6;
+        let tight = sweep(quick_cfg(PolicyKind::Gs), &cfg);
+        for p in &tight {
+            assert_eq!(p.outcome.runs.len(), 4, "unreachable target must drive to the cap");
+        }
+        // The first min_replications runs are shared: the tight sweep
+        // extends the loose one, it does not reshuffle seeds.
+        for (l, t) in loose.iter().zip(&tight) {
+            for (a, b) in l.outcome.runs.iter().zip(&t.outcome.runs) {
+                assert_eq!(a.metrics.mean_response, b.metrics.mean_response);
+            }
+        }
+    }
+
+    #[test]
+    fn replication_seeds_are_common_random_numbers() {
+        // Replication r's seed depends only on (base_seed, rep): the
+        // same at every utilization and for every policy.
+        assert_eq!(replication_seed(2003, 0), replication_seed(2003, 0));
+        assert_ne!(replication_seed(2003, 0), replication_seed(2003, 1));
+        assert_ne!(replication_seed(2003, 0), replication_seed(2004, 0));
+        // And no longer the old base_seed + rep scheme.
+        assert_ne!(replication_seed(2003, 1), 2004);
+    }
+
+    #[test]
     fn compare_sweeps_verdicts() {
         use crate::policy::PolicyKind;
         let mut cfg = SweepConfig::quick();
         cfg.utilizations = vec![0.55, 0.65];
-        cfg.replications = 3;
+        cfg = cfg.fixed_replications(3);
         let ls = sweep(quick_cfg(PolicyKind::Ls), &cfg);
         let lp = sweep(quick_cfg(PolicyKind::Lp), &cfg);
         let verdicts = compare_sweeps(&ls, &lp);
@@ -303,24 +588,69 @@ mod tests {
     }
 
     #[test]
+    fn compare_runs_both_sides_on_common_random_numbers() {
+        let mut cfg = SweepConfig::quick();
+        cfg.utilizations = vec![0.55];
+        let (a, b, verdicts) = compare(quick_cfg(PolicyKind::Ls), quick_cfg(PolicyKind::Lp), &cfg);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(verdicts.len(), 1);
+        // CRN: both sides' replication r ran the same seed.
+        assert_eq!(a[0].outcome.runs.len(), b[0].outcome.runs.len());
+    }
+
+    #[test]
     #[should_panic(expected = "grid")]
     fn compare_sweeps_rejects_mismatched_grids() {
         let a: Vec<SweepPoint> = vec![];
         let b = sweep(quick_cfg(crate::policy::PolicyKind::Gs), &{
             let mut c = SweepConfig::quick();
             c.utilizations = vec![0.3];
-            c.replications = 1;
-            c
+            c.fixed_replications(1)
         });
         compare_sweeps(&a, &b);
     }
 
     #[test]
-    fn aggregation_flags_saturation() {
+    fn aggregation_flags_saturation_and_keeps_ci_clean() {
         let mut cfg = SweepConfig::quick();
         cfg.utilizations = vec![1.5];
-        cfg.replications = 1;
+        cfg = cfg.fixed_replications(1);
+        let points = sweep(quick_cfg(PolicyKind::Gs), &cfg);
+        let o = &points[0].outcome;
+        assert!(o.saturated);
+        // The saturated run's garbage mean response stays out of the CI.
+        assert_eq!(o.response.n, 0, "no non-saturated observations");
+        assert!(o.response.half_width.is_infinite());
+        assert_eq!(o.runs.len(), 1, "the raw run is kept");
+    }
+
+    #[test]
+    fn saturated_points_stop_at_the_minimum() {
+        let mut cfg = SweepConfig::quick();
+        cfg.utilizations = vec![1.5];
+        cfg.min_replications = 2;
+        cfg.max_replications = 8;
+        cfg.rel_ci_target = 0.01;
         let points = sweep(quick_cfg(PolicyKind::Gs), &cfg);
         assert!(points[0].outcome.saturated);
+        assert_eq!(points[0].outcome.runs.len(), 2, "no precision chasing past saturation");
+    }
+
+    #[test]
+    fn empty_response_classes_stay_out_of_aggregates() {
+        // GS: every job is global, so the local class must be None —
+        // not an average over per-run 0.0 placeholders.
+        let points = sweep(quick_cfg(PolicyKind::Gs), &SweepConfig::quick());
+        for p in &points {
+            assert_eq!(p.outcome.response_local, None);
+            assert!(p.outcome.response_global.is_some());
+        }
+        // LS routes everything locally: the global class is None.
+        let points = sweep(quick_cfg(PolicyKind::Ls), &SweepConfig::quick());
+        for p in &points {
+            assert_eq!(p.outcome.response_global, None);
+            assert!(p.outcome.response_local.is_some());
+        }
     }
 }

@@ -40,7 +40,10 @@ pub use audit::{
     PlacementScope, SimObserver, Tee, Violation, ViolationKind,
 };
 pub use cluster::Cluster;
-pub use experiment::{compare_sweeps, sweep, ReplicatedOutcome, SweepConfig, SweepPoint, Verdict};
+pub use experiment::{
+    compare, compare_sweeps, replication_seed, sweep, ReplicatedOutcome, SweepCheckpoint,
+    SweepConfig, SweepPoint, Verdict,
+};
 pub use feed::{JobFeed, StochasticFeed, TraceFeed};
 pub use job::{ActiveJob, JobId, JobTable, Placement, SubmitQueue};
 pub use metrics::{Metrics, MetricsReport};
@@ -52,10 +55,11 @@ pub use policy::{
     GlobalBackfill, GlobalScheduler, LocalPriority, LocalSchedulers, PolicyKind, Scheduler,
 };
 pub use saturation::{
-    bisect_max_utilization, maximal_utilization, SaturationConfig, SaturationResult,
+    bisect_max_utilization, bisect_max_utilization_replicated, maximal_utilization, ProbePlan,
+    SaturationConfig, SaturationResult,
 };
 pub use sim::{
     run, run_observed, run_trace, run_with_feed, run_with_feed_observed, run_with_scheduler,
-    OccupancyModel, SimConfig, SimOutcome,
+    OccupancyModel, SimConfig, SimOutcome, Warmup,
 };
 pub use system::MultiCluster;

@@ -199,8 +199,8 @@ impl Metrics {
             response: self.response_batches.estimate(),
             mean_response: self.response_all.mean(),
             max_response: if self.response_all.count() > 0 { self.response_all.max() } else { 0.0 },
-            response_local: self.response_local.mean(),
-            response_global: self.response_global.mean(),
+            response_local: self.response_local.mean_opt(),
+            response_global: self.response_global.mean_opt(),
             response_single: self.response_single.mean(),
             response_multi: self.response_multi.mean(),
             response_per_queue: self.response_per_queue.iter().map(Welford::mean).collect(),
@@ -239,10 +239,14 @@ pub struct MetricsReport {
     pub mean_response: f64,
     /// Largest observed response time.
     pub max_response: f64,
-    /// Mean response of jobs submitted to local queues (LS/LP).
-    pub response_local: f64,
-    /// Mean response of jobs submitted to the global queue (GS/LP).
-    pub response_global: f64,
+    /// Mean response of jobs submitted to local queues (LS/LP), `None`
+    /// when no measured job used one — under GS/SC every job is global,
+    /// and a 0.0 here used to be averaged into sweep aggregates as if it
+    /// were a measurement.
+    pub response_local: Option<f64>,
+    /// Mean response of jobs submitted to the global queue (GS/LP),
+    /// `None` when the class is empty (LS routes everything locally).
+    pub response_global: Option<f64>,
     /// Mean response of single-component jobs.
     pub response_single: f64,
     /// Mean response of multi-component jobs.
@@ -315,8 +319,8 @@ mod tests {
         m.record_departure(SimTime::new(50.0), &a);
         m.record_departure(SimTime::new(150.0), &b);
         let r = m.report(SimTime::new(200.0));
-        assert!((r.response_local - 50.0).abs() < 1e-12);
-        assert!((r.response_global - 150.0).abs() < 1e-12);
+        assert!((r.response_local.expect("local jobs measured") - 50.0).abs() < 1e-12);
+        assert!((r.response_global.expect("global jobs measured") - 150.0).abs() < 1e-12);
         assert!((r.response_single - 50.0).abs() < 1e-12);
         assert!((r.response_multi - 150.0).abs() < 1e-12);
         assert!((r.mean_response - 100.0).abs() < 1e-12);
@@ -357,6 +361,17 @@ mod tests {
         assert!((r.response_by_size[0] - 100.0).abs() < 1e-12);
         assert!((r.response_by_size[3] - 100.0).abs() < 1e-12);
         assert_eq!(r.response_by_size[1], 0.0, "empty class reports 0");
+    }
+
+    #[test]
+    fn empty_queue_classes_report_none() {
+        // A GS-style run: every job global, the local class untouched.
+        let mut m = Metrics::new(128, 1, 10);
+        let j = job(&[8], 10.0, 0.0, SubmitQueue::Global);
+        m.record_departure(SimTime::new(50.0), &j);
+        let r = m.report(SimTime::new(100.0));
+        assert_eq!(r.response_local, None, "no local jobs -> no local mean");
+        assert!(r.response_global.is_some());
     }
 
     #[test]

@@ -87,6 +87,46 @@ pub fn format_figure(title: &str, series: &[Series]) -> String {
     out
 }
 
+/// Renders a sweep's replication statistics as an aligned table: target
+/// and measured utilization, the mean response with its 95 % half-width
+/// and relative error, and how many replications the adaptive engine
+/// spent at each point.
+pub fn sweep_stats_table(title: &str, points: &[SweepPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let o = &p.outcome;
+            let (resp, half, rel) = if o.saturated {
+                ("saturated".to_string(), "-".to_string(), "-".to_string())
+            } else {
+                let rel = o.response.relative_error();
+                (
+                    format!("{:.1}", o.response.mean),
+                    if o.response.half_width.is_finite() {
+                        format!("±{:.1}", o.response.half_width)
+                    } else {
+                        "±inf".to_string()
+                    },
+                    if rel.is_finite() {
+                        format!("{:.1}%", 100.0 * rel)
+                    } else {
+                        "inf".to_string()
+                    },
+                )
+            };
+            vec![
+                format!("{:.2}", p.target_utilization),
+                format!("{:.3}", o.gross_utilization),
+                resp,
+                half,
+                rel,
+                format!("{}", o.runs.len()),
+            ]
+        })
+        .collect();
+    format_table(title, &["target", "gross", "response", "ci95", "rel_err", "reps"], &rows)
+}
+
 /// The x-position at which a series crosses a response-time level, by
 /// linear interpolation — a crude but robust "maximal utilization seen on
 /// the curve" summary for comparing policies.
@@ -113,8 +153,8 @@ mod tests {
                 response: Estimate { mean: resp, half_width: 1.0, n: 3 },
                 gross_utilization: gross,
                 net_utilization: net,
-                response_local: resp,
-                response_global: resp,
+                response_local: Some(resp),
+                response_global: Some(resp),
                 saturated,
                 runs: vec![],
             },
@@ -158,6 +198,18 @@ mod tests {
         assert_eq!(s.points[0], (0.29, 500.0));
         let n = Series::response_vs_net("GS", &pts);
         assert_eq!(n.points[0], (0.25, 500.0));
+    }
+
+    #[test]
+    fn sweep_stats_table_shows_precision_and_replications() {
+        let pts =
+            vec![point(0.3, 0.29, 0.25, 500.0, false), point(0.9, 0.62, 0.53, 50_000.0, true)];
+        let text = sweep_stats_table("Sweep", &pts);
+        assert!(text.contains("rel_err") && text.contains("reps"), "{text}");
+        assert!(text.contains("500.0") && text.contains("±1.0"));
+        // 1.0 / 500.0 = 0.2 % relative error.
+        assert!(text.contains("0.2%"), "{text}");
+        assert!(text.contains("saturated"), "{text}");
     }
 
     #[test]

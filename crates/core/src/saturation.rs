@@ -180,15 +180,77 @@ pub fn maximal_utilization(cfg: &SaturationConfig) -> SaturationResult {
     }
 }
 
+/// Replication plan for the open-system probes of
+/// [`bisect_max_utilization_replicated`]: each probe utilization is
+/// classified by a majority vote over `replications` independent runs,
+/// executed on the sweep engine's worker pool. Replication seeds are
+/// derived from each probe config's own seed via
+/// [`crate::experiment::replication_seed`], so every probe utilization
+/// sees common random numbers.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbePlan {
+    /// Independent runs per probe (majority vote decides saturation).
+    pub replications: u64,
+    /// Worker threads for the probe batch; 0 = one per core.
+    pub threads: usize,
+}
+
+impl Default for ProbePlan {
+    fn default() -> Self {
+        ProbePlan { replications: 3, threads: 0 }
+    }
+}
+
+impl ProbePlan {
+    fn saturated<F>(&self, make_cfg: &F, util: f64) -> bool
+    where
+        F: Fn(f64) -> crate::sim::SimConfig + Sync,
+    {
+        assert!(self.replications > 0, "probe needs at least one replication");
+        let cfgs: Vec<crate::sim::SimConfig> = (0..self.replications)
+            .map(|rep| {
+                let cfg = make_cfg(util);
+                let seed = crate::experiment::replication_seed(cfg.seed, rep);
+                cfg.with_seed(seed)
+            })
+            .collect();
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        } else {
+            self.threads
+        }
+        .clamp(1, cfgs.len());
+        let outcomes = crate::experiment::run_parallel(&cfgs, threads);
+        let votes = outcomes.iter().filter(|o| o.saturated).count();
+        2 * votes > outcomes.len()
+    }
+}
+
 /// Finds the maximal stable utilization of *any* policy by bisection on
 /// open-system runs: the paper's constant-backlog method is only valid
 /// for single-global-queue policies (GS, SC), while this search works
 /// for LS and LP too — the backlog at the end of the arrival process
-/// tells stable from unstable.
-///
-/// `make_cfg` builds the run for a target offered gross utilization;
-/// the search narrows `[lo, hi]` until `hi - lo <= tolerance` and
-/// returns the last stable utilization found.
+/// tells stable from unstable. Single-replication probes on each probe
+/// config's own seed; see [`bisect_max_utilization_replicated`] for the
+/// majority-vote variant.
+pub fn bisect_max_utilization<F>(make_cfg: F, lo: f64, hi: f64, tolerance: f64) -> f64
+where
+    F: Fn(f64) -> crate::sim::SimConfig + Sync,
+{
+    bisect_max_utilization_replicated(
+        make_cfg,
+        lo,
+        hi,
+        tolerance,
+        &ProbePlan { replications: 1, threads: 0 },
+    )
+}
+
+/// [`bisect_max_utilization`] with replicated probes: each utilization
+/// is classified by a majority vote over `plan.replications` runs on
+/// substream-derived seeds, so one unlucky seed near the threshold
+/// cannot flip a bracket. The search narrows `[lo, hi]` until
+/// `hi - lo <= tolerance` and returns the last stable utilization found.
 ///
 /// # Panics
 /// Panics when `[lo, hi]` does not bracket the saturation threshold:
@@ -196,26 +258,32 @@ pub fn maximal_utilization(cfg: &SaturationConfig) -> SaturationResult {
 /// unconditionally (also in release builds) — an unchecked bracket
 /// silently converges to the nearest bound and reports it as the
 /// saturation point, which is a wrong *number*, not a crash.
-pub fn bisect_max_utilization<F>(make_cfg: F, mut lo: f64, mut hi: f64, tolerance: f64) -> f64
+pub fn bisect_max_utilization_replicated<F>(
+    make_cfg: F,
+    mut lo: f64,
+    mut hi: f64,
+    tolerance: f64,
+    plan: &ProbePlan,
+) -> f64
 where
-    F: Fn(f64) -> crate::sim::SimConfig,
+    F: Fn(f64) -> crate::sim::SimConfig + Sync,
 {
     assert!(0.0 < lo && lo < hi && hi <= 2.0, "search bounds must satisfy 0 < lo < hi <= 2");
     assert!(tolerance > 0.0);
-    // The bounds must bracket the threshold. These two runs are the
+    // The bounds must bracket the threshold. These probes are the
     // price of a trustworthy answer; a debug_assert! would vanish in
     // release builds, where all real searches run.
     assert!(
-        !crate::sim::run(&make_cfg(lo)).saturated,
+        !plan.saturated(&make_cfg, lo),
         "bisection bracket invalid: lo = {lo} is already saturated; lower lo"
     );
     assert!(
-        crate::sim::run(&make_cfg(hi)).saturated,
+        plan.saturated(&make_cfg, hi),
         "bisection bracket invalid: hi = {hi} is still stable; the saturation point lies above hi"
     );
     while hi - lo > tolerance {
         let mid = 0.5 * (lo + hi);
-        if crate::sim::run(&make_cfg(mid)).saturated {
+        if plan.saturated(&make_cfg, mid) {
             hi = mid;
         } else {
             lo = mid;
@@ -314,6 +382,22 @@ mod tests {
         // Checked unconditionally — the old debug_assert! (with a
         // different message) vanished entirely in release builds.
         bisect_max_utilization(tiny_cfg, 1.5, 1.8, 0.05);
+    }
+
+    #[test]
+    fn replicated_bisection_brackets_the_threshold() {
+        let make = |util: f64| {
+            let mut cfg = crate::sim::SimConfig::das(PolicyKind::Gs, 16, util);
+            cfg.total_jobs = 3_000;
+            cfg.warmup_jobs = 300;
+            cfg
+        };
+        let plan = ProbePlan { replications: 3, threads: 0 };
+        let r = bisect_max_utilization_replicated(make, 0.3, 1.2, 0.1, &plan);
+        assert!((0.4..1.0).contains(&r), "threshold estimate {r}");
+        // Deterministic: the vote and bisection depend only on seeds.
+        let again = bisect_max_utilization_replicated(make, 0.3, 1.2, 0.1, &plan);
+        assert_eq!(r, again);
     }
 
     #[test]

@@ -20,6 +20,25 @@ enum SimEvent {
     Departure(JobId),
 }
 
+/// How the warm-up transient is chosen.
+///
+/// The serde impls only matter for configs embedded in JSON reports;
+/// the variant carries no data so the vendored derive can handle it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Warmup {
+    /// Discard the first `warmup_jobs` departures — the paper's rule,
+    /// and the default.
+    #[default]
+    Fixed,
+    /// Pick the discard count automatically with MSER-5 (White 1997): a
+    /// pilot run with the same seed records the full response series,
+    /// the truncation minimizing the standard error of the remaining
+    /// mean becomes `warmup_jobs` for the measured run. Falls back to
+    /// the configured `warmup_jobs` when the pilot yields too short a
+    /// series to judge (fewer than 10 departures).
+    Auto,
+}
+
 /// Configuration of a single simulation run.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -40,7 +59,11 @@ pub struct SimConfig {
     /// Number of arrivals to generate.
     pub total_jobs: u64,
     /// Departures to discard as warm-up before the observation window.
+    /// With [`Warmup::Auto`] this is only the fallback when the MSER
+    /// pilot cannot judge.
     pub warmup_jobs: u64,
+    /// How `warmup_jobs` is chosen (fixed, or MSER-5 via a pilot run).
+    pub warmup: Warmup,
     /// Batch size for the batch-means response-time estimate.
     pub batch_size: u64,
     /// Component placement rule (the paper uses Worst Fit).
@@ -68,6 +91,7 @@ impl SimConfig {
             arrival_cv2: 1.0,
             total_jobs: 60_000,
             warmup_jobs: 5_000,
+            warmup: Warmup::Fixed,
             batch_size: 500,
             rule: PlacementRule::WorstFit,
             seed: 2003,
@@ -89,6 +113,7 @@ impl SimConfig {
             arrival_cv2: 1.0,
             total_jobs: 60_000,
             warmup_jobs: 5_000,
+            warmup: Warmup::Fixed,
             batch_size: 500,
             rule: PlacementRule::WorstFit,
             seed: 2003,
@@ -238,6 +263,10 @@ pub fn run(cfg: &SimConfig) -> SimOutcome {
 /// are passive: the outcome is bit-identical to [`run`]'s.
 pub fn run_observed<O: SimObserver>(cfg: &SimConfig, obs: &mut O) -> SimOutcome {
     cfg.validate();
+    if cfg.warmup == Warmup::Auto {
+        let resolved = resolve_auto_warmup(cfg, run);
+        return run_observed(&resolved, obs);
+    }
     let master = RngStream::new(cfg.seed);
     let mut feed = StochasticFeed::new(
         cfg.workload.clone(),
@@ -247,6 +276,29 @@ pub fn run_observed<O: SimObserver>(cfg: &SimConfig, obs: &mut O) -> SimOutcome 
         &master,
     );
     run_with_feed_observed(cfg, &mut feed, cfg.offered_gross_utilization(), obs)
+}
+
+/// Resolves [`Warmup::Auto`] into a concrete `warmup_jobs` by running an
+/// unobserved pilot (same seed, zero warm-up, response series on) through
+/// `run_pilot` and applying MSER-5 to the series. The observer never sees
+/// the pilot: only the measured rerun is reported. MSER restricts
+/// truncation to the first half of the series, so the resolved warm-up
+/// always leaves jobs to measure.
+fn resolve_auto_warmup(
+    cfg: &SimConfig,
+    run_pilot: impl FnOnce(&SimConfig) -> SimOutcome,
+) -> SimConfig {
+    let mut pilot = cfg.clone();
+    pilot.warmup = Warmup::Fixed;
+    pilot.warmup_jobs = 0;
+    pilot.record_series = true;
+    let series = run_pilot(&pilot).response_series;
+    let mut resolved = cfg.clone();
+    resolved.warmup = Warmup::Fixed;
+    if series.len() >= 10 {
+        resolved.warmup_jobs = desim::mser5(&series).truncate as u64;
+    }
+    resolved
 }
 
 /// Runs a *trace-driven* simulation: the log's submit times (compressed
@@ -261,6 +313,11 @@ pub fn run_trace(cfg: &SimConfig, trace: &coalloc_trace::Trace, time_scale: f64)
     // sized by what will actually be replayed, not the raw log length.
     cfg.total_jobs = feed.len() as u64;
     cfg.validate();
+    if cfg.warmup == Warmup::Auto {
+        // The pilot replays the same trace (replay is deterministic), so
+        // MSER judges exactly the series the measured run will produce.
+        cfg = resolve_auto_warmup(&cfg, |pilot| run_trace(pilot, trace, time_scale));
+    }
     // Offered gross utilization of the replay: the trace's gross work
     // over its (scaled) span times the capacity.
     let span = trace.jobs.last().expect("non-empty").submit * time_scale;
@@ -519,6 +576,38 @@ mod tests {
             m.response_multi,
             1.25 * base
         );
+    }
+
+    #[test]
+    fn auto_warmup_is_deterministic_and_leaves_jobs_measured() {
+        let mut cfg = quick(PolicyKind::Gs, 16, 0.5);
+        cfg.warmup = Warmup::Auto;
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.metrics.mean_response, b.metrics.mean_response, "pilot + rerun deterministic");
+        // MSER truncates within the first half of the series, so at
+        // least half the departures stay in the observation window.
+        assert!(
+            a.metrics.departures >= cfg.total_jobs / 2,
+            "only {} of {} departures measured",
+            a.metrics.departures,
+            cfg.total_jobs
+        );
+        assert!(a.metrics.mean_response > 0.0);
+    }
+
+    #[test]
+    fn auto_warmup_resolves_to_a_fixed_mser_truncation() {
+        let mut cfg = quick(PolicyKind::Ls, 16, 0.5);
+        cfg.warmup = Warmup::Auto;
+        let resolved = resolve_auto_warmup(&cfg, run);
+        assert_eq!(resolved.warmup, Warmup::Fixed);
+        // MSER-5 truncations are multiples of the batch size.
+        assert_eq!(resolved.warmup_jobs % 5, 0);
+        assert!(resolved.warmup_jobs <= cfg.total_jobs / 2 + 5);
+        // The resolution itself is deterministic.
+        let again = resolve_auto_warmup(&cfg, run);
+        assert_eq!(resolved.warmup_jobs, again.warmup_jobs);
     }
 
     #[test]

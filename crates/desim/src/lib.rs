@@ -32,6 +32,7 @@ pub mod record;
 pub mod resource;
 pub mod rng;
 pub mod stats;
+pub mod stopping;
 pub mod time;
 pub mod warmup;
 
@@ -48,5 +49,6 @@ pub use record::RingLog;
 pub use resource::{GrantDiscipline, Pending, Resource};
 pub use rng::RngStream;
 pub use stats::{BatchMeans, Estimate, Histogram, TimeWeighted, Welford};
+pub use stopping::{Decision, StopReason, StoppingRule};
 pub use time::{Duration, SimTime};
 pub use warmup::{autocorrelation, mser, mser5, MserResult};

@@ -50,6 +50,18 @@ impl Welford {
         }
     }
 
+    /// Sample mean, or `None` with no observations. Use this instead of
+    /// [`Welford::mean`] wherever 0.0 is a valid observation value —
+    /// averaging an empty accumulator's 0.0 into downstream aggregates
+    /// silently biases them.
+    pub fn mean_opt(&self) -> Option<f64> {
+        if self.n == 0 {
+            None
+        } else {
+            Some(self.mean)
+        }
+    }
+
     /// Unbiased sample variance (0 with fewer than two observations).
     pub fn variance(&self) -> f64 {
         if self.n < 2 {
@@ -264,12 +276,15 @@ pub fn t_975(df: u64) -> f64 {
     if df == 0 {
         return f64::INFINITY;
     }
+    // Exact table hits first — checking only the left end of each window
+    // made the final entry (120) unreachable, so t_975(120) used to fall
+    // through to the asymptote and understate the quantile.
+    if let Some(&(_, t)) = TABLE.iter().find(|&&(d, _)| d == df) {
+        return t;
+    }
     for w in TABLE.windows(2) {
         let (d0, t0) = w[0];
         let (d1, t1) = w[1];
-        if df == d0 {
-            return t0;
-        }
         if df < d1 {
             // Linear interpolation in 1/df, the standard approximation.
             let x0 = 1.0 / d0 as f64;
@@ -278,18 +293,50 @@ pub fn t_975(df: u64) -> f64 {
             return t1 + (t0 - t1) * (x - x1) / (x0 - x1);
         }
     }
-    1.96
+    // Beyond the table: interpolate in 1/df between the last entry and
+    // the normal limit (t → 1.96 as df → ∞), continuous at df = 120.
+    let (d_last, t_last) = TABLE[TABLE.len() - 1];
+    1.96 + (t_last - 1.96) * d_last as f64 / df as f64
 }
 
 /// A mean together with a two-sided 95 % confidence half-width.
-#[derive(Clone, Copy, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct Estimate {
     /// Point estimate.
     pub mean: f64,
-    /// 95 % confidence half-width (0 when it cannot be estimated).
+    /// 95 % confidence half-width (∞ when it cannot be estimated).
     pub half_width: f64,
     /// Number of (batch) observations behind the estimate.
     pub n: u64,
+}
+
+// Hand-written serde: an unestimable half-width is `f64::INFINITY`,
+// which JSON can only carry as `null`. The derived impl would fail to
+// read that null back into a plain f64, so checkpointed sweeps with
+// single-replication (infinite-CI) points could never resume. Null (or
+// a missing field) maps back to ∞ here.
+impl serde::Serialize for Estimate {
+    fn to_value(&self) -> serde::value::Value {
+        use serde::value::Value;
+        Value::Object(vec![
+            ("mean".to_string(), self.mean.to_value()),
+            ("half_width".to_string(), self.half_width.to_value()),
+            ("n".to_string(), Value::Uint(self.n)),
+        ])
+    }
+}
+
+impl serde::Deserialize for Estimate {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::value::Error> {
+        use serde::value::field;
+        let half_width =
+            Option::<f64>::from_value(field(v, "half_width")?)?.unwrap_or(f64::INFINITY);
+        Ok(Estimate {
+            mean: f64::from_value(field(v, "mean")?)?,
+            half_width,
+            n: u64::from_value(field(v, "n")?)?,
+        })
+    }
 }
 
 impl Estimate {
@@ -455,12 +502,89 @@ mod tests {
     fn t_table_endpoints() {
         assert!((t_975(1) - 12.706).abs() < 1e-9);
         assert!((t_975(10) - 2.228).abs() < 1e-9);
-        assert!((t_975(1_000_000) - 1.96).abs() < 1e-9);
+        // The >120 tail interpolates toward the normal limit in 1/df, so
+        // huge df is close to (not exactly) 1.96.
+        assert!((t_975(1_000_000) - 1.96).abs() < 1e-4);
         assert!(t_975(0).is_infinite());
         let t7 = t_975(7);
         assert!((t7 - 2.365).abs() < 1e-9);
         // Interpolated values are monotone.
         assert!(t_975(11) < t_975(10) && t_975(11) > t_975(12));
+    }
+
+    #[test]
+    fn t_table_every_entry_is_exact() {
+        // Regression: the window scan only exact-matched the left end of
+        // each pair, so the last entry (120) fell through and returned
+        // the asymptotic 1.96 instead of 1.980.
+        const ENTRIES: &[(u64, f64)] = &[
+            (1, 12.706),
+            (2, 4.303),
+            (3, 3.182),
+            (4, 2.776),
+            (5, 2.571),
+            (6, 2.447),
+            (7, 2.365),
+            (8, 2.306),
+            (9, 2.262),
+            (10, 2.228),
+            (12, 2.179),
+            (15, 2.131),
+            (20, 2.086),
+            (25, 2.060),
+            (30, 2.042),
+            (40, 2.021),
+            (60, 2.000),
+            (120, 1.980),
+        ];
+        for &(df, t) in ENTRIES {
+            assert!((t_975(df) - t).abs() < 1e-12, "t_975({df}) = {}, want {t}", t_975(df));
+        }
+    }
+
+    #[test]
+    fn t_table_interpolated_and_tail_values() {
+        // Between-entry dfs interpolate strictly inside their bracket.
+        for (lo, hi) in [(10, 12), (12, 15), (60, 120)] {
+            for df in lo + 1..hi {
+                let t = t_975(df);
+                assert!(t < t_975(lo) && t > t_975(hi), "t_975({df}) = {t} outside bracket");
+            }
+        }
+        // Beyond the table the quantile keeps decreasing toward 1.96 and
+        // stays continuous at 120.
+        assert!((t_975(120) - 1.980).abs() < 1e-12);
+        let mut prev = t_975(120);
+        for df in [121, 150, 240, 500, 5_000] {
+            let t = t_975(df);
+            assert!(t < prev && t > 1.96, "t_975({df}) = {t} not in (1.96, {prev})");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn estimate_with_infinite_half_width_roundtrips() {
+        // JSON carries ∞ as null; the manual impl maps it back so
+        // checkpointed single-replication points survive a round trip.
+        use serde::{Deserialize as _, Serialize as _};
+        let e = Estimate { mean: 42.5, half_width: f64::INFINITY, n: 1 };
+        let back = Estimate::from_value(&e.to_value()).expect("roundtrip");
+        assert_eq!(back.mean, 42.5);
+        assert!(back.half_width.is_infinite());
+        assert_eq!(back.n, 1);
+        let finite = Estimate { mean: 10.0, half_width: 2.5, n: 7 };
+        let back = Estimate::from_value(&finite.to_value()).expect("roundtrip");
+        assert_eq!(back.half_width, 2.5);
+        assert_eq!(back.n, 7);
+    }
+
+    #[test]
+    fn welford_mean_opt_distinguishes_empty() {
+        let mut w = Welford::new();
+        assert_eq!(w.mean_opt(), None);
+        assert_eq!(w.mean(), 0.0);
+        w.add(0.0);
+        assert_eq!(w.mean_opt(), Some(0.0));
     }
 
     #[test]

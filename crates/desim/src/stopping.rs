@@ -1,0 +1,185 @@
+//! Sequential stopping rule for replicated experiments.
+//!
+//! The classic fixed-replication design wastes runs where the output is
+//! calm and under-resolves it where the output is noisy. The relative-
+//! precision sequential procedure (Law & Kelton's "sequential procedure
+//! for obtaining a specified precision") instead re-assesses the
+//! confidence interval after every round of replications and stops when
+//! the relative half-width drops below a target — or when a hard cap
+//! bounds the spend. [`StoppingRule::assess`] is the decision kernel the
+//! adaptive sweep engine calls between rounds.
+
+use crate::stats::Estimate;
+
+/// Why a point stopped accumulating replications.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The relative 95 % half-width met the target.
+    PrecisionMet,
+    /// The replication cap was hit before the target.
+    CapReached,
+}
+
+/// The next action for one estimation target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Run `add` more replications, then re-assess.
+    Continue {
+        /// Replications to add in the next round (always ≥ 1).
+        add: u64,
+    },
+    /// Stop: the target is met or the cap is exhausted.
+    Stop(StopReason),
+}
+
+/// A relative-precision stopping rule with a minimum and a cap.
+///
+/// `spent` (replications already consumed) is tracked separately from
+/// `Estimate::n` (observations actually behind the estimate): a
+/// saturated or otherwise discarded replication costs budget without
+/// adding an observation, and the cap must bound the *spend*.
+#[derive(Clone, Copy, Debug)]
+pub struct StoppingRule {
+    /// Target relative 95 % half-width (e.g. 0.05 for ±5 %).
+    pub rel_target: f64,
+    /// Replications always run before the first assessment.
+    pub min_n: u64,
+    /// Hard cap on replications per target.
+    pub max_n: u64,
+}
+
+impl StoppingRule {
+    /// Creates a rule; panics on a non-positive/non-finite target or an
+    /// empty replication range.
+    pub fn new(rel_target: f64, min_n: u64, max_n: u64) -> Self {
+        assert!(
+            rel_target > 0.0 && rel_target.is_finite(),
+            "relative-precision target must be positive and finite"
+        );
+        assert!(min_n >= 1, "at least one replication is required");
+        assert!(max_n >= min_n, "cap must be at least the minimum");
+        StoppingRule { rel_target, min_n, max_n }
+    }
+
+    /// Decides the next round given `spent` replications consumed so far
+    /// and the current estimate over the kept ones.
+    ///
+    /// The half-width of a replication mean shrinks like 1/√n, so a
+    /// point at relative error `r` needs roughly `n·(r/target)²` total
+    /// replications. The projection is itself noisy at small n, so the
+    /// round grows by at most 2× the current spend, and never beyond the
+    /// cap.
+    pub fn assess(&self, spent: u64, estimate: &Estimate) -> Decision {
+        if spent < self.min_n {
+            return Decision::Continue { add: self.min_n - spent };
+        }
+        if estimate.relative_error() <= self.rel_target {
+            return Decision::Stop(StopReason::PrecisionMet);
+        }
+        if spent >= self.max_n {
+            return Decision::Stop(StopReason::CapReached);
+        }
+        let ratio = estimate.relative_error() / self.rel_target;
+        let projected = if ratio.is_finite() && estimate.n > 0 {
+            (estimate.n as f64 * ratio * ratio).ceil() as u64
+        } else {
+            // No usable estimate yet (zero mean, infinite half-width):
+            // grow geometrically until one appears or the cap ends it.
+            u64::MAX
+        };
+        let next_total = projected.clamp(spent + 1, spent.saturating_mul(2)).min(self.max_n);
+        Decision::Continue { add: next_total - spent }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(mean: f64, half: f64, n: u64) -> Estimate {
+        Estimate { mean, half_width: half, n }
+    }
+
+    #[test]
+    fn runs_the_minimum_first() {
+        let rule = StoppingRule::new(0.05, 3, 10);
+        assert_eq!(rule.assess(0, &est(0.0, f64::INFINITY, 0)), Decision::Continue { add: 3 });
+        assert_eq!(rule.assess(2, &est(100.0, 1.0, 2)), Decision::Continue { add: 1 });
+    }
+
+    #[test]
+    fn stops_when_precision_met() {
+        let rule = StoppingRule::new(0.05, 2, 10);
+        // 2 % relative half-width beats the 5 % target.
+        assert_eq!(rule.assess(3, &est(100.0, 2.0, 3)), Decision::Stop(StopReason::PrecisionMet));
+    }
+
+    #[test]
+    fn stops_at_the_cap() {
+        let rule = StoppingRule::new(0.01, 2, 5);
+        assert_eq!(rule.assess(5, &est(100.0, 50.0, 5)), Decision::Stop(StopReason::CapReached));
+        // Past the cap (resumed checkpoints can overshoot): still stop.
+        assert_eq!(rule.assess(7, &est(100.0, 50.0, 7)), Decision::Stop(StopReason::CapReached));
+    }
+
+    #[test]
+    fn projects_the_required_sample_size() {
+        let rule = StoppingRule::new(0.05, 2, 100);
+        // rel = 0.06, ratio 1.2: needs ~ 4·1.44 = 5.76 → 6 total → add 2.
+        assert_eq!(rule.assess(4, &est(100.0, 6.0, 4)), Decision::Continue { add: 2 });
+    }
+
+    #[test]
+    fn round_growth_is_capped_at_doubling() {
+        let rule = StoppingRule::new(0.05, 2, 1_000);
+        // rel = 0.5, ratio 10: projection says 400, but one round may at
+        // most double the spend.
+        assert_eq!(rule.assess(4, &est(100.0, 50.0, 4)), Decision::Continue { add: 4 });
+    }
+
+    #[test]
+    fn growth_is_bounded_by_the_cap() {
+        let rule = StoppingRule::new(0.05, 2, 6);
+        assert_eq!(rule.assess(4, &est(100.0, 50.0, 4)), Decision::Continue { add: 2 });
+    }
+
+    #[test]
+    fn degenerate_estimates_grow_geometrically() {
+        let rule = StoppingRule::new(0.05, 2, 100);
+        // Zero mean → infinite relative error → no finite projection.
+        assert_eq!(rule.assess(4, &est(0.0, 1.0, 4)), Decision::Continue { add: 4 });
+        // Infinite half-width (every replication discarded) likewise.
+        assert_eq!(rule.assess(2, &est(10.0, f64::INFINITY, 0)), Decision::Continue { add: 2 });
+    }
+
+    #[test]
+    fn converges_under_a_shrinking_half_width() {
+        // Simulated 1/√n half-width: the rule must terminate by
+        // precision, not the cap.
+        let rule = StoppingRule::new(0.05, 3, 10_000);
+        let mut n = 0u64;
+        loop {
+            let half = 2.0 / (n.max(1) as f64).sqrt();
+            match rule.assess(n, &est(10.0, half, n)) {
+                Decision::Continue { add } => n += add,
+                Decision::Stop(reason) => {
+                    assert_eq!(reason, StopReason::PrecisionMet);
+                    break;
+                }
+            }
+        }
+        assert!(n < 10_000, "stopped by precision at n = {n}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_target() {
+        StoppingRule::new(0.0, 1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap")]
+    fn rejects_inverted_range() {
+        StoppingRule::new(0.05, 5, 2);
+    }
+}

@@ -34,17 +34,31 @@ pub fn mser(series: &[f64], m: usize) -> MserResult {
         series.chunks_exact(m).map(|c| c.iter().sum::<f64>() / m as f64).collect();
     let n = batches.len();
     let half = n / 2;
+    // Suffix sums s1[d] = Σ_{i≥d} b_i and s2[d] = Σ_{i≥d} b_i² give the
+    // truncated mean and sum of squared deviations in O(1) per candidate
+    // (Σ(b−mean)² = Σb² − (Σb)²/k), so the whole scan is O(n).
+    let mut s1 = vec![0.0; n + 1];
+    let mut s2 = vec![0.0; n + 1];
+    for d in (0..n).rev() {
+        s1[d] = s1[d + 1] + batches[d];
+        s2[d] = s2[d + 1] + batches[d] * batches[d];
+    }
     let mut best = MserResult { truncate: 0, statistic: f64::INFINITY };
-    // Suffix sums allow O(1) mean/variance per candidate d.
     for d in 0..=half {
-        let rest = &batches[d..];
-        let k = rest.len() as f64;
-        if rest.len() < 2 {
+        let rest = n - d;
+        if rest < 2 {
             break;
         }
-        let mean = rest.iter().sum::<f64>() / k;
-        let var = rest.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / k;
-        let stat = (var / k).sqrt() / k.sqrt(); // sqrt(var)/k = MSER statistic
+        let k = rest as f64;
+        // Clamp against floating-point cancellation: the difference of
+        // two large near-equal sums can dip just below zero.
+        let ssd = (s2[d] - s1[d] * s1[d] / k).max(0.0);
+        // White's MSER statistic is SSD/(n−d)², the squared standard
+        // error of the truncated mean; minimizing its square root is
+        // equivalent and keeps the statistic a half-width proxy. The old
+        // code divided by an extra √k (∝ var/k³), which over-rewarded
+        // long suffixes and systematically under-truncated.
+        let stat = ssd.sqrt() / k;
         if stat < best.statistic {
             best = MserResult { truncate: d * m, statistic: stat };
         }

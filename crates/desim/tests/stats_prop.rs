@@ -3,8 +3,32 @@
 //! inputs.
 
 use desim::stats::{BatchMeans, TimeWeighted, Welford};
+use desim::warmup::{mser, MserResult};
 use desim::{EmpiricalContinuous, SimTime};
 use proptest::prelude::*;
+
+/// Naive MSER reference: two-pass mean/SSD per candidate truncation,
+/// O(n²) overall — the definition, without the suffix-sum algebra.
+fn mser_naive(series: &[f64], m: usize) -> MserResult {
+    let batches: Vec<f64> =
+        series.chunks_exact(m).map(|c| c.iter().sum::<f64>() / m as f64).collect();
+    let n = batches.len();
+    let mut best = MserResult { truncate: 0, statistic: f64::INFINITY };
+    for d in 0..=n / 2 {
+        let rest = &batches[d..];
+        if rest.len() < 2 {
+            break;
+        }
+        let k = rest.len() as f64;
+        let mean = rest.iter().sum::<f64>() / k;
+        let ssd: f64 = rest.iter().map(|x| (x - mean) * (x - mean)).sum();
+        let stat = ssd.sqrt() / k;
+        if stat < best.statistic {
+            best = MserResult { truncate: d * m, statistic: stat };
+        }
+    }
+    best
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -111,5 +135,35 @@ proptest! {
         for &q in &qs {
             prop_assert!((0.0..=d.max_value()).contains(&q));
         }
+    }
+
+    /// The suffix-sum MSER scan matches the naive two-pass definition:
+    /// the minimized statistics agree to rounding, and the naive
+    /// statistic evaluated at the fast scan's truncation is (near-)
+    /// minimal too — ties between candidates may break either way under
+    /// floating point, so the truncation points themselves are compared
+    /// through their statistics, not for equality.
+    #[test]
+    fn mser_suffix_sums_match_naive(
+        xs in proptest::collection::vec(-1e3f64..1e3, 10..400),
+        m in 1usize..6
+    ) {
+        prop_assume!(xs.len() >= 2 * m);
+        let fast = mser(&xs, m);
+        let naive = mser_naive(&xs, m);
+        let tol = 1e-6 * (1.0 + naive.statistic.abs());
+        prop_assert!((fast.statistic - naive.statistic).abs() <= tol,
+            "minimized statistics diverge: fast {fast:?} vs naive {naive:?}");
+        // Re-evaluate the fast scan's pick naively: it must be as good.
+        let batches: Vec<f64> =
+            xs.chunks_exact(m).map(|c| c.iter().sum::<f64>() / m as f64).collect();
+        let d = fast.truncate / m;
+        let rest = &batches[d..];
+        let k = rest.len() as f64;
+        let mean = rest.iter().sum::<f64>() / k;
+        let ssd: f64 = rest.iter().map(|x| (x - mean) * (x - mean)).sum();
+        let at_fast = ssd.sqrt() / k;
+        prop_assert!(at_fast <= naive.statistic + tol,
+            "fast pick d={d} scores {at_fast}, naive best {naive:?}");
     }
 }

@@ -37,6 +37,7 @@ fn main() {
             arrival_cv2: 1.0,
             total_jobs: 200_000,
             warmup_jobs: 20_000,
+            warmup: coalloc::core::Warmup::Fixed,
             batch_size: 2_000,
             rule: coalloc::core::PlacementRule::WorstFit,
             record_series: false,

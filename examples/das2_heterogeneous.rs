@@ -29,6 +29,7 @@ fn das2_config(policy: PolicyKind, util: f64) -> SimConfig {
         arrival_cv2: 1.0,
         total_jobs: 15_000,
         warmup_jobs: 1_500,
+        warmup: coalloc::core::Warmup::Fixed,
         batch_size: 300,
         rule: PlacementRule::WorstFit,
         record_series: false,

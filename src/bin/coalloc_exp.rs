@@ -21,10 +21,116 @@ fn usage() -> ! {
          targets: table1 table2 table3 ratios fig1..fig7 packing\n\
          \x20        reqtypes placement backfill extfactor burstiness plot all\n\
          \x20        runjson <GS|LS|LP|SC|GB> <limit> <utilization>\n\
-         \x20                [--events <path>] [--audit]              (JSON SimOutcome)\n\
+         \x20                [--events <path>] [--audit] [--warmup auto|N]\n\
+         \x20                                                   (JSON SimOutcome)\n\
+         \x20        sweep <GS|LS|LP|SC|GB> <limit> [--utils a,b,c] [--rel-ci X]\n\
+         \x20              [--min-reps N] [--max-reps N] [--warmup auto|N]\n\
+         \x20              [--checkpoint <path>] [--assert-precision]\n\
+         \x20                         (adaptive-replication sweep, stats table)\n\
          \x20        bench [--quick|--full] [--out <dir>]   (throughput -> BENCH_<n>.json)"
     );
     std::process::exit(2);
+}
+
+/// Parses a `--flag value` pair anywhere in `args`.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).map(|i| match args.get(i + 1) {
+        Some(v) => v.as_str(),
+        None => usage(),
+    })
+}
+
+/// Applies `--warmup auto|N` to a simulation configuration.
+fn apply_warmup(cfg: &mut coalloc::core::SimConfig, spec: Option<&str>) {
+    use coalloc::core::Warmup;
+    match spec {
+        None => {}
+        Some("auto") => cfg.warmup = Warmup::Auto,
+        Some(n) => {
+            cfg.warmup_jobs = n.parse().unwrap_or_else(|_| usage());
+            cfg.warmup = Warmup::Fixed;
+        }
+    }
+}
+
+/// Runs a precision-targeted adaptive sweep for one policy and prints
+/// the per-point statistics table. `--assert-precision` exits nonzero if
+/// a non-saturated point neither met the relative-CI target nor spent
+/// the replication cap (the adaptive engine's contract).
+fn sweep_cmd(args: &[String], scale: Scale) {
+    use coalloc::core::experiment::sweep;
+    use coalloc::core::{report, PolicyKind, SimConfig};
+    use coalloc::experiments::scaled;
+    let policy = match args.first().map(String::as_str) {
+        Some("GS") => PolicyKind::Gs,
+        Some("LS") => PolicyKind::Ls,
+        Some("LP") => PolicyKind::Lp,
+        Some("SC") => PolicyKind::Sc,
+        Some("GB") => PolicyKind::Gb,
+        _ => usage(),
+    };
+    let limit: u32 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or_else(|| usage());
+    let mut cfg = scale.sweep();
+    if let Some(utils) = flag_value(args, "--utils") {
+        cfg.utilizations =
+            utils.split(',').map(|u| u.parse().unwrap_or_else(|_| usage())).collect();
+    }
+    if let Some(v) = flag_value(args, "--rel-ci") {
+        cfg.rel_ci_target = v.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(v) = flag_value(args, "--min-reps") {
+        cfg.min_replications = v.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(v) = flag_value(args, "--max-reps") {
+        cfg.max_replications = v.parse().unwrap_or_else(|_| usage());
+    }
+    cfg.checkpoint = flag_value(args, "--checkpoint").map(std::path::PathBuf::from);
+    let warmup = flag_value(args, "--warmup").map(str::to_owned);
+    let points = sweep(
+        move |util| {
+            let mut c = if policy == PolicyKind::Sc {
+                scaled(SimConfig::das_single_cluster(util), scale)
+            } else {
+                scaled(SimConfig::das(policy, limit, util), scale)
+            };
+            apply_warmup(&mut c, warmup.as_deref());
+            c
+        },
+        &cfg,
+    );
+    let title = format!(
+        "Adaptive sweep: {} limit {limit}, rel-CI target {:.0}%, {}..{} reps",
+        policy.label(),
+        100.0 * cfg.rel_ci_target,
+        cfg.min_replications,
+        cfg.max_replications
+    );
+    println!("{}", report::sweep_stats_table(&title, &points));
+    if args.iter().any(|a| a == "--assert-precision") {
+        let mut failed = false;
+        for p in &points {
+            let o = &p.outcome;
+            if o.saturated {
+                continue;
+            }
+            let met = o.response.relative_error() <= cfg.rel_ci_target;
+            let capped = o.runs.len() as u64 >= cfg.max_replications;
+            if !met && !capped {
+                eprintln!(
+                    "point {:.2}: rel err {:.3} above target {:.3} with only {} reps",
+                    p.target_utilization,
+                    o.response.relative_error(),
+                    cfg.rel_ci_target,
+                    o.runs.len()
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("precision contract holds for all {} points", points.len());
+    }
 }
 
 /// Runs the fixed-seed throughput harness and appends the next
@@ -81,6 +187,7 @@ fn runjson(args: &[String], scale: Scale) {
     };
     cfg.total_jobs = scale.total_jobs();
     cfg.warmup_jobs = scale.warmup_jobs();
+    apply_warmup(&mut cfg, flag_value(args, "--warmup"));
 
     let mut sink = events_path.map(|path| {
         let file = std::fs::File::create(&path)
@@ -128,6 +235,10 @@ fn main() {
         runjson(&args[1..], scale);
         return;
     }
+    if target == "sweep" {
+        sweep_cmd(&args[1..], scale);
+        return;
+    }
     if target == "bench" {
         bench(&args[1..]);
         return;
@@ -157,6 +268,7 @@ fn main() {
             ("das2", "the real 72+4x32 DAS2 geometry (extension)"),
             ("plot", "ASCII terminal plot of the headline panel"),
             ("runjson", "one simulation, full JSON outcome"),
+            ("sweep", "adaptive-replication sweep with per-point CI stats"),
             ("bench", "fixed-seed throughput harness -> BENCH_<n>.json"),
             ("all", "everything above, in paper order"),
         ] {

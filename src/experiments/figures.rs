@@ -159,7 +159,7 @@ pub fn fig4(scale: Scale) -> String {
                 };
                 let outc = coalloc_core::run(&cfg);
                 let m = &outc.metrics;
-                let fmt = |x: f64| if x > 0.0 { format!("{x:.0}") } else { "-".to_string() };
+                let fmt = |x: Option<f64>| x.map_or("-".to_string(), |x| format!("{x:.0}"));
                 rows.push(vec![
                     policy.label().to_string(),
                     fmt(m.response_local),

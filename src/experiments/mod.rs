@@ -48,11 +48,27 @@ impl Scale {
         }
     }
 
-    /// Independent replications per sweep point.
-    pub fn replications(self) -> u64 {
+    /// Floor of replications the adaptive engine spends per sweep point.
+    pub fn min_replications(self) -> u64 {
         match self {
             Scale::Quick => 2,
             Scale::Full => 3,
+        }
+    }
+
+    /// Cap of replications the adaptive engine may spend per point.
+    pub fn max_replications(self) -> u64 {
+        match self {
+            Scale::Quick => 4,
+            Scale::Full => 8,
+        }
+    }
+
+    /// Target relative 95 % CI half-width on the mean response.
+    pub fn rel_ci_target(self) -> f64 {
+        match self {
+            Scale::Quick => 0.2,
+            Scale::Full => 0.05,
         }
     }
 
@@ -76,9 +92,12 @@ impl Scale {
     pub fn sweep(self) -> SweepConfig {
         SweepConfig {
             utilizations: self.utilizations(),
-            replications: self.replications(),
+            min_replications: self.min_replications(),
+            max_replications: self.max_replications(),
+            rel_ci_target: self.rel_ci_target(),
             base_seed: 2003,
             threads: 0,
+            checkpoint: None,
         }
     }
 }

@@ -1,0 +1,91 @@
+//! The adaptive replication engine's contracts: fixed-seed sweeps are
+//! bit-identical regardless of thread count, and an interrupted sweep
+//! resumed from its checkpoint equals the uninterrupted run.
+
+use coalloc::core::experiment::{sweep, SweepConfig, SweepPoint};
+use coalloc::core::{PolicyKind, SimConfig};
+
+fn make_cfg(util: f64) -> SimConfig {
+    let mut cfg = SimConfig::das(PolicyKind::Ls, 16, util);
+    cfg.total_jobs = 3_000;
+    cfg.warmup_jobs = 300;
+    cfg.batch_size = 100;
+    cfg
+}
+
+fn adaptive_cfg() -> SweepConfig {
+    let mut cfg = SweepConfig::quick();
+    cfg.utilizations = vec![0.3, 0.5];
+    cfg.min_replications = 2;
+    cfg.max_replications = 5;
+    cfg.rel_ci_target = 0.02; // tight enough to force extra rounds
+    cfg
+}
+
+/// Full-depth equality through JSON: every run, metric and estimate.
+fn identical(a: &[SweepPoint], b: &[SweepPoint]) -> bool {
+    serde_json::to_string(a).expect("serializes") == serde_json::to_string(b).expect("serializes")
+}
+
+#[test]
+fn adaptive_sweep_is_bit_identical_across_thread_counts() {
+    let mut results = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let mut cfg = adaptive_cfg();
+        cfg.threads = threads;
+        results.push(sweep(make_cfg, &cfg));
+    }
+    assert!(identical(&results[0], &results[1]), "1-thread and 2-thread sweeps diverged");
+    assert!(identical(&results[0], &results[2]), "1-thread and 8-thread sweeps diverged");
+}
+
+#[test]
+fn interrupted_sweep_resumes_from_checkpoint_to_the_same_result() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("coalloc-adaptive-resume-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    // The reference: one uninterrupted adaptive sweep.
+    let uninterrupted = sweep(make_cfg, &adaptive_cfg());
+
+    // "Interrupt" by capping the budget low: the engine stops early but
+    // checkpoints everything it ran.
+    let mut first = adaptive_cfg();
+    first.max_replications = first.min_replications;
+    first.checkpoint = Some(path.clone());
+    let partial = sweep(make_cfg, &first);
+    assert!(path.exists(), "checkpoint file must be written");
+    for p in &partial {
+        assert_eq!(p.outcome.runs.len() as u64, first.min_replications);
+    }
+
+    // Resume with the full budget from the same checkpoint.
+    let mut second = adaptive_cfg();
+    second.checkpoint = Some(path.clone());
+    let resumed = sweep(make_cfg, &second);
+    let _ = std::fs::remove_file(&path);
+
+    assert!(identical(&uninterrupted, &resumed), "resumed sweep must equal the uninterrupted one");
+}
+
+#[test]
+fn checkpoint_with_mismatched_grid_is_ignored() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("coalloc-adaptive-mismatch-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let mut cfg = adaptive_cfg();
+    cfg.checkpoint = Some(path.clone());
+    let original = sweep(make_cfg, &cfg);
+
+    // A different grid must not pick up the stale runs.
+    let mut other = adaptive_cfg();
+    other.utilizations = vec![0.35, 0.55];
+    other.checkpoint = Some(path.clone());
+    let fresh = sweep(make_cfg, &other);
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(fresh.len(), 2);
+    assert!((fresh[0].target_utilization - 0.35).abs() < 1e-12);
+    assert!(!identical(&original, &fresh));
+}

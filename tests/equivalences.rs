@@ -109,6 +109,7 @@ fn whole_cluster_jobs_are_mm1() {
         arrival_cv2: 1.0,
         total_jobs: 120_000,
         warmup_jobs: 12_000,
+        warmup: coalloc::core::Warmup::Fixed,
         batch_size: 1_000,
         rule: PlacementRule::WorstFit,
         record_series: false,

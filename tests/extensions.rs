@@ -89,6 +89,7 @@ fn heterogeneous_five_cluster_system() {
         arrival_cv2: 1.0,
         total_jobs: 12_000,
         warmup_jobs: 1_200,
+        warmup: coalloc::core::Warmup::Fixed,
         batch_size: 200,
         rule: PlacementRule::WorstFit,
         record_series: false,

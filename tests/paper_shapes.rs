@@ -48,12 +48,9 @@ fn limit16_policy_ordering() {
 fn lp_global_queue_is_the_bottleneck() {
     let out = das_run(PolicyKind::Lp, 16, 0.55, true);
     let m = &out.metrics;
-    assert!(
-        m.response_global > 1.5 * m.response_local,
-        "global {} vs local {}",
-        m.response_global,
-        m.response_local
-    );
+    let global = m.response_global.expect("LP serves jobs from the global queue");
+    let local = m.response_local.expect("LP serves jobs from local queues");
+    assert!(global > 1.5 * local, "global {global} vs local {local}");
 }
 
 /// §3.1.2: unbalanced local queues hurt LS (more load on one local

@@ -26,7 +26,7 @@ fn sweep_points_serialize() {
     sc.utilizations = vec![0.3];
     // Two replications give a finite CI half-width: JSON has no
     // representation for f64::INFINITY (it becomes null).
-    sc.replications = 2;
+    sc = sc.fixed_replications(2);
     let pts = sweep(
         |util| {
             let mut cfg = SimConfig::das(PolicyKind::Gs, 16, util);

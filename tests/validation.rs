@@ -15,6 +15,7 @@ fn queueing_cfg(servers: u32, service: ServiceDist, lambda: f64, seed: u64) -> S
         arrival_cv2: 1.0,
         total_jobs: 150_000,
         warmup_jobs: 15_000,
+        warmup: coalloc::core::Warmup::Fixed,
         batch_size: 1_000,
         rule: PlacementRule::WorstFit,
         record_series: false,
