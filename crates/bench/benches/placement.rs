@@ -44,7 +44,7 @@ fn bench_placement_in_simulation(c: &mut Criterion) {
                     let mut cfg =
                         coalloc_bench::bench_sim_config(coalloc_core::PolicyKind::Gs, 5_000);
                     cfg.rule = rule;
-                    black_box(coalloc_core::run(&cfg).completed)
+                    black_box(coalloc_core::SimBuilder::new(&cfg).run().completed)
                 })
             },
         );

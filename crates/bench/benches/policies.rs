@@ -18,7 +18,13 @@ fn bench_policies(c: &mut Criterion) {
             BenchmarkId::new("run_10k_jobs", policy.label()),
             &policy,
             |b, &policy| {
-                b.iter(|| black_box(coalloc_core::run(&bench_sim_config(policy, jobs)).completed))
+                b.iter(|| {
+                    black_box(
+                        coalloc_core::SimBuilder::new(&bench_sim_config(policy, jobs))
+                            .run()
+                            .completed,
+                    )
+                })
             },
         );
     }
@@ -57,7 +63,7 @@ mod replay {
             b.iter(|| {
                 let mut cfg = coalloc_bench::bench_sim_config(PolicyKind::Ls, 10_000);
                 cfg.warmup_jobs = 1_000;
-                black_box(coalloc_core::run_trace(&cfg, &log, 1.0).completed)
+                black_box(coalloc_core::SimBuilder::new(&cfg).run_trace(&log, 1.0).completed)
             })
         });
         group.finish();

@@ -33,7 +33,7 @@ mod tests {
 
     #[test]
     fn bench_config_is_runnable() {
-        let out = coalloc_core::run(&bench_sim_config(PolicyKind::Ls, 500));
+        let out = coalloc_core::SimBuilder::new(&bench_sim_config(PolicyKind::Ls, 500)).run();
         assert_eq!(out.arrivals, 500);
     }
 

@@ -9,6 +9,7 @@ use desim::{Duration, SimTime};
 use crate::job::{ActiveJob, JobId, SubmitQueue};
 use crate::placement::{place_scoped, PlacementRule};
 use crate::sim::SimConfig;
+use crate::system::SystemSpec;
 
 use super::{PlacementDecision, SimObserver};
 
@@ -104,12 +105,12 @@ struct JobInfo {
 /// own idle-processor ledger and waiting-queue mirror, so a buggy
 /// scheduler cannot vouch for itself.
 ///
-/// Attach it via [`crate::sim::run_observed`]; inspect
+/// Attach it via [`crate::sim::SimBuilder::run_observed`]; inspect
 /// [`InvariantAuditor::violations`] or call
 /// [`InvariantAuditor::assert_clean`] afterwards.
 #[derive(Clone, Debug)]
 pub struct InvariantAuditor {
-    capacities: Vec<u32>,
+    system: SystemSpec,
     idle: Vec<u32>,
     workload: Workload,
     rule: PlacementRule,
@@ -135,12 +136,12 @@ enum FifoOutcome {
 }
 
 impl InvariantAuditor {
-    /// An auditor for runs of `cfg` (capacities, workload extension
+    /// An auditor for runs of `cfg` (system shape, workload extension
     /// model, placement rule, and FCFS strictness all follow the
     /// configuration).
     pub fn new(cfg: &SimConfig) -> Self {
         Self::with_parts(
-            cfg.capacities.clone(),
+            cfg.system.clone(),
             cfg.workload.clone(),
             cfg.rule,
             cfg.policy != crate::policy::PolicyKind::Gb,
@@ -150,15 +151,15 @@ impl InvariantAuditor {
     /// An auditor from explicit parts (for harnesses that drive the
     /// scheduler without a [`SimConfig`]).
     pub fn with_parts(
-        capacities: Vec<u32>,
+        system: SystemSpec,
         workload: Workload,
         rule: PlacementRule,
         strict_fcfs: bool,
     ) -> Self {
-        let clusters = capacities.len();
+        let clusters = system.num_clusters();
         InvariantAuditor {
-            idle: capacities.clone(),
-            capacities,
+            idle: system.capacities().to_vec(),
+            system,
             workload,
             rule,
             strict_fcfs,
@@ -595,8 +596,8 @@ impl SimObserver for InvariantAuditor {
             let overflow = match self.idle.get_mut(c) {
                 Some(idle) => {
                     *idle += p;
-                    if *idle > self.capacities[c] {
-                        let (have, cap) = (*idle, self.capacities[c]);
+                    if *idle > self.system.capacities()[c] {
+                        let (have, cap) = (*idle, self.system.capacities()[c]);
                         *idle = cap;
                         Some(format!("release left cluster {c} with {have} idle of {cap}"))
                     } else {
@@ -618,7 +619,7 @@ impl SimObserver for InvariantAuditor {
         let stuck: Vec<(usize, u32, u32)> = self
             .idle
             .iter()
-            .zip(&self.capacities)
+            .zip(self.system.capacities())
             .enumerate()
             .filter(|(_, (idle, cap))| idle != cap)
             .map(|(i, (&idle, &cap))| (i, idle, cap))

@@ -11,8 +11,8 @@ use crate::feed::JobFeed;
 use crate::job::{ActiveJob, JobId, JobTable, Placement, SubmitQueue};
 use crate::placement::{place_request, PlacementRule};
 use crate::policy::{GlobalScheduler, PolicyKind, Scheduler};
-use crate::sim::{run_observed, run_with_scheduler, OccupancyModel, SimConfig};
-use crate::system::MultiCluster;
+use crate::sim::{OccupancyModel, SimBuilder, SimConfig};
+use crate::system::{MultiCluster, SystemSpec};
 
 use super::{
     InvariantAuditor, PassTrigger, PlacementDecision, PlacementScope, SimObserver, ViolationKind,
@@ -147,7 +147,7 @@ fn overtaking_mutant_trips_fcfs_overtaking() {
         queue: std::collections::VecDeque::new(),
         rule: PlacementRule::WorstFit,
     });
-    run_with_scheduler(&cfg, &mut feed, f64::NAN, policy, &mut auditor, OccupancyModel::Faithful);
+    SimBuilder::new(&cfg).scheduler(policy).run_feed_observed(&mut feed, f64::NAN, &mut auditor);
     assert!(
         auditor.has(ViolationKind::FcfsOvertaking),
         "expected FcfsOvertaking, got: {}",
@@ -173,7 +173,7 @@ fn overtaking_is_by_design_for_gb() {
         queue: std::collections::VecDeque::new(),
         rule: PlacementRule::WorstFit,
     });
-    run_with_scheduler(&cfg, &mut feed, f64::NAN, policy, &mut auditor, OccupancyModel::Faithful);
+    SimBuilder::new(&cfg).scheduler(policy).run_feed_observed(&mut feed, f64::NAN, &mut auditor);
     auditor.assert_clean();
 }
 
@@ -191,7 +191,7 @@ fn best_fit_mutant_trips_placement_rule_violation() {
     let mut feed = VecFeed::new(&[(0.0, &[16], 1000.0), (1.0, &[8], 1000.0)]);
     let mut auditor = InvariantAuditor::new(&cfg);
     let policy = Box::new(GlobalScheduler::new(PlacementRule::BestFit));
-    run_with_scheduler(&cfg, &mut feed, f64::NAN, policy, &mut auditor, OccupancyModel::Faithful);
+    SimBuilder::new(&cfg).scheduler(policy).run_feed_observed(&mut feed, f64::NAN, &mut auditor);
     assert!(
         auditor.has(ViolationKind::PlacementRuleViolation),
         "expected PlacementRuleViolation, got: {}",
@@ -215,14 +215,10 @@ fn double_extension_mutant_trips_extension_mismatch() {
     let mut feed = VecFeed::new(&[(0.0, &[32, 32], 100.0), (1.0, &[8], 100.0)]);
     let mut auditor = InvariantAuditor::new(&cfg);
     let policy = Box::new(GlobalScheduler::new(PlacementRule::WorstFit));
-    run_with_scheduler(
-        &cfg,
-        &mut feed,
-        f64::NAN,
-        policy,
-        &mut auditor,
-        OccupancyModel::DoubleExtension,
-    );
+    SimBuilder::new(&cfg)
+        .scheduler(policy)
+        .occupancy(OccupancyModel::DoubleExtension)
+        .run_feed_observed(&mut feed, f64::NAN, &mut auditor);
     assert!(
         auditor.has(ViolationKind::ExtensionMismatch),
         "expected ExtensionMismatch, got: {}",
@@ -240,14 +236,10 @@ fn double_extension_is_invisible_on_single_component_jobs() {
     let mut feed = VecFeed::new(&[(0.0, &[8], 100.0), (1.0, &[4], 100.0)]);
     let mut auditor = InvariantAuditor::new(&cfg);
     let policy = Box::new(GlobalScheduler::new(PlacementRule::WorstFit));
-    run_with_scheduler(
-        &cfg,
-        &mut feed,
-        f64::NAN,
-        policy,
-        &mut auditor,
-        OccupancyModel::DoubleExtension,
-    );
+    SimBuilder::new(&cfg)
+        .scheduler(policy)
+        .occupancy(OccupancyModel::DoubleExtension)
+        .run_feed_observed(&mut feed, f64::NAN, &mut auditor);
     auditor.assert_clean();
 }
 
@@ -262,14 +254,14 @@ fn faithful_runs_are_clean_for_every_policy() {
         cfg.total_jobs = 400;
         cfg.warmup_jobs = 50;
         let mut auditor = InvariantAuditor::new(&cfg);
-        run_observed(&cfg, &mut auditor);
+        SimBuilder::new(&cfg).run_observed(&mut auditor);
         assert!(auditor.is_clean(), "{policy:?}: {}", auditor.report());
     }
     let mut cfg = SimConfig::das_single_cluster(0.6);
     cfg.total_jobs = 400;
     cfg.warmup_jobs = 50;
     let mut auditor = InvariantAuditor::new(&cfg);
-    run_observed(&cfg, &mut auditor);
+    SimBuilder::new(&cfg).run_observed(&mut auditor);
     assert!(auditor.is_clean(), "Sc: {}", auditor.report());
 }
 
@@ -279,7 +271,12 @@ fn faithful_runs_are_clean_for_every_policy() {
 // ---------------------------------------------------------------------
 
 fn synthetic_auditor() -> InvariantAuditor {
-    InvariantAuditor::with_parts(vec![32; 4], Workload::das(32), PlacementRule::WorstFit, true)
+    InvariantAuditor::with_parts(
+        SystemSpec::das_multicluster(),
+        Workload::das(32),
+        PlacementRule::WorstFit,
+        true,
+    )
 }
 
 /// Arrive + enqueue one global job, returning its id and table.

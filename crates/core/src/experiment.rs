@@ -31,7 +31,8 @@ use desim::stats::{t_975, Estimate, Welford};
 use desim::stopping::{Decision, StoppingRule};
 use desim::RngStream;
 
-use crate::sim::{run, SimConfig, SimOutcome};
+use crate::audit::InvariantAuditor;
+use crate::sim::{SimBuilder, SimConfig, SimOutcome};
 
 /// Configuration of a sweep over target gross utilizations.
 #[derive(Clone, Debug)]
@@ -53,6 +54,11 @@ pub struct SweepConfig {
     /// Checkpoint file: completed replications are written here after
     /// every round, and a matching file is loaded before the first.
     pub checkpoint: Option<PathBuf>,
+    /// Attach a fresh [`InvariantAuditor`] to every replication and
+    /// panic on any violation. Observers are passive, so an audited
+    /// sweep produces bit-identical results to an unaudited one — at
+    /// the cost of the auditor's bookkeeping per event.
+    pub audit: bool,
 }
 
 impl Default for SweepConfig {
@@ -65,6 +71,7 @@ impl Default for SweepConfig {
             base_seed: 2003,
             threads: 0,
             checkpoint: None,
+            audit: false,
         }
     }
 }
@@ -81,6 +88,7 @@ impl SweepConfig {
             base_seed: 2003,
             threads: 0,
             checkpoint: None,
+            audit: false,
         }
     }
 
@@ -230,8 +238,23 @@ fn replications_to_add(rule: &StoppingRule, runs: &[SimOutcome]) -> u64 {
 /// counter, so runs never contend on a results lock. Results are
 /// re-slotted by task index after the join barrier, which keeps the
 /// outcome deterministic whatever the interleaving.
-pub(crate) fn run_parallel(cfgs: &[SimConfig], threads: usize) -> Vec<SimOutcome> {
+pub(crate) fn run_parallel(cfgs: &[SimConfig], threads: usize, audit: bool) -> Vec<SimOutcome> {
     let next = AtomicUsize::new(0);
+    let run_one = |cfg: &SimConfig| {
+        if audit {
+            let mut auditor = InvariantAuditor::new(cfg);
+            let outcome = SimBuilder::new(cfg).run_observed(&mut auditor);
+            assert!(
+                auditor.is_clean(),
+                "invariant violations at seed {}: {}",
+                cfg.seed,
+                auditor.report()
+            );
+            outcome
+        } else {
+            SimBuilder::new(cfg).run()
+        }
+    };
     let per_worker: Vec<Vec<(usize, SimOutcome)>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
@@ -240,7 +263,7 @@ pub(crate) fn run_parallel(cfgs: &[SimConfig], threads: usize) -> Vec<SimOutcome
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(cfg) = cfgs.get(i) else { break mine };
-                        mine.push((i, run(cfg)));
+                        mine.push((i, run_one(cfg)));
                     }
                 })
             })
@@ -365,7 +388,8 @@ where
                     .with_seed(replication_seed(sweep_cfg.base_seed, rep))
             })
             .collect();
-        let outcomes = run_parallel(&cfgs, sweep_cfg.effective_threads(cfgs.len()));
+        let outcomes =
+            run_parallel(&cfgs, sweep_cfg.effective_threads(cfgs.len()), sweep_cfg.audit);
         for (&(ui, _), outcome) in batch.iter().zip(outcomes) {
             runs[ui].push(outcome);
         }
@@ -555,6 +579,24 @@ mod tests {
             for (a, b) in l.outcome.runs.iter().zip(&t.outcome.runs) {
                 assert_eq!(a.metrics.mean_response, b.metrics.mean_response);
             }
+        }
+    }
+
+    #[test]
+    fn audited_sweep_is_bit_identical_and_clean() {
+        let mut audited_cfg = SweepConfig::quick();
+        audited_cfg.utilizations = vec![0.4];
+        audited_cfg.audit = true;
+        let mut plain_cfg = audited_cfg.clone();
+        plain_cfg.audit = false;
+        // The auditor panics inside the sweep on any violation, so a
+        // returned result is certified clean; and observers are passive,
+        // so the numbers match the unaudited sweep exactly.
+        let audited = sweep(quick_cfg(PolicyKind::Ls), &audited_cfg);
+        let plain = sweep(quick_cfg(PolicyKind::Ls), &plain_cfg);
+        for (a, p) in audited.iter().zip(&plain) {
+            assert_eq!(a.outcome.response.mean, p.outcome.response.mean);
+            assert_eq!(a.outcome.gross_utilization, p.outcome.gross_utilization);
         }
     }
 

@@ -101,9 +101,8 @@ impl Placement {
     }
 
     /// Builds a placement from a borrowed slice of pairs — the hot-path
-    /// constructor: placements of at most [`INLINE_ASSIGNMENTS`]
-    /// components (every real configuration) are stored inline with no
-    /// heap allocation.
+    /// constructor: placements of at most four components (every real
+    /// configuration) are stored inline with no heap allocation.
     ///
     /// # Panics
     /// Same validation as [`Placement::new`].

@@ -8,7 +8,9 @@
 //! multicluster scheduling policies compared against single-cluster FCFS
 //! (SC).
 //!
-//! Start with [`SimConfig::das`] / [`sim::run`] for a single run, or
+//! Start with [`SimConfig::das`] and [`SimBuilder`] for a single run
+//! (`SimBuilder::new(&cfg).run()`), [`SystemSpec`] +
+//! [`SimConfig::heterogeneous`] for non-DAS cluster geometries, or
 //! [`experiment`] for the response-time-vs-utilization sweeps behind the
 //! paper's figures and [`saturation`] for the maximal-utilization
 //! measurements behind Table 3.
@@ -58,8 +60,9 @@ pub use saturation::{
     bisect_max_utilization, bisect_max_utilization_replicated, maximal_utilization, ProbePlan,
     SaturationConfig, SaturationResult,
 };
+pub use sim::{mean_response, OccupancyModel, Session, SimBuilder, SimConfig, SimOutcome, Warmup};
+#[allow(deprecated)]
 pub use sim::{
     run, run_observed, run_trace, run_with_feed, run_with_feed_observed, run_with_scheduler,
-    OccupancyModel, SimConfig, SimOutcome, Warmup,
 };
-pub use system::MultiCluster;
+pub use system::{MultiCluster, SystemSpec, SystemSpecError};

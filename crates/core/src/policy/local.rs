@@ -1,0 +1,152 @@
+//! Shared skeleton of the local-queue policies (LS and LP).
+//!
+//! Both §2.5 policies route jobs to per-cluster FCFS queues, try the
+//! head of an enabled queue against a placement scope, start it on a
+//! fit, and disable the queue until the next departure on a miss. The
+//! policies differ only in *which* jobs reach the local queues, the
+//! scope a head is placed under, and what happens around the attempt
+//! (LS maintains a visit order; LP gates a global queue) — so the
+//! queue-set plumbing and the try-start step live here and the policy
+//! files keep only their distinguishing logic.
+
+use coalloc_workload::QueueRouting;
+use desim::{RngStream, SimTime};
+
+use crate::audit::{PlacementScope, SimObserver};
+use crate::job::{ActiveJob, JobId, JobTable, SubmitQueue};
+use crate::placement::{place_scoped_observed, PlacementRule};
+use crate::queue::QueueSet;
+use crate::system::MultiCluster;
+
+/// What happened when a local queue's head was offered to the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TryStart {
+    /// The head fitted and started.
+    Started(JobId),
+    /// The head did not fit; the queue is now disabled until the next
+    /// departure.
+    Disabled,
+    /// The queue was empty.
+    Empty,
+}
+
+/// The per-cluster queue machinery shared by LS and LP: a [`QueueSet`],
+/// the routing of arrivals to queues, the routing RNG and the placement
+/// rule.
+#[derive(Debug)]
+pub(crate) struct LocalQueues {
+    queues: QueueSet,
+    routing: QueueRouting,
+    rng: RngStream,
+    rule: PlacementRule,
+}
+
+impl LocalQueues {
+    pub(crate) fn new(
+        clusters: usize,
+        routing: QueueRouting,
+        rng: RngStream,
+        rule: PlacementRule,
+    ) -> Self {
+        assert_eq!(routing.queues(), clusters, "routing must cover exactly the local queues");
+        LocalQueues { queues: QueueSet::new(clusters), routing, rng, rule }
+    }
+
+    /// The placement rule both policies thread into every attempt.
+    pub(crate) fn rule(&self) -> PlacementRule {
+        self.rule
+    }
+
+    /// Number of local queues (= clusters).
+    pub(crate) fn len(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Whether queue `q` is currently enabled.
+    pub(crate) fn is_enabled(&self, q: usize) -> bool {
+        self.queues.queue(q).is_enabled()
+    }
+
+    /// Whether queue `q` is empty.
+    pub(crate) fn is_empty(&self, q: usize) -> bool {
+        self.queues.queue(q).is_empty()
+    }
+
+    /// Appends a job to queue `q`.
+    pub(crate) fn push(&mut self, q: usize, id: JobId) {
+        self.queues.push(q, id);
+    }
+
+    /// Draws a queue index from the routing distribution.
+    pub(crate) fn pick(&mut self) -> usize {
+        self.routing.pick(&mut self.rng)
+    }
+
+    /// Total jobs waiting across all local queues (O(1)).
+    pub(crate) fn total_queued(&self) -> usize {
+        self.queues.total_queued()
+    }
+
+    /// Whether at least one local queue is empty (LP's global gate).
+    pub(crate) fn any_empty(&self) -> bool {
+        self.queues.any_empty()
+    }
+
+    /// Re-enables all queues (LP's departure rule).
+    pub(crate) fn enable_all(&mut self) {
+        self.queues.enable_all();
+    }
+
+    /// Re-enables all queues, appending the re-enabled indices in
+    /// disable order (LS's departure rule feeding its visit order).
+    pub(crate) fn enable_all_into(&mut self, out: &mut Vec<usize>) {
+        self.queues.enable_all_into(out);
+    }
+
+    /// Appends every queue's length (used by `queue_lengths_into`).
+    pub(crate) fn lengths_into(&self, out: &mut Vec<usize>) {
+        out.extend((0..self.queues.len()).map(|i| self.queues.queue(i).len()));
+    }
+
+    /// Offers the head of queue `q` to the system under the scope
+    /// `scope_for` chooses for it. On a fit the processors are applied,
+    /// the job is marked started and popped; on a miss the queue is
+    /// disabled (observed) until the next departure. Allocation-free.
+    pub(crate) fn try_start(
+        &mut self,
+        q: usize,
+        now: SimTime,
+        system: &mut MultiCluster,
+        table: &mut JobTable,
+        obs: &mut dyn SimObserver,
+        scope_for: impl FnOnce(&ActiveJob) -> PlacementScope,
+    ) -> TryStart {
+        let Some(head) = self.queues.queue(q).head() else {
+            return TryStart::Empty;
+        };
+        let job = table.get(head);
+        let scope = scope_for(job);
+        let placement = place_scoped_observed(
+            system.idle_per_cluster(),
+            &job.spec.request,
+            scope,
+            self.rule,
+            now,
+            head,
+            SubmitQueue::Local(q),
+            obs,
+        );
+        match placement {
+            Some(p) => {
+                system.apply(&p);
+                table.mark_started(head, p, now);
+                self.queues.pop(q);
+                TryStart::Started(head)
+            }
+            None => {
+                self.queues.disable_observed(q, now, obs);
+                TryStart::Disabled
+            }
+        }
+    }
+}

@@ -20,20 +20,18 @@ use desim::{RngStream, SimTime};
 use crate::audit::{PlacementScope, SimObserver};
 use crate::job::{JobId, JobTable, SubmitQueue};
 use crate::placement::{place_scoped_observed, PlacementRule};
-use crate::queue::{JobQueue, QueueSet};
+use crate::queue::JobQueue;
 use crate::system::MultiCluster;
 
+use super::local::{LocalQueues, TryStart};
 use super::Scheduler;
 
 /// The LP policy: per-cluster local queues for single-component jobs, one
 /// low-priority global queue for multi-component jobs.
 #[derive(Debug)]
 pub struct LocalPriority {
-    locals: QueueSet,
+    locals: LocalQueues,
     global: JobQueue,
-    routing: QueueRouting,
-    rng: RngStream,
-    rule: PlacementRule,
 }
 
 impl LocalPriority {
@@ -45,13 +43,9 @@ impl LocalPriority {
         rng: RngStream,
         rule: PlacementRule,
     ) -> Self {
-        assert_eq!(routing.queues(), clusters, "routing must cover exactly the local queues");
         LocalPriority {
-            locals: QueueSet::new(clusters),
+            locals: LocalQueues::new(clusters, routing, rng, rule),
             global: JobQueue::new(),
-            routing,
-            rng,
-            rule,
         }
     }
 
@@ -73,7 +67,7 @@ impl LocalPriority {
             system.idle_per_cluster(),
             &table.get(head).spec.request,
             PlacementScope::System,
-            self.rule,
+            self.locals.rule(),
             now,
             head,
             SubmitQueue::Global,
@@ -88,46 +82,6 @@ impl LocalPriority {
             }
             None => {
                 self.global.disable_observed(now, SubmitQueue::Global, obs);
-                None
-            }
-        }
-    }
-
-    fn try_start_local(
-        &mut self,
-        q: usize,
-        now: SimTime,
-        system: &mut MultiCluster,
-        table: &mut JobTable,
-        obs: &mut dyn SimObserver,
-    ) -> Option<JobId> {
-        let head = self.locals.queue(q).head()?;
-        let job = table.get(head);
-        // Ordered single-component jobs name their cluster themselves.
-        let scope = if job.spec.request.kind() == RequestKind::Ordered {
-            PlacementScope::System
-        } else {
-            PlacementScope::Cluster(q)
-        };
-        let placement = place_scoped_observed(
-            system.idle_per_cluster(),
-            &job.spec.request,
-            scope,
-            self.rule,
-            now,
-            head,
-            SubmitQueue::Local(q),
-            obs,
-        );
-        match placement {
-            Some(p) => {
-                system.apply(&p);
-                table.mark_started(head, p, now);
-                self.locals.pop(q);
-                Some(head)
-            }
-            None => {
-                self.locals.disable_observed(q, now, obs);
                 None
             }
         }
@@ -147,7 +101,7 @@ impl Scheduler for LocalPriority {
             // cluster it names.
             SubmitQueue::Local(spec.request.targets().expect("ordered")[0])
         } else {
-            SubmitQueue::Local(self.routing.pick(&mut self.rng))
+            SubmitQueue::Local(self.locals.pick())
         }
     }
 
@@ -186,15 +140,25 @@ impl Scheduler for LocalPriority {
                 }
             }
             for q in 0..self.locals.len() {
-                if !self.locals.queue(q).is_enabled() {
+                if !self.locals.is_enabled(q) {
                     continue;
                 }
-                if let Some(id) = self.try_start_local(q, now, system, table, obs) {
+                // Ordered single-component jobs name their cluster
+                // themselves; everything else is confined to the queue's
+                // own cluster.
+                let attempt = self.locals.try_start(q, now, system, table, obs, |job| {
+                    if job.spec.request.kind() == RequestKind::Ordered {
+                        PlacementScope::System
+                    } else {
+                        PlacementScope::Cluster(q)
+                    }
+                });
+                if let TryStart::Started(id) = attempt {
                     started.push(id);
                     progress = true;
                     // "The global queue is enabled … when at least one of
                     // the local queues gets empty."
-                    if self.locals.queue(q).is_empty() {
+                    if self.locals.is_empty(q) {
                         self.global.enable();
                     }
                 }
@@ -214,7 +178,7 @@ impl Scheduler for LocalPriority {
     }
 
     fn queue_lengths_into(&self, out: &mut Vec<usize>) {
-        out.extend((0..self.locals.len()).map(|i| self.locals.queue(i).len()));
+        self.locals.lengths_into(out);
         out.push(self.global.len());
     }
 }

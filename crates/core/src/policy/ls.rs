@@ -21,25 +21,22 @@ use desim::{RngStream, SimTime};
 
 use crate::audit::{PlacementScope, SimObserver};
 use crate::job::{JobId, JobTable, SubmitQueue};
-use crate::placement::{place_scoped_observed, PlacementRule};
-use crate::queue::QueueSet;
+use crate::placement::PlacementRule;
 use crate::system::MultiCluster;
 
+use super::local::{LocalQueues, TryStart};
 use super::Scheduler;
 
 /// The LS policy: one local FCFS queue per cluster.
 #[derive(Debug)]
 pub struct LocalSchedulers {
-    queues: QueueSet,
+    locals: LocalQueues,
     /// Enabled queues in visiting order: initially cluster order; queues
     /// drop out when disabled and re-join in disable order at departures.
     visit: Vec<usize>,
     /// Per-round snapshot of `visit`, reused across passes so a round
     /// allocates nothing once its capacity covers the clusters.
     round: Vec<usize>,
-    routing: QueueRouting,
-    rng: RngStream,
-    rule: PlacementRule,
 }
 
 impl LocalSchedulers {
@@ -51,58 +48,10 @@ impl LocalSchedulers {
         rng: RngStream,
         rule: PlacementRule,
     ) -> Self {
-        assert_eq!(routing.queues(), clusters, "routing must cover exactly the local queues");
         LocalSchedulers {
-            queues: QueueSet::new(clusters),
+            locals: LocalQueues::new(clusters, routing, rng, rule),
             visit: (0..clusters).collect(),
             round: Vec::with_capacity(clusters),
-            routing,
-            rng,
-            rule,
-        }
-    }
-
-    fn try_start(
-        &mut self,
-        q: usize,
-        now: SimTime,
-        system: &mut MultiCluster,
-        table: &mut JobTable,
-        obs: &mut dyn SimObserver,
-    ) -> Option<JobId> {
-        let head = self.queues.queue(q).head()?;
-        let job = table.get(head);
-        // Multi-component jobs are co-allocated over the whole system;
-        // single-component jobs run only on the local cluster — except
-        // ordered requests, which name their cluster themselves.
-        let scope =
-            if job.spec.request.is_multi() || job.spec.request.kind() == RequestKind::Ordered {
-                PlacementScope::System
-            } else {
-                PlacementScope::Cluster(q)
-            };
-        let placement = place_scoped_observed(
-            system.idle_per_cluster(),
-            &job.spec.request,
-            scope,
-            self.rule,
-            now,
-            head,
-            SubmitQueue::Local(q),
-            obs,
-        );
-        match placement {
-            Some(p) => {
-                system.apply(&p);
-                table.mark_started(head, p, now);
-                self.queues.pop(q);
-                Some(head)
-            }
-            None => {
-                self.queues.disable_observed(q, now, obs);
-                self.visit.retain(|&x| x != q);
-                None
-            }
         }
     }
 }
@@ -113,12 +62,12 @@ impl Scheduler for LocalSchedulers {
     }
 
     fn route(&mut self, _spec: &JobSpec) -> SubmitQueue {
-        SubmitQueue::Local(self.routing.pick(&mut self.rng))
+        SubmitQueue::Local(self.locals.pick())
     }
 
     fn enqueue(&mut self, id: JobId, queue: SubmitQueue) {
         match queue {
-            SubmitQueue::Local(q) => self.queues.push(q, id),
+            SubmitQueue::Local(q) => self.locals.push(q, id),
             SubmitQueue::Global => panic!("LS has no global queue"),
         }
     }
@@ -126,7 +75,7 @@ impl Scheduler for LocalSchedulers {
     fn on_departure(&mut self) {
         // Disabled queues re-join the visit order in disable order,
         // appended straight into the reused `visit` buffer.
-        self.queues.enable_all_into(&mut self.visit);
+        self.locals.enable_all_into(&mut self.visit);
     }
 
     fn schedule_into(
@@ -148,12 +97,29 @@ impl Scheduler for LocalSchedulers {
             round.clear();
             round.extend_from_slice(&self.visit);
             for &q in &round {
-                if !self.queues.queue(q).is_enabled() {
+                if !self.locals.is_enabled(q) {
                     continue; // disabled earlier in this pass
                 }
-                if let Some(id) = self.try_start(q, now, system, table, obs) {
-                    started.push(id);
-                    progress = true;
+                // Multi-component jobs are co-allocated over the whole
+                // system; single-component jobs run only on the local
+                // cluster — except ordered requests, which name their
+                // cluster themselves.
+                let attempt = self.locals.try_start(q, now, system, table, obs, |job| {
+                    if job.spec.request.is_multi()
+                        || job.spec.request.kind() == RequestKind::Ordered
+                    {
+                        PlacementScope::System
+                    } else {
+                        PlacementScope::Cluster(q)
+                    }
+                });
+                match attempt {
+                    TryStart::Started(id) => {
+                        started.push(id);
+                        progress = true;
+                    }
+                    TryStart::Disabled => self.visit.retain(|&x| x != q),
+                    TryStart::Empty => {}
                 }
             }
             if !progress {
@@ -164,15 +130,15 @@ impl Scheduler for LocalSchedulers {
     }
 
     fn queued(&self) -> usize {
-        self.queues.total_queued()
+        self.locals.total_queued()
     }
 
     fn num_queues(&self) -> usize {
-        self.queues.len()
+        self.locals.len()
     }
 
     fn queue_lengths_into(&self, out: &mut Vec<usize>) {
-        out.extend((0..self.queues.len()).map(|i| self.queues.queue(i).len()));
+        self.locals.lengths_into(out);
     }
 }
 

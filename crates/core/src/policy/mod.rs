@@ -7,6 +7,7 @@
 
 mod gb;
 mod gs;
+mod local;
 mod lp;
 mod ls;
 mod sc;
@@ -23,7 +24,7 @@ use desim::{RngStream, SimTime};
 use crate::audit::{NullObserver, SimObserver};
 use crate::job::{JobId, JobTable, SubmitQueue};
 use crate::placement::PlacementRule;
-use crate::system::MultiCluster;
+use crate::system::{MultiCluster, SystemSpec};
 
 /// A co-allocation scheduling policy.
 ///
@@ -171,17 +172,18 @@ impl PolicyKind {
         matches!(self, PolicyKind::Ls | PolicyKind::Lp)
     }
 
-    /// Builds the scheduler for a system of `clusters` clusters. `routing`
-    /// is used by LS (all jobs) and LP (single-component jobs); `rng`
-    /// drives routing decisions; `rule` is the placement rule (the paper
-    /// uses Worst Fit).
+    /// Builds the scheduler for the given system. `routing` is used by
+    /// LS (all jobs) and LP (single-component jobs) and must have one
+    /// weight per cluster of `system`; `rng` drives routing decisions;
+    /// `rule` is the placement rule (the paper uses Worst Fit).
     pub fn build(
         self,
-        clusters: usize,
+        system: &SystemSpec,
         routing: QueueRouting,
         rng: RngStream,
         rule: PlacementRule,
     ) -> Box<dyn Scheduler> {
+        let clusters = system.num_clusters();
         match self {
             PolicyKind::Gs => Box::new(GlobalScheduler::new(rule)),
             PolicyKind::Ls => Box::new(LocalSchedulers::new(clusters, routing, rng, rule)),

@@ -18,7 +18,7 @@ use desim::{RngStream, SimTime, Simulation};
 use crate::job::{ActiveJob, JobId, JobTable};
 use crate::placement::PlacementRule;
 use crate::policy::{PolicyKind, Scheduler};
-use crate::system::MultiCluster;
+use crate::system::{MultiCluster, SystemSpec};
 
 /// Configuration of a constant-backlog saturation run.
 #[derive(Clone, Debug)]
@@ -29,8 +29,8 @@ pub struct SaturationConfig {
     pub workload: Workload,
     /// Routing of backlog refills to local queues (LS/LP).
     pub routing: QueueRouting,
-    /// Cluster capacities.
-    pub capacities: Vec<u32>,
+    /// The system's shape: cluster count and per-cluster capacities.
+    pub system: SystemSpec,
     /// Backlog floor: refill whenever fewer jobs wait.
     pub backlog: usize,
     /// Departures to discard as warm-up.
@@ -51,7 +51,7 @@ impl SaturationConfig {
             policy: PolicyKind::Gs,
             workload: Workload::das(limit),
             routing: QueueRouting::balanced(4),
-            capacities: vec![32; 4],
+            system: SystemSpec::das_multicluster(),
             backlog: 50,
             warmup_departures: 3_000,
             measured_departures: 30_000,
@@ -67,13 +67,13 @@ impl SaturationConfig {
             policy: PolicyKind::Sc,
             workload: Workload::single_cluster(),
             routing: QueueRouting::balanced(1),
-            capacities: vec![128],
+            system: SystemSpec::das_single_cluster(),
             ..SaturationConfig::das_gs(16)
         }
     }
 
     fn capacity(&self) -> u32 {
-        self.capacities.iter().sum()
+        self.system.total_capacity()
     }
 }
 
@@ -103,9 +103,9 @@ pub fn maximal_utilization(cfg: &SaturationConfig) -> SaturationResult {
     let mut service_rng = master.labelled("service");
     let routing_rng = master.labelled("routing");
 
-    let mut system = MultiCluster::new(&cfg.capacities);
+    let mut system = MultiCluster::from_spec(&cfg.system);
     let mut policy: Box<dyn Scheduler> =
-        cfg.policy.build(cfg.capacities.len(), cfg.routing.clone(), routing_rng, cfg.rule);
+        cfg.policy.build(&cfg.system, cfg.routing.clone(), routing_rng, cfg.rule);
     let mut table = JobTable::new();
 
     let mut sim: Simulation<JobId> = Simulation::new();
@@ -220,7 +220,7 @@ impl ProbePlan {
             self.threads
         }
         .clamp(1, cfgs.len());
-        let outcomes = crate::experiment::run_parallel(&cfgs, threads);
+        let outcomes = crate::experiment::run_parallel(&cfgs, threads, false);
         let votes = outcomes.iter().filter(|o| o.saturated).count();
         2 * votes > outcomes.len()
     }

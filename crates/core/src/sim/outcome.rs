@@ -1,0 +1,69 @@
+//! What a run reports, and how started jobs occupy their processors.
+
+use coalloc_workload::Workload;
+use desim::Duration;
+
+use crate::job::ActiveJob;
+use crate::metrics::MetricsReport;
+
+/// The outcome of one simulation run.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct SimOutcome {
+    /// Policy label.
+    pub policy: String,
+    /// The offered gross utilization (from the arrival rate).
+    pub offered_gross_utilization: f64,
+    /// Everything measured in the observation window.
+    pub metrics: MetricsReport,
+    /// Arrivals generated.
+    pub arrivals: u64,
+    /// Jobs completed over the whole run.
+    pub completed: u64,
+    /// Jobs still waiting in queues when the run ended.
+    pub residual_queued: usize,
+    /// Jobs waiting at the instant the last arrival was generated — the
+    /// backlog an ever-running system would carry.
+    pub backlog_at_last_arrival: usize,
+    /// Largest backlog seen during the run.
+    pub peak_backlog: usize,
+    /// Whether the run shows saturation: at the end of the arrival
+    /// process a substantial fraction of all jobs was still waiting
+    /// (queues grow without bound in steady state).
+    pub saturated: bool,
+    /// Final simulated time in seconds.
+    pub end_time: f64,
+    /// Raw response series (empty unless `record_series` was set).
+    pub response_series: Vec<f64>,
+}
+
+/// How the wide-area extension enters a started job's occupancy.
+///
+/// [`OccupancyModel::Faithful`] is the paper's model and what every
+/// public entry point uses. The broken variants are seeded bugs for
+/// mutation-testing the [`crate::audit::InvariantAuditor`] — they exist
+/// so the test suite can prove the auditor catches a mis-applied
+/// extension factor in the *full* simulation loop, not a synthetic
+/// event stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OccupancyModel {
+    /// Base service × extension factor for the spanned clusters,
+    /// applied exactly once (§2.4).
+    #[default]
+    Faithful,
+    /// The extension factor applied twice to multi-cluster jobs (a
+    /// seeded bug).
+    DoubleExtension,
+}
+
+impl OccupancyModel {
+    pub(crate) fn occupancy(self, job: &ActiveJob, workload: &Workload) -> Duration {
+        let faithful = job.occupancy_in(workload);
+        match self {
+            OccupancyModel::Faithful => faithful,
+            OccupancyModel::DoubleExtension => {
+                let span = job.placement.as_ref().map_or(1, |p| p.assignments().len());
+                faithful.scaled(workload.extension_factor(span))
+            }
+        }
+    }
+}

@@ -1,0 +1,614 @@
+//! The layered Session engine: arrivals, scheduling passes, departures.
+//!
+//! [`SimBuilder`] is the single front door: it resolves the warm-up
+//! lifecycle, builds the feed and the scheduler, and hands a fully
+//! wired [`Session`] its event loop. The legacy `run*` free functions
+//! are thin deprecated shims over it (see the module docs of
+//! [`crate::sim`]).
+
+use coalloc_workload::JobSpec;
+use desim::{Duration, RngStream, SimTime, Simulation};
+
+use crate::audit::{NullObserver, PassTrigger, SimObserver};
+use crate::feed::{JobFeed, StochasticFeed, TraceFeed};
+use crate::job::{ActiveJob, JobId, JobTable};
+use crate::metrics::Metrics;
+use crate::policy::Scheduler;
+use crate::system::MultiCluster;
+
+use super::config::{SimConfig, Warmup};
+use super::outcome::{OccupancyModel, SimOutcome};
+use super::warmup::resolve_auto_warmup;
+
+/// Events driving the co-allocation simulation.
+#[derive(Debug, Clone, Copy)]
+enum SimEvent {
+    /// The next job arrives.
+    Arrival,
+    /// A running job finishes and releases its processors.
+    Departure(JobId),
+}
+
+/// Builds and runs simulation [`Session`]s from a [`SimConfig`].
+///
+/// The builder owns the run's two optional knobs — an explicitly
+/// supplied scheduler (bypassing [`crate::policy::PolicyKind::build`];
+/// the seam the mutation tests use) and a non-faithful
+/// [`OccupancyModel`] — and offers one `run*` method per feed kind:
+///
+/// * [`SimBuilder::run`] / [`SimBuilder::run_observed`] — stochastic
+///   feed sampled from the config's workload;
+/// * [`SimBuilder::run_trace`] / [`SimBuilder::run_trace_observed`] —
+///   trace replay;
+/// * [`SimBuilder::run_feed`] / [`SimBuilder::run_feed_observed`] — any
+///   caller-supplied [`JobFeed`].
+///
+/// ```
+/// use coalloc_core::{PolicyKind, SimBuilder, SimConfig};
+/// let mut cfg = SimConfig::das(PolicyKind::Gs, 16, 0.4);
+/// cfg.total_jobs = 2_000;
+/// cfg.warmup_jobs = 200;
+/// let outcome = SimBuilder::new(&cfg).run();
+/// assert_eq!(outcome.arrivals, 2_000);
+/// ```
+pub struct SimBuilder<'a> {
+    cfg: &'a SimConfig,
+    model: OccupancyModel,
+    scheduler: Option<Box<dyn Scheduler>>,
+}
+
+impl<'a> SimBuilder<'a> {
+    /// Starts a builder for the given configuration.
+    pub fn new(cfg: &'a SimConfig) -> Self {
+        SimBuilder { cfg, model: OccupancyModel::Faithful, scheduler: None }
+    }
+
+    /// Replaces the occupancy model (mutation testing only; the default
+    /// is the paper's [`OccupancyModel::Faithful`]).
+    pub fn occupancy(mut self, model: OccupancyModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Supplies an explicit scheduler instead of building one from the
+    /// config's policy. The config's `policy` field then only labels
+    /// the outcome (and configures the auditor).
+    pub fn scheduler(mut self, policy: Box<dyn Scheduler>) -> Self {
+        self.scheduler = Some(policy);
+        self
+    }
+
+    /// Runs one simulation to completion (all arrivals generated, then
+    /// the system drained of *running* jobs; waiting jobs that can never
+    /// start are left queued and reported).
+    pub fn run(self) -> SimOutcome {
+        self.run_observed(&mut NullObserver)
+    }
+
+    /// [`SimBuilder::run`] with an observer attached (see
+    /// [`crate::audit`]). Observers are passive: the outcome is
+    /// bit-identical to the unobserved run's.
+    pub fn run_observed<O: SimObserver>(self, obs: &mut O) -> SimOutcome {
+        self.cfg.validate();
+        if self.cfg.warmup == Warmup::Auto {
+            let resolved = resolve_auto_warmup(self.cfg, |pilot| SimBuilder::new(pilot).run());
+            let rebuilt =
+                SimBuilder { cfg: &resolved, model: self.model, scheduler: self.scheduler };
+            return rebuilt.run_observed(obs);
+        }
+        let master = RngStream::new(self.cfg.seed);
+        let mut feed = StochasticFeed::new(
+            self.cfg.workload.clone(),
+            self.cfg.arrival_rate,
+            self.cfg.arrival_cv2,
+            self.cfg.total_jobs,
+            &master,
+        );
+        let offered = self.cfg.offered_gross_utilization();
+        self.run_feed_observed(&mut feed, offered, obs)
+    }
+
+    /// Runs a *trace-driven* simulation: the log's submit times
+    /// (compressed by `time_scale`; values < 1 raise the offered load),
+    /// sizes (split under the workload's limit) and runtimes replace the
+    /// stochastic sampling. The workload's size/service distributions
+    /// are ignored; its limit, clusters and extension model still apply.
+    pub fn run_trace(self, trace: &coalloc_trace::Trace, time_scale: f64) -> SimOutcome {
+        self.run_trace_observed(trace, time_scale, &mut NullObserver)
+    }
+
+    /// [`SimBuilder::run_trace`] with an observer attached.
+    pub fn run_trace_observed<O: SimObserver>(
+        self,
+        trace: &coalloc_trace::Trace,
+        time_scale: f64,
+        obs: &mut O,
+    ) -> SimOutcome {
+        let mut cfg = self.cfg.clone();
+        let mut feed = TraceFeed::new(trace, cfg.workload.limit, cfg.workload.clusters, time_scale);
+        // The feed drops zero-runtime records (cancelled jobs); the run
+        // is sized by what will actually be replayed, not the raw log
+        // length.
+        cfg.total_jobs = feed.len() as u64;
+        cfg.validate();
+        if cfg.warmup == Warmup::Auto {
+            // The pilot replays the same trace (replay is deterministic),
+            // so MSER judges exactly the series the measured run will
+            // produce.
+            cfg = resolve_auto_warmup(&cfg, |pilot| {
+                SimBuilder::new(pilot).run_trace(trace, time_scale)
+            });
+        }
+        // Offered gross utilization of the replay: the trace's gross
+        // work over its (scaled) span times the capacity.
+        let span = trace.jobs.last().expect("non-empty").submit * time_scale;
+        let ratio = cfg.workload.gross_net_ratio();
+        let work: f64 =
+            trace.jobs.iter().map(|j| f64::from(j.size) * j.runtime).sum::<f64>() * ratio;
+        let offered = if span > 0.0 { work / (span * f64::from(cfg.capacity())) } else { f64::NAN };
+        let rebuilt = SimBuilder { cfg: &cfg, model: self.model, scheduler: self.scheduler };
+        rebuilt.run_feed_observed(&mut feed, offered, obs)
+    }
+
+    /// The shared event loop, driven by any [`JobFeed`].
+    pub fn run_feed(self, feed: &mut dyn JobFeed, offered: f64) -> SimOutcome {
+        self.run_feed_observed(feed, offered, &mut NullObserver)
+    }
+
+    /// [`SimBuilder::run_feed`] with an observer attached. Generic over
+    /// the observer so the [`NullObserver`] path monomorphizes to the
+    /// unobserved loop (every hook is an empty inlined default).
+    pub fn run_feed_observed<O: SimObserver>(
+        self,
+        feed: &mut dyn JobFeed,
+        offered: f64,
+        obs: &mut O,
+    ) -> SimOutcome {
+        self.cfg.validate();
+        let mut policy = match self.scheduler {
+            Some(policy) => policy,
+            None => {
+                let routing_rng = RngStream::new(self.cfg.seed).labelled("routing");
+                self.cfg.policy.build(
+                    &self.cfg.system,
+                    self.cfg.routing.clone(),
+                    routing_rng,
+                    self.cfg.rule,
+                )
+            }
+        };
+        Session::new(self.cfg, feed, policy.as_mut(), obs, offered, self.model).run()
+    }
+}
+
+/// The growing-and-draining state of one run: the machine the event
+/// loop mutates. Split out of [`Session`] so arrivals, departures and
+/// scheduling passes each read as a focused step over named state.
+struct EngineState {
+    system: MultiCluster,
+    table: JobTable,
+    metrics: Metrics,
+    sim: Simulation<SimEvent>,
+    /// The spec of the next scheduled Arrival event.
+    pending: Option<JobSpec>,
+    /// Caller-owned scratch for the scheduling pass (see the Scheduler
+    /// trait's allocation-free contract): cleared per pass, capacity
+    /// reused for the whole run.
+    started: Vec<JobId>,
+    generated: u64,
+    completed: u64,
+    backlog_at_last_arrival: usize,
+    peak_backlog: usize,
+}
+
+/// One fully wired simulation: a config, a feed, a scheduler and an
+/// observer, ready to run the event loop to completion.
+///
+/// Sessions are normally built by [`SimBuilder`]; construct one directly
+/// only when you already own all four pieces (e.g. an external harness
+/// with its own scheduler implementation).
+pub struct Session<'a, F, S, O>
+where
+    F: JobFeed + ?Sized,
+    S: Scheduler + ?Sized,
+    O: SimObserver,
+{
+    cfg: &'a SimConfig,
+    feed: &'a mut F,
+    scheduler: &'a mut S,
+    observer: &'a mut O,
+    offered: f64,
+    model: OccupancyModel,
+}
+
+impl<'a, F, S, O> Session<'a, F, S, O>
+where
+    F: JobFeed + ?Sized,
+    S: Scheduler + ?Sized,
+    O: SimObserver,
+{
+    /// Wires a session together. `offered` is the offered gross
+    /// utilization reported in the outcome (the feed knows it; the
+    /// session does not derive it).
+    pub fn new(
+        cfg: &'a SimConfig,
+        feed: &'a mut F,
+        scheduler: &'a mut S,
+        observer: &'a mut O,
+        offered: f64,
+        model: OccupancyModel,
+    ) -> Self {
+        cfg.validate();
+        Session { cfg, feed, scheduler, observer, offered, model }
+    }
+
+    /// Runs the event loop to completion and reports the outcome.
+    pub fn run(mut self) -> SimOutcome {
+        let mut st = self.init();
+        while let Some(ev) = st.sim.step() {
+            let now = st.sim.now();
+            let trigger = match ev.payload {
+                SimEvent::Arrival => self.arrival(&mut st, now),
+                SimEvent::Departure(id) => self.departure(&mut st, now, id),
+            };
+            // A scheduling pass follows every arrival and every departure.
+            self.pass(&mut st, now, trigger);
+        }
+        self.finish(st)
+    }
+
+    /// Builds the engine state and primes the first arrival.
+    fn init(&mut self) -> EngineState {
+        let mut metrics =
+            Metrics::new(self.cfg.capacity(), self.scheduler.num_queues(), self.cfg.batch_size);
+        if self.cfg.record_series {
+            metrics.record_series();
+        }
+        let mut st = EngineState {
+            system: MultiCluster::from_spec(&self.cfg.system),
+            table: JobTable::with_capacity(self.cfg.total_jobs as usize),
+            metrics,
+            sim: Simulation::new(),
+            pending: None,
+            started: Vec::new(),
+            generated: 0,
+            completed: 0,
+            backlog_at_last_arrival: 0,
+            peak_backlog: 0,
+        };
+        if let Some((t, spec)) = self.feed.next_job() {
+            st.pending = Some(spec);
+            st.sim.schedule_at(t, SimEvent::Arrival);
+        }
+        st
+    }
+
+    /// One arrival: route, record, enqueue, and draw the next arrival
+    /// from the feed.
+    fn arrival(&mut self, st: &mut EngineState, now: SimTime) -> PassTrigger {
+        st.generated += 1;
+        let spec = st.pending.take().expect("an Arrival always has a pending spec");
+        let queue = self.scheduler.route(&spec);
+        let id = st.table.insert(ActiveJob::new(spec, now, queue));
+        self.observer.on_arrival(now, id, st.table.get(id));
+        self.scheduler.enqueue(id, queue);
+        self.observer.on_enqueue(now, id, queue);
+        st.metrics.record_arrival(now);
+        if let Some((t, spec)) = self.feed.next_job() {
+            st.pending = Some(spec);
+            st.sim.schedule_at(t.max(now), SimEvent::Arrival);
+        } else {
+            st.backlog_at_last_arrival = self.scheduler.queued();
+        }
+        PassTrigger::Arrival
+    }
+
+    /// One departure: release processors, measure the job (outside the
+    /// warm-up window), and let the policy re-enable queues.
+    fn departure(&mut self, st: &mut EngineState, now: SimTime, id: JobId) -> PassTrigger {
+        // Borrow the placement out of the table for the release
+        // (it stays the job's state); cloning it here would put
+        // one heap round-trip on every departure.
+        let job = st.table.get(id);
+        let placement = job.placement.as_ref().expect("departing job was started");
+        st.system.release(placement);
+        let released = placement.total();
+        self.observer.on_completion(now, id, job);
+        st.metrics.record_release(now, released);
+        st.metrics.record_exit(now);
+        st.completed += 1;
+        if st.completed == self.cfg.warmup_jobs {
+            st.metrics.reset_window(now);
+        } else if st.completed >= self.cfg.warmup_jobs {
+            st.metrics.record_departure(now, job);
+        }
+        self.scheduler.on_departure();
+        PassTrigger::Departure
+    }
+
+    /// One scheduling pass: start everything that fits, schedule the
+    /// departures of the started jobs, and track the backlog.
+    fn pass(&mut self, st: &mut EngineState, now: SimTime, trigger: PassTrigger) {
+        self.observer.on_pass(now, trigger);
+        st.started.clear();
+        self.scheduler.schedule_into(
+            now,
+            &mut st.system,
+            &mut st.table,
+            self.observer,
+            &mut st.started,
+        );
+        self.observer.on_pass_end(now, &st.started);
+        for &id in &st.started {
+            let job = st.table.get(id);
+            let occupancy: Duration = self.model.occupancy(job, &self.cfg.workload);
+            let procs = job.spec.request.total();
+            self.observer.on_start(now, id, job, occupancy);
+            st.metrics.record_allocate(now, procs);
+            st.sim.schedule_at(now + occupancy, SimEvent::Departure(id));
+        }
+        let queued_now = self.scheduler.queued();
+        st.metrics.record_queue_length(now, queued_now);
+        st.peak_backlog = st.peak_backlog.max(queued_now);
+        debug_assert!(
+            st.system.total_busy() <= self.cfg.capacity(),
+            "more processors busy than exist"
+        );
+    }
+
+    /// Ends the run: final observer hook, saturation heuristic, report.
+    fn finish(self, mut st: EngineState) -> SimOutcome {
+        let now = st.sim.now();
+        self.observer.on_run_end(now);
+        let residual = self.scheduler.queued();
+        // Saturation heuristic: if a non-trivial share of all generated
+        // jobs was still waiting when the arrival process ended, the
+        // queues were growing without bound (the post-arrival drain
+        // always empties them, so the *final* residual is not
+        // informative; jobs that can never fit are the exception and
+        // show up in `residual_queued`).
+        let saturated = st.backlog_at_last_arrival as f64
+            > (0.02 * self.cfg.total_jobs as f64).max(50.0)
+            || residual > 0;
+
+        let report = st.metrics.report(now);
+        SimOutcome {
+            policy: self.cfg.policy.label().to_string(),
+            offered_gross_utilization: self.offered,
+            metrics: report,
+            arrivals: st.generated,
+            completed: st.completed,
+            residual_queued: residual,
+            backlog_at_last_arrival: st.backlog_at_last_arrival,
+            peak_backlog: st.peak_backlog,
+            saturated,
+            end_time: now.seconds(),
+            response_series: st.metrics.take_series(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+    use crate::system::SystemSpec;
+
+    fn quick(policy: PolicyKind, limit: u32, util: f64) -> SimConfig {
+        let mut cfg = SimConfig::das(policy, limit, util);
+        cfg.total_jobs = 6_000;
+        cfg.warmup_jobs = 1_000;
+        cfg.batch_size = 100;
+        cfg
+    }
+
+    fn run(cfg: &SimConfig) -> SimOutcome {
+        SimBuilder::new(cfg).run()
+    }
+
+    #[test]
+    fn run_completes_and_conserves_jobs() {
+        let cfg = quick(PolicyKind::Gs, 16, 0.4);
+        let out = run(&cfg);
+        assert_eq!(out.arrivals, 6_000);
+        assert_eq!(out.completed as usize + out.residual_queued, 6_000);
+        assert!(!out.saturated, "residual {}", out.residual_queued);
+        assert!(out.metrics.mean_response > 0.0);
+        assert!(out.end_time > 0.0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let cfg = quick(PolicyKind::Ls, 16, 0.5);
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.metrics.mean_response, b.metrics.mean_response);
+        assert_eq!(a.completed, b.completed);
+        let c = run(&cfg.clone().with_seed(999));
+        assert_ne!(a.metrics.mean_response, c.metrics.mean_response);
+    }
+
+    #[test]
+    fn measured_utilization_tracks_offered() {
+        let cfg = quick(PolicyKind::Gs, 32, 0.4);
+        let out = run(&cfg);
+        let offered = out.offered_gross_utilization;
+        assert!((offered - 0.4).abs() < 1e-9);
+        assert!(
+            (out.metrics.gross_utilization - offered).abs() < 0.08,
+            "measured {} vs offered {offered}",
+            out.metrics.gross_utilization
+        );
+        // Gross exceeds net by roughly the closed-form ratio.
+        let ratio = out.metrics.gross_utilization / out.metrics.net_utilization;
+        let expected = cfg.workload.gross_net_ratio();
+        assert!((ratio - expected).abs() < 0.05, "ratio {ratio} vs {expected}");
+    }
+
+    #[test]
+    fn all_policies_run_at_moderate_load() {
+        for policy in [PolicyKind::Gs, PolicyKind::Ls, PolicyKind::Lp] {
+            let out = run(&quick(policy, 16, 0.3));
+            assert!(!out.saturated, "{policy} saturated at 0.3");
+            assert!(out.metrics.departures > 0, "{policy}");
+        }
+        let sc = {
+            let mut cfg = SimConfig::das_single_cluster(0.3);
+            cfg.total_jobs = 6_000;
+            cfg.warmup_jobs = 1_000;
+            run(&cfg)
+        };
+        assert!(!sc.saturated);
+    }
+
+    #[test]
+    fn overload_is_detected_as_saturation() {
+        let cfg = quick(PolicyKind::Gs, 16, 1.4);
+        let out = run(&cfg);
+        assert!(out.saturated, "offered 1.4 must saturate; residual {}", out.residual_queued);
+    }
+
+    #[test]
+    fn response_includes_extension() {
+        // At very low load every job starts immediately: single-component
+        // mean response ≈ mean base service; multi-component ≈ 1.25×.
+        let mut cfg = quick(PolicyKind::Gs, 16, 0.05);
+        cfg.total_jobs = 4_000;
+        cfg.warmup_jobs = 500;
+        let out = run(&cfg);
+        let m = &out.metrics;
+        let base = cfg.workload.service.mean_secs();
+        assert!(
+            (m.response_single - base).abs() < 0.1 * base,
+            "single {} vs base {base}",
+            m.response_single
+        );
+        assert!(
+            (m.response_multi - 1.25 * base).abs() < 0.1 * base,
+            "multi {} vs extended {}",
+            m.response_multi,
+            1.25 * base
+        );
+    }
+
+    #[test]
+    fn auto_warmup_is_deterministic_and_leaves_jobs_measured() {
+        let mut cfg = quick(PolicyKind::Gs, 16, 0.5);
+        cfg.warmup = Warmup::Auto;
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.metrics.mean_response, b.metrics.mean_response, "pilot + rerun deterministic");
+        // MSER truncates within the first half of the series, so at
+        // least half the departures stay in the observation window.
+        assert!(
+            a.metrics.departures >= cfg.total_jobs / 2,
+            "only {} of {} departures measured",
+            a.metrics.departures,
+            cfg.total_jobs
+        );
+        assert!(a.metrics.mean_response > 0.0);
+    }
+
+    #[test]
+    fn sc_has_no_multi_jobs() {
+        let mut cfg = SimConfig::das_single_cluster(0.4);
+        cfg.total_jobs = 4_000;
+        cfg.warmup_jobs = 500;
+        let out = run(&cfg);
+        assert_eq!(out.metrics.response_multi, 0.0, "no multi-component jobs under SC");
+        // Gross equals net for SC (no extension applies).
+        let m = &out.metrics;
+        assert!(
+            (m.gross_utilization - m.net_utilization).abs() < 0.01,
+            "gross {} vs net {}",
+            m.gross_utilization,
+            m.net_utilization
+        );
+    }
+
+    #[test]
+    fn heterogeneous_session_runs_under_every_multicluster_policy() {
+        for policy in [PolicyKind::Gs, PolicyKind::Ls, PolicyKind::Lp, PolicyKind::Gb] {
+            let mut cfg = SimConfig::heterogeneous(policy, 16, 0.35, SystemSpec::das2());
+            cfg.total_jobs = 5_000;
+            cfg.warmup_jobs = 500;
+            cfg.batch_size = 100;
+            let out = run(&cfg);
+            assert_eq!(out.arrivals, 5_000, "{policy}");
+            assert!(!out.saturated, "{policy} saturated at 0.35");
+        }
+    }
+}
+
+#[cfg(test)]
+mod trace_replay_tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+    use coalloc_trace::{generate_das1_log, DasLogConfig};
+
+    fn run_trace(cfg: &SimConfig, trace: &coalloc_trace::Trace, time_scale: f64) -> SimOutcome {
+        SimBuilder::new(cfg).run_trace(trace, time_scale)
+    }
+
+    #[test]
+    fn replay_runs_the_whole_log() {
+        let log = generate_das1_log(&DasLogConfig { jobs: 4_000, ..Default::default() });
+        let mut cfg = SimConfig::das(PolicyKind::Ls, 16, 0.5); // rate ignored
+        cfg.warmup_jobs = 400;
+        let out = run_trace(&cfg, &log, 1.0);
+        assert_eq!(out.arrivals, 4_000);
+        assert_eq!(out.completed as usize + out.residual_queued, 4_000);
+        assert!(out.metrics.mean_response > 0.0);
+        assert!(out.offered_gross_utilization.is_finite());
+    }
+
+    #[test]
+    fn compressing_time_raises_load_and_response() {
+        let log = generate_das1_log(&DasLogConfig { jobs: 6_000, ..Default::default() });
+        let mut cfg = SimConfig::das(PolicyKind::Gs, 16, 0.5);
+        cfg.warmup_jobs = 600;
+        let relaxed = run_trace(&cfg, &log, 1.0);
+        let compressed = run_trace(&cfg, &log, 0.25);
+        assert!(
+            compressed.offered_gross_utilization > 2.0 * relaxed.offered_gross_utilization,
+            "offered {} vs {}",
+            compressed.offered_gross_utilization,
+            relaxed.offered_gross_utilization
+        );
+        assert!(
+            compressed.metrics.mean_response > relaxed.metrics.mean_response,
+            "response {} vs {}",
+            compressed.metrics.mean_response,
+            relaxed.metrics.mean_response
+        );
+    }
+
+    #[test]
+    fn replay_skips_zero_runtime_records() {
+        // Cancelled jobs (runtime 0) do not enter the replay: the run is
+        // sized by the filtered feed, so arrivals and the conservation
+        // identity both reflect only real jobs.
+        let mut log = generate_das1_log(&DasLogConfig { jobs: 3_000, ..Default::default() });
+        for j in log.jobs.iter_mut().step_by(10) {
+            j.runtime = 0.0;
+        }
+        let mut cfg = SimConfig::das(PolicyKind::Gs, 16, 0.5);
+        cfg.warmup_jobs = 200;
+        let out = run_trace(&cfg, &log, 1.0);
+        assert_eq!(out.arrivals, 2_700);
+        assert_eq!(out.completed as usize + out.residual_queued, 2_700);
+    }
+
+    #[test]
+    fn replay_is_deterministic_per_policy() {
+        let log = generate_das1_log(&DasLogConfig { jobs: 2_000, ..Default::default() });
+        let cfg = {
+            let mut c = SimConfig::das(PolicyKind::Lp, 16, 0.5);
+            c.warmup_jobs = 200;
+            c
+        };
+        let a = run_trace(&cfg, &log, 1.0);
+        let b = run_trace(&cfg, &log, 1.0);
+        assert_eq!(a.metrics.mean_response, b.metrics.mean_response);
+    }
+}

@@ -1,0 +1,53 @@
+//! Warm-up lifecycle: resolving [`Warmup::Auto`] into a concrete
+//! truncation via an MSER-5 pilot run.
+
+use super::config::{SimConfig, Warmup};
+use super::outcome::SimOutcome;
+
+/// Resolves [`Warmup::Auto`] into a concrete `warmup_jobs` by running an
+/// unobserved pilot (same seed, zero warm-up, response series on) through
+/// `run_pilot` and applying MSER-5 to the series. The observer never sees
+/// the pilot: only the measured rerun is reported. MSER restricts
+/// truncation to the first half of the series, so the resolved warm-up
+/// always leaves jobs to measure.
+pub(crate) fn resolve_auto_warmup(
+    cfg: &SimConfig,
+    run_pilot: impl FnOnce(&SimConfig) -> SimOutcome,
+) -> SimConfig {
+    let mut pilot = cfg.clone();
+    pilot.warmup = Warmup::Fixed;
+    pilot.warmup_jobs = 0;
+    pilot.record_series = true;
+    let series = run_pilot(&pilot).response_series;
+    let mut resolved = cfg.clone();
+    resolved.warmup = Warmup::Fixed;
+    if series.len() >= 10 {
+        resolved.warmup_jobs = desim::mser5(&series).truncate as u64;
+    }
+    resolved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+    use crate::sim::SimBuilder;
+
+    #[test]
+    fn auto_warmup_resolves_to_a_fixed_mser_truncation() {
+        let mut cfg = SimConfig::das(PolicyKind::Ls, 16, 0.5);
+        cfg.total_jobs = 6_000;
+        cfg.warmup_jobs = 1_000;
+        cfg.batch_size = 100;
+        cfg.warmup = Warmup::Auto;
+        let pilot = |c: &SimConfig| SimBuilder::new(c).run();
+        let resolved = resolve_auto_warmup(&cfg, pilot);
+        assert_eq!(resolved.warmup, Warmup::Fixed);
+        // MSER-5 truncations are multiples of the batch size.
+        assert_eq!(resolved.warmup_jobs % 5, 0);
+        assert!(resolved.warmup_jobs <= cfg.total_jobs / 2 + 5);
+        // The resolution itself is deterministic.
+        let again = resolve_auto_warmup(&cfg, pilot);
+        assert_eq!(resolved.warmup_jobs, again.warmup_jobs);
+    }
+}

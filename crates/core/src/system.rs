@@ -3,6 +3,210 @@
 
 use crate::cluster::Cluster;
 use crate::job::Placement;
+use crate::placement::MAX_CLUSTERS;
+
+/// A first-class description of a multicluster's shape: how many
+/// clusters, and how many processors each has.
+///
+/// `SystemSpec` replaces the raw `Vec<u32>` capacity lists that used to
+/// be threaded ad hoc through configs, policies, the auditor and the
+/// CLI. It validates itself ([`SystemSpec::validate`]), knows its own
+/// totals, renders itself (`4×32`, `72+32+32+32+32`), parses the CLI's
+/// `--capacities a,b,c` syntax, and derives the capacity-proportional
+/// queue routing a heterogeneous system wants.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct SystemSpec {
+    capacities: Vec<u32>,
+}
+
+/// Why a [`SystemSpec`] (possibly combined with a component-size limit)
+/// is unusable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SystemSpecError {
+    /// The capacity list is empty.
+    Empty,
+    /// A cluster has zero processors.
+    ZeroCapacity {
+        /// Index of the offending cluster.
+        cluster: usize,
+    },
+    /// More clusters than the placement bitmask supports.
+    TooManyClusters {
+        /// The requested cluster count.
+        clusters: usize,
+    },
+    /// The workload's component-size limit exceeds the smallest cluster,
+    /// so some components could never be placed there.
+    LimitExceedsSmallestCluster {
+        /// The component-size limit.
+        limit: u32,
+        /// The smallest cluster's capacity.
+        min_capacity: u32,
+    },
+}
+
+impl core::fmt::Display for SystemSpecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match *self {
+            SystemSpecError::Empty => write!(f, "a system needs at least one cluster"),
+            SystemSpecError::ZeroCapacity { cluster } => {
+                write!(f, "cluster {cluster} has zero capacity")
+            }
+            SystemSpecError::TooManyClusters { clusters } => {
+                write!(f, "{clusters} clusters exceed the supported maximum of {MAX_CLUSTERS}")
+            }
+            SystemSpecError::LimitExceedsSmallestCluster { limit, min_capacity } => write!(
+                f,
+                "component-size limit {limit} exceeds the smallest cluster \
+                 ({min_capacity} processors)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SystemSpecError {}
+
+impl SystemSpec {
+    /// Builds a spec from per-cluster capacities (not yet validated; see
+    /// [`SystemSpec::validate`]).
+    pub fn new(capacities: impl Into<Vec<u32>>) -> Self {
+        SystemSpec { capacities: capacities.into() }
+    }
+
+    /// A homogeneous system: `clusters` clusters of `capacity` each.
+    pub fn homogeneous(clusters: usize, capacity: u32) -> Self {
+        SystemSpec { capacities: vec![capacity; clusters] }
+    }
+
+    /// The paper's simulated multicluster: 4 clusters of 32 processors.
+    pub fn das_multicluster() -> Self {
+        SystemSpec::homogeneous(4, 32)
+    }
+
+    /// The paper's single-cluster comparison system: 128 processors.
+    pub fn das_single_cluster() -> Self {
+        SystemSpec::new([128])
+    }
+
+    /// The real DAS-2 geometry: one 72-processor cluster plus four of 32.
+    pub fn das2() -> Self {
+        SystemSpec::new([72, 32, 32, 32, 32])
+    }
+
+    /// Parses the CLI's `--capacities a,b,c,...` syntax.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let capacities = s
+            .split(',')
+            .map(|part| {
+                part.trim()
+                    .parse::<u32>()
+                    .map_err(|_| format!("bad capacity {part:?} in {s:?} (want e.g. 72,32,32)"))
+            })
+            .collect::<Result<Vec<u32>, String>>()?;
+        let spec = SystemSpec::new(capacities);
+        spec.validate().map_err(|e| e.to_string())?;
+        Ok(spec)
+    }
+
+    /// Per-cluster capacities.
+    pub fn capacities(&self) -> &[u32] {
+        &self.capacities
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Total processors across all clusters.
+    pub fn total_capacity(&self) -> u32 {
+        self.capacities.iter().sum()
+    }
+
+    /// Capacity of the smallest cluster (0 for an empty spec).
+    pub fn min_capacity(&self) -> u32 {
+        self.capacities.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Whether every cluster has the same capacity.
+    pub fn is_homogeneous(&self) -> bool {
+        self.capacities.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Checks the spec is usable: at least one cluster, no zero-capacity
+    /// cluster, and no more clusters than placement supports.
+    pub fn validate(&self) -> Result<(), SystemSpecError> {
+        if self.capacities.is_empty() {
+            return Err(SystemSpecError::Empty);
+        }
+        if let Some(cluster) = self.capacities.iter().position(|&c| c == 0) {
+            return Err(SystemSpecError::ZeroCapacity { cluster });
+        }
+        if self.capacities.len() > MAX_CLUSTERS {
+            return Err(SystemSpecError::TooManyClusters { clusters: self.capacities.len() });
+        }
+        Ok(())
+    }
+
+    /// Checks a component-size limit against the smallest cluster: a
+    /// component larger than its cluster can never be placed.
+    pub fn validate_limit(&self, limit: u32) -> Result<(), SystemSpecError> {
+        self.validate()?;
+        if limit > self.min_capacity() {
+            return Err(SystemSpecError::LimitExceedsSmallestCluster {
+                limit,
+                min_capacity: self.min_capacity(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The queue routing that loads each cluster in proportion to its
+    /// capacity — the natural choice for heterogeneous systems (balanced
+    /// routing would overload the small clusters).
+    pub fn proportional_routing(&self) -> coalloc_workload::QueueRouting {
+        let total = f64::from(self.total_capacity());
+        let weights: Vec<f64> = self.capacities.iter().map(|&c| f64::from(c) / total).collect();
+        coalloc_workload::QueueRouting::custom(&weights)
+    }
+
+    /// The offered gross utilization an arrival rate generates on this
+    /// system under the given workload.
+    pub fn offered_gross_utilization(
+        &self,
+        workload: &coalloc_workload::Workload,
+        arrival_rate: f64,
+    ) -> f64 {
+        arrival_rate * workload.mean_gross_work() / f64::from(self.total_capacity())
+    }
+}
+
+impl core::fmt::Display for SystemSpec {
+    /// `4×32` for homogeneous systems, `72+32+32+32+32` otherwise.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.is_homogeneous() && !self.capacities.is_empty() {
+            write!(f, "{}\u{d7}{}", self.capacities.len(), self.capacities[0])
+        } else {
+            let mut first = true;
+            for &c in &self.capacities {
+                if !first {
+                    f.write_str("+")?;
+                }
+                write!(f, "{c}")?;
+                first = false;
+            }
+            Ok(())
+        }
+    }
+}
+
+impl std::str::FromStr for SystemSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        SystemSpec::parse(s)
+    }
+}
 
 /// The processors of a multicluster system.
 ///
@@ -26,6 +230,17 @@ impl MultiCluster {
             clusters: capacities.iter().map(|&c| Cluster::new(c)).collect(),
             idle: capacities.to_vec(),
         }
+    }
+
+    /// Builds a system from a validated [`SystemSpec`].
+    ///
+    /// # Panics
+    /// Panics with the spec's own error message if the spec is invalid.
+    pub fn from_spec(spec: &SystemSpec) -> Self {
+        if let Err(e) = spec.validate() {
+            panic!("{e}");
+        }
+        MultiCluster::new(spec.capacities())
     }
 
     /// The paper's simulated multicluster: 4 clusters of 32 processors.
@@ -130,5 +345,84 @@ mod tests {
     #[should_panic(expected = "at least one cluster")]
     fn empty_system_rejected() {
         MultiCluster::new(&[]);
+    }
+
+    #[test]
+    fn spec_accessors_and_das_geometries() {
+        let das = SystemSpec::das_multicluster();
+        assert_eq!(das.num_clusters(), 4);
+        assert_eq!(das.total_capacity(), 128);
+        assert_eq!(das.min_capacity(), 32);
+        assert!(das.is_homogeneous());
+        assert_eq!(das.capacities(), &[32, 32, 32, 32]);
+        let das2 = SystemSpec::das2();
+        assert_eq!(das2.total_capacity(), 200);
+        assert!(!das2.is_homogeneous());
+        assert_eq!(SystemSpec::das_single_cluster().num_clusters(), 1);
+        let mc = MultiCluster::from_spec(&das2);
+        assert_eq!(mc.total_capacity(), 200);
+        assert_eq!(mc.capacity(0), 72);
+    }
+
+    #[test]
+    fn spec_validation_rejects_empty() {
+        assert_eq!(SystemSpec::new(Vec::new()).validate(), Err(SystemSpecError::Empty));
+    }
+
+    #[test]
+    fn spec_validation_rejects_zero_capacity_clusters() {
+        assert_eq!(
+            SystemSpec::new([32, 0, 32]).validate(),
+            Err(SystemSpecError::ZeroCapacity { cluster: 1 })
+        );
+    }
+
+    #[test]
+    fn spec_validation_rejects_too_many_clusters() {
+        assert_eq!(
+            SystemSpec::homogeneous(65, 1).validate(),
+            Err(SystemSpecError::TooManyClusters { clusters: 65 })
+        );
+        assert_eq!(SystemSpec::homogeneous(64, 1).validate(), Ok(()));
+    }
+
+    #[test]
+    fn spec_validation_rejects_limits_exceeding_the_smallest_cluster() {
+        let spec = SystemSpec::new([8, 120]);
+        assert_eq!(
+            spec.validate_limit(16),
+            Err(SystemSpecError::LimitExceedsSmallestCluster { limit: 16, min_capacity: 8 })
+        );
+        assert_eq!(spec.validate_limit(8), Ok(()));
+        // Error messages carry the numbers a user needs.
+        let msg = spec.validate_limit(16).unwrap_err().to_string();
+        assert!(msg.contains("16") && msg.contains("smallest cluster"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero capacity")]
+    fn from_spec_panics_on_invalid_specs() {
+        let _ = MultiCluster::from_spec(&SystemSpec::new([4, 0]));
+    }
+
+    #[test]
+    fn spec_display_and_parse_roundtrip() {
+        assert_eq!(SystemSpec::das_multicluster().to_string(), "4\u{d7}32");
+        assert_eq!(SystemSpec::das2().to_string(), "72+32+32+32+32");
+        assert_eq!(SystemSpec::parse("72,32, 32,32,32"), Ok(SystemSpec::das2()));
+        assert!(SystemSpec::parse("72,x").is_err());
+        assert!(SystemSpec::parse("").is_err());
+        assert!(SystemSpec::parse("32,0").is_err(), "parse validates");
+        let parsed: SystemSpec = "128".parse().expect("FromStr works");
+        assert_eq!(parsed, SystemSpec::das_single_cluster());
+    }
+
+    #[test]
+    fn proportional_routing_matches_capacities() {
+        let routing = SystemSpec::das2().proportional_routing();
+        assert_eq!(routing.queues(), 5);
+        let w = routing.shares();
+        assert!((w[0] - 0.36).abs() < 1e-12, "{w:?}");
+        assert!((w[1] - 0.16).abs() < 1e-12, "{w:?}");
     }
 }

@@ -15,7 +15,7 @@ use coalloc_core::audit::NullObserver;
 use coalloc_core::job::{ActiveJob, JobId, JobTable, SubmitQueue};
 use coalloc_core::placement::PlacementRule;
 use coalloc_core::policy::PolicyKind;
-use coalloc_core::system::MultiCluster;
+use coalloc_core::system::{MultiCluster, SystemSpec};
 use coalloc_workload::{JobRequest, JobSpec, QueueRouting};
 use desim::{Duration, RngStream, SimTime};
 
@@ -95,7 +95,7 @@ fn steady_state_event_cycle_is_allocation_free() {
     // ---- GS: global queue over the 4×32 multicluster ----
     let mut system = MultiCluster::new(&[32, 32, 32, 32]);
     let mut policy = PolicyKind::Gs.build(
-        4,
+        &SystemSpec::das_multicluster(),
         QueueRouting::balanced(4),
         RngStream::new(7),
         PlacementRule::WorstFit,
@@ -139,7 +139,7 @@ fn steady_state_event_cycle_is_allocation_free() {
     // ---- LS: per-cluster local queues, disable/re-enable bookkeeping ----
     let mut system = MultiCluster::new(&[32, 32, 32, 32]);
     let mut policy = PolicyKind::Ls.build(
-        4,
+        &SystemSpec::das_multicluster(),
         QueueRouting::balanced(4),
         RngStream::new(7),
         PlacementRule::WorstFit,

@@ -151,6 +151,17 @@ impl Workload {
         self
     }
 
+    /// Returns this workload with its component split capped at the given
+    /// number of clusters — the actual cluster count of the system under
+    /// test, not the paper's hard-coded 4. A job's total size is split
+    /// into at most `clusters` components, so heterogeneous systems with
+    /// more (or fewer) clusters than the DAS testbed sample consistently.
+    pub fn with_clusters(mut self, clusters: usize) -> Self {
+        assert!(clusters > 0, "need at least one cluster");
+        self.clusters = clusters;
+        self
+    }
+
     /// Returns this workload with the given constant extension factor.
     pub fn with_extension(mut self, extension: f64) -> Self {
         assert!(extension >= 1.0, "extension factor must be >= 1");
@@ -386,6 +397,29 @@ mod tests {
         let mut t1 = desim::RngStream::new(5).labelled("service");
         let job = w.sample(&mut s1, &mut t1);
         assert!(job.base_service.seconds() > 0.0);
+    }
+
+    #[test]
+    fn with_clusters_caps_the_component_split() {
+        // An 8-cluster workload may split a 128-total job into 8
+        // components of 16; the 4-cluster default stops at 4 of 32.
+        let wide = Workload::das(16).with_clusters(8);
+        assert_eq!(wide.clusters, 8);
+        let mut s = RngStream::new(3).labelled("sizes");
+        let mut t = RngStream::new(3).labelled("service");
+        for _ in 0..2_000 {
+            let job = wide.sample(&mut s, &mut t);
+            assert!(job.request.num_components() <= 8);
+            assert!(job.request.max_component() <= 16);
+        }
+        // More clusters ⇒ no fewer multi-component jobs at the same limit.
+        assert!(wide.multi_fraction() >= Workload::das(16).multi_fraction());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn with_clusters_rejects_zero() {
+        let _ = Workload::das(16).with_clusters(0);
     }
 
     #[test]

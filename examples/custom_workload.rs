@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example custom_workload`
 
-use coalloc::core::{run, PolicyKind, SimConfig};
+use coalloc::core::{PolicyKind, SimBuilder, SimConfig, SystemSpec};
 use coalloc::workload::{JobSizeDist, QueueRouting, ServiceDist, Workload};
 
 use coalloc::desim::queueing::mmc_mean_response;
@@ -32,7 +32,7 @@ fn main() {
             policy: PolicyKind::Sc,
             workload: workload.clone(),
             routing: QueueRouting::balanced(1),
-            capacities: vec![c],
+            system: SystemSpec::new([c]),
             arrival_rate: lambda,
             arrival_cv2: 1.0,
             total_jobs: 200_000,
@@ -43,7 +43,7 @@ fn main() {
             record_series: false,
             seed: 42,
         };
-        let out = run(&cfg);
+        let out = SimBuilder::new(&cfg).run();
         let exact = mmc_mean_response(lambda, 1.0 / mean_service, c);
         let err = (out.metrics.mean_response - exact).abs() / exact;
         println!(

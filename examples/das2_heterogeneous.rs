@@ -9,32 +9,16 @@
 //! Run with: `cargo run --release --example das2_heterogeneous`
 
 use coalloc::core::report::format_table;
-use coalloc::core::{run, PlacementRule, PolicyKind, SimConfig};
-use coalloc::workload::{QueueRouting, Workload};
+use coalloc::core::{PolicyKind, SimBuilder, SimConfig, SystemSpec};
 
 fn das2_config(policy: PolicyKind, util: f64) -> SimConfig {
-    let capacities = vec![72u32, 32, 32, 32, 32];
-    let total: u32 = capacities.iter().sum();
-    // Jobs may split over all five clusters; the limit stays 16.
-    let workload = Workload { clusters: 5, ..Workload::das(16) };
-    let rate = workload.rate_for_gross_utilization(util, total);
-    // Route local jobs proportionally to cluster size.
-    let weights: Vec<f64> = capacities.iter().map(|&c| f64::from(c)).collect();
-    SimConfig {
-        policy,
-        workload,
-        routing: QueueRouting::custom(&weights),
-        capacities,
-        arrival_rate: rate,
-        arrival_cv2: 1.0,
-        total_jobs: 15_000,
-        warmup_jobs: 1_500,
-        warmup: coalloc::core::Warmup::Fixed,
-        batch_size: 300,
-        rule: PlacementRule::WorstFit,
-        record_series: false,
-        seed: 2003,
-    }
+    // Jobs may split over all five clusters; the limit stays 16. Local
+    // jobs are routed proportionally to cluster size.
+    let mut cfg = SimConfig::heterogeneous(policy, 16, util, SystemSpec::das2());
+    cfg.total_jobs = 15_000;
+    cfg.warmup_jobs = 1_500;
+    cfg.batch_size = 300;
+    cfg
 }
 
 fn main() {
@@ -46,7 +30,7 @@ fn main() {
     for util in [0.4, 0.5, 0.6] {
         let mut row = vec![format!("{util:.1}")];
         for policy in [PolicyKind::Ls, PolicyKind::Gs, PolicyKind::Lp] {
-            let out = run(&das2_config(policy, util));
+            let out = SimBuilder::new(&das2_config(policy, util)).run();
             row.push(format!(
                 "{:.0}{}",
                 out.metrics.mean_response,

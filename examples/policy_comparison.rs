@@ -5,7 +5,7 @@
 //! where `limit` is the job-component-size limit (default 16).
 
 use coalloc::core::report::format_table;
-use coalloc::core::{run, PolicyKind, SimConfig};
+use coalloc::core::{PolicyKind, SimBuilder, SimConfig};
 
 fn main() {
     let limit: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(16);
@@ -25,7 +25,7 @@ fn main() {
             };
             cfg.total_jobs = 15_000;
             cfg.warmup_jobs = 1_500;
-            let out = run(&cfg);
+            let out = SimBuilder::new(&cfg).run();
             row.push(format!(
                 "{:.0}{}",
                 out.metrics.mean_response,

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use coalloc::core::{run, PolicyKind, SimConfig};
+use coalloc::core::{PolicyKind, SimBuilder, SimConfig};
 
 fn main() {
     // LS with component-size limit 16 at an offered gross utilization of
@@ -15,7 +15,7 @@ fn main() {
     cfg.warmup_jobs = 2_000;
 
     println!("policy            : {}", cfg.policy);
-    println!("system            : {:?} processors", cfg.capacities);
+    println!("system            : {} processors", cfg.system);
     println!("size distribution : {}", cfg.workload.sizes.name());
     println!("service times     : {}", cfg.workload.service.name());
     println!("component limit   : {}", cfg.workload.limit);
@@ -24,7 +24,7 @@ fn main() {
     println!("offered gross util: {:.3}", cfg.offered_gross_utilization());
     println!();
 
-    let out = run(&cfg);
+    let out = SimBuilder::new(&cfg).run();
     let m = &out.metrics;
     println!("jobs simulated     : {} ({} measured after warm-up)", out.arrivals, m.departures);
     println!(

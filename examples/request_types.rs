@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example request_types`
 
 use coalloc::core::report::format_table;
-use coalloc::core::{run, PolicyKind, SimConfig};
+use coalloc::core::{PolicyKind, SimBuilder, SimConfig};
 use coalloc::workload::RequestKind;
 
 fn main() {
@@ -31,7 +31,7 @@ fn main() {
             cfg.workload = cfg.workload.with_request_kind(kind);
             cfg.total_jobs = 15_000;
             cfg.warmup_jobs = 1_500;
-            let out = run(&cfg);
+            let out = SimBuilder::new(&cfg).run();
             row.push(format!(
                 "{:.0}{}",
                 out.metrics.mean_response,

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example trace_pipeline [path.swf]`
 
-use coalloc::core::{run, PolicyKind, SimConfig};
+use coalloc::core::{PolicyKind, SimBuilder, SimConfig};
 use coalloc::trace::{self, DasLogConfig};
 use coalloc::workload::{JobSizeDist, ServiceDist, Workload};
 
@@ -58,7 +58,7 @@ fn main() {
     cfg.arrival_rate = rate;
     cfg.total_jobs = 15_000;
     cfg.warmup_jobs = 1_500;
-    let out = run(&cfg);
+    let out = SimBuilder::new(&cfg).run();
     println!();
     println!("LS at offered gross utilization 0.5 with the log-derived workload:");
     println!(

@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example trace_replay [path.swf]`
 
 use coalloc::core::report::format_table;
-use coalloc::core::{run_trace, PolicyKind, SimConfig};
+use coalloc::core::{PolicyKind, SimBuilder, SimConfig};
 use coalloc::trace::{self, DasLogConfig};
 
 fn main() {
@@ -31,7 +31,7 @@ fn main() {
                 SimConfig::das(policy, 16, 0.5)
             };
             cfg.warmup_jobs = 2_000;
-            let out = run_trace(&cfg, &log, time_scale);
+            let out = SimBuilder::new(&cfg).run_trace(&log, time_scale);
             offered = out.offered_gross_utilization;
             row.push(format!(
                 "{:.0}{}",

@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release --example warmup_analysis`
 
-use coalloc::core::{run, PolicyKind, SimConfig};
+use coalloc::core::{PolicyKind, SimBuilder, SimConfig};
 use coalloc::desim::warmup::{autocorrelation, mser5};
 
 fn main() {
@@ -16,7 +16,7 @@ fn main() {
 
     println!("Running LS (limit 16) at offered gross utilization 0.55,");
     println!("recording every response time with no warm-up truncation...");
-    let out = run(&cfg);
+    let out = SimBuilder::new(&cfg).run();
     let series = &out.response_series;
     println!("observations: {}", series.len());
 

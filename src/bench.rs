@@ -24,7 +24,7 @@
 
 use std::time::Instant;
 
-use coalloc_core::{run, PolicyKind, SimConfig};
+use coalloc_core::{PolicyKind, SimBuilder, SimConfig};
 
 /// How large the measured runs are.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -126,7 +126,7 @@ pub fn run_bench(scale: BenchScale) -> BenchReport {
         let mut mean_response = 0.0;
         for _ in 0..reps {
             let start = Instant::now();
-            let out = run(&cfg);
+            let out = SimBuilder::new(&cfg).run();
             let wall = start.elapsed().as_secs_f64();
             events = out.arrivals + out.completed;
             mean_response = out.metrics.mean_response;
@@ -197,7 +197,7 @@ mod tests {
         for policy in [PolicyKind::Gs, PolicyKind::Ls, PolicyKind::Lp, PolicyKind::Sc] {
             let cfg = bench_config(policy, 500);
             assert_eq!(cfg.seed, 2003, "{policy}: bench seeds are pinned");
-            let out = run(&cfg);
+            let out = SimBuilder::new(&cfg).run();
             assert_eq!(out.arrivals, 500);
         }
     }
@@ -228,7 +228,7 @@ mod tests {
         for policy in [PolicyKind::Gs, PolicyKind::Ls, PolicyKind::Lp, PolicyKind::Sc] {
             let cfg = bench_config(policy, 300);
             let start = Instant::now();
-            let out = run(&cfg);
+            let out = SimBuilder::new(&cfg).run();
             let wall = start.elapsed().as_secs_f64().max(1e-9);
             results.push(PolicyBench {
                 policy: policy.label().to_string(),

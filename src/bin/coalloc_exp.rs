@@ -22,11 +22,11 @@ fn usage() -> ! {
          \x20        reqtypes placement backfill extfactor burstiness plot all\n\
          \x20        runjson <GS|LS|LP|SC|GB> <limit> <utilization>\n\
          \x20                [--events <path>] [--audit] [--warmup auto|N]\n\
-         \x20                                                   (JSON SimOutcome)\n\
+         \x20                [--capacities a,b,c]               (JSON SimOutcome)\n\
          \x20        sweep <GS|LS|LP|SC|GB> <limit> [--utils a,b,c] [--rel-ci X]\n\
          \x20              [--min-reps N] [--max-reps N] [--warmup auto|N]\n\
-         \x20              [--checkpoint <path>] [--assert-precision]\n\
-         \x20                         (adaptive-replication sweep, stats table)\n\
+         \x20              [--checkpoint <path>] [--assert-precision] [--audit]\n\
+         \x20              [--capacities a,b,c]   (adaptive sweep, stats table)\n\
          \x20        bench [--quick|--full] [--out <dir>]   (throughput -> BENCH_<n>.json)"
     );
     std::process::exit(2);
@@ -38,6 +38,12 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         Some(v) => v.as_str(),
         None => usage(),
     })
+}
+
+/// Parses `--capacities a,b,c` into a heterogeneous `SystemSpec`
+/// (processors per cluster); `None` means the DAS default geometry.
+fn parse_capacities(args: &[String]) -> Option<coalloc::core::SystemSpec> {
+    flag_value(args, "--capacities").map(|spec| spec.parse().unwrap_or_else(|_| usage()))
 }
 
 /// Applies `--warmup auto|N` to a simulation configuration.
@@ -85,13 +91,20 @@ fn sweep_cmd(args: &[String], scale: Scale) {
         cfg.max_replications = v.parse().unwrap_or_else(|_| usage());
     }
     cfg.checkpoint = flag_value(args, "--checkpoint").map(std::path::PathBuf::from);
+    cfg.audit = args.iter().any(|a| a == "--audit");
     let warmup = flag_value(args, "--warmup").map(str::to_owned);
+    let system = parse_capacities(args);
+    let system_label = system.as_ref().map_or_else(String::new, |sys| format!(", system {sys}"));
     let points = sweep(
         move |util| {
-            let mut c = if policy == PolicyKind::Sc {
-                scaled(SimConfig::das_single_cluster(util), scale)
-            } else {
-                scaled(SimConfig::das(policy, limit, util), scale)
+            let mut c = match &system {
+                Some(sys) => {
+                    scaled(SimConfig::heterogeneous(policy, limit, util, sys.clone()), scale)
+                }
+                None if policy == PolicyKind::Sc => {
+                    scaled(SimConfig::das_single_cluster(util), scale)
+                }
+                None => scaled(SimConfig::das(policy, limit, util), scale),
             };
             apply_warmup(&mut c, warmup.as_deref());
             c
@@ -99,7 +112,7 @@ fn sweep_cmd(args: &[String], scale: Scale) {
         &cfg,
     );
     let title = format!(
-        "Adaptive sweep: {} limit {limit}, rel-CI target {:.0}%, {}..{} reps",
+        "Adaptive sweep: {} limit {limit}{system_label}, rel-CI target {:.0}%, {}..{} reps",
         policy.label(),
         100.0 * cfg.rel_ci_target,
         cfg.min_replications,
@@ -164,7 +177,7 @@ fn bench(args: &[String]) {
 /// JSON object per line); `--audit` attaches the invariant auditor and
 /// exits nonzero if the run broke any of the paper's rules.
 fn runjson(args: &[String], scale: Scale) {
-    use coalloc::core::{run_observed, InvariantAuditor, JsonlSink, PolicyKind, SimConfig, Tee};
+    use coalloc::core::{InvariantAuditor, JsonlSink, PolicyKind, SimBuilder, SimConfig, Tee};
     let policy = match args.first().map(String::as_str) {
         Some("GS") => PolicyKind::Gs,
         Some("LS") => PolicyKind::Ls,
@@ -180,10 +193,10 @@ fn runjson(args: &[String], scale: Scale) {
         .position(|a| a == "--events")
         .map(|i| args.get(i + 1).map(std::path::PathBuf::from).unwrap_or_else(|| usage()));
     let audit = args.iter().any(|a| a == "--audit");
-    let mut cfg = if policy == PolicyKind::Sc {
-        SimConfig::das_single_cluster(util)
-    } else {
-        SimConfig::das(policy, limit, util)
+    let mut cfg = match parse_capacities(args) {
+        Some(sys) => SimConfig::heterogeneous(policy, limit, util, sys),
+        None if policy == PolicyKind::Sc => SimConfig::das_single_cluster(util),
+        None => SimConfig::das(policy, limit, util),
     };
     cfg.total_jobs = scale.total_jobs();
     cfg.warmup_jobs = scale.warmup_jobs();
@@ -197,10 +210,12 @@ fn runjson(args: &[String], scale: Scale) {
     let mut auditor = audit.then(|| InvariantAuditor::new(&cfg));
 
     let out = match (&mut sink, &mut auditor) {
-        (Some(sink), Some(auditor)) => run_observed(&cfg, &mut Tee::new(sink, auditor)),
-        (Some(sink), None) => run_observed(&cfg, sink),
-        (None, Some(auditor)) => run_observed(&cfg, auditor),
-        (None, None) => coalloc::core::run(&cfg),
+        (Some(sink), Some(auditor)) => {
+            SimBuilder::new(&cfg).run_observed(&mut Tee::new(sink, auditor))
+        }
+        (Some(sink), None) => SimBuilder::new(&cfg).run_observed(sink),
+        (None, Some(auditor)) => SimBuilder::new(&cfg).run_observed(auditor),
+        (None, None) => SimBuilder::new(&cfg).run(),
     };
     if let Some(sink) = sink {
         let n = sink.events_written();

@@ -11,8 +11,8 @@
 
 use coalloc_core::experiment::sweep;
 use coalloc_core::report::{format_figure, format_table, utilization_at_response, Series};
-use coalloc_core::{PlacementRule, PolicyKind, SimConfig};
-use coalloc_workload::{QueueRouting, RequestKind, Workload};
+use coalloc_core::{PlacementRule, PolicyKind, SimConfig, SystemSpec};
+use coalloc_workload::RequestKind;
 
 use super::{scaled, Scale};
 
@@ -183,22 +183,10 @@ pub fn correlation(scale: Scale) -> String {
 /// The real DAS2 geometry (72 + 4×32 processors, five clusters) under
 /// the three multicluster policies, limit 16, size-proportional routing.
 pub fn das2(scale: Scale) -> String {
-    let capacities: Vec<u32> = vec![72, 32, 32, 32, 32];
-    let total: u32 = capacities.iter().sum();
-    let weights: Vec<f64> = capacities.iter().map(|&c| f64::from(c)).collect();
     let mut series = Vec::new();
     for policy in [PolicyKind::Ls, PolicyKind::Gs, PolicyKind::Lp] {
         let pts = sweep(
-            |util| {
-                let workload = Workload { clusters: 5, ..Workload::das(16) };
-                let rate = workload.rate_for_gross_utilization(util, total);
-                let mut cfg = scaled(SimConfig::das(policy, 16, util), scale);
-                cfg.workload = workload;
-                cfg.capacities = capacities.clone();
-                cfg.routing = QueueRouting::custom(&weights);
-                cfg.arrival_rate = rate;
-                cfg
-            },
+            |util| scaled(SimConfig::heterogeneous(policy, 16, util, SystemSpec::das2()), scale),
             &scale.sweep(),
         );
         series.push(Series::response_vs_gross(policy.label(), &pts));

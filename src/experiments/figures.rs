@@ -157,7 +157,7 @@ pub fn fig4(scale: Scale) -> String {
                     }
                     c
                 };
-                let outc = coalloc_core::run(&cfg);
+                let outc = coalloc_core::SimBuilder::new(&cfg).run();
                 let m = &outc.metrics;
                 let fmt = |x: Option<f64>| x.map_or("-".to_string(), |x| format!("{x:.0}"));
                 rows.push(vec![

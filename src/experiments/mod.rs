@@ -98,6 +98,7 @@ impl Scale {
             base_seed: 2003,
             threads: 0,
             checkpoint: None,
+            audit: false,
         }
     }
 }

@@ -146,7 +146,7 @@ pub fn scorecard(scale: Scale) -> String {
     // 6. Gross/net ratio matches the closed form inside the simulation.
     {
         let cfg = scaled(SimConfig::das(PolicyKind::Gs, 16, 0.45), scale);
-        let out = coalloc_core::run(&cfg);
+        let out = coalloc_core::SimBuilder::new(&cfg).run();
         let measured = out.metrics.gross_utilization / out.metrics.net_utilization;
         let exact = cfg.workload.gross_net_ratio();
         claims.push(Claim {

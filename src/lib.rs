@@ -17,14 +17,14 @@
 //! ## Quickstart
 //!
 //! ```
-//! use coalloc::core::{run, PolicyKind, SimConfig};
+//! use coalloc::core::{PolicyKind, SimBuilder, SimConfig};
 //!
 //! // LS on the 4×32 DAS multicluster, component-size limit 16,
 //! // offered gross utilization 0.4 (short run for the doctest).
 //! let mut cfg = SimConfig::das(PolicyKind::Ls, 16, 0.4);
 //! cfg.total_jobs = 2_000;
 //! cfg.warmup_jobs = 200;
-//! let out = run(&cfg);
+//! let out = SimBuilder::new(&cfg).run();
 //! assert!(out.metrics.mean_response > 0.0);
 //! assert!(!out.saturated);
 //! ```

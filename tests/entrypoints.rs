@@ -1,0 +1,144 @@
+//! Entry-point equivalence: every deprecated free-function `run*` shim
+//! must produce a bit-identical `SimOutcome` — and, where an observer is
+//! involved, a byte-identical JSONL event log — to the equivalent
+//! `SimBuilder` session at the same seed. The shims are one-line
+//! delegations, so these tests pin the *builder* API against the
+//! historical behaviour the golden regression suite was recorded under.
+
+#![allow(deprecated)]
+
+use coalloc::core::{
+    run, run_observed, run_trace, run_with_feed, run_with_feed_observed, run_with_scheduler,
+    JsonlSink, OccupancyModel, PolicyKind, SimBuilder, SimConfig, SimOutcome, StochasticFeed,
+};
+use coalloc::desim::RngStream;
+use coalloc::trace::{generate_das1_log, DasLogConfig};
+
+/// A quick fixed-seed configuration (fixed warmup so the feed-level
+/// entry points, which never resolve auto warmup, are exercised on the
+/// same config as the stochastic ones).
+fn cfg(policy: PolicyKind) -> SimConfig {
+    let mut cfg = SimConfig::das(policy, 16, 0.5);
+    cfg.total_jobs = 4_000;
+    cfg.warmup_jobs = 400;
+    cfg.batch_size = 100;
+    cfg
+}
+
+/// Bit-identical comparison via the serialized outcome: every field —
+/// including each f64's exact bits, rendered by the same formatter —
+/// must match.
+fn assert_same(a: &SimOutcome, b: &SimOutcome, what: &str) {
+    let a = serde_json::to_string(a).expect("SimOutcome serializes");
+    let b = serde_json::to_string(b).expect("SimOutcome serializes");
+    assert_eq!(a, b, "{what}: shim and builder outcomes differ");
+}
+
+/// The stochastic feed exactly as the builder's `run` path builds it.
+fn feed_for(cfg: &SimConfig) -> StochasticFeed {
+    StochasticFeed::new(
+        cfg.workload.clone(),
+        cfg.arrival_rate,
+        cfg.arrival_cv2,
+        cfg.total_jobs,
+        &RngStream::new(cfg.seed),
+    )
+}
+
+#[test]
+fn run_shim_matches_builder() {
+    for policy in [PolicyKind::Gs, PolicyKind::Ls, PolicyKind::Sc] {
+        let cfg = cfg(policy);
+        let shim = run(&cfg);
+        let builder = SimBuilder::new(&cfg).run();
+        assert_same(&shim, &builder, policy.label());
+    }
+}
+
+#[test]
+fn run_observed_shim_matches_builder_and_event_logs_are_byte_identical() {
+    let cfg = cfg(PolicyKind::Ls);
+    let mut shim_sink = JsonlSink::new(Vec::new());
+    let shim = run_observed(&cfg, &mut shim_sink);
+    let mut builder_sink = JsonlSink::new(Vec::new());
+    let builder = SimBuilder::new(&cfg).run_observed(&mut builder_sink);
+    assert_same(&shim, &builder, "run_observed");
+    let shim_log = shim_sink.finish().expect("shim log written");
+    let builder_log = builder_sink.finish().expect("builder log written");
+    assert!(!shim_log.is_empty(), "the observed run must log events");
+    assert_eq!(shim_log, builder_log, "JSONL event logs must be byte-identical");
+}
+
+#[test]
+fn run_trace_shim_matches_builder() {
+    let log = generate_das1_log(&DasLogConfig { jobs: 2_000, ..DasLogConfig::default() });
+    let cfg = cfg(PolicyKind::Gs);
+    let shim = run_trace(&cfg, &log, 10.0);
+    let builder = SimBuilder::new(&cfg).run_trace(&log, 10.0);
+    assert_same(&shim, &builder, "run_trace");
+}
+
+#[test]
+fn run_with_feed_shim_matches_builder() {
+    let cfg = cfg(PolicyKind::Gs);
+    let offered = cfg.offered_gross_utilization();
+    let shim = run_with_feed(&cfg, &mut feed_for(&cfg), offered);
+    let builder = SimBuilder::new(&cfg).run_feed(&mut feed_for(&cfg), offered);
+    assert_same(&shim, &builder, "run_with_feed");
+    // And both must match the all-in-one stochastic path, which builds
+    // the identical feed internally.
+    assert_same(&shim, &SimBuilder::new(&cfg).run(), "run_with_feed vs run");
+}
+
+#[test]
+fn run_with_feed_observed_shim_matches_builder() {
+    let cfg = cfg(PolicyKind::Lp);
+    let offered = cfg.offered_gross_utilization();
+    let mut shim_sink = JsonlSink::new(Vec::new());
+    let shim = run_with_feed_observed(&cfg, &mut feed_for(&cfg), offered, &mut shim_sink);
+    let mut builder_sink = JsonlSink::new(Vec::new());
+    let builder =
+        SimBuilder::new(&cfg).run_feed_observed(&mut feed_for(&cfg), offered, &mut builder_sink);
+    assert_same(&shim, &builder, "run_with_feed_observed");
+    assert_eq!(
+        shim_sink.finish().expect("shim log written"),
+        builder_sink.finish().expect("builder log written"),
+        "JSONL event logs must be byte-identical"
+    );
+}
+
+#[test]
+fn run_with_scheduler_shim_matches_builder() {
+    let cfg = cfg(PolicyKind::Gb);
+    let offered = cfg.offered_gross_utilization();
+    let build_policy = || {
+        cfg.policy.build(
+            &cfg.system,
+            cfg.routing.clone(),
+            RngStream::new(cfg.seed).labelled("routing"),
+            cfg.rule,
+        )
+    };
+    let mut shim_sink = JsonlSink::new(Vec::new());
+    let shim = run_with_scheduler(
+        &cfg,
+        &mut feed_for(&cfg),
+        offered,
+        build_policy(),
+        &mut shim_sink,
+        OccupancyModel::Faithful,
+    );
+    let mut builder_sink = JsonlSink::new(Vec::new());
+    let builder = SimBuilder::new(&cfg)
+        .scheduler(build_policy())
+        .occupancy(OccupancyModel::Faithful)
+        .run_feed_observed(&mut feed_for(&cfg), offered, &mut builder_sink);
+    assert_same(&shim, &builder, "run_with_scheduler");
+    assert_eq!(
+        shim_sink.finish().expect("shim log written"),
+        builder_sink.finish().expect("builder log written"),
+        "JSONL event logs must be byte-identical"
+    );
+    // The explicit scheduler path reproduces the config-built one.
+    assert_same(&shim, &SimBuilder::new(&cfg).run(), "run_with_scheduler vs run");
+}

@@ -1,7 +1,7 @@
 //! Degenerate-configuration equivalences: structurally different setups
 //! that must produce identical or tightly related results.
 
-use coalloc::core::{run, PlacementRule, PolicyKind, SimConfig};
+use coalloc::core::{PlacementRule, PolicyKind, SimBuilder, SimConfig, SystemSpec};
 use coalloc::workload::{JobSizeDist, QueueRouting, ServiceDist, Workload};
 
 /// GS on a one-cluster system is exactly SC: same queue, same FCFS, and
@@ -16,8 +16,8 @@ fn gs_on_one_cluster_equals_sc() {
         cfg.warmup_jobs = 1_000;
         cfg
     };
-    let sc = run(&base(PolicyKind::Sc));
-    let gs = run(&base(PolicyKind::Gs));
+    let sc = SimBuilder::new(&base(PolicyKind::Sc)).run();
+    let gs = SimBuilder::new(&base(PolicyKind::Gs)).run();
     assert_eq!(sc.metrics.mean_response, gs.metrics.mean_response);
     assert_eq!(sc.metrics.gross_utilization, gs.metrics.gross_utilization);
     assert_eq!(sc.completed, gs.completed);
@@ -35,7 +35,7 @@ fn no_splitting_means_no_extension() {
         cfg
     };
     assert_eq!(cfg.workload.multi_fraction(), 0.0);
-    let out = run(&cfg);
+    let out = SimBuilder::new(&cfg).run();
     // Gross and net differ only by window-edge effects (a job departing
     // inside the window may have been running before it opened).
     assert!(
@@ -57,7 +57,7 @@ fn extension_one_collapses_gross_and_net() {
         cfg.arrival_rate = cfg.workload.rate_for_gross_utilization(0.4, 128);
         cfg.total_jobs = 8_000;
         cfg.warmup_jobs = 800;
-        let out = run(&cfg);
+        let out = SimBuilder::new(&cfg).run();
         assert!(
             (out.metrics.gross_utilization - out.metrics.net_utilization).abs() < 0.02,
             "{policy}: gross {} vs net {}",
@@ -78,7 +78,7 @@ fn common_random_numbers_align_policies_at_zero_load() {
             let mut cfg = SimConfig::das(policy, 16, 0.02);
             cfg.total_jobs = 4_000;
             cfg.warmup_jobs = 400;
-            run(&cfg).metrics.mean_response
+            SimBuilder::new(&cfg).run().metrics.mean_response
         })
         .collect();
     assert!(
@@ -104,7 +104,7 @@ fn whole_cluster_jobs_are_mm1() {
         )
         .with_extension(1.0),
         routing: QueueRouting::balanced(1),
-        capacities: vec![32],
+        system: SystemSpec::new([32]),
         arrival_rate: lambda,
         arrival_cv2: 1.0,
         total_jobs: 120_000,
@@ -115,7 +115,7 @@ fn whole_cluster_jobs_are_mm1() {
         record_series: false,
         seed: 23,
     };
-    let out = run(&cfg);
+    let out = SimBuilder::new(&cfg).run();
     let exact = mean_service / (1.0 - rho);
     let rel = (out.metrics.mean_response - exact).abs() / exact;
     assert!(rel < 0.05, "simulated {} vs exact {exact}", out.metrics.mean_response);
@@ -129,7 +129,7 @@ fn job_conservation() {
             let mut cfg = SimConfig::das(policy, 24, util);
             cfg.total_jobs = 5_000;
             cfg.warmup_jobs = 500;
-            let out = run(&cfg);
+            let out = SimBuilder::new(&cfg).run();
             assert_eq!(
                 out.arrivals,
                 out.completed + out.residual_queued as u64,

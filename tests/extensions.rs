@@ -1,7 +1,7 @@
 //! Integration tests for the extension features: request structures
 //! (JSSPP taxonomy), placement-rule ablation, and heterogeneous systems.
 
-use coalloc::core::{run, PlacementRule, PolicyKind, SimConfig};
+use coalloc::core::{PlacementRule, PolicyKind, SimBuilder, SimConfig, SystemSpec};
 use coalloc::workload::{QueueRouting, RequestKind, Workload};
 
 fn gs_with_kind(kind: RequestKind, util: f64) -> coalloc::core::SimOutcome {
@@ -9,7 +9,7 @@ fn gs_with_kind(kind: RequestKind, util: f64) -> coalloc::core::SimOutcome {
     cfg.workload = cfg.workload.with_request_kind(kind);
     cfg.total_jobs = 15_000;
     cfg.warmup_jobs = 1_500;
-    run(&cfg)
+    SimBuilder::new(&cfg).run()
 }
 
 /// JSSPP ordering: placement freedom pays. Flexible < unordered <
@@ -64,7 +64,7 @@ fn placement_rules_all_run() {
         cfg.rule = rule;
         cfg.total_jobs = 12_000;
         cfg.warmup_jobs = 1_200;
-        let out = run(&cfg);
+        let out = SimBuilder::new(&cfg).run();
         assert!(!out.saturated, "{rule:?} saturated at 0.45");
         responses.push((rule, out.metrics.mean_response));
     }
@@ -77,14 +77,13 @@ fn placement_rules_all_run() {
 /// 72 + 4×32): LS runs on a heterogeneous five-cluster system.
 #[test]
 fn heterogeneous_five_cluster_system() {
-    let capacities = vec![72u32, 32, 32, 32, 32];
     let workload = Workload { clusters: 5, ..Workload::das(16) };
     let rate = workload.rate_for_gross_utilization(0.45, 200);
     let cfg = SimConfig {
         policy: PolicyKind::Ls,
         workload,
         routing: QueueRouting::custom(&[0.36, 0.16, 0.16, 0.16, 0.16]),
-        capacities,
+        system: SystemSpec::new([72, 32, 32, 32, 32]),
         arrival_rate: rate,
         arrival_cv2: 1.0,
         total_jobs: 12_000,
@@ -95,7 +94,7 @@ fn heterogeneous_five_cluster_system() {
         record_series: false,
         seed: 5,
     };
-    let out = run(&cfg);
+    let out = SimBuilder::new(&cfg).run();
     assert!(!out.saturated, "five-cluster DAS2 at 0.45 must be stable");
     assert!(out.metrics.gross_utilization > 0.4);
     assert_eq!(out.arrivals, 12_000);
@@ -110,7 +109,7 @@ fn ordered_requests_respect_targets_under_all_policies() {
         cfg.workload = cfg.workload.with_request_kind(RequestKind::Ordered);
         cfg.total_jobs = 5_000;
         cfg.warmup_jobs = 500;
-        let out = run(&cfg);
+        let out = SimBuilder::new(&cfg).run();
         assert_eq!(
             out.arrivals,
             out.completed + out.residual_queued as u64,
@@ -130,7 +129,7 @@ fn backfilling_beats_strict_fcfs() {
             let mut cfg = SimConfig::das(policy, 16, util);
             cfg.total_jobs = 15_000;
             cfg.warmup_jobs = 1_500;
-            run(&cfg).metrics.mean_response
+            SimBuilder::new(&cfg).run().metrics.mean_response
         };
         let gs = mk(PolicyKind::Gs);
         let gb = mk(PolicyKind::Gb);
@@ -149,7 +148,7 @@ fn extension_factor_controls_viability() {
         cfg.arrival_rate = cfg.workload.rate_for_gross_utilization(0.5, 128);
         cfg.total_jobs = 15_000;
         cfg.warmup_jobs = 1_500;
-        let out = run(&cfg);
+        let out = SimBuilder::new(&cfg).run();
         (out.metrics.mean_response, out.metrics.net_utilization)
     };
     let (r10, n10) = ls_at(1.0);
@@ -172,7 +171,7 @@ fn burstiness_degrades_response() {
         cfg.arrival_cv2 = cv2;
         cfg.total_jobs = 15_000;
         cfg.warmup_jobs = 1_500;
-        run(&cfg).metrics.mean_response
+        SimBuilder::new(&cfg).run().metrics.mean_response
     };
     let poisson = ls_at(1.0);
     let bursty = ls_at(4.0);
@@ -192,7 +191,7 @@ fn spread_penalty_degrades_wide_jobs() {
         // Same arrival rate in both runs: the penalty adds load.
         cfg.total_jobs = 15_000;
         cfg.warmup_jobs = 1_500;
-        run(&cfg)
+        SimBuilder::new(&cfg).run()
     };
     let flat = ls_at(0.0);
     let penalized = ls_at(0.15);
@@ -227,7 +226,7 @@ fn correlation_degrades_response() {
         cfg.arrival_rate = cfg.workload.rate_for_gross_utilization(0.5, 128);
         cfg.total_jobs = 15_000;
         cfg.warmup_jobs = 1_500;
-        run(&cfg).metrics.mean_response
+        SimBuilder::new(&cfg).run().metrics.mean_response
     };
     let independent = at(0.0);
     let correlated = at(1.0);

@@ -1,0 +1,67 @@
+//! Heterogeneous-system integration tests (promoted from the old
+//! `examples/das2_heterogeneous.rs`): the real DAS2 geometry — 72 + 4×32
+//! processors, five clusters — must run end-to-end under every policy
+//! with the invariant auditor attached and come back clean.
+
+use coalloc::core::{InvariantAuditor, PolicyKind, SimBuilder, SimConfig, SystemSpec};
+
+/// A moderate-load DAS2 configuration (size-proportional routing is set
+/// up by [`SimConfig::heterogeneous`]; SC pools the five clusters).
+fn das2_cfg(policy: PolicyKind, util: f64) -> SimConfig {
+    let mut cfg = SimConfig::heterogeneous(policy, 16, util, SystemSpec::das2());
+    cfg.total_jobs = 6_000;
+    cfg.warmup_jobs = 600;
+    cfg.batch_size = 120;
+    cfg
+}
+
+/// All five policies complete the whole DAS2 workload at util 0.40
+/// without saturating, and the auditor finds no violations.
+#[test]
+fn das2_runs_auditor_clean_under_every_policy() {
+    for policy in [PolicyKind::Gs, PolicyKind::Ls, PolicyKind::Lp, PolicyKind::Sc, PolicyKind::Gb] {
+        let cfg = das2_cfg(policy, 0.40);
+        let mut auditor = InvariantAuditor::new(&cfg);
+        let out = SimBuilder::new(&cfg).run_observed(&mut auditor);
+        assert!(
+            auditor.is_clean(),
+            "{} on DAS2 broke invariants: {}",
+            policy.label(),
+            auditor.report()
+        );
+        assert_eq!(out.arrivals, 6_000, "{} generated every arrival", policy.label());
+        assert_eq!(out.completed, 6_000, "{} completed every job", policy.label());
+        assert!(!out.saturated, "{} must be stable on DAS2 at util 0.40", policy.label());
+    }
+}
+
+/// The measured utilization tracks the offered load on the
+/// heterogeneous geometry too (the rate calibration uses the actual
+/// 200-processor total, not the DAS default 128).
+#[test]
+fn das2_measured_utilization_tracks_offered() {
+    let cfg = das2_cfg(PolicyKind::Gs, 0.45);
+    let out = SimBuilder::new(&cfg).run();
+    assert!(
+        (out.metrics.gross_utilization - 0.45).abs() < 0.05,
+        "measured gross utilization {} should be near offered 0.45",
+        out.metrics.gross_utilization
+    );
+}
+
+/// Heterogeneity is not limited to DAS2: an unbalanced three-cluster
+/// system (48 + 64 + 128) runs auditor-clean under LS. (The smallest
+/// cluster must still hold a component of the largest job split over
+/// all three clusters — 128 processors split three ways is 43.)
+#[test]
+fn unbalanced_three_cluster_system_is_auditor_clean() {
+    let mut cfg =
+        SimConfig::heterogeneous(PolicyKind::Ls, 16, 0.35, SystemSpec::new([48, 64, 128]));
+    cfg.total_jobs = 4_000;
+    cfg.warmup_jobs = 400;
+    cfg.batch_size = 100;
+    let mut auditor = InvariantAuditor::new(&cfg);
+    let out = SimBuilder::new(&cfg).run_observed(&mut auditor);
+    assert!(auditor.is_clean(), "LS on 8+64+128 broke invariants: {}", auditor.report());
+    assert_eq!(out.completed, 4_000);
+}

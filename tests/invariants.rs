@@ -2,8 +2,8 @@
 //! public policy API with randomized job streams.
 
 use coalloc::core::{
-    run_observed, ActiveJob, InvariantAuditor, JobId, JobTable, MultiCluster, PlacementRule,
-    PolicyKind, Scheduler, SimConfig,
+    ActiveJob, InvariantAuditor, JobId, JobTable, MultiCluster, PlacementRule, PolicyKind,
+    Scheduler, SimBuilder, SimConfig, SystemSpec,
 };
 use coalloc::desim::{Duration, RngStream, SimTime};
 use coalloc::workload::{JobRequest, JobSpec, QueueRouting};
@@ -34,7 +34,7 @@ fn scenario() -> impl Strategy<Value = Scenario> {
 fn drive(sc: &Scenario) -> (usize, usize) {
     let mut system = MultiCluster::das_multicluster();
     let mut policy: Box<dyn Scheduler> = sc.policy.build(
-        4,
+        &SystemSpec::das_multicluster(),
         QueueRouting::balanced(4),
         RngStream::new(sc.seed),
         PlacementRule::WorstFit,
@@ -176,7 +176,7 @@ proptest! {
         cfg.warmup_jobs = sc.jobs / 10;
         cfg.seed = sc.seed;
         let mut auditor = InvariantAuditor::new(&cfg);
-        run_observed(&cfg, &mut auditor);
+        SimBuilder::new(&cfg).run_observed(&mut auditor);
         prop_assert!(auditor.is_clean(), "{:?}: {}", sc, auditor.report());
     }
 }
@@ -194,7 +194,7 @@ fn quick_scale_sweep_audits_clean() {
         cfg.total_jobs = 8_000;
         cfg.warmup_jobs = 1_000;
         let mut auditor = InvariantAuditor::new(&cfg);
-        run_observed(&cfg, &mut auditor);
+        SimBuilder::new(&cfg).run_observed(&mut auditor);
         assert!(auditor.is_clean(), "{policy}: {}", auditor.report());
     }
 }
@@ -207,7 +207,7 @@ proptest! {
     fn gs_starts_in_fcfs_order(sizes in proptest::collection::vec(1u32..=128, 1..40)) {
         let mut system = MultiCluster::das_multicluster();
         let mut policy: Box<dyn Scheduler> = PolicyKind::Gs.build(
-            4,
+            &SystemSpec::das_multicluster(),
             QueueRouting::balanced(4),
             RngStream::new(1),
             PlacementRule::WorstFit,

@@ -1,7 +1,7 @@
 //! Simulation-methodology integration tests: common random numbers,
 //! KS-based distribution checks, and replay-vs-sampling consistency.
 
-use coalloc::core::{run, run_trace, PolicyKind, SimConfig};
+use coalloc::core::{PolicyKind, SimBuilder, SimConfig};
 use coalloc::desim::{ks_same_distribution, ks_statistic, RngStream};
 use coalloc::trace::{generate_das1_log, DasLogConfig};
 use coalloc::workload::Workload;
@@ -17,7 +17,7 @@ fn common_random_numbers_reduce_variance() {
             let mut cfg = SimConfig::das(policy, 16, 0.5).with_seed(seed);
             cfg.total_jobs = 6_000;
             cfg.warmup_jobs = 600;
-            run(&cfg).metrics.mean_response
+            SimBuilder::new(&cfg).run().metrics.mean_response
         };
         mk(PolicyKind::Gs, seed_a) - mk(PolicyKind::Ls, seed_b)
     };
@@ -59,7 +59,7 @@ fn replay_and_sampling_agree_at_low_load() {
     // Stretch the log to near-zero load so every job starts on arrival.
     let mut cfg = SimConfig::das(PolicyKind::Gs, 16, 0.1);
     cfg.warmup_jobs = 800;
-    let replay = run_trace(&cfg, &log, 10.0);
+    let replay = SimBuilder::new(&cfg).run_trace(&log, 10.0);
     // At near-zero load the mean response equals the mean (extended)
     // occupancy of the log's jobs.
     let w = Workload::das(16);

@@ -4,7 +4,7 @@
 //! the robust ones the conclusions rest on.
 
 use coalloc::core::saturation::{maximal_utilization, SaturationConfig};
-use coalloc::core::{run, PolicyKind, SimConfig};
+use coalloc::core::{PolicyKind, SimBuilder, SimConfig};
 
 fn das_run(policy: PolicyKind, limit: u32, util: f64, balanced: bool) -> coalloc::core::SimOutcome {
     let mut cfg = SimConfig::das(policy, limit, util);
@@ -13,14 +13,14 @@ fn das_run(policy: PolicyKind, limit: u32, util: f64, balanced: bool) -> coalloc
     }
     cfg.total_jobs = 20_000;
     cfg.warmup_jobs = 2_000;
-    run(&cfg)
+    SimBuilder::new(&cfg).run()
 }
 
 fn sc_run(util: f64) -> coalloc::core::SimOutcome {
     let mut cfg = SimConfig::das_single_cluster(util);
     cfg.total_jobs = 20_000;
     cfg.warmup_jobs = 2_000;
-    run(&cfg)
+    SimBuilder::new(&cfg).run()
 }
 
 /// §3.1.1: "LS performs much better than the other multicluster policies
@@ -82,7 +82,7 @@ fn das_s_64_improves_performance() {
         cfg.arrival_rate = cfg.workload.rate_for_gross_utilization(util, 128);
         cfg.total_jobs = 20_000;
         cfg.warmup_jobs = 2_000;
-        run(&cfg).metrics.mean_response
+        SimBuilder::new(&cfg).run().metrics.mean_response
     };
     assert!(sc64 < 0.7 * sc128, "SC must improve a lot: {sc128} -> {sc64}");
 
@@ -94,7 +94,7 @@ fn das_s_64_improves_performance() {
         cfg.arrival_rate = cfg.workload.rate_for_gross_utilization(util, 128);
         cfg.total_jobs = 20_000;
         cfg.warmup_jobs = 2_000;
-        run(&cfg).metrics.mean_response
+        SimBuilder::new(&cfg).run().metrics.mean_response
     };
     assert!(ls64 < ls128, "LS must improve: {ls128} -> {ls64}");
 }

@@ -7,7 +7,7 @@
 //! A small tolerance absorbs platform differences in `ln`/`exp`
 //! rounding; it is far below any behavioural change.
 
-use coalloc::core::{run, run_observed, InvariantAuditor, JsonlSink, PolicyKind, SimConfig};
+use coalloc::core::{InvariantAuditor, JsonlSink, PolicyKind, SimBuilder, SimConfig};
 
 const TOL: f64 = 1e-6;
 
@@ -34,7 +34,7 @@ fn golden_outcomes_per_policy() {
         (PolicyKind::Sc, 622.1386886713, 0.5171377042, 5000),
     ];
     for (policy, resp, gross, completed) in golden {
-        let out = run(&golden_cfg(policy));
+        let out = SimBuilder::new(&golden_cfg(policy)).run();
         assert!(
             (out.metrics.mean_response - resp).abs() < TOL * resp,
             "{policy}: mean response {} != golden {resp}",
@@ -56,7 +56,7 @@ fn observers_do_not_perturb_the_golden_outcomes() {
     // run must audit clean.
     let cfg = golden_cfg(PolicyKind::Gs);
     let mut auditor = InvariantAuditor::new(&cfg);
-    let out = run_observed(&cfg, &mut auditor);
+    let out = SimBuilder::new(&cfg).run_observed(&mut auditor);
     auditor.assert_clean();
     assert!(
         (out.metrics.mean_response - 827.1489226324).abs() < TOL * 827.0,
@@ -71,7 +71,7 @@ fn event_log() -> Vec<u8> {
     cfg.total_jobs = 300;
     cfg.warmup_jobs = 50;
     let mut sink = JsonlSink::new(Vec::new());
-    run_observed(&cfg, &mut sink);
+    SimBuilder::new(&cfg).run_observed(&mut sink);
     sink.finish().expect("writing to a Vec cannot fail")
 }
 

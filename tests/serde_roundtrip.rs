@@ -2,14 +2,14 @@
 //! comes back intact (the contract behind `coalloc-exp runjson` and the
 //! serde derives across the workspace).
 
-use coalloc::core::{run, PolicyKind, SimConfig};
+use coalloc::core::{PolicyKind, SimBuilder, SimConfig};
 
 #[test]
 fn sim_outcome_roundtrips_through_json() {
     let mut cfg = SimConfig::das(PolicyKind::Ls, 16, 0.4);
     cfg.total_jobs = 2_000;
     cfg.warmup_jobs = 200;
-    let out = run(&cfg);
+    let out = SimBuilder::new(&cfg).run();
     let json = serde_json::to_string(&out).expect("serializes");
     assert!(json.contains("\"policy\":\"LS\""));
     let back: coalloc::core::SimOutcome = serde_json::from_str(&json).expect("parses");

@@ -1,7 +1,7 @@
 //! Analytic validation of the simulator on degenerate configurations
 //! with known closed-form results: M/M/1, M/M/c (Erlang-C), and M/D/1.
 
-use coalloc::core::{run, PlacementRule, PolicyKind, SimConfig};
+use coalloc::core::{PlacementRule, PolicyKind, SimBuilder, SimConfig, SystemSpec};
 use coalloc::workload::{JobSizeDist, QueueRouting, ServiceDist, Workload};
 
 fn queueing_cfg(servers: u32, service: ServiceDist, lambda: f64, seed: u64) -> SimConfig {
@@ -10,7 +10,7 @@ fn queueing_cfg(servers: u32, service: ServiceDist, lambda: f64, seed: u64) -> S
         workload: Workload::custom(JobSizeDist::custom("unit", &[(1, 1.0)]), service, 1, 1)
             .with_extension(1.0),
         routing: QueueRouting::balanced(1),
-        capacities: vec![servers],
+        system: SystemSpec::new([servers]),
         arrival_rate: lambda,
         arrival_cv2: 1.0,
         total_jobs: 150_000,
@@ -30,7 +30,7 @@ fn mm1_mean_response() {
     for rho in [0.3, 0.6, 0.8] {
         let lambda = rho * mu;
         let cfg = queueing_cfg(1, ServiceDist::exponential(100.0), lambda, 7);
-        let out = run(&cfg);
+        let out = SimBuilder::new(&cfg).run();
         let exact = coalloc::desim::queueing::mm1_mean_response(lambda, mu);
         let rel = (out.metrics.mean_response - exact).abs() / exact;
         assert!(rel < 0.05, "rho {rho}: simulated {} vs exact {exact}", out.metrics.mean_response);
@@ -44,7 +44,7 @@ fn mmc_mean_response() {
     for (c, rho) in [(4u32, 0.7), (32, 0.8)] {
         let lambda = rho * f64::from(c) * mu;
         let cfg = queueing_cfg(c, ServiceDist::exponential(200.0), lambda, 11);
-        let out = run(&cfg);
+        let out = SimBuilder::new(&cfg).run();
         let exact = coalloc::desim::queueing::mmc_mean_response(lambda, mu, c);
         let rel = (out.metrics.mean_response - exact).abs() / exact;
         assert!(rel < 0.05, "M/M/{c} rho {rho}: {} vs {exact}", out.metrics.mean_response);
@@ -60,7 +60,7 @@ fn md1_mean_response() {
     for rho in [0.4, 0.7] {
         let lambda = rho * mu;
         let cfg = queueing_cfg(1, ServiceDist::deterministic(service), lambda, 13);
-        let out = run(&cfg);
+        let out = SimBuilder::new(&cfg).run();
         let exact = coalloc::desim::queueing::md1_mean_response(lambda, service);
         let rel = (out.metrics.mean_response - exact).abs() / exact;
         assert!(rel < 0.05, "M/D/1 rho {rho}: {} vs {exact}", out.metrics.mean_response);
@@ -71,7 +71,7 @@ fn md1_mean_response() {
 #[test]
 fn utilization_law() {
     let cfg = queueing_cfg(8, ServiceDist::exponential(50.0), 0.1, 17);
-    let out = run(&cfg);
+    let out = SimBuilder::new(&cfg).run();
     let expected = 0.1 * 50.0 / 8.0;
     assert!(
         (out.metrics.gross_utilization - expected).abs() < 0.02,
@@ -91,7 +91,7 @@ fn littles_law_holds() {
         let mut cfg = SimConfig::das(policy, 16, 0.5);
         cfg.total_jobs = 30_000;
         cfg.warmup_jobs = 3_000;
-        let out = run(&cfg);
+        let out = SimBuilder::new(&cfg).run();
         let m = &out.metrics;
         let l = m.mean_jobs_in_system;
         let lam_w = m.throughput * m.mean_response;
@@ -106,7 +106,7 @@ fn response_percentiles_are_ordered() {
     let mut cfg = SimConfig::das(PolicyKind::Ls, 16, 0.5);
     cfg.total_jobs = 20_000;
     cfg.warmup_jobs = 2_000;
-    let out = run(&cfg);
+    let out = SimBuilder::new(&cfg).run();
     let m = &out.metrics;
     assert!(m.median_response > 0.0);
     assert!(
@@ -156,7 +156,7 @@ fn littles_law_for_the_queue() {
     let mut cfg = SimConfig::das(PolicyKind::Gs, 16, 0.55);
     cfg.total_jobs = 30_000;
     cfg.warmup_jobs = 3_000;
-    let out = run(&cfg);
+    let out = SimBuilder::new(&cfg).run();
     let m = &out.metrics;
     let lq = m.mean_queue_length;
     let lam_wq = m.throughput * m.mean_wait;
