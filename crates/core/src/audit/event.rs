@@ -22,7 +22,14 @@ use super::{PassTrigger, PlacementDecision, SimObserver};
 /// | `placement`  | `job`, `queue`, `scope`, `idle_before`, `assignments` |
 /// | `start`      | `job`, `occupancy`                                 |
 /// | `completion` | `job`                                              |
+/// | `cluster_down` | `scope` (the cluster), `components` (the one remaining-processor count) |
+/// | `cluster_up` | `scope` (the cluster)                              |
+/// | `job_interrupted` | `job`, `queue`, `scope` (the failed cluster), `trigger` (the disposition), `assignments` (released), `components` (possibly re-split) |
 /// | `end`        | —                                                  |
+///
+/// The three fault kinds only appear when a run enables fault
+/// injection, so fault-free logs stay byte-identical to earlier
+/// versions.
 #[derive(Clone, Debug, serde::Serialize)]
 pub struct EventRecord {
     /// Position of this event in the run's event stream, from 0.
@@ -152,6 +159,7 @@ impl<W: Write> SimObserver for JsonlSink<W> {
             match trigger {
                 PassTrigger::Arrival => "arrival",
                 PassTrigger::Departure => "departure",
+                PassTrigger::Fault => "fault",
             }
             .to_string(),
         );
@@ -194,6 +202,35 @@ impl<W: Write> SimObserver for JsonlSink<W> {
     fn on_completion(&mut self, now: SimTime, id: JobId, _job: &ActiveJob) {
         let mut r = self.next(now, "completion");
         r.job = Some(id.0);
+        self.emit(&r);
+    }
+
+    fn on_cluster_down(&mut self, now: SimTime, cluster: usize, remaining: u32) {
+        let mut r = self.next(now, "cluster_down");
+        r.scope = Some(format!("cluster{cluster}"));
+        r.components = vec![remaining];
+        self.emit(&r);
+    }
+
+    fn on_cluster_up(&mut self, now: SimTime, cluster: usize) {
+        let mut r = self.next(now, "cluster_up");
+        r.scope = Some(format!("cluster{cluster}"));
+        self.emit(&r);
+    }
+
+    fn on_job_interrupted(
+        &mut self,
+        now: SimTime,
+        job: &ActiveJob,
+        info: &super::Interruption<'_>,
+    ) {
+        let mut r = self.next(now, "job_interrupted");
+        r.job = Some(info.id.0);
+        r.queue = Some(job.queue.audit_label());
+        r.scope = Some(format!("cluster{}", info.cluster));
+        r.trigger = Some(info.disposition.label().to_string());
+        r.assignments = info.released.assignments().iter().map(|&(c, p)| (c as u64, p)).collect();
+        r.components = job.spec.request.components().to_vec();
         self.emit(&r);
     }
 

@@ -49,6 +49,17 @@ pub enum ViolationKind {
     /// The idle snapshot a scheduler reported disagrees with the
     /// auditor's independently tracked ledger.
     LedgerMismatch,
+    /// A component was assigned to a cluster that a failure had taken
+    /// fully offline.
+    AllocationOnDownCluster,
+    /// A job started ahead of a fault victim that was re-queued at the
+    /// head of its queue to preserve its FCFS age.
+    RequeueOrderViolation,
+    /// Fault bookkeeping went wrong: a cluster went down with victims
+    /// still running on it, an interruption released processors a job
+    /// did not hold, a repair hit a cluster that was not down, or an
+    /// interruption hit a job that was not running.
+    InterruptAccountingError,
 }
 
 impl core::fmt::Display for ViolationKind {
@@ -98,6 +109,10 @@ struct JobInfo {
     occupancy: f64,
     span: usize,
     assignments: Vec<(usize, u32)>,
+    /// The job is a fault victim re-queued at the head of its queue;
+    /// starting any other job from that queue ahead of it violates the
+    /// preserved FCFS age.
+    requeued_front: bool,
 }
 
 /// An observer that checks, at every event, that the simulation obeys
@@ -112,6 +127,9 @@ struct JobInfo {
 pub struct InvariantAuditor {
     system: SystemSpec,
     idle: Vec<u32>,
+    /// Per-cluster *effective* capacity: the full capacity, lowered to
+    /// the remaining-usable count while a failure has the cluster down.
+    effective: Vec<u32>,
     workload: Workload,
     rule: PlacementRule,
     /// FCFS is enforced per queue unless the policy overtakes by design
@@ -159,6 +177,7 @@ impl InvariantAuditor {
         let clusters = system.num_clusters();
         InvariantAuditor {
             idle: system.capacities().to_vec(),
+            effective: system.capacities().to_vec(),
             system,
             workload,
             rule,
@@ -302,6 +321,7 @@ impl SimObserver for InvariantAuditor {
             occupancy: 0.0,
             span: 0,
             assignments: Vec::new(),
+            requeued_front: false,
         });
     }
 
@@ -394,6 +414,20 @@ impl SimObserver for InvariantAuditor {
             );
         }
 
+        // No component may land on a cluster a failure took fully
+        // offline (the ledger also catches partial-outage overflow as
+        // CapacityExceeded below).
+        for &(c, _) in &assignments {
+            if self.effective.get(c).copied() == Some(0) {
+                self.violation(
+                    ViolationKind::AllocationOnDownCluster,
+                    t,
+                    Some(id.0),
+                    format!("component assigned to down cluster {c}"),
+                );
+            }
+        }
+
         // Components on distinct clusters (§2.3).
         let mut clusters: Vec<usize> = assignments.iter().map(|&(c, _)| c).collect();
         clusters.sort_unstable();
@@ -432,12 +466,34 @@ impl SimObserver for InvariantAuditor {
             FifoOutcome::Head => {}
             FifoOutcome::Overtook(ahead) => {
                 if self.strict_fcfs {
-                    self.violation(
-                        ViolationKind::FcfsOvertaking,
-                        t,
-                        Some(id.0),
-                        format!("started ahead of waiting jobs {ahead:?}"),
-                    );
+                    // Overtaking a fault victim that was re-queued at
+                    // the head to preserve its FCFS age is its own,
+                    // more specific violation.
+                    let victims: Vec<u64> = ahead
+                        .iter()
+                        .copied()
+                        .filter(|&j| {
+                            self.jobs
+                                .get(j as usize)
+                                .and_then(Option::as_ref)
+                                .is_some_and(|info| info.requeued_front)
+                        })
+                        .collect();
+                    if victims.is_empty() {
+                        self.violation(
+                            ViolationKind::FcfsOvertaking,
+                            t,
+                            Some(id.0),
+                            format!("started ahead of waiting jobs {ahead:?}"),
+                        );
+                    } else {
+                        self.violation(
+                            ViolationKind::RequeueOrderViolation,
+                            t,
+                            Some(id.0),
+                            format!("started ahead of re-queued fault victims {victims:?}"),
+                        );
+                    }
                 }
             }
             FifoOutcome::Absent => self.violation(
@@ -516,6 +572,7 @@ impl SimObserver for InvariantAuditor {
             info.state = JobState::Placed;
             info.span = span;
             info.assignments = assignments;
+            info.requeued_front = false;
         }
     }
 
@@ -593,11 +650,14 @@ impl SimObserver for InvariantAuditor {
             );
         }
         for (c, p) in assignments {
+            // Releases are bounded by the *effective* capacity: while a
+            // cluster is degraded, its offline processors cannot come
+            // back via a job completion.
             let overflow = match self.idle.get_mut(c) {
                 Some(idle) => {
                     *idle += p;
-                    if *idle > self.system.capacities()[c] {
-                        let (have, cap) = (*idle, self.system.capacities()[c]);
+                    if *idle > self.effective[c] {
+                        let (have, cap) = (*idle, self.effective[c]);
                         *idle = cap;
                         Some(format!("release left cluster {c} with {have} idle of {cap}"))
                     } else {
@@ -612,24 +672,196 @@ impl SimObserver for InvariantAuditor {
         }
     }
 
+    fn on_cluster_down(&mut self, now: SimTime, cluster: usize, remaining: u32) {
+        let t = self.check_time(now);
+        let Some(&cap) = self.system.capacities().get(cluster) else {
+            self.violation(
+                ViolationKind::InterruptAccountingError,
+                t,
+                None,
+                format!("failure of nonexistent cluster {cluster}"),
+            );
+            return;
+        };
+        // Every running component on the cluster must have been
+        // interrupted first, and earlier outages must have been
+        // repaired (fault traces alternate down/up per cluster) — so
+        // the ledger must show the cluster entirely idle at full
+        // effective capacity.
+        let (idle, eff) = (self.idle[cluster], self.effective[cluster]);
+        if eff != cap {
+            self.violation(
+                ViolationKind::InterruptAccountingError,
+                t,
+                None,
+                format!("cluster {cluster} failed while already degraded to {eff}/{cap}"),
+            );
+        } else if idle != cap {
+            self.violation(
+                ViolationKind::InterruptAccountingError,
+                t,
+                None,
+                format!(
+                    "cluster {cluster} went down with {} processors still held by running jobs",
+                    cap - idle
+                ),
+            );
+        }
+        self.idle[cluster] = remaining.min(cap);
+        self.effective[cluster] = remaining.min(cap);
+    }
+
+    fn on_cluster_up(&mut self, now: SimTime, cluster: usize) {
+        let t = self.check_time(now);
+        let Some(&cap) = self.system.capacities().get(cluster) else {
+            self.violation(
+                ViolationKind::InterruptAccountingError,
+                t,
+                None,
+                format!("repair of nonexistent cluster {cluster}"),
+            );
+            return;
+        };
+        let eff = self.effective[cluster];
+        if eff >= cap {
+            self.violation(
+                ViolationKind::InterruptAccountingError,
+                t,
+                None,
+                format!("repair of cluster {cluster} which was not down"),
+            );
+            return;
+        }
+        self.idle[cluster] += cap - eff;
+        self.effective[cluster] = cap;
+    }
+
+    fn on_job_interrupted(
+        &mut self,
+        now: SimTime,
+        job: &ActiveJob,
+        info: &super::Interruption<'_>,
+    ) {
+        let t = self.check_time(now);
+        let id = info.id;
+        let was = self.jobs.get(id.0 as usize).and_then(Option::as_ref).map(|i| i.state);
+        let Some(state) = was else {
+            self.unknown_job(t, id, "interruption");
+            return;
+        };
+        if state != JobState::Running {
+            self.violation(
+                ViolationKind::InterruptAccountingError,
+                t,
+                Some(id.0),
+                format!("interrupted while {state:?}"),
+            );
+        }
+        // The released placement must be exactly what the job held.
+        let held = self.jobs[id.0 as usize].as_ref().map(|i| i.assignments.clone());
+        let released: Vec<(usize, u32)> = info.released.assignments().to_vec();
+        if held.as_deref() != Some(released.as_slice()) {
+            self.violation(
+                ViolationKind::InterruptAccountingError,
+                t,
+                Some(id.0),
+                format!("released {released:?} but held {held:?}"),
+            );
+        }
+        // Return the processors to the ledger, bounded by the effective
+        // capacities (the failed cluster is not degraded yet — the
+        // session applies the outage after the victims are handled).
+        for (c, p) in released {
+            let overflow = match self.idle.get_mut(c) {
+                Some(idle) => {
+                    *idle += p;
+                    if *idle > self.effective[c] {
+                        let (have, cap) = (*idle, self.effective[c]);
+                        *idle = cap;
+                        Some(format!("interruption left cluster {c} with {have} idle of {cap}"))
+                    } else {
+                        None
+                    }
+                }
+                None => Some(format!("interruption released on nonexistent cluster {c}")),
+            };
+            if let Some(detail) = overflow {
+                self.violation(ViolationKind::InterruptAccountingError, t, Some(id.0), detail);
+            }
+        }
+        // The victim's fate: back into the queue mirror (possibly with
+        // a re-split request), or out of the system entirely.
+        if let Some(slot) = self.jobs.get_mut(id.0 as usize).and_then(Option::as_mut) {
+            slot.assignments.clear();
+            slot.span = 0;
+            slot.request = job.spec.request.clone();
+            match info.disposition {
+                crate::fault::InterruptPolicy::Abort => slot.state = JobState::Done,
+                crate::fault::InterruptPolicy::RequeueFront
+                | crate::fault::InterruptPolicy::RequeueBack => slot.state = JobState::Waiting,
+            }
+        }
+        match info.disposition {
+            crate::fault::InterruptPolicy::Abort => {}
+            disposition => {
+                let front = disposition == crate::fault::InterruptPolicy::RequeueFront;
+                let pushed = match job.queue {
+                    SubmitQueue::Global => {
+                        if front {
+                            self.waiting_global.push_front(id.0);
+                        } else {
+                            self.waiting_global.push_back(id.0);
+                        }
+                        true
+                    }
+                    SubmitQueue::Local(i) => match self.waiting_local.get_mut(i) {
+                        Some(fifo) => {
+                            if front {
+                                fifo.push_front(id.0);
+                            } else {
+                                fifo.push_back(id.0);
+                            }
+                            true
+                        }
+                        None => false,
+                    },
+                };
+                if !pushed {
+                    self.violation(
+                        ViolationKind::JobStateError,
+                        t,
+                        Some(id.0),
+                        format!("re-queued on nonexistent {:?}", job.queue),
+                    );
+                } else if front {
+                    if let Some(slot) = self.jobs.get_mut(id.0 as usize).and_then(Option::as_mut) {
+                        slot.requeued_front = true;
+                    }
+                }
+            }
+        }
+    }
+
     fn on_run_end(&mut self, now: SimTime) {
         self.check_time(now);
         // Started-but-unfinished jobs would still hold processors; a
-        // drained run must have returned every allocated processor.
+        // drained run must have returned every allocated processor (up
+        // to the effective capacity — a trace may leave a cluster down
+        // at the end of the run).
         let stuck: Vec<(usize, u32, u32)> = self
             .idle
             .iter()
-            .zip(self.system.capacities())
+            .zip(self.effective.iter())
             .enumerate()
-            .filter(|(_, (idle, cap))| idle != cap)
-            .map(|(i, (&idle, &cap))| (i, idle, cap))
+            .filter(|(_, (idle, eff))| idle != eff)
+            .map(|(i, (&idle, &eff))| (i, idle, eff))
             .collect();
-        for (i, idle, cap) in stuck {
+        for (i, idle, eff) in stuck {
             self.violation(
                 ViolationKind::JobStateError,
                 now.seconds(),
                 None,
-                format!("run ended with cluster {i} at {idle}/{cap} idle"),
+                format!("run ended with cluster {i} at {idle}/{eff} idle"),
             );
         }
     }

@@ -46,6 +46,8 @@ pub enum PassTrigger {
     Arrival,
     /// A job departed and released its processors.
     Departure,
+    /// A cluster failed or was repaired (see [`crate::fault`]).
+    Fault,
 }
 
 /// The scope a placement was chosen in.
@@ -61,6 +63,25 @@ pub enum PlacementScope {
     /// The job was restricted to this cluster
     /// ([`crate::placement::place_on_cluster`]).
     Cluster(usize),
+}
+
+/// One job losing its processors to a cluster failure, observed at the
+/// instant the simulator has released its placement and decided its
+/// fate (see [`crate::fault::InterruptPolicy`]).
+#[derive(Debug)]
+pub struct Interruption<'a> {
+    /// The interrupted job.
+    pub id: JobId,
+    /// The cluster whose failure killed one of its components.
+    pub cluster: usize,
+    /// The placement the job held; its processors were just released.
+    pub released: &'a Placement,
+    /// What happens to the job now (requeue at the head, at the tail,
+    /// or abort).
+    pub disposition: crate::fault::InterruptPolicy,
+    /// Whether the request was re-split against the surviving clusters
+    /// (the job at the hook already carries the new request).
+    pub resplit: bool,
 }
 
 /// One successful placement decision, borrowed from the scheduler at
@@ -132,6 +153,26 @@ pub trait SimObserver {
         let _ = (now, id, job);
     }
 
+    /// A cluster failed: every job running a component on it has been
+    /// interrupted (each with an [`SimObserver::on_job_interrupted`]
+    /// call, all *before* this hook) and `remaining` of its processors
+    /// stay usable for new work until the repair.
+    fn on_cluster_down(&mut self, now: SimTime, cluster: usize, remaining: u32) {
+        let _ = (now, cluster, remaining);
+    }
+
+    /// A failed cluster was repaired to full capacity.
+    fn on_cluster_up(&mut self, now: SimTime, cluster: usize) {
+        let _ = (now, cluster);
+    }
+
+    /// A cluster failure killed a running job's component. `job` is the
+    /// post-interruption state: placement and start already cleared,
+    /// request possibly re-split (see [`Interruption::resplit`]).
+    fn on_job_interrupted(&mut self, now: SimTime, job: &ActiveJob, info: &Interruption<'_>) {
+        let _ = (now, job, info);
+    }
+
     /// The run ended (event queue drained) at `now`.
     fn on_run_end(&mut self, now: SimTime) {
         let _ = now;
@@ -200,6 +241,21 @@ impl<A: SimObserver + ?Sized, B: SimObserver + ?Sized> SimObserver for Tee<'_, A
     fn on_completion(&mut self, now: SimTime, id: JobId, job: &ActiveJob) {
         self.a.on_completion(now, id, job);
         self.b.on_completion(now, id, job);
+    }
+
+    fn on_cluster_down(&mut self, now: SimTime, cluster: usize, remaining: u32) {
+        self.a.on_cluster_down(now, cluster, remaining);
+        self.b.on_cluster_down(now, cluster, remaining);
+    }
+
+    fn on_cluster_up(&mut self, now: SimTime, cluster: usize) {
+        self.a.on_cluster_up(now, cluster);
+        self.b.on_cluster_up(now, cluster);
+    }
+
+    fn on_job_interrupted(&mut self, now: SimTime, job: &ActiveJob, info: &Interruption<'_>) {
+        self.a.on_job_interrupted(now, job, info);
+        self.b.on_job_interrupted(now, job, info);
     }
 
     fn on_run_end(&mut self, now: SimTime) {

@@ -15,8 +15,10 @@ use crate::sim::{OccupancyModel, SimBuilder, SimConfig};
 use crate::system::{MultiCluster, SystemSpec};
 
 use super::{
-    InvariantAuditor, PassTrigger, PlacementDecision, PlacementScope, SimObserver, ViolationKind,
+    Interruption, InvariantAuditor, PassTrigger, PlacementDecision, PlacementScope, SimObserver,
+    ViolationKind,
 };
+use crate::fault::InterruptPolicy;
 
 /// A fixed, scripted job stream for the mutant scenarios.
 struct VecFeed {
@@ -296,6 +298,35 @@ fn arrive(
     id
 }
 
+/// Places a job exactly as Worst Fit dictates on `idle`, reports the
+/// decision and the start, and mirrors the ledger change into `idle`.
+fn place_and_start(
+    auditor: &mut InvariantAuditor,
+    table: &mut JobTable,
+    idle: &mut [u32],
+    id: JobId,
+    t: f64,
+) -> Placement {
+    let p = place_request(idle, &table.get(id).spec.request, PlacementRule::WorstFit)
+        .expect("request fits the idle system");
+    auditor.on_placement(
+        SimTime::new(t),
+        &PlacementDecision {
+            id,
+            queue: SubmitQueue::Global,
+            scope: PlacementScope::System,
+            idle_before: idle,
+            placement: &p,
+        },
+    );
+    for &(c, n) in p.assignments() {
+        idle[c] -= n;
+    }
+    table.mark_started(id, p.clone(), SimTime::new(t));
+    auditor.on_start(SimTime::new(t), id, table.get(id), Duration::new(100.0));
+    p
+}
+
 #[test]
 fn non_monotonic_time_is_caught() {
     let mut auditor = synthetic_auditor();
@@ -399,4 +430,187 @@ fn ledger_mismatch_is_caught() {
     );
     assert!(auditor.has(ViolationKind::LedgerMismatch), "{}", auditor.report());
     assert!(!auditor.has(ViolationKind::CapacityExceeded), "{}", auditor.report());
+}
+
+// ---------------------------------------------------------------------
+// Fault-injection mutants: each of the three fault-era violation kinds
+// proven by a seeded corrupt event sequence, plus a clean control.
+// ---------------------------------------------------------------------
+
+#[test]
+fn allocation_on_down_cluster_is_caught() {
+    let mut auditor = synthetic_auditor();
+    let mut table = JobTable::new();
+    // Cluster 0 fails cleanly (idle, full capacity) — then a component
+    // is assigned to it anyway.
+    auditor.on_cluster_down(SimTime::new(0.0), 0, 0);
+    let id = arrive(&mut auditor, &mut table, &[8], 1.0);
+    let bogus = Placement::new(vec![(0, 8)]);
+    auditor.on_placement(
+        SimTime::new(1.0),
+        &PlacementDecision {
+            id,
+            queue: SubmitQueue::Global,
+            scope: PlacementScope::System,
+            idle_before: &[0, 32, 32, 32],
+            placement: &bogus,
+        },
+    );
+    assert!(
+        auditor.has(ViolationKind::AllocationOnDownCluster),
+        "expected AllocationOnDownCluster, got: {}",
+        auditor.report()
+    );
+    assert!(!auditor.has(ViolationKind::InterruptAccountingError), "{}", auditor.report());
+    assert!(!auditor.has(ViolationKind::RequeueOrderViolation), "{}", auditor.report());
+}
+
+#[test]
+fn requeue_order_violation_is_distinct_from_fcfs_overtaking() {
+    let mut auditor = synthetic_auditor();
+    let mut table = JobTable::new();
+    let mut idle = vec![32u32; 4];
+    // A runs, B waits behind it.
+    let a = arrive(&mut auditor, &mut table, &[8], 0.0);
+    let pa = place_and_start(&mut auditor, &mut table, &mut idle, a, 0.0);
+    let b = arrive(&mut auditor, &mut table, &[8], 1.0);
+    // A's cluster fails: A is re-queued at the *front* to preserve its
+    // FCFS age.
+    let fc = pa.assignments()[0].0;
+    auditor.on_job_interrupted(
+        SimTime::new(2.0),
+        table.get(a),
+        &Interruption {
+            id: a,
+            cluster: fc,
+            released: &pa,
+            disposition: InterruptPolicy::RequeueFront,
+            resplit: false,
+        },
+    );
+    for &(c, n) in pa.assignments() {
+        idle[c] += n;
+    }
+    auditor.on_cluster_down(SimTime::new(2.0), fc, 0);
+    idle[fc] = 0;
+    // Starting B now jumps the re-queued victim: the specific
+    // RequeueOrderViolation, not the generic FcfsOvertaking.
+    let pb = place_request(&idle, &table.get(b).spec.request, PlacementRule::WorstFit)
+        .expect("fits the surviving clusters");
+    auditor.on_placement(
+        SimTime::new(3.0),
+        &PlacementDecision {
+            id: b,
+            queue: SubmitQueue::Global,
+            scope: PlacementScope::System,
+            idle_before: &idle,
+            placement: &pb,
+        },
+    );
+    assert!(
+        auditor.has(ViolationKind::RequeueOrderViolation),
+        "expected RequeueOrderViolation, got: {}",
+        auditor.report()
+    );
+    assert!(!auditor.has(ViolationKind::FcfsOvertaking), "{}", auditor.report());
+    assert!(!auditor.has(ViolationKind::InterruptAccountingError), "{}", auditor.report());
+}
+
+#[test]
+fn interrupt_accounting_errors_are_caught() {
+    // (a) The interruption releases a placement the job never held.
+    let mut auditor = synthetic_auditor();
+    let mut table = JobTable::new();
+    let mut idle = vec![32u32; 4];
+    let a = arrive(&mut auditor, &mut table, &[8], 0.0);
+    let pa = place_and_start(&mut auditor, &mut table, &mut idle, a, 0.0);
+    let c = pa.assignments()[0].0;
+    let wrong = Placement::new(vec![(c, 4)]);
+    auditor.on_job_interrupted(
+        SimTime::new(1.0),
+        table.get(a),
+        &Interruption {
+            id: a,
+            cluster: c,
+            released: &wrong,
+            disposition: InterruptPolicy::RequeueBack,
+            resplit: false,
+        },
+    );
+    assert!(auditor.has(ViolationKind::InterruptAccountingError), "{}", auditor.report());
+
+    // (b) Interrupting a job that is still waiting.
+    let mut auditor = synthetic_auditor();
+    let b = arrive(&mut auditor, &mut table, &[8], 0.0);
+    let ghost = Placement::new(vec![(1, 8)]);
+    auditor.on_job_interrupted(
+        SimTime::new(1.0),
+        table.get(b),
+        &Interruption {
+            id: b,
+            cluster: 1,
+            released: &ghost,
+            disposition: InterruptPolicy::RequeueBack,
+            resplit: false,
+        },
+    );
+    assert!(auditor.has(ViolationKind::InterruptAccountingError), "{}", auditor.report());
+
+    // (c) Repairing a cluster that was never down.
+    let mut auditor = synthetic_auditor();
+    auditor.on_cluster_up(SimTime::new(0.0), 2);
+    assert!(auditor.has(ViolationKind::InterruptAccountingError), "{}", auditor.report());
+
+    // (d) A failure arriving with victims still running on the cluster.
+    let mut auditor = synthetic_auditor();
+    let mut table = JobTable::new();
+    let mut idle = vec![32u32; 4];
+    let d = arrive(&mut auditor, &mut table, &[8], 0.0);
+    let pd = place_and_start(&mut auditor, &mut table, &mut idle, d, 0.0);
+    auditor.on_cluster_down(SimTime::new(1.0), pd.assignments()[0].0, 0);
+    assert!(auditor.has(ViolationKind::InterruptAccountingError), "{}", auditor.report());
+}
+
+#[test]
+fn clean_fault_sequence_passes_the_audit() {
+    // The full failure lifecycle done right: victim interrupted with
+    // exactly its held placement, cluster down, repair, victim restarted
+    // first — no violation of any kind.
+    let mut auditor = synthetic_auditor();
+    let mut table = JobTable::new();
+    let mut idle = vec![32u32; 4];
+    let a = arrive(&mut auditor, &mut table, &[8], 0.0);
+    let pa = place_and_start(&mut auditor, &mut table, &mut idle, a, 0.0);
+    let fc = pa.assignments()[0].0;
+    auditor.on_job_interrupted(
+        SimTime::new(1.0),
+        table.get(a),
+        &Interruption {
+            id: a,
+            cluster: fc,
+            released: &pa,
+            disposition: InterruptPolicy::RequeueFront,
+            resplit: false,
+        },
+    );
+    for &(cl, n) in pa.assignments() {
+        idle[cl] += n;
+    }
+    auditor.on_cluster_down(SimTime::new(1.0), fc, 0);
+    idle[fc] = 0;
+    auditor.on_cluster_up(SimTime::new(2.0), fc);
+    idle[fc] = 32;
+    let pa2 = place_request(&idle, &table.get(a).spec.request, PlacementRule::WorstFit)
+        .expect("fits the repaired system");
+    auditor.on_placement(
+        SimTime::new(3.0),
+        &PlacementDecision {
+            id: a,
+            queue: SubmitQueue::Global,
+            scope: PlacementScope::System,
+            idle_before: &idle,
+            placement: &pa2,
+        },
+    );
+    auditor.assert_clean();
 }

@@ -52,6 +52,31 @@ impl Cluster {
         assert!(n <= self.busy, "releasing {n} processors but only {} busy", self.busy);
         self.busy -= n;
     }
+
+    /// Allocates `n` processors if that many are idle, returning whether
+    /// the allocation happened. The non-panicking twin of
+    /// [`Cluster::allocate`], for paths where a failed fit is an
+    /// expected outcome rather than a bug (the degraded-capacity path).
+    #[must_use]
+    pub fn try_allocate(&mut self, n: u32) -> bool {
+        if n > self.idle() {
+            return false;
+        }
+        self.busy += n;
+        true
+    }
+
+    /// Releases `n` processors if that many are busy, returning whether
+    /// the release happened. The non-panicking twin of
+    /// [`Cluster::release`].
+    #[must_use]
+    pub fn try_release(&mut self, n: u32) -> bool {
+        if n > self.busy {
+            return false;
+        }
+        self.busy -= n;
+        true
+    }
 }
 
 #[cfg(test)]
@@ -90,5 +115,27 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_capacity_rejected() {
         Cluster::new(0);
+    }
+
+    #[test]
+    fn try_allocate_refuses_without_panicking() {
+        let mut c = Cluster::new(32);
+        assert!(c.try_allocate(20));
+        assert_eq!(c.busy(), 20);
+        assert!(!c.try_allocate(13), "13 > 12 idle is refused");
+        assert_eq!(c.busy(), 20, "a refused allocation changes nothing");
+        assert!(c.try_allocate(12));
+        assert_eq!(c.idle(), 0);
+    }
+
+    #[test]
+    fn try_release_refuses_without_panicking() {
+        let mut c = Cluster::new(32);
+        assert!(!c.try_release(1), "nothing busy yet");
+        assert!(c.try_allocate(8));
+        assert!(!c.try_release(9), "more than held is refused");
+        assert_eq!(c.busy(), 8, "a refused release changes nothing");
+        assert!(c.try_release(8));
+        assert_eq!(c.idle(), 32);
     }
 }

@@ -23,6 +23,13 @@
 //! every round ([`SweepConfig::checkpoint`]); an interrupted sweep
 //! resumes from the file and finishes exactly as an uninterrupted run
 //! would.
+//!
+//! Replications are **panic-isolated**: a panicking run (an invariant
+//! violation under `audit`, a bad configuration, a bug) is caught at
+//! the worker, recorded as a [`FailedReplication`], and the rest of the
+//! sweep proceeds. Failures consume their replication index — the seeds
+//! of later replications never shift — so a sweep with failures is
+//! still deterministic for a fixed seed at any thread count.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -137,6 +144,23 @@ pub fn replication_seed(base_seed: u64, rep: u64) -> u64 {
     RngStream::new(base_seed).substream(rep).seed()
 }
 
+/// A replication that panicked instead of producing a [`SimOutcome`].
+///
+/// The panic is caught at the sweep worker ([`std::panic::catch_unwind`]),
+/// so one poisoned replication never takes down the rest of the sweep.
+/// The failure keeps its replication index: replication `rep` stays
+/// spent, and the seeds of every other replication are unchanged.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FailedReplication {
+    /// The replication index that failed.
+    pub rep: u64,
+    /// The seed the replication ran on ([`replication_seed`]).
+    pub seed: u64,
+    /// The panic payload, when it was a string (the common case for
+    /// `panic!`/`assert!`); a placeholder otherwise.
+    pub cause: String,
+}
+
 /// Replication-aggregated results at one target utilization.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct ReplicatedOutcome {
@@ -159,8 +183,12 @@ pub struct ReplicatedOutcome {
     pub response_global: Option<f64>,
     /// Whether any replication saturated.
     pub saturated: bool,
-    /// The individual runs, in replication order.
+    /// The individual runs, in replication order (failed replications
+    /// are absent here — see `failures`).
     pub runs: Vec<SimOutcome>,
+    /// Replications that panicked instead of completing, in replication
+    /// order. Empty in a healthy sweep.
+    pub failures: Vec<FailedReplication>,
 }
 
 /// One point of a sweep: the target utilization and what was measured.
@@ -185,8 +213,8 @@ fn response_estimate(runs: &[SimOutcome]) -> Estimate {
     Estimate { mean: resp.mean(), half_width: half, n: k }
 }
 
-fn aggregate(runs: Vec<SimOutcome>) -> ReplicatedOutcome {
-    assert!(!runs.is_empty());
+fn aggregate(runs: Vec<SimOutcome>, failures: Vec<FailedReplication>) -> ReplicatedOutcome {
+    assert!(!runs.is_empty() || !failures.is_empty());
     let response = response_estimate(&runs);
     let mut gross = Welford::new();
     let mut net = Welford::new();
@@ -214,14 +242,18 @@ fn aggregate(runs: Vec<SimOutcome>) -> ReplicatedOutcome {
         response_global: global.mean_opt(),
         saturated,
         runs,
+        failures,
     }
 }
 
 /// Replications the adaptive engine still owes one point. Saturated
 /// points stop at the minimum: their steady-state response is unbounded,
-/// so no replication count buys precision there.
-fn replications_to_add(rule: &StoppingRule, runs: &[SimOutcome]) -> u64 {
-    let spent = runs.len() as u64;
+/// so no replication count buys precision there. Failed replications
+/// count as *spent* — they consumed their index and seed — but
+/// contribute no observation, so the precision estimate comes from the
+/// completed runs alone.
+fn replications_to_add(rule: &StoppingRule, runs: &[SimOutcome], failed: usize) -> u64 {
+    let spent = (runs.len() + failed) as u64;
     if spent >= rule.min_n && runs.iter().any(|r| r.saturated) {
         return 0;
     }
@@ -231,14 +263,36 @@ fn replications_to_add(rule: &StoppingRule, runs: &[SimOutcome]) -> u64 {
     }
 }
 
-/// Runs `cfgs` through the lock-free worker pool and returns outcomes in
-/// task order. Workers claim task indices from one atomic counter and
-/// append `(index, outcome)` pairs to a worker-local vector returned
-/// through the join handle — the only shared mutable state is the
-/// counter, so runs never contend on a results lock. Results are
+/// The payload of a caught replication panic, rendered as a string.
+/// `panic!`/`assert!` payloads are `&str` or `String`; anything else
+/// (a `panic_any` with a custom type) gets a placeholder.
+fn panic_cause(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `cfgs` through the lock-free worker pool and returns per-task
+/// results in task order. Workers claim task indices from one atomic
+/// counter and append `(index, result)` pairs to a worker-local vector
+/// returned through the join handle — the only shared mutable state is
+/// the counter, so runs never contend on a results lock. Results are
 /// re-slotted by task index after the join barrier, which keeps the
 /// outcome deterministic whatever the interleaving.
-pub(crate) fn run_parallel(cfgs: &[SimConfig], threads: usize, audit: bool) -> Vec<SimOutcome> {
+///
+/// Each replication runs under [`std::panic::catch_unwind`]: a panic
+/// (invariant violation under `audit`, configuration bug) becomes an
+/// `Err` carrying the panic message instead of unwinding the worker,
+/// so the remaining tasks still run.
+pub(crate) fn run_parallel_isolated(
+    cfgs: &[SimConfig],
+    threads: usize,
+    audit: bool,
+) -> Vec<Result<SimOutcome, String>> {
     let next = AtomicUsize::new(0);
     let run_one = |cfg: &SimConfig| {
         if audit {
@@ -255,15 +309,19 @@ pub(crate) fn run_parallel(cfgs: &[SimConfig], threads: usize, audit: bool) -> V
             SimBuilder::new(cfg).run()
         }
     };
-    let per_worker: Vec<Vec<(usize, SimOutcome)>> = crossbeam::thread::scope(|scope| {
+    type Slot = (usize, Result<SimOutcome, String>);
+    let per_worker: Vec<Vec<Slot>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|_| {
-                    let mut mine: Vec<(usize, SimOutcome)> = Vec::new();
+                    let mut mine: Vec<Slot> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(cfg) = cfgs.get(i) else { break mine };
-                        mine.push((i, run_one(cfg)));
+                        let result =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_one(cfg)))
+                                .map_err(panic_cause);
+                        mine.push((i, result));
                     }
                 })
             })
@@ -272,12 +330,23 @@ pub(crate) fn run_parallel(cfgs: &[SimConfig], threads: usize, audit: bool) -> V
     })
     .expect("sweep scope failed");
 
-    let mut slots: Vec<Option<SimOutcome>> = (0..cfgs.len()).map(|_| None).collect();
-    for (i, outcome) in per_worker.into_iter().flatten() {
+    let mut slots: Vec<Option<Result<SimOutcome, String>>> =
+        (0..cfgs.len()).map(|_| None).collect();
+    for (i, result) in per_worker.into_iter().flatten() {
         debug_assert!(slots[i].is_none(), "task {i} ran twice");
-        slots[i] = Some(outcome);
+        slots[i] = Some(result);
     }
     slots.into_iter().map(|o| o.expect("every task ran")).collect()
+}
+
+/// [`run_parallel_isolated`] for callers that treat a replication panic
+/// as fatal (e.g. saturation search, where a lost run would silently
+/// bias the boundary estimate): the first failure is re-raised.
+pub(crate) fn run_parallel(cfgs: &[SimConfig], threads: usize, audit: bool) -> Vec<SimOutcome> {
+    run_parallel_isolated(cfgs, threads, audit)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|cause| panic!("replication panicked: {cause}")))
+        .collect()
 }
 
 /// On-disk state of a partially completed sweep: every finished
@@ -297,15 +366,26 @@ pub struct SweepCheckpoint {
     pub utilizations: Vec<f64>,
     /// Completed runs: `runs[i][r]` is replication `r` of point `i`.
     pub runs: Vec<Vec<SimOutcome>>,
+    /// Failed (panicked) replications per point, in replication order.
+    /// Absent in v1 checkpoints, which therefore fail to parse and
+    /// restart the sweep — the safe reading of a pre-fault-era file.
+    pub failures: Vec<Vec<FailedReplication>>,
 }
 
-/// Current checkpoint format version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Current checkpoint format version. Bumped to 2 when failed
+/// replications became part of the on-disk state.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Loads a checkpoint if `path` holds one matching this sweep's
-/// fingerprint; a missing, unreadable, or mismatched file restarts the
-/// sweep from scratch (with a note on stderr for the non-missing cases).
-fn load_checkpoint(path: &Path, cfg: &SweepConfig) -> Option<Vec<Vec<SimOutcome>>> {
+/// fingerprint; a missing, corrupt (truncated, bit-flipped, wrong
+/// version), or mismatched file restarts the sweep from scratch (with a
+/// note on stderr for the non-missing cases). Restarting is always
+/// safe: the checkpoint is an optimization, never the source of truth.
+#[allow(clippy::type_complexity)]
+fn load_checkpoint(
+    path: &Path,
+    cfg: &SweepConfig,
+) -> Option<(Vec<Vec<SimOutcome>>, Vec<Vec<FailedReplication>>)> {
     let text = std::fs::read_to_string(path).ok()?;
     let cp: SweepCheckpoint = match serde_json::from_str(&text) {
         Ok(cp) => cp,
@@ -320,6 +400,7 @@ fn load_checkpoint(path: &Path, cfg: &SweepConfig) -> Option<Vec<Vec<SimOutcome>
         || cp.base_seed != cfg.base_seed
         || !grid_matches
         || cp.runs.len() != cfg.utilizations.len()
+        || cp.failures.len() != cfg.utilizations.len()
     {
         eprintln!(
             "sweep checkpoint {} belongs to a different sweep (seed/grid/version); restarting",
@@ -327,24 +408,36 @@ fn load_checkpoint(path: &Path, cfg: &SweepConfig) -> Option<Vec<Vec<SimOutcome>
         );
         return None;
     }
-    Some(cp.runs)
+    Some((cp.runs, cp.failures))
 }
 
 /// Writes the checkpoint atomically (temp file + rename) so an
-/// interruption mid-write never corrupts the previous round's state.
-fn save_checkpoint(path: &Path, cfg: &SweepConfig, runs: &[Vec<SimOutcome>]) {
+/// interruption mid-write never corrupts the previous round's state. A
+/// write failure (disk full, permissions) is reported on stderr and
+/// otherwise ignored: the sweep's results live in memory, and losing a
+/// resume point must not kill hours of completed replications.
+fn save_checkpoint(
+    path: &Path,
+    cfg: &SweepConfig,
+    runs: &[Vec<SimOutcome>],
+    failures: &[Vec<FailedReplication>],
+) {
     let cp = SweepCheckpoint {
         version: CHECKPOINT_VERSION,
         base_seed: cfg.base_seed,
         utilizations: cfg.utilizations.clone(),
         runs: runs.to_vec(),
+        failures: failures.to_vec(),
     };
     let json = serde_json::to_string(&cp).expect("checkpoint serializes");
     let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, json)
-        .unwrap_or_else(|e| panic!("cannot write checkpoint {}: {e}", tmp.display()));
-    std::fs::rename(&tmp, path)
-        .unwrap_or_else(|e| panic!("cannot commit checkpoint {}: {e}", path.display()));
+    if let Err(e) = std::fs::write(&tmp, json) {
+        eprintln!("warning: cannot write checkpoint {}: {e}; continuing", tmp.display());
+        return;
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        eprintln!("warning: cannot commit checkpoint {}: {e}; continuing", path.display());
+    }
 }
 
 /// Runs an adaptive sweep: `make_cfg` builds the simulation for a target
@@ -358,23 +451,26 @@ where
     sweep_cfg.validate();
     let rule = sweep_cfg.rule();
 
-    let mut runs: Vec<Vec<SimOutcome>> = sweep_cfg
+    let n_points = sweep_cfg.utilizations.len();
+    let (mut runs, mut failures): (Vec<Vec<SimOutcome>>, Vec<Vec<FailedReplication>>) = sweep_cfg
         .checkpoint
         .as_deref()
         .and_then(|p| load_checkpoint(p, sweep_cfg))
-        .unwrap_or_else(|| vec![Vec::new(); sweep_cfg.utilizations.len()]);
+        .unwrap_or_else(|| (vec![Vec::new(); n_points], vec![Vec::new(); n_points]));
 
     loop {
         // Plan the round from completed state only: (point, replication)
         // tasks for every point the stopping rule keeps open. The plan —
         // and therefore every seed — is a pure function of prior rounds,
-        // so thread count and interleaving cannot change it.
+        // so thread count and interleaving cannot change it. Failed
+        // replications stay spent: their indices are never re-issued.
         let batch: Vec<(usize, u64)> = runs
             .iter()
+            .zip(&failures)
             .enumerate()
-            .flat_map(|(ui, point_runs)| {
-                let first = point_runs.len() as u64;
-                let add = replications_to_add(&rule, point_runs);
+            .flat_map(|(ui, (point_runs, point_failures))| {
+                let first = (point_runs.len() + point_failures.len()) as u64;
+                let add = replications_to_add(&rule, point_runs, point_failures.len());
                 (first..first + add).map(move |rep| (ui, rep))
             })
             .collect();
@@ -388,23 +484,30 @@ where
                     .with_seed(replication_seed(sweep_cfg.base_seed, rep))
             })
             .collect();
-        let outcomes =
-            run_parallel(&cfgs, sweep_cfg.effective_threads(cfgs.len()), sweep_cfg.audit);
-        for (&(ui, _), outcome) in batch.iter().zip(outcomes) {
-            runs[ui].push(outcome);
+        let results =
+            run_parallel_isolated(&cfgs, sweep_cfg.effective_threads(cfgs.len()), sweep_cfg.audit);
+        for (&(ui, rep), result) in batch.iter().zip(results) {
+            match result {
+                Ok(outcome) => runs[ui].push(outcome),
+                Err(cause) => failures[ui].push(FailedReplication {
+                    rep,
+                    seed: replication_seed(sweep_cfg.base_seed, rep),
+                    cause,
+                }),
+            }
         }
         if let Some(path) = sweep_cfg.checkpoint.as_deref() {
-            save_checkpoint(path, sweep_cfg, &runs);
+            save_checkpoint(path, sweep_cfg, &runs, &failures);
         }
     }
 
     sweep_cfg
         .utilizations
         .iter()
-        .zip(runs)
-        .map(|(&u, point_runs)| SweepPoint {
+        .zip(runs.into_iter().zip(failures))
+        .map(|(&u, (point_runs, point_failures))| SweepPoint {
             target_utilization: u,
-            outcome: aggregate(point_runs),
+            outcome: aggregate(point_runs, point_failures),
         })
         .collect()
 }
@@ -694,5 +797,155 @@ mod tests {
             assert_eq!(p.outcome.response_global, None);
             assert!(p.outcome.response_local.is_some());
         }
+    }
+
+    /// A config builder whose high-utilization point panics inside the
+    /// run (warm-up swallows every job, which `SimConfig::validate`
+    /// rejects) while the low point is healthy — the fixture for the
+    /// panic-isolation tests.
+    fn partly_failing_cfg() -> impl Fn(f64) -> SimConfig + Sync {
+        move |util| {
+            let mut cfg = SimConfig::das(PolicyKind::Gs, 16, util);
+            cfg.total_jobs = 4_000;
+            cfg.warmup_jobs = if util > 0.45 { 4_000 } else { 500 };
+            cfg.batch_size = 100;
+            cfg
+        }
+    }
+
+    #[test]
+    fn panicking_replications_are_isolated_and_recorded() {
+        let mut cfg = SweepConfig::quick();
+        cfg.utilizations = vec![0.3, 0.5];
+        cfg = cfg.fixed_replications(2);
+        let points = sweep(partly_failing_cfg(), &cfg);
+        // The healthy point is untouched by its neighbour's panics.
+        let ok = &points[0].outcome;
+        assert_eq!(ok.runs.len(), 2);
+        assert!(ok.failures.is_empty());
+        assert!(ok.response.mean > 0.0);
+        // The broken point recorded every panic instead of propagating:
+        // failures keep their replication index and seed, and the
+        // response estimate simply has no observations.
+        let bad = &points[1].outcome;
+        assert!(bad.runs.is_empty());
+        assert_eq!(bad.failures.len(), 2);
+        assert_eq!(bad.failures[0].rep, 0);
+        assert_eq!(bad.failures[1].rep, 1);
+        assert_eq!(bad.failures[0].seed, replication_seed(cfg.base_seed, 0));
+        assert_eq!(bad.failures[1].seed, replication_seed(cfg.base_seed, 1));
+        assert!(bad.failures[0].cause.contains("warm-up"), "cause: {}", bad.failures[0].cause);
+        assert_eq!(bad.response.n, 0);
+        assert!(bad.response.half_width.is_infinite());
+    }
+
+    #[test]
+    fn failures_are_deterministic_across_thread_counts() {
+        let mut serial = SweepConfig::quick();
+        serial.utilizations = vec![0.3, 0.5];
+        serial = serial.fixed_replications(2);
+        let mut parallel = serial.clone();
+        serial.threads = 1;
+        parallel.threads = 4;
+        let a = sweep(partly_failing_cfg(), &serial);
+        let b = sweep(partly_failing_cfg(), &parallel);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.outcome.response.mean, y.outcome.response.mean);
+            assert_eq!(x.outcome.runs.len(), y.outcome.runs.len());
+            assert_eq!(x.outcome.failures, y.outcome.failures);
+        }
+    }
+
+    fn cp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("coalloc_sweep_cp_{}_{tag}.json", std::process::id()))
+    }
+
+    #[test]
+    fn checkpoint_records_failures_and_resumes_identically() {
+        let path = cp_path("resume");
+        let _ = std::fs::remove_file(&path);
+        let mut cfg = SweepConfig::quick();
+        cfg.utilizations = vec![0.3, 0.5];
+        cfg = cfg.fixed_replications(2);
+        cfg.checkpoint = Some(path.clone());
+        let first = sweep(partly_failing_cfg(), &cfg);
+        let cp: SweepCheckpoint =
+            serde_json::from_str(&std::fs::read_to_string(&path).expect("checkpoint written"))
+                .expect("checkpoint parses");
+        assert_eq!(cp.version, CHECKPOINT_VERSION);
+        assert_eq!(cp.failures.len(), 2);
+        assert_eq!(cp.failures[1].len(), 2, "failures are part of the on-disk state");
+        // Resuming the finished sweep re-runs nothing and reproduces the
+        // result, failed replications included.
+        let second = sweep(partly_failing_cfg(), &cfg);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.outcome.response.mean, b.outcome.response.mean);
+            assert_eq!(a.outcome.runs.len(), b.outcome.runs.len());
+            assert_eq!(a.outcome.failures, b.outcome.failures);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_checkpoint_restarts_cleanly() {
+        let path = cp_path("truncated");
+        let _ = std::fs::remove_file(&path);
+        let mut cfg = SweepConfig::quick();
+        cfg.utilizations = vec![0.3];
+        cfg = cfg.fixed_replications(2);
+        cfg.checkpoint = Some(path.clone());
+        let fresh = sweep(quick_cfg(PolicyKind::Gs), &cfg);
+        // Simulate a checkpoint cut off mid-write (e.g. a full disk on a
+        // non-atomic filesystem): keep only the first half of the bytes.
+        let text = std::fs::read_to_string(&path).expect("checkpoint written");
+        std::fs::write(&path, &text[..text.len() / 2]).expect("truncate");
+        let resumed = sweep(quick_cfg(PolicyKind::Gs), &cfg);
+        for (a, b) in fresh.iter().zip(&resumed) {
+            assert_eq!(a.outcome.response.mean, b.outcome.response.mean);
+            assert_eq!(a.outcome.gross_utilization, b.outcome.gross_utilization);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bit_flipped_checkpoint_restarts_cleanly() {
+        let path = cp_path("bitflip");
+        let _ = std::fs::remove_file(&path);
+        let mut cfg = SweepConfig::quick();
+        cfg.utilizations = vec![0.3];
+        cfg = cfg.fixed_replications(2);
+        cfg.checkpoint = Some(path.clone());
+        let fresh = sweep(quick_cfg(PolicyKind::Gs), &cfg);
+        // Flip a bit inside the stored base seed: the file still parses,
+        // but the fingerprint no longer matches this sweep and the
+        // corrupt state is discarded rather than trusted.
+        let mut bytes = std::fs::read(&path).expect("checkpoint written");
+        let needle = b"\"base_seed\":";
+        let pos =
+            bytes.windows(needle.len()).position(|w| w == needle).expect("base_seed field present")
+                + needle.len();
+        bytes[pos] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("corrupt");
+        let resumed = sweep(quick_cfg(PolicyKind::Gs), &cfg);
+        for (a, b) in fresh.iter().zip(&resumed) {
+            assert_eq!(a.outcome.response.mean, b.outcome.response.mean);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn pre_failure_era_checkpoint_restarts_cleanly() {
+        // A v1 file has no `failures` field: deserialization fails and
+        // the sweep restarts rather than trusting a half-understood file.
+        let path = cp_path("v1");
+        let v1 = r#"{"version":1,"base_seed":2003,"utilizations":[0.3],"runs":[[]]}"#;
+        std::fs::write(&path, v1).expect("write v1 checkpoint");
+        let mut cfg = SweepConfig::quick();
+        cfg.utilizations = vec![0.3];
+        cfg = cfg.fixed_replications(1);
+        cfg.checkpoint = Some(path.clone());
+        let points = sweep(quick_cfg(PolicyKind::Gs), &cfg);
+        assert_eq!(points[0].outcome.runs.len(), 1, "sweep restarted and ran");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -21,7 +21,9 @@
 pub mod analysis;
 pub mod audit;
 pub mod cluster;
+pub mod error;
 pub mod experiment;
+pub mod fault;
 pub mod feed;
 pub mod job;
 pub mod metrics;
@@ -38,14 +40,16 @@ pub use analysis::{
     packing_rows, residual_idle, self_compatible, PackingRow,
 };
 pub use audit::{
-    EventRecord, InvariantAuditor, JsonlSink, NullObserver, PassTrigger, PlacementDecision,
-    PlacementScope, SimObserver, Tee, Violation, ViolationKind,
+    EventRecord, Interruption, InvariantAuditor, JsonlSink, NullObserver, PassTrigger,
+    PlacementDecision, PlacementScope, SimObserver, Tee, Violation, ViolationKind,
 };
 pub use cluster::Cluster;
+pub use error::CoallocError;
 pub use experiment::{
-    compare, compare_sweeps, replication_seed, sweep, ReplicatedOutcome, SweepCheckpoint,
-    SweepConfig, SweepPoint, Verdict,
+    compare, compare_sweeps, replication_seed, sweep, FailedReplication, ReplicatedOutcome,
+    SweepCheckpoint, SweepConfig, SweepPoint, Verdict,
 };
+pub use fault::{FaultEvent, FaultKind, FaultSpec, FaultTrace, InterruptPolicy};
 pub use feed::{JobFeed, StochasticFeed, TraceFeed};
 pub use job::{ActiveJob, JobId, JobTable, Placement, SubmitQueue};
 pub use metrics::{Metrics, MetricsReport};

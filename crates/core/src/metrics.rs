@@ -55,6 +55,14 @@ pub struct Metrics {
     /// Jobs waiting in queues, time-weighted (queue-level Little's law:
     /// Lq = λ·Wq).
     queued: TimeWeighted,
+    /// Processors offline due to cluster failures, time-weighted (zero
+    /// for the whole run unless fault injection is on).
+    unavailable: TimeWeighted,
+    /// Running jobs killed by cluster failures in the window.
+    interruptions: u64,
+    /// Processor-seconds of partial work thrown away by those kills
+    /// (processors held × time since the victim's start).
+    wasted_work: f64,
     departures_in_window: u64,
     batch_size: u64,
 }
@@ -82,6 +90,9 @@ impl Metrics {
             series: None,
             in_system: TimeWeighted::new(SimTime::ZERO, 0.0),
             queued: TimeWeighted::new(SimTime::ZERO, 0.0),
+            unavailable: TimeWeighted::new(SimTime::ZERO, 0.0),
+            interruptions: 0,
+            wasted_work: 0.0,
             departures_in_window: 0,
             batch_size,
         }
@@ -112,6 +123,20 @@ impl Metrics {
     /// Records processors becoming idle (a job departed).
     pub fn record_release(&mut self, now: SimTime, procs: u32) {
         self.busy.add(now, -f64::from(procs));
+    }
+
+    /// Records the total number of offline processors after a failure
+    /// or repair changed it.
+    pub fn record_outage_level(&mut self, now: SimTime, offline: u32) {
+        self.unavailable.update(now, f64::from(offline));
+    }
+
+    /// Records a running job killed by a cluster failure, throwing away
+    /// `wasted` processor-seconds of partial work.
+    pub fn record_interruption(&mut self, now: SimTime, wasted: f64) {
+        let _ = now;
+        self.interruptions += 1;
+        self.wasted_work += wasted;
     }
 
     /// Discards everything gathered so far and restarts the observation
@@ -146,6 +171,11 @@ impl Metrics {
         let q = self.queued.value();
         self.queued.update(now, q);
         self.queued.reset_window(now);
+        let off = self.unavailable.value();
+        self.unavailable.update(now, off);
+        self.unavailable.reset_window(now);
+        self.interruptions = 0;
+        self.wasted_work = 0.0;
         self.departures_in_window = 0;
     }
 
@@ -215,6 +245,13 @@ impl Metrics {
             net_utilization: if denom > 0.0 { self.net_work / denom } else { 0.0 },
             departures: self.departures_in_window,
             window_seconds: window,
+            availability: if denom > 0.0 {
+                1.0 - self.unavailable.integral(now) / denom
+            } else {
+                1.0
+            },
+            interruptions: self.interruptions,
+            wasted_processor_seconds: self.wasted_work,
         }
     }
 
@@ -276,6 +313,13 @@ pub struct MetricsReport {
     pub departures: u64,
     /// Window length in simulated seconds.
     pub window_seconds: f64,
+    /// Time-average fraction of processors *available* in the window
+    /// (1.0 for fault-free runs).
+    pub availability: f64,
+    /// Running jobs killed by cluster failures in the window.
+    pub interruptions: u64,
+    /// Processor-seconds of partial work those kills threw away.
+    pub wasted_processor_seconds: f64,
 }
 
 #[cfg(test)]

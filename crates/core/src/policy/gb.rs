@@ -55,6 +55,11 @@ impl Scheduler for GlobalBackfill {
         // Nothing to re-enable: GB re-scans the whole queue every pass.
     }
 
+    fn requeue_front(&mut self, id: JobId, queue: SubmitQueue) {
+        debug_assert_eq!(queue, SubmitQueue::Global, "GB has only the global queue");
+        self.queue.push_front(id);
+    }
+
     fn schedule_into(
         &mut self,
         now: SimTime,
@@ -158,6 +163,20 @@ mod tests {
             assert_eq!(started, vec![small]);
         }
         assert!(!table.get(big).started(), "the whole-system job is starved");
+    }
+
+    #[test]
+    fn requeue_front_goes_ahead_of_waiting_jobs() {
+        let (mut p, mut sys, mut table) = setup();
+        let a = submit(&mut p, &mut table, &[8], 0.0);
+        pass(&mut p, &mut sys, &mut table, 0.0);
+        let b = submit(&mut p, &mut table, &[8], 1.0);
+        sys.release(table.get(a).placement.as_ref().unwrap());
+        table.get_mut(a).placement = None;
+        table.get_mut(a).start = None;
+        p.requeue_front(a, SubmitQueue::Global);
+        let started = pass(&mut p, &mut sys, &mut table, 1.0);
+        assert_eq!(started, vec![a, b], "the victim scans first");
     }
 
     #[test]

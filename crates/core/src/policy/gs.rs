@@ -55,6 +55,11 @@ impl Scheduler for GlobalScheduler {
         self.queue.enable();
     }
 
+    fn requeue_front(&mut self, id: JobId, queue: SubmitQueue) {
+        debug_assert_eq!(queue, SubmitQueue::Global, "GS has only the global queue");
+        self.queue.push_front(id);
+    }
+
     fn schedule_into(
         &mut self,
         now: SimTime,
@@ -176,6 +181,25 @@ mod tests {
         // Worst Fit put them on different clusters.
         let idle = sys.idle_per_cluster();
         assert_eq!(idle.iter().filter(|&&x| x == 2).count(), 2, "{idle:?}");
+    }
+
+    #[test]
+    fn requeue_front_restores_the_head() {
+        let (mut p, mut sys, mut table) = setup();
+        let a = submit(&mut p, &mut table, &[32, 32], 0.0);
+        let b = submit(&mut p, &mut table, &[8], 0.0);
+        let started = pass(&mut p, &mut sys, &mut table, 0.0);
+        assert_eq!(started, vec![a, b]);
+        // a is killed by a fault and re-queued at the front: it must
+        // start again before any newer job.
+        sys.release(table.get(a).placement.as_ref().unwrap());
+        let c = submit(&mut p, &mut table, &[4], 1.0);
+        table.get_mut(a).placement = None;
+        table.get_mut(a).start = None;
+        p.requeue_front(a, SubmitQueue::Global);
+        p.on_departure();
+        let started = pass(&mut p, &mut sys, &mut table, 1.0);
+        assert_eq!(started, vec![a, c], "the victim keeps its FCFS age");
     }
 
     #[test]

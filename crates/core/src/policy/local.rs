@@ -77,6 +77,11 @@ impl LocalQueues {
         self.queues.push(q, id);
     }
 
+    /// Prepends a job to queue `q` (fault requeue preserving FCFS age).
+    pub(crate) fn push_front(&mut self, q: usize, id: JobId) {
+        self.queues.push_front(q, id);
+    }
+
     /// Draws a queue index from the routing distribution.
     pub(crate) fn pick(&mut self) -> usize {
         self.routing.pick(&mut self.rng)

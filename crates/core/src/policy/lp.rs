@@ -122,6 +122,13 @@ impl Scheduler for LocalPriority {
         }
     }
 
+    fn requeue_front(&mut self, id: JobId, queue: SubmitQueue) {
+        match queue {
+            SubmitQueue::Global => self.global.push_front(id),
+            SubmitQueue::Local(q) => self.locals.push_front(q, id),
+        }
+    }
+
     fn schedule_into(
         &mut self,
         now: SimTime,
@@ -323,6 +330,36 @@ mod tests {
         let started = pass(&mut p, &mut sys, &mut table, 1.0);
         assert_eq!(started, vec![l]);
         assert_eq!(table.get(l).placement.as_ref().expect("started").assignments(), &[(0, 30)]);
+    }
+
+    #[test]
+    fn requeue_front_works_for_both_queue_kinds() {
+        let (mut p, mut sys, mut table) = setup();
+        // A running global job is killed; it must start again before a
+        // younger global job.
+        let g = submit_global(&mut p, &mut table, &[16, 16], 0.0);
+        pass(&mut p, &mut sys, &mut table, 0.0);
+        let g2 = submit_global(&mut p, &mut table, &[16, 16], 1.0);
+        sys.release(table.get(g).placement.as_ref().unwrap());
+        table.get_mut(g).placement = None;
+        table.get_mut(g).start = None;
+        p.requeue_front(g, SubmitQueue::Global);
+        p.on_departure();
+        let started = pass(&mut p, &mut sys, &mut table, 1.0);
+        assert_eq!(started[0], g, "the global victim regains its head");
+        assert!(started.contains(&g2));
+        // Same for a local victim (size 16: the two running global jobs
+        // leave only 16 idle on cluster 2).
+        let a = submit_local(&mut p, &mut table, 2, 16, 2.0);
+        pass(&mut p, &mut sys, &mut table, 2.0);
+        let b = submit_local(&mut p, &mut table, 2, 16, 3.0);
+        sys.release(table.get(a).placement.as_ref().unwrap());
+        table.get_mut(a).placement = None;
+        table.get_mut(a).start = None;
+        p.requeue_front(a, SubmitQueue::Local(2));
+        p.on_departure();
+        let started = pass(&mut p, &mut sys, &mut table, 3.0);
+        assert_eq!(started, vec![a], "the local victim precedes {b:?}");
     }
 
     #[test]

@@ -78,6 +78,13 @@ impl Scheduler for LocalSchedulers {
         self.locals.enable_all_into(&mut self.visit);
     }
 
+    fn requeue_front(&mut self, id: JobId, queue: SubmitQueue) {
+        match queue {
+            SubmitQueue::Local(q) => self.locals.push_front(q, id),
+            SubmitQueue::Global => panic!("LS has no global queue"),
+        }
+    }
+
     fn schedule_into(
         &mut self,
         now: SimTime,
@@ -339,6 +346,25 @@ mod tests {
         // precedes the re-enabled q0.
         assert_eq!(started, vec![m3]);
         let _ = m0;
+    }
+
+    #[test]
+    fn requeue_front_precedes_older_waiters() {
+        let (mut p, mut sys, mut table) = setup();
+        // a runs on cluster 1; b waits behind it in the same queue.
+        let a = submit_to(&mut p, &mut table, 1, &[30], 0.0);
+        pass(&mut p, &mut sys, &mut table, 0.0);
+        let b = submit_to(&mut p, &mut table, 1, &[30], 1.0);
+        assert!(pass(&mut p, &mut sys, &mut table, 1.0).is_empty());
+        // a is killed and re-queued at the front: it starts before b.
+        sys.release(table.get(a).placement.as_ref().unwrap());
+        table.get_mut(a).placement = None;
+        table.get_mut(a).start = None;
+        p.requeue_front(a, SubmitQueue::Local(1));
+        p.on_departure();
+        let started = pass(&mut p, &mut sys, &mut table, 2.0);
+        assert_eq!(started, vec![a], "the victim regains the head");
+        let _ = b;
     }
 
     #[test]

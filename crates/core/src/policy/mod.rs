@@ -68,6 +68,16 @@ pub trait Scheduler: Send {
     /// A job departed: re-enable queues according to the policy's rules.
     fn on_departure(&mut self);
 
+    /// Re-queues a job killed by a cluster failure at the *head* of its
+    /// queue, preserving its FCFS age (the `RequeueFront` interrupt
+    /// policy). The default falls back to [`Scheduler::enqueue`] — a
+    /// plain re-queue at the tail — so schedulers without an
+    /// age-preserving re-entry point still work, documented as losing
+    /// the victim's position.
+    fn requeue_front(&mut self, id: JobId, queue: SubmitQueue) {
+        self.enqueue(id, queue);
+    }
+
     /// Starts every job the policy can start now, announcing each
     /// placement decision (and each queue disable) to `obs`. Placements
     /// are applied to `system` and recorded in `table`; the started ids

@@ -29,6 +29,13 @@ impl JobQueue {
         self.items.push_back(id);
     }
 
+    /// Prepends a job — the `RequeueFront` interrupt policy's re-entry
+    /// point: a job killed by a cluster failure keeps its FCFS age by
+    /// going back to the head of its queue.
+    pub fn push_front(&mut self, id: JobId) {
+        self.items.push_front(id);
+    }
+
     /// The job at the head (the only one FCFS may start).
     pub fn head(&self) -> Option<JobId> {
         self.items.front().copied()
@@ -125,6 +132,13 @@ impl QueueSet {
     /// Appends a job to queue `i`, maintaining the total-queued counter.
     pub fn push(&mut self, i: usize, id: JobId) {
         self.queues[i].push(id);
+        self.queued += 1;
+    }
+
+    /// Prepends a job to queue `i`, maintaining the total-queued counter
+    /// (see [`JobQueue::push_front`]).
+    pub fn push_front(&mut self, i: usize, id: JobId) {
+        self.queues[i].push_front(id);
         self.queued += 1;
     }
 
@@ -258,6 +272,24 @@ mod tests {
         let mut order = Vec::new();
         s.enable_all_into(&mut order);
         assert!(order.is_empty(), "enable_all drained the disable order");
+    }
+
+    #[test]
+    fn push_front_takes_the_head() {
+        let mut q = JobQueue::new();
+        q.push(JobId(1));
+        q.push(JobId(2));
+        q.push_front(JobId(9));
+        assert_eq!(q.head(), Some(JobId(9)));
+        assert_eq!(q.pop(), Some(JobId(9)));
+        assert_eq!(q.pop(), Some(JobId(1)));
+
+        let mut s = QueueSet::new(2);
+        s.push(1, JobId(1));
+        s.push_front(1, JobId(7));
+        assert_eq!(s.total_queued(), 2, "push_front maintains the counter");
+        assert_eq!(s.pop(1), Some(JobId(7)));
+        assert_eq!(s.total_queued(), 1);
     }
 
     #[test]

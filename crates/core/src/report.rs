@@ -89,8 +89,10 @@ pub fn format_figure(title: &str, series: &[Series]) -> String {
 
 /// Renders a sweep's replication statistics as an aligned table: target
 /// and measured utilization, the mean response with its 95 % half-width
-/// and relative error, and how many replications the adaptive engine
-/// spent at each point.
+/// and relative error, how many replications the adaptive engine spent
+/// at each point, and how many of those panicked (`fail` — nonzero only
+/// when panic isolation swallowed replications; see
+/// [`crate::experiment::FailedReplication`]).
 pub fn sweep_stats_table(title: &str, points: &[SweepPoint]) -> String {
     let rows: Vec<Vec<String>> = points
         .iter()
@@ -98,6 +100,8 @@ pub fn sweep_stats_table(title: &str, points: &[SweepPoint]) -> String {
             let o = &p.outcome;
             let (resp, half, rel) = if o.saturated {
                 ("saturated".to_string(), "-".to_string(), "-".to_string())
+            } else if o.runs.is_empty() && !o.failures.is_empty() {
+                ("failed".to_string(), "-".to_string(), "-".to_string())
             } else {
                 let rel = o.response.relative_error();
                 (
@@ -121,10 +125,11 @@ pub fn sweep_stats_table(title: &str, points: &[SweepPoint]) -> String {
                 half,
                 rel,
                 format!("{}", o.runs.len()),
+                format!("{}", o.failures.len()),
             ]
         })
         .collect();
-    format_table(title, &["target", "gross", "response", "ci95", "rel_err", "reps"], &rows)
+    format_table(title, &["target", "gross", "response", "ci95", "rel_err", "reps", "fail"], &rows)
 }
 
 /// The x-position at which a series crosses a response-time level, by
@@ -157,6 +162,7 @@ mod tests {
                 response_global: Some(resp),
                 saturated,
                 runs: vec![],
+                failures: vec![],
             },
         }
     }
@@ -210,6 +216,22 @@ mod tests {
         // 1.0 / 500.0 = 0.2 % relative error.
         assert!(text.contains("0.2%"), "{text}");
         assert!(text.contains("saturated"), "{text}");
+    }
+
+    #[test]
+    fn sweep_stats_table_surfaces_failed_replications() {
+        let mut p = point(0.5, 0.0, 0.0, 0.0, false);
+        p.outcome.response = Estimate { mean: 0.0, half_width: f64::INFINITY, n: 0 };
+        p.outcome.failures =
+            vec![crate::experiment::FailedReplication { rep: 0, seed: 17, cause: "boom".into() }];
+        let text = sweep_stats_table("Sweep", &[p]);
+        let header = text.lines().nth(1).expect("header line");
+        assert!(header.contains("fail"), "{text}");
+        // An all-failed point renders "failed" instead of a garbage mean,
+        // and its failure count lands in the fail column.
+        assert!(text.contains("failed"), "{text}");
+        let row = text.lines().nth(3).expect("data row");
+        assert!(row.trim_end().ends_with('1'), "{text}");
     }
 
     #[test]

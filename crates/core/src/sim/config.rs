@@ -3,6 +3,7 @@
 
 use coalloc_workload::{QueueRouting, Workload};
 
+use crate::fault::{FaultSpec, InterruptPolicy};
 use crate::placement::PlacementRule;
 use crate::policy::PolicyKind;
 use crate::system::SystemSpec;
@@ -60,6 +61,11 @@ pub struct SimConfig {
     /// Record the raw response series in the outcome (one `f64` per
     /// measured departure) for warm-up / autocorrelation analysis.
     pub record_series: bool,
+    /// Cluster failure/repair process, if any. `None` (the default)
+    /// reproduces the paper's fault-free runs bit for bit.
+    pub faults: Option<FaultSpec>,
+    /// What happens to jobs whose running components a failure kills.
+    pub interrupt: InterruptPolicy,
 }
 
 impl SimConfig {
@@ -83,6 +89,8 @@ impl SimConfig {
             rule: PlacementRule::WorstFit,
             seed: 2003,
             record_series: false,
+            faults: None,
+            interrupt: InterruptPolicy::RequeueFront,
         }
     }
 
@@ -105,6 +113,8 @@ impl SimConfig {
             rule: PlacementRule::WorstFit,
             seed: 2003,
             record_series: false,
+            faults: None,
+            interrupt: InterruptPolicy::RequeueFront,
         }
     }
 
@@ -152,6 +162,8 @@ impl SimConfig {
             rule: PlacementRule::WorstFit,
             seed: 2003,
             record_series: false,
+            faults: None,
+            interrupt: InterruptPolicy::RequeueFront,
         }
     }
 
@@ -234,6 +246,11 @@ impl SimConfig {
             "jobs of size {max_size} can never fit in {} processors",
             self.capacity()
         );
+        if let Some(spec) = &self.faults {
+            if let Err(e) = spec.validate_for(&self.system) {
+                panic!("bad fault spec: {e}");
+            }
+        }
     }
 }
 

@@ -6,10 +6,11 @@
 //! are thin deprecated shims over it (see the module docs of
 //! [`crate::sim`]).
 
-use coalloc_workload::JobSpec;
-use desim::{Duration, RngStream, SimTime, Simulation};
+use coalloc_workload::{JobRequest, JobSpec, RequestKind};
+use desim::{Duration, EventId, Exponential, RngStream, SimTime, Simulation, Variate};
 
-use crate::audit::{NullObserver, PassTrigger, SimObserver};
+use crate::audit::{Interruption, NullObserver, PassTrigger, SimObserver};
+use crate::fault::{FaultKind, FaultSpec, InterruptPolicy};
 use crate::feed::{JobFeed, StochasticFeed, TraceFeed};
 use crate::job::{ActiveJob, JobId, JobTable};
 use crate::metrics::Metrics;
@@ -27,6 +28,36 @@ enum SimEvent {
     Arrival,
     /// A running job finishes and releases its processors.
     Departure(JobId),
+    /// A cluster fails; `remaining` of its processors stay usable.
+    ClusterDown { cluster: usize, remaining: u32 },
+    /// A failed cluster is repaired to full capacity.
+    ClusterUp(usize),
+}
+
+/// How fault events are generated over a run.
+#[derive(Debug)]
+enum FaultDriver {
+    /// Every event came from a [`crate::fault::FaultTrace`] and was
+    /// pre-scheduled when the session started.
+    Scripted,
+    /// Exponential failure/repair processes, one independent RNG stream
+    /// per cluster (`labelled("faults").substream(k)`, so enabling
+    /// faults does not perturb the workload's streams). A repair is
+    /// always scheduled after a failure; the *next* failure is drawn
+    /// only while arrivals remain, so the event queue drains.
+    Exponential { mttf: f64, mttr: f64, streams: Vec<RngStream> },
+}
+
+/// The per-run fault-injection state; absent (`None` in
+/// [`EngineState`]) for fault-free runs, which therefore take only a
+/// handful of branch checks over the pre-fault engine.
+#[derive(Debug)]
+struct FaultState {
+    interrupt: InterruptPolicy,
+    driver: FaultDriver,
+    /// The scheduled departure event of each running job, indexed by
+    /// job id, so a failure can cancel the departures of its victims.
+    departures: Vec<Option<EventId>>,
 }
 
 /// Builds and runs simulation [`Session`]s from a [`SimConfig`].
@@ -199,6 +230,8 @@ struct EngineState {
     completed: u64,
     backlog_at_last_arrival: usize,
     peak_backlog: usize,
+    /// Fault-injection state; `None` unless the config enables faults.
+    faults: Option<FaultState>,
 }
 
 /// One fully wired simulation: a config, a feed, a scheduler and an
@@ -250,6 +283,10 @@ where
             let trigger = match ev.payload {
                 SimEvent::Arrival => self.arrival(&mut st, now),
                 SimEvent::Departure(id) => self.departure(&mut st, now, id),
+                SimEvent::ClusterDown { cluster, remaining } => {
+                    self.cluster_down(&mut st, now, cluster, remaining)
+                }
+                SimEvent::ClusterUp(cluster) => self.cluster_up(&mut st, now, cluster),
             };
             // A scheduling pass follows every arrival and every departure.
             self.pass(&mut st, now, trigger);
@@ -275,12 +312,60 @@ where
             completed: 0,
             backlog_at_last_arrival: 0,
             peak_backlog: 0,
+            faults: None,
         };
         if let Some((t, spec)) = self.feed.next_job() {
             st.pending = Some(spec);
             st.sim.schedule_at(t, SimEvent::Arrival);
         }
+        if let Some(spec) = &self.cfg.faults {
+            st.faults = Some(self.prime_faults(spec, &mut st.sim, st.pending.is_some()));
+        }
         st
+    }
+
+    /// Builds the fault state and schedules the initial fault events:
+    /// the whole script for a [`FaultSpec::Trace`], or the first
+    /// failure of each cluster for [`FaultSpec::Exponential`] (only
+    /// while arrivals remain, so an empty feed stays an empty run).
+    fn prime_faults(
+        &self,
+        spec: &FaultSpec,
+        sim: &mut Simulation<SimEvent>,
+        has_arrivals: bool,
+    ) -> FaultState {
+        let driver = match spec {
+            FaultSpec::Trace(trace) => {
+                for ev in trace.events() {
+                    let payload = match ev.kind {
+                        FaultKind::Down { remaining } => {
+                            SimEvent::ClusterDown { cluster: ev.cluster, remaining }
+                        }
+                        FaultKind::Up => SimEvent::ClusterUp(ev.cluster),
+                    };
+                    sim.schedule_at(SimTime::new(ev.at), payload);
+                }
+                FaultDriver::Scripted
+            }
+            FaultSpec::Exponential { mttf, mttr } => {
+                let base = RngStream::new(self.cfg.seed).labelled("faults");
+                let mut streams: Vec<RngStream> =
+                    (0..self.cfg.system.num_clusters()).map(|k| base.substream(k as u64)).collect();
+                if has_arrivals {
+                    let dist = Exponential::with_mean(*mttf);
+                    for (k, stream) in streams.iter_mut().enumerate() {
+                        let at = SimTime::new(dist.sample(stream));
+                        sim.schedule_at(at, SimEvent::ClusterDown { cluster: k, remaining: 0 });
+                    }
+                }
+                FaultDriver::Exponential { mttf: *mttf, mttr: *mttr, streams }
+            }
+        };
+        FaultState {
+            interrupt: self.cfg.interrupt,
+            driver,
+            departures: vec![None; self.cfg.total_jobs as usize],
+        }
     }
 
     /// One arrival: route, record, enqueue, and draw the next arrival
@@ -313,6 +398,11 @@ where
         let placement = job.placement.as_ref().expect("departing job was started");
         st.system.release(placement);
         let released = placement.total();
+        if let Some(f) = &mut st.faults {
+            if let Some(slot) = f.departures.get_mut(id.0 as usize) {
+                *slot = None;
+            }
+        }
         self.observer.on_completion(now, id, job);
         st.metrics.record_release(now, released);
         st.metrics.record_exit(now);
@@ -324,6 +414,146 @@ where
         }
         self.scheduler.on_departure();
         PassTrigger::Departure
+    }
+
+    /// One cluster failure: every job running a component on the
+    /// cluster is killed (its partial work is lost — there is no
+    /// checkpointing), each victim's fate follows the configured
+    /// [`InterruptPolicy`], the cluster is degraded to `remaining`
+    /// usable processors, and — under the exponential driver — the
+    /// repair is scheduled.
+    fn cluster_down(
+        &mut self,
+        st: &mut EngineState,
+        now: SimTime,
+        cluster: usize,
+        remaining: u32,
+    ) -> PassTrigger {
+        // The departure registry doubles as the running-job index:
+        // every running job has a pending departure event.
+        let mut victims: Vec<JobId> = Vec::new();
+        {
+            let f = st.faults.as_ref().expect("fault events only fire with faults enabled");
+            for (idx, ev) in f.departures.iter().enumerate() {
+                if ev.is_none() {
+                    continue;
+                }
+                let id = JobId(idx as u64);
+                let on_cluster = st
+                    .table
+                    .get(id)
+                    .placement
+                    .as_ref()
+                    .is_some_and(|p| p.assignments().iter().any(|&(c, _)| c == cluster));
+                if on_cluster {
+                    victims.push(id);
+                }
+            }
+        }
+        for &id in &victims {
+            let ev = st.faults.as_mut().expect("faults enabled").departures[id.0 as usize]
+                .take()
+                .expect("victim was running");
+            let cancelled = st.sim.cancel(ev);
+            debug_assert!(cancelled, "a running job's departure event was pending");
+            let job = st.table.get_mut(id);
+            let placement = job.placement.take().expect("victim was started");
+            let start = job.start.take().expect("victim was started");
+            st.system.release(&placement);
+            st.metrics.record_release(now, placement.total());
+            st.metrics
+                .record_interruption(now, f64::from(placement.total()) * (now - start).seconds());
+            let resplit = self.maybe_resplit(st, id, cluster, remaining);
+            let disposition = st.faults.as_ref().expect("faults enabled").interrupt;
+            let job = st.table.get(id);
+            let queue = job.queue;
+            let info = Interruption { id, cluster, released: &placement, disposition, resplit };
+            self.observer.on_job_interrupted(now, job, &info);
+            match disposition {
+                InterruptPolicy::RequeueFront => self.scheduler.requeue_front(id, queue),
+                InterruptPolicy::RequeueBack => self.scheduler.enqueue(id, queue),
+                // The job leaves the system with nothing to show for it.
+                InterruptPolicy::Abort => st.metrics.record_exit(now),
+            }
+        }
+        st.system.set_down(cluster, remaining);
+        self.observer.on_cluster_down(now, cluster, remaining);
+        st.metrics.record_outage_level(now, st.system.total_offline());
+        // Requeued victims and the changed idle state invalidate every
+        // queue-disabled latch (GS's "arrivals never increase idle"
+        // skip does not cover faults), so fault events count as
+        // departures for the schedulers' re-enable logic.
+        self.scheduler.on_departure();
+        if let FaultDriver::Exponential { mttr, streams, .. } =
+            &mut st.faults.as_mut().expect("faults enabled").driver
+        {
+            let repair = Exponential::with_mean(*mttr).sample(&mut streams[cluster]);
+            st.sim.schedule_at(now + Duration::new(repair), SimEvent::ClusterUp(cluster));
+        }
+        PassTrigger::Fault
+    }
+
+    /// One cluster repair: full capacity returns, and — under the
+    /// exponential driver, while arrivals remain — the next failure of
+    /// this cluster is scheduled.
+    fn cluster_up(&mut self, st: &mut EngineState, now: SimTime, cluster: usize) -> PassTrigger {
+        st.system.set_up(cluster);
+        self.observer.on_cluster_up(now, cluster);
+        st.metrics.record_outage_level(now, st.system.total_offline());
+        self.scheduler.on_departure();
+        let has_arrivals = st.pending.is_some();
+        if let FaultDriver::Exponential { mttf, streams, .. } =
+            &mut st.faults.as_mut().expect("faults enabled").driver
+        {
+            if has_arrivals {
+                let next = Exponential::with_mean(*mttf).sample(&mut streams[cluster]);
+                st.sim.schedule_at(
+                    now + Duration::new(next),
+                    SimEvent::ClusterDown { cluster, remaining: 0 },
+                );
+            }
+        }
+        PassTrigger::Fault
+    }
+
+    /// Re-splits an interrupted unordered multi-component request when
+    /// the failure leaves fewer up clusters than it has components
+    /// (components must land on distinct clusters, §2.3, so the old
+    /// split could never start before the repair). The new split is
+    /// adopted only when its largest component fits the largest
+    /// surviving effective capacity; otherwise the job keeps its
+    /// request and waits for the repair.
+    fn maybe_resplit(
+        &self,
+        st: &mut EngineState,
+        id: JobId,
+        cluster: usize,
+        remaining: u32,
+    ) -> bool {
+        let request = &st.table.get(id).spec.request;
+        if request.kind() != RequestKind::Unordered || !request.is_multi() {
+            return false;
+        }
+        // Effective capacities as they will stand once this failure is
+        // applied (`set_down` runs after the victims are handled).
+        let mut surviving = 0usize;
+        let mut max_eff = 0u32;
+        for k in 0..self.cfg.system.num_clusters() {
+            let eff = if k == cluster { remaining } else { st.system.effective_capacity(k) };
+            if eff > 0 {
+                surviving += 1;
+                max_eff = max_eff.max(eff);
+            }
+        }
+        if surviving == 0 || request.num_components() <= surviving {
+            return false;
+        }
+        let candidate = JobRequest::from_total(request.total(), self.cfg.workload.limit, surviving);
+        if candidate.max_component() > max_eff {
+            return false;
+        }
+        st.table.get_mut(id).spec.request = candidate;
+        true
     }
 
     /// One scheduling pass: start everything that fits, schedule the
@@ -345,7 +575,14 @@ where
             let procs = job.spec.request.total();
             self.observer.on_start(now, id, job, occupancy);
             st.metrics.record_allocate(now, procs);
-            st.sim.schedule_at(now + occupancy, SimEvent::Departure(id));
+            let ev = st.sim.schedule_at(now + occupancy, SimEvent::Departure(id));
+            if let Some(f) = &mut st.faults {
+                let idx = id.0 as usize;
+                if idx >= f.departures.len() {
+                    f.departures.resize(idx + 1, None);
+                }
+                f.departures[idx] = Some(ev);
+            }
         }
         let queued_now = self.scheduler.queued();
         st.metrics.record_queue_length(now, queued_now);

@@ -218,8 +218,14 @@ impl std::str::FromStr for SystemSpec {
 pub struct MultiCluster {
     clusters: Vec<Cluster>,
     /// Idle processors per cluster, mirroring `clusters` (the
-    /// allocation-free fast path for placement fit checks).
+    /// allocation-free fast path for placement fit checks). Under an
+    /// outage this is the *effective* idle count: the offline share is
+    /// subtracted so fit checks see only usable processors.
     idle: Vec<u32>,
+    /// Processors currently offline per cluster (0 = healthy). Empty
+    /// until the first fault touches the system, so fault-free runs pay
+    /// nothing.
+    outage: Vec<u32>,
 }
 
 impl MultiCluster {
@@ -229,6 +235,7 @@ impl MultiCluster {
         MultiCluster {
             clusters: capacities.iter().map(|&c| Cluster::new(c)).collect(),
             idle: capacities.to_vec(),
+            outage: Vec::new(),
         }
     }
 
@@ -269,15 +276,22 @@ impl MultiCluster {
     }
 
     /// Idle processors in each cluster, as a borrowed slice (no
-    /// allocation; the cache is maintained by apply/release).
+    /// allocation; the cache is maintained by apply/release). Offline
+    /// processors are not idle: under an outage the entries are the
+    /// *usable* idle counts.
     pub fn idle_per_cluster(&self) -> &[u32] {
-        debug_assert!(self.idle.iter().zip(&self.clusters).all(|(&i, c)| i == c.idle()));
+        debug_assert!(self
+            .idle
+            .iter()
+            .zip(&self.clusters)
+            .enumerate()
+            .all(|(k, (&i, c))| i + self.outage_of(k) == c.idle()));
         &self.idle
     }
 
-    /// Idle processors in one cluster.
+    /// Idle *usable* processors in one cluster.
     pub fn idle(&self, cluster: usize) -> u32 {
-        self.clusters[cluster].idle()
+        self.clusters[cluster].idle() - self.outage_of(cluster)
     }
 
     /// Capacity of one cluster.
@@ -285,14 +299,83 @@ impl MultiCluster {
         self.clusters[cluster].capacity()
     }
 
+    /// Processors of one cluster currently offline (0 when healthy).
+    fn outage_of(&self, cluster: usize) -> u32 {
+        self.outage.get(cluster).copied().unwrap_or(0)
+    }
+
+    /// Usable capacity of one cluster: full capacity minus the outage.
+    pub fn effective_capacity(&self, cluster: usize) -> u32 {
+        self.clusters[cluster].capacity() - self.outage_of(cluster)
+    }
+
+    /// Total processors currently offline across all clusters.
+    pub fn total_offline(&self) -> u32 {
+        self.outage.iter().sum()
+    }
+
+    /// Whether the cluster is (fully or partially) down.
+    pub fn is_degraded(&self, cluster: usize) -> bool {
+        self.outage_of(cluster) > 0
+    }
+
+    /// Takes a cluster down to `remaining` usable processors (0 for a
+    /// full outage). The cluster must be healthy and *empty* — the
+    /// session kills every running component on it first.
+    ///
+    /// # Panics
+    /// Panics if the cluster is already degraded, still has busy
+    /// processors, or `remaining` is not below its capacity.
+    pub fn set_down(&mut self, cluster: usize, remaining: u32) {
+        let cap = self.clusters[cluster].capacity();
+        assert!(!self.is_degraded(cluster), "cluster {cluster} is already down");
+        assert_eq!(
+            self.clusters[cluster].busy(),
+            0,
+            "cluster {cluster} still has busy processors; kill its jobs first"
+        );
+        assert!(remaining < cap, "remaining {remaining} is not below capacity {cap}");
+        if self.outage.is_empty() {
+            self.outage = vec![0; self.clusters.len()];
+        }
+        self.outage[cluster] = cap - remaining;
+        self.idle[cluster] = remaining;
+    }
+
+    /// Repairs a cluster back to full capacity.
+    ///
+    /// # Panics
+    /// Panics if the cluster is not down.
+    pub fn set_up(&mut self, cluster: usize) {
+        let offline = self.outage_of(cluster);
+        assert!(offline > 0, "cluster {cluster} is not down");
+        self.outage[cluster] = 0;
+        self.idle[cluster] += offline;
+    }
+
     /// Applies a placement: allocates every component's processors.
     ///
     /// # Panics
     /// Panics (in [`Cluster::allocate`]) if the placement does not fit —
     /// placements must come from a fit check against the current state.
+    /// On a degraded cluster the raw allocator would wrongly count
+    /// offline processors as idle, so the fit is checked here against
+    /// the *effective* idle count and the non-panicking
+    /// [`Cluster::try_allocate`] does the bookkeeping.
     pub fn apply(&mut self, placement: &Placement) {
         for &(cluster, procs) in placement.assignments() {
-            self.clusters[cluster].allocate(procs);
+            if self.is_degraded(cluster) {
+                assert!(
+                    procs <= self.idle[cluster],
+                    "allocating {procs} processors on degraded cluster {cluster} \
+                     but only {} usable",
+                    self.idle[cluster]
+                );
+                let fit = self.clusters[cluster].try_allocate(procs);
+                debug_assert!(fit, "raw idle cannot be below effective idle");
+            } else {
+                self.clusters[cluster].allocate(procs);
+            }
             self.idle[cluster] -= procs;
         }
     }
@@ -300,7 +383,12 @@ impl MultiCluster {
     /// Undoes a placement: releases every component's processors.
     pub fn release(&mut self, placement: &Placement) {
         for &(cluster, procs) in placement.assignments() {
-            self.clusters[cluster].release(procs);
+            if self.is_degraded(cluster) {
+                let held = self.clusters[cluster].try_release(procs);
+                debug_assert!(held, "releasing more than the cluster holds");
+            } else {
+                self.clusters[cluster].release(procs);
+            }
             self.idle[cluster] += procs;
         }
     }
@@ -415,6 +503,69 @@ mod tests {
         assert!(SystemSpec::parse("32,0").is_err(), "parse validates");
         let parsed: SystemSpec = "128".parse().expect("FromStr works");
         assert_eq!(parsed, SystemSpec::das_single_cluster());
+    }
+
+    #[test]
+    fn set_down_and_up_track_effective_capacity() {
+        let mut mc = MultiCluster::das_multicluster();
+        mc.set_down(1, 0);
+        assert!(mc.is_degraded(1));
+        assert_eq!(mc.effective_capacity(1), 0);
+        assert_eq!(mc.idle(1), 0);
+        assert_eq!(mc.total_offline(), 32);
+        assert_eq!(mc.idle_per_cluster(), vec![32, 0, 32, 32]);
+        mc.set_up(1);
+        assert!(!mc.is_degraded(1));
+        assert_eq!(mc.idle(1), 32);
+        assert_eq!(mc.total_offline(), 0);
+    }
+
+    #[test]
+    fn partial_outage_leaves_remaining_processors_usable() {
+        let mut mc = MultiCluster::das_multicluster();
+        mc.set_down(2, 8);
+        assert_eq!(mc.effective_capacity(2), 8);
+        assert_eq!(mc.idle(2), 8);
+        // Work fits within the remaining share, and releases cleanly.
+        let p = Placement::new(vec![(2, 8)]);
+        mc.apply(&p);
+        assert_eq!(mc.idle(2), 0);
+        assert_eq!(mc.total_busy(), 8);
+        mc.release(&p);
+        assert_eq!(mc.idle(2), 8);
+        mc.set_up(2);
+        assert_eq!(mc.idle(2), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "only 8 usable")]
+    fn apply_beyond_the_remaining_share_panics() {
+        let mut mc = MultiCluster::das_multicluster();
+        mc.set_down(2, 8);
+        mc.apply(&Placement::new(vec![(2, 9)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "kill its jobs first")]
+    fn set_down_requires_an_empty_cluster() {
+        let mut mc = MultiCluster::das_multicluster();
+        mc.apply(&Placement::new(vec![(0, 4)]));
+        mc.set_down(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already down")]
+    fn double_down_panics() {
+        let mut mc = MultiCluster::das_multicluster();
+        mc.set_down(0, 0);
+        mc.set_down(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not down")]
+    fn repairing_a_healthy_cluster_panics() {
+        let mut mc = MultiCluster::das_multicluster();
+        mc.set_up(3);
     }
 
     #[test]

@@ -42,6 +42,8 @@ fn main() {
             rule: coalloc::core::PlacementRule::WorstFit,
             record_series: false,
             seed: 42,
+            faults: None,
+            interrupt: coalloc::core::InterruptPolicy::RequeueFront,
         };
         let out = SimBuilder::new(&cfg).run();
         let exact = mmc_mean_response(lambda, 1.0 / mean_service, c);

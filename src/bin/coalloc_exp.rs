@@ -12,91 +12,212 @@
 //! --full runs paper-scale simulations (tens of CPU-minutes); the
 //! default quick scale reproduces every qualitative shape in ~a minute.
 //! ```
+//!
+//! Argument errors never panic: every parser returns a
+//! [`CoallocError`], `main` prints `error: <what>` on stderr and exits
+//! with status 2 (status 1 is reserved for failed contract checks such
+//! as `--audit` and `--assert-precision`).
 
+use std::process::ExitCode;
+
+use coalloc::core::{CoallocError, FaultSpec, InterruptPolicy};
 use coalloc::experiments::{self, Scale};
 
-fn usage() -> ! {
+fn usage() -> ExitCode {
     eprintln!(
         "usage: coalloc-exp <target> [--full] [--save <dir>]\n\
          targets: table1 table2 table3 ratios fig1..fig7 packing\n\
          \x20        reqtypes placement backfill extfactor burstiness plot all\n\
          \x20        runjson <GS|LS|LP|SC|GB> <limit> <utilization>\n\
          \x20                [--events <path>] [--audit] [--warmup auto|N]\n\
-         \x20                [--capacities a,b,c]               (JSON SimOutcome)\n\
+         \x20                [--capacities a,b,c] [--faults <spec>]\n\
+         \x20                [--interrupt front|back|abort]   (JSON SimOutcome)\n\
          \x20        sweep <GS|LS|LP|SC|GB> <limit> [--utils a,b,c] [--rel-ci X]\n\
          \x20              [--min-reps N] [--max-reps N] [--warmup auto|N]\n\
          \x20              [--checkpoint <path>] [--assert-precision] [--audit]\n\
-         \x20              [--capacities a,b,c]   (adaptive sweep, stats table)\n\
-         \x20        bench [--quick|--full] [--out <dir>]   (throughput -> BENCH_<n>.json)"
+         \x20              [--capacities a,b,c] [--faults <spec>]\n\
+         \x20              [--interrupt front|back|abort] [--inject-panic U]\n\
+         \x20              (adaptive sweep, stats table)\n\
+         \x20        bench [--quick|--full] [--out <dir>]   (throughput -> BENCH_<n>.json)\n\
+         fault specs: exp:MTTF:MTTR or down:T:K[:R],up:T:K,..."
     );
-    std::process::exit(2);
+    ExitCode::from(2)
 }
 
-/// Parses a `--flag value` pair anywhere in `args`.
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == flag).map(|i| match args.get(i + 1) {
-        Some(v) => v.as_str(),
-        None => usage(),
-    })
+/// Renders a [`CoallocError`] the way a Unix tool should: one `error:`
+/// line on stderr, usage, exit status 2.
+fn fail(e: CoallocError) -> ExitCode {
+    eprintln!("error: {e}");
+    usage()
+}
+
+/// Finds a `--flag value` pair anywhere in `args`; a flag present
+/// without its value is an error, an absent flag is `None`.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, CoallocError> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) => Ok(Some(v.as_str())),
+            None => Err(CoallocError::MissingValue { flag: flag.to_string() }),
+        },
+    }
+}
+
+/// Parses an optional `--flag value` through [`std::str::FromStr`],
+/// naming the flag and the expected shape on failure.
+fn parse_flag<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+    want: &str,
+) -> Result<Option<T>, CoallocError> {
+    flag_value(args, flag)?
+        .map(|v| v.parse().map_err(|_| CoallocError::invalid(flag, v, want)))
+        .transpose()
+}
+
+/// Parses a positional policy name (`GS`/`LS`/`LP`/`SC`/`GB`).
+fn parse_policy(arg: Option<&str>) -> Result<coalloc::core::PolicyKind, CoallocError> {
+    use coalloc::core::PolicyKind;
+    match arg {
+        Some("GS") => Ok(PolicyKind::Gs),
+        Some("LS") => Ok(PolicyKind::Ls),
+        Some("LP") => Ok(PolicyKind::Lp),
+        Some("SC") => Ok(PolicyKind::Sc),
+        Some("GB") => Ok(PolicyKind::Gb),
+        other => Err(CoallocError::UnknownTarget {
+            name: other.unwrap_or("<missing>").to_string(),
+            what: "policy".to_string(),
+        }),
+    }
 }
 
 /// Parses `--capacities a,b,c` into a heterogeneous `SystemSpec`
 /// (processors per cluster); `None` means the DAS default geometry.
-fn parse_capacities(args: &[String]) -> Option<coalloc::core::SystemSpec> {
-    flag_value(args, "--capacities").map(|spec| spec.parse().unwrap_or_else(|_| usage()))
+fn parse_capacities(args: &[String]) -> Result<Option<coalloc::core::SystemSpec>, CoallocError> {
+    flag_value(args, "--capacities")?
+        .map(|spec| {
+            spec.parse().map_err(|_| {
+                CoallocError::invalid("--capacities", spec, "comma-separated processor counts")
+            })
+        })
+        .transpose()
+}
+
+/// Parses `--faults <spec>` (`exp:MTTF:MTTR` or a scripted
+/// `down:T:K[:R],up:T:K,...` list) without yet checking it against a
+/// concrete system — callers validate once the geometry is known.
+fn parse_faults(args: &[String]) -> Result<Option<FaultSpec>, CoallocError> {
+    flag_value(args, "--faults")?
+        .map(|s| {
+            FaultSpec::parse(s)
+                .map_err(|detail| CoallocError::FaultSpec { spec: s.to_string(), detail })
+        })
+        .transpose()
+}
+
+/// Parses `--interrupt front|back|abort` into the requeue policy for
+/// fault victims.
+fn parse_interrupt(args: &[String]) -> Result<Option<InterruptPolicy>, CoallocError> {
+    flag_value(args, "--interrupt")?
+        .map(|s| {
+            InterruptPolicy::parse(s)
+                .map_err(|_| CoallocError::invalid("--interrupt", s, "front|back|abort"))
+        })
+        .transpose()
+}
+
+/// Checks a fault spec against the system it will actually run on;
+/// `SimConfig::validate` would panic later, this reports a typed error
+/// up front instead.
+fn check_faults(
+    faults: &Option<FaultSpec>,
+    args: &[String],
+    system: &coalloc::core::SystemSpec,
+) -> Result<(), CoallocError> {
+    if let Some(spec) = faults {
+        if let Err(detail) = spec.validate_for(system) {
+            let raw = flag_value(args, "--faults")?.unwrap_or_default().to_string();
+            return Err(CoallocError::FaultSpec { spec: raw, detail });
+        }
+    }
+    Ok(())
 }
 
 /// Applies `--warmup auto|N` to a simulation configuration.
-fn apply_warmup(cfg: &mut coalloc::core::SimConfig, spec: Option<&str>) {
+fn apply_warmup(
+    cfg: &mut coalloc::core::SimConfig,
+    spec: Option<&str>,
+) -> Result<(), CoallocError> {
     use coalloc::core::Warmup;
     match spec {
         None => {}
         Some("auto") => cfg.warmup = Warmup::Auto,
         Some(n) => {
-            cfg.warmup_jobs = n.parse().unwrap_or_else(|_| usage());
+            cfg.warmup_jobs = n
+                .parse()
+                .map_err(|_| CoallocError::invalid("--warmup", n, "`auto` or a job count"))?;
             cfg.warmup = Warmup::Fixed;
         }
     }
+    Ok(())
 }
 
 /// Runs a precision-targeted adaptive sweep for one policy and prints
 /// the per-point statistics table. `--assert-precision` exits nonzero if
 /// a non-saturated point neither met the relative-CI target nor spent
-/// the replication cap (the adaptive engine's contract).
-fn sweep_cmd(args: &[String], scale: Scale) {
+/// the replication cap (the adaptive engine's contract). `--faults`
+/// injects cluster failures into every replication; `--inject-panic U`
+/// deliberately breaks the configuration at utilization `U` to
+/// demonstrate panic isolation (the point shows up in the `fail`
+/// column, the process still exits 0).
+fn sweep_cmd(args: &[String], scale: Scale) -> Result<ExitCode, CoallocError> {
     use coalloc::core::experiment::sweep;
     use coalloc::core::{report, PolicyKind, SimConfig};
     use coalloc::experiments::scaled;
-    let policy = match args.first().map(String::as_str) {
-        Some("GS") => PolicyKind::Gs,
-        Some("LS") => PolicyKind::Ls,
-        Some("LP") => PolicyKind::Lp,
-        Some("SC") => PolicyKind::Sc,
-        Some("GB") => PolicyKind::Gb,
-        _ => usage(),
+    let policy = parse_policy(args.first().map(String::as_str))?;
+    let limit: u32 = match args.get(1) {
+        Some(v) => {
+            v.parse().map_err(|_| CoallocError::invalid("<limit>", v, "a component-size limit"))?
+        }
+        None => {
+            return Err(CoallocError::MissingValue { flag: "<limit>".to_string() });
+        }
     };
-    let limit: u32 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or_else(|| usage());
     let mut cfg = scale.sweep();
-    if let Some(utils) = flag_value(args, "--utils") {
-        cfg.utilizations =
-            utils.split(',').map(|u| u.parse().unwrap_or_else(|_| usage())).collect();
+    if let Some(utils) = flag_value(args, "--utils")? {
+        cfg.utilizations = utils
+            .split(',')
+            .map(|u| {
+                u.parse().map_err(|_| {
+                    CoallocError::invalid("--utils", u, "comma-separated utilizations")
+                })
+            })
+            .collect::<Result<_, _>>()?;
     }
-    if let Some(v) = flag_value(args, "--rel-ci") {
-        cfg.rel_ci_target = v.parse().unwrap_or_else(|_| usage());
+    if let Some(v) = parse_flag(args, "--rel-ci", "a relative half-width like 0.05")? {
+        cfg.rel_ci_target = v;
     }
-    if let Some(v) = flag_value(args, "--min-reps") {
-        cfg.min_replications = v.parse().unwrap_or_else(|_| usage());
+    if let Some(v) = parse_flag(args, "--min-reps", "a replication count")? {
+        cfg.min_replications = v;
     }
-    if let Some(v) = flag_value(args, "--max-reps") {
-        cfg.max_replications = v.parse().unwrap_or_else(|_| usage());
+    if let Some(v) = parse_flag(args, "--max-reps", "a replication count")? {
+        cfg.max_replications = v;
     }
-    cfg.checkpoint = flag_value(args, "--checkpoint").map(std::path::PathBuf::from);
+    cfg.checkpoint = flag_value(args, "--checkpoint")?.map(std::path::PathBuf::from);
     cfg.audit = args.iter().any(|a| a == "--audit");
-    let warmup = flag_value(args, "--warmup").map(str::to_owned);
-    let system = parse_capacities(args);
+    let warmup = flag_value(args, "--warmup")?.map(str::to_owned);
+    let system = parse_capacities(args)?;
+    let faults = parse_faults(args)?;
+    let interrupt = parse_interrupt(args)?;
+    let inject_panic: Option<f64> = parse_flag(args, "--inject-panic", "a utilization")?;
     let system_label = system.as_ref().map_or_else(String::new, |sys| format!(", system {sys}"));
-    let points = sweep(
-        move |util| {
+    let fault_label =
+        flag_value(args, "--faults")?.map_or_else(String::new, |s| format!(", faults {s}"));
+    let make_cfg = {
+        let system = system.clone();
+        let faults = faults.clone();
+        let warmup = warmup.clone();
+        move |util: f64| {
             let mut c = match &system {
                 Some(sys) => {
                     scaled(SimConfig::heterogeneous(policy, limit, util, sys.clone()), scale)
@@ -106,28 +227,57 @@ fn sweep_cmd(args: &[String], scale: Scale) {
                 }
                 None => scaled(SimConfig::das(policy, limit, util), scale),
             };
-            apply_warmup(&mut c, warmup.as_deref());
+            c.faults = faults.clone();
+            if let Some(p) = interrupt {
+                c.interrupt = p;
+            }
+            if let Some(p) = inject_panic {
+                if (util - p).abs() < 1e-9 {
+                    // A warm-up that swallows every job fails validation
+                    // inside the replication — the canonical "one point
+                    // is broken, the sweep must survive" scenario.
+                    c.warmup_jobs = c.total_jobs;
+                }
+            }
+            let _ = apply_warmup(&mut c, warmup.as_deref());
             c
-        },
-        &cfg,
-    );
+        }
+    };
+    // Surface a fault spec that does not fit the geometry, or a
+    // malformed warm-up spec, as a typed error now — not as a panic (or
+    // a wall of FailedReplications) once the sweep is underway.
+    check_faults(&faults, args, &make_cfg(cfg.utilizations[0]).system)?;
+    if let Some(w) = warmup.as_deref() {
+        if w != "auto" && w.parse::<u64>().is_err() {
+            return Err(CoallocError::invalid("--warmup", w, "`auto` or a job count"));
+        }
+    }
+    let points = sweep(make_cfg, &cfg);
     let title = format!(
-        "Adaptive sweep: {} limit {limit}{system_label}, rel-CI target {:.0}%, {}..{} reps",
+        "Adaptive sweep: {} limit {limit}{system_label}{fault_label}, rel-CI target {:.0}%, {}..{} reps",
         policy.label(),
         100.0 * cfg.rel_ci_target,
         cfg.min_replications,
         cfg.max_replications
     );
     println!("{}", report::sweep_stats_table(&title, &points));
+    for p in &points {
+        for f in &p.outcome.failures {
+            eprintln!(
+                "failed replication at util {:.2}: rep {} (seed {}): {}",
+                p.target_utilization, f.rep, f.seed, f.cause
+            );
+        }
+    }
     if args.iter().any(|a| a == "--assert-precision") {
         let mut failed = false;
         for p in &points {
             let o = &p.outcome;
-            if o.saturated {
+            if o.saturated || o.runs.is_empty() {
                 continue;
             }
             let met = o.response.relative_error() <= cfg.rel_ci_target;
-            let capped = o.runs.len() as u64 >= cfg.max_replications;
+            let capped = (o.runs.len() + o.failures.len()) as u64 >= cfg.max_replications;
             if !met && !capped {
                 eprintln!(
                     "point {:.2}: rel err {:.3} above target {:.3} with only {} reps",
@@ -140,24 +290,24 @@ fn sweep_cmd(args: &[String], scale: Scale) {
             }
         }
         if failed {
-            std::process::exit(1);
+            return Ok(ExitCode::from(1));
         }
         eprintln!("precision contract holds for all {} points", points.len());
     }
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Runs the fixed-seed throughput harness and appends the next
 /// `BENCH_<n>.json` (see `coalloc::bench` for the methodology).
-fn bench(args: &[String]) {
+fn bench(args: &[String]) -> Result<ExitCode, CoallocError> {
     use coalloc::bench::{next_bench_path, run_bench, BenchScale};
     let scale =
         if args.iter().any(|a| a == "--full") { BenchScale::Full } else { BenchScale::Quick };
-    let out_dir = args
-        .iter()
-        .position(|a| a == "--out")
-        .map(|i| args.get(i + 1).map(std::path::PathBuf::from).unwrap_or_else(|| usage()))
+    let out_dir = flag_value(args, "--out")?
+        .map(std::path::PathBuf::from)
         .unwrap_or_else(|| std::path::PathBuf::from("."));
-    std::fs::create_dir_all(&out_dir).expect("can create the output directory");
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| CoallocError::io(format!("creating {}", out_dir.display()), e))?;
     let report = run_bench(scale);
     for r in &report.results {
         eprintln!(
@@ -168,45 +318,57 @@ fn bench(args: &[String]) {
     eprintln!("peak RSS: {:.1} MiB", report.peak_rss_bytes as f64 / (1024.0 * 1024.0));
     let path = next_bench_path(&out_dir);
     let json = serde_json::to_string_pretty(&report).expect("BenchReport serializes");
-    std::fs::write(&path, json + "\n").expect("can write the bench report");
+    std::fs::write(&path, json + "\n")
+        .map_err(|e| CoallocError::io(format!("writing {}", path.display()), e))?;
     println!("{}", path.display());
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Runs one simulation and prints the full outcome as JSON. `--events
 /// <path>` additionally writes the structured decision-event log (one
 /// JSON object per line); `--audit` attaches the invariant auditor and
-/// exits nonzero if the run broke any of the paper's rules.
-fn runjson(args: &[String], scale: Scale) {
+/// exits nonzero if the run broke any of the paper's rules; `--faults`
+/// and `--interrupt` inject cluster failures.
+fn runjson(args: &[String], scale: Scale) -> Result<ExitCode, CoallocError> {
     use coalloc::core::{InvariantAuditor, JsonlSink, PolicyKind, SimBuilder, SimConfig, Tee};
-    let policy = match args.first().map(String::as_str) {
-        Some("GS") => PolicyKind::Gs,
-        Some("LS") => PolicyKind::Ls,
-        Some("LP") => PolicyKind::Lp,
-        Some("SC") => PolicyKind::Sc,
-        Some("GB") => PolicyKind::Gb,
-        _ => usage(),
+    let policy = parse_policy(args.first().map(String::as_str))?;
+    let limit: u32 = match args.get(1) {
+        Some(v) => {
+            v.parse().map_err(|_| CoallocError::invalid("<limit>", v, "a component-size limit"))?
+        }
+        None => return Err(CoallocError::MissingValue { flag: "<limit>".to_string() }),
     };
-    let limit: u32 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or_else(|| usage());
-    let util: f64 = args.get(2).and_then(|a| a.parse().ok()).unwrap_or_else(|| usage());
-    let events_path = args
-        .iter()
-        .position(|a| a == "--events")
-        .map(|i| args.get(i + 1).map(std::path::PathBuf::from).unwrap_or_else(|| usage()));
+    let util: f64 = match args.get(2) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CoallocError::invalid("<utilization>", v, "a gross utilization"))?,
+        None => return Err(CoallocError::MissingValue { flag: "<utilization>".to_string() }),
+    };
+    let events_path = flag_value(args, "--events")?.map(std::path::PathBuf::from);
     let audit = args.iter().any(|a| a == "--audit");
-    let mut cfg = match parse_capacities(args) {
+    let mut cfg = match parse_capacities(args)? {
         Some(sys) => SimConfig::heterogeneous(policy, limit, util, sys),
         None if policy == PolicyKind::Sc => SimConfig::das_single_cluster(util),
         None => SimConfig::das(policy, limit, util),
     };
     cfg.total_jobs = scale.total_jobs();
     cfg.warmup_jobs = scale.warmup_jobs();
-    apply_warmup(&mut cfg, flag_value(args, "--warmup"));
+    apply_warmup(&mut cfg, flag_value(args, "--warmup")?)?;
+    let faults = parse_faults(args)?;
+    check_faults(&faults, args, &cfg.system)?;
+    cfg.faults = faults;
+    if let Some(p) = parse_interrupt(args)? {
+        cfg.interrupt = p;
+    }
 
-    let mut sink = events_path.map(|path| {
-        let file = std::fs::File::create(&path)
-            .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
-        JsonlSink::new(std::io::BufWriter::new(file))
-    });
+    let mut sink = match events_path {
+        Some(path) => {
+            let file = std::fs::File::create(&path)
+                .map_err(|e| CoallocError::io(format!("creating {}", path.display()), e))?;
+            Some(JsonlSink::new(std::io::BufWriter::new(file)))
+        }
+        None => None,
+    };
     let mut auditor = audit.then(|| InvariantAuditor::new(&cfg));
 
     let out = match (&mut sink, &mut auditor) {
@@ -219,22 +381,23 @@ fn runjson(args: &[String], scale: Scale) {
     };
     if let Some(sink) = sink {
         let n = sink.events_written();
-        sink.finish().expect("event log written");
+        sink.finish().map_err(|e| CoallocError::io("writing event log", e))?;
         eprintln!("wrote {n} events");
     }
     println!("{}", serde_json::to_string_pretty(&out).expect("SimOutcome serializes"));
     if let Some(auditor) = auditor {
         eprintln!("audit: {}", auditor.report());
         if !auditor.is_clean() {
-            std::process::exit(1);
+            return Ok(ExitCode::from(1));
         }
     }
+    Ok(ExitCode::SUCCESS)
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        usage();
+        return usage();
     }
     let scale = if args.iter().any(|a| a == "--full") { Scale::Full } else { Scale::Quick };
     let save_dir: Option<std::path::PathBuf> = args
@@ -243,20 +406,19 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(std::path::PathBuf::from);
     if let Some(dir) = &save_dir {
-        std::fs::create_dir_all(dir).expect("can create the save directory");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            return fail(CoallocError::io(format!("creating {}", dir.display()), e));
+        }
     }
     let target = args.first().map(String::as_str).unwrap_or("");
     if target == "runjson" {
-        runjson(&args[1..], scale);
-        return;
+        return runjson(&args[1..], scale).unwrap_or_else(fail);
     }
     if target == "sweep" {
-        sweep_cmd(&args[1..], scale);
-        return;
+        return sweep_cmd(&args[1..], scale).unwrap_or_else(fail);
     }
     if target == "bench" {
-        bench(&args[1..]);
-        return;
+        return bench(&args[1..]).unwrap_or_else(fail);
     }
     if target == "list" {
         for (name, what) in [
@@ -292,7 +454,7 @@ fn main() {
                 break; // reader (e.g. `| head`) closed the pipe
             }
         }
-        return;
+        return ExitCode::SUCCESS;
     }
     let known = [
         "table1",
@@ -322,7 +484,10 @@ fn main() {
         "runjson",
     ];
     if !known.contains(&target) {
-        usage();
+        return fail(CoallocError::UnknownTarget {
+            name: target.to_string(),
+            what: "target".to_string(),
+        });
     }
 
     // Write with errors ignored so `coalloc-exp ... | head` exits
@@ -405,4 +570,5 @@ fn main() {
     } else {
         run_one(target);
     }
+    ExitCode::SUCCESS
 }

@@ -114,6 +114,8 @@ fn whole_cluster_jobs_are_mm1() {
         rule: PlacementRule::WorstFit,
         record_series: false,
         seed: 23,
+        faults: None,
+        interrupt: coalloc::core::InterruptPolicy::RequeueFront,
     };
     let out = SimBuilder::new(&cfg).run();
     let exact = mean_service / (1.0 - rho);

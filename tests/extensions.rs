@@ -93,6 +93,8 @@ fn heterogeneous_five_cluster_system() {
         rule: PlacementRule::WorstFit,
         record_series: false,
         seed: 5,
+        faults: None,
+        interrupt: coalloc::core::InterruptPolicy::RequeueFront,
     };
     let out = SimBuilder::new(&cfg).run();
     assert!(!out.saturated, "five-cluster DAS2 at 0.45 must be stable");

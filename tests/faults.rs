@@ -1,0 +1,262 @@
+//! Fault-injection integration tests: the auditor certifies every
+//! policy under randomized failure/repair processes, the fault RNG is
+//! deterministic (byte-identical event logs, thread-count-invariant
+//! sweeps), and the degraded system still terminates cleanly.
+
+use coalloc::core::{
+    FaultSpec, InterruptPolicy, InvariantAuditor, JsonlSink, PolicyKind, SimBuilder, SimConfig,
+    SweepConfig, SystemSpec, Tee,
+};
+use proptest::prelude::*;
+
+/// A randomized faulty run: policy, scale, an exponential failure
+/// process, and what happens to the victims.
+#[derive(Debug, Clone)]
+struct FaultScenario {
+    policy: PolicyKind,
+    limit: u32,
+    util: f64,
+    jobs: u64,
+    seed: u64,
+    mttf: f64,
+    mttr: f64,
+    interrupt: InterruptPolicy,
+    das2: bool,
+}
+
+fn fault_scenario() -> impl Strategy<Value = FaultScenario> {
+    (
+        (
+            prop_oneof![
+                Just(PolicyKind::Gs),
+                Just(PolicyKind::Ls),
+                Just(PolicyKind::Lp),
+                Just(PolicyKind::Sc),
+                Just(PolicyKind::Gb)
+            ],
+            prop_oneof![Just(16u32), Just(32u32)],
+            0.3f64..0.7,
+            100u64..300,
+            any::<u64>(),
+        ),
+        (
+            20_000.0f64..200_000.0,
+            1_000.0f64..20_000.0,
+            prop_oneof![
+                Just(InterruptPolicy::RequeueFront),
+                Just(InterruptPolicy::RequeueBack),
+                Just(InterruptPolicy::Abort)
+            ],
+            proptest::bool::ANY,
+        ),
+    )
+        .prop_map(|((policy, limit, util, jobs, seed), (mttf, mttr, interrupt, das2))| {
+            FaultScenario { policy, limit, util, jobs, seed, mttf, mttr, interrupt, das2 }
+        })
+}
+
+fn faulty_cfg(sc: &FaultScenario) -> SimConfig {
+    let mut cfg = if sc.das2 {
+        SimConfig::heterogeneous(sc.policy, sc.limit, sc.util, SystemSpec::das2())
+    } else if sc.policy == PolicyKind::Sc {
+        SimConfig::das_single_cluster(sc.util)
+    } else {
+        SimConfig::das(sc.policy, sc.limit, sc.util)
+    };
+    cfg.total_jobs = sc.jobs;
+    cfg.warmup_jobs = sc.jobs / 10;
+    cfg.seed = sc.seed;
+    cfg.faults = Some(FaultSpec::Exponential { mttf: sc.mttf, mttr: sc.mttr });
+    cfg.interrupt = sc.interrupt;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every policy audits clean under a random exponential
+    /// failure/repair process, on the 4x32 DAS geometry and the real
+    /// 72+4x32 DAS2 geometry, for every victim disposition: no phantom
+    /// allocations on down clusters, no requeue-order violations, no
+    /// accounting drift — and the run still terminates.
+    #[test]
+    fn faulty_runs_audit_clean(sc in fault_scenario()) {
+        let cfg = faulty_cfg(&sc);
+        let mut auditor = InvariantAuditor::new(&cfg);
+        let out = SimBuilder::new(&cfg).run_observed(&mut auditor);
+        prop_assert!(auditor.is_clean(), "{:?}: {}", sc, auditor.report());
+        prop_assert!(out.metrics.availability <= 1.0 + 1e-12, "{:?}", sc);
+    }
+}
+
+/// A random scripted fault trace: one down/up pair per affected cluster.
+#[derive(Debug, Clone)]
+struct TraceScenario {
+    policy: PolicyKind,
+    seed: u64,
+    interrupt: InterruptPolicy,
+    /// Per cluster: `Some((down_at, outage_len, remaining))`.
+    outages: Vec<Option<(u32, u32, u32)>>,
+}
+
+fn trace_scenario() -> impl Strategy<Value = TraceScenario> {
+    (
+        prop_oneof![
+            Just(PolicyKind::Gs),
+            Just(PolicyKind::Ls),
+            Just(PolicyKind::Lp),
+            Just(PolicyKind::Gb)
+        ],
+        any::<u64>(),
+        prop_oneof![
+            Just(InterruptPolicy::RequeueFront),
+            Just(InterruptPolicy::RequeueBack),
+            Just(InterruptPolicy::Abort)
+        ],
+        proptest::collection::vec(
+            (proptest::bool::ANY, 1_000u32..400_000, 1_000u32..50_000, 0u32..=16).prop_map(
+                |(hit, down_at, len, remaining)| hit.then_some((down_at, len, remaining)),
+            ),
+            4,
+        ),
+    )
+        .prop_map(|(policy, seed, interrupt, outages)| TraceScenario {
+            policy,
+            seed,
+            interrupt,
+            outages,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Scripted fault traces — including partial outages that leave a
+    /// cluster degraded but alive — audit clean under every multicluster
+    /// policy and every victim disposition.
+    #[test]
+    fn scripted_fault_traces_audit_clean(sc in trace_scenario()) {
+        let mut events = Vec::new();
+        for (k, outage) in sc.outages.iter().enumerate() {
+            if let Some((down_at, len, remaining)) = outage {
+                events.push((*down_at, format!("down:{down_at}:{k}:{remaining}")));
+                events.push((down_at + len, format!("up:{}:{k}", down_at + len)));
+            }
+        }
+        prop_assume!(!events.is_empty());
+        // The trace grammar requires globally non-decreasing times.
+        events.sort_by_key(|(at, _)| *at);
+        let joined = events.into_iter().map(|(_, e)| e).collect::<Vec<_>>().join(",");
+        let spec = FaultSpec::parse(&joined).expect("generated spec is well-formed");
+        let mut cfg = SimConfig::das(sc.policy, 16, 0.5);
+        cfg.total_jobs = 200;
+        cfg.warmup_jobs = 20;
+        cfg.seed = sc.seed;
+        cfg.faults = Some(spec);
+        cfg.interrupt = sc.interrupt;
+        let mut auditor = InvariantAuditor::new(&cfg);
+        SimBuilder::new(&cfg).run_observed(&mut auditor);
+        prop_assert!(auditor.is_clean(), "{:?}: {}", sc, auditor.report());
+    }
+}
+
+/// Runs one faulty simulation and returns the full JSONL event log.
+fn faulty_event_log(seed: u64) -> Vec<u8> {
+    let mut cfg = SimConfig::das(PolicyKind::Gs, 16, 0.5);
+    cfg.total_jobs = 2_000;
+    cfg.warmup_jobs = 200;
+    cfg.seed = seed;
+    cfg.faults = Some(FaultSpec::Exponential { mttf: 50_000.0, mttr: 5_000.0 });
+    cfg.interrupt = InterruptPolicy::RequeueFront;
+    let mut sink = JsonlSink::new(Vec::new());
+    let mut auditor = InvariantAuditor::new(&cfg);
+    SimBuilder::new(&cfg).run_observed(&mut Tee::new(&mut sink, &mut auditor));
+    assert!(auditor.is_clean(), "{}", auditor.report());
+    sink.finish().expect("in-memory log")
+}
+
+#[test]
+fn fault_event_log_is_deterministic_and_typed() {
+    let a = faulty_event_log(2003);
+    let b = faulty_event_log(2003);
+    assert_eq!(a, b, "same seed must produce a byte-identical event log");
+    let text = String::from_utf8(a).expect("JSONL is UTF-8");
+    for kind in ["cluster_down", "cluster_up", "job_interrupted"] {
+        assert!(
+            text.lines().any(|l| l.contains(&format!("\"kind\":\"{kind}\""))),
+            "expected {kind} events in the log"
+        );
+    }
+    // A different seed shifts the failure times.
+    let c = faulty_event_log(7);
+    assert_ne!(text.into_bytes(), c, "different seed must shift the fault process");
+}
+
+#[test]
+fn faulty_sweeps_are_thread_count_invariant() {
+    let make = |threads: usize| {
+        let mut sweep_cfg = SweepConfig::quick();
+        sweep_cfg.utilizations = vec![0.3, 0.5];
+        sweep_cfg.threads = threads;
+        sweep_cfg.audit = true;
+        coalloc::core::sweep(
+            |util| {
+                let mut cfg = SimConfig::das(PolicyKind::Ls, 16, util);
+                cfg.total_jobs = 2_000;
+                cfg.warmup_jobs = 200;
+                cfg.batch_size = 100;
+                cfg.faults = Some(FaultSpec::Exponential { mttf: 80_000.0, mttr: 4_000.0 });
+                cfg.interrupt = InterruptPolicy::RequeueBack;
+                cfg
+            },
+            &sweep_cfg,
+        )
+    };
+    let serial = make(1);
+    let parallel = make(4);
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(a.outcome.response.mean, b.outcome.response.mean);
+        assert_eq!(a.outcome.gross_utilization, b.outcome.gross_utilization);
+        assert!(a.outcome.failures.is_empty() && b.outcome.failures.is_empty());
+        for (x, y) in a.outcome.runs.iter().zip(&b.outcome.runs) {
+            assert_eq!(x.metrics.availability, y.metrics.availability);
+            assert_eq!(x.metrics.interruptions, y.metrics.interruptions);
+        }
+    }
+}
+
+#[test]
+fn fault_metrics_reflect_the_outage_process() {
+    let mut cfg = SimConfig::das(PolicyKind::Gs, 16, 0.4);
+    cfg.total_jobs = 3_000;
+    cfg.warmup_jobs = 300;
+    cfg.faults = Some(FaultSpec::Exponential { mttf: 40_000.0, mttr: 8_000.0 });
+    cfg.interrupt = InterruptPolicy::RequeueBack;
+    let out = SimBuilder::new(&cfg).run();
+    assert!(out.metrics.availability < 1.0, "outages must cost availability");
+    assert!(out.metrics.availability > 0.5, "MTTF >> MTTR keeps the system mostly up");
+    assert!(out.metrics.interruptions > 0, "long runs under faults interrupt some jobs");
+    assert!(out.metrics.wasted_processor_seconds > 0.0);
+
+    // Without faults, the fault metrics are inert.
+    cfg.faults = None;
+    let clean = SimBuilder::new(&cfg).run();
+    assert_eq!(clean.metrics.availability, 1.0);
+    assert_eq!(clean.metrics.interruptions, 0);
+    assert_eq!(clean.metrics.wasted_processor_seconds, 0.0);
+}
+
+#[test]
+fn abort_disposition_terminates_under_heavy_faults() {
+    // Frequent failures with aborting victims: the run must still
+    // drain every job (aborted or completed) and report the losses.
+    let mut cfg = SimConfig::das(PolicyKind::Ls, 16, 0.5);
+    cfg.total_jobs = 1_000;
+    cfg.warmup_jobs = 100;
+    cfg.faults = Some(FaultSpec::Exponential { mttf: 20_000.0, mttr: 4_000.0 });
+    cfg.interrupt = InterruptPolicy::Abort;
+    let mut auditor = InvariantAuditor::new(&cfg);
+    let out = SimBuilder::new(&cfg).run_observed(&mut auditor);
+    assert!(auditor.is_clean(), "{}", auditor.report());
+    assert!(out.metrics.interruptions > 0, "heavy faults must interrupt jobs");
+}

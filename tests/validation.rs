@@ -20,6 +20,8 @@ fn queueing_cfg(servers: u32, service: ServiceDist, lambda: f64, seed: u64) -> S
         rule: PlacementRule::WorstFit,
         record_series: false,
         seed,
+        faults: None,
+        interrupt: coalloc::core::InterruptPolicy::RequeueFront,
     }
 }
 
