@@ -25,11 +25,16 @@ use super::{PassTrigger, PlacementDecision, SimObserver};
 /// | `cluster_down` | `scope` (the cluster), `components` (the one remaining-processor count) |
 /// | `cluster_up` | `scope` (the cluster)                              |
 /// | `job_interrupted` | `job`, `queue`, `scope` (the failed cluster), `trigger` (the disposition), `assignments` (released), `components` (possibly re-split) |
+/// | `molded`     | `job`, `idle_before` (the submitted split), `components` (the split actually started) |
+/// | `resized`    | `job`, `queue`, `assignments` (the new placement), `components` (the old placement's component sizes), `service` (the old departure time), `occupancy` (the new one) |
 /// | `end`        | —                                                  |
 ///
 /// The three fault kinds only appear when a run enables fault
-/// injection, so fault-free logs stay byte-identical to earlier
-/// versions.
+/// injection, and `molded`/`resized` only under a non-rigid job
+/// disposition, so default-configuration logs stay byte-identical to
+/// earlier versions. (`molded` and `resized` reuse existing columns —
+/// the table above says which — rather than widening every record's
+/// schema.)
 #[derive(Clone, Debug, serde::Serialize)]
 pub struct EventRecord {
     /// Position of this event in the run's event stream, from 0.
@@ -231,6 +236,31 @@ impl<W: Write> SimObserver for JsonlSink<W> {
         r.trigger = Some(info.disposition.label().to_string());
         r.assignments = info.released.assignments().iter().map(|&(c, p)| (c as u64, p)).collect();
         r.components = job.spec.request.components().to_vec();
+        self.emit(&r);
+    }
+
+    fn on_job_molded(
+        &mut self,
+        now: SimTime,
+        id: crate::job::JobId,
+        from: &coalloc_workload::JobRequest,
+        to: &coalloc_workload::JobRequest,
+    ) {
+        let mut r = self.next(now, "molded");
+        r.job = Some(id.0);
+        r.idle_before = from.components().to_vec();
+        r.components = to.components().to_vec();
+        self.emit(&r);
+    }
+
+    fn on_job_resized(&mut self, now: SimTime, job: &ActiveJob, resize: &super::Resize<'_>) {
+        let mut r = self.next(now, "resized");
+        r.job = Some(resize.id.0);
+        r.queue = Some(job.queue.audit_label());
+        r.assignments = resize.to.assignments().iter().map(|&(c, p)| (c as u64, p)).collect();
+        r.components = resize.from.assignments().iter().map(|&(_, p)| p).collect();
+        r.service = Some(resize.old_end.seconds());
+        r.occupancy = Some(resize.new_end.seconds());
         self.emit(&r);
     }
 

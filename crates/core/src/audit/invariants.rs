@@ -3,15 +3,17 @@
 
 use std::collections::VecDeque;
 
-use coalloc_workload::{JobRequest, Workload};
+use coalloc_workload::{JobRequest, RequestKind, Workload};
 use desim::{Duration, SimTime};
 
-use crate::job::{ActiveJob, JobId, SubmitQueue};
+use crate::job::{ActiveJob, JobId, Placement, SubmitQueue};
 use crate::placement::{place_scoped, PlacementRule};
+use crate::policy::{estimated_occupancy, replay_shadow};
+use crate::queue::QueueDiscipline;
 use crate::sim::SimConfig;
 use crate::system::SystemSpec;
 
-use super::{PlacementDecision, SimObserver};
+use super::{PlacementDecision, PlacementScope, Resize, SimObserver};
 
 /// Relative tolerance for time/occupancy comparisons; far below any
 /// real discrepancy (a mis-applied 1.25 extension is a 25% error).
@@ -60,6 +62,20 @@ pub enum ViolationKind {
     /// did not hold, a repair hit a cluster that was not down, or an
     /// interruption hit a job that was not running.
     InterruptAccountingError,
+    /// Under a backfilling discipline, a job overtook its queue head
+    /// although its own estimated end exceeds the head's shadow
+    /// reservation — the backfill may delay the very job it was
+    /// supposed to slip past (the EASY contract, §backfilling).
+    ReservationViolation,
+    /// A blocked queue head was still waiting after its shadow
+    /// reservation time had passed: backfilled jobs starved the head
+    /// beyond the bound the discipline promised.
+    BackfillStarvation,
+    /// A malleable resize did not conserve the job's remaining work:
+    /// `(old_end − now)·old_processors` differs from
+    /// `(new_end − now)·new_processors`, or the resize released a
+    /// placement the job did not hold.
+    ResizeConservation,
 }
 
 impl core::fmt::Display for ViolationKind {
@@ -113,6 +129,9 @@ struct JobInfo {
     /// starting any other job from that queue ahead of it violates the
     /// preserved FCFS age.
     requeued_front: bool,
+    /// Estimated release time while running (the same arithmetic the
+    /// backfilling schedulers use), for re-deriving shadow bounds.
+    est_end: f64,
 }
 
 /// An observer that checks, at every event, that the simulation obeys
@@ -133,8 +152,22 @@ pub struct InvariantAuditor {
     workload: Workload,
     rule: PlacementRule,
     /// FCFS is enforced per queue unless the policy overtakes by design
-    /// (GB's aggressive backfilling).
+    /// (GB's aggressive backfilling, or a backfilling discipline).
     strict_fcfs: bool,
+    /// The queue discipline the run declared; overtakes under a
+    /// backfilling discipline are checked against the head's shadow
+    /// reservation instead of being flat violations.
+    discipline: QueueDiscipline,
+    /// The estimate multiplier the run declared, for mirroring the
+    /// schedulers' estimated ends bit-for-bit.
+    estimate_factor: f64,
+    /// Whether the shadow reservation is also an upper bound on the
+    /// head's real start (sound only for single-queue policies with
+    /// overrun-side estimates and no faults) — arms BackfillStarvation.
+    starvation_armed: bool,
+    /// Overtaken queue heads still waiting: `(queue, head, bound)` —
+    /// the head must start by `bound` or the run starved it.
+    head_watch: Vec<(SubmitQueue, u64, f64)>,
     waiting_local: Vec<VecDeque<u64>>,
     waiting_global: VecDeque<u64>,
     jobs: Vec<Option<JobInfo>>,
@@ -158,12 +191,23 @@ impl InvariantAuditor {
     /// model, placement rule, and FCFS strictness all follow the
     /// configuration).
     pub fn new(cfg: &SimConfig) -> Self {
-        Self::with_parts(
+        let mut auditor = Self::with_parts(
             cfg.system.clone(),
             cfg.workload.clone(),
             cfg.rule,
             cfg.policy != crate::policy::PolicyKind::Gb,
         )
+        .with_discipline(cfg.discipline, cfg.estimate_factor);
+        // The starvation bound is sound only when the watched queue is
+        // the sole consumer of the system: under LS/LP another queue's
+        // head may legally take processors the shadow replay counted on.
+        auditor.starvation_armed &= matches!(
+            cfg.policy,
+            crate::policy::PolicyKind::Gs
+                | crate::policy::PolicyKind::Sc
+                | crate::policy::PolicyKind::Gb
+        );
+        auditor
     }
 
     /// An auditor from explicit parts (for harnesses that drive the
@@ -182,6 +226,10 @@ impl InvariantAuditor {
             workload,
             rule,
             strict_fcfs,
+            discipline: QueueDiscipline::Fcfs,
+            estimate_factor: 2.0,
+            starvation_armed: false,
+            head_watch: Vec::new(),
             waiting_local: vec![VecDeque::new(); clusters],
             waiting_global: VecDeque::new(),
             jobs: Vec::new(),
@@ -189,6 +237,22 @@ impl InvariantAuditor {
             violations: Vec::new(),
             total: 0,
         }
+    }
+
+    /// Declares the run's queue discipline and estimate multiplier.
+    ///
+    /// A backfilling discipline relaxes strict FCFS into the shadow-
+    /// reservation check ([`ViolationKind::ReservationViolation`]) and
+    /// arms the head-starvation bound when the estimates are on the
+    /// overrun side (`estimate_factor ≥ 1` and finite).
+    #[must_use]
+    pub fn with_discipline(mut self, discipline: QueueDiscipline, estimate_factor: f64) -> Self {
+        self.strict_fcfs = self.strict_fcfs && discipline == QueueDiscipline::Fcfs;
+        self.starvation_armed =
+            discipline.backfills() && estimate_factor >= 1.0 && estimate_factor.is_finite();
+        self.discipline = discipline;
+        self.estimate_factor = estimate_factor;
+        self
     }
 
     /// The recorded violations (capped at an internal limit; see
@@ -294,6 +358,101 @@ impl InvariantAuditor {
             None => FifoOutcome::Absent,
         }
     }
+
+    /// The estimated occupancy the schedulers would compute for this
+    /// request at the given span (shared arithmetic — see
+    /// [`estimated_occupancy`]).
+    fn est_occupancy(&self, request: &JobRequest, base_service: f64, span: usize) -> f64 {
+        estimated_occupancy(
+            &self.workload,
+            self.estimate_factor,
+            request,
+            Duration::new(base_service),
+            span,
+        )
+    }
+
+    /// The scope a queue head is placed under: system-wide from the
+    /// global queue; from a local queue, cluster-confined unless the
+    /// request is multi-component or ordered (the LS/LP §2.5 rule —
+    /// both policies agree on every request shape their local queues
+    /// can hold).
+    fn head_scope(queue: SubmitQueue, request: &JobRequest) -> PlacementScope {
+        match queue {
+            SubmitQueue::Global => PlacementScope::System,
+            SubmitQueue::Local(q) => {
+                if request.is_multi() || request.kind() == RequestKind::Ordered {
+                    PlacementScope::System
+                } else {
+                    PlacementScope::Cluster(q)
+                }
+            }
+        }
+    }
+
+    /// Re-derives the shadow reservation of a blocked head from the
+    /// auditor's own ledger and running-set mirror: the earliest
+    /// estimated time `request` fits under `scope`.
+    fn shadow_bound(&self, request: &JobRequest, scope: PlacementScope, now: f64) -> f64 {
+        let mut releases: Vec<(f64, Placement)> = self
+            .jobs
+            .iter()
+            .flatten()
+            .filter(|info| info.state == JobState::Running && !info.assignments.is_empty())
+            .filter(|info| {
+                // A corrupt duplicate-cluster placement was already
+                // flagged; skip it rather than panic in the replay.
+                let mut cs: Vec<usize> = info.assignments.iter().map(|&(c, _)| c).collect();
+                cs.sort_unstable();
+                cs.dedup();
+                cs.len() == info.assignments.len()
+            })
+            .map(|info| (info.est_end, Placement::new(info.assignments.clone())))
+            .collect();
+        releases.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("estimates are never NaN"));
+        let mut idle = self.idle.clone();
+        replay_shadow(&mut idle, &releases, request, scope, self.rule, now)
+    }
+
+    /// Under a backfilling discipline, an overtake is legal only below
+    /// the overtaken head's shadow reservation; when the starvation
+    /// bound is sound, the head goes under watch until it starts.
+    fn check_reservation(
+        &mut self,
+        t: f64,
+        id: JobId,
+        queue: SubmitQueue,
+        head: u64,
+        est_end: f64,
+    ) {
+        let head_info = self
+            .jobs
+            .get(head as usize)
+            .and_then(Option::as_ref)
+            .map(|info| (info.request.clone(), info.base_service));
+        let Some((head_request, _)) = head_info else {
+            return; // the mirror is already corrupt; other checks fired
+        };
+        let scope = Self::head_scope(queue, &head_request);
+        let bound = self.shadow_bound(&head_request, scope, t);
+        if est_end > bound + TOL * bound.abs().max(1.0) {
+            self.violation(
+                ViolationKind::ReservationViolation,
+                t,
+                Some(id.0),
+                format!(
+                    "backfilled with estimated end {est_end} past head {head}'s reservation \
+                     at {bound}"
+                ),
+            );
+        }
+        if self.starvation_armed
+            && bound.is_finite()
+            && !self.head_watch.iter().any(|&(q, h, _)| q == queue && h == head)
+        {
+            self.head_watch.push((queue, head, bound));
+        }
+    }
 }
 
 impl SimObserver for InvariantAuditor {
@@ -312,6 +471,13 @@ impl SimObserver for InvariantAuditor {
         if slot >= self.jobs.len() {
             self.jobs.resize(slot + 1, None);
         }
+        // An explicit estimate *below* the base service is an underrun:
+        // the job outlives its estimated release, so the shadow bound
+        // is no longer an upper bound on the head's start.
+        if job.spec.request.estimate().is_some_and(|e| e < job.spec.base_service.seconds()) {
+            self.starvation_armed = false;
+            self.head_watch.clear();
+        }
         self.jobs[slot] = Some(JobInfo {
             request: job.spec.request.clone(),
             base_service: job.spec.base_service.seconds(),
@@ -322,6 +488,7 @@ impl SimObserver for InvariantAuditor {
             span: 0,
             assignments: Vec::new(),
             requeued_front: false,
+            est_end: 0.0,
         });
     }
 
@@ -375,7 +542,29 @@ impl SimObserver for InvariantAuditor {
     }
 
     fn on_pass(&mut self, now: SimTime, _trigger: super::PassTrigger) {
-        self.check_time(now);
+        let t = self.check_time(now);
+        // A watched head still waiting past its reservation has been
+        // starved (watches are cleared the moment a head is placed, so
+        // every live entry is still waiting).
+        if !self.head_watch.is_empty() {
+            let expired: Vec<(SubmitQueue, u64, f64)> = self
+                .head_watch
+                .iter()
+                .copied()
+                .filter(|&(_, _, bound)| t > bound + TOL * bound.abs().max(1.0))
+                .collect();
+            for (queue, head, bound) in expired {
+                self.head_watch.retain(|&(q, h, _)| !(q == queue && h == head));
+                self.violation(
+                    ViolationKind::BackfillStarvation,
+                    t,
+                    Some(head),
+                    format!(
+                        "head of {queue:?} still waiting at {t}, past its reservation at {bound}"
+                    ),
+                );
+            }
+        }
     }
 
     fn on_pass_end(&mut self, now: SimTime, started: &[JobId]) {
@@ -446,8 +635,8 @@ impl SimObserver for InvariantAuditor {
             .jobs
             .get(id.0 as usize)
             .and_then(Option::as_ref)
-            .map(|info| (info.request.clone(), info.state));
-        let Some((request, state)) = known else {
+            .map(|info| (info.request.clone(), info.state, info.base_service));
+        let Some((request, state, base_service)) = known else {
             self.unknown_job(t, id, "placement");
             return;
         };
@@ -462,10 +651,16 @@ impl SimObserver for InvariantAuditor {
 
         // FCFS: only the head of a queue may start (unless the policy
         // backfills by design). Either way the job leaves the mirror.
+        self.head_watch.retain(|&(_, h, _)| h != id.0);
         match self.take_from_fifo(decision.queue, id.0) {
             FifoOutcome::Head => {}
             FifoOutcome::Overtook(ahead) => {
-                if self.strict_fcfs {
+                if self.discipline.backfills() {
+                    // Overtaking is the discipline working as designed —
+                    // but only below the overtaken head's reservation.
+                    let est_end = t + self.est_occupancy(&request, base_service, clusters.len());
+                    self.check_reservation(t, id, decision.queue, ahead[0], est_end);
+                } else if self.strict_fcfs {
                     // Overtaking a fault victim that was re-queued at
                     // the head to preserve its FCFS age is its own,
                     // more specific violation.
@@ -579,12 +774,18 @@ impl SimObserver for InvariantAuditor {
     fn on_start(&mut self, now: SimTime, id: JobId, _job: &ActiveJob, occupancy: Duration) {
         let t = self.check_time(now);
         let occ = occupancy.seconds();
+        let est = self
+            .jobs
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .map(|info| self.est_occupancy(&info.request, info.base_service, info.span));
         let known = match self.job_mut(id) {
             Some(info) => {
                 let snapshot = (info.state, info.base_service, info.span);
                 info.state = JobState::Running;
                 info.start = t;
                 info.occupancy = occ;
+                info.est_end = t + est.unwrap_or(0.0);
                 Some(snapshot)
             }
             None => None,
@@ -674,6 +875,11 @@ impl SimObserver for InvariantAuditor {
 
     fn on_cluster_down(&mut self, now: SimTime, cluster: usize, remaining: u32) {
         let t = self.check_time(now);
+        // A failure invalidates every estimated release (victims are
+        // killed or shrunk off-schedule): the starvation bound is no
+        // longer sound for the rest of the run.
+        self.starvation_armed = false;
+        self.head_watch.clear();
         let Some(&cap) = self.system.capacities().get(cluster) else {
             self.violation(
                 ViolationKind::InterruptAccountingError,
@@ -838,6 +1044,176 @@ impl SimObserver for InvariantAuditor {
                         slot.requeued_front = true;
                     }
                 }
+            }
+        }
+    }
+
+    fn on_job_molded(&mut self, now: SimTime, id: JobId, from: &JobRequest, to: &JobRequest) {
+        let t = self.check_time(now);
+        let known = self
+            .jobs
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .map(|info| (info.state, info.request.clone()));
+        let Some((state, mirrored)) = known else {
+            self.unknown_job(t, id, "molding");
+            return;
+        };
+        if state != JobState::Waiting {
+            self.violation(
+                ViolationKind::JobStateError,
+                t,
+                Some(id.0),
+                format!("molded while {state:?}"),
+            );
+        }
+        if mirrored != *from {
+            self.violation(
+                ViolationKind::JobStateError,
+                t,
+                Some(id.0),
+                format!("molded from {:?} but submitted {:?}", from.components(), mirrored),
+            );
+        }
+        if from.total() != to.total() {
+            let (was, is) = (from.total(), to.total());
+            self.violation(
+                ViolationKind::PlacementRuleViolation,
+                t,
+                Some(id.0),
+                format!("molding changed the total: {was} processors to {is}"),
+            );
+        }
+        // The mirror carries the molded split *before* the placement
+        // hook, matching the emission order, so the rule-conformance
+        // check re-derives the placement from the split actually used.
+        if let Some(info) = self.job_mut(id) {
+            info.request = to.clone();
+        }
+    }
+
+    fn on_job_resized(&mut self, now: SimTime, _job: &ActiveJob, resize: &Resize<'_>) {
+        let t = self.check_time(now);
+        let id = resize.id;
+        let known = self
+            .jobs
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .map(|info| (info.state, info.assignments.clone()));
+        let Some((state, held)) = known else {
+            self.unknown_job(t, id, "resize");
+            return;
+        };
+        if state != JobState::Running {
+            self.violation(
+                ViolationKind::JobStateError,
+                t,
+                Some(id.0),
+                format!("resized while {state:?}"),
+            );
+            return;
+        }
+        // The released placement must be exactly what the job held.
+        let from: Vec<(usize, u32)> = resize.from.assignments().to_vec();
+        if held != from {
+            self.violation(
+                ViolationKind::ResizeConservation,
+                t,
+                Some(id.0),
+                format!("resize released {from:?} but the job held {held:?}"),
+            );
+        }
+        // Return the old placement to the ledger, then charge the new
+        // one — the same capacity rules as a completion plus placement.
+        for &(c, p) in &from {
+            let overflow = match self.idle.get_mut(c) {
+                Some(idle) => {
+                    *idle += p;
+                    if *idle > self.effective[c] {
+                        let (have, cap) = (*idle, self.effective[c]);
+                        *idle = cap;
+                        Some(format!("resize left cluster {c} with {have} idle of {cap}"))
+                    } else {
+                        None
+                    }
+                }
+                None => Some(format!("resize released on nonexistent cluster {c}")),
+            };
+            if let Some(detail) = overflow {
+                self.violation(ViolationKind::CapacityExceeded, t, Some(id.0), detail);
+            }
+        }
+        let to: Vec<(usize, u32)> = resize.to.assignments().to_vec();
+        let mut to_clusters: Vec<usize> = to.iter().map(|&(c, _)| c).collect();
+        to_clusters.sort_unstable();
+        to_clusters.dedup();
+        if to_clusters.len() != to.len() {
+            self.violation(
+                ViolationKind::DuplicateCluster,
+                t,
+                Some(id.0),
+                format!("resized assignments {to:?} share a cluster"),
+            );
+        }
+        for &(c, p) in &to {
+            if self.effective.get(c).copied() == Some(0) {
+                self.violation(
+                    ViolationKind::AllocationOnDownCluster,
+                    t,
+                    Some(id.0),
+                    format!("resize assigned a component to down cluster {c}"),
+                );
+            }
+            let shortfall = match self.idle.get_mut(c) {
+                Some(idle) if *idle >= p => {
+                    *idle -= p;
+                    None
+                }
+                Some(idle) => {
+                    let have = *idle;
+                    *idle = 0;
+                    Some(format!("resized component of {p} on cluster {c} with only {have} idle"))
+                }
+                None => Some(format!("resized component on nonexistent cluster {c}")),
+            };
+            if let Some(detail) = shortfall {
+                self.violation(ViolationKind::CapacityExceeded, t, Some(id.0), detail);
+            }
+        }
+        // Processor-seconds conservation: the remaining work is
+        // invariant across the resize. The engine derives the new end as
+        // `t + work/new_total`, so recovering the work multiplies one
+        // rounding ulp of the (large) clock value by the processor
+        // count — the tolerance must cover that magnitude, not just the
+        // (possibly tiny) remaining work itself.
+        let old_work = (resize.old_end.seconds() - t) * f64::from(resize.from.total());
+        let new_work = (resize.new_end.seconds() - t) * f64::from(resize.to.total());
+        let ulp_work = f64::EPSILON
+            * resize.new_end.seconds().abs().max(resize.old_end.seconds().abs())
+            * f64::from(resize.to.total().max(resize.from.total()));
+        if resize.new_end.seconds() < t - TOL
+            || (old_work - new_work).abs() > TOL * old_work.abs().max(1.0) + 4.0 * ulp_work
+        {
+            self.violation(
+                ViolationKind::ResizeConservation,
+                t,
+                Some(id.0),
+                format!(
+                    "remaining work changed: {old_work} processor-seconds released, \
+                     {new_work} rescheduled"
+                ),
+            );
+        }
+        // Mirror the new placement; the held-interval and estimate
+        // checks follow the rescheduled departure from here on.
+        let old_total = f64::from(resize.from.total());
+        let new_total = f64::from(resize.to.total());
+        if let Some(info) = self.job_mut(id) {
+            info.span = to_clusters.len();
+            info.assignments = to;
+            info.occupancy = resize.new_end.seconds() - info.start;
+            if info.est_end.is_finite() && new_total > 0.0 {
+                info.est_end = t + (info.est_end - t) * old_total / new_total;
             }
         }
     }

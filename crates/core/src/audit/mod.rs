@@ -35,6 +35,7 @@ mod mutants;
 pub use event::{EventRecord, JsonlSink};
 pub use invariants::{InvariantAuditor, Violation, ViolationKind};
 
+use coalloc_workload::JobRequest;
 use desim::{Duration, SimTime};
 
 use crate::job::{ActiveJob, JobId, Placement, SubmitQueue};
@@ -82,6 +83,26 @@ pub struct Interruption<'a> {
     /// Whether the request was re-split against the surviving clusters
     /// (the job at the hook already carries the new request).
     pub resplit: bool,
+}
+
+/// One running job changing its processor allocation in place (the
+/// `Malleable` disposition): observed at the instant the resize has
+/// been applied to the system and the job's departure rescheduled.
+///
+/// Resizes conserve the job's remaining work: the invariant auditor
+/// checks `(old_end − now)·from.total() == (new_end − now)·to.total()`.
+#[derive(Debug)]
+pub struct Resize<'a> {
+    /// The resized job.
+    pub id: JobId,
+    /// The placement it held before the resize.
+    pub from: &'a Placement,
+    /// The placement it holds now.
+    pub to: &'a Placement,
+    /// When the job would have departed under the old placement.
+    pub old_end: SimTime,
+    /// When it will depart under the new one.
+    pub new_end: SimTime,
 }
 
 /// One successful placement decision, borrowed from the scheduler at
@@ -173,6 +194,23 @@ pub trait SimObserver {
         let _ = (now, job, info);
     }
 
+    /// A moldable job's component split was re-chosen at schedule time:
+    /// `from` is the submitted request, `to` the split it will actually
+    /// start with. Emitted *before* the corresponding
+    /// [`SimObserver::on_placement`], and only when the split actually
+    /// changed (rigid runs never see this hook).
+    fn on_job_molded(&mut self, now: SimTime, id: JobId, from: &JobRequest, to: &JobRequest) {
+        let _ = (now, id, from, to);
+    }
+
+    /// A running malleable job grew onto idle processors or shrank away
+    /// from a failed cluster. `job` already carries the new placement
+    /// (`resize.to`); processors were applied/released immediately
+    /// before this hook.
+    fn on_job_resized(&mut self, now: SimTime, job: &ActiveJob, resize: &Resize<'_>) {
+        let _ = (now, job, resize);
+    }
+
     /// The run ended (event queue drained) at `now`.
     fn on_run_end(&mut self, now: SimTime) {
         let _ = now;
@@ -256,6 +294,16 @@ impl<A: SimObserver + ?Sized, B: SimObserver + ?Sized> SimObserver for Tee<'_, A
     fn on_job_interrupted(&mut self, now: SimTime, job: &ActiveJob, info: &Interruption<'_>) {
         self.a.on_job_interrupted(now, job, info);
         self.b.on_job_interrupted(now, job, info);
+    }
+
+    fn on_job_molded(&mut self, now: SimTime, id: JobId, from: &JobRequest, to: &JobRequest) {
+        self.a.on_job_molded(now, id, from, to);
+        self.b.on_job_molded(now, id, from, to);
+    }
+
+    fn on_job_resized(&mut self, now: SimTime, job: &ActiveJob, resize: &Resize<'_>) {
+        self.a.on_job_resized(now, job, resize);
+        self.b.on_job_resized(now, job, resize);
     }
 
     fn on_run_end(&mut self, now: SimTime) {

@@ -571,6 +571,256 @@ fn interrupt_accounting_errors_are_caught() {
     assert!(auditor.has(ViolationKind::InterruptAccountingError), "{}", auditor.report());
 }
 
+// ---------------------------------------------------------------------
+// Backfilling and malleability mutants: ReservationViolation,
+// BackfillStarvation, and ResizeConservation each proven by a seeded
+// corrupt event sequence, with clean controls and neighbor silence.
+// ---------------------------------------------------------------------
+
+fn backfill_auditor() -> InvariantAuditor {
+    synthetic_auditor().with_discipline(crate::queue::QueueDiscipline::Easy, 2.0)
+}
+
+/// Arrive + enqueue one global job with an explicit base service.
+fn arrive_with_service(
+    auditor: &mut InvariantAuditor,
+    table: &mut JobTable,
+    components: &[u32],
+    service: f64,
+    t: f64,
+) -> JobId {
+    let spec = JobSpec {
+        request: JobRequest::new(components.to_vec()),
+        base_service: Duration::new(service),
+    };
+    let id = table.insert(ActiveJob::new(spec, SimTime::new(t), SubmitQueue::Global));
+    auditor.on_arrival(SimTime::new(t), id, table.get(id));
+    auditor.on_enqueue(SimTime::new(t), id, SubmitQueue::Global);
+    id
+}
+
+/// The EASY scenario shared by the backfilling mutants: A ([32], 100s)
+/// holds cluster 0 with estimated end 200 (factor 2); B (the whole
+/// system) blocks at the head with its reservation at A's estimated
+/// release; C ([8], `c_service`) backfills past B.
+fn easy_scenario(
+    auditor: &mut InvariantAuditor,
+    table: &mut JobTable,
+    c_service: f64,
+) -> (JobId, JobId, JobId) {
+    let mut idle = vec![32u32; 4];
+    let a = arrive_with_service(auditor, table, &[32], 100.0, 0.0);
+    place_and_start(auditor, table, &mut idle, a, 0.0);
+    let b = arrive_with_service(auditor, table, &[32, 32, 32, 32], 100.0, 1.0);
+    let c = arrive_with_service(auditor, table, &[8], c_service, 2.0);
+    let pc = place_request(&idle, &table.get(c).spec.request, PlacementRule::WorstFit)
+        .expect("the backfiller fits the surviving idle");
+    auditor.on_placement(
+        SimTime::new(2.0),
+        &PlacementDecision {
+            id: c,
+            queue: SubmitQueue::Global,
+            scope: PlacementScope::System,
+            idle_before: &idle,
+            placement: &pc,
+        },
+    );
+    table.mark_started(c, pc, SimTime::new(2.0));
+    auditor.on_start(SimTime::new(2.0), c, table.get(c), Duration::new(c_service));
+    (a, b, c)
+}
+
+#[test]
+fn long_backfill_trips_reservation_violation() {
+    // C's estimated end (2 + 2×150 = 302) lands past B's reservation at
+    // 200 — an EASY scheduler must not have started it.
+    let mut auditor = backfill_auditor();
+    let mut table = JobTable::new();
+    easy_scenario(&mut auditor, &mut table, 150.0);
+    assert!(
+        auditor.has(ViolationKind::ReservationViolation),
+        "expected ReservationViolation, got: {}",
+        auditor.report()
+    );
+    assert!(!auditor.has(ViolationKind::FcfsOvertaking), "{}", auditor.report());
+    assert!(!auditor.has(ViolationKind::BackfillStarvation), "{}", auditor.report());
+}
+
+#[test]
+fn short_backfill_respects_the_reservation() {
+    // The same overtake with a short C (estimated end 102 < 200) is the
+    // discipline working as designed: no violation of any kind.
+    let mut auditor = backfill_auditor();
+    let mut table = JobTable::new();
+    easy_scenario(&mut auditor, &mut table, 50.0);
+    auditor.assert_clean();
+}
+
+#[test]
+fn starved_head_trips_backfill_starvation() {
+    // A legal backfill, but the head is still waiting at t = 300 — past
+    // its reservation at 200. The pass at 300 flags the starvation.
+    let mut auditor = backfill_auditor();
+    let mut table = JobTable::new();
+    easy_scenario(&mut auditor, &mut table, 50.0);
+    auditor.on_pass(SimTime::new(300.0), PassTrigger::Departure);
+    assert!(
+        auditor.has(ViolationKind::BackfillStarvation),
+        "expected BackfillStarvation, got: {}",
+        auditor.report()
+    );
+    assert!(!auditor.has(ViolationKind::ReservationViolation), "{}", auditor.report());
+    assert!(!auditor.has(ViolationKind::FcfsOvertaking), "{}", auditor.report());
+}
+
+#[test]
+fn head_started_by_its_reservation_is_clean() {
+    // Control: C and A complete on time, B starts at t = 100 (before its
+    // reservation at 200) — the watch clears and the late pass is quiet.
+    let mut auditor = backfill_auditor();
+    let mut table = JobTable::new();
+    let (a, b, c) = easy_scenario(&mut auditor, &mut table, 50.0);
+    auditor.on_completion(SimTime::new(52.0), c, table.get(c));
+    auditor.on_completion(SimTime::new(100.0), a, table.get(a));
+    let idle = vec![32u32; 4];
+    let pb = place_request(&idle, &table.get(b).spec.request, PlacementRule::WorstFit)
+        .expect("the head fits the drained system");
+    auditor.on_placement(
+        SimTime::new(100.0),
+        &PlacementDecision {
+            id: b,
+            queue: SubmitQueue::Global,
+            scope: PlacementScope::System,
+            idle_before: &idle,
+            placement: &pb,
+        },
+    );
+    let span = pb.assignments().len();
+    let occ = 100.0 * Workload::das(32).extension_factor(span);
+    table.mark_started(b, pb, SimTime::new(100.0));
+    auditor.on_start(SimTime::new(100.0), b, table.get(b), Duration::new(occ));
+    auditor.on_pass(SimTime::new(300.0), PassTrigger::Departure);
+    auditor.assert_clean();
+}
+
+#[test]
+fn non_conserving_resize_trips_resize_conservation() {
+    // Doubling A's processors at t = 20 must pull its departure from 100
+    // to 60 (80 remaining seconds × 16/32). The mutant reschedules to 80,
+    // quietly shrinking the job's remaining work.
+    let mut auditor = backfill_auditor();
+    let mut table = JobTable::new();
+    let mut idle = vec![32u32; 4];
+    let a = arrive_with_service(&mut auditor, &mut table, &[16], 100.0, 0.0);
+    let pa = place_and_start(&mut auditor, &mut table, &mut idle, a, 0.0);
+    let cluster = pa.assignments()[0].0;
+    let grown = Placement::new(vec![(cluster, 32)]);
+    auditor.on_job_resized(
+        SimTime::new(20.0),
+        table.get(a),
+        &super::Resize {
+            id: a,
+            from: &pa,
+            to: &grown,
+            old_end: SimTime::new(100.0),
+            new_end: SimTime::new(80.0),
+        },
+    );
+    assert!(
+        auditor.has(ViolationKind::ResizeConservation),
+        "expected ResizeConservation, got: {}",
+        auditor.report()
+    );
+    assert!(!auditor.has(ViolationKind::CapacityExceeded), "{}", auditor.report());
+    assert!(!auditor.has(ViolationKind::DuplicateCluster), "{}", auditor.report());
+
+    // Releasing a placement the job never held is the same kind.
+    let mut auditor = backfill_auditor();
+    let mut table = JobTable::new();
+    let mut idle = vec![32u32; 4];
+    let b = arrive_with_service(&mut auditor, &mut table, &[16], 100.0, 0.0);
+    let pb = place_and_start(&mut auditor, &mut table, &mut idle, b, 0.0);
+    let cluster = pb.assignments()[0].0;
+    let phantom = Placement::new(vec![(cluster, 8)]);
+    auditor.on_job_resized(
+        SimTime::new(20.0),
+        table.get(b),
+        &super::Resize {
+            id: b,
+            from: &phantom,
+            to: &Placement::new(vec![(cluster, 16)]),
+            old_end: SimTime::new(100.0),
+            new_end: SimTime::new(100.0),
+        },
+    );
+    assert!(auditor.has(ViolationKind::ResizeConservation), "{}", auditor.report());
+}
+
+#[test]
+fn conserving_resize_passes_the_audit() {
+    // The faithful resize: to 32 processors at t = 20, departure moved to
+    // 60, completion at 60 — clean end to end.
+    let mut auditor = backfill_auditor();
+    let mut table = JobTable::new();
+    let mut idle = vec![32u32; 4];
+    let a = arrive_with_service(&mut auditor, &mut table, &[16], 100.0, 0.0);
+    let pa = place_and_start(&mut auditor, &mut table, &mut idle, a, 0.0);
+    let cluster = pa.assignments()[0].0;
+    let grown = Placement::new(vec![(cluster, 32)]);
+    auditor.on_job_resized(
+        SimTime::new(20.0),
+        table.get(a),
+        &super::Resize {
+            id: a,
+            from: &pa,
+            to: &grown,
+            old_end: SimTime::new(100.0),
+            new_end: SimTime::new(60.0),
+        },
+    );
+    auditor.on_completion(SimTime::new(60.0), a, table.get(a));
+    auditor.assert_clean();
+}
+
+#[test]
+fn molding_that_changes_the_total_is_caught() {
+    // A mold must conserve the processor total: [32,32] re-split to
+    // three 16s silently sheds 16 processors.
+    let mut auditor = backfill_auditor();
+    let mut table = JobTable::new();
+    let id = arrive(&mut auditor, &mut table, &[32, 32], 0.0);
+    let submitted = table.get(id).spec.request.clone();
+    auditor.on_job_molded(SimTime::new(0.0), id, &submitted, &JobRequest::new(vec![16, 16, 16]));
+    assert!(
+        auditor.has(ViolationKind::PlacementRuleViolation),
+        "expected PlacementRuleViolation, got: {}",
+        auditor.report()
+    );
+
+    // The conserving mold is clean, and the rule-conformance check
+    // follows the *molded* split on the subsequent placement.
+    let mut auditor = backfill_auditor();
+    let mut table = JobTable::new();
+    let id = arrive(&mut auditor, &mut table, &[32, 32], 0.0);
+    let submitted = table.get(id).spec.request.clone();
+    let molded = JobRequest::new(vec![16, 16, 16, 16]);
+    auditor.on_job_molded(SimTime::new(0.0), id, &submitted, &molded);
+    let idle = vec![32u32; 4];
+    let p = place_request(&idle, &molded, PlacementRule::WorstFit)
+        .expect("the molded split fits the idle system");
+    auditor.on_placement(
+        SimTime::new(0.0),
+        &PlacementDecision {
+            id,
+            queue: SubmitQueue::Global,
+            scope: PlacementScope::System,
+            idle_before: &idle,
+            placement: &p,
+        },
+    );
+    auditor.assert_clean();
+}
+
 #[test]
 fn clean_fault_sequence_passes_the_audit() {
     // The full failure lifecycle done right: victim interrupted with

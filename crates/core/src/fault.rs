@@ -75,6 +75,52 @@ impl std::str::FromStr for InterruptPolicy {
     }
 }
 
+/// How malleable jobs may change shape while running
+/// ([`coalloc_workload::JobDisposition::Malleable`] only; rigid and
+/// moldable jobs never resize).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ResizePolicy {
+    /// Shrink away from failed clusters *and* grow onto processors left
+    /// idle by departures when the queue is empty.
+    #[default]
+    GrowAndShrink,
+    /// Only shrink on failures; never grow.
+    ShrinkOnly,
+}
+
+impl ResizePolicy {
+    /// Parses a policy name: `grow-shrink`/`grow` or `shrink-only`/`shrink`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "grow-shrink" | "grow" => Ok(ResizePolicy::GrowAndShrink),
+            "shrink-only" | "shrink" => Ok(ResizePolicy::ShrinkOnly),
+            other => Err(format!("unknown resize policy `{other}` (want grow-shrink|shrink-only)")),
+        }
+    }
+
+    /// Stable lower-case label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ResizePolicy::GrowAndShrink => "grow-shrink",
+            ResizePolicy::ShrinkOnly => "shrink-only",
+        }
+    }
+}
+
+impl core::fmt::Display for ResizePolicy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for ResizePolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ResizePolicy::parse(s)
+    }
+}
+
 /// One scripted fault event.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum FaultKind {

@@ -120,8 +120,11 @@ impl TraceFeed {
 impl JobFeed for TraceFeed {
     fn next_job(&mut self) -> Option<(SimTime, JobSpec)> {
         let (submit, size, runtime) = self.jobs.next()?;
+        // The log's recorded runtime doubles as the job's runtime
+        // estimate: backfilling disciplines replay the trace with
+        // perfect per-job estimates instead of a global multiplier.
         let spec = JobSpec {
-            request: JobRequest::from_total(size, self.limit, self.clusters),
+            request: JobRequest::from_total(size, self.limit, self.clusters).with_estimate(runtime),
             base_service: Duration::new(runtime),
         };
         Some((SimTime::new(submit * self.time_scale), spec))
@@ -168,6 +171,7 @@ mod tests {
         assert_eq!(t1, SimTime::ZERO);
         assert_eq!(s1.request.components(), &[16, 16, 16, 16]);
         assert_eq!(s1.base_service.seconds(), 100.0);
+        assert_eq!(s1.request.estimate(), Some(100.0), "runtime doubles as the estimate");
         let (t2, _) = feed.next_job().expect("second job");
         assert_eq!(t2, SimTime::new(5.0), "time compressed by 0.5");
         let (t3, s3) = feed.next_job().expect("third job");

@@ -41,7 +41,7 @@ pub use analysis::{
 };
 pub use audit::{
     EventRecord, Interruption, InvariantAuditor, JsonlSink, NullObserver, PassTrigger,
-    PlacementDecision, PlacementScope, SimObserver, Tee, Violation, ViolationKind,
+    PlacementDecision, PlacementScope, Resize, SimObserver, Tee, Violation, ViolationKind,
 };
 pub use cluster::Cluster;
 pub use error::CoallocError;
@@ -49,7 +49,7 @@ pub use experiment::{
     compare, compare_sweeps, replication_seed, sweep, FailedReplication, ReplicatedOutcome,
     SweepCheckpoint, SweepConfig, SweepPoint, Verdict,
 };
-pub use fault::{FaultEvent, FaultKind, FaultSpec, FaultTrace, InterruptPolicy};
+pub use fault::{FaultEvent, FaultKind, FaultSpec, FaultTrace, InterruptPolicy, ResizePolicy};
 pub use feed::{JobFeed, StochasticFeed, TraceFeed};
 pub use job::{ActiveJob, JobId, JobTable, Placement, SubmitQueue};
 pub use metrics::{Metrics, MetricsReport};
@@ -58,8 +58,10 @@ pub use placement::{
     PlacementRule,
 };
 pub use policy::{
-    GlobalBackfill, GlobalScheduler, LocalPriority, LocalSchedulers, PolicyKind, Scheduler,
+    GlobalBackfill, GlobalScheduler, LocalPriority, LocalSchedulers, PolicyKind, PolicyOptions,
+    Scheduler,
 };
+pub use queue::QueueDiscipline;
 pub use saturation::{
     bisect_max_utilization, bisect_max_utilization_replicated, maximal_utilization, ProbePlan,
     SaturationConfig, SaturationResult,

@@ -15,25 +15,156 @@
 use coalloc_workload::JobSpec;
 use desim::SimTime;
 
-use crate::audit::{PlacementDecision, PlacementScope, SimObserver};
-use crate::job::{JobId, JobTable, SubmitQueue};
-use crate::placement::{place_request, PlacementRule};
+use crate::audit::{PlacementScope, SimObserver};
+use crate::job::{JobId, JobTable, Placement, SubmitQueue};
+use crate::placement::PlacementRule;
 use crate::system::MultiCluster;
 
-use super::Scheduler;
+use super::{FlexEngine, PolicyOptions, Scheduler};
 
 /// The GB policy: a global queue with aggressive (no-reservation)
 /// backfilling.
+///
+/// Under the `Easy`/`Conservative` disciplines GB trades its
+/// aggressiveness for the same reservation-bounded scan as GS: the head
+/// gets a shadow-time reservation and only estimated-short jobs may
+/// pass it — the no-starvation caveat above then no longer applies.
 #[derive(Debug)]
 pub struct GlobalBackfill {
     queue: std::collections::VecDeque<JobId>,
     rule: PlacementRule,
+    flex: FlexEngine,
 }
 
 impl GlobalBackfill {
-    /// Builds the policy with the given placement rule.
+    /// Builds the policy with the given placement rule and the default
+    /// options (rigid jobs, aggressive FCFS-order backfilling).
     pub fn new(rule: PlacementRule) -> Self {
-        GlobalBackfill { queue: std::collections::VecDeque::new(), rule }
+        GlobalBackfill::with_options(rule, PolicyOptions::default())
+    }
+
+    /// [`GlobalBackfill::new`] with explicit disposition/discipline
+    /// options.
+    pub fn with_options(rule: PlacementRule, opts: PolicyOptions) -> Self {
+        GlobalBackfill {
+            queue: std::collections::VecDeque::new(),
+            rule,
+            flex: FlexEngine::new(opts),
+        }
+    }
+
+    /// The paper-era GB pass: repeatedly start the *first* job in queue
+    /// order that fits (no reservations).
+    fn greedy_pass(
+        &mut self,
+        now: SimTime,
+        system: &mut MultiCluster,
+        table: &mut JobTable,
+        obs: &mut dyn SimObserver,
+        started: &mut Vec<JobId>,
+    ) {
+        'outer: loop {
+            let mut pos = 0;
+            while pos < self.queue.len() {
+                let id = self.queue[pos];
+                let ok = self.flex.try_start_job(
+                    now,
+                    system,
+                    table,
+                    id,
+                    SubmitQueue::Global,
+                    PlacementScope::System,
+                    self.rule,
+                    obs,
+                    None,
+                );
+                if ok {
+                    self.queue.remove(pos);
+                    started.push(id);
+                    // Restart from the front: the jobs skipped so far
+                    // did not fit in a superset of the current idle
+                    // processors, but queue order stays authoritative.
+                    continue 'outer;
+                }
+                pos += 1;
+            }
+            break;
+        }
+    }
+
+    /// The reservation-bounded pass (EASY/conservative): identical in
+    /// structure to [`super::GlobalScheduler`]'s — see the bound-validity
+    /// argument there.
+    fn reserved_pass(
+        &mut self,
+        now: SimTime,
+        system: &mut MultiCluster,
+        table: &mut JobTable,
+        obs: &mut dyn SimObserver,
+        started: &mut Vec<JobId>,
+    ) {
+        while let Some(&head) = self.queue.front() {
+            let ok = self.flex.try_start_job(
+                now,
+                system,
+                table,
+                head,
+                SubmitQueue::Global,
+                PlacementScope::System,
+                self.rule,
+                obs,
+                None,
+            );
+            if ok {
+                self.queue.pop_front();
+                started.push(head);
+            } else {
+                break;
+            }
+        }
+        if self.queue.len() < 2 {
+            return;
+        }
+        let head = self.queue[0];
+        let mut bound = self.flex.shadow(
+            system.idle_per_cluster(),
+            &table.get(head).spec.request,
+            PlacementScope::System,
+            self.rule,
+            now.seconds(),
+        );
+        let conservative = self.flex.conservative();
+        let mut pos = 1;
+        while pos < self.queue.len() {
+            let id = self.queue[pos];
+            let ok = self.flex.try_start_job(
+                now,
+                system,
+                table,
+                id,
+                SubmitQueue::Global,
+                PlacementScope::System,
+                self.rule,
+                obs,
+                Some(bound),
+            );
+            if ok {
+                self.queue.remove(pos);
+                started.push(id);
+            } else {
+                if conservative {
+                    let shadow = self.flex.shadow(
+                        system.idle_per_cluster(),
+                        &table.get(id).spec.request,
+                        PlacementScope::System,
+                        self.rule,
+                        now.seconds(),
+                    );
+                    bound = bound.min(shadow);
+                }
+                pos += 1;
+            }
+        }
     }
 }
 
@@ -60,6 +191,14 @@ impl Scheduler for GlobalBackfill {
         self.queue.push_front(id);
     }
 
+    fn job_departed(&mut self, id: JobId) {
+        self.flex.note_departed(id);
+    }
+
+    fn job_resized(&mut self, now: SimTime, id: JobId, new_placement: &Placement) {
+        self.flex.note_resized(now, id, new_placement);
+    }
+
     fn schedule_into(
         &mut self,
         now: SimTime,
@@ -68,30 +207,10 @@ impl Scheduler for GlobalBackfill {
         obs: &mut dyn SimObserver,
         started: &mut Vec<JobId>,
     ) {
-        loop {
-            let idle = system.idle_per_cluster();
-            let hit = self.queue.iter().enumerate().find_map(|(pos, &id)| {
-                place_request(idle, &table.get(id).spec.request, self.rule).map(|p| (pos, id, p))
-            });
-            match hit {
-                Some((pos, id, placement)) => {
-                    obs.on_placement(
-                        now,
-                        &PlacementDecision {
-                            id,
-                            queue: SubmitQueue::Global,
-                            scope: PlacementScope::System,
-                            idle_before: system.idle_per_cluster(),
-                            placement: &placement,
-                        },
-                    );
-                    system.apply(&placement);
-                    table.mark_started(id, placement, now);
-                    self.queue.remove(pos);
-                    started.push(id);
-                }
-                None => break,
-            }
+        if self.flex.backfills() {
+            self.reserved_pass(now, system, table, obs, started);
+        } else {
+            self.greedy_pass(now, system, table, obs, started);
         }
     }
 

@@ -15,25 +15,97 @@ use coalloc_workload::JobSpec;
 use desim::SimTime;
 
 use crate::audit::{PlacementScope, SimObserver};
-use crate::job::{JobId, JobTable, SubmitQueue};
-use crate::placement::{place_scoped_observed, PlacementRule};
+use crate::job::{JobId, JobTable, Placement, SubmitQueue};
+use crate::placement::PlacementRule;
 use crate::queue::JobQueue;
 use crate::system::MultiCluster;
 
-use super::Scheduler;
+use super::{FlexEngine, PolicyOptions, Scheduler};
 
 /// The GS policy: one global FCFS queue over the whole system.
 #[derive(Debug)]
 pub struct GlobalScheduler {
     queue: JobQueue,
     rule: PlacementRule,
+    flex: FlexEngine,
 }
 
 impl GlobalScheduler {
     /// Builds the policy with the given placement rule (the paper uses
-    /// Worst Fit).
+    /// Worst Fit) and the default options — rigid jobs, strict FCFS.
     pub fn new(rule: PlacementRule) -> Self {
-        GlobalScheduler { queue: JobQueue::new(), rule }
+        GlobalScheduler::with_options(rule, PolicyOptions::default())
+    }
+
+    /// [`GlobalScheduler::new`] with explicit disposition/discipline
+    /// options.
+    pub fn with_options(rule: PlacementRule, opts: PolicyOptions) -> Self {
+        GlobalScheduler { queue: JobQueue::new(), rule, flex: FlexEngine::new(opts) }
+    }
+
+    /// The backfilling scan: with the head blocked (and reserved via its
+    /// shadow time), later queued jobs may start iff their estimated end
+    /// lies strictly before the reservation they would otherwise delay.
+    ///
+    /// The head's bound survives each successful backfill unchanged: a
+    /// legal backfill releases (by estimate) strictly before the bound,
+    /// so replaying the enlarged running set at the bound time yields
+    /// the same idle vector — the head still fits there. Conservative
+    /// backfilling additionally folds every *skipped* job's own shadow
+    /// into the bound, so later candidates cannot delay earlier queued
+    /// jobs either (each skipped job's reservation is protected by the
+    /// same argument).
+    fn backfill(
+        &mut self,
+        now: SimTime,
+        system: &mut MultiCluster,
+        table: &mut JobTable,
+        obs: &mut dyn SimObserver,
+        started: &mut Vec<JobId>,
+    ) {
+        let head = match self.queue.head() {
+            Some(h) => h,
+            None => return,
+        };
+        let mut bound = self.flex.shadow(
+            system.idle_per_cluster(),
+            &table.get(head).spec.request,
+            PlacementScope::System,
+            self.rule,
+            now.seconds(),
+        );
+        let conservative = self.flex.conservative();
+        let mut pos = 1;
+        while pos < self.queue.len() {
+            let id = self.queue.get(pos).expect("pos < len");
+            let ok = self.flex.try_start_job(
+                now,
+                system,
+                table,
+                id,
+                SubmitQueue::Global,
+                PlacementScope::System,
+                self.rule,
+                obs,
+                Some(bound),
+            );
+            if ok {
+                self.queue.remove(pos);
+                started.push(id);
+            } else {
+                if conservative {
+                    let shadow = self.flex.shadow(
+                        system.idle_per_cluster(),
+                        &table.get(id).spec.request,
+                        PlacementScope::System,
+                        self.rule,
+                        now.seconds(),
+                    );
+                    bound = bound.min(shadow);
+                }
+                pos += 1;
+            }
+        }
     }
 }
 
@@ -60,6 +132,14 @@ impl Scheduler for GlobalScheduler {
         self.queue.push_front(id);
     }
 
+    fn job_departed(&mut self, id: JobId) {
+        self.flex.note_departed(id);
+    }
+
+    fn job_resized(&mut self, now: SimTime, id: JobId, new_placement: &Placement) {
+        self.flex.note_resized(now, id, new_placement);
+    }
+
     fn schedule_into(
         &mut self,
         now: SimTime,
@@ -70,38 +150,40 @@ impl Scheduler for GlobalScheduler {
     ) {
         // Disabled means the head failed to fit since the last departure.
         // Arrivals never increase idle processors, so re-attempting the
-        // (deterministic) placement is a guaranteed miss — skip the pass.
-        // Departures re-enable the queue before their pass runs.
-        if !self.queue.is_enabled() {
-            return;
-        }
-        while let Some(head) = self.queue.head() {
-            // GS chooses clusters for every component, including single-
-            // component jobs (it has "the freedom to choose the clusters
-            // for the single-component jobs", §3.1.1). Ordered and
-            // flexible requests are honored per their structure.
-            let placed = place_scoped_observed(
-                system.idle_per_cluster(),
-                &table.get(head).spec.request,
-                PlacementScope::System,
-                self.rule,
-                now,
-                head,
-                SubmitQueue::Global,
-                obs,
-            );
-            match placed {
-                Some(p) => {
-                    system.apply(&p);
-                    table.mark_started(head, p, now);
+        // (deterministic) placement is a guaranteed miss — skip the head
+        // loop. Departures re-enable the queue before their pass runs.
+        // Under strict FCFS that skips the whole pass; a backfilling
+        // discipline still scans behind the (still-reserved) head, since
+        // newly arrived jobs may fit around it.
+        if self.queue.is_enabled() {
+            while let Some(head) = self.queue.head() {
+                // GS chooses clusters for every component, including
+                // single-component jobs (it has "the freedom to choose
+                // the clusters for the single-component jobs", §3.1.1).
+                // Ordered and flexible requests are honored per their
+                // structure; a moldable job may re-split here.
+                let ok = self.flex.try_start_job(
+                    now,
+                    system,
+                    table,
+                    head,
+                    SubmitQueue::Global,
+                    PlacementScope::System,
+                    self.rule,
+                    obs,
+                    None,
+                );
+                if ok {
                     self.queue.pop();
                     started.push(head);
-                }
-                None => {
+                } else {
                     self.queue.disable_observed(now, SubmitQueue::Global, obs);
                     break;
                 }
             }
+        }
+        if self.flex.backfills() && self.queue.len() >= 2 {
+            self.backfill(now, system, table, obs, started);
         }
     }
 

@@ -13,10 +13,12 @@ use coalloc_workload::QueueRouting;
 use desim::{RngStream, SimTime};
 
 use crate::audit::{PlacementScope, SimObserver};
-use crate::job::{ActiveJob, JobId, JobTable, SubmitQueue};
-use crate::placement::{place_scoped_observed, PlacementRule};
+use crate::job::{ActiveJob, JobId, JobTable, Placement, SubmitQueue};
+use crate::placement::PlacementRule;
 use crate::queue::QueueSet;
 use crate::system::MultiCluster;
+
+use super::{FlexEngine, PolicyOptions};
 
 /// What happened when a local queue's head was offered to the system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,22 +41,76 @@ pub(crate) struct LocalQueues {
     routing: QueueRouting,
     rng: RngStream,
     rule: PlacementRule,
+    flex: FlexEngine,
 }
 
 impl LocalQueues {
-    pub(crate) fn new(
+    pub(crate) fn with_options(
         clusters: usize,
         routing: QueueRouting,
         rng: RngStream,
         rule: PlacementRule,
+        opts: PolicyOptions,
     ) -> Self {
         assert_eq!(routing.queues(), clusters, "routing must cover exactly the local queues");
-        LocalQueues { queues: QueueSet::new(clusters), routing, rng, rule }
+        LocalQueues {
+            queues: QueueSet::new(clusters),
+            routing,
+            rng,
+            rule,
+            flex: FlexEngine::new(opts),
+        }
     }
 
-    /// The placement rule both policies thread into every attempt.
-    pub(crate) fn rule(&self) -> PlacementRule {
-        self.rule
+    /// Whether the configured discipline backfills (the policies run
+    /// their per-queue backfill scans only then).
+    pub(crate) fn backfills(&self) -> bool {
+        self.flex.backfills()
+    }
+
+    /// Forwards a departure to the engine's running-set tracking.
+    pub(crate) fn note_departed(&mut self, id: JobId) {
+        self.flex.note_departed(id);
+    }
+
+    /// Forwards a resize to the engine's running-set tracking.
+    pub(crate) fn note_resized(&mut self, now: SimTime, id: JobId, new_placement: &Placement) {
+        self.flex.note_resized(now, id, new_placement);
+    }
+
+    /// Whether skipped jobs' reservations must also be respected.
+    pub(crate) fn conservative(&self) -> bool {
+        self.flex.conservative()
+    }
+
+    /// Engine-backed start attempt for a job that is *not* in the local
+    /// queue set (LP's global queue): same disposition/discipline
+    /// semantics, caller manages its own queue.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn flex_try_start(
+        &mut self,
+        now: SimTime,
+        system: &mut MultiCluster,
+        table: &mut JobTable,
+        id: JobId,
+        queue: SubmitQueue,
+        scope: PlacementScope,
+        obs: &mut dyn SimObserver,
+        max_est_end: Option<f64>,
+    ) -> bool {
+        self.flex.try_start_job(now, system, table, id, queue, scope, self.rule, obs, max_est_end)
+    }
+
+    /// Engine-backed shadow time (see [`FlexEngine::shadow`]) for a
+    /// caller-managed queue's job.
+    pub(crate) fn flex_shadow(
+        &mut self,
+        idle: &[u32],
+        request: &coalloc_workload::JobRequest,
+        scope: PlacementScope,
+        now: f64,
+    ) -> f64 {
+        self.flex.shadow(idle, request, scope, self.rule, now)
     }
 
     /// Number of local queues (= clusters).
@@ -129,28 +185,89 @@ impl LocalQueues {
         let Some(head) = self.queues.queue(q).head() else {
             return TryStart::Empty;
         };
-        let job = table.get(head);
-        let scope = scope_for(job);
-        let placement = place_scoped_observed(
-            system.idle_per_cluster(),
-            &job.spec.request,
-            scope,
-            self.rule,
+        let scope = scope_for(table.get(head));
+        let ok = self.flex.try_start_job(
             now,
+            system,
+            table,
             head,
             SubmitQueue::Local(q),
+            scope,
+            self.rule,
             obs,
+            None,
         );
-        match placement {
-            Some(p) => {
-                system.apply(&p);
-                table.mark_started(head, p, now);
-                self.queues.pop(q);
-                TryStart::Started(head)
-            }
-            None => {
-                self.queues.disable_observed(q, now, obs);
-                TryStart::Disabled
+        if ok {
+            self.queues.pop(q);
+            TryStart::Started(head)
+        } else {
+            self.queues.disable_observed(q, now, obs);
+            TryStart::Disabled
+        }
+    }
+
+    /// The per-queue backfilling scan (EASY/conservative): with queue
+    /// `q`'s head blocked, later jobs in the *same* queue may start iff
+    /// their estimated end lies strictly before the head's shadow time
+    /// (and, conservatively, every skipped job's). Runs regardless of
+    /// the queue's disable latch — the latch only pins the head, whose
+    /// reservation this scan protects. See
+    /// [`super::GlobalScheduler::backfill`] for the bound-validity
+    /// argument.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn backfill_queue(
+        &mut self,
+        q: usize,
+        now: SimTime,
+        system: &mut MultiCluster,
+        table: &mut JobTable,
+        obs: &mut dyn SimObserver,
+        started: &mut Vec<JobId>,
+        scope_for: impl Fn(&ActiveJob) -> PlacementScope,
+    ) {
+        if self.queues.queue(q).len() < 2 {
+            return;
+        }
+        let head = self.queues.queue(q).head().expect("len >= 2");
+        let head_scope = scope_for(table.get(head));
+        let mut bound = self.flex.shadow(
+            system.idle_per_cluster(),
+            &table.get(head).spec.request,
+            head_scope,
+            self.rule,
+            now.seconds(),
+        );
+        let conservative = self.flex.conservative();
+        let mut pos = 1;
+        while pos < self.queues.queue(q).len() {
+            let id = self.queues.queue(q).get(pos).expect("pos < len");
+            let scope = scope_for(table.get(id));
+            let ok = self.flex.try_start_job(
+                now,
+                system,
+                table,
+                id,
+                SubmitQueue::Local(q),
+                scope,
+                self.rule,
+                obs,
+                Some(bound),
+            );
+            if ok {
+                self.queues.remove(q, pos);
+                started.push(id);
+            } else {
+                if conservative {
+                    let shadow = self.flex.shadow(
+                        system.idle_per_cluster(),
+                        &table.get(id).spec.request,
+                        scope,
+                        self.rule,
+                        now.seconds(),
+                    );
+                    bound = bound.min(shadow);
+                }
+                pos += 1;
             }
         }
     }

@@ -18,13 +18,24 @@ use coalloc_workload::{JobSpec, QueueRouting, RequestKind};
 use desim::{RngStream, SimTime};
 
 use crate::audit::{PlacementScope, SimObserver};
-use crate::job::{JobId, JobTable, SubmitQueue};
-use crate::placement::{place_scoped_observed, PlacementRule};
+use crate::job::{ActiveJob, JobId, JobTable, Placement, SubmitQueue};
+use crate::placement::PlacementRule;
 use crate::queue::JobQueue;
 use crate::system::MultiCluster;
 
 use super::local::{LocalQueues, TryStart};
-use super::Scheduler;
+use super::{PolicyOptions, Scheduler};
+
+/// The scope LP places a locally queued job under: ordered requests name
+/// their cluster themselves, everything else is confined to the queue's
+/// own cluster.
+fn lp_local_scope(job: &ActiveJob, q: usize) -> PlacementScope {
+    if job.spec.request.kind() == RequestKind::Ordered {
+        PlacementScope::System
+    } else {
+        PlacementScope::Cluster(q)
+    }
+}
 
 /// The LP policy: per-cluster local queues for single-component jobs, one
 /// low-priority global queue for multi-component jobs.
@@ -43,8 +54,20 @@ impl LocalPriority {
         rng: RngStream,
         rule: PlacementRule,
     ) -> Self {
+        LocalPriority::with_options(clusters, routing, rng, rule, PolicyOptions::default())
+    }
+
+    /// [`LocalPriority::new`] with explicit disposition/discipline
+    /// options.
+    pub fn with_options(
+        clusters: usize,
+        routing: QueueRouting,
+        rng: RngStream,
+        rule: PlacementRule,
+        opts: PolicyOptions,
+    ) -> Self {
         LocalPriority {
-            locals: LocalQueues::new(clusters, routing, rng, rule),
+            locals: LocalQueues::with_options(clusters, routing, rng, rule, opts),
             global: JobQueue::new(),
         }
     }
@@ -63,26 +86,77 @@ impl LocalPriority {
         obs: &mut dyn SimObserver,
     ) -> Option<JobId> {
         let head = self.global.head()?;
-        let placement = place_scoped_observed(
+        let ok = self.locals.flex_try_start(
+            now,
+            system,
+            table,
+            head,
+            SubmitQueue::Global,
+            PlacementScope::System,
+            obs,
+            None,
+        );
+        if ok {
+            self.global.pop();
+            Some(head)
+        } else {
+            self.global.disable_observed(now, SubmitQueue::Global, obs);
+            None
+        }
+    }
+
+    /// The global queue's backfilling scan (EASY/conservative). Runs
+    /// only while the priority gate is open — backfilled global jobs are
+    /// still global jobs, so "the global scheduler can schedule jobs
+    /// only when at least one local queue is empty" applies to them too.
+    /// The disable latch does not block the scan: it pins the head,
+    /// whose shadow reservation the scan protects.
+    fn backfill_global(
+        &mut self,
+        now: SimTime,
+        system: &mut MultiCluster,
+        table: &mut JobTable,
+        obs: &mut dyn SimObserver,
+        started: &mut Vec<JobId>,
+    ) {
+        if self.global.len() < 2 || !self.locals.any_empty() {
+            return;
+        }
+        let head = self.global.head().expect("len >= 2");
+        let mut bound = self.locals.flex_shadow(
             system.idle_per_cluster(),
             &table.get(head).spec.request,
             PlacementScope::System,
-            self.locals.rule(),
-            now,
-            head,
-            SubmitQueue::Global,
-            obs,
+            now.seconds(),
         );
-        match placement {
-            Some(p) => {
-                system.apply(&p);
-                table.mark_started(head, p, now);
-                self.global.pop();
-                Some(head)
-            }
-            None => {
-                self.global.disable_observed(now, SubmitQueue::Global, obs);
-                None
+        let conservative = self.locals.conservative();
+        let mut pos = 1;
+        while pos < self.global.len() {
+            let id = self.global.get(pos).expect("pos < len");
+            let ok = self.locals.flex_try_start(
+                now,
+                system,
+                table,
+                id,
+                SubmitQueue::Global,
+                PlacementScope::System,
+                obs,
+                Some(bound),
+            );
+            if ok {
+                self.global.remove(pos);
+                started.push(id);
+            } else {
+                if conservative {
+                    let shadow = self.locals.flex_shadow(
+                        system.idle_per_cluster(),
+                        &table.get(id).spec.request,
+                        PlacementScope::System,
+                        now.seconds(),
+                    );
+                    bound = bound.min(shadow);
+                }
+                pos += 1;
             }
         }
     }
@@ -153,13 +227,8 @@ impl Scheduler for LocalPriority {
                 // Ordered single-component jobs name their cluster
                 // themselves; everything else is confined to the queue's
                 // own cluster.
-                let attempt = self.locals.try_start(q, now, system, table, obs, |job| {
-                    if job.spec.request.kind() == RequestKind::Ordered {
-                        PlacementScope::System
-                    } else {
-                        PlacementScope::Cluster(q)
-                    }
-                });
+                let attempt =
+                    self.locals.try_start(q, now, system, table, obs, |job| lp_local_scope(job, q));
                 if let TryStart::Started(id) = attempt {
                     started.push(id);
                     progress = true;
@@ -174,6 +243,22 @@ impl Scheduler for LocalPriority {
                 break;
             }
         }
+        if self.locals.backfills() {
+            self.backfill_global(now, system, table, obs, started);
+            for q in 0..self.locals.len() {
+                self.locals.backfill_queue(q, now, system, table, obs, started, |job| {
+                    lp_local_scope(job, q)
+                });
+            }
+        }
+    }
+
+    fn job_departed(&mut self, id: JobId) {
+        self.locals.note_departed(id);
+    }
+
+    fn job_resized(&mut self, now: SimTime, id: JobId, new_placement: &Placement) {
+        self.locals.note_resized(now, id, new_placement);
     }
 
     fn queued(&self) -> usize {

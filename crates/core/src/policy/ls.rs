@@ -20,12 +20,23 @@ use coalloc_workload::{JobSpec, QueueRouting, RequestKind};
 use desim::{RngStream, SimTime};
 
 use crate::audit::{PlacementScope, SimObserver};
-use crate::job::{JobId, JobTable, SubmitQueue};
+use crate::job::{ActiveJob, JobId, JobTable, Placement, SubmitQueue};
 use crate::placement::PlacementRule;
 use crate::system::MultiCluster;
 
 use super::local::{LocalQueues, TryStart};
-use super::Scheduler;
+use super::{PolicyOptions, Scheduler};
+
+/// The scope LS places a job under: multi-component (and ordered) jobs
+/// are co-allocated system-wide, single-component jobs are confined to
+/// the cluster of their queue.
+fn ls_scope(job: &ActiveJob, q: usize) -> PlacementScope {
+    if job.spec.request.is_multi() || job.spec.request.kind() == RequestKind::Ordered {
+        PlacementScope::System
+    } else {
+        PlacementScope::Cluster(q)
+    }
+}
 
 /// The LS policy: one local FCFS queue per cluster.
 #[derive(Debug)]
@@ -48,8 +59,20 @@ impl LocalSchedulers {
         rng: RngStream,
         rule: PlacementRule,
     ) -> Self {
+        LocalSchedulers::with_options(clusters, routing, rng, rule, PolicyOptions::default())
+    }
+
+    /// [`LocalSchedulers::new`] with explicit disposition/discipline
+    /// options.
+    pub fn with_options(
+        clusters: usize,
+        routing: QueueRouting,
+        rng: RngStream,
+        rule: PlacementRule,
+        opts: PolicyOptions,
+    ) -> Self {
         LocalSchedulers {
-            locals: LocalQueues::new(clusters, routing, rng, rule),
+            locals: LocalQueues::with_options(clusters, routing, rng, rule, opts),
             visit: (0..clusters).collect(),
             round: Vec::with_capacity(clusters),
         }
@@ -111,15 +134,8 @@ impl Scheduler for LocalSchedulers {
                 // system; single-component jobs run only on the local
                 // cluster — except ordered requests, which name their
                 // cluster themselves.
-                let attempt = self.locals.try_start(q, now, system, table, obs, |job| {
-                    if job.spec.request.is_multi()
-                        || job.spec.request.kind() == RequestKind::Ordered
-                    {
-                        PlacementScope::System
-                    } else {
-                        PlacementScope::Cluster(q)
-                    }
-                });
+                let attempt =
+                    self.locals.try_start(q, now, system, table, obs, |job| ls_scope(job, q));
                 match attempt {
                     TryStart::Started(id) => {
                         started.push(id);
@@ -134,6 +150,25 @@ impl Scheduler for LocalSchedulers {
             }
         }
         self.round = round;
+        // Within-queue backfilling (EASY/conservative): the visit rounds
+        // above already backfill *across* queues ("a window equal to the
+        // number of clusters"); the disciplines add the within-queue
+        // dimension, scanning past each blocked head under its shadow
+        // reservation.
+        if self.locals.backfills() {
+            for q in 0..self.locals.len() {
+                self.locals
+                    .backfill_queue(q, now, system, table, obs, started, |job| ls_scope(job, q));
+            }
+        }
+    }
+
+    fn job_departed(&mut self, id: JobId) {
+        self.locals.note_departed(id);
+    }
+
+    fn job_resized(&mut self, now: SimTime, id: JobId, new_placement: &Placement) {
+        self.locals.note_resized(now, id, new_placement);
     }
 
     fn queued(&self) -> usize {

@@ -5,6 +5,7 @@
 //! start. A queue whose head does not fit is disabled until the next
 //! departure.
 
+mod flex;
 mod gb;
 mod gs;
 mod local;
@@ -12,11 +13,14 @@ mod lp;
 mod ls;
 mod sc;
 
+pub use flex::PolicyOptions;
 pub use gb::GlobalBackfill;
 pub use gs::GlobalScheduler;
 pub use lp::LocalPriority;
 pub use ls::LocalSchedulers;
-pub use sc::single_cluster_policy;
+pub use sc::{single_cluster_policy, single_cluster_policy_with};
+
+pub(crate) use flex::{estimated_occupancy, replay_shadow, FlexEngine};
 
 use coalloc_workload::{JobSpec, QueueRouting};
 use desim::{RngStream, SimTime};
@@ -67,6 +71,22 @@ pub trait Scheduler: Send {
 
     /// A job departed: re-enable queues according to the policy's rules.
     fn on_departure(&mut self);
+
+    /// A specific job left the system (completion or fault kill). Only
+    /// the backfilling disciplines care — they track running jobs'
+    /// estimated ends for the reservation replay — so the default is a
+    /// no-op. Called in addition to (before) [`Scheduler::on_departure`]
+    /// for completions.
+    fn job_departed(&mut self, id: JobId) {
+        let _ = id;
+    }
+
+    /// A running malleable job was resized to `new_placement` (see
+    /// [`crate::fault::ResizePolicy`]); backfilling schedulers rescale
+    /// their estimate of its end. Default no-op.
+    fn job_resized(&mut self, now: SimTime, id: JobId, new_placement: &crate::job::Placement) {
+        let _ = (now, id, new_placement);
+    }
 
     /// Re-queues a job killed by a cluster failure at the *head* of its
     /// queue, preserving its FCFS age (the `RequeueFront` interrupt
@@ -193,13 +213,32 @@ impl PolicyKind {
         rng: RngStream,
         rule: PlacementRule,
     ) -> Box<dyn Scheduler> {
+        self.build_with(system, routing, rng, rule, PolicyOptions::default())
+    }
+
+    /// [`PolicyKind::build`] with explicit [`PolicyOptions`] — the
+    /// disposition/discipline axes of the extended model. The plain
+    /// `build` uses the defaults (rigid jobs, strict FCFS), which
+    /// reproduce the paper's model exactly.
+    pub fn build_with(
+        self,
+        system: &SystemSpec,
+        routing: QueueRouting,
+        rng: RngStream,
+        rule: PlacementRule,
+        opts: PolicyOptions,
+    ) -> Box<dyn Scheduler> {
         let clusters = system.num_clusters();
         match self {
-            PolicyKind::Gs => Box::new(GlobalScheduler::new(rule)),
-            PolicyKind::Ls => Box::new(LocalSchedulers::new(clusters, routing, rng, rule)),
-            PolicyKind::Lp => Box::new(LocalPriority::new(clusters, routing, rng, rule)),
-            PolicyKind::Sc => Box::new(single_cluster_policy(rule)),
-            PolicyKind::Gb => Box::new(GlobalBackfill::new(rule)),
+            PolicyKind::Gs => Box::new(GlobalScheduler::with_options(rule, opts)),
+            PolicyKind::Ls => {
+                Box::new(LocalSchedulers::with_options(clusters, routing, rng, rule, opts))
+            }
+            PolicyKind::Lp => {
+                Box::new(LocalPriority::with_options(clusters, routing, rng, rule, opts))
+            }
+            PolicyKind::Sc => Box::new(single_cluster_policy_with(rule, opts)),
+            PolicyKind::Gb => Box::new(GlobalBackfill::with_options(rule, opts)),
         }
     }
 }

@@ -10,7 +10,7 @@
 
 use crate::placement::PlacementRule;
 
-use super::GlobalScheduler;
+use super::{GlobalScheduler, PolicyOptions};
 
 /// Builds the SC policy: FCFS over one queue. Pair it with a one-cluster
 /// [`crate::system::MultiCluster`] (e.g.
@@ -18,6 +18,13 @@ use super::GlobalScheduler;
 /// total requests ([`coalloc_workload::Workload::single_cluster`]).
 pub fn single_cluster_policy(rule: PlacementRule) -> GlobalScheduler {
     GlobalScheduler::new(rule)
+}
+
+/// [`single_cluster_policy`] with explicit [`PolicyOptions`]: on one
+/// cluster moldability is vacuous (there is nothing to re-split across),
+/// but EASY and conservative backfilling apply exactly as under GS.
+pub fn single_cluster_policy_with(rule: PlacementRule, opts: PolicyOptions) -> GlobalScheduler {
+    GlobalScheduler::with_options(rule, opts)
 }
 
 #[cfg(test)]

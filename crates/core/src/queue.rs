@@ -11,6 +11,69 @@ use desim::SimTime;
 use crate::audit::SimObserver;
 use crate::job::{JobId, SubmitQueue};
 
+/// The order in which waiting jobs may be started (every policy's
+/// queues accept any of these; the paper's experiments are all FCFS).
+///
+/// Both backfilling variants need runtime estimates: a job's submitted
+/// [`coalloc_workload::JobRequest::estimate`] when present, otherwise a
+/// configured multiplier on its base service time.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum QueueDiscipline {
+    /// Strict first-come first-served: only the head may start (§2.5).
+    #[default]
+    Fcfs,
+    /// EASY backfilling (Lifka '95): the head gets a reservation at the
+    /// earliest time enough processors free up; any later job may jump
+    /// ahead if it fits now *and* is estimated to finish strictly before
+    /// that reservation.
+    Easy,
+    /// Conservative backfilling: a backfilled job must not delay *any*
+    /// earlier-queued job's reservation, not just the head's.
+    Conservative,
+}
+
+impl QueueDiscipline {
+    /// Parses a discipline name as written on a command line.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "fcfs" => Some(QueueDiscipline::Fcfs),
+            "easy" => Some(QueueDiscipline::Easy),
+            "conservative" | "cons" => Some(QueueDiscipline::Conservative),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase label (inverse of [`QueueDiscipline::parse`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            QueueDiscipline::Fcfs => "fcfs",
+            QueueDiscipline::Easy => "easy",
+            QueueDiscipline::Conservative => "conservative",
+        }
+    }
+
+    /// Whether this discipline may start jobs other than the head.
+    pub fn backfills(self) -> bool {
+        self != QueueDiscipline::Fcfs
+    }
+}
+
+impl core::fmt::Display for QueueDiscipline {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for QueueDiscipline {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        QueueDiscipline::parse(s)
+            .ok_or_else(|| format!("unknown queue discipline `{s}` (fcfs|easy|conservative)"))
+    }
+}
+
 /// A FIFO queue of waiting jobs plus an enabled flag.
 #[derive(Clone, Debug, Default)]
 pub struct JobQueue {
@@ -44,6 +107,22 @@ impl JobQueue {
     /// Removes and returns the head job.
     pub fn pop(&mut self) -> Option<JobId> {
         self.items.pop_front()
+    }
+
+    /// The job at position `i` (0 = head), if any.
+    pub fn get(&self, i: usize) -> Option<JobId> {
+        self.items.get(i).copied()
+    }
+
+    /// Removes and returns the job at position `i` — the backfilling
+    /// disciplines' mid-queue extraction (FCFS only ever pops the head).
+    pub fn remove(&mut self, i: usize) -> Option<JobId> {
+        self.items.remove(i)
+    }
+
+    /// Iterates the waiting jobs in queue order (head first).
+    pub fn iter(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.items.iter().copied()
     }
 
     /// Number of waiting jobs.
@@ -146,6 +225,17 @@ impl QueueSet {
     /// total-queued counter.
     pub fn pop(&mut self, i: usize) -> Option<JobId> {
         let id = self.queues[i].pop();
+        if id.is_some() {
+            self.queued -= 1;
+        }
+        id
+    }
+
+    /// Removes and returns the job at position `pos` of queue `i`,
+    /// maintaining the total-queued counter (backfilling's mid-queue
+    /// extraction).
+    pub fn remove(&mut self, i: usize, pos: usize) -> Option<JobId> {
+        let id = self.queues[i].remove(pos);
         if id.is_some() {
             self.queued -= 1;
         }

@@ -1,11 +1,12 @@
 //! Simulation configuration: warm-up policy, workload, system shape and
 //! the validation rules tying them together.
 
-use coalloc_workload::{QueueRouting, Workload};
+use coalloc_workload::{JobDisposition, QueueRouting, Workload};
 
-use crate::fault::{FaultSpec, InterruptPolicy};
+use crate::fault::{FaultSpec, InterruptPolicy, ResizePolicy};
 use crate::placement::PlacementRule;
 use crate::policy::PolicyKind;
+use crate::queue::QueueDiscipline;
 use crate::system::SystemSpec;
 
 /// How the warm-up transient is chosen.
@@ -66,6 +67,22 @@ pub struct SimConfig {
     pub faults: Option<FaultSpec>,
     /// What happens to jobs whose running components a failure kills.
     pub interrupt: InterruptPolicy,
+    /// How much placement freedom jobs grant the scheduler after
+    /// submission. `Rigid` (the default) reproduces the paper's runs
+    /// bit for bit.
+    pub disposition: JobDisposition,
+    /// The order in which queued jobs may start. `Fcfs` (the default)
+    /// reproduces the paper's runs bit for bit.
+    pub discipline: QueueDiscipline,
+    /// Runtime-estimate multiplier for the backfilling disciplines:
+    /// jobs without a submitted estimate are assumed to run for
+    /// `estimate_factor x base_service`. `f64::INFINITY` disables
+    /// backfilling entirely (no estimated finish beats any reservation),
+    /// collapsing EASY onto FCFS.
+    pub estimate_factor: f64,
+    /// How malleable jobs may change shape while running (ignored for
+    /// rigid and moldable dispositions).
+    pub resize: ResizePolicy,
 }
 
 impl SimConfig {
@@ -91,6 +108,10 @@ impl SimConfig {
             record_series: false,
             faults: None,
             interrupt: InterruptPolicy::RequeueFront,
+            disposition: JobDisposition::Rigid,
+            discipline: QueueDiscipline::Fcfs,
+            estimate_factor: 2.0,
+            resize: ResizePolicy::GrowAndShrink,
         }
     }
 
@@ -115,6 +136,10 @@ impl SimConfig {
             record_series: false,
             faults: None,
             interrupt: InterruptPolicy::RequeueFront,
+            disposition: JobDisposition::Rigid,
+            discipline: QueueDiscipline::Fcfs,
+            estimate_factor: 2.0,
+            resize: ResizePolicy::GrowAndShrink,
         }
     }
 
@@ -164,6 +189,10 @@ impl SimConfig {
             record_series: false,
             faults: None,
             interrupt: InterruptPolicy::RequeueFront,
+            disposition: JobDisposition::Rigid,
+            discipline: QueueDiscipline::Fcfs,
+            estimate_factor: 2.0,
+            resize: ResizePolicy::GrowAndShrink,
         }
     }
 
@@ -251,6 +280,13 @@ impl SimConfig {
                 panic!("bad fault spec: {e}");
             }
         }
+        // Infinity is a legal factor (it turns both backfilling
+        // disciplines into FCFS); NaN and non-positive values are not.
+        assert!(
+            self.estimate_factor > 0.0,
+            "estimate factor must be positive, got {}",
+            self.estimate_factor
+        );
     }
 }
 

@@ -6,15 +6,15 @@
 //! are thin deprecated shims over it (see the module docs of
 //! [`crate::sim`]).
 
-use coalloc_workload::{JobRequest, JobSpec, RequestKind};
+use coalloc_workload::{JobDisposition, JobRequest, JobSpec, RequestKind};
 use desim::{Duration, EventId, Exponential, RngStream, SimTime, Simulation, Variate};
 
-use crate::audit::{Interruption, NullObserver, PassTrigger, SimObserver};
-use crate::fault::{FaultKind, FaultSpec, InterruptPolicy};
+use crate::audit::{Interruption, NullObserver, PassTrigger, Resize, SimObserver};
+use crate::fault::{FaultKind, FaultSpec, InterruptPolicy, ResizePolicy};
 use crate::feed::{JobFeed, StochasticFeed, TraceFeed};
-use crate::job::{ActiveJob, JobId, JobTable};
+use crate::job::{ActiveJob, JobId, JobTable, Placement};
 use crate::metrics::Metrics;
-use crate::policy::Scheduler;
+use crate::policy::{PolicyOptions, Scheduler};
 use crate::system::MultiCluster;
 
 use super::config::{SimConfig, Warmup};
@@ -55,9 +55,6 @@ enum FaultDriver {
 struct FaultState {
     interrupt: InterruptPolicy,
     driver: FaultDriver,
-    /// The scheduled departure event of each running job, indexed by
-    /// job id, so a failure can cancel the departures of its victims.
-    departures: Vec<Option<EventId>>,
 }
 
 /// Builds and runs simulation [`Session`]s from a [`SimConfig`].
@@ -200,11 +197,17 @@ impl<'a> SimBuilder<'a> {
             Some(policy) => policy,
             None => {
                 let routing_rng = RngStream::new(self.cfg.seed).labelled("routing");
-                self.cfg.policy.build(
+                self.cfg.policy.build_with(
                     &self.cfg.system,
                     self.cfg.routing.clone(),
                     routing_rng,
                     self.cfg.rule,
+                    PolicyOptions {
+                        disposition: self.cfg.disposition,
+                        discipline: self.cfg.discipline,
+                        estimate_factor: self.cfg.estimate_factor,
+                        workload: self.cfg.workload.clone(),
+                    },
                 )
             }
         };
@@ -230,6 +233,11 @@ struct EngineState {
     completed: u64,
     backlog_at_last_arrival: usize,
     peak_backlog: usize,
+    /// The scheduled departure event and departure time of each running
+    /// job, indexed by job id — the engine's running-job registry. A
+    /// cluster failure cancels the departures of its victims through
+    /// it; a malleable resize cancels and reschedules through it.
+    departures: Vec<Option<(EventId, SimTime)>>,
     /// Fault-injection state; `None` unless the config enables faults.
     faults: Option<FaultState>,
 }
@@ -312,6 +320,7 @@ where
             completed: 0,
             backlog_at_last_arrival: 0,
             peak_backlog: 0,
+            departures: vec![None; self.cfg.total_jobs as usize],
             faults: None,
         };
         if let Some((t, spec)) = self.feed.next_job() {
@@ -361,11 +370,7 @@ where
                 FaultDriver::Exponential { mttf: *mttf, mttr: *mttr, streams }
             }
         };
-        FaultState {
-            interrupt: self.cfg.interrupt,
-            driver,
-            departures: vec![None; self.cfg.total_jobs as usize],
-        }
+        FaultState { interrupt: self.cfg.interrupt, driver }
     }
 
     /// One arrival: route, record, enqueue, and draw the next arrival
@@ -398,10 +403,8 @@ where
         let placement = job.placement.as_ref().expect("departing job was started");
         st.system.release(placement);
         let released = placement.total();
-        if let Some(f) = &mut st.faults {
-            if let Some(slot) = f.departures.get_mut(id.0 as usize) {
-                *slot = None;
-            }
+        if let Some(slot) = st.departures.get_mut(id.0 as usize) {
+            *slot = None;
         }
         self.observer.on_completion(now, id, job);
         st.metrics.record_release(now, released);
@@ -412,6 +415,7 @@ where
         } else if st.completed >= self.cfg.warmup_jobs {
             st.metrics.record_departure(now, job);
         }
+        self.scheduler.job_departed(id);
         self.scheduler.on_departure();
         PassTrigger::Departure
     }
@@ -432,28 +436,31 @@ where
         // The departure registry doubles as the running-job index:
         // every running job has a pending departure event.
         let mut victims: Vec<JobId> = Vec::new();
-        {
-            let f = st.faults.as_ref().expect("fault events only fire with faults enabled");
-            for (idx, ev) in f.departures.iter().enumerate() {
-                if ev.is_none() {
-                    continue;
-                }
-                let id = JobId(idx as u64);
-                let on_cluster = st
-                    .table
-                    .get(id)
-                    .placement
-                    .as_ref()
-                    .is_some_and(|p| p.assignments().iter().any(|&(c, _)| c == cluster));
-                if on_cluster {
-                    victims.push(id);
-                }
+        for (idx, ev) in st.departures.iter().enumerate() {
+            if ev.is_none() {
+                continue;
+            }
+            let id = JobId(idx as u64);
+            let on_cluster = st
+                .table
+                .get(id)
+                .placement
+                .as_ref()
+                .is_some_and(|p| p.assignments().iter().any(|&(c, _)| c == cluster));
+            if on_cluster {
+                victims.push(id);
             }
         }
         for &id in &victims {
-            let ev = st.faults.as_mut().expect("faults enabled").departures[id.0 as usize]
-                .take()
-                .expect("victim was running");
+            // A malleable multi-component victim sheds only the failed
+            // component and keeps running on its surviving clusters —
+            // the `ShrinkOnly` half of every ResizePolicy.
+            if self.cfg.disposition == JobDisposition::Malleable
+                && self.try_shrink(st, now, id, cluster)
+            {
+                continue;
+            }
+            let (ev, _end) = st.departures[id.0 as usize].take().expect("victim was running");
             let cancelled = st.sim.cancel(ev);
             debug_assert!(cancelled, "a running job's departure event was pending");
             let job = st.table.get_mut(id);
@@ -469,6 +476,7 @@ where
             let queue = job.queue;
             let info = Interruption { id, cluster, released: &placement, disposition, resplit };
             self.observer.on_job_interrupted(now, job, &info);
+            self.scheduler.job_departed(id);
             match disposition {
                 InterruptPolicy::RequeueFront => self.scheduler.requeue_front(id, queue),
                 InterruptPolicy::RequeueBack => self.scheduler.enqueue(id, queue),
@@ -516,6 +524,101 @@ where
         PassTrigger::Fault
     }
 
+    /// Shrinks a running malleable job away from a failed cluster: the
+    /// failed component is dropped, the surviving components keep
+    /// running, and the departure is pushed back so the remaining work
+    /// (processor-seconds) is conserved —
+    /// `(new_end − now)·new_total == (old_end − now)·old_total`.
+    /// Returns false (no shrink; the caller falls back to the kill
+    /// path) for single-component placements, which have nothing to
+    /// survive on.
+    fn try_shrink(
+        &mut self,
+        st: &mut EngineState,
+        now: SimTime,
+        id: JobId,
+        cluster: usize,
+    ) -> bool {
+        let job = st.table.get(id);
+        let old = job.placement.clone().expect("victim was started");
+        if old.assignments().len() < 2 {
+            return false;
+        }
+        let (ev, old_end) = st.departures[id.0 as usize].expect("victim was running");
+        let surviving: Vec<(usize, u32)> =
+            old.assignments().iter().copied().filter(|&(c, _)| c != cluster).collect();
+        debug_assert!(!surviving.is_empty(), "multi-component victim keeps >=1 component");
+        let new = Placement::new(surviving);
+        let old_total = f64::from(old.total());
+        let new_total = f64::from(new.total());
+        let new_end = now + Duration::new((old_end - now).seconds() * old_total / new_total);
+        // Swap the allocation: the failed component's processors return
+        // to (what is about to become) the degraded cluster, the rest
+        // stay busy.
+        st.system.release(&old);
+        st.system.apply(&new);
+        st.metrics.record_release(now, old.total() - new.total());
+        let cancelled = st.sim.cancel(ev);
+        debug_assert!(cancelled, "a running job's departure event was pending");
+        let ev = st.sim.schedule_at(new_end, SimEvent::Departure(id));
+        st.departures[id.0 as usize] = Some((ev, new_end));
+        st.table.get_mut(id).placement = Some(new.clone());
+        self.scheduler.job_resized(now, id, &new);
+        let resize = Resize { id, from: &old, to: &new, old_end, new_end };
+        self.observer.on_job_resized(now, st.table.get(id), &resize);
+        true
+    }
+
+    /// Grows one running malleable job onto idle processors after a
+    /// departure left the queues empty: the job with the *latest*
+    /// scheduled departure (ties to the smallest id) expands each of
+    /// its components up to the workload's component-size limit within
+    /// its own cluster — the span (and thus the wide-area extension) is
+    /// unchanged — and its departure moves forward conserving the
+    /// remaining work.
+    fn maybe_grow(&mut self, st: &mut EngineState, now: SimTime) {
+        let mut best: Option<(SimTime, JobId)> = None;
+        for (idx, slot) in st.departures.iter().enumerate() {
+            if let Some((_, end)) = slot {
+                // Ascending-id iteration + strict comparison: the
+                // smallest id wins ties.
+                if best.is_none_or(|(bend, _)| *end > bend) {
+                    best = Some((*end, JobId(idx as u64)));
+                }
+            }
+        }
+        let Some((old_end, id)) = best else { return };
+        let old = st.table.get(id).placement.clone().expect("registry lists running jobs");
+        let limit = self.cfg.workload.limit;
+        let mut grown = Vec::with_capacity(old.assignments().len());
+        let mut extras = Vec::new();
+        for &(c, procs) in old.assignments() {
+            let extra = st.system.idle(c).min(limit.saturating_sub(procs));
+            grown.push((c, procs + extra));
+            if extra > 0 {
+                extras.push((c, extra));
+            }
+        }
+        if extras.is_empty() {
+            return;
+        }
+        let new = Placement::new(grown);
+        let old_total = f64::from(old.total());
+        let new_total = f64::from(new.total());
+        let new_end = now + Duration::new((old_end - now).seconds() * old_total / new_total);
+        st.system.apply(&Placement::new(extras));
+        st.metrics.record_allocate(now, new.total() - old.total());
+        let (ev, _) = st.departures[id.0 as usize].take().expect("candidate is running");
+        let cancelled = st.sim.cancel(ev);
+        debug_assert!(cancelled, "a running job's departure event was pending");
+        let ev = st.sim.schedule_at(new_end, SimEvent::Departure(id));
+        st.departures[id.0 as usize] = Some((ev, new_end));
+        st.table.get_mut(id).placement = Some(new.clone());
+        self.scheduler.job_resized(now, id, &new);
+        let resize = Resize { id, from: &old, to: &new, old_end, new_end };
+        self.observer.on_job_resized(now, st.table.get(id), &resize);
+    }
+
     /// Re-splits an interrupted unordered multi-component request when
     /// the failure leaves fewer up clusters than it has components
     /// (components must land on distinct clusters, §2.3, so the old
@@ -552,6 +655,20 @@ where
         if candidate.max_component() > max_eff {
             return false;
         }
+        // Local-queue confinement: a job waiting in a local queue that
+        // re-splits down to a *single* component will be offered only to
+        // that queue's own cluster (LS's §2.5 rule), so a split that
+        // fits some surviving cluster but not *that* one would wait
+        // forever — even after the repair. Keep the old request instead
+        // and wait for the repair.
+        if candidate.num_components() == 1 {
+            if let crate::job::SubmitQueue::Local(q) = st.table.get(id).queue {
+                let eff = if q == cluster { remaining } else { st.system.effective_capacity(q) };
+                if candidate.max_component() > eff {
+                    return false;
+                }
+            }
+        }
         st.table.get_mut(id).spec.request = candidate;
         true
     }
@@ -575,14 +692,24 @@ where
             let procs = job.spec.request.total();
             self.observer.on_start(now, id, job, occupancy);
             st.metrics.record_allocate(now, procs);
-            let ev = st.sim.schedule_at(now + occupancy, SimEvent::Departure(id));
-            if let Some(f) = &mut st.faults {
-                let idx = id.0 as usize;
-                if idx >= f.departures.len() {
-                    f.departures.resize(idx + 1, None);
-                }
-                f.departures[idx] = Some(ev);
+            let end = now + occupancy;
+            let ev = st.sim.schedule_at(end, SimEvent::Departure(id));
+            let idx = id.0 as usize;
+            if idx >= st.departures.len() {
+                st.departures.resize(idx + 1, None);
             }
+            st.departures[idx] = Some((ev, end));
+        }
+        // A departure that leaves the queues empty hands the freed
+        // processors to a running malleable job (the grow half of
+        // `ResizePolicy::GrowAndShrink`): queued jobs always have
+        // priority over growth, so this runs only when nobody waits.
+        if trigger == PassTrigger::Departure
+            && self.cfg.disposition == JobDisposition::Malleable
+            && self.cfg.resize == ResizePolicy::GrowAndShrink
+            && self.scheduler.queued() == 0
+        {
+            self.maybe_grow(st, now);
         }
         let queued_now = self.scheduler.queued();
         st.metrics.record_queue_length(now, queued_now);

@@ -17,6 +17,63 @@ use crate::split::{component_count, split};
 /// pays off while the extension factor stays at or below 1.25.
 pub const EXTENSION_FACTOR: f64 = 1.25;
 
+/// How much placement freedom a job grants the scheduler after
+/// submission — the disposition axis of the malleability taxonomy
+/// (Feitelson & Rudolph's rigid/moldable/malleable classes).
+///
+/// The paper's experiments are all `Rigid`; the other two are the
+/// scenario extensions motivated by the malleable-scheduling literature.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum JobDisposition {
+    /// The component split is fixed at submission (the paper's model).
+    #[default]
+    Rigid,
+    /// The scheduler picks the component split at start time against the
+    /// current idle processors; once started the shape is frozen.
+    Moldable,
+    /// Moldable, plus the shape may change *while running*: jobs grow
+    /// onto idle processors at departures and shrink away from failed
+    /// clusters instead of being killed.
+    Malleable,
+}
+
+impl JobDisposition {
+    /// Parses a disposition name as written on a command line.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "rigid" => Some(JobDisposition::Rigid),
+            "moldable" => Some(JobDisposition::Moldable),
+            "malleable" => Some(JobDisposition::Malleable),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase label (inverse of [`JobDisposition::parse`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            JobDisposition::Rigid => "rigid",
+            JobDisposition::Moldable => "moldable",
+            JobDisposition::Malleable => "malleable",
+        }
+    }
+}
+
+impl core::fmt::Display for JobDisposition {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl core::str::FromStr for JobDisposition {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        JobDisposition::parse(s)
+            .ok_or_else(|| format!("unknown disposition `{s}` (rigid|moldable|malleable)"))
+    }
+}
+
 /// One sampled job: its (already split) request and its base service time.
 #[derive(Clone, Debug, PartialEq)]
 pub struct JobSpec {

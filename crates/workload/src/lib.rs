@@ -30,7 +30,7 @@ pub mod service;
 pub mod split;
 
 pub use arrival::{rate_for_utilization, utilization_for_rate, ArrivalProcess};
-pub use config::{JobSpec, Workload, EXTENSION_FACTOR};
+pub use config::{JobDisposition, JobSpec, Workload, EXTENSION_FACTOR};
 pub use jobsize::JobSizeDist;
 pub use request::{component_count_fractions, multi_component_fraction, JobRequest, RequestKind};
 pub use routing::QueueRouting;

@@ -107,13 +107,22 @@ impl serde::Deserialize for Components {
 /// `Ordered` requests the tuple order is the cluster assignment and is
 /// preserved, with [`JobRequest::targets`] naming each component's
 /// cluster.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct JobRequest {
     components: Components,
     /// For `Ordered`: the cluster index of each component.
     targets: Option<Vec<usize>>,
     kind: RequestKind,
+    /// User-supplied runtime estimate in seconds (trace-derived or set by
+    /// the harness), consumed by the backfilling disciplines. `None` means
+    /// no estimate was submitted; schedulers fall back to a multiplier on
+    /// the base service time.
+    estimate: Option<f64>,
 }
+
+// Estimates are finite by construction (validated in `with_estimate`),
+// so float equality is total here, as for `Components` above.
+impl Eq for JobRequest {}
 
 impl JobRequest {
     /// Builds an unordered request from component sizes (sorted
@@ -129,6 +138,7 @@ impl JobRequest {
             components: Components::from_vec(components),
             targets: None,
             kind: RequestKind::Unordered,
+            estimate: None,
         }
     }
 
@@ -142,6 +152,24 @@ impl JobRequest {
             components: Components::from_even_split(total, component_count(total, limit, clusters)),
             targets: None,
             kind: RequestKind::Unordered,
+            estimate: None,
+        }
+    }
+
+    /// Builds the unordered request that splits `total` evenly into
+    /// exactly `n` components (non-increasing by construction) — the
+    /// candidate generator of the moldable disposition, which probes
+    /// successive `n` against the current idle vector.
+    ///
+    /// # Panics
+    /// Panics when `total < n` (a component would be empty) or `n == 0`.
+    pub fn even_split(total: u32, n: usize) -> Self {
+        assert!(n > 0, "a request needs at least one component");
+        JobRequest {
+            components: Components::from_even_split(total, n),
+            targets: None,
+            kind: RequestKind::Unordered,
+            estimate: None,
         }
     }
 
@@ -152,6 +180,7 @@ impl JobRequest {
             components: Components::from_even_split(total, 1),
             targets: None,
             kind: RequestKind::Total,
+            estimate: None,
         }
     }
 
@@ -174,6 +203,7 @@ impl JobRequest {
             components: Components::from_vec(components),
             targets: Some(targets),
             kind: RequestKind::Ordered,
+            estimate: None,
         }
     }
 
@@ -185,6 +215,7 @@ impl JobRequest {
             components: Components::from_even_split(total, component_count(total, limit, clusters)),
             targets: None,
             kind: RequestKind::Flexible,
+            estimate: None,
         }
     }
 
@@ -225,6 +256,40 @@ impl JobRequest {
     /// The largest component.
     pub fn max_component(&self) -> u32 {
         *self.components.as_slice().iter().max().expect("non-empty")
+    }
+
+    /// The submitted runtime estimate in seconds, if any.
+    pub fn estimate(&self) -> Option<f64> {
+        self.estimate
+    }
+
+    /// Returns this request carrying the given runtime estimate.
+    ///
+    /// # Panics
+    /// Panics on a non-finite or non-positive estimate.
+    pub fn with_estimate(mut self, estimate: f64) -> Self {
+        assert!(estimate.is_finite() && estimate > 0.0, "estimate must be finite and positive");
+        self.estimate = Some(estimate);
+        self
+    }
+
+    /// Returns this request re-split into the given component layout,
+    /// preserving the kind and estimate — the adoption step of the
+    /// moldable disposition (targets make no sense for a re-split, so
+    /// this is restricted to unadorned unordered requests).
+    ///
+    /// # Panics
+    /// Panics when the new layout's total differs from the original, or
+    /// on an `Ordered` request.
+    pub fn resplit_even(&self, n: usize) -> Self {
+        assert!(self.targets.is_none(), "ordered requests cannot be re-split");
+        assert!(n > 0, "a request needs at least one component");
+        JobRequest {
+            components: Components::from_even_split(self.total(), n),
+            targets: None,
+            kind: self.kind,
+            estimate: self.estimate,
+        }
     }
 }
 

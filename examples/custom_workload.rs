@@ -44,6 +44,10 @@ fn main() {
             seed: 42,
             faults: None,
             interrupt: coalloc::core::InterruptPolicy::RequeueFront,
+            disposition: coalloc::workload::JobDisposition::Rigid,
+            discipline: coalloc::core::QueueDiscipline::Fcfs,
+            estimate_factor: 2.0,
+            resize: coalloc::core::ResizePolicy::GrowAndShrink,
         };
         let out = SimBuilder::new(&cfg).run();
         let exact = mmc_mean_response(lambda, 1.0 / mean_service, c);

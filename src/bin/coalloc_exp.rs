@@ -27,17 +27,23 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: coalloc-exp <target> [--full] [--save <dir>]\n\
          targets: table1 table2 table3 ratios fig1..fig7 packing\n\
-         \x20        reqtypes placement backfill extfactor burstiness plot all\n\
+         \x20        reqtypes placement backfill dispositions extfactor\n\
+         \x20        burstiness plot all\n\
          \x20        runjson <GS|LS|LP|SC|GB> <limit> <utilization>\n\
          \x20                [--events <path>] [--audit] [--warmup auto|N]\n\
          \x20                [--capacities a,b,c] [--faults <spec>]\n\
-         \x20                [--interrupt front|back|abort]   (JSON SimOutcome)\n\
+         \x20                [--interrupt front|back|abort]\n\
+         \x20                [--disposition rigid|moldable|malleable]\n\
+         \x20                [--queue-discipline fcfs|easy|conservative]\n\
+         \x20                [--estimate-factor X]   (JSON SimOutcome)\n\
          \x20        sweep <GS|LS|LP|SC|GB> <limit> [--utils a,b,c] [--rel-ci X]\n\
          \x20              [--min-reps N] [--max-reps N] [--warmup auto|N]\n\
          \x20              [--checkpoint <path>] [--assert-precision] [--audit]\n\
          \x20              [--capacities a,b,c] [--faults <spec>]\n\
          \x20              [--interrupt front|back|abort] [--inject-panic U]\n\
-         \x20              (adaptive sweep, stats table)\n\
+         \x20              [--disposition rigid|moldable|malleable]\n\
+         \x20              [--queue-discipline fcfs|easy|conservative]\n\
+         \x20              [--estimate-factor X]   (adaptive sweep, stats table)\n\
          \x20        bench [--quick|--full] [--out <dir>]   (throughput -> BENCH_<n>.json)\n\
          fault specs: exp:MTTF:MTTR or down:T:K[:R],up:T:K,..."
     );
@@ -126,6 +132,63 @@ fn parse_interrupt(args: &[String]) -> Result<Option<InterruptPolicy>, CoallocEr
         .transpose()
 }
 
+/// Parses `--disposition rigid|moldable|malleable`.
+fn parse_disposition(
+    args: &[String],
+) -> Result<Option<coalloc::workload::JobDisposition>, CoallocError> {
+    flag_value(args, "--disposition")?
+        .map(|s| {
+            coalloc::workload::JobDisposition::parse(s).ok_or_else(|| {
+                CoallocError::invalid("--disposition", s, "rigid|moldable|malleable")
+            })
+        })
+        .transpose()
+}
+
+/// Parses `--queue-discipline fcfs|easy|conservative`.
+fn parse_discipline(
+    args: &[String],
+) -> Result<Option<coalloc::core::QueueDiscipline>, CoallocError> {
+    flag_value(args, "--queue-discipline")?
+        .map(|s| {
+            coalloc::core::QueueDiscipline::parse(s).ok_or_else(|| {
+                CoallocError::invalid("--queue-discipline", s, "fcfs|easy|conservative")
+            })
+        })
+        .transpose()
+}
+
+/// Parses `--estimate-factor X` (a positive multiplier; `inf` turns
+/// both backfilling disciplines back into FCFS).
+fn parse_estimate_factor(args: &[String]) -> Result<Option<f64>, CoallocError> {
+    match parse_flag::<f64>(args, "--estimate-factor", "a positive multiplier (or `inf`)")? {
+        Some(v) if v.is_nan() || v <= 0.0 => Err(CoallocError::invalid(
+            "--estimate-factor",
+            &format!("{v}"),
+            "a positive multiplier",
+        )),
+        other => Ok(other),
+    }
+}
+
+/// Applies the disposition/discipline/estimate flags to a config.
+fn apply_scheduling_flags(
+    cfg: &mut coalloc::core::SimConfig,
+    disposition: Option<coalloc::workload::JobDisposition>,
+    discipline: Option<coalloc::core::QueueDiscipline>,
+    estimate_factor: Option<f64>,
+) {
+    if let Some(d) = disposition {
+        cfg.disposition = d;
+    }
+    if let Some(d) = discipline {
+        cfg.discipline = d;
+    }
+    if let Some(f) = estimate_factor {
+        cfg.estimate_factor = f;
+    }
+}
+
 /// Checks a fault spec against the system it will actually run on;
 /// `SimConfig::validate` would panic later, this reports a typed error
 /// up front instead.
@@ -209,10 +272,23 @@ fn sweep_cmd(args: &[String], scale: Scale) -> Result<ExitCode, CoallocError> {
     let system = parse_capacities(args)?;
     let faults = parse_faults(args)?;
     let interrupt = parse_interrupt(args)?;
+    let disposition = parse_disposition(args)?;
+    let discipline = parse_discipline(args)?;
+    let estimate_factor = parse_estimate_factor(args)?;
     let inject_panic: Option<f64> = parse_flag(args, "--inject-panic", "a utilization")?;
     let system_label = system.as_ref().map_or_else(String::new, |sys| format!(", system {sys}"));
     let fault_label =
         flag_value(args, "--faults")?.map_or_else(String::new, |s| format!(", faults {s}"));
+    let sched_label = {
+        let mut s = String::new();
+        if let Some(d) = disposition {
+            s.push_str(&format!(", {}", d.label()));
+        }
+        if let Some(d) = discipline {
+            s.push_str(&format!(", {}", d.label()));
+        }
+        s
+    };
     let make_cfg = {
         let system = system.clone();
         let faults = faults.clone();
@@ -231,6 +307,7 @@ fn sweep_cmd(args: &[String], scale: Scale) -> Result<ExitCode, CoallocError> {
             if let Some(p) = interrupt {
                 c.interrupt = p;
             }
+            apply_scheduling_flags(&mut c, disposition, discipline, estimate_factor);
             if let Some(p) = inject_panic {
                 if (util - p).abs() < 1e-9 {
                     // A warm-up that swallows every job fails validation
@@ -254,7 +331,7 @@ fn sweep_cmd(args: &[String], scale: Scale) -> Result<ExitCode, CoallocError> {
     }
     let points = sweep(make_cfg, &cfg);
     let title = format!(
-        "Adaptive sweep: {} limit {limit}{system_label}{fault_label}, rel-CI target {:.0}%, {}..{} reps",
+        "Adaptive sweep: {} limit {limit}{system_label}{fault_label}{sched_label}, rel-CI target {:.0}%, {}..{} reps",
         policy.label(),
         100.0 * cfg.rel_ci_target,
         cfg.min_replications,
@@ -360,6 +437,12 @@ fn runjson(args: &[String], scale: Scale) -> Result<ExitCode, CoallocError> {
     if let Some(p) = parse_interrupt(args)? {
         cfg.interrupt = p;
     }
+    apply_scheduling_flags(
+        &mut cfg,
+        parse_disposition(args)?,
+        parse_discipline(args)?,
+        parse_estimate_factor(args)?,
+    );
 
     let mut sink = match events_path {
         Some(path) => {
@@ -439,6 +522,7 @@ fn main() -> ExitCode {
             ("reqtypes", "ordered vs unordered vs flexible requests (extension)"),
             ("placement", "Worst/Best/First Fit ablation"),
             ("backfill", "GS vs GB (aggressive backfilling) vs LS (extension)"),
+            ("dispositions", "rigid vs moldable vs malleable jobs per policy (extension)"),
             ("extfactor", "extension-factor sensitivity (viability conclusion)"),
             ("burstiness", "arrival-burstiness sensitivity (extension)"),
             ("correlation", "size-service correlation sensitivity (extension)"),
@@ -471,6 +555,7 @@ fn main() -> ExitCode {
         "reqtypes",
         "placement",
         "backfill",
+        "dispositions",
         "extfactor",
         "burstiness",
         "correlation",
@@ -529,6 +614,7 @@ fn main() -> ExitCode {
         "placement" => emit("Ablation: placement rules", experiments::placement_rules(scale)),
         "plot" => emit("Terminal plot (Fig 3, limit 16)", experiments::terminal_plot(scale)),
         "backfill" => emit("Extension: backfilling", experiments::backfilling(scale)),
+        "dispositions" => emit("Extension: job dispositions", experiments::dispositions(scale)),
         "burstiness" => emit("Extension: arrival burstiness", experiments::burstiness(scale)),
         "correlation" => {
             emit("Extension: size-service correlation", experiments::correlation(scale))
@@ -560,6 +646,7 @@ fn main() -> ExitCode {
             "reqtypes",
             "placement",
             "backfill",
+            "dispositions",
             "extfactor",
             "burstiness",
             "correlation",

@@ -197,6 +197,92 @@ pub fn das2(scale: Scale) -> String {
     )
 }
 
+/// Mean response per policy for the three job dispositions — how much
+/// placement freedom after submission is worth under each scheduling
+/// policy — followed by the queue-discipline response curve for GS
+/// (FCFS vs EASY vs conservative backfilling, estimate factor 2).
+///
+/// Expected shape: moldable ≤ rigid everywhere (a blocked job may trade
+/// the wide-area extension for an earlier start, and the smallest-
+/// feasible-split rule never makes it start later); malleable tracks
+/// moldable closely (growing shortens residual work but only fires on
+/// an empty queue); and EASY/conservative sit below FCFS once queues
+/// form.
+pub fn dispositions(scale: Scale) -> String {
+    use coalloc_core::QueueDiscipline;
+    use coalloc_workload::JobDisposition;
+
+    let base_cfg = |policy: PolicyKind, util: f64| {
+        if policy == PolicyKind::Sc {
+            SimConfig::das_single_cluster(util)
+        } else {
+            SimConfig::das(policy, 16, util)
+        }
+    };
+    let cell = |p: &coalloc_core::SweepPoint| {
+        if p.outcome.saturated {
+            "sat".to_string()
+        } else {
+            format!("{:.0} ±{:.0}", p.outcome.response.mean, p.outcome.response.half_width)
+        }
+    };
+    let headers: Vec<String> = ["policy", "variant"]
+        .into_iter()
+        .map(str::to_string)
+        .chain(scale.utilizations().iter().map(|u| format!("u={u:.2}")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    let mut rows = Vec::new();
+    for policy in [PolicyKind::Gs, PolicyKind::Ls, PolicyKind::Lp, PolicyKind::Gb, PolicyKind::Sc] {
+        for disposition in
+            [JobDisposition::Rigid, JobDisposition::Moldable, JobDisposition::Malleable]
+        {
+            let pts = sweep(
+                |util| {
+                    let mut cfg = scaled(base_cfg(policy, util), scale);
+                    cfg.disposition = disposition;
+                    cfg
+                },
+                &scale.sweep(),
+            );
+            let mut row = vec![policy.label().to_string(), disposition.label().to_string()];
+            row.extend(pts.iter().map(cell));
+            rows.push(row);
+        }
+    }
+    let mut out = format_table(
+        "Extension: mean response (s, 95% CI) vs gross utilization by job disposition
+         (limit 16; moldable jobs re-split at start time, malleable jobs also grow/shrink)",
+        &header_refs,
+        &rows,
+    );
+
+    let mut rows = Vec::new();
+    for discipline in [QueueDiscipline::Fcfs, QueueDiscipline::Easy, QueueDiscipline::Conservative]
+    {
+        let pts = sweep(
+            |util| {
+                let mut cfg = scaled(base_cfg(PolicyKind::Gs, util), scale);
+                cfg.discipline = discipline;
+                cfg
+            },
+            &scale.sweep(),
+        );
+        let mut row = vec!["GS".to_string(), discipline.label().to_string()];
+        row.extend(pts.iter().map(cell));
+        rows.push(row);
+    }
+    out.push('\n');
+    out.push_str(&format_table(
+        "Extension: mean response (s, 95% CI) under the queue disciplines
+         (GS, limit 16, rigid jobs, estimate factor 2)",
+        &header_refs,
+        &rows,
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

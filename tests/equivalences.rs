@@ -116,6 +116,10 @@ fn whole_cluster_jobs_are_mm1() {
         seed: 23,
         faults: None,
         interrupt: coalloc::core::InterruptPolicy::RequeueFront,
+        disposition: coalloc::workload::JobDisposition::Rigid,
+        discipline: coalloc::core::QueueDiscipline::Fcfs,
+        estimate_factor: 2.0,
+        resize: coalloc::core::ResizePolicy::GrowAndShrink,
     };
     let out = SimBuilder::new(&cfg).run();
     let exact = mean_service / (1.0 - rho);

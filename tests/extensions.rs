@@ -95,6 +95,10 @@ fn heterogeneous_five_cluster_system() {
         seed: 5,
         faults: None,
         interrupt: coalloc::core::InterruptPolicy::RequeueFront,
+        disposition: coalloc::workload::JobDisposition::Rigid,
+        discipline: coalloc::core::QueueDiscipline::Fcfs,
+        estimate_factor: 2.0,
+        resize: coalloc::core::ResizePolicy::GrowAndShrink,
     };
     let out = SimBuilder::new(&cfg).run();
     assert!(!out.saturated, "five-cluster DAS2 at 0.45 must be stable");

@@ -22,6 +22,10 @@ fn queueing_cfg(servers: u32, service: ServiceDist, lambda: f64, seed: u64) -> S
         seed,
         faults: None,
         interrupt: coalloc::core::InterruptPolicy::RequeueFront,
+        disposition: coalloc::workload::JobDisposition::Rigid,
+        discipline: coalloc::core::QueueDiscipline::Fcfs,
+        estimate_factor: 2.0,
+        resize: coalloc::core::ResizePolicy::GrowAndShrink,
     }
 }
 
