@@ -88,8 +88,40 @@ pub fn place_unordered(idle: &[u32], components: &[u32], rule: PlacementRule) ->
     // array and the distinctness constraint in a bitmask, so neither a
     // failed attempt nor a paper-scale success touches the heap — the
     // resulting `Placement` stores small assignment lists inline.
-    let mut used: u64 = 0;
     let mut pairs = [(0usize, 0u32); MAX_CLUSTERS];
+    if rule == PlacementRule::WorstFit && components.len() > 1 {
+        // Worst Fit fast path. `idle` is not decremented between
+        // components (distinctness is the only coupling), so greedy WF
+        // pairs the j-th largest component with the j-th cluster in
+        // (idle desc, index asc) order; the attempt fails iff some
+        // component outgrows its cluster in that pairing. One partial
+        // selection sort replaces a full cluster scan per component.
+        let m = components.len();
+        let mut order = [0u8; MAX_CLUSTERS];
+        for (slot, o) in order.iter_mut().enumerate().take(idle.len()) {
+            *o = slot as u8;
+        }
+        for j in 0..m {
+            let mut best = j;
+            for i in j + 1..idle.len() {
+                let (c, b) = (order[i] as usize, order[best] as usize);
+                // Ties break to the lowest cluster index, as in `choose`
+                // (earlier swaps scramble the scan order, so position
+                // order alone does not give that).
+                if idle[c] > idle[b] || (idle[c] == idle[b] && c < b) {
+                    best = i;
+                }
+            }
+            order.swap(j, best);
+            let cluster = order[j] as usize;
+            if idle[cluster] < components[j] {
+                return None;
+            }
+            pairs[j] = (cluster, components[j]);
+        }
+        return Some(Placement::from_slice(&pairs[..m]));
+    }
+    let mut used: u64 = 0;
     for (slot, &comp) in components.iter().enumerate() {
         let cluster = rule.choose(idle, used, comp)?;
         used |= 1 << cluster;

@@ -1,0 +1,284 @@
+//! Struct-of-arrays storage for the running-job set.
+//!
+//! The engine's hot scans — "which running jobs touch this failed
+//! cluster?", "which running job departs last?" — used to walk a
+//! `Vec<Option<(EventId, SimTime)>>` indexed by job id: `O(total_jobs)`
+//! per scan and one `Option` branch per slot, even though only a few
+//! dozen jobs run at once. [`RunArena`] keeps the hot fields of *running*
+//! jobs only, in parallel arrays (ends, sizes, cluster masks), with a
+//! dense live list for `O(running)` iteration and a free list for `O(1)`
+//! insert/remove.
+//!
+//! Slots are generational: a [`SlotId`] carries the generation it was
+//! minted with, and the departure event carries its job's `SlotId` in the
+//! payload, so the departure path never searches for its slot and a slot
+//! reused by a later job can never be confused with its previous tenant.
+
+use crate::job::JobId;
+use desim::{EventId, SimTime};
+
+/// A generational handle to a slot in the [`RunArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotId {
+    index: u32,
+    generation: u32,
+}
+
+/// The hot fields of one running job, the row a scan sees.
+#[derive(Debug, Clone, Copy)]
+pub struct RunRow {
+    /// The job occupying the slot.
+    pub job: JobId,
+    /// Its pending departure event.
+    pub event: EventId,
+    /// When it departs.
+    pub end: SimTime,
+    /// Total processors held.
+    pub size: u32,
+    /// Bitmask of clusters its placement touches (bit `c` set when a
+    /// component runs on cluster `c`; `MAX_CLUSTERS == 64` fits a `u64`).
+    pub mask: u64,
+}
+
+/// Generational struct-of-arrays arena over the running-job set.
+#[derive(Debug, Default)]
+pub struct RunArena {
+    generations: Vec<u32>,
+    jobs: Vec<JobId>,
+    events: Vec<EventId>,
+    ends: Vec<SimTime>,
+    sizes: Vec<u32>,
+    masks: Vec<u64>,
+    /// Indices of vacated slots, reused LIFO.
+    free: Vec<u32>,
+    /// Dense list of occupied slot indices — the iteration set.
+    live: Vec<u32>,
+    /// `pos_in_live[i]` locates slot `i` inside `live` for `O(1)`
+    /// swap-removal; meaningless for free slots.
+    pos_in_live: Vec<u32>,
+}
+
+impl RunArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        RunArena::default()
+    }
+
+    /// Number of running jobs.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no job is running.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Claims a slot for a job that just started. The departure event is
+    /// usually scheduled *after* the slot is known (its payload carries
+    /// the [`SlotId`]); pass a placeholder and fix it up with
+    /// [`RunArena::set_event`].
+    pub fn insert(
+        &mut self,
+        job: JobId,
+        event: EventId,
+        end: SimTime,
+        size: u32,
+        mask: u64,
+    ) -> SlotId {
+        let index = match self.free.pop() {
+            Some(i) => {
+                let i_us = i as usize;
+                self.jobs[i_us] = job;
+                self.events[i_us] = event;
+                self.ends[i_us] = end;
+                self.sizes[i_us] = size;
+                self.masks[i_us] = mask;
+                i
+            }
+            None => {
+                let i = self.generations.len() as u32;
+                self.generations.push(0);
+                self.jobs.push(job);
+                self.events.push(event);
+                self.ends.push(end);
+                self.sizes.push(size);
+                self.masks.push(mask);
+                self.pos_in_live.push(0);
+                i
+            }
+        };
+        self.pos_in_live[index as usize] = self.live.len() as u32;
+        self.live.push(index);
+        SlotId { index, generation: self.generations[index as usize] }
+    }
+
+    /// Releases a slot when its job departs (or is killed). Bumps the
+    /// generation so any stale handle to the old tenant is detectable.
+    ///
+    /// # Panics
+    /// Panics if the handle's generation does not match — a departure
+    /// fired for a job that was already removed, which is an engine bug.
+    pub fn remove(&mut self, slot: SlotId) -> RunRow {
+        let i = slot.index as usize;
+        assert_eq!(self.generations[i], slot.generation, "stale RunArena slot {slot:?}");
+        let row = RunRow {
+            job: self.jobs[i],
+            event: self.events[i],
+            end: self.ends[i],
+            size: self.sizes[i],
+            mask: self.masks[i],
+        };
+        self.generations[i] = self.generations[i].wrapping_add(1);
+        let pos = self.pos_in_live[i] as usize;
+        let last = *self.live.last().expect("removing from a non-empty live list");
+        self.live.swap_remove(pos);
+        if pos < self.live.len() {
+            self.pos_in_live[last as usize] = pos as u32;
+        }
+        self.free.push(slot.index);
+        row
+    }
+
+    /// Reads a slot's row.
+    pub fn get(&self, slot: SlotId) -> RunRow {
+        let i = slot.index as usize;
+        assert_eq!(self.generations[i], slot.generation, "stale RunArena slot {slot:?}");
+        RunRow {
+            job: self.jobs[i],
+            event: self.events[i],
+            end: self.ends[i],
+            size: self.sizes[i],
+            mask: self.masks[i],
+        }
+    }
+
+    /// Replaces the departure event handle of a running job (slot setup,
+    /// and malleable reschedules).
+    pub fn set_event(&mut self, slot: SlotId, event: EventId) {
+        let i = slot.index as usize;
+        assert_eq!(self.generations[i], slot.generation, "stale RunArena slot {slot:?}");
+        self.events[i] = event;
+    }
+
+    /// Rewrites the hot fields after a malleable resize: new departure
+    /// event and time, new total size, new cluster mask.
+    pub fn resize_slot(
+        &mut self,
+        slot: SlotId,
+        event: EventId,
+        end: SimTime,
+        size: u32,
+        mask: u64,
+    ) {
+        let i = slot.index as usize;
+        assert_eq!(self.generations[i], slot.generation, "stale RunArena slot {slot:?}");
+        self.events[i] = event;
+        self.ends[i] = end;
+        self.sizes[i] = size;
+        self.masks[i] = mask;
+    }
+
+    /// Iterates the running set in arbitrary (dense-list) order. Callers
+    /// that need a deterministic order sort what they collect — the scans
+    /// are `O(running)` either way, and runs stay reproducible.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotId, RunRow)> + '_ {
+        self.live.iter().map(move |&index| {
+            let i = index as usize;
+            (
+                SlotId { index, generation: self.generations[i] },
+                RunRow {
+                    job: self.jobs[i],
+                    event: self.events[i],
+                    end: self.ends[i],
+                    size: self.sizes[i],
+                    mask: self.masks[i],
+                },
+            )
+        })
+    }
+}
+
+/// Builds the cluster bitmask of a placement's assignment list.
+pub fn cluster_mask(assignments: &[(usize, u32)]) -> u64 {
+    assignments.iter().fold(0u64, |m, &(c, _)| m | (1u64 << c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(arena: &mut RunArena, job: u64, end: f64) -> SlotId {
+        arena.insert(JobId(job), EventId::for_tests(job), SimTime::new(end), 4, 0b1)
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut a = RunArena::new();
+        let s0 = slot(&mut a, 0, 10.0);
+        let s1 = slot(&mut a, 1, 20.0);
+        assert_eq!(a.len(), 2);
+        let row = a.remove(s0);
+        assert_eq!(row.job, JobId(0));
+        assert_eq!(row.end, SimTime::new(10.0));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.get(s1).job, JobId(1));
+    }
+
+    #[test]
+    fn slots_are_reused_with_fresh_generations() {
+        let mut a = RunArena::new();
+        let s0 = slot(&mut a, 0, 10.0);
+        a.remove(s0);
+        let s1 = slot(&mut a, 1, 20.0);
+        // Same physical slot, different generation.
+        assert_eq!(s0.index, s1.index);
+        assert_ne!(s0.generation, s1.generation);
+        assert_eq!(a.get(s1).job, JobId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "stale RunArena slot")]
+    fn stale_handle_panics() {
+        let mut a = RunArena::new();
+        let s0 = slot(&mut a, 0, 10.0);
+        a.remove(s0);
+        slot(&mut a, 1, 20.0);
+        a.get(s0);
+    }
+
+    #[test]
+    fn live_iteration_covers_exactly_the_running_set() {
+        let mut a = RunArena::new();
+        let handles: Vec<SlotId> = (0..10).map(|j| slot(&mut a, j, j as f64)).collect();
+        a.remove(handles[3]);
+        a.remove(handles[7]);
+        let mut jobs: Vec<u64> = a.iter().map(|(_, row)| row.job.0).collect();
+        jobs.sort_unstable();
+        assert_eq!(jobs, vec![0, 1, 2, 4, 5, 6, 8, 9]);
+        // Swap-removal keeps pos_in_live consistent: every handle still
+        // resolves to its own row.
+        for (_, row) in a.iter() {
+            assert_ne!(row.job.0, 3);
+            assert_ne!(row.job.0, 7);
+        }
+    }
+
+    #[test]
+    fn resize_slot_updates_hot_fields() {
+        let mut a = RunArena::new();
+        let s = slot(&mut a, 0, 10.0);
+        a.resize_slot(s, EventId::for_tests(99), SimTime::new(15.0), 8, 0b11);
+        let row = a.get(s);
+        assert_eq!(row.event, EventId::for_tests(99));
+        assert_eq!(row.end, SimTime::new(15.0));
+        assert_eq!(row.size, 8);
+        assert_eq!(row.mask, 0b11);
+    }
+
+    #[test]
+    fn cluster_mask_folds_assignments() {
+        assert_eq!(cluster_mask(&[(0, 4), (2, 4), (3, 2)]), 0b1101);
+        assert_eq!(cluster_mask(&[]), 0);
+    }
+}

@@ -2,6 +2,7 @@
 //! the validation rules tying them together.
 
 use coalloc_workload::{JobDisposition, QueueRouting, Workload};
+use desim::CalendarKind;
 
 use crate::fault::{FaultSpec, InterruptPolicy, ResizePolicy};
 use crate::placement::PlacementRule;
@@ -83,6 +84,11 @@ pub struct SimConfig {
     /// How malleable jobs may change shape while running (ignored for
     /// rigid and moldable dispositions).
     pub resize: ResizePolicy,
+    /// The future-event list the engine runs on. [`CalendarKind::Heap`]
+    /// (the default) reproduces historical runs byte for byte; both
+    /// calendars drain events identically, so results do not depend on
+    /// the choice — only throughput does.
+    pub calendar: CalendarKind,
 }
 
 impl SimConfig {
@@ -112,6 +118,7 @@ impl SimConfig {
             discipline: QueueDiscipline::Fcfs,
             estimate_factor: 2.0,
             resize: ResizePolicy::GrowAndShrink,
+            calendar: CalendarKind::Heap,
         }
     }
 
@@ -140,6 +147,7 @@ impl SimConfig {
             discipline: QueueDiscipline::Fcfs,
             estimate_factor: 2.0,
             resize: ResizePolicy::GrowAndShrink,
+            calendar: CalendarKind::Heap,
         }
     }
 
@@ -193,6 +201,7 @@ impl SimConfig {
             discipline: QueueDiscipline::Fcfs,
             estimate_factor: 2.0,
             resize: ResizePolicy::GrowAndShrink,
+            calendar: CalendarKind::Heap,
         }
     }
 

@@ -17,11 +17,13 @@
 //! `run_with_scheduler`) remain as deprecated shims over the builder and
 //! produce bit-identical outcomes.
 
+mod arena;
 mod config;
 mod outcome;
 mod session;
 mod warmup;
 
+pub use arena::{cluster_mask, RunArena, RunRow, SlotId};
 pub use config::{SimConfig, Warmup};
 pub use outcome::{OccupancyModel, SimOutcome};
 pub use session::{Session, SimBuilder};

@@ -7,16 +7,20 @@
 //! [`crate::sim`]).
 
 use coalloc_workload::{JobDisposition, JobRequest, JobSpec, RequestKind};
-use desim::{Duration, EventId, Exponential, RngStream, SimTime, Simulation, Variate};
+use desim::{
+    CalendarKind, CalendarQueue, Duration, EventCalendar, EventId, Exponential, HeapCalendar,
+    RngStream, SimTime, Simulation, Variate,
+};
 
 use crate::audit::{Interruption, NullObserver, PassTrigger, Resize, SimObserver};
 use crate::fault::{FaultKind, FaultSpec, InterruptPolicy, ResizePolicy};
 use crate::feed::{JobFeed, StochasticFeed, TraceFeed};
 use crate::job::{ActiveJob, JobId, JobTable, Placement};
 use crate::metrics::Metrics;
-use crate::policy::{PolicyOptions, Scheduler};
+use crate::policy::{PolicyKind, PolicyOptions, Scheduler};
 use crate::system::MultiCluster;
 
+use super::arena::{cluster_mask, RunArena, SlotId};
 use super::config::{SimConfig, Warmup};
 use super::outcome::{OccupancyModel, SimOutcome};
 use super::warmup::resolve_auto_warmup;
@@ -26,8 +30,10 @@ use super::warmup::resolve_auto_warmup;
 enum SimEvent {
     /// The next job arrives.
     Arrival,
-    /// A running job finishes and releases its processors.
-    Departure(JobId),
+    /// A running job finishes and releases its processors. The payload
+    /// carries the job's [`SlotId`] in the running-set arena, so the
+    /// departure path reads its hot fields without any lookup.
+    Departure(JobId, SlotId),
     /// A cluster fails; `remaining` of its processors stay usable.
     ClusterDown { cluster: usize, remaining: u32 },
     /// A failed cluster is repaired to full capacity.
@@ -193,36 +199,70 @@ impl<'a> SimBuilder<'a> {
         obs: &mut O,
     ) -> SimOutcome {
         self.cfg.validate();
-        let mut policy = match self.scheduler {
-            Some(policy) => policy,
-            None => {
-                let routing_rng = RngStream::new(self.cfg.seed).labelled("routing");
-                self.cfg.policy.build_with(
-                    &self.cfg.system,
-                    self.cfg.routing.clone(),
-                    routing_rng,
-                    self.cfg.rule,
-                    PolicyOptions {
-                        disposition: self.cfg.disposition,
-                        discipline: self.cfg.discipline,
-                        estimate_factor: self.cfg.estimate_factor,
-                        workload: self.cfg.workload.clone(),
-                    },
-                )
-            }
+        if let Some(mut policy) = self.scheduler {
+            return Session::new(self.cfg, feed, policy.as_mut(), obs, offered, self.model).run();
+        }
+        // No caller-supplied scheduler: build the policy's *concrete*
+        // type and monomorphize the event loop over it. The scheduler
+        // hooks run after every event, so keeping them direct calls
+        // (inlinable, unlike the `Box<dyn Scheduler>` escape hatch
+        // above) measurably raises events/s — see DESIGN.md and
+        // EXPERIMENTS.md (BENCH_2).
+        let cfg = self.cfg;
+        let routing_rng = RngStream::new(cfg.seed).labelled("routing");
+        let opts = PolicyOptions {
+            disposition: cfg.disposition,
+            discipline: cfg.discipline,
+            estimate_factor: cfg.estimate_factor,
+            workload: cfg.workload.clone(),
         };
-        Session::new(self.cfg, feed, policy.as_mut(), obs, offered, self.model).run()
+        let clusters = cfg.system.num_clusters();
+        let (routing, rule, model) = (cfg.routing.clone(), cfg.rule, self.model);
+        match cfg.policy {
+            PolicyKind::Gs => {
+                let mut s = crate::policy::GlobalScheduler::with_options(rule, opts);
+                Session::new(cfg, feed, &mut s, obs, offered, model).run()
+            }
+            PolicyKind::Ls => {
+                let mut s = crate::policy::LocalSchedulers::with_options(
+                    clusters,
+                    routing,
+                    routing_rng,
+                    rule,
+                    opts,
+                );
+                Session::new(cfg, feed, &mut s, obs, offered, model).run()
+            }
+            PolicyKind::Lp => {
+                let mut s = crate::policy::LocalPriority::with_options(
+                    clusters,
+                    routing,
+                    routing_rng,
+                    rule,
+                    opts,
+                );
+                Session::new(cfg, feed, &mut s, obs, offered, model).run()
+            }
+            PolicyKind::Sc => {
+                let mut s = crate::policy::single_cluster_policy_with(rule, opts);
+                Session::new(cfg, feed, &mut s, obs, offered, model).run()
+            }
+            PolicyKind::Gb => {
+                let mut s = crate::policy::GlobalBackfill::with_options(rule, opts);
+                Session::new(cfg, feed, &mut s, obs, offered, model).run()
+            }
+        }
     }
 }
 
 /// The growing-and-draining state of one run: the machine the event
 /// loop mutates. Split out of [`Session`] so arrivals, departures and
 /// scheduling passes each read as a focused step over named state.
-struct EngineState {
+struct EngineState<C: EventCalendar<SimEvent>> {
     system: MultiCluster,
     table: JobTable,
     metrics: Metrics,
-    sim: Simulation<SimEvent>,
+    sim: Simulation<SimEvent, C>,
     /// The spec of the next scheduled Arrival event.
     pending: Option<JobSpec>,
     /// Caller-owned scratch for the scheduling pass (see the Scheduler
@@ -233,11 +273,12 @@ struct EngineState {
     completed: u64,
     backlog_at_last_arrival: usize,
     peak_backlog: usize,
-    /// The scheduled departure event and departure time of each running
-    /// job, indexed by job id — the engine's running-job registry. A
-    /// cluster failure cancels the departures of its victims through
-    /// it; a malleable resize cancels and reschedules through it.
-    departures: Vec<Option<(EventId, SimTime)>>,
+    /// The engine's running-job registry: the hot fields (departure
+    /// event and time, size, cluster mask) of every running job in
+    /// struct-of-arrays form. A cluster failure scans it for victims in
+    /// `O(running)`; a malleable resize rewrites its slot through the
+    /// [`SlotId`] carried by the departure event.
+    running: RunArena,
     /// Fault-injection state; `None` unless the config enables faults.
     faults: Option<FaultState>,
 }
@@ -283,14 +324,25 @@ where
         Session { cfg, feed, scheduler, observer, offered, model }
     }
 
-    /// Runs the event loop to completion and reports the outcome.
-    pub fn run(mut self) -> SimOutcome {
-        let mut st = self.init();
+    /// Runs the event loop to completion and reports the outcome. The
+    /// config's [`CalendarKind`] picks the future-event calendar; each
+    /// choice monomorphizes its own copy of the loop, so the default
+    /// heap pays nothing for the option.
+    pub fn run(self) -> SimOutcome {
+        match self.cfg.calendar {
+            CalendarKind::Heap => self.run_on(HeapCalendar::new()),
+            CalendarKind::CalendarQueue => self.run_on(CalendarQueue::new()),
+        }
+    }
+
+    /// The event loop over a concrete calendar.
+    fn run_on<C: EventCalendar<SimEvent>>(mut self, calendar: C) -> SimOutcome {
+        let mut st = self.init(calendar);
         while let Some(ev) = st.sim.step() {
             let now = st.sim.now();
             let trigger = match ev.payload {
                 SimEvent::Arrival => self.arrival(&mut st, now),
-                SimEvent::Departure(id) => self.departure(&mut st, now, id),
+                SimEvent::Departure(id, slot) => self.departure(&mut st, now, id, slot),
                 SimEvent::ClusterDown { cluster, remaining } => {
                     self.cluster_down(&mut st, now, cluster, remaining)
                 }
@@ -303,7 +355,7 @@ where
     }
 
     /// Builds the engine state and primes the first arrival.
-    fn init(&mut self) -> EngineState {
+    fn init<C: EventCalendar<SimEvent>>(&mut self, calendar: C) -> EngineState<C> {
         let mut metrics =
             Metrics::new(self.cfg.capacity(), self.scheduler.num_queues(), self.cfg.batch_size);
         if self.cfg.record_series {
@@ -313,14 +365,14 @@ where
             system: MultiCluster::from_spec(&self.cfg.system),
             table: JobTable::with_capacity(self.cfg.total_jobs as usize),
             metrics,
-            sim: Simulation::new(),
+            sim: Simulation::with_calendar(calendar),
             pending: None,
             started: Vec::new(),
             generated: 0,
             completed: 0,
             backlog_at_last_arrival: 0,
             peak_backlog: 0,
-            departures: vec![None; self.cfg.total_jobs as usize],
+            running: RunArena::new(),
             faults: None,
         };
         if let Some((t, spec)) = self.feed.next_job() {
@@ -337,10 +389,10 @@ where
     /// the whole script for a [`FaultSpec::Trace`], or the first
     /// failure of each cluster for [`FaultSpec::Exponential`] (only
     /// while arrivals remain, so an empty feed stays an empty run).
-    fn prime_faults(
+    fn prime_faults<C: EventCalendar<SimEvent>>(
         &self,
         spec: &FaultSpec,
-        sim: &mut Simulation<SimEvent>,
+        sim: &mut Simulation<SimEvent, C>,
         has_arrivals: bool,
     ) -> FaultState {
         let driver = match spec {
@@ -375,7 +427,11 @@ where
 
     /// One arrival: route, record, enqueue, and draw the next arrival
     /// from the feed.
-    fn arrival(&mut self, st: &mut EngineState, now: SimTime) -> PassTrigger {
+    fn arrival<C: EventCalendar<SimEvent>>(
+        &mut self,
+        st: &mut EngineState<C>,
+        now: SimTime,
+    ) -> PassTrigger {
         st.generated += 1;
         let spec = st.pending.take().expect("an Arrival always has a pending spec");
         let queue = self.scheduler.route(&spec);
@@ -395,7 +451,15 @@ where
 
     /// One departure: release processors, measure the job (outside the
     /// warm-up window), and let the policy re-enable queues.
-    fn departure(&mut self, st: &mut EngineState, now: SimTime, id: JobId) -> PassTrigger {
+    fn departure<C: EventCalendar<SimEvent>>(
+        &mut self,
+        st: &mut EngineState<C>,
+        now: SimTime,
+        id: JobId,
+        slot: SlotId,
+    ) -> PassTrigger {
+        let row = st.running.remove(slot);
+        debug_assert_eq!(row.job, id, "departure event names its slot's tenant");
         // Borrow the placement out of the table for the release
         // (it stays the job's state); cloning it here would put
         // one heap round-trip on every departure.
@@ -403,9 +467,6 @@ where
         let placement = job.placement.as_ref().expect("departing job was started");
         st.system.release(placement);
         let released = placement.total();
-        if let Some(slot) = st.departures.get_mut(id.0 as usize) {
-            *slot = None;
-        }
         self.observer.on_completion(now, id, job);
         st.metrics.record_release(now, released);
         st.metrics.record_exit(now);
@@ -426,42 +487,34 @@ where
     /// [`InterruptPolicy`], the cluster is degraded to `remaining`
     /// usable processors, and — under the exponential driver — the
     /// repair is scheduled.
-    fn cluster_down(
+    fn cluster_down<C: EventCalendar<SimEvent>>(
         &mut self,
-        st: &mut EngineState,
+        st: &mut EngineState<C>,
         now: SimTime,
         cluster: usize,
         remaining: u32,
     ) -> PassTrigger {
-        // The departure registry doubles as the running-job index:
-        // every running job has a pending departure event.
-        let mut victims: Vec<JobId> = Vec::new();
-        for (idx, ev) in st.departures.iter().enumerate() {
-            if ev.is_none() {
-                continue;
-            }
-            let id = JobId(idx as u64);
-            let on_cluster = st
-                .table
-                .get(id)
-                .placement
-                .as_ref()
-                .is_some_and(|p| p.assignments().iter().any(|&(c, _)| c == cluster));
-            if on_cluster {
-                victims.push(id);
-            }
-        }
-        for &id in &victims {
+        // The arena's cluster masks answer "who runs here?" in
+        // O(running); sorted by job id to keep the victim order (and
+        // thus the run) independent of arena slot layout.
+        let mut victims: Vec<(JobId, SlotId)> = st
+            .running
+            .iter()
+            .filter(|&(_, row)| row.mask & (1u64 << cluster) != 0)
+            .map(|(slot, row)| (row.job, slot))
+            .collect();
+        victims.sort_unstable_by_key(|&(id, _)| id.0);
+        for &(id, slot) in &victims {
             // A malleable multi-component victim sheds only the failed
             // component and keeps running on its surviving clusters —
             // the `ShrinkOnly` half of every ResizePolicy.
             if self.cfg.disposition == JobDisposition::Malleable
-                && self.try_shrink(st, now, id, cluster)
+                && self.try_shrink(st, now, id, slot, cluster)
             {
                 continue;
             }
-            let (ev, _end) = st.departures[id.0 as usize].take().expect("victim was running");
-            let cancelled = st.sim.cancel(ev);
+            let row = st.running.remove(slot);
+            let cancelled = st.sim.cancel(row.event);
             debug_assert!(cancelled, "a running job's departure event was pending");
             let job = st.table.get_mut(id);
             let placement = job.placement.take().expect("victim was started");
@@ -504,7 +557,12 @@ where
     /// One cluster repair: full capacity returns, and — under the
     /// exponential driver, while arrivals remain — the next failure of
     /// this cluster is scheduled.
-    fn cluster_up(&mut self, st: &mut EngineState, now: SimTime, cluster: usize) -> PassTrigger {
+    fn cluster_up<C: EventCalendar<SimEvent>>(
+        &mut self,
+        st: &mut EngineState<C>,
+        now: SimTime,
+        cluster: usize,
+    ) -> PassTrigger {
         st.system.set_up(cluster);
         self.observer.on_cluster_up(now, cluster);
         st.metrics.record_outage_level(now, st.system.total_offline());
@@ -532,11 +590,12 @@ where
     /// Returns false (no shrink; the caller falls back to the kill
     /// path) for single-component placements, which have nothing to
     /// survive on.
-    fn try_shrink(
+    fn try_shrink<C: EventCalendar<SimEvent>>(
         &mut self,
-        st: &mut EngineState,
+        st: &mut EngineState<C>,
         now: SimTime,
         id: JobId,
+        slot: SlotId,
         cluster: usize,
     ) -> bool {
         let job = st.table.get(id);
@@ -544,7 +603,7 @@ where
         if old.assignments().len() < 2 {
             return false;
         }
-        let (ev, old_end) = st.departures[id.0 as usize].expect("victim was running");
+        let old_end = st.running.get(slot).end;
         let surviving: Vec<(usize, u32)> =
             old.assignments().iter().copied().filter(|&(c, _)| c != cluster).collect();
         debug_assert!(!surviving.is_empty(), "multi-component victim keeps >=1 component");
@@ -558,10 +617,10 @@ where
         st.system.release(&old);
         st.system.apply(&new);
         st.metrics.record_release(now, old.total() - new.total());
-        let cancelled = st.sim.cancel(ev);
+        let cancelled = st.sim.cancel(st.running.get(slot).event);
         debug_assert!(cancelled, "a running job's departure event was pending");
-        let ev = st.sim.schedule_at(new_end, SimEvent::Departure(id));
-        st.departures[id.0 as usize] = Some((ev, new_end));
+        let ev = st.sim.schedule_at(new_end, SimEvent::Departure(id, slot));
+        st.running.resize_slot(slot, ev, new_end, new.total(), cluster_mask(new.assignments()));
         st.table.get_mut(id).placement = Some(new.clone());
         self.scheduler.job_resized(now, id, &new);
         let resize = Resize { id, from: &old, to: &new, old_end, new_end };
@@ -576,18 +635,20 @@ where
     /// its own cluster — the span (and thus the wide-area extension) is
     /// unchanged — and its departure moves forward conserving the
     /// remaining work.
-    fn maybe_grow(&mut self, st: &mut EngineState, now: SimTime) {
-        let mut best: Option<(SimTime, JobId)> = None;
-        for (idx, slot) in st.departures.iter().enumerate() {
-            if let Some((_, end)) = slot {
-                // Ascending-id iteration + strict comparison: the
-                // smallest id wins ties.
-                if best.is_none_or(|(bend, _)| *end > bend) {
-                    best = Some((*end, JobId(idx as u64)));
-                }
+    fn maybe_grow<C: EventCalendar<SimEvent>>(&mut self, st: &mut EngineState<C>, now: SimTime) {
+        // Latest departure wins, ties to the smallest job id — the
+        // explicit tie-break keeps the choice independent of arena
+        // slot order (the old registry scanned ids ascending).
+        let mut best: Option<(SimTime, JobId, SlotId)> = None;
+        for (slot, row) in st.running.iter() {
+            let better = best.is_none_or(|(bend, bid, _)| {
+                row.end > bend || (row.end == bend && row.job.0 < bid.0)
+            });
+            if better {
+                best = Some((row.end, row.job, slot));
             }
         }
-        let Some((old_end, id)) = best else { return };
+        let Some((old_end, id, slot)) = best else { return };
         let old = st.table.get(id).placement.clone().expect("registry lists running jobs");
         let limit = self.cfg.workload.limit;
         let mut grown = Vec::with_capacity(old.assignments().len());
@@ -608,11 +669,10 @@ where
         let new_end = now + Duration::new((old_end - now).seconds() * old_total / new_total);
         st.system.apply(&Placement::new(extras));
         st.metrics.record_allocate(now, new.total() - old.total());
-        let (ev, _) = st.departures[id.0 as usize].take().expect("candidate is running");
-        let cancelled = st.sim.cancel(ev);
+        let cancelled = st.sim.cancel(st.running.get(slot).event);
         debug_assert!(cancelled, "a running job's departure event was pending");
-        let ev = st.sim.schedule_at(new_end, SimEvent::Departure(id));
-        st.departures[id.0 as usize] = Some((ev, new_end));
+        let ev = st.sim.schedule_at(new_end, SimEvent::Departure(id, slot));
+        st.running.resize_slot(slot, ev, new_end, new.total(), cluster_mask(new.assignments()));
         st.table.get_mut(id).placement = Some(new.clone());
         self.scheduler.job_resized(now, id, &new);
         let resize = Resize { id, from: &old, to: &new, old_end, new_end };
@@ -626,9 +686,9 @@ where
     /// adopted only when its largest component fits the largest
     /// surviving effective capacity; otherwise the job keeps its
     /// request and waits for the repair.
-    fn maybe_resplit(
+    fn maybe_resplit<C: EventCalendar<SimEvent>>(
         &self,
-        st: &mut EngineState,
+        st: &mut EngineState<C>,
         id: JobId,
         cluster: usize,
         remaining: u32,
@@ -675,7 +735,12 @@ where
 
     /// One scheduling pass: start everything that fits, schedule the
     /// departures of the started jobs, and track the backlog.
-    fn pass(&mut self, st: &mut EngineState, now: SimTime, trigger: PassTrigger) {
+    fn pass<C: EventCalendar<SimEvent>>(
+        &mut self,
+        st: &mut EngineState<C>,
+        now: SimTime,
+        trigger: PassTrigger,
+    ) {
         self.observer.on_pass(now, trigger);
         st.started.clear();
         self.scheduler.schedule_into(
@@ -690,15 +755,17 @@ where
             let job = st.table.get(id);
             let occupancy: Duration = self.model.occupancy(job, &self.cfg.workload);
             let procs = job.spec.request.total();
+            let mask =
+                cluster_mask(job.placement.as_ref().expect("started job was placed").assignments());
             self.observer.on_start(now, id, job, occupancy);
             st.metrics.record_allocate(now, procs);
             let end = now + occupancy;
-            let ev = st.sim.schedule_at(end, SimEvent::Departure(id));
-            let idx = id.0 as usize;
-            if idx >= st.departures.len() {
-                st.departures.resize(idx + 1, None);
-            }
-            st.departures[idx] = Some((ev, end));
+            // The departure event carries its slot, and the slot stores
+            // its event: claim the slot first with a placeholder, then
+            // patch the real event id in.
+            let slot = st.running.insert(id, EventId::from_raw(u64::MAX), end, procs, mask);
+            let ev = st.sim.schedule_at(end, SimEvent::Departure(id, slot));
+            st.running.set_event(slot, ev);
         }
         // A departure that leaves the queues empty hands the freed
         // processors to a running malleable job (the grow half of
@@ -721,7 +788,7 @@ where
     }
 
     /// Ends the run: final observer hook, saturation heuristic, report.
-    fn finish(self, mut st: EngineState) -> SimOutcome {
+    fn finish<C: EventCalendar<SimEvent>>(self, mut st: EngineState<C>) -> SimOutcome {
         let now = st.sim.now();
         self.observer.on_run_end(now);
         let residual = self.scheduler.queued();
@@ -888,6 +955,27 @@ mod tests {
             m.gross_utilization,
             m.net_utilization
         );
+    }
+
+    #[test]
+    fn calendar_queue_run_is_byte_identical_to_heap() {
+        // The hardest event pattern the engine produces: exponential
+        // faults (cancellations + out-of-band failure/repair events) on
+        // top of a backfilling policy (departure-time lookahead), with
+        // malleable jobs resizing mid-run. The calendar choice must not
+        // leak into the outcome at all — not even in the last bit.
+        use crate::fault::FaultSpec;
+        use desim::CalendarKind;
+        let mut cfg = quick(PolicyKind::Gb, 16, 0.5);
+        cfg.discipline = crate::queue::QueueDiscipline::Easy;
+        cfg.faults = Some(FaultSpec::Exponential { mttf: 40_000.0, mttr: 500.0 });
+        let heap = run(&cfg);
+        cfg.calendar = CalendarKind::CalendarQueue;
+        let cq = run(&cfg);
+        assert!(heap.metrics.interruptions > 0, "faults must actually fire");
+        let heap_json = serde_json::to_string(&heap).expect("serializable");
+        let cq_json = serde_json::to_string(&cq).expect("serializable");
+        assert_eq!(heap_json, cq_json, "calendar choice changed the outcome");
     }
 
     #[test]

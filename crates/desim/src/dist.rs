@@ -362,7 +362,15 @@ pub struct EmpiricalContinuous {
     edges: Vec<f64>,
     /// Cumulative probability at each edge, `cum[0] = 0`, `cum[n] = 1`.
     cum: Vec<f64>,
+    /// Quantile accelerator: `lookup[k]` is the last bin index `i` with
+    /// `cum[i] <= k / LOOKUP_BINS` (clamped to the last bin), so
+    /// [`Self::quantile`] starts its scan at most a few bins below the
+    /// answer instead of binary-searching the whole CDF on every draw.
+    lookup: Vec<u32>,
 }
+
+/// Resolution of the [`EmpiricalContinuous`] quantile lookup table.
+const LOOKUP_BINS: usize = 256;
 
 impl EmpiricalContinuous {
     /// Builds the distribution from histogram bins: `edges` are the `n+1`
@@ -387,17 +395,35 @@ impl EmpiricalContinuous {
         }
         // Clamp the tail against floating-point drift.
         *cum.last_mut().expect("nonempty") = 1.0;
-        EmpiricalContinuous { edges: edges.to_vec(), cum }
+        let last = edges.len() - 2;
+        let mut lookup = Vec::with_capacity(LOOKUP_BINS);
+        let mut i = 0usize;
+        for k in 0..LOOKUP_BINS {
+            let u = k as f64 / LOOKUP_BINS as f64;
+            while i + 1 < cum.len() && cum[i + 1] <= u {
+                i += 1;
+            }
+            lookup.push(i.min(last) as u32);
+        }
+        EmpiricalContinuous { edges: edges.to_vec(), cum, lookup }
     }
 
     /// Inverse-CDF evaluation at `u ∈ [0,1]`.
+    ///
+    /// The bin holding `u` is the partition point (last `i` with
+    /// `cum[i] <= u`, clamped to the last bin): the lookup table gives a
+    /// lower bound and a short forward scan finishes. On flat CDF
+    /// segments (`cum[i] == cum[i+1]`, i.e. zero-weight bins) this lands
+    /// on the *last* edge of the flat run; since `u == cum[i]` there, the
+    /// interpolation below degenerates to that edge either way.
     pub fn quantile(&self, u: f64) -> f64 {
         let u = u.clamp(0.0, 1.0);
-        // Find the bin with cum[i] <= u <= cum[i+1].
-        let i = match self.cum.binary_search_by(|c| c.partial_cmp(&u).expect("cum is never NaN")) {
-            Ok(i) => i.min(self.edges.len() - 2),
-            Err(i) => i.saturating_sub(1).min(self.edges.len() - 2),
-        };
+        let last = self.edges.len() - 2;
+        let k = ((u * LOOKUP_BINS as f64) as usize).min(LOOKUP_BINS - 1);
+        let mut i = self.lookup[k] as usize;
+        while i < last && self.cum[i + 1] <= u {
+            i += 1;
+        }
         let (c0, c1) = (self.cum[i], self.cum[i + 1]);
         let (e0, e1) = (self.edges[i], self.edges[i + 1]);
         if c1 > c0 {

@@ -36,7 +36,7 @@ pub mod stopping;
 pub mod time;
 pub mod warmup;
 
-pub use calendar::{CalendarQueue, EventCalendar, HeapCalendar};
+pub use calendar::{CalendarKind, CalendarProbes, CalendarQueue, EventCalendar, HeapCalendar};
 pub use dist::{
     Deterministic, EmpiricalContinuous, EmpiricalDiscrete, Erlang, Exponential, HyperExponential,
     Uniform, Variate,

@@ -30,7 +30,11 @@ impl SimTime {
     pub fn new(seconds: f64) -> Self {
         assert!(!seconds.is_nan(), "SimTime cannot be NaN");
         assert!(seconds >= 0.0, "SimTime cannot be negative: {seconds}");
-        SimTime(seconds)
+        // `+ 0.0` normalizes an incoming -0.0 (which passes the `>= 0.0`
+        // gate) to +0.0 and is the identity on everything else, so the
+        // bitwise total order used by `Ord` below agrees with numeric
+        // comparison on every constructible SimTime.
+        SimTime(seconds + 0.0)
     }
 
     /// The raw number of seconds.
@@ -61,8 +65,11 @@ impl Eq for SimTime {}
 impl Ord for SimTime {
     #[inline]
     fn cmp(&self, other: &Self) -> core::cmp::Ordering {
-        // Construction guarantees the value is never NaN.
-        self.partial_cmp(other).expect("SimTime is never NaN")
+        // Construction guarantees non-NaN, non-negative (with -0.0
+        // normalized away), so the branch-free bitwise total order is
+        // numeric order. This comparison runs on every future-event-list
+        // sift, which is why it avoids `partial_cmp().expect(..)`.
+        self.0.total_cmp(&other.0)
     }
 }
 

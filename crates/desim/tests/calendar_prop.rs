@@ -13,6 +13,8 @@ enum Op {
     Cancel(usize),
     /// Pop the earliest event.
     Pop,
+    /// Peek at the earliest event's time without removing it.
+    Peek,
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -20,6 +22,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         4 => (0.0f64..1000.0).prop_map(Op::Insert),
         1 => any::<usize>().prop_map(Op::Cancel),
         2 => Just(Op::Pop),
+        1 => Just(Op::Peek),
     ]
 }
 
@@ -52,6 +55,10 @@ fn run<C: EventCalendar<u64>>(mut cal: C, ops: &[Op]) -> Vec<(u64, Option<(f64, 
                     last_popped = e.time.seconds();
                     (e.time.seconds(), e.id.raw())
                 });
+                trace.push((cal.len() as u64, got));
+            }
+            Op::Peek => {
+                let got = cal.peek_time().map(|t| (t.seconds(), 0));
                 trace.push((cal.len() as u64, got));
             }
         }
@@ -99,12 +106,14 @@ proptest! {
         let mut ids = Vec::new();
         let mut live = 0usize;
         let mut next = 0u64;
+        let mut last_popped = 0.0f64;
         for op in &ops {
             match op {
                 Op::Insert(t) => {
                     let id = EventId::for_tests(next);
                     ids.push(id);
-                    cal.insert(Event { time: SimTime::new(*t), id, payload: next });
+                    // Honor the engine's contract: never schedule into the past.
+                    cal.insert(Event { time: SimTime::new(last_popped + *t), id, payload: next });
                     next += 1;
                     live += 1;
                 }
@@ -117,9 +126,13 @@ proptest! {
                     }
                 }
                 Op::Pop => {
-                    if cal.pop().is_some() {
+                    if let Some(e) = cal.pop() {
+                        last_popped = e.time.seconds();
                         live -= 1;
                     }
+                }
+                Op::Peek => {
+                    let _ = cal.peek_time();
                 }
             }
             prop_assert_eq!(cal.len(), live);

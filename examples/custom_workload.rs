@@ -48,6 +48,7 @@ fn main() {
             discipline: coalloc::core::QueueDiscipline::Fcfs,
             estimate_factor: 2.0,
             resize: coalloc::core::ResizePolicy::GrowAndShrink,
+            calendar: coalloc::desim::CalendarKind::Heap,
         };
         let out = SimBuilder::new(&cfg).run();
         let exact = mmc_mean_response(lambda, 1.0 / mean_service, c);

@@ -25,6 +25,7 @@
 use std::time::Instant;
 
 use coalloc_core::{PolicyKind, SimBuilder, SimConfig};
+use desim::CalendarKind;
 
 /// How large the measured runs are.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,6 +67,10 @@ impl BenchScale {
 pub struct PolicyBench {
     /// Policy label (GS/LS/LP/SC).
     pub policy: String,
+    /// Event-calendar label (`heap` or `cq`). Reports from before the
+    /// calendar became selectable (BENCH_0/BENCH_1) lack this field;
+    /// every run they record used the heap.
+    pub calendar: String,
     /// Master seed of every rep.
     pub seed: u64,
     /// Arrivals generated per run.
@@ -113,36 +118,42 @@ pub fn bench_config(policy: PolicyKind, jobs: u64) -> SimConfig {
     cfg
 }
 
-/// Runs the harness at the given scale.
-pub fn run_bench(scale: BenchScale) -> BenchReport {
+/// Runs the harness at the given scale over the given calendars, in
+/// policy-major order (each policy's calendars are adjacent, so the
+/// `mean_response` checksum comparison reads off the report directly).
+pub fn run_bench_calendars(scale: BenchScale, calendars: &[CalendarKind]) -> BenchReport {
     let jobs = scale.jobs();
     let reps = scale.reps();
     let mut results = Vec::new();
     for policy in [PolicyKind::Gs, PolicyKind::Ls, PolicyKind::Lp, PolicyKind::Sc] {
-        let cfg = bench_config(policy, jobs);
-        let mut best = f64::INFINITY;
-        let mut total = 0.0;
-        let mut events = 0;
-        let mut mean_response = 0.0;
-        for _ in 0..reps {
-            let start = Instant::now();
-            let out = SimBuilder::new(&cfg).run();
-            let wall = start.elapsed().as_secs_f64();
-            events = out.arrivals + out.completed;
-            mean_response = out.metrics.mean_response;
-            best = best.min(wall);
-            total += wall;
+        for &calendar in calendars {
+            let mut cfg = bench_config(policy, jobs);
+            cfg.calendar = calendar;
+            let mut best = f64::INFINITY;
+            let mut total = 0.0;
+            let mut events = 0;
+            let mut mean_response = 0.0;
+            for _ in 0..reps {
+                let start = Instant::now();
+                let out = SimBuilder::new(&cfg).run();
+                let wall = start.elapsed().as_secs_f64();
+                events = out.arrivals + out.completed;
+                mean_response = out.metrics.mean_response;
+                best = best.min(wall);
+                total += wall;
+            }
+            results.push(PolicyBench {
+                policy: policy.label().to_string(),
+                calendar: calendar.label().to_string(),
+                seed: cfg.seed,
+                jobs,
+                events,
+                best_wall_seconds: best,
+                mean_wall_seconds: total / f64::from(reps),
+                events_per_sec: events as f64 / best,
+                mean_response,
+            });
         }
-        results.push(PolicyBench {
-            policy: policy.label().to_string(),
-            seed: cfg.seed,
-            jobs,
-            events,
-            best_wall_seconds: best,
-            mean_wall_seconds: total / f64::from(reps),
-            events_per_sec: events as f64 / best,
-            mean_response,
-        });
     }
     BenchReport {
         schema: "coalloc-bench/1".to_string(),
@@ -151,6 +162,11 @@ pub fn run_bench(scale: BenchScale) -> BenchReport {
         results,
         peak_rss_bytes: peak_rss_bytes(),
     }
+}
+
+/// Runs the harness at the given scale under the default heap calendar.
+pub fn run_bench(scale: BenchScale) -> BenchReport {
+    run_bench_calendars(scale, &[CalendarKind::Heap])
 }
 
 /// Peak resident set size of this process in bytes, from
@@ -232,6 +248,7 @@ mod tests {
             let wall = start.elapsed().as_secs_f64().max(1e-9);
             results.push(PolicyBench {
                 policy: policy.label().to_string(),
+                calendar: "heap".to_string(),
                 seed: cfg.seed,
                 jobs: 300,
                 events: out.arrivals + out.completed,

@@ -44,7 +44,7 @@ fn usage() -> ExitCode {
          \x20              [--disposition rigid|moldable|malleable]\n\
          \x20              [--queue-discipline fcfs|easy|conservative]\n\
          \x20              [--estimate-factor X]   (adaptive sweep, stats table)\n\
-         \x20        bench [--quick|--full] [--out <dir>]   (throughput -> BENCH_<n>.json)\n\
+         \x20        bench [--quick|--full] [--calendar heap|cq|both] [--out <dir>]   (throughput -> BENCH_<n>.json)\n\
          fault specs: exp:MTTF:MTTR or down:T:K[:R],up:T:K,..."
     );
     ExitCode::from(2)
@@ -377,19 +377,27 @@ fn sweep_cmd(args: &[String], scale: Scale) -> Result<ExitCode, CoallocError> {
 /// Runs the fixed-seed throughput harness and appends the next
 /// `BENCH_<n>.json` (see `coalloc::bench` for the methodology).
 fn bench(args: &[String]) -> Result<ExitCode, CoallocError> {
-    use coalloc::bench::{next_bench_path, run_bench, BenchScale};
+    use coalloc::bench::{next_bench_path, run_bench_calendars, BenchScale};
+    use coalloc::desim::CalendarKind;
     let scale =
         if args.iter().any(|a| a == "--full") { BenchScale::Full } else { BenchScale::Quick };
+    let calendars: Vec<CalendarKind> = match flag_value(args, "--calendar")? {
+        None | Some("both") => vec![CalendarKind::Heap, CalendarKind::CalendarQueue],
+        Some(s) => match CalendarKind::parse(s) {
+            Some(kind) => vec![kind],
+            None => return Err(CoallocError::invalid("--calendar", s, "heap, cq or both")),
+        },
+    };
     let out_dir = flag_value(args, "--out")?
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| std::path::PathBuf::from("."));
     std::fs::create_dir_all(&out_dir)
         .map_err(|e| CoallocError::io(format!("creating {}", out_dir.display()), e))?;
-    let report = run_bench(scale);
+    let report = run_bench_calendars(scale, &calendars);
     for r in &report.results {
         eprintln!(
-            "{:<3} {:>9} events  best {:>7.3} s  {:>12.0} events/s",
-            r.policy, r.events, r.best_wall_seconds, r.events_per_sec
+            "{:<3} {:<4} {:>9} events  best {:>7.3} s  {:>12.0} events/s",
+            r.policy, r.calendar, r.events, r.best_wall_seconds, r.events_per_sec
         );
     }
     eprintln!("peak RSS: {:.1} MiB", report.peak_rss_bytes as f64 / (1024.0 * 1024.0));

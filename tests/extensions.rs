@@ -99,6 +99,7 @@ fn heterogeneous_five_cluster_system() {
         discipline: coalloc::core::QueueDiscipline::Fcfs,
         estimate_factor: 2.0,
         resize: coalloc::core::ResizePolicy::GrowAndShrink,
+        calendar: coalloc::desim::CalendarKind::Heap,
     };
     let out = SimBuilder::new(&cfg).run();
     assert!(!out.saturated, "five-cluster DAS2 at 0.45 must be stable");
