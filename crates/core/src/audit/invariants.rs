@@ -10,7 +10,7 @@ use crate::job::{ActiveJob, JobId, Placement, SubmitQueue};
 use crate::placement::{place_scoped, PlacementRule};
 use crate::policy::{estimated_occupancy, replay_shadow};
 use crate::queue::QueueDiscipline;
-use crate::sim::SimConfig;
+use crate::sim::{cluster_mask, network, NetworkSpec, SimConfig};
 use crate::system::SystemSpec;
 
 use super::{PlacementDecision, PlacementScope, Resize, SimObserver};
@@ -18,6 +18,13 @@ use super::{PlacementDecision, PlacementScope, Resize, SimObserver};
 /// Relative tolerance for time/occupancy comparisons; far below any
 /// real discrepancy (a mis-applied 1.25 extension is a 25% error).
 const TOL: f64 = 1e-9;
+
+/// Relative tolerance for the mirrored-flow checks under a bandwidth-
+/// sharing network model. The auditor accrues progress eagerly at every
+/// observed event while the engine accrues lazily, so the two disagree
+/// by accumulated rounding (ulps per rebalance) rather than exactly —
+/// still six orders of magnitude below a mis-applied extension.
+const NET_TOL: f64 = 1e-6;
 
 /// How many violations are kept verbatim; the total count keeps
 /// growing so a flood is still visible.
@@ -71,11 +78,20 @@ pub enum ViolationKind {
     /// reservation time had passed: backfilled jobs starved the head
     /// beyond the bound the discipline promised.
     BackfillStarvation,
-    /// A malleable resize did not conserve the job's remaining work:
-    /// `(old_end − now)·old_processors` differs from
-    /// `(new_end − now)·new_processors`, or the resize released a
-    /// placement the job did not hold.
+    /// A malleable resize did not conserve the job's remaining *base*
+    /// work: `(old_end − now)·old_processors/f_old` differs from
+    /// `(new_end − now)·new_processors/f_new` (where `f` is the
+    /// wide-area extension factor for the clusters spanned on each
+    /// side — a span-changing resize must re-derive its extension), or
+    /// the resize released a placement the job did not hold.
     ResizeConservation,
+    /// Under a bandwidth-sharing network model
+    /// ([`crate::OccupancyModel::Network`]), a multi-cluster job's
+    /// gross work was not conserved: the departure or resize time the
+    /// engine scheduled disagrees with the auditor's independently
+    /// mirrored max-min fair flow rates — work was created, destroyed,
+    /// or an extension applied other than exactly once along the way.
+    WorkConservation,
 }
 
 impl core::fmt::Display for ViolationKind {
@@ -134,6 +150,27 @@ struct JobInfo {
     est_end: f64,
 }
 
+/// The auditor's independent mirror of one wide-area flow under a
+/// bandwidth-sharing network model: the remaining *base* work and the
+/// current stretch (extension factor inflated by bandwidth contention),
+/// accrued eagerly at every observed flow-set change. The engine keeps
+/// the same state lazily; both accruals are exact for piecewise-
+/// constant rates, so they agree to rounding.
+#[derive(Clone, Debug)]
+struct MirrorFlow {
+    id: u64,
+    /// Bitmask of the clusters the job spans (the flow's endpoints).
+    mask: u64,
+    /// The nominal wide-area extension factor for the job's span.
+    factor: f64,
+    /// Remaining base service seconds.
+    remaining: f64,
+    /// Current slowdown: wall seconds per remaining base second.
+    stretch: f64,
+    /// When `remaining` was last accrued.
+    since: f64,
+}
+
 /// An observer that checks, at every event, that the simulation obeys
 /// the paper's rules (see [`ViolationKind`] for the list). It keeps its
 /// own idle-processor ledger and waiting-queue mirror, so a buggy
@@ -171,6 +208,14 @@ pub struct InvariantAuditor {
     waiting_local: Vec<VecDeque<u64>>,
     waiting_global: VecDeque<u64>,
     jobs: Vec<Option<JobInfo>>,
+    /// The bandwidth-sharing model the run declared, if any. A
+    /// *contended* (finite-capacity) network arms the mirrored-flow
+    /// work-conservation checks and disarms the nominal held-interval,
+    /// resize-conservation, and starvation bounds for the jobs the
+    /// network stretches (their timing is load-dependent by design).
+    network: Option<NetworkSpec>,
+    /// Mirrored wide-area flows of the running multi-cluster jobs.
+    flows: Vec<MirrorFlow>,
     last_t: f64,
     violations: Vec<Violation>,
     total: usize,
@@ -207,6 +252,7 @@ impl InvariantAuditor {
                 | crate::policy::PolicyKind::Sc
                 | crate::policy::PolicyKind::Gb
         );
+        auditor.network = cfg.network;
         auditor
     }
 
@@ -233,6 +279,8 @@ impl InvariantAuditor {
             waiting_local: vec![VecDeque::new(); clusters],
             waiting_global: VecDeque::new(),
             jobs: Vec::new(),
+            network: None,
+            flows: Vec::new(),
             last_t: f64::NEG_INFINITY,
             violations: Vec::new(),
             total: 0,
@@ -252,6 +300,15 @@ impl InvariantAuditor {
             discipline.backfills() && estimate_factor >= 1.0 && estimate_factor.is_finite();
         self.discipline = discipline;
         self.estimate_factor = estimate_factor;
+        self
+    }
+
+    /// Declares the run's bandwidth-sharing network model (for
+    /// harnesses that build the auditor from parts;
+    /// [`InvariantAuditor::new`] picks it up from the configuration).
+    #[must_use]
+    pub fn with_network(mut self, spec: NetworkSpec) -> Self {
+        self.network = Some(spec);
         self
     }
 
@@ -447,11 +504,57 @@ impl InvariantAuditor {
             );
         }
         if self.starvation_armed
+            && !self.net_contended()
             && bound.is_finite()
             && !self.head_watch.iter().any(|&(q, h, _)| q == queue && h == head)
         {
             self.head_watch.push((queue, head, bound));
         }
+    }
+
+    /// Whether a *contended* bandwidth-sharing network is in play — an
+    /// uncontended (infinite-capacity) one collapses onto the faithful
+    /// model, so every nominal check stays armed.
+    fn net_contended(&self) -> bool {
+        self.network.is_some_and(|n| !n.is_uncontended())
+    }
+
+    /// Accrues every mirrored flow's remaining base work up to `t` at
+    /// its current stretch. Exact between flow-set changes (the rates
+    /// are piecewise constant), so eager accrual here matches the
+    /// engine's lazy accrual to rounding.
+    fn accrue_flows(&mut self, t: f64) {
+        for flow in &mut self.flows {
+            let dt = t - flow.since;
+            if dt > 0.0 {
+                // Deliberately unclamped: a job held past its work
+                // running dry shows up as negative remaining at
+                // completion rather than being silently absorbed.
+                flow.remaining -= dt / flow.stretch;
+            }
+            flow.since = t;
+        }
+    }
+
+    /// Recomputes every mirrored flow's stretch from the max-min fair
+    /// shares of the current flow set.
+    fn rebalance_flows(&mut self) {
+        let Some(net) = self.network else { return };
+        let masks: Vec<u64> = self.flows.iter().map(|f| f.mask).collect();
+        let shares = net.shares(&masks);
+        for (flow, share) in self.flows.iter_mut().zip(shares) {
+            flow.stretch = network::stretch(flow.factor, share);
+        }
+    }
+
+    /// Drops the mirrored flow of `id` (job completed, killed, or
+    /// shrunk out of the wide area) and rebalances the survivors.
+    fn remove_flow(&mut self, t: f64, id: u64) -> Option<MirrorFlow> {
+        let pos = self.flows.iter().position(|f| f.id == id)?;
+        self.accrue_flows(t);
+        let flow = self.flows.swap_remove(pos);
+        self.rebalance_flows();
+        Some(flow)
     }
 }
 
@@ -804,7 +907,9 @@ impl SimObserver for InvariantAuditor {
             return; // span is meaningless without a placement
         }
         // The wide-area extension applies exactly once, and only to the
-        // clusters the job actually spans (§2.4).
+        // clusters the job actually spans (§2.4). Under a network model
+        // this is still the *nominal* occupancy the engine announces —
+        // contention reshapes the departure later, not the start.
         let factor = self.workload.extension_factor(span);
         let expected = base * factor;
         if (occ - expected).abs() > TOL * expected.max(1.0) {
@@ -816,6 +921,25 @@ impl SimObserver for InvariantAuditor {
                     "occupancy {occ} but base {base} × factor {factor} (span {span}) = {expected}"
                 ),
             );
+        }
+        // A multi-cluster job opens a wide-area flow: mirror it, with
+        // the full base service ahead of it at the nominal stretch.
+        if span >= 2 && self.net_contended() {
+            let mask = self
+                .jobs
+                .get(id.0 as usize)
+                .and_then(Option::as_ref)
+                .map_or(0, |info| cluster_mask(&info.assignments));
+            self.accrue_flows(t);
+            self.flows.push(MirrorFlow {
+                id: id.0,
+                mask,
+                factor,
+                remaining: base,
+                stretch: factor,
+                since: t,
+            });
+            self.rebalance_flows();
         }
     }
 
@@ -842,13 +966,34 @@ impl SimObserver for InvariantAuditor {
             );
         }
         let held = t - start;
-        if state == JobState::Running && (held - occ).abs() > TOL * occ.max(1.0) {
-            self.violation(
-                ViolationKind::ExtensionMismatch,
-                t,
-                Some(id.0),
-                format!("held processors for {held}, occupancy was {occ}"),
-            );
+        if state == JobState::Running {
+            if let Some(flow) = self.remove_flow(t, id.0) {
+                // The generalized check: under bandwidth sharing the
+                // held interval is load-dependent, but integrating the
+                // mirrored flow's rate over it must consume exactly the
+                // job's base work — gross-work conservation, of which
+                // "extension applied exactly once" is the uncontended
+                // special case.
+                let residual = flow.remaining;
+                if residual.abs() > NET_TOL * occ.max(1.0) {
+                    self.violation(
+                        ViolationKind::WorkConservation,
+                        t,
+                        Some(id.0),
+                        format!(
+                            "departed with {residual} base seconds unaccounted for at the \
+                             mirrored flow rates (held {held}, nominal occupancy {occ})"
+                        ),
+                    );
+                }
+            } else if (held - occ).abs() > TOL * occ.max(1.0) {
+                self.violation(
+                    ViolationKind::ExtensionMismatch,
+                    t,
+                    Some(id.0),
+                    format!("held processors for {held}, occupancy was {occ}"),
+                );
+            }
         }
         for (c, p) in assignments {
             // Releases are bounded by the *effective* capacity: while a
@@ -995,6 +1140,9 @@ impl SimObserver for InvariantAuditor {
                 self.violation(ViolationKind::InterruptAccountingError, t, Some(id.0), detail);
             }
         }
+        // An interrupted job stops computing: its wide-area flow (if
+        // the network model mirrors one) closes with it.
+        self.remove_flow(t, id.0);
         // The victim's fate: back into the queue mirror (possibly with
         // a re-split request), or out of the system entirely.
         if let Some(slot) = self.jobs.get_mut(id.0 as usize).and_then(Option::as_mut) {
@@ -1180,40 +1328,81 @@ impl SimObserver for InvariantAuditor {
                 self.violation(ViolationKind::CapacityExceeded, t, Some(id.0), detail);
             }
         }
-        // Processor-seconds conservation: the remaining work is
-        // invariant across the resize. The engine derives the new end as
-        // `t + work/new_total`, so recovering the work multiplies one
-        // rounding ulp of the (large) clock value by the processor
-        // count — the tolerance must cover that magnitude, not just the
-        // (possibly tiny) remaining work itself.
-        let old_work = (resize.old_end.seconds() - t) * f64::from(resize.from.total());
-        let new_work = (resize.new_end.seconds() - t) * f64::from(resize.to.total());
-        let ulp_work = f64::EPSILON
-            * resize.new_end.seconds().abs().max(resize.old_end.seconds().abs())
-            * f64::from(resize.to.total().max(resize.from.total()));
-        if resize.new_end.seconds() < t - TOL
-            || (old_work - new_work).abs() > TOL * old_work.abs().max(1.0) + 4.0 * ulp_work
-        {
-            self.violation(
-                ViolationKind::ResizeConservation,
-                t,
-                Some(id.0),
-                format!(
-                    "remaining work changed: {old_work} processor-seconds released, \
-                     {new_work} rescheduled"
-                ),
-            );
-        }
-        // Mirror the new placement; the held-interval and estimate
-        // checks follow the rescheduled departure from here on.
         let old_total = f64::from(resize.from.total());
         let new_total = f64::from(resize.to.total());
+        let f_old = self.workload.extension_factor(resize.from.assignments().len());
+        let f_new = self.workload.extension_factor(to_clusters.len());
+        if self.net_contended() && self.flows.iter().any(|f| f.id == id.0) {
+            // Under bandwidth sharing the engine prices the remainder at
+            // the resized flow's max-min share: mirror the same step and
+            // check the scheduled end against the mirror's.
+            self.accrue_flows(t);
+            let pos = self.flows.iter().position(|f| f.id == id.0).expect("found above");
+            self.flows[pos].remaining *= old_total / new_total;
+            self.flows[pos].factor = f_new;
+            self.flows[pos].mask = cluster_mask(&to);
+            let expected = if to_clusters.len() < 2 {
+                // Shrunk out of the wide area: the remainder runs at the
+                // new span's (single-cluster) factor, uncontended.
+                let flow = self.flows.swap_remove(pos);
+                self.rebalance_flows();
+                t + flow.remaining * f_new
+            } else {
+                self.rebalance_flows();
+                let flow = self.flows.iter().find(|f| f.id == id.0).expect("still mirrored");
+                t + flow.remaining * flow.stretch
+            };
+            let scheduled = resize.new_end.seconds();
+            if (scheduled - expected).abs() > NET_TOL * expected.abs().max(1.0) {
+                self.violation(
+                    ViolationKind::WorkConservation,
+                    t,
+                    Some(id.0),
+                    format!(
+                        "resize rescheduled the departure to {scheduled} but the mirrored \
+                         flow rates imply {expected}"
+                    ),
+                );
+            }
+        } else {
+            // Base-work conservation: the remaining *base* work (gross
+            // work deflated by each side's extension factor — a
+            // span-changing resize re-derives its extension) is
+            // invariant across the resize. The engine derives the new
+            // end as `t + work/new_total`, so recovering the work
+            // multiplies one rounding ulp of the (large) clock value by
+            // the processor count — the tolerance must cover that
+            // magnitude, not just the (possibly tiny) remaining work
+            // itself.
+            let old_work = (resize.old_end.seconds() - t) * old_total / f_old;
+            let new_work = (resize.new_end.seconds() - t) * new_total / f_new;
+            let ulp_work = f64::EPSILON
+                * resize.new_end.seconds().abs().max(resize.old_end.seconds().abs())
+                * f64::from(resize.to.total().max(resize.from.total()));
+            if resize.new_end.seconds() < t - TOL
+                || (old_work - new_work).abs() > TOL * old_work.abs().max(1.0) + 4.0 * ulp_work
+            {
+                self.violation(
+                    ViolationKind::ResizeConservation,
+                    t,
+                    Some(id.0),
+                    format!(
+                        "remaining base work changed: {old_work} processor-seconds released \
+                         (span factor {f_old}), {new_work} rescheduled (span factor {f_new})"
+                    ),
+                );
+            }
+        }
+        // Mirror the new placement; the held-interval and estimate
+        // checks follow the rescheduled departure from here on. The
+        // estimate rescale mirrors the schedulers' own arithmetic
+        // (processor ratio times the extension-factor ratio).
         if let Some(info) = self.job_mut(id) {
             info.span = to_clusters.len();
             info.assignments = to;
             info.occupancy = resize.new_end.seconds() - info.start;
             if info.est_end.is_finite() && new_total > 0.0 {
-                info.est_end = t + (info.est_end - t) * old_total / new_total;
+                info.est_end = t + (info.est_end - t) * old_total / new_total * (f_new / f_old);
             }
         }
     }

@@ -89,8 +89,13 @@ pub struct Interruption<'a> {
 /// `Malleable` disposition): observed at the instant the resize has
 /// been applied to the system and the job's departure rescheduled.
 ///
-/// Resizes conserve the job's remaining work: the invariant auditor
-/// checks `(old_end − now)·from.total() == (new_end − now)·to.total()`.
+/// Resizes conserve the job's remaining *base* work: the invariant
+/// auditor checks `(old_end − now)·from.total()/f_old ==
+/// (new_end − now)·to.total()/f_new`, where `f` is the wide-area
+/// extension factor for the clusters spanned on each side (under a
+/// contended bandwidth-sharing network the nominal formula does not
+/// apply and the auditor checks the end against its mirrored flow
+/// rates instead).
 #[derive(Debug)]
 pub struct Resize<'a> {
     /// The resized job.

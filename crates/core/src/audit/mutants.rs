@@ -322,8 +322,9 @@ fn place_and_start(
     for &(c, n) in p.assignments() {
         idle[c] -= n;
     }
+    let occ = 100.0 * Workload::das(32).extension_factor(p.assignments().len());
     table.mark_started(id, p.clone(), SimTime::new(t));
-    auditor.on_start(SimTime::new(t), id, table.get(id), Duration::new(100.0));
+    auditor.on_start(SimTime::new(t), id, table.get(id), Duration::new(occ));
     p
 }
 
@@ -780,6 +781,133 @@ fn conserving_resize_passes_the_audit() {
     );
     auditor.on_completion(SimTime::new(60.0), a, table.get(a));
     auditor.assert_clean();
+}
+
+#[test]
+fn span_changing_resize_with_stale_extension_trips_resize_conservation() {
+    // A 2→1-cluster shrink sheds the 1.25 wide-area extension: the
+    // remaining base work at t = 25 is (125 − 25)·32/1.25 = 2560
+    // processor-seconds, which 16 unextended processors clear by
+    // t = 185. The mutant conserves *extended* seconds instead (the
+    // pre-fix engine formula), rescheduling to 25 + 100·32/16 = 225 —
+    // base work was silently created.
+    let mut auditor = backfill_auditor();
+    let mut table = JobTable::new();
+    let mut idle = vec![32u32; 4];
+    let a = arrive_with_service(&mut auditor, &mut table, &[16, 16], 100.0, 0.0);
+    let pa = place_and_start(&mut auditor, &mut table, &mut idle, a, 0.0);
+    let survivor = Placement::new(vec![(pa.assignments()[0].0, 16)]);
+    auditor.on_job_resized(
+        SimTime::new(25.0),
+        table.get(a),
+        &super::Resize {
+            id: a,
+            from: &pa,
+            to: &survivor,
+            old_end: SimTime::new(125.0),
+            new_end: SimTime::new(225.0),
+        },
+    );
+    assert!(
+        auditor.has(ViolationKind::ResizeConservation),
+        "expected ResizeConservation, got: {}",
+        auditor.report()
+    );
+    assert!(!auditor.has(ViolationKind::ExtensionMismatch), "{}", auditor.report());
+
+    // The re-derived end (base work re-extended at the new span's
+    // factor 1.0) is clean through completion.
+    let mut auditor = backfill_auditor();
+    let mut table = JobTable::new();
+    let mut idle = vec![32u32; 4];
+    let b = arrive_with_service(&mut auditor, &mut table, &[16, 16], 100.0, 0.0);
+    let pb = place_and_start(&mut auditor, &mut table, &mut idle, b, 0.0);
+    let survivor = Placement::new(vec![(pb.assignments()[0].0, 16)]);
+    auditor.on_job_resized(
+        SimTime::new(25.0),
+        table.get(b),
+        &super::Resize {
+            id: b,
+            from: &pb,
+            to: &survivor,
+            old_end: SimTime::new(125.0),
+            new_end: SimTime::new(185.0),
+        },
+    );
+    auditor.on_completion(SimTime::new(185.0), b, table.get(b));
+    auditor.assert_clean();
+}
+
+// ---------------------------------------------------------------------
+// Network-model mutants: under a contended bandwidth-sharing fabric the
+// auditor mirrors every wide-area flow's max-min fair rate; a departure
+// that ignores the contention (the nominal, uncontended end) leaves
+// base work unaccounted and trips WorkConservation.
+// ---------------------------------------------------------------------
+
+fn network_auditor() -> InvariantAuditor {
+    synthetic_auditor().with_network(crate::sim::NetworkSpec::backbone(1.0))
+}
+
+/// The shared scenario: two 2-cluster jobs (base 100 s, factor 1.25)
+/// on a capacity-1 backbone. A runs alone until B starts at t = 40
+/// (stretch 1.25, 68 base seconds left); overlapped, each flow gets
+/// share ½ and stretch 1.5, so A's remaining 68 finish at t = 142; B
+/// then runs alone again (32 base seconds left at stretch 1.25) and
+/// honestly departs at t = 182.
+fn contended_pair(auditor: &mut InvariantAuditor, table: &mut JobTable) -> (JobId, JobId) {
+    let mut idle = vec![32u32; 4];
+    let a = arrive(auditor, table, &[16, 16], 0.0);
+    place_and_start(auditor, table, &mut idle, a, 0.0);
+    let b = arrive(auditor, table, &[16, 16], 40.0);
+    place_and_start(auditor, table, &mut idle, b, 40.0);
+    auditor.on_completion(SimTime::new(142.0), a, table.get(a));
+    (a, b)
+}
+
+#[test]
+fn nominal_departure_under_contention_trips_work_conservation() {
+    // The mutant departs B at its nominal uncontended end, 40 + 125 =
+    // 165 — but at the mirrored rates B still owes 32 − 23/1.25 = 13.6
+    // base seconds then.
+    let mut auditor = network_auditor();
+    let mut table = JobTable::new();
+    let (_, b) = contended_pair(&mut auditor, &mut table);
+    auditor.on_completion(SimTime::new(165.0), b, table.get(b));
+    assert!(
+        auditor.has(ViolationKind::WorkConservation),
+        "expected WorkConservation, got: {}",
+        auditor.report()
+    );
+    assert!(!auditor.has(ViolationKind::ExtensionMismatch), "{}", auditor.report());
+    assert!(!auditor.has(ViolationKind::ResizeConservation), "{}", auditor.report());
+}
+
+#[test]
+fn bandwidth_shared_departures_pass_the_audit() {
+    // Control: both departures follow the shared-bandwidth schedule and
+    // the run is clean — including A's, whose own rate changed twice.
+    let mut auditor = network_auditor();
+    let mut table = JobTable::new();
+    let (_, b) = contended_pair(&mut auditor, &mut table);
+    auditor.on_completion(SimTime::new(182.0), b, table.get(b));
+    auditor.assert_clean();
+}
+
+#[test]
+fn contended_network_runs_are_clean() {
+    // End to end: the real engine's lazily-accrued flows and the
+    // auditor's eagerly-accrued mirror must agree on every departure,
+    // under both topologies.
+    for spec in [crate::sim::NetworkSpec::backbone(1.0), crate::sim::NetworkSpec::pairwise(2.0)] {
+        let mut cfg = SimConfig::das(PolicyKind::Gs, 32, 0.6);
+        cfg.total_jobs = 400;
+        cfg.warmup_jobs = 50;
+        cfg.network = Some(spec);
+        let mut auditor = InvariantAuditor::new(&cfg);
+        SimBuilder::new(&cfg).run_observed(&mut auditor);
+        assert!(auditor.is_clean(), "{spec:?}: {}", auditor.report());
+    }
 }
 
 #[test]

@@ -158,6 +158,17 @@ impl ActiveJob {
     /// request that landed in a single cluster does all its communication
     /// locally and is not extended. Before placement (and for the static
     /// request kinds, equivalently) the request's classification is used.
+    ///
+    /// Deprecated because the flat factor ignores the workload's spread
+    /// penalty: a job spanning three or more clusters is silently
+    /// under-extended whenever `spread_penalty > 0`. Use
+    /// [`ActiveJob::occupancy_in`], which derives the factor from the
+    /// actual span.
+    #[deprecated(
+        since = "0.3.0",
+        note = "applies a flat factor regardless of span; use `occupancy_in`, which \
+                charges `extension_factor(span)` and so honours the spread penalty"
+    )]
     pub fn occupancy(&self, extension: f64) -> Duration {
         match &self.placement {
             Some(p) if p.assignments().len() > 1 => self.spec.base_service.scaled(extension),
@@ -261,11 +272,34 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn occupancy_extends_multi_jobs() {
         let single = ActiveJob::new(spec(vec![8], 100.0), SimTime::ZERO, SubmitQueue::Local(0));
         let multi = ActiveJob::new(spec(vec![8, 8], 100.0), SimTime::ZERO, SubmitQueue::Global);
         assert_eq!(single.occupancy(1.25).seconds(), 100.0);
         assert_eq!(multi.occupancy(1.25).seconds(), 125.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn flat_occupancy_under_extends_spread_jobs() {
+        // The regression the deprecation guards: with a spread penalty,
+        // the flat path charges 1.25 for a three-cluster job while the
+        // span-aware path charges extension_factor(3) = 1.25 + penalty.
+        let mut workload = coalloc_workload::Workload::das(16);
+        workload.spread_penalty = 0.05;
+        let mut job =
+            ActiveJob::new(spec(vec![8, 8, 8], 100.0), SimTime::ZERO, SubmitQueue::Global);
+        job.placement = Some(Placement::new(vec![(0, 8), (1, 8), (2, 8)]));
+        let flat = job.occupancy(workload.extension).seconds();
+        let spanned = job.occupancy_in(&workload).seconds();
+        assert_eq!(flat, 125.0, "flat path ignores the third cluster");
+        assert_eq!(spanned, 130.0, "span-aware path charges 1.25 + 0.05");
+        assert!(flat < spanned, "the flat path silently under-extends");
+        // With no spread penalty the two paths agree — the deprecation
+        // changes nothing for the paper's constant-factor runs.
+        workload.spread_penalty = 0.0;
+        assert_eq!(job.occupancy(workload.extension), job.occupancy_in(&workload));
     }
 
     #[test]

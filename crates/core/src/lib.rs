@@ -66,7 +66,10 @@ pub use saturation::{
     bisect_max_utilization, bisect_max_utilization_replicated, maximal_utilization, ProbePlan,
     SaturationConfig, SaturationResult,
 };
-pub use sim::{mean_response, OccupancyModel, Session, SimBuilder, SimConfig, SimOutcome, Warmup};
+pub use sim::{
+    mean_response, NetworkSpec, NetworkTopology, OccupancyModel, Session, SimBuilder, SimConfig,
+    SimOutcome, Warmup,
+};
 #[allow(deprecated)]
 pub use sim::{
     run, run_observed, run_trace, run_with_feed, run_with_feed_observed, run_with_scheduler,

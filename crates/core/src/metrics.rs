@@ -63,6 +63,14 @@ pub struct Metrics {
     /// Processor-seconds of partial work thrown away by those kills
     /// (processors held × time since the victim's start).
     wasted_work: f64,
+    /// Concurrent wide-area flows (running multi-cluster jobs),
+    /// time-weighted; only updated under the network occupancy model.
+    flows: TimeWeighted,
+    /// Seconds multi-cluster jobs actually held their processors, summed
+    /// over measured departures (numerator of the achieved extension).
+    ext_held: f64,
+    /// The same jobs' base service seconds (denominator).
+    ext_base: f64,
     departures_in_window: u64,
     batch_size: u64,
 }
@@ -93,6 +101,9 @@ impl Metrics {
             unavailable: TimeWeighted::new(SimTime::ZERO, 0.0),
             interruptions: 0,
             wasted_work: 0.0,
+            flows: TimeWeighted::new(SimTime::ZERO, 0.0),
+            ext_held: 0.0,
+            ext_base: 0.0,
             departures_in_window: 0,
             batch_size,
         }
@@ -139,6 +150,13 @@ impl Metrics {
         self.wasted_work += wasted;
     }
 
+    /// Records the number of concurrent wide-area flows after the flow
+    /// set changed (network occupancy model only; fault-free faithful
+    /// runs never call this, so `mean_active_flows` reports 0 there).
+    pub fn record_flow_level(&mut self, now: SimTime, flows: usize) {
+        self.flows.update(now, flows as f64);
+    }
+
     /// Discards everything gathered so far and restarts the observation
     /// window at `now` (end of warm-up). Busy-processor tracking keeps its
     /// current level.
@@ -176,6 +194,11 @@ impl Metrics {
         self.unavailable.reset_window(now);
         self.interruptions = 0;
         self.wasted_work = 0.0;
+        let fl = self.flows.value();
+        self.flows.update(now, fl);
+        self.flows.reset_window(now);
+        self.ext_held = 0.0;
+        self.ext_base = 0.0;
         self.departures_in_window = 0;
     }
 
@@ -218,6 +241,16 @@ impl Metrics {
             self.response_single.add(response);
         }
         self.net_work += f64::from(job.spec.request.total()) * job.spec.base_service.seconds();
+        // The achieved extension: how long multi-cluster jobs *actually*
+        // held their processors relative to their base service. Under
+        // the faithful model this is the nominal extension factor by
+        // construction; under the network model it grows with load.
+        if let (Some(p), Some(start)) = (&job.placement, job.start) {
+            if p.assignments().len() >= 2 {
+                self.ext_held += (now - start).seconds();
+                self.ext_base += job.spec.base_service.seconds();
+            }
+        }
         self.departures_in_window += 1;
     }
 
@@ -252,6 +285,12 @@ impl Metrics {
             },
             interruptions: self.interruptions,
             wasted_processor_seconds: self.wasted_work,
+            achieved_extension: if self.ext_base > 0.0 {
+                self.ext_held / self.ext_base
+            } else {
+                0.0
+            },
+            mean_active_flows: self.flows.average(now),
         }
     }
 
@@ -320,6 +359,15 @@ pub struct MetricsReport {
     pub interruptions: u64,
     /// Processor-seconds of partial work those kills threw away.
     pub wasted_processor_seconds: f64,
+    /// Work-weighted mean of (held time / base service) over measured
+    /// multi-cluster departures — the extension the run *achieved*.
+    /// Exactly the nominal factor under the faithful model; rises with
+    /// load under [`crate::sim::OccupancyModel::Network`]; 0.0 when no
+    /// multi-cluster job was measured (e.g. SC).
+    pub achieved_extension: f64,
+    /// Time-average number of concurrent wide-area flows (running
+    /// multi-cluster jobs); 0.0 unless the network model is active.
+    pub mean_active_flows: f64,
 }
 
 #[cfg(test)]

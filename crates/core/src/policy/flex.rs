@@ -298,16 +298,22 @@ impl FlexEngine {
     }
 
     /// A tracked job was resized: its estimated remaining time scales
-    /// by the inverse of its processor-count change (the same
-    /// processor-seconds conservation the session applies to the actual
-    /// departure).
+    /// by the inverse of its processor-count change *and* by the ratio
+    /// of the wide-area extension factors for the new and old spans —
+    /// the same base-work conservation the session applies to the
+    /// actual departure. When the span is unchanged the factor ratio is
+    /// exactly `1.0` (IEEE `x / x`), so same-span resizes keep their
+    /// historical bit pattern.
     pub(crate) fn note_resized(&mut self, now: SimTime, id: JobId, new_placement: &Placement) {
         if let Some(entry) = self.running.iter_mut().find(|r| r.id == id) {
             let old_total = f64::from(entry.placement.total());
             let new_total = f64::from(new_placement.total());
             if entry.est_end.is_finite() {
+                let f_old =
+                    self.opts.workload.extension_factor(entry.placement.assignments().len());
+                let f_new = self.opts.workload.extension_factor(new_placement.assignments().len());
                 let t = now.seconds();
-                entry.est_end = t + (entry.est_end - t) * old_total / new_total;
+                entry.est_end = t + (entry.est_end - t) * old_total / new_total * (f_new / f_old);
             }
             entry.placement = new_placement.clone();
         }
@@ -517,5 +523,26 @@ mod tests {
         engine.note_resized(SimTime::new(20.0), JobId(3), &Placement::new(vec![(0, 32)]));
         assert!((engine.running[0].est_end - 60.0).abs() < 1e-12);
         assert_eq!(engine.running[0].placement.total(), 32);
+    }
+
+    #[test]
+    fn span_changing_resize_re_derives_the_extension() {
+        // The regression the satellite fix guards: a 2→1-cluster shrink
+        // sheds the 1.25 wide-area extension, so the remaining estimate
+        // must scale by old_total/new_total × (f_new/f_old) — the old
+        // formula conserved *extended* seconds and over-estimated the
+        // coalesced remainder by 25%.
+        let mut engine = FlexEngine::new(opts(JobDisposition::Malleable, QueueDiscipline::Easy));
+        engine.running.push(RunningEst {
+            id: JobId(7),
+            est_end: 100.0,
+            placement: Placement::new(vec![(0, 16), (1, 16)]),
+        });
+        // At t=20: remaining 80 extended seconds over 32 procs across two
+        // clusters shrink to 16 procs in one: 80 × (32/16) × (1.0/1.25) =
+        // 128, not the old formula's 160.
+        engine.note_resized(SimTime::new(20.0), JobId(7), &Placement::new(vec![(0, 16)]));
+        assert!((engine.running[0].est_end - 148.0).abs() < 1e-12);
+        assert_eq!(engine.running[0].placement.assignments().len(), 1);
     }
 }

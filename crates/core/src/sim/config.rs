@@ -4,6 +4,7 @@
 use coalloc_workload::{JobDisposition, QueueRouting, Workload};
 use desim::CalendarKind;
 
+use super::network::NetworkSpec;
 use crate::fault::{FaultSpec, InterruptPolicy, ResizePolicy};
 use crate::placement::PlacementRule;
 use crate::policy::PolicyKind;
@@ -89,6 +90,13 @@ pub struct SimConfig {
     /// calendars drain events identically, so results do not depend on
     /// the choice — only throughput does.
     pub calendar: CalendarKind,
+    /// Finite inter-cluster bandwidth, if any. `None` (the default)
+    /// keeps the paper's constant extension
+    /// ([`crate::sim::OccupancyModel::Faithful`]) and reproduces
+    /// historical runs byte for byte; `Some` selects
+    /// [`crate::sim::OccupancyModel::Network`], under which the
+    /// effective extension of co-allocated jobs grows with load.
+    pub network: Option<NetworkSpec>,
 }
 
 impl SimConfig {
@@ -119,6 +127,7 @@ impl SimConfig {
             estimate_factor: 2.0,
             resize: ResizePolicy::GrowAndShrink,
             calendar: CalendarKind::Heap,
+            network: None,
         }
     }
 
@@ -148,6 +157,7 @@ impl SimConfig {
             estimate_factor: 2.0,
             resize: ResizePolicy::GrowAndShrink,
             calendar: CalendarKind::Heap,
+            network: None,
         }
     }
 
@@ -202,6 +212,7 @@ impl SimConfig {
             estimate_factor: 2.0,
             resize: ResizePolicy::GrowAndShrink,
             calendar: CalendarKind::Heap,
+            network: None,
         }
     }
 
@@ -296,6 +307,9 @@ impl SimConfig {
             "estimate factor must be positive, got {}",
             self.estimate_factor
         );
+        if let Some(net) = &self.network {
+            net.validate();
+        }
     }
 }
 

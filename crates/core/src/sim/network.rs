@@ -1,0 +1,287 @@
+//! The wide-area network model behind [`OccupancyModel::Network`]: a
+//! finite-bandwidth fabric whose max-min fair shares make the effective
+//! extension of co-allocated jobs load-dependent.
+//!
+//! The paper charges every multi-component job a *constant* wide-area
+//! extension (base service × 1.25, §2.4). Under
+//! [`OccupancyModel::Network`](crate::sim::OccupancyModel::Network) the
+//! extension becomes emergent instead: every running multi-cluster job
+//! holds one *flow* through the fabric, flows get max-min fair bandwidth
+//! shares, and a flow at share `s ∈ (0, 1]` runs with stretch
+//! `g(s) = 1 + (f − 1)/s`, where `f` is the workload's nominal
+//! extension factor for the job's span. At full share the stretch is
+//! exactly `f` (an uncontended fabric reproduces the paper bit for
+//! bit); as shares shrink, only the *communication* part of the
+//! extension dilates — computation is local and unaffected, which is
+//! why the stretch is `1 + (f − 1)/s` and not `f/s`.
+//!
+//! [`OccupancyModel`]: crate::sim::OccupancyModel
+
+use std::str::FromStr;
+
+/// How inter-cluster bandwidth is laid out.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum NetworkTopology {
+    /// One shared wide-area backbone: every multi-cluster flow crosses
+    /// the same link, so `n` concurrent flows each get share
+    /// `min(1, capacity / n)`.
+    #[default]
+    SharedBackbone,
+    /// A dedicated link per cluster *pair*, each of the configured
+    /// capacity. A flow spanning clusters `{a, b, c}` uses all three
+    /// pairwise links; shares are max-min fair (progressive filling)
+    /// across the link set.
+    PairwiseLinks,
+}
+
+/// A finite-bandwidth wide-area fabric for multi-cluster jobs.
+///
+/// `capacity` is measured in *concurrent-flow units*: a link of
+/// capacity `c` sustains `c` flows at full share before contention
+/// begins (capacity 1 means the second concurrent flow already halves
+/// both shares). `f64::INFINITY` is legal and collapses the model onto
+/// [`Faithful`](crate::sim::OccupancyModel::Faithful) bit for bit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkSpec {
+    /// Link capacity in concurrent-flow units (must be positive; may be
+    /// `f64::INFINITY`).
+    pub capacity: f64,
+    /// Link layout: one shared backbone, or one link per cluster pair.
+    pub topology: NetworkTopology,
+}
+
+impl NetworkSpec {
+    /// A shared backbone of the given capacity.
+    pub fn backbone(capacity: f64) -> Self {
+        NetworkSpec { capacity, topology: NetworkTopology::SharedBackbone }
+    }
+
+    /// Per-cluster-pair links of the given capacity.
+    pub fn pairwise(capacity: f64) -> Self {
+        NetworkSpec { capacity, topology: NetworkTopology::PairwiseLinks }
+    }
+
+    /// Whether the fabric can never slow a flow down (infinite
+    /// capacity ⇒ every share is 1 ⇒ every stretch is the nominal
+    /// extension factor).
+    pub fn is_uncontended(&self) -> bool {
+        self.capacity.is_infinite()
+    }
+
+    /// Panics on a spec no simulation should run with.
+    pub(crate) fn validate(&self) {
+        assert!(
+            self.capacity > 0.0,
+            "network capacity must be positive (may be `inf`), got {}",
+            self.capacity
+        );
+    }
+
+    /// Max-min fair shares, one per flow, given each flow's cluster
+    /// bitmask. Shares are in `(0, 1]` — a flow never runs faster than
+    /// its own endpoints allow, whatever the fabric capacity.
+    ///
+    /// Deterministic: shares depend only on the mask multiset and its
+    /// order, and the arithmetic is fixed-order, so equal flow sets
+    /// yield bit-equal shares.
+    pub(crate) fn shares(&self, masks: &[u64]) -> Vec<f64> {
+        let n = masks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.is_uncontended() {
+            return vec![1.0; n];
+        }
+        match self.topology {
+            NetworkTopology::SharedBackbone => {
+                let share = (self.capacity / n as f64).min(1.0);
+                vec![share; n]
+            }
+            NetworkTopology::PairwiseLinks => self.pairwise_shares(masks),
+        }
+    }
+
+    /// Progressive filling (water-filling) over the pairwise links: all
+    /// unfrozen flows rise at the same rate; whenever a link saturates,
+    /// its flows freeze at their current rate. A per-flow cap of 1
+    /// (the endpoints' own speed) acts as a virtual access link.
+    fn pairwise_shares(&self, masks: &[u64]) -> Vec<f64> {
+        let n = masks.len();
+        // Links in deterministic (a, b) order with a < b; each carries
+        // the indices of the flows crossing it.
+        let mut links: Vec<(f64, Vec<usize>)> = Vec::new();
+        let mut pair_of: std::collections::BTreeMap<(u32, u32), usize> =
+            std::collections::BTreeMap::new();
+        for (i, &mask) in masks.iter().enumerate() {
+            let clusters: Vec<u32> = (0..64).filter(|&c| mask & (1u64 << c) != 0).collect();
+            for (ai, &a) in clusters.iter().enumerate() {
+                for &b in &clusters[ai + 1..] {
+                    let key = (a, b);
+                    let li = *pair_of.entry(key).or_insert_with(|| {
+                        links.push((self.capacity, Vec::new()));
+                        links.len() - 1
+                    });
+                    links[li].1.push(i);
+                }
+            }
+        }
+        let mut share = vec![0.0f64; n];
+        let mut frozen = vec![false; n];
+        let mut used: Vec<f64> = vec![0.0; links.len()];
+        loop {
+            let unfrozen = frozen.iter().filter(|&&f| !f).count();
+            if unfrozen == 0 {
+                break;
+            }
+            // The common increment every unfrozen flow can still take:
+            // limited by the tightest link and by the per-flow cap of 1.
+            let mut delta = f64::INFINITY;
+            for (li, (cap, flows)) in links.iter().enumerate() {
+                let active = flows.iter().filter(|&&i| !frozen[i]).count();
+                if active > 0 {
+                    delta = delta.min((cap - used[li]) / active as f64);
+                }
+            }
+            for (i, &f) in frozen.iter().enumerate() {
+                if !f {
+                    delta = delta.min(1.0 - share[i]);
+                }
+            }
+            debug_assert!(delta.is_finite(), "every unfrozen flow crosses some link");
+            let delta = delta.max(0.0);
+            for i in 0..n {
+                if !frozen[i] {
+                    share[i] += delta;
+                }
+            }
+            for (li, (cap, flows)) in links.iter().enumerate() {
+                let active = flows.iter().filter(|&&i| !frozen[i]).count();
+                used[li] += delta * active as f64;
+                if active > 0 && cap - used[li] <= 1e-12 * cap {
+                    for &i in flows {
+                        frozen[i] = true;
+                    }
+                }
+            }
+            for i in 0..n {
+                if !frozen[i] && share[i] >= 1.0 {
+                    share[i] = 1.0;
+                    frozen[i] = true;
+                }
+            }
+        }
+        share
+    }
+}
+
+/// The stretch a flow at bandwidth share `share` runs with, given its
+/// nominal extension factor. At full share this is *exactly* the
+/// factor — not `1 + (factor − 1)`, whose float round trip could
+/// differ in the last bit — so an uncontended fabric collapses onto
+/// [`Faithful`](crate::sim::OccupancyModel::Faithful) bit for bit.
+pub(crate) fn stretch(factor: f64, share: f64) -> f64 {
+    if share >= 1.0 {
+        factor
+    } else {
+        1.0 + (factor - 1.0) / share
+    }
+}
+
+impl FromStr for NetworkSpec {
+    type Err = String;
+
+    /// Parses `bw[:topology]` — e.g. `2`, `inf`, `1.5:backbone`,
+    /// `2:pairwise`.
+    fn from_str(s: &str) -> Result<Self, String> {
+        let (bw, topo) = match s.split_once(':') {
+            Some((bw, topo)) => (bw, Some(topo)),
+            None => (s, None),
+        };
+        let capacity: f64 = match bw {
+            "inf" => f64::INFINITY,
+            other => other
+                .parse()
+                .map_err(|_| format!("bad bandwidth {other:?}: want a positive number or `inf`"))?,
+        };
+        if capacity.is_nan() || capacity <= 0.0 {
+            return Err(format!("bandwidth must be positive, got {capacity}"));
+        }
+        let topology = match topo {
+            None | Some("backbone") => NetworkTopology::SharedBackbone,
+            Some("pairwise") => NetworkTopology::PairwiseLinks,
+            Some(other) => return Err(format!("bad topology {other:?}: want backbone|pairwise")),
+        };
+        Ok(NetworkSpec { capacity, topology })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backbone_shares_split_evenly_and_cap_at_one() {
+        let net = NetworkSpec::backbone(2.0);
+        assert_eq!(net.shares(&[0b11]), vec![1.0]);
+        assert_eq!(net.shares(&[0b11, 0b101]), vec![1.0, 1.0]);
+        assert_eq!(net.shares(&[0b11, 0b101, 0b110, 0b1001]), vec![0.5, 0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn infinite_capacity_gives_full_shares_everywhere() {
+        for net in [NetworkSpec::backbone(f64::INFINITY), NetworkSpec::pairwise(f64::INFINITY)] {
+            assert!(net.is_uncontended());
+            assert_eq!(net.shares(&[0b11, 0b11, 0b1111]), vec![1.0, 1.0, 1.0]);
+        }
+    }
+
+    #[test]
+    fn pairwise_shares_are_max_min_fair() {
+        let net = NetworkSpec::pairwise(1.0);
+        // Two flows on disjoint pairs never contend.
+        assert_eq!(net.shares(&[0b11, 0b1100]), vec![1.0, 1.0]);
+        // Two flows on the same pair split the link.
+        assert_eq!(net.shares(&[0b11, 0b11]), vec![0.5, 0.5]);
+        // A wide flow crossing a contended link freezes there; the flow
+        // it shares the (0,1) link with gets the same bottleneck share,
+        // while a flow on an untouched pair keeps full speed.
+        let shares = net.shares(&[0b111, 0b11, 0b110000]);
+        assert!((shares[0] - 0.5).abs() < 1e-12, "{shares:?}");
+        assert!((shares[1] - 0.5).abs() < 1e-12, "{shares:?}");
+        assert!((shares[2] - 1.0).abs() < 1e-12, "{shares:?}");
+    }
+
+    #[test]
+    fn pairwise_filling_gives_unequal_shares_under_asymmetric_load() {
+        // Three flows on pair (0,1), one alone on (2,3): the lone flow
+        // saturates its own cap at 1, the crowd splits their link.
+        let net = NetworkSpec::pairwise(1.0);
+        let shares = net.shares(&[0b11, 0b11, 0b11, 0b1100]);
+        for s in &shares[..3] {
+            assert!((s - 1.0 / 3.0).abs() < 1e-12, "{shares:?}");
+        }
+        assert!((shares[3] - 1.0).abs() < 1e-12, "{shares:?}");
+    }
+
+    #[test]
+    fn stretch_is_exactly_the_factor_at_full_share() {
+        assert_eq!(stretch(1.25, 1.0), 1.25);
+        assert_eq!(stretch(1.25, 2.0), 1.25);
+        // Half share doubles the communication part only.
+        assert!((stretch(1.25, 0.5) - 1.5).abs() < 1e-15);
+        // A span-1 factor of 1.0 never stretches.
+        assert_eq!(stretch(1.0, 0.25), 1.0);
+    }
+
+    #[test]
+    fn parses_the_cli_grammar() {
+        assert_eq!("2".parse::<NetworkSpec>().unwrap(), NetworkSpec::backbone(2.0));
+        assert_eq!("inf".parse::<NetworkSpec>().unwrap(), NetworkSpec::backbone(f64::INFINITY));
+        assert_eq!("1.5:backbone".parse::<NetworkSpec>().unwrap(), NetworkSpec::backbone(1.5));
+        assert_eq!("2:pairwise".parse::<NetworkSpec>().unwrap(), NetworkSpec::pairwise(2.0));
+        assert!("0".parse::<NetworkSpec>().is_err());
+        assert!("-1".parse::<NetworkSpec>().is_err());
+        assert!("nan".parse::<NetworkSpec>().is_err());
+        assert!("2:ring".parse::<NetworkSpec>().is_err());
+    }
+}

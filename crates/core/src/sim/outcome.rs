@@ -3,6 +3,7 @@
 use coalloc_workload::Workload;
 use desim::Duration;
 
+use super::network::NetworkSpec;
 use crate::job::ActiveJob;
 use crate::metrics::MetricsReport;
 
@@ -39,12 +40,13 @@ pub struct SimOutcome {
 /// How the wide-area extension enters a started job's occupancy.
 ///
 /// [`OccupancyModel::Faithful`] is the paper's model and what every
-/// public entry point uses. The broken variants are seeded bugs for
-/// mutation-testing the [`crate::audit::InvariantAuditor`] — they exist
-/// so the test suite can prove the auditor catches a mis-applied
+/// public entry point uses unless [`crate::sim::SimConfig::network`]
+/// selects [`OccupancyModel::Network`]. `DoubleExtension` is a seeded
+/// bug for mutation-testing the [`crate::audit::InvariantAuditor`] — it
+/// exists so the test suite can prove the auditor catches a mis-applied
 /// extension factor in the *full* simulation loop, not a synthetic
 /// event stream.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub enum OccupancyModel {
     /// Base service × extension factor for the spanned clusters,
     /// applied exactly once (§2.4).
@@ -53,17 +55,35 @@ pub enum OccupancyModel {
     /// The extension factor applied twice to multi-cluster jobs (a
     /// seeded bug).
     DoubleExtension,
+    /// Load-dependent extension: multi-cluster jobs contend for the
+    /// finite inter-cluster bandwidth of a [`NetworkSpec`], so the
+    /// achieved extension grows with the number of concurrent flows.
+    /// An infinite-capacity spec reproduces `Faithful` bit for bit.
+    Network(NetworkSpec),
 }
 
 impl OccupancyModel {
+    /// The *nominal* occupancy a started job is initially scheduled
+    /// with. [`OccupancyModel::Network`] starts every flow at full
+    /// share (stretch = the nominal factor) and only reschedules when
+    /// contention actually changes the stretch, so its nominal
+    /// occupancy is the faithful one.
     pub(crate) fn occupancy(self, job: &ActiveJob, workload: &Workload) -> Duration {
         let faithful = job.occupancy_in(workload);
         match self {
-            OccupancyModel::Faithful => faithful,
+            OccupancyModel::Faithful | OccupancyModel::Network(_) => faithful,
             OccupancyModel::DoubleExtension => {
                 let span = job.placement.as_ref().map_or(1, |p| p.assignments().len());
                 faithful.scaled(workload.extension_factor(span))
             }
+        }
+    }
+
+    /// The network spec, when this model carries one.
+    pub(crate) fn network(self) -> Option<NetworkSpec> {
+        match self {
+            OccupancyModel::Network(spec) => Some(spec),
+            _ => None,
         }
     }
 }

@@ -22,6 +22,7 @@ use crate::system::MultiCluster;
 
 use super::arena::{cluster_mask, RunArena, SlotId};
 use super::config::{SimConfig, Warmup};
+use super::network::{self, NetworkSpec};
 use super::outcome::{OccupancyModel, SimOutcome};
 use super::warmup::resolve_auto_warmup;
 
@@ -63,6 +64,44 @@ struct FaultState {
     driver: FaultDriver,
 }
 
+/// One running multi-cluster job's wide-area flow under
+/// [`OccupancyModel::Network`].
+///
+/// Progress accrual is *lazy*: `remaining` is the flow's remaining base
+/// service as of `since`, and between stretch changes the flow drains
+/// linearly at rate `1/stretch` wall-seconds per base-second, so
+/// deferring the subtraction until the stretch actually changes (or the
+/// flow leaves) is exact — no per-event bookkeeping on unaffected flows.
+#[derive(Debug)]
+struct NetFlow {
+    id: JobId,
+    slot: SlotId,
+    /// Cluster bitmask of the placement (the flow's endpoints).
+    mask: u64,
+    /// Nominal extension factor for the current span.
+    factor: f64,
+    /// Remaining base-service seconds as of `since`.
+    remaining: f64,
+    /// Current stretch: wall-seconds per base-second. Equals `factor`
+    /// at full bandwidth share, `1 + (factor − 1)/share` below it.
+    stretch: f64,
+    /// When `remaining` was last made current.
+    since: SimTime,
+}
+
+/// The per-run network state; absent (`None` in [`EngineState`]) unless
+/// the run uses [`OccupancyModel::Network`], so faithful runs pay only
+/// an `Option` check per flow-set change.
+///
+/// Flows live in a `Vec` in start order: removal is `O(running multi
+/// jobs)` — a few dozen at most — and iteration order (and with it
+/// every float reduction) is deterministic.
+#[derive(Debug)]
+struct NetState {
+    spec: NetworkSpec,
+    flows: Vec<NetFlow>,
+}
+
 /// Builds and runs simulation [`Session`]s from a [`SimConfig`].
 ///
 /// The builder owns the run's two optional knobs — an explicitly
@@ -92,9 +131,13 @@ pub struct SimBuilder<'a> {
 }
 
 impl<'a> SimBuilder<'a> {
-    /// Starts a builder for the given configuration.
+    /// Starts a builder for the given configuration. A config with a
+    /// [`super::network::NetworkSpec`] selects
+    /// [`OccupancyModel::Network`]; everything else runs the paper's
+    /// [`OccupancyModel::Faithful`].
     pub fn new(cfg: &'a SimConfig) -> Self {
-        SimBuilder { cfg, model: OccupancyModel::Faithful, scheduler: None }
+        let model = cfg.network.map_or(OccupancyModel::Faithful, OccupancyModel::Network);
+        SimBuilder { cfg, model, scheduler: None }
     }
 
     /// Replaces the occupancy model (mutation testing only; the default
@@ -281,6 +324,9 @@ struct EngineState<C: EventCalendar<SimEvent>> {
     running: RunArena,
     /// Fault-injection state; `None` unless the config enables faults.
     faults: Option<FaultState>,
+    /// Wide-area flow state; `None` unless the run uses
+    /// [`OccupancyModel::Network`].
+    net: Option<NetState>,
 }
 
 /// One fully wired simulation: a config, a feed, a scheduler and an
@@ -374,6 +420,7 @@ where
             peak_backlog: 0,
             running: RunArena::new(),
             faults: None,
+            net: self.model.network().map(|spec| NetState { spec, flows: Vec::new() }),
         };
         if let Some((t, spec)) = self.feed.next_job() {
             st.pending = Some(spec);
@@ -478,6 +525,11 @@ where
         }
         self.scheduler.job_departed(id);
         self.scheduler.on_departure();
+        // A departing multi-cluster job frees its bandwidth: the
+        // surviving flows speed up and their departures move forward.
+        if self.net_remove(st, now, id) {
+            self.net_rebalance(st, now);
+        }
         PassTrigger::Departure
     }
 
@@ -504,6 +556,7 @@ where
             .map(|(slot, row)| (row.job, slot))
             .collect();
         victims.sort_unstable_by_key(|&(id, _)| id.0);
+        let mut net_changed = false;
         for &(id, slot) in &victims {
             // A malleable multi-component victim sheds only the failed
             // component and keeps running on its surviving clusters —
@@ -516,6 +569,9 @@ where
             let row = st.running.remove(slot);
             let cancelled = st.sim.cancel(row.event);
             debug_assert!(cancelled, "a running job's departure event was pending");
+            // Drop the victim's flow *now*: a later victim's shrink
+            // rebalances the fabric and must not see a stale slot.
+            net_changed |= self.net_remove(st, now, id);
             let job = st.table.get_mut(id);
             let placement = job.placement.take().expect("victim was started");
             let start = job.start.take().expect("victim was started");
@@ -536,6 +592,9 @@ where
                 // The job leaves the system with nothing to show for it.
                 InterruptPolicy::Abort => st.metrics.record_exit(now),
             }
+        }
+        if net_changed {
+            self.net_rebalance(st, now);
         }
         st.system.set_down(cluster, remaining);
         self.observer.on_cluster_down(now, cluster, remaining);
@@ -582,11 +641,121 @@ where
         PassTrigger::Fault
     }
 
+    /// Recomputes every flow's bandwidth share after the flow set
+    /// changed, and for each flow whose stretch changed: accrues its
+    /// progress at the old rate, adopts the new stretch, and cancels and
+    /// reinserts its departure event at the re-derived end (`O(1)` per
+    /// job through the event's [`SlotId`]). Flows whose stretch did not
+    /// change are untouched — in particular, an uncontended (infinite-
+    /// capacity) fabric never cancels anything, so its event sequence is
+    /// bit-identical to [`OccupancyModel::Faithful`]'s.
+    fn net_rebalance<C: EventCalendar<SimEvent>>(&mut self, st: &mut EngineState<C>, now: SimTime) {
+        let EngineState { net, sim, running, .. } = st;
+        let Some(net) = net.as_mut() else { return };
+        if net.flows.is_empty() {
+            return;
+        }
+        let masks: Vec<u64> = net.flows.iter().map(|f| f.mask).collect();
+        let shares = net.spec.shares(&masks);
+        for (flow, share) in net.flows.iter_mut().zip(shares) {
+            let stretch = network::stretch(flow.factor, share);
+            if stretch == flow.stretch {
+                continue;
+            }
+            let dt = (now - flow.since).seconds();
+            if dt > 0.0 {
+                flow.remaining = (flow.remaining - dt / flow.stretch).max(0.0);
+            }
+            flow.since = now;
+            flow.stretch = stretch;
+            let new_end = now + Duration::new(flow.remaining * stretch);
+            let row = running.get(flow.slot);
+            let cancelled = sim.cancel(row.event);
+            debug_assert!(cancelled, "a flow job's departure event was pending");
+            let ev = sim.schedule_at(new_end, SimEvent::Departure(flow.id, flow.slot));
+            running.resize_slot(flow.slot, ev, new_end, row.size, row.mask);
+        }
+    }
+
+    /// Drops a departing (or killed) job's flow, if it held one.
+    /// Returns whether the flow set changed — the caller rebalances.
+    fn net_remove<C: EventCalendar<SimEvent>>(
+        &mut self,
+        st: &mut EngineState<C>,
+        now: SimTime,
+        id: JobId,
+    ) -> bool {
+        let EngineState { net, metrics, .. } = st;
+        let Some(net) = net.as_mut() else { return false };
+        let before = net.flows.len();
+        net.flows.retain(|f| f.id != id);
+        if net.flows.len() == before {
+            return false;
+        }
+        metrics.record_flow_level(now, net.flows.len());
+        true
+    }
+
+    /// Re-derives a resized flow job's departure time under the network
+    /// model: accrue progress at the old stretch, rescale the remaining
+    /// base work by the processor ratio (work conservation), adopt the
+    /// new span's extension factor and mask, and price the remainder at
+    /// the share the *new* flow set gives this flow. A job shrinking to
+    /// a single cluster leaves the fabric entirely. The caller schedules
+    /// the returned end itself and runs [`Session::net_rebalance`]
+    /// afterwards for everyone else (this flow's stretch is already
+    /// current, so the rebalance skips it).
+    #[allow(clippy::too_many_arguments)]
+    fn net_resize<C: EventCalendar<SimEvent>>(
+        &mut self,
+        st: &mut EngineState<C>,
+        now: SimTime,
+        id: JobId,
+        old_total: f64,
+        new_total: f64,
+        f_new: f64,
+        new_mask: u64,
+    ) -> SimTime {
+        let EngineState { net, metrics, .. } = st;
+        let net = net.as_mut().expect("network resize path");
+        let idx = net
+            .flows
+            .iter()
+            .position(|f| f.id == id)
+            .expect("a resized multi-cluster job holds a flow");
+        {
+            let flow = &mut net.flows[idx];
+            let dt = (now - flow.since).seconds();
+            if dt > 0.0 {
+                flow.remaining = (flow.remaining - dt / flow.stretch).max(0.0);
+            }
+            flow.since = now;
+            flow.remaining *= old_total / new_total;
+            flow.factor = f_new;
+            flow.mask = new_mask;
+        }
+        if new_mask.count_ones() < 2 {
+            // The job no longer spans clusters: no flow, no extension
+            // (factor 1), remaining base work runs at full speed.
+            let flow = net.flows.remove(idx);
+            metrics.record_flow_level(now, net.flows.len());
+            return now + Duration::new(flow.remaining * f_new);
+        }
+        let masks: Vec<u64> = net.flows.iter().map(|f| f.mask).collect();
+        let shares = net.spec.shares(&masks);
+        let flow = &mut net.flows[idx];
+        flow.stretch = network::stretch(f_new, shares[idx]);
+        now + Duration::new(flow.remaining * flow.stretch)
+    }
+
     /// Shrinks a running malleable job away from a failed cluster: the
     /// failed component is dropped, the surviving components keep
     /// running, and the departure is pushed back so the remaining work
-    /// (processor-seconds) is conserved —
-    /// `(new_end − now)·new_total == (old_end − now)·old_total`.
+    /// (processor-seconds of *base* service) is conserved — the
+    /// remaining extended seconds are deflated by the old span's
+    /// extension factor, scaled by the processor ratio, and re-extended
+    /// at the new span's factor (a 2→1-cluster shrink sheds the
+    /// wide-area extension altogether and finishes *earlier*).
     /// Returns false (no shrink; the caller falls back to the kill
     /// path) for single-component placements, which have nothing to
     /// survive on.
@@ -610,7 +779,26 @@ where
         let new = Placement::new(surviving);
         let old_total = f64::from(old.total());
         let new_total = f64::from(new.total());
-        let new_end = now + Duration::new((old_end - now).seconds() * old_total / new_total);
+        // Dropping a component changes the spanned-cluster count, and
+        // with it the wide-area extension: conserve the remaining *base*
+        // work and re-extend it at the new span. For same-span resizes
+        // `f_new / f_old` is exactly 1.0 (IEEE x/x), so this reduces to
+        // the plain processor-ratio formula bit for bit.
+        let f_old = self.cfg.workload.extension_factor(old.assignments().len());
+        let f_new = self.cfg.workload.extension_factor(new.assignments().len());
+        let new_end = if st.net.is_some() {
+            self.net_resize(
+                st,
+                now,
+                id,
+                old_total,
+                new_total,
+                f_new,
+                cluster_mask(new.assignments()),
+            )
+        } else {
+            now + Duration::new((old_end - now).seconds() * old_total / new_total * (f_new / f_old))
+        };
         // Swap the allocation: the failed component's processors return
         // to (what is about to become) the degraded cluster, the rest
         // stay busy.
@@ -625,6 +813,9 @@ where
         self.scheduler.job_resized(now, id, &new);
         let resize = Resize { id, from: &old, to: &new, old_end, new_end };
         self.observer.on_job_resized(now, st.table.get(id), &resize);
+        // The shrunk flow's mask changed (or it left the fabric), so the
+        // surviving flows' shares may have too.
+        self.net_rebalance(st, now);
         true
     }
 
@@ -666,7 +857,16 @@ where
         let new = Placement::new(grown);
         let old_total = f64::from(old.total());
         let new_total = f64::from(new.total());
-        let new_end = now + Duration::new((old_end - now).seconds() * old_total / new_total);
+        // Growth is per-cluster: the span — and with it the extension
+        // factor and the flow's link set — is unchanged, so conserving
+        // extended seconds and conserving base seconds coincide.
+        let span = old.assignments().len();
+        let new_end = if st.net.is_some() && span >= 2 {
+            let f = self.cfg.workload.extension_factor(span);
+            self.net_resize(st, now, id, old_total, new_total, f, cluster_mask(new.assignments()))
+        } else {
+            now + Duration::new((old_end - now).seconds() * old_total / new_total)
+        };
         st.system.apply(&Placement::new(extras));
         st.metrics.record_allocate(now, new.total() - old.total());
         let cancelled = st.sim.cancel(st.running.get(slot).event);
@@ -751,12 +951,15 @@ where
             &mut st.started,
         );
         self.observer.on_pass_end(now, &st.started);
+        let mut net_started = false;
         for &id in &st.started {
             let job = st.table.get(id);
             let occupancy: Duration = self.model.occupancy(job, &self.cfg.workload);
             let procs = job.spec.request.total();
-            let mask =
-                cluster_mask(job.placement.as_ref().expect("started job was placed").assignments());
+            let placement = job.placement.as_ref().expect("started job was placed");
+            let span = placement.assignments().len();
+            let mask = cluster_mask(placement.assignments());
+            let base = job.spec.base_service.seconds();
             self.observer.on_start(now, id, job, occupancy);
             st.metrics.record_allocate(now, procs);
             let end = now + occupancy;
@@ -766,6 +969,30 @@ where
             let slot = st.running.insert(id, EventId::from_raw(u64::MAX), end, procs, mask);
             let ev = st.sim.schedule_at(end, SimEvent::Departure(id, slot));
             st.running.set_event(slot, ev);
+            // A multi-cluster start opens a wide-area flow. Its initial
+            // stretch is the nominal factor (the occupancy above), which
+            // is already on the calendar; the rebalance below reschedules
+            // it only if the fabric is actually contended.
+            if span >= 2 {
+                if let Some(net) = st.net.as_mut() {
+                    let factor = self.cfg.workload.extension_factor(span);
+                    net.flows.push(NetFlow {
+                        id,
+                        slot,
+                        mask,
+                        factor,
+                        remaining: base,
+                        stretch: factor,
+                        since: now,
+                    });
+                    net_started = true;
+                }
+            }
+        }
+        if net_started {
+            let level = st.net.as_ref().map_or(0, |n| n.flows.len());
+            st.metrics.record_flow_level(now, level);
+            self.net_rebalance(st, now);
         }
         // A departure that leaves the queues empty hands the freed
         // processors to a running malleable job (the grow half of

@@ -295,6 +295,17 @@ impl Workload {
     /// size-weighted mean extension, `E[size·w(size)] / E[size]` with
     /// `w = extension` for multi-component sizes and 1 otherwise (sizes
     /// and service times being independent).
+    ///
+    /// The span entering `w` is the *unordered split* component count
+    /// for every request kind. That is exact for [`RequestKind::Unordered`]
+    /// (the split is the request), for [`RequestKind::Ordered`] (the users
+    /// pick clusters but keep the same split), and for
+    /// [`RequestKind::Total`] (single-cluster systems never extend). For
+    /// [`RequestKind::Flexible`] it is an *upper bound*: the scheduler may
+    /// coalesce a splittable request into fewer components (ultimately one
+    /// cluster, dodging the extension entirely), so the measured gross
+    /// utilization undershoots the offered value computed from this ratio.
+    /// `tests/extensions.rs` cross-checks measured vs offered per kind.
     pub fn gross_net_ratio(&self) -> f64 {
         let weighted = self.sizes.expect(|s| {
             let n = component_count(s, self.limit, self.clusters);
@@ -305,7 +316,9 @@ impl Workload {
     }
 
     /// Mean *gross* processor-seconds demanded per job:
-    /// `E[size·w(size)] · E[S]`.
+    /// `E[size·w(size)] · E[S]`, with the same unordered-split span
+    /// convention as [`Workload::gross_net_ratio`] (exact for ordered /
+    /// unordered / total requests, an upper bound for flexible ones).
     pub fn mean_gross_work(&self) -> f64 {
         let weighted = self.sizes.expect(|s| {
             let n = component_count(s, self.limit, self.clusters);
@@ -321,7 +334,10 @@ impl Workload {
     }
 
     /// The arrival rate producing a target offered *gross* utilization on
-    /// a system of `capacity` processors.
+    /// a system of `capacity` processors. Because the gross work per job
+    /// uses the unordered-split spans (see [`Workload::gross_net_ratio`]),
+    /// flexible workloads driven at this rate *carry* slightly less than
+    /// the target whenever the scheduler coalesces requests.
     pub fn rate_for_gross_utilization(&self, utilization: f64, capacity: u32) -> f64 {
         rate_for_utilization(utilization, capacity, self.mean_gross_work())
     }

@@ -49,6 +49,7 @@ fn main() {
             estimate_factor: 2.0,
             resize: coalloc::core::ResizePolicy::GrowAndShrink,
             calendar: coalloc::desim::CalendarKind::Heap,
+            network: None,
         };
         let out = SimBuilder::new(&cfg).run();
         let exact = mmc_mean_response(lambda, 1.0 / mean_service, c);

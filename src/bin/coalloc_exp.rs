@@ -28,14 +28,14 @@ fn usage() -> ExitCode {
         "usage: coalloc-exp <target> [--full] [--save <dir>]\n\
          targets: table1 table2 table3 ratios fig1..fig7 packing\n\
          \x20        reqtypes placement backfill dispositions extfactor\n\
-         \x20        burstiness plot all\n\
+         \x20        burstiness network plot all\n\
          \x20        runjson <GS|LS|LP|SC|GB> <limit> <utilization>\n\
          \x20                [--events <path>] [--audit] [--warmup auto|N]\n\
          \x20                [--capacities a,b,c] [--faults <spec>]\n\
          \x20                [--interrupt front|back|abort]\n\
          \x20                [--disposition rigid|moldable|malleable]\n\
          \x20                [--queue-discipline fcfs|easy|conservative]\n\
-         \x20                [--estimate-factor X]   (JSON SimOutcome)\n\
+         \x20                [--estimate-factor X] [--network <net>]   (JSON SimOutcome)\n\
          \x20        sweep <GS|LS|LP|SC|GB> <limit> [--utils a,b,c] [--rel-ci X]\n\
          \x20              [--min-reps N] [--max-reps N] [--warmup auto|N]\n\
          \x20              [--checkpoint <path>] [--assert-precision] [--audit]\n\
@@ -43,9 +43,10 @@ fn usage() -> ExitCode {
          \x20              [--interrupt front|back|abort] [--inject-panic U]\n\
          \x20              [--disposition rigid|moldable|malleable]\n\
          \x20              [--queue-discipline fcfs|easy|conservative]\n\
-         \x20              [--estimate-factor X]   (adaptive sweep, stats table)\n\
+         \x20              [--estimate-factor X] [--network <net>]   (adaptive sweep, stats table)\n\
          \x20        bench [--quick|--full] [--calendar heap|cq|both] [--out <dir>]   (throughput -> BENCH_<n>.json)\n\
-         fault specs: exp:MTTF:MTTR or down:T:K[:R],up:T:K,..."
+         fault specs: exp:MTTF:MTTR or down:T:K[:R],up:T:K,...\n\
+         network specs: <bandwidth>[:backbone|:pairwise] (concurrent-flow units; `inf` = uncontended)"
     );
     ExitCode::from(2)
 }
@@ -156,6 +157,13 @@ fn parse_discipline(
             })
         })
         .transpose()
+}
+
+/// Parses `--network <bandwidth>[:backbone|:pairwise]` into a
+/// finite-bandwidth wide-area fabric; `inf` bandwidth (or an absent
+/// flag) leaves the run uncontended.
+fn parse_network(args: &[String]) -> Result<Option<coalloc::core::NetworkSpec>, CoallocError> {
+    parse_flag(args, "--network", "<bandwidth>[:backbone|:pairwise]")
 }
 
 /// Parses `--estimate-factor X` (a positive multiplier; `inf` turns
@@ -275,10 +283,13 @@ fn sweep_cmd(args: &[String], scale: Scale) -> Result<ExitCode, CoallocError> {
     let disposition = parse_disposition(args)?;
     let discipline = parse_discipline(args)?;
     let estimate_factor = parse_estimate_factor(args)?;
+    let network = parse_network(args)?;
     let inject_panic: Option<f64> = parse_flag(args, "--inject-panic", "a utilization")?;
     let system_label = system.as_ref().map_or_else(String::new, |sys| format!(", system {sys}"));
     let fault_label =
         flag_value(args, "--faults")?.map_or_else(String::new, |s| format!(", faults {s}"));
+    let net_label =
+        flag_value(args, "--network")?.map_or_else(String::new, |s| format!(", network {s}"));
     let sched_label = {
         let mut s = String::new();
         if let Some(d) = disposition {
@@ -308,6 +319,7 @@ fn sweep_cmd(args: &[String], scale: Scale) -> Result<ExitCode, CoallocError> {
                 c.interrupt = p;
             }
             apply_scheduling_flags(&mut c, disposition, discipline, estimate_factor);
+            c.network = network;
             if let Some(p) = inject_panic {
                 if (util - p).abs() < 1e-9 {
                     // A warm-up that swallows every job fails validation
@@ -331,7 +343,7 @@ fn sweep_cmd(args: &[String], scale: Scale) -> Result<ExitCode, CoallocError> {
     }
     let points = sweep(make_cfg, &cfg);
     let title = format!(
-        "Adaptive sweep: {} limit {limit}{system_label}{fault_label}{sched_label}, rel-CI target {:.0}%, {}..{} reps",
+        "Adaptive sweep: {} limit {limit}{system_label}{fault_label}{sched_label}{net_label}, rel-CI target {:.0}%, {}..{} reps",
         policy.label(),
         100.0 * cfg.rel_ci_target,
         cfg.min_replications,
@@ -451,6 +463,7 @@ fn runjson(args: &[String], scale: Scale) -> Result<ExitCode, CoallocError> {
         parse_discipline(args)?,
         parse_estimate_factor(args)?,
     );
+    cfg.network = parse_network(args)?;
 
     let mut sink = match events_path {
         Some(path) => {
@@ -533,6 +546,7 @@ fn main() -> ExitCode {
             ("dispositions", "rigid vs moldable vs malleable jobs per policy (extension)"),
             ("extfactor", "extension-factor sensitivity (viability conclusion)"),
             ("burstiness", "arrival-burstiness sensitivity (extension)"),
+            ("network", "bandwidth-sharing wide-area network (extension)"),
             ("correlation", "size-service correlation sensitivity (extension)"),
             ("das2", "the real 72+4x32 DAS2 geometry (extension)"),
             ("plot", "ASCII terminal plot of the headline panel"),
@@ -566,6 +580,7 @@ fn main() -> ExitCode {
         "dispositions",
         "extfactor",
         "burstiness",
+        "network",
         "correlation",
         "das2",
         "packing",
@@ -624,6 +639,7 @@ fn main() -> ExitCode {
         "backfill" => emit("Extension: backfilling", experiments::backfilling(scale)),
         "dispositions" => emit("Extension: job dispositions", experiments::dispositions(scale)),
         "burstiness" => emit("Extension: arrival burstiness", experiments::burstiness(scale)),
+        "network" => emit("Extension: bandwidth-sharing network", experiments::network_load(scale)),
         "correlation" => {
             emit("Extension: size-service correlation", experiments::correlation(scale))
         }
@@ -657,6 +673,7 @@ fn main() -> ExitCode {
             "dispositions",
             "extfactor",
             "burstiness",
+            "network",
             "correlation",
             "das2",
         ] {

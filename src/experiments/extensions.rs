@@ -283,6 +283,89 @@ pub fn dispositions(scale: Scale) -> String {
     out
 }
 
+/// The load-dependent wide-area extension under a finite-bandwidth
+/// fabric: each running multi-component job holds one flow on a shared
+/// backbone with room for [`NETWORK_CAPACITY`] full-rate flows, and the
+/// achieved extension factor is measured as held occupancy over the
+/// base (extension-free) work of the multi-component departures.
+///
+/// Expected shape: at low load few flows coexist, every flow gets a
+/// full share and the achieved extension sits at the paper's nominal
+/// 1.25; as offered utilization rises the backbone saturates and the
+/// achieved factor climbs *monotonically* past the nominal value — the
+/// paper's break-even analysis (co-allocation viable while the
+/// extension stays near 1.25) then bounds the utilization range where
+/// co-allocation remains attractive, not the whole curve.
+pub fn network_load(scale: Scale) -> String {
+    use coalloc_core::{NetworkSpec, SimBuilder};
+
+    let run = |policy: PolicyKind, util: f64, network: Option<NetworkSpec>| {
+        let mut cfg = scaled(SimConfig::das(policy, 16, util), scale);
+        cfg.network = network;
+        SimBuilder::new(&cfg).run()
+    };
+    let headers: Vec<String> = ["policy"]
+        .into_iter()
+        .map(str::to_string)
+        .chain(scale.utilizations().iter().map(|u| format!("u={u:.2}")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let policies = [PolicyKind::Gs, PolicyKind::Ls, PolicyKind::Lp, PolicyKind::Gb];
+
+    let outcomes: Vec<(PolicyKind, Vec<coalloc_core::SimOutcome>)> = policies
+        .iter()
+        .map(|&policy| {
+            let runs = scale
+                .utilizations()
+                .iter()
+                .map(|&u| run(policy, u, Some(NetworkSpec::backbone(NETWORK_CAPACITY))))
+                .collect();
+            (policy, runs)
+        })
+        .collect();
+
+    let ext_rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|(policy, runs)| {
+            let mut row = vec![policy.label().to_string()];
+            row.extend(runs.iter().map(|o| format!("{:.3}", o.metrics.achieved_extension)));
+            row
+        })
+        .collect();
+    let mut out = format_table(
+        &format!(
+            "Extension: achieved wide-area extension factor vs offered gross utilization
+         (limit 16, shared backbone with capacity {NETWORK_CAPACITY} full-rate flows; nominal factor 1.25)"
+        ),
+        &header_refs,
+        &ext_rows,
+    );
+
+    let load_rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|(policy, runs)| {
+            let mut row = vec![policy.label().to_string()];
+            row.extend(runs.iter().map(|o| {
+                format!("{:.0} s ({:.1} fl)", o.metrics.mean_response, o.metrics.mean_active_flows)
+            }));
+            row
+        })
+        .collect();
+    out.push('\n');
+    out.push_str(&format_table(
+        "Extension: mean response and mean concurrent flows under the same backbone
+         (the uncontended model reproduces the nominal 1.25 at every load)",
+        &header_refs,
+        &load_rows,
+    ));
+    out
+}
+
+/// Backbone capacity (concurrent full-rate flows) used by
+/// [`network_load`]: small enough that the quick grid's upper
+/// utilizations contend, large enough that a lone flow still runs at full rate.
+pub const NETWORK_CAPACITY: f64 = 1.0;
+
 #[cfg(test)]
 mod tests {
     #[test]

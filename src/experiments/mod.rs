@@ -10,7 +10,7 @@ pub mod scorecard;
 pub mod tables;
 
 pub use extensions::{
-    backfilling, burstiness, correlation, das2, dispositions, extension_sensitivity,
+    backfilling, burstiness, correlation, das2, dispositions, extension_sensitivity, network_load,
     placement_rules, request_types,
 };
 pub use figures::{fig1, fig2, fig3, fig4, fig5, fig6, fig7, terminal_plot};

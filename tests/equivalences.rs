@@ -121,6 +121,7 @@ fn whole_cluster_jobs_are_mm1() {
         estimate_factor: 2.0,
         resize: coalloc::core::ResizePolicy::GrowAndShrink,
         calendar: coalloc::desim::CalendarKind::Heap,
+        network: None,
     };
     let out = SimBuilder::new(&cfg).run();
     let exact = mean_service / (1.0 - rho);

@@ -53,6 +53,34 @@ fn flexible_jobs_save_extension_when_coalesced() {
     );
 }
 
+/// The offered gross utilization is computed from the *unordered split*
+/// spans for every request kind (see `Workload::gross_net_ratio`). That
+/// classification is exact for ordered requests (users pick clusters
+/// but keep the same split) and for total requests on a single cluster
+/// (no extension at all), so the measured gross utilization must track
+/// the offered one for both — only Flexible is an approximation.
+#[test]
+fn offered_utilization_is_exact_for_ordered_and_total_requests() {
+    let ordered = gs_with_kind(RequestKind::Ordered, 0.4);
+    assert!(
+        (ordered.metrics.gross_utilization - ordered.offered_gross_utilization).abs() < 0.02,
+        "ordered: measured {} vs offered {}",
+        ordered.metrics.gross_utilization,
+        ordered.offered_gross_utilization
+    );
+    let mut cfg = SimConfig::das_single_cluster(0.4);
+    cfg.total_jobs = 15_000;
+    cfg.warmup_jobs = 1_500;
+    assert_eq!(cfg.workload.request_kind, RequestKind::Total);
+    let total = SimBuilder::new(&cfg).run();
+    assert!(
+        (total.metrics.gross_utilization - total.offered_gross_utilization).abs() < 0.02,
+        "total/SC: measured {} vs offered {}",
+        total.metrics.gross_utilization,
+        total.offered_gross_utilization
+    );
+}
+
 /// The placement-rule ablation: on this workload Worst Fit (the paper's
 /// choice) is not catastrophically different from Best/First Fit, and
 /// all three run to completion at moderate load.
@@ -100,6 +128,7 @@ fn heterogeneous_five_cluster_system() {
         estimate_factor: 2.0,
         resize: coalloc::core::ResizePolicy::GrowAndShrink,
         calendar: coalloc::desim::CalendarKind::Heap,
+        network: None,
     };
     let out = SimBuilder::new(&cfg).run();
     assert!(!out.saturated, "five-cluster DAS2 at 0.45 must be stable");

@@ -27,6 +27,7 @@ fn queueing_cfg(servers: u32, service: ServiceDist, lambda: f64, seed: u64) -> S
         estimate_factor: 2.0,
         resize: coalloc::core::ResizePolicy::GrowAndShrink,
         calendar: coalloc::desim::CalendarKind::Heap,
+        network: None,
     }
 }
 
