@@ -1,0 +1,265 @@
+//! The scenario cache: memoized per-replication outcomes shared across
+//! sweeps.
+//!
+//! A replication is fully determined by `(scenario digest, base seed,
+//! replication index)` — the digest pins every configuration axis, and
+//! the seed is the base seed's substream at the index (common random
+//! numbers). Two sweeps whose utilization grids overlap therefore ask
+//! for *the same* replications at the shared points, and a long-running
+//! `coalloc-exp serve` process answers the second request from memory,
+//! bit-identically, instead of re-simulating.
+//!
+//! Concurrent requests share in-flight work too: [`ScenarioCache::claim`]
+//! reserves a key so only one requester executes it, and peers
+//! [`ScenarioCache::wait`] for the stored result. The deadlock-free
+//! protocol is *claim everything without blocking, execute and fulfil
+//! your own reservations, only then wait on other people's* — every
+//! waiter is past its own stores, so every pending key has an owner that
+//! finishes without waiting.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use crate::sim::SimOutcome;
+
+/// Key of one memoized replication: `(point scenario digest, base seed,
+/// replication index)`. See [`super::grid::point_digest`].
+type Key = (u64, u64, u64);
+
+enum Entry {
+    /// Reserved by a live [`Reservation`]; the result is on its way.
+    Pending,
+    /// A completed replication (boxed: outcomes are large, pendings are
+    /// plentiful).
+    Done(Box<Result<SimOutcome, String>>),
+}
+
+/// A concurrent memo of completed replications, keyed by scenario
+/// digest, base seed, and replication index. Failed replications are
+/// cached too — a deterministic panic would only repeat.
+#[derive(Default)]
+pub struct ScenarioCache {
+    entries: Mutex<HashMap<Key, Entry>>,
+    changed: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// What [`ScenarioCache::claim`] found; never blocks.
+pub enum Claim<'a> {
+    /// The replication is memoized; here it is.
+    Hit(Box<Result<SimOutcome, String>>),
+    /// Nobody has it: the key is now reserved for this caller, who must
+    /// [`Reservation::fulfil`] it (dropping the reservation un-reserves).
+    Reserved(Reservation<'a>),
+    /// Another requester reserved it; [`ScenarioCache::wait`] after
+    /// fulfilling your own reservations.
+    Busy,
+}
+
+/// An exclusive obligation to compute one replication; see [`Claim`].
+pub struct Reservation<'a> {
+    cache: &'a ScenarioCache,
+    key: Key,
+    fulfilled: bool,
+}
+
+impl Reservation<'_> {
+    /// Publishes the computed result and wakes every waiter.
+    pub fn fulfil(mut self, result: Result<SimOutcome, String>) {
+        self.fulfilled = true;
+        let mut map = self.cache.entries.lock().expect("cache lock");
+        map.insert(self.key, Entry::Done(Box::new(result)));
+        self.cache.changed.notify_all();
+    }
+}
+
+impl Drop for Reservation<'_> {
+    fn drop(&mut self) {
+        if self.fulfilled {
+            return;
+        }
+        // The owner died (a panicking handler unwound past the engine):
+        // un-reserve so waiters stop waiting and re-claim the key.
+        let mut map = self.cache.entries.lock().expect("cache lock");
+        if matches!(map.get(&self.key), Some(Entry::Pending)) {
+            map.remove(&self.key);
+        }
+        self.cache.changed.notify_all();
+    }
+}
+
+impl ScenarioCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Claims one replication without blocking; counts a hit or a miss
+    /// (a [`Claim::Busy`] counts on the eventual [`Self::wait`] instead).
+    pub fn claim(&self, point_digest: u64, base_seed: u64, rep: u64) -> Claim<'_> {
+        let key = (point_digest, base_seed, rep);
+        let mut map = self.entries.lock().expect("cache lock");
+        match map.get(&key) {
+            Some(Entry::Done(r)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Claim::Hit(r.clone())
+            }
+            Some(Entry::Pending) => Claim::Busy,
+            None => {
+                map.insert(key, Entry::Pending);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Claim::Reserved(Reservation { cache: self, key, fulfilled: false })
+            }
+        }
+    }
+
+    /// Blocks until a [`Claim::Busy`] key resolves. `Some` (counted as a
+    /// hit) is the peer's result; `None` means the peer abandoned its
+    /// reservation — re-[`claim`](Self::claim) and execute it yourself.
+    /// Only call after fulfilling your own reservations.
+    pub fn wait(
+        &self,
+        point_digest: u64,
+        base_seed: u64,
+        rep: u64,
+    ) -> Option<Result<SimOutcome, String>> {
+        let key = (point_digest, base_seed, rep);
+        let mut map = self.entries.lock().expect("cache lock");
+        loop {
+            match map.get(&key) {
+                Some(Entry::Done(r)) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(r.as_ref().clone());
+                }
+                Some(Entry::Pending) => {
+                    map = self.changed.wait(map).expect("cache lock");
+                }
+                None => return None,
+            }
+        }
+    }
+
+    /// The memoized result for a replication, if any; counts a hit or a
+    /// miss either way. Never blocks and never reserves — the read-only
+    /// sibling of [`Self::claim`].
+    pub fn lookup(
+        &self,
+        point_digest: u64,
+        base_seed: u64,
+        rep: u64,
+    ) -> Option<Result<SimOutcome, String>> {
+        let map = self.entries.lock().expect("cache lock");
+        match map.get(&(point_digest, base_seed, rep)) {
+            Some(Entry::Done(r)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(r.as_ref().clone())
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Memoizes a completed replication directly (no reservation needed).
+    /// Concurrent stores of the same key are harmless: determinism
+    /// guarantees they carry equal values.
+    pub fn store(
+        &self,
+        point_digest: u64,
+        base_seed: u64,
+        rep: u64,
+        result: Result<SimOutcome, String>,
+    ) {
+        let mut map = self.entries.lock().expect("cache lock");
+        map.insert((point_digest, base_seed, rep), Entry::Done(Box::new(result)));
+        self.changed.notify_all();
+    }
+
+    /// Lookups answered from memory since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that fell through to execution since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Memoized replications currently held (pending reservations not
+    /// included).
+    pub fn entries(&self) -> usize {
+        self.entries
+            .lock()
+            .expect("cache lock")
+            .values()
+            .filter(|e| matches!(e, Entry::Done(_)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::pool::execute_isolated;
+    use crate::policy::PolicyKind;
+    use crate::sim::SimConfig;
+
+    #[test]
+    fn lookup_counts_hits_and_misses_and_returns_stored_results() {
+        let cache = ScenarioCache::new();
+        assert!(cache.lookup(1, 2, 0).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+
+        let mut cfg = SimConfig::das(PolicyKind::Gs, 16, 0.3);
+        cfg.total_jobs = 800;
+        cfg.warmup_jobs = 100;
+        let outcome = execute_isolated(&cfg, false);
+        cache.store(1, 2, 0, outcome.clone());
+        assert_eq!(cache.entries(), 1);
+
+        let back = cache.lookup(1, 2, 0).expect("stored entry");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(back.unwrap().metrics.mean_response, outcome.unwrap().metrics.mean_response);
+
+        cache.store(1, 2, 1, Err("poisoned".into()));
+        assert!(cache.lookup(1, 2, 1).expect("failure memoized").is_err());
+    }
+
+    #[test]
+    fn claims_are_exclusive_and_waiters_get_the_fulfilled_result() {
+        let cache = std::sync::Arc::new(ScenarioCache::new());
+        let res = match cache.claim(7, 7, 0) {
+            Claim::Reserved(r) => r,
+            _ => panic!("first claim reserves"),
+        };
+        assert!(matches!(cache.claim(7, 7, 0), Claim::Busy));
+
+        let waiter = {
+            let cache = std::sync::Arc::clone(&cache);
+            std::thread::spawn(move || cache.wait(7, 7, 0))
+        };
+        res.fulfil(Err("done".into()));
+        let got = waiter.join().expect("waiter").expect("fulfilled");
+        assert_eq!(got.unwrap_err(), "done");
+        assert!(matches!(cache.claim(7, 7, 0), Claim::Hit(_)));
+    }
+
+    #[test]
+    fn an_abandoned_reservation_unblocks_waiters_for_a_reclaim() {
+        let cache = std::sync::Arc::new(ScenarioCache::new());
+        let res = match cache.claim(9, 9, 3) {
+            Claim::Reserved(r) => r,
+            _ => panic!("first claim reserves"),
+        };
+        let waiter = {
+            let cache = std::sync::Arc::clone(&cache);
+            std::thread::spawn(move || cache.wait(9, 9, 3))
+        };
+        drop(res);
+        assert!(waiter.join().expect("waiter").is_none(), "abandonment reported");
+        assert!(matches!(cache.claim(9, 9, 3), Claim::Reserved(_)), "key is free again");
+    }
+}

@@ -1,0 +1,175 @@
+//! Atomic, fingerprinted sweep checkpoints.
+//!
+//! After every round the engine writes the queue's completed state to
+//! JSON; an interrupted sweep resumes from the file and finishes
+//! exactly as an uninterrupted run would. The file carries the sweep's
+//! full scenario fingerprint ([`super::grid::sweep_digest`]): resuming
+//! under *any* changed configuration — policy, capacities, disposition,
+//! discipline, faults, network, warm-up, run lengths, seed, or grid —
+//! rejects the file and restarts. (Earlier revisions matched only
+//! `(version, base_seed, utilizations)` and silently reused outcomes
+//! from a different scenario.) Precision knobs — `rel_ci_target` and
+//! the replication bounds — stay *out* of the fingerprint on purpose:
+//! completed replications are valid under any precision target, because
+//! replication seeds depend only on the base seed and the index.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use super::grid::SweepConfig;
+use super::outcome::FailedReplication;
+use crate::sim::SimOutcome;
+
+/// On-disk state of a partially completed sweep: every finished
+/// replication, per utilization point, in replication order.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct SweepCheckpoint {
+    /// Format version (see [`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// The sweep's base seed.
+    pub base_seed: u64,
+    /// The full-scenario fingerprint ([`super::grid::sweep_digest`])
+    /// this state was computed under. Also the scenario-cache key
+    /// prefix: matching digests mean bit-identical replications.
+    pub scenario: u64,
+    /// The target-utilization grid.
+    pub utilizations: Vec<f64>,
+    /// Completed runs: `runs[i][r]` is replication `r` of point `i`.
+    pub runs: Vec<Vec<SimOutcome>>,
+    /// Failed (panicked) replications per point, in replication order.
+    pub failures: Vec<Vec<FailedReplication>>,
+}
+
+/// Current checkpoint format version. Bumped to 3 when the fingerprint
+/// grew from `(version, base_seed, utilizations)` to the full scenario
+/// digest (v2 carried no digest, so a v2 file written under a different
+/// policy or system would resume silently; v3 rejects it).
+pub const CHECKPOINT_VERSION: u32 = 3;
+
+/// Loads a checkpoint if `path` holds one matching this sweep's
+/// fingerprint; a missing, corrupt (truncated, bit-flipped, wrong
+/// version), or mismatched file restarts the sweep from scratch (with a
+/// note on stderr for the non-missing cases). Restarting is always
+/// safe: the checkpoint is an optimization, never the source of truth.
+#[allow(clippy::type_complexity)]
+pub(crate) fn load_checkpoint(
+    path: &Path,
+    cfg: &SweepConfig,
+    scenario: u64,
+) -> Option<(Vec<Vec<SimOutcome>>, Vec<Vec<FailedReplication>>)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let cp: SweepCheckpoint = match serde_json::from_str(&text) {
+        Ok(cp) => cp,
+        Err(e) => {
+            eprintln!("sweep checkpoint {} unreadable ({e}); restarting", path.display());
+            return None;
+        }
+    };
+    let grid_matches = cp.utilizations.len() == cfg.utilizations.len()
+        && cp.utilizations.iter().zip(&cfg.utilizations).all(|(a, b)| (a - b).abs() < 1e-12);
+    if cp.version != CHECKPOINT_VERSION
+        || cp.base_seed != cfg.base_seed
+        || cp.scenario != scenario
+        || !grid_matches
+        || cp.runs.len() != cfg.utilizations.len()
+        || cp.failures.len() != cfg.utilizations.len()
+    {
+        eprintln!(
+            "sweep checkpoint {} belongs to a different scenario (fingerprint mismatch); \
+             restarting",
+            path.display()
+        );
+        return None;
+    }
+    Some((cp.runs, cp.failures))
+}
+
+/// Per-process temp-name counter; see [`unique_tmp_path`].
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A temp path no other writer — in this process or another — is using:
+/// `<file>.<pid>-<seq>.tmp` next to the target. A fixed `<path>.tmp`
+/// used to race when two sweeps sharing a checkpoint directory (routine
+/// under `coalloc-exp serve`) saved at once: one writer's rename could
+/// publish the other's half-written file.
+pub(crate) fn unique_tmp_path(path: &Path) -> PathBuf {
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("checkpoint");
+    path.with_file_name(format!("{name}.{}-{seq}.tmp", std::process::id()))
+}
+
+/// Writes the checkpoint atomically (unique temp file + rename) so an
+/// interruption mid-write never corrupts the previous round's state. A
+/// write failure (disk full, permissions) is reported on stderr and
+/// otherwise ignored: the sweep's results live in memory, and losing a
+/// resume point must not kill hours of completed replications.
+pub(crate) fn save_checkpoint(
+    path: &Path,
+    cfg: &SweepConfig,
+    scenario: u64,
+    runs: &[Vec<SimOutcome>],
+    failures: &[Vec<FailedReplication>],
+) {
+    let cp = SweepCheckpoint {
+        version: CHECKPOINT_VERSION,
+        base_seed: cfg.base_seed,
+        scenario,
+        utilizations: cfg.utilizations.clone(),
+        runs: runs.to_vec(),
+        failures: failures.to_vec(),
+    };
+    let json = serde_json::to_string(&cp).expect("checkpoint serializes");
+    let tmp = unique_tmp_path(path);
+    if let Err(e) = std::fs::write(&tmp, json) {
+        eprintln!("warning: cannot write checkpoint {}: {e}; continuing", tmp.display());
+        return;
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        eprintln!("warning: cannot commit checkpoint {}: {e}; continuing", path.display());
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temp_names_are_unique_per_writer() {
+        let path = Path::new("/tmp/some/dir/cp.json");
+        let a = unique_tmp_path(path);
+        let b = unique_tmp_path(path);
+        assert_ne!(a, b, "two writers must never share a temp file");
+        for t in [&a, &b] {
+            assert_eq!(t.parent(), path.parent(), "temp stays beside the target (same fs)");
+            assert!(t.file_name().unwrap().to_str().unwrap().starts_with("cp.json."));
+            assert!(t.extension().is_some_and(|e| e == "tmp"));
+        }
+    }
+
+    #[test]
+    fn concurrent_savers_on_one_path_never_clobber_mid_write() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("coalloc_cp_race_{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cfg = SweepConfig { utilizations: vec![0.5], ..SweepConfig::quick() };
+        // Hammer the same target from many threads; every published file
+        // must be a complete, parseable checkpoint (an interleaved
+        // fixed-name temp would intermittently produce garbage).
+        std::thread::scope(|s| {
+            for k in 0..8u64 {
+                let (path, cfg) = (&path, &cfg);
+                s.spawn(move || {
+                    for _ in 0..20 {
+                        save_checkpoint(path, cfg, k, &[vec![]], &[vec![]]);
+                        let text = std::fs::read_to_string(path).expect("published file");
+                        let cp: SweepCheckpoint =
+                            serde_json::from_str(&text).expect("complete checkpoint");
+                        assert_eq!(cp.version, CHECKPOINT_VERSION);
+                    }
+                });
+            }
+        });
+        let _ = std::fs::remove_file(&path);
+    }
+}

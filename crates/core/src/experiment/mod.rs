@@ -1,0 +1,313 @@
+//! Response-time-vs-utilization sweeps — the machinery behind every
+//! figure in the paper's evaluation — layered as an engine:
+//!
+//! * [`grid`] — what a sweep *is*: the [`SweepConfig`] scenario grid and
+//!   its fingerprint ([`point_digest`] / [`sweep_digest`]), the identity
+//!   under which results may be cached, checkpointed, and shared.
+//! * [`queue`] — the resumable [`ReplicationQueue`]: plans each round of
+//!   `(point, replication)` tasks purely from completed state, so
+//!   results are deterministic for a fixed seed at any thread count.
+//! * [`pool`] — the persistent [`WorkerPool`] the tasks run on:
+//!   lock-free task claiming, panic isolation per replication,
+//!   concurrent submitters sharing one set of workers.
+//! * [`cache`] — the [`ScenarioCache`]: memoized per-replication
+//!   outcomes keyed by `(scenario digest, base seed, replication)`, so
+//!   overlapping sweeps share replications bit-identically.
+//! * [`checkpoint`] — fingerprinted on-disk resume state, written
+//!   atomically after every round.
+//!
+//! [`sweep`], [`compare`], and the saturation search are thin clients of
+//! [`sweep_on`], which wires the five layers together; `coalloc-exp
+//! serve` drives the same entry point with a long-lived pool and cache.
+//!
+//! Replication seeds are derived via [`RngStream::substream`] from the
+//! base seed and the replication index *only*, so two sweeps with the
+//! same base seed see common random numbers at every replication across
+//! policies and utilizations — the variance-reduction discipline behind
+//! [`compare_sweeps`], and the reason overlapping grids can share cached
+//! replications.
+
+pub mod cache;
+pub mod checkpoint;
+pub mod grid;
+pub mod outcome;
+pub mod pool;
+pub mod queue;
+
+pub use cache::ScenarioCache;
+pub use checkpoint::{SweepCheckpoint, CHECKPOINT_VERSION};
+pub use grid::{point_digest, sweep_digest, SweepConfig};
+pub use outcome::{FailedReplication, ReplicatedOutcome, SweepPoint};
+pub use pool::WorkerPool;
+pub use queue::{RepTask, ReplicationQueue};
+
+use desim::RngStream;
+
+use crate::sim::SimConfig;
+
+/// The master seed of replication `rep` under `base_seed`: an
+/// independent substream derived from `(base_seed, rep)` alone. Every
+/// policy and utilization sees the *same* seed at replication `rep`, so
+/// compared sweeps run on common random numbers, and adding utilization
+/// points or changing the policy never reshuffles the randomness of
+/// existing replications.
+pub fn replication_seed(base_seed: u64, rep: u64) -> u64 {
+    RngStream::new(base_seed).substream(rep).seed()
+}
+
+/// What one engine round did; streamed to [`sweep_on`]'s observer as the
+/// round completes (the hook behind `coalloc-exp serve`'s progress
+/// events).
+#[derive(Clone, Copy, Debug)]
+pub struct RoundReport {
+    /// 1-based round number.
+    pub round: usize,
+    /// Tasks the queue planned this round.
+    pub tasks: usize,
+    /// Tasks answered from the scenario cache.
+    pub cache_hits: usize,
+    /// Tasks that actually simulated.
+    pub executed: usize,
+    /// Points the stopping rule still keeps open after the round.
+    pub open_points: usize,
+}
+
+/// Where a finished sweep's replications came from.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SweepStats {
+    /// Engine rounds run.
+    pub rounds: usize,
+    /// Replications that simulated.
+    pub executed: u64,
+    /// Replications answered from the scenario cache.
+    pub cache_hits: u64,
+    /// Replications recovered from the checkpoint before round one.
+    pub resumed: u64,
+}
+
+/// Runs an adaptive sweep on an existing [`WorkerPool`], optionally
+/// memoizing replications in a [`ScenarioCache`] and reporting each
+/// round to `on_round`. This is the full engine; [`sweep`] and
+/// [`compare`] are thin wrappers, and `coalloc-exp serve` calls it with
+/// a process-lifetime pool and cache shared across requests.
+///
+/// `make_cfg` builds the simulation template for a target utilization;
+/// it is called once per point, on the calling thread. The engine
+/// replicates every point until its relative 95 % CI meets
+/// `rel_ci_target` (or the cap / saturation ends it), planning each
+/// round from completed state only, so the result is bit-identical for
+/// a fixed base seed at any pool width, with or without the cache, and
+/// across checkpoint interruptions.
+pub fn sweep_on<F, R>(
+    pool: &WorkerPool,
+    cache: Option<&ScenarioCache>,
+    make_cfg: F,
+    sweep_cfg: &SweepConfig,
+    mut on_round: R,
+) -> (Vec<SweepPoint>, SweepStats)
+where
+    F: Fn(f64) -> SimConfig,
+    R: FnMut(&RoundReport),
+{
+    sweep_cfg.validate();
+    // One template per point; replications clone it and swap the seed.
+    // The digests fingerprint the whole scenario (seed normalized out).
+    let templates: Vec<SimConfig> = sweep_cfg.utilizations.iter().map(|&u| make_cfg(u)).collect();
+    let digests: Vec<u64> = templates.iter().map(point_digest).collect();
+    let scenario = sweep_digest(sweep_cfg.base_seed, &digests);
+
+    let mut stats = SweepStats::default();
+    let mut queue = match sweep_cfg
+        .checkpoint
+        .as_deref()
+        .and_then(|p| checkpoint::load_checkpoint(p, sweep_cfg, scenario))
+    {
+        Some((runs, failures)) => {
+            stats.resumed = runs.iter().map(Vec::len).sum::<usize>() as u64
+                + failures.iter().map(Vec::len).sum::<usize>() as u64;
+            ReplicationQueue::resume(sweep_cfg.rule(), runs, failures)
+        }
+        None => ReplicationQueue::new(templates.len(), sweep_cfg.rule()),
+    };
+
+    loop {
+        let plan = queue.plan_round();
+        if plan.is_empty() {
+            break;
+        }
+        stats.rounds += 1;
+
+        // Results land in slots aligned with the plan so recording stays
+        // strictly in plan order — per-point runs must be in replication
+        // order or aggregates (and stopping decisions) would drift.
+        //
+        // With a cache, the deadlock-free sharing protocol (see
+        // [`cache`]): claim every task without blocking — hits fill
+        // their slots, fresh reservations become this round's pool
+        // batch, keys a concurrent sweep already reserved are deferred —
+        // then execute and fulfil our own reservations, and only then
+        // wait on the peers'. An abandoned peer reservation (its sweep
+        // panicked) comes back `None`; re-claim and execute it ourselves.
+        let mut slots: Vec<Option<Result<crate::sim::SimOutcome, String>>> =
+            (0..plan.len()).map(|_| None).collect();
+        let mut cache_hits = 0usize;
+        let mut pending: Vec<usize> = (0..plan.len()).collect();
+        while !pending.is_empty() {
+            let mut miss_slots = Vec::new();
+            let mut miss_res: Vec<Option<cache::Reservation<'_>>> = Vec::new();
+            let mut miss_cfgs = Vec::new();
+            let mut busy = Vec::new();
+            for i in pending {
+                let task = plan[i];
+                let seed = replication_seed(sweep_cfg.base_seed, task.rep);
+                match cache.map(|c| c.claim(digests[task.point], sweep_cfg.base_seed, task.rep)) {
+                    Some(cache::Claim::Hit(r)) => {
+                        slots[i] = Some(*r);
+                        cache_hits += 1;
+                    }
+                    Some(cache::Claim::Busy) => busy.push(i),
+                    Some(cache::Claim::Reserved(res)) => {
+                        miss_slots.push(i);
+                        miss_res.push(Some(res));
+                        miss_cfgs.push(templates[task.point].clone().with_seed(seed));
+                    }
+                    None => {
+                        miss_slots.push(i);
+                        miss_res.push(None);
+                        miss_cfgs.push(templates[task.point].clone().with_seed(seed));
+                    }
+                }
+            }
+            stats.executed += miss_cfgs.len() as u64;
+            let results = pool.run(miss_cfgs, sweep_cfg.audit);
+            for ((i, res), result) in miss_slots.into_iter().zip(miss_res).zip(results) {
+                if let Some(res) = res {
+                    res.fulfil(result.clone());
+                }
+                slots[i] = Some(result);
+            }
+            pending = Vec::new();
+            for i in busy {
+                let task = plan[i];
+                let c = cache.expect("busy claims only happen with a cache");
+                match c.wait(digests[task.point], sweep_cfg.base_seed, task.rep) {
+                    Some(r) => {
+                        slots[i] = Some(r);
+                        cache_hits += 1;
+                    }
+                    None => pending.push(i),
+                }
+            }
+        }
+        stats.cache_hits += cache_hits as u64;
+
+        for (task, slot) in plan.iter().zip(slots) {
+            let seed = replication_seed(sweep_cfg.base_seed, task.rep);
+            queue.record(*task, seed, slot.expect("every planned task resolved"));
+        }
+
+        if let Some(path) = sweep_cfg.checkpoint.as_deref() {
+            let (runs, failures) = queue.state();
+            checkpoint::save_checkpoint(path, sweep_cfg, scenario, runs, failures);
+        }
+        on_round(&RoundReport {
+            round: stats.rounds,
+            tasks: plan.len(),
+            cache_hits,
+            executed: plan.len() - cache_hits,
+            open_points: queue.open_points(),
+        });
+    }
+
+    (queue.into_points(&sweep_cfg.utilizations), stats)
+}
+
+/// Runs an adaptive sweep: `make_cfg` builds the simulation for a target
+/// utilization; the engine replicates every point until its relative
+/// 95 % CI meets `rel_ci_target` (or the cap / saturation ends it),
+/// running each round's mixed batch through the worker pool. A
+/// convenience over [`sweep_on`] with a sweep-lifetime pool and no
+/// cache.
+pub fn sweep<F>(make_cfg: F, sweep_cfg: &SweepConfig) -> Vec<SweepPoint>
+where
+    F: Fn(f64) -> SimConfig,
+{
+    let pool = WorkerPool::new(sweep_cfg.resolved_threads());
+    sweep_on(&pool, None, make_cfg, sweep_cfg, |_| {}).0
+}
+
+/// The verdict of a statistical comparison at one utilization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Verdict {
+    /// A's mean response is significantly lower (95 % CIs disjoint).
+    AWins,
+    /// B's mean response is significantly lower.
+    BWins,
+    /// The confidence intervals overlap — no significant difference.
+    Tie,
+}
+
+/// Compares two sweeps point by point using the replication confidence
+/// intervals: a side "wins" at a utilization when its CI lies entirely
+/// below the other's. Sweeps must use the same target-utilization grid.
+///
+/// # Panics
+/// Panics if the grids differ.
+pub fn compare_sweeps(a: &[SweepPoint], b: &[SweepPoint]) -> Vec<(f64, Verdict)> {
+    assert_eq!(a.len(), b.len(), "sweeps must share the utilization grid");
+    a.iter()
+        .zip(b)
+        .map(|(pa, pb)| {
+            assert!(
+                (pa.target_utilization - pb.target_utilization).abs() < 1e-9,
+                "sweeps must share the utilization grid"
+            );
+            let (ra, rb) = (&pa.outcome.response, &pb.outcome.response);
+            let a_sat = pa.outcome.saturated;
+            let b_sat = pb.outcome.saturated;
+            let verdict = if a_sat != b_sat {
+                // Only one side is unstable: the stable side wins.
+                if a_sat {
+                    Verdict::BWins
+                } else {
+                    Verdict::AWins
+                }
+            } else if ra.mean + ra.half_width < rb.mean - rb.half_width {
+                Verdict::AWins
+            } else if rb.mean + rb.half_width < ra.mean - ra.half_width {
+                Verdict::BWins
+            } else {
+                Verdict::Tie
+            };
+            (pa.target_utilization, verdict)
+        })
+        .collect()
+}
+
+/// Runs two adaptive sweeps on the *same* base seed (common random
+/// numbers: replication `r` of either side sees identical arrivals and
+/// service draws) and the *same* worker pool, and compares them point by
+/// point.
+///
+/// # Panics
+/// Panics if `sweep_cfg.checkpoint` is set — the two sweeps would
+/// clobber one file; checkpoint each side separately via [`sweep`].
+pub fn compare<FA, FB>(
+    make_a: FA,
+    make_b: FB,
+    sweep_cfg: &SweepConfig,
+) -> (Vec<SweepPoint>, Vec<SweepPoint>, Vec<(f64, Verdict)>)
+where
+    FA: Fn(f64) -> SimConfig,
+    FB: Fn(f64) -> SimConfig,
+{
+    assert!(
+        sweep_cfg.checkpoint.is_none(),
+        "compare runs two sweeps; checkpoint each separately via sweep()"
+    );
+    let pool = WorkerPool::new(sweep_cfg.resolved_threads());
+    let (a, _) = sweep_on(&pool, None, make_a, sweep_cfg, |_| {});
+    let (b, _) = sweep_on(&pool, None, make_b, sweep_cfg, |_| {});
+    let verdicts = compare_sweeps(&a, &b);
+    (a, b, verdicts)
+}

@@ -1,0 +1,113 @@
+//! What a sweep point reports: per-replication outcomes aggregated into
+//! estimates, plus the failures that consumed replication indices
+//! without producing observations.
+
+use desim::stats::{t_975, Estimate, Welford};
+
+use crate::sim::SimOutcome;
+
+/// A replication that panicked instead of producing a [`SimOutcome`].
+///
+/// The panic is caught at the worker ([`std::panic::catch_unwind`] in
+/// [`super::pool`]), so one poisoned replication never takes down the
+/// rest of the sweep. The failure keeps its replication index:
+/// replication `rep` stays spent, and the seeds of every other
+/// replication are unchanged.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FailedReplication {
+    /// The replication index that failed.
+    pub rep: u64,
+    /// The seed the replication ran on ([`super::replication_seed`]).
+    pub seed: u64,
+    /// The panic payload, when it was a string (the common case for
+    /// `panic!`/`assert!`); a placeholder otherwise.
+    pub cause: String,
+}
+
+/// Replication-aggregated results at one target utilization.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct ReplicatedOutcome {
+    /// Mean response time with a 95 % CI over the means of the
+    /// *non-saturated* replications (`n` counts those); a saturated
+    /// run's mean response reflects queue blow-up, not steady state, so
+    /// it never enters this estimate. When every replication saturated,
+    /// the mean is 0 with an infinite half-width — consult `saturated`
+    /// and `runs`.
+    pub response: Estimate,
+    /// Mean measured gross utilization across all replications.
+    pub gross_utilization: f64,
+    /// Mean measured net utilization across all replications.
+    pub net_utilization: f64,
+    /// Mean response of local-queue jobs (LS/LP) over replications that
+    /// measured any; `None` when the class is empty everywhere (GS/SC).
+    pub response_local: Option<f64>,
+    /// Mean response of global-queue jobs (GS/LP) over replications
+    /// that measured any; `None` when the class is empty everywhere.
+    pub response_global: Option<f64>,
+    /// Whether any replication saturated.
+    pub saturated: bool,
+    /// The individual runs, in replication order (failed replications
+    /// are absent here — see `failures`).
+    pub runs: Vec<SimOutcome>,
+    /// Replications that panicked instead of completing, in replication
+    /// order. Empty in a healthy sweep.
+    pub failures: Vec<FailedReplication>,
+}
+
+/// One point of a sweep: the target utilization and what was measured.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct SweepPoint {
+    /// Target offered gross utilization.
+    pub target_utilization: f64,
+    /// Aggregated measurements.
+    pub outcome: ReplicatedOutcome,
+}
+
+/// The CI over non-saturated replication mean responses. `n` is the
+/// number of observations *kept*, not replications spent.
+pub(crate) fn response_estimate(runs: &[SimOutcome]) -> Estimate {
+    let mut resp = Welford::new();
+    for r in runs.iter().filter(|r| !r.saturated) {
+        resp.add(r.metrics.mean_response);
+    }
+    let k = resp.count();
+    let half =
+        if k >= 2 { t_975(k - 1) * resp.std_dev() / (k as f64).sqrt() } else { f64::INFINITY };
+    Estimate { mean: resp.mean(), half_width: half, n: k }
+}
+
+pub(crate) fn aggregate(
+    runs: Vec<SimOutcome>,
+    failures: Vec<FailedReplication>,
+) -> ReplicatedOutcome {
+    assert!(!runs.is_empty() || !failures.is_empty());
+    let response = response_estimate(&runs);
+    let mut gross = Welford::new();
+    let mut net = Welford::new();
+    let mut local = Welford::new();
+    let mut global = Welford::new();
+    let mut saturated = false;
+    for r in &runs {
+        gross.add(r.metrics.gross_utilization);
+        net.add(r.metrics.net_utilization);
+        // Empty classes are None, not 0.0: averaging a GS run's absent
+        // local-queue mean as zero used to poison the aggregate.
+        if let Some(x) = r.metrics.response_local {
+            local.add(x);
+        }
+        if let Some(x) = r.metrics.response_global {
+            global.add(x);
+        }
+        saturated |= r.saturated;
+    }
+    ReplicatedOutcome {
+        response,
+        gross_utilization: gross.mean(),
+        net_utilization: net.mean(),
+        response_local: local.mean_opt(),
+        response_global: global.mean_opt(),
+        saturated,
+        runs,
+        failures,
+    }
+}

@@ -1,0 +1,171 @@
+//! The resumable replication task queue at the heart of the sweep
+//! engine.
+//!
+//! The queue holds, per sweep point, every completed run and every
+//! failed replication — nothing else. Each round it derives a *plan*
+//! (which `(point, replication)` tasks to run next) purely from that
+//! completed state via [`StoppingRule::plan`], records the round's
+//! results, and repeats until every point is closed. Because the plan —
+//! and therefore every replication seed — is a pure function of prior
+//! rounds, results are deterministic for a fixed base seed regardless
+//! of worker count, scheduling interleaving, cache hits, or how often
+//! the queue was checkpointed and resumed in between.
+//!
+//! Failed replications stay *spent*: their indices are never re-issued,
+//! so the seeds of later replications never shift (thread-count and
+//! resume invariance would otherwise break under panics).
+
+use desim::stopping::StoppingRule;
+
+use super::outcome::{aggregate, response_estimate, FailedReplication, SweepPoint};
+use crate::sim::SimOutcome;
+
+/// One schedulable unit: replication `rep` of sweep point `point`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RepTask {
+    /// Index into the sweep's utilization grid.
+    pub point: usize,
+    /// The replication index (feeds [`super::replication_seed`]).
+    pub rep: u64,
+}
+
+/// Per-point completed state plus the stopping rule that plans rounds.
+pub struct ReplicationQueue {
+    rule: StoppingRule,
+    runs: Vec<Vec<SimOutcome>>,
+    failures: Vec<Vec<FailedReplication>>,
+}
+
+impl ReplicationQueue {
+    /// An empty queue over `n_points` sweep points.
+    pub fn new(n_points: usize, rule: StoppingRule) -> Self {
+        ReplicationQueue {
+            rule,
+            runs: vec![Vec::new(); n_points],
+            failures: vec![Vec::new(); n_points],
+        }
+    }
+
+    /// A queue resumed from checkpointed state (completed runs and
+    /// failures per point, in replication order). The next plan
+    /// continues exactly where the checkpointed engine would have.
+    pub fn resume(
+        rule: StoppingRule,
+        runs: Vec<Vec<SimOutcome>>,
+        failures: Vec<Vec<FailedReplication>>,
+    ) -> Self {
+        assert_eq!(runs.len(), failures.len(), "per-point state out of step");
+        ReplicationQueue { rule, runs, failures }
+    }
+
+    /// Plans the next round: for every point the stopping rule keeps
+    /// open, the consecutive replication indices it is owed. An empty
+    /// plan means the sweep is complete.
+    pub fn plan_round(&self) -> Vec<RepTask> {
+        self.runs
+            .iter()
+            .zip(&self.failures)
+            .enumerate()
+            .flat_map(|(point, (runs, failures))| {
+                let spent = (runs.len() + failures.len()) as u64;
+                let saturated = runs.iter().any(|r| r.saturated);
+                let add = self.rule.plan(spent, saturated, &response_estimate(runs));
+                (spent..spent + add).map(move |rep| RepTask { point, rep })
+            })
+            .collect()
+    }
+
+    /// Records one task's result. Must be called in plan order per
+    /// point (the engine replays each round's tasks in order), so runs
+    /// and failures stay sorted by replication index.
+    pub fn record(&mut self, task: RepTask, seed: u64, result: Result<SimOutcome, String>) {
+        match result {
+            Ok(outcome) => self.runs[task.point].push(outcome),
+            Err(cause) => {
+                self.failures[task.point].push(FailedReplication { rep: task.rep, seed, cause })
+            }
+        }
+    }
+
+    /// The number of points the stopping rule still keeps open.
+    pub fn open_points(&self) -> usize {
+        self.runs
+            .iter()
+            .zip(&self.failures)
+            .filter(|(runs, failures)| {
+                let spent = (runs.len() + failures.len()) as u64;
+                let saturated = runs.iter().any(|r| r.saturated);
+                self.rule.plan(spent, saturated, &response_estimate(runs)) > 0
+            })
+            .count()
+    }
+
+    /// The completed state, for checkpointing.
+    pub fn state(&self) -> (&[Vec<SimOutcome>], &[Vec<FailedReplication>]) {
+        (&self.runs, &self.failures)
+    }
+
+    /// Consumes the queue into aggregated sweep points.
+    pub fn into_points(self, utilizations: &[f64]) -> Vec<SweepPoint> {
+        assert_eq!(utilizations.len(), self.runs.len(), "grid/state mismatch");
+        utilizations
+            .iter()
+            .zip(self.runs.into_iter().zip(self.failures))
+            .map(|(&u, (runs, failures))| SweepPoint {
+                target_utilization: u,
+                outcome: aggregate(runs, failures),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule() -> StoppingRule {
+        StoppingRule::new(0.05, 2, 4)
+    }
+
+    #[test]
+    fn a_fresh_queue_plans_the_minimum_for_every_point() {
+        let q = ReplicationQueue::new(2, rule());
+        let plan = q.plan_round();
+        assert_eq!(
+            plan,
+            vec![
+                RepTask { point: 0, rep: 0 },
+                RepTask { point: 0, rep: 1 },
+                RepTask { point: 1, rep: 0 },
+                RepTask { point: 1, rep: 1 },
+            ]
+        );
+        assert_eq!(q.open_points(), 2);
+    }
+
+    #[test]
+    fn failures_consume_indices_without_reissue() {
+        let mut q = ReplicationQueue::new(1, rule());
+        q.record(RepTask { point: 0, rep: 0 }, 17, Err("boom".into()));
+        q.record(RepTask { point: 0, rep: 1 }, 18, Err("boom".into()));
+        // Two spent, zero observations: the rule plans more (towards the
+        // cap), starting at index 2 — indices 0 and 1 are never reused.
+        let plan = q.plan_round();
+        assert_eq!(plan.first(), Some(&RepTask { point: 0, rep: 2 }));
+        let (runs, failures) = q.state();
+        assert!(runs[0].is_empty());
+        assert_eq!(failures[0].len(), 2);
+        assert_eq!(failures[0][0].rep, 0);
+        assert_eq!(failures[0][0].seed, 17);
+    }
+
+    #[test]
+    fn resume_plans_exactly_like_the_uninterrupted_queue() {
+        let mut live = ReplicationQueue::new(1, rule());
+        live.record(RepTask { point: 0, rep: 0 }, 1, Err("x".into()));
+        live.record(RepTask { point: 0, rep: 1 }, 2, Err("y".into()));
+        let (runs, failures) = live.state();
+        let resumed = ReplicationQueue::resume(rule(), runs.to_vec(), failures.to_vec());
+        assert_eq!(live.plan_round(), resumed.plan_round());
+    }
+}

@@ -46,8 +46,9 @@ pub use audit::{
 pub use cluster::Cluster;
 pub use error::CoallocError;
 pub use experiment::{
-    compare, compare_sweeps, replication_seed, sweep, FailedReplication, ReplicatedOutcome,
-    SweepCheckpoint, SweepConfig, SweepPoint, Verdict,
+    compare, compare_sweeps, point_digest, replication_seed, sweep, sweep_digest, sweep_on,
+    FailedReplication, ReplicatedOutcome, RoundReport, ScenarioCache, SweepCheckpoint, SweepConfig,
+    SweepPoint, SweepStats, Verdict, WorkerPool, CHECKPOINT_VERSION,
 };
 pub use fault::{FaultEvent, FaultKind, FaultSpec, FaultTrace, InterruptPolicy, ResizePolicy};
 pub use feed::{JobFeed, StochasticFeed, TraceFeed};
@@ -63,15 +64,11 @@ pub use policy::{
 };
 pub use queue::QueueDiscipline;
 pub use saturation::{
-    bisect_max_utilization, bisect_max_utilization_replicated, maximal_utilization, ProbePlan,
-    SaturationConfig, SaturationResult,
+    bisect_max_utilization, bisect_max_utilization_on, bisect_max_utilization_replicated,
+    maximal_utilization, ProbePlan, SaturationConfig, SaturationResult,
 };
 pub use sim::{
     mean_response, NetworkSpec, NetworkTopology, OccupancyModel, Session, SimBuilder, SimConfig,
     SimOutcome, Warmup,
-};
-#[allow(deprecated)]
-pub use sim::{
-    run, run_observed, run_trace, run_with_feed, run_with_feed_observed, run_with_scheduler,
 };
 pub use system::{MultiCluster, SystemSpec, SystemSpecError};

@@ -202,9 +202,9 @@ impl Default for ProbePlan {
 }
 
 impl ProbePlan {
-    fn saturated<F>(&self, make_cfg: &F, util: f64) -> bool
+    fn saturated<F>(&self, pool: &crate::experiment::WorkerPool, make_cfg: &F, util: f64) -> bool
     where
-        F: Fn(f64) -> crate::sim::SimConfig + Sync,
+        F: Fn(f64) -> crate::sim::SimConfig,
     {
         assert!(self.replications > 0, "probe needs at least one replication");
         let cfgs: Vec<crate::sim::SimConfig> = (0..self.replications)
@@ -214,13 +214,7 @@ impl ProbePlan {
                 cfg.with_seed(seed)
             })
             .collect();
-        let threads = if self.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-        } else {
-            self.threads
-        }
-        .clamp(1, cfgs.len());
-        let outcomes = crate::experiment::run_parallel(&cfgs, threads, false);
+        let outcomes = pool.run_or_panic(cfgs, false);
         let votes = outcomes.iter().filter(|o| o.saturated).count();
         2 * votes > outcomes.len()
     }
@@ -235,7 +229,7 @@ impl ProbePlan {
 /// majority-vote variant.
 pub fn bisect_max_utilization<F>(make_cfg: F, lo: f64, hi: f64, tolerance: f64) -> f64
 where
-    F: Fn(f64) -> crate::sim::SimConfig + Sync,
+    F: Fn(f64) -> crate::sim::SimConfig,
 {
     bisect_max_utilization_replicated(
         make_cfg,
@@ -260,13 +254,36 @@ where
 /// saturation point, which is a wrong *number*, not a crash.
 pub fn bisect_max_utilization_replicated<F>(
     make_cfg: F,
+    lo: f64,
+    hi: f64,
+    tolerance: f64,
+    plan: &ProbePlan,
+) -> f64
+where
+    F: Fn(f64) -> crate::sim::SimConfig,
+{
+    // One pool serves every probe of the whole search.
+    let pool = crate::experiment::WorkerPool::new(plan.threads);
+    bisect_max_utilization_on(&pool, make_cfg, lo, hi, tolerance, plan)
+}
+
+/// [`bisect_max_utilization_replicated`] on an existing
+/// [`crate::experiment::WorkerPool`]
+/// — the entry point `coalloc-exp serve` uses so concurrent saturation
+/// searches and sweeps share one set of workers.
+///
+/// # Panics
+/// Same bracket requirements as [`bisect_max_utilization_replicated`].
+pub fn bisect_max_utilization_on<F>(
+    pool: &crate::experiment::WorkerPool,
+    make_cfg: F,
     mut lo: f64,
     mut hi: f64,
     tolerance: f64,
     plan: &ProbePlan,
 ) -> f64
 where
-    F: Fn(f64) -> crate::sim::SimConfig + Sync,
+    F: Fn(f64) -> crate::sim::SimConfig,
 {
     assert!(0.0 < lo && lo < hi && hi <= 2.0, "search bounds must satisfy 0 < lo < hi <= 2");
     assert!(tolerance > 0.0);
@@ -274,16 +291,16 @@ where
     // price of a trustworthy answer; a debug_assert! would vanish in
     // release builds, where all real searches run.
     assert!(
-        !plan.saturated(&make_cfg, lo),
+        !plan.saturated(pool, &make_cfg, lo),
         "bisection bracket invalid: lo = {lo} is already saturated; lower lo"
     );
     assert!(
-        plan.saturated(&make_cfg, hi),
+        plan.saturated(pool, &make_cfg, hi),
         "bisection bracket invalid: hi = {hi} is still stable; the saturation point lies above hi"
     );
     while hi - lo > tolerance {
         let mid = 0.5 * (lo + hi);
-        if plan.saturated(&make_cfg, mid) {
+        if plan.saturated(pool, &make_cfg, mid) {
             hi = mid;
         } else {
             lo = mid;

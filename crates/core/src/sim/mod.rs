@@ -14,8 +14,8 @@
 //!
 //! The historical free-function entry points (`run`, `run_observed`,
 //! `run_trace`, `run_with_feed`, `run_with_feed_observed`,
-//! `run_with_scheduler`) remain as deprecated shims over the builder and
-//! produce bit-identical outcomes.
+//! `run_with_scheduler`) went through a deprecation cycle and are gone;
+//! every entry point is a [`SimBuilder`] method now.
 
 mod arena;
 mod config;
@@ -29,70 +29,6 @@ pub use config::{SimConfig, Warmup};
 pub use network::{NetworkSpec, NetworkTopology};
 pub use outcome::{OccupancyModel, SimOutcome};
 pub use session::{Session, SimBuilder};
-
-use crate::audit::SimObserver;
-use crate::feed::JobFeed;
-use crate::policy::Scheduler;
-
-/// Runs one simulation to completion (all arrivals generated, then the
-/// system drained of *running* jobs; waiting jobs that can never start
-/// are left queued and reported).
-#[deprecated(since = "0.2.0", note = "use `SimBuilder::new(cfg).run()`")]
-pub fn run(cfg: &SimConfig) -> SimOutcome {
-    SimBuilder::new(cfg).run()
-}
-
-/// [`run`] with an observer attached (see [`crate::audit`]). Observers
-/// are passive: the outcome is bit-identical to [`run`]'s.
-#[deprecated(since = "0.2.0", note = "use `SimBuilder::new(cfg).run_observed(obs)`")]
-pub fn run_observed<O: SimObserver>(cfg: &SimConfig, obs: &mut O) -> SimOutcome {
-    SimBuilder::new(cfg).run_observed(obs)
-}
-
-/// Runs a *trace-driven* simulation (see [`SimBuilder::run_trace`]).
-#[deprecated(since = "0.2.0", note = "use `SimBuilder::new(cfg).run_trace(trace, time_scale)`")]
-pub fn run_trace(cfg: &SimConfig, trace: &coalloc_trace::Trace, time_scale: f64) -> SimOutcome {
-    SimBuilder::new(cfg).run_trace(trace, time_scale)
-}
-
-/// The shared event loop, driven by any [`JobFeed`].
-#[deprecated(since = "0.2.0", note = "use `SimBuilder::new(cfg).run_feed(feed, offered)`")]
-pub fn run_with_feed(cfg: &SimConfig, feed: &mut dyn JobFeed, offered: f64) -> SimOutcome {
-    SimBuilder::new(cfg).run_feed(feed, offered)
-}
-
-/// [`run_with_feed`] with an observer attached.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `SimBuilder::new(cfg).run_feed_observed(feed, offered, obs)`"
-)]
-pub fn run_with_feed_observed<O: SimObserver>(
-    cfg: &SimConfig,
-    feed: &mut dyn JobFeed,
-    offered: f64,
-    obs: &mut O,
-) -> SimOutcome {
-    SimBuilder::new(cfg).run_feed_observed(feed, offered, obs)
-}
-
-/// The event loop with an explicitly supplied scheduler and occupancy
-/// model, bypassing [`crate::policy::PolicyKind::build`] (the mutation
-/// tests' seam; also serves ablations implementing [`Scheduler`] outside
-/// this crate).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `SimBuilder::new(cfg).scheduler(policy).occupancy(model).run_feed_observed(...)`"
-)]
-pub fn run_with_scheduler<O: SimObserver>(
-    cfg: &SimConfig,
-    feed: &mut dyn JobFeed,
-    offered: f64,
-    policy: Box<dyn Scheduler>,
-    obs: &mut O,
-    model: OccupancyModel,
-) -> SimOutcome {
-    SimBuilder::new(cfg).scheduler(policy).occupancy(model).run_feed_observed(feed, offered, obs)
-}
 
 /// Convenience: the observation-window mean response time of a run.
 pub fn mean_response(cfg: &SimConfig) -> f64 {

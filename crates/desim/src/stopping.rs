@@ -90,6 +90,26 @@ impl StoppingRule {
         let next_total = projected.clamp(spent + 1, spent.saturating_mul(2)).min(self.max_n);
         Decision::Continue { add: next_total - spent }
     }
+
+    /// [`assess`](Self::assess) flattened into a *queue-schedulable
+    /// plan*: the number of replications a task queue should enqueue for
+    /// this target right now (0 = the target is closed).
+    ///
+    /// `saturated` marks a target whose steady-state output is unbounded
+    /// (e.g. an overloaded queueing system): once the minimum has been
+    /// spent, no replication count buys precision there, so the plan is
+    /// empty. This is the one decision the adaptive sweep engine used to
+    /// make outside the rule; folding it in makes the rule the single
+    /// authority a replication queue needs to plan a round.
+    pub fn plan(&self, spent: u64, saturated: bool, estimate: &Estimate) -> u64 {
+        if saturated && spent >= self.min_n {
+            return 0;
+        }
+        match self.assess(spent, estimate) {
+            Decision::Continue { add } => add,
+            Decision::Stop(_) => 0,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +170,20 @@ mod tests {
         assert_eq!(rule.assess(4, &est(0.0, 1.0, 4)), Decision::Continue { add: 4 });
         // Infinite half-width (every replication discarded) likewise.
         assert_eq!(rule.assess(2, &est(10.0, f64::INFINITY, 0)), Decision::Continue { add: 2 });
+    }
+
+    #[test]
+    fn plan_flattens_decisions_and_closes_saturated_targets() {
+        let rule = StoppingRule::new(0.05, 2, 10);
+        // Below the minimum the plan tops the target up — even saturated
+        // ones (the minimum is always owed).
+        assert_eq!(rule.plan(0, false, &est(0.0, f64::INFINITY, 0)), 2);
+        assert_eq!(rule.plan(1, true, &est(0.0, f64::INFINITY, 0)), 1);
+        // Saturated targets close at the minimum regardless of precision.
+        assert_eq!(rule.plan(2, true, &est(100.0, 50.0, 2)), 0);
+        // Open targets mirror assess: Continue{add} → add, Stop → 0.
+        assert_eq!(rule.plan(4, false, &est(100.0, 6.0, 4)), 2);
+        assert_eq!(rule.plan(3, false, &est(100.0, 2.0, 3)), 0);
     }
 
     #[test]

@@ -43,7 +43,9 @@ fn usage() -> ExitCode {
          \x20              [--interrupt front|back|abort] [--inject-panic U]\n\
          \x20              [--disposition rigid|moldable|malleable]\n\
          \x20              [--queue-discipline fcfs|easy|conservative]\n\
-         \x20              [--estimate-factor X] [--network <net>]   (adaptive sweep, stats table)\n\
+         \x20              [--estimate-factor X] [--network <net>]\n\
+         \x20              [--json]   (adaptive sweep; stats table or JSON points)\n\
+         \x20        serve [--threads N] [--full]   (JSONL request daemon on stdin/stdout)\n\
          \x20        bench [--quick|--full] [--calendar heap|cq|both] [--out <dir>]   (throughput -> BENCH_<n>.json)\n\
          fault specs: exp:MTTF:MTTR or down:T:K[:R],up:T:K,...\n\
          network specs: <bandwidth>[:backbone|:pairwise] (concurrent-flow units; `inf` = uncontended)"
@@ -233,6 +235,52 @@ fn apply_warmup(
     Ok(())
 }
 
+/// Parses the shared scenario axes of a sweep-like command line
+/// (`<policy> <limit>` positionals plus the scenario flags) into the
+/// [`coalloc::scenario::ScenarioSpec`] both the CLI and `serve` build
+/// configurations from.
+fn scenario_spec(
+    args: &[String],
+    scale: Scale,
+) -> Result<coalloc::scenario::ScenarioSpec, CoallocError> {
+    let limit = args
+        .get(1)
+        .map(|v| {
+            v.parse::<u32>()
+                .map_err(|_| CoallocError::invalid("<limit>", v, "a component-size limit"))
+        })
+        .transpose()?;
+    coalloc::scenario::ScenarioSpec::parse(
+        args.first().map(String::as_str),
+        limit,
+        flag_value(args, "--capacities")?,
+        flag_value(args, "--faults")?,
+        flag_value(args, "--interrupt")?,
+        flag_value(args, "--disposition")?,
+        flag_value(args, "--queue-discipline")?,
+        parse_estimate_factor(args)?,
+        flag_value(args, "--network")?,
+        flag_value(args, "--warmup")?,
+        parse_flag(args, "--inject-panic", "a utilization")?,
+        scale,
+    )
+}
+
+/// Runs the JSONL request daemon on stdin/stdout: one JSON request per
+/// input line, streamed JSON events per output line, all requests
+/// sharing one worker pool and one scenario cache. See
+/// [`coalloc::serve`] for the protocol.
+fn serve_cmd(args: &[String], scale: Scale) -> Result<ExitCode, CoallocError> {
+    let threads: usize = parse_flag(args, "--threads", "a worker count")?.unwrap_or(0);
+    let summary = coalloc::serve::serve(std::io::stdin().lock(), std::io::stdout(), threads, scale)
+        .map_err(|e| CoallocError::io("serving requests", e))?;
+    eprintln!(
+        "served {} requests ({} errors); scenario cache: {} hits, {} misses",
+        summary.requests, summary.errors, summary.cache_hits, summary.cache_misses
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
 /// Runs a precision-targeted adaptive sweep for one policy and prints
 /// the per-point statistics table. `--assert-precision` exits nonzero if
 /// a non-saturated point neither met the relative-CI target nor spent
@@ -243,17 +291,8 @@ fn apply_warmup(
 /// column, the process still exits 0).
 fn sweep_cmd(args: &[String], scale: Scale) -> Result<ExitCode, CoallocError> {
     use coalloc::core::experiment::sweep;
-    use coalloc::core::{report, PolicyKind, SimConfig};
-    use coalloc::experiments::scaled;
-    let policy = parse_policy(args.first().map(String::as_str))?;
-    let limit: u32 = match args.get(1) {
-        Some(v) => {
-            v.parse().map_err(|_| CoallocError::invalid("<limit>", v, "a component-size limit"))?
-        }
-        None => {
-            return Err(CoallocError::MissingValue { flag: "<limit>".to_string() });
-        }
-    };
+    use coalloc::core::report;
+    let spec = scenario_spec(args, scale)?;
     let mut cfg = scale.sweep();
     if let Some(utils) = flag_value(args, "--utils")? {
         cfg.utilizations = utils
@@ -276,80 +315,21 @@ fn sweep_cmd(args: &[String], scale: Scale) -> Result<ExitCode, CoallocError> {
     }
     cfg.checkpoint = flag_value(args, "--checkpoint")?.map(std::path::PathBuf::from);
     cfg.audit = args.iter().any(|a| a == "--audit");
-    let warmup = flag_value(args, "--warmup")?.map(str::to_owned);
-    let system = parse_capacities(args)?;
-    let faults = parse_faults(args)?;
-    let interrupt = parse_interrupt(args)?;
-    let disposition = parse_disposition(args)?;
-    let discipline = parse_discipline(args)?;
-    let estimate_factor = parse_estimate_factor(args)?;
-    let network = parse_network(args)?;
-    let inject_panic: Option<f64> = parse_flag(args, "--inject-panic", "a utilization")?;
-    let system_label = system.as_ref().map_or_else(String::new, |sys| format!(", system {sys}"));
-    let fault_label =
-        flag_value(args, "--faults")?.map_or_else(String::new, |s| format!(", faults {s}"));
-    let net_label =
-        flag_value(args, "--network")?.map_or_else(String::new, |s| format!(", network {s}"));
-    let sched_label = {
-        let mut s = String::new();
-        if let Some(d) = disposition {
-            s.push_str(&format!(", {}", d.label()));
-        }
-        if let Some(d) = discipline {
-            s.push_str(&format!(", {}", d.label()));
-        }
-        s
-    };
-    let make_cfg = {
-        let system = system.clone();
-        let faults = faults.clone();
-        let warmup = warmup.clone();
-        move |util: f64| {
-            let mut c = match &system {
-                Some(sys) => {
-                    scaled(SimConfig::heterogeneous(policy, limit, util, sys.clone()), scale)
-                }
-                None if policy == PolicyKind::Sc => {
-                    scaled(SimConfig::das_single_cluster(util), scale)
-                }
-                None => scaled(SimConfig::das(policy, limit, util), scale),
-            };
-            c.faults = faults.clone();
-            if let Some(p) = interrupt {
-                c.interrupt = p;
-            }
-            apply_scheduling_flags(&mut c, disposition, discipline, estimate_factor);
-            c.network = network;
-            if let Some(p) = inject_panic {
-                if (util - p).abs() < 1e-9 {
-                    // A warm-up that swallows every job fails validation
-                    // inside the replication — the canonical "one point
-                    // is broken, the sweep must survive" scenario.
-                    c.warmup_jobs = c.total_jobs;
-                }
-            }
-            let _ = apply_warmup(&mut c, warmup.as_deref());
-            c
-        }
-    };
-    // Surface a fault spec that does not fit the geometry, or a
-    // malformed warm-up spec, as a typed error now — not as a panic (or
-    // a wall of FailedReplications) once the sweep is underway.
-    check_faults(&faults, args, &make_cfg(cfg.utilizations[0]).system)?;
-    if let Some(w) = warmup.as_deref() {
-        if w != "auto" && w.parse::<u64>().is_err() {
-            return Err(CoallocError::invalid("--warmup", w, "`auto` or a job count"));
-        }
+    let points = sweep(spec.make_cfg(), &cfg);
+    if args.iter().any(|a| a == "--json") {
+        // The exact bytes `serve` embeds in its result events — clients
+        // can diff the two representations with `cmp`.
+        println!("{}", serde_json::to_string(&points).expect("SweepPoints serialize"));
+    } else {
+        let title = format!(
+            "Adaptive sweep: {}, rel-CI target {:.0}%, {}..{} reps",
+            spec.label(),
+            100.0 * cfg.rel_ci_target,
+            cfg.min_replications,
+            cfg.max_replications
+        );
+        println!("{}", report::sweep_stats_table(&title, &points));
     }
-    let points = sweep(make_cfg, &cfg);
-    let title = format!(
-        "Adaptive sweep: {} limit {limit}{system_label}{fault_label}{sched_label}{net_label}, rel-CI target {:.0}%, {}..{} reps",
-        policy.label(),
-        100.0 * cfg.rel_ci_target,
-        cfg.min_replications,
-        cfg.max_replications
-    );
-    println!("{}", report::sweep_stats_table(&title, &points));
     for p in &points {
         for f in &p.outcome.failures {
             eprintln!(
@@ -521,6 +501,9 @@ fn main() -> ExitCode {
     if target == "sweep" {
         return sweep_cmd(&args[1..], scale).unwrap_or_else(fail);
     }
+    if target == "serve" {
+        return serve_cmd(&args[1..], scale).unwrap_or_else(fail);
+    }
     if target == "bench" {
         return bench(&args[1..]).unwrap_or_else(fail);
     }
@@ -552,6 +535,7 @@ fn main() -> ExitCode {
             ("plot", "ASCII terminal plot of the headline panel"),
             ("runjson", "one simulation, full JSON outcome"),
             ("sweep", "adaptive-replication sweep with per-point CI stats"),
+            ("serve", "JSONL sweep/saturation daemon with a shared scenario cache"),
             ("bench", "fixed-seed throughput harness -> BENCH_<n>.json"),
             ("all", "everything above, in paper order"),
         ] {

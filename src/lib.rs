@@ -39,3 +39,5 @@ pub use desim;
 
 pub mod bench;
 pub mod experiments;
+pub mod scenario;
+pub mod serve;

@@ -1,0 +1,483 @@
+//! `coalloc-exp serve` — simulation as a service over JSONL.
+//!
+//! A long-running process reads one JSON request per line on stdin and
+//! streams JSON events back on stdout. Requests are handled
+//! concurrently on one process-lifetime [`WorkerPool`]; per-replication
+//! results are memoized in one [`ScenarioCache`], so concurrent or
+//! consecutive requests whose utilization grids overlap share
+//! replications bit-identically (common-random-number substreams make a
+//! replication a pure function of `(scenario, base seed, index)`).
+//!
+//! ## Protocol
+//!
+//! Request line (`kind: "sweep"`):
+//!
+//! ```json
+//! {"id":"a","kind":"sweep","policy":"GS","limit":16,
+//!  "utilizations":[0.2,0.4],"min_reps":2,"max_reps":2,"rel_ci":0.05,
+//!  "seed":2003,"audit":true,"checkpoint":"cp.json","full":false}
+//! ```
+//!
+//! plus the optional scenario axes (`capacities`, `faults`,
+//! `interrupt`, `disposition`, `discipline`, `estimate_factor`,
+//! `network`, `warmup`, `inject_panic`) with the same string syntax as
+//! the CLI flags. `kind: "saturation"` instead takes `lo`, `hi`,
+//! `tolerance`, and `replications` and runs the replicated bisection.
+//!
+//! Response lines, interleaved across in-flight requests as rounds
+//! complete (match them up by `id`):
+//!
+//! ```json
+//! {"id":"a","event":"round","round":1,"tasks":4,"cache_hits":2,"executed":2,"open_points":0}
+//! {"id":"a","event":"result","rounds":1,"resumed":0,"executed":2,"cache_hits":2,"points":[...]}
+//! {"id":"b","event":"result","max_utilization":0.61}
+//! {"id":"x","event":"error","error":"unknown policy `XX`"}
+//! ```
+//!
+//! A malformed or failing request produces an `error` event for that
+//! request only — the daemon and its pool keep serving, and the process
+//! still exits 0. The `points` array of a sweep result is serialized by
+//! the same code path as `coalloc-exp sweep --json`, and is always the
+//! final field of its line, so the two render byte-identically.
+
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+
+use coalloc_core::experiment::{ScenarioCache, SweepConfig, SweepPoint, WorkerPool};
+use coalloc_core::{bisect_max_utilization_on, CoallocError, ProbePlan};
+
+use crate::experiments::Scale;
+use crate::scenario::ScenarioSpec;
+
+/// One parsed request line. Every field is optional at the protocol
+/// level; the request handler reports missing required fields as typed
+/// per-request errors.
+#[derive(Clone, Debug, serde::Deserialize)]
+pub struct ServeRequest {
+    /// Correlates response events with requests; echoed on every line.
+    pub id: Option<String>,
+    /// `"sweep"` or `"saturation"`.
+    pub kind: Option<String>,
+    /// Policy name (`GS`/`LS`/`LP`/`SC`/`GB`).
+    pub policy: Option<String>,
+    /// Component-size limit.
+    pub limit: Option<u32>,
+    /// Paper-scale run lengths instead of quick.
+    pub full: Option<bool>,
+    /// `--capacities` equivalent.
+    pub capacities: Option<String>,
+    /// `--faults` equivalent.
+    pub faults: Option<String>,
+    /// `--interrupt` equivalent.
+    pub interrupt: Option<String>,
+    /// `--disposition` equivalent.
+    pub disposition: Option<String>,
+    /// `--queue-discipline` equivalent.
+    pub discipline: Option<String>,
+    /// `--estimate-factor` equivalent.
+    pub estimate_factor: Option<f64>,
+    /// `--network` equivalent.
+    pub network: Option<String>,
+    /// `--warmup` equivalent.
+    pub warmup: Option<String>,
+    /// `--inject-panic` equivalent.
+    pub inject_panic: Option<f64>,
+    /// Sweep: the target-utilization grid.
+    pub utilizations: Option<Vec<f64>>,
+    /// Sweep: replication floor per point.
+    pub min_reps: Option<u64>,
+    /// Sweep: replication cap per point.
+    pub max_reps: Option<u64>,
+    /// Sweep: relative 95 % CI target.
+    pub rel_ci: Option<f64>,
+    /// Sweep: base seed (default 2003).
+    pub seed: Option<u64>,
+    /// Sweep: audit every replication.
+    pub audit: Option<bool>,
+    /// Sweep: checkpoint file path.
+    pub checkpoint: Option<String>,
+    /// Saturation: stable lower bracket.
+    pub lo: Option<f64>,
+    /// Saturation: saturated upper bracket.
+    pub hi: Option<f64>,
+    /// Saturation: bisection tolerance.
+    pub tolerance: Option<f64>,
+    /// Saturation: probe replications (majority vote).
+    pub replications: Option<u64>,
+}
+
+#[derive(serde::Serialize)]
+struct RoundEvent {
+    id: String,
+    event: String,
+    round: u64,
+    tasks: u64,
+    cache_hits: u64,
+    executed: u64,
+    open_points: u64,
+}
+
+/// `points` is deliberately the LAST field: everything after
+/// `"points":` up to the closing `}` is exactly
+/// `serde_json::to_string(&points)` — the same bytes `coalloc-exp sweep
+/// --json` prints — so clients and CI can compare results byte for byte.
+#[derive(serde::Serialize)]
+struct SweepResultEvent {
+    id: String,
+    event: String,
+    rounds: u64,
+    resumed: u64,
+    executed: u64,
+    cache_hits: u64,
+    points: Vec<SweepPoint>,
+}
+
+#[derive(serde::Serialize)]
+struct SaturationResultEvent {
+    id: String,
+    event: String,
+    max_utilization: f64,
+}
+
+#[derive(serde::Serialize)]
+struct ErrorEvent {
+    id: String,
+    event: String,
+    error: String,
+}
+
+/// What a serve session did, for the operator log.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeSummary {
+    /// Request lines read (including malformed ones).
+    pub requests: u64,
+    /// Requests that ended in an `error` event.
+    pub errors: u64,
+    /// Replications answered from the scenario cache.
+    pub cache_hits: u64,
+    /// Replications that simulated.
+    pub cache_misses: u64,
+}
+
+fn send(tx: &mpsc::Sender<String>, line: String) {
+    // The writer thread only exits after the channel drains; a send
+    // failure means the output pipe died, in which case the results
+    // have nowhere to go anyway.
+    let _ = tx.send(line);
+}
+
+fn error_event(tx: &mpsc::Sender<String>, id: &str, error: String) {
+    let ev = ErrorEvent { id: id.to_string(), event: "error".to_string(), error };
+    send(tx, serde_json::to_string(&ev).expect("error event serializes"));
+}
+
+fn missing(field: &str) -> CoallocError {
+    CoallocError::MissingValue { flag: field.to_string() }
+}
+
+/// Builds the scenario and sweep configuration a request describes.
+/// Shared with nothing else on purpose: everything scenario-level goes
+/// through [`ScenarioSpec::parse`], the same entry point the CLI uses.
+fn spec_of(req: &ServeRequest, default_scale: Scale) -> Result<ScenarioSpec, CoallocError> {
+    let scale = match req.full {
+        Some(true) => Scale::Full,
+        Some(false) => Scale::Quick,
+        None => default_scale,
+    };
+    ScenarioSpec::parse(
+        req.policy.as_deref(),
+        req.limit,
+        req.capacities.as_deref(),
+        req.faults.as_deref(),
+        req.interrupt.as_deref(),
+        req.disposition.as_deref(),
+        req.discipline.as_deref(),
+        req.estimate_factor,
+        req.network.as_deref(),
+        req.warmup.as_deref(),
+        req.inject_panic,
+        scale,
+    )
+}
+
+fn sweep_config(req: &ServeRequest, scale: Scale) -> Result<SweepConfig, CoallocError> {
+    let utilizations = req.utilizations.clone().ok_or_else(|| missing("utilizations"))?;
+    if utilizations.is_empty() {
+        return Err(CoallocError::invalid("utilizations", "[]", "at least one target utilization"));
+    }
+    let mut cfg = scale.sweep();
+    cfg.utilizations = utilizations;
+    if let Some(v) = req.min_reps {
+        cfg.min_replications = v;
+    }
+    if let Some(v) = req.max_reps {
+        cfg.max_replications = v;
+    }
+    if cfg.min_replications == 0 || cfg.max_replications < cfg.min_replications {
+        return Err(CoallocError::invalid(
+            "min_reps/max_reps",
+            &format!("{}..{}", cfg.min_replications, cfg.max_replications),
+            "1 <= min_reps <= max_reps",
+        ));
+    }
+    if let Some(v) = req.rel_ci {
+        if !(v > 0.0 && v.is_finite()) {
+            return Err(CoallocError::invalid(
+                "rel_ci",
+                &format!("{v}"),
+                "a positive finite half-width",
+            ));
+        }
+        cfg.rel_ci_target = v;
+    }
+    if let Some(v) = req.seed {
+        cfg.base_seed = v;
+    }
+    cfg.audit = req.audit.unwrap_or(false);
+    cfg.checkpoint = req.checkpoint.as_ref().map(std::path::PathBuf::from);
+    Ok(cfg)
+}
+
+/// Runs one request to completion, streaming round events, and returns
+/// whether it ended in an error event.
+fn handle_request(
+    req: &ServeRequest,
+    id: &str,
+    pool: &WorkerPool,
+    cache: &ScenarioCache,
+    tx: &mpsc::Sender<String>,
+    default_scale: Scale,
+) -> Result<(), CoallocError> {
+    let spec = spec_of(req, default_scale)?;
+    match req.kind.as_deref() {
+        Some("sweep") => {
+            let cfg = sweep_config(req, spec.scale)?;
+            let (points, stats) =
+                coalloc_core::sweep_on(pool, Some(cache), spec.make_cfg(), &cfg, |r| {
+                    let ev = RoundEvent {
+                        id: id.to_string(),
+                        event: "round".to_string(),
+                        round: r.round as u64,
+                        tasks: r.tasks as u64,
+                        cache_hits: r.cache_hits as u64,
+                        executed: r.executed as u64,
+                        open_points: r.open_points as u64,
+                    };
+                    send(tx, serde_json::to_string(&ev).expect("round event serializes"));
+                });
+            let ev = SweepResultEvent {
+                id: id.to_string(),
+                event: "result".to_string(),
+                rounds: stats.rounds as u64,
+                resumed: stats.resumed,
+                executed: stats.executed,
+                cache_hits: stats.cache_hits,
+                points,
+            };
+            send(tx, serde_json::to_string(&ev).expect("sweep result serializes"));
+            Ok(())
+        }
+        Some("saturation") => {
+            let plan = ProbePlan { replications: req.replications.unwrap_or(3), threads: 0 };
+            let (lo, hi) = (req.lo.unwrap_or(0.3), req.hi.unwrap_or(1.2));
+            let tolerance = req.tolerance.unwrap_or(0.05);
+            let max = bisect_max_utilization_on(pool, spec.make_cfg(), lo, hi, tolerance, &plan);
+            let ev = SaturationResultEvent {
+                id: id.to_string(),
+                event: "result".to_string(),
+                max_utilization: max,
+            };
+            send(tx, serde_json::to_string(&ev).expect("saturation result serializes"));
+            Ok(())
+        }
+        other => Err(CoallocError::UnknownTarget {
+            name: other.unwrap_or("<missing>").to_string(),
+            what: "request kind".to_string(),
+        }),
+    }
+}
+
+/// Runs the serve loop: JSONL requests from `input`, JSONL events to
+/// `output`, all requests sharing one worker pool of `threads` workers
+/// (0 = one per core) and one scenario cache. Returns when `input`
+/// reaches EOF and every in-flight request has completed.
+///
+/// Every request — including a line that is not valid JSON — produces
+/// at least one event; failures are per-request `error` events, never a
+/// dead daemon. Panics inside a request handler (an invalid bisection
+/// bracket, a configuration bug) are caught and reported the same way.
+pub fn serve<R: BufRead, W: Write + Send + 'static>(
+    input: R,
+    output: W,
+    threads: usize,
+    default_scale: Scale,
+) -> std::io::Result<ServeSummary> {
+    let pool = Arc::new(WorkerPool::new(threads));
+    let cache = Arc::new(ScenarioCache::new());
+    let errors = Arc::new(AtomicU64::new(0));
+    let (tx, rx) = mpsc::channel::<String>();
+
+    // One writer owns the output: events from concurrent handlers
+    // interleave at line granularity, flushed per line so clients see
+    // rounds as they complete.
+    let writer = std::thread::spawn(move || -> std::io::Result<W> {
+        let mut output = output;
+        for line in rx {
+            output.write_all(line.as_bytes())?;
+            output.write_all(b"\n")?;
+            output.flush()?;
+        }
+        Ok(output)
+    });
+
+    let mut summary = ServeSummary::default();
+    let mut handlers = Vec::new();
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        summary.requests += 1;
+        let req: ServeRequest = match serde_json::from_str(&line) {
+            Ok(req) => req,
+            Err(e) => {
+                errors.fetch_add(1, Ordering::Relaxed);
+                error_event(&tx, "?", format!("unreadable request: {e}"));
+                continue;
+            }
+        };
+        let (pool, cache, tx, errors) =
+            (Arc::clone(&pool), Arc::clone(&cache), tx.clone(), Arc::clone(&errors));
+        handlers.push(std::thread::spawn(move || {
+            let id = req.id.clone().unwrap_or_else(|| "?".to_string());
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                handle_request(&req, &id, &pool, &cache, &tx, default_scale)
+            }));
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    errors.fetch_add(1, Ordering::Relaxed);
+                    error_event(&tx, &id, e.to_string());
+                }
+                Err(payload) => {
+                    errors.fetch_add(1, Ordering::Relaxed);
+                    let cause = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    error_event(&tx, &id, format!("request panicked: {cause}"));
+                }
+            }
+        }));
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+    drop(tx);
+    writer.join().expect("writer thread")?;
+
+    summary.errors = errors.load(Ordering::Relaxed);
+    summary.cache_hits = cache.hits();
+    summary.cache_misses = cache.misses();
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_lines(lines: &str) -> (Vec<serde::value::Value>, ServeSummary) {
+        let out: Vec<u8> = Vec::new();
+        // The writer thread returns the buffer through join, so collect
+        // events via a shared Vec instead.
+        struct Shared(Arc<std::sync::Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        drop(out);
+        let buf = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let summary =
+            serve(lines.as_bytes(), Shared(Arc::clone(&buf)), 2, Scale::Quick).expect("serve runs");
+        let text = String::from_utf8(buf.lock().unwrap().clone()).expect("utf8 output");
+        let events = text
+            .lines()
+            .map(|l| serde::value::parse(l).expect("every output line is JSON"))
+            .collect();
+        (events, summary)
+    }
+
+    fn field<'a>(ev: &'a serde::value::Value, name: &str) -> &'a serde::value::Value {
+        serde::value::field(ev, name).expect("event is an object")
+    }
+
+    fn str_field(ev: &serde::value::Value, name: &str) -> String {
+        match field(ev, name) {
+            serde::value::Value::String(s) => s.clone(),
+            other => panic!("field {name} is {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_and_failing_requests_error_per_request_not_per_process() {
+        let input = concat!(
+            "this is not json\n",
+            r#"{"id":"bad-policy","kind":"sweep","policy":"XX","limit":16,"utilizations":[0.3]}"#,
+            "\n",
+            r#"{"id":"bad-kind","kind":"resonate","policy":"GS","limit":16}"#,
+            "\n",
+            r#"{"id":"ok","kind":"sweep","policy":"GS","limit":16,"utilizations":[0.2],"min_reps":1,"max_reps":1}"#,
+            "\n",
+        );
+        let (events, summary) = run_lines(input);
+        assert_eq!(summary.requests, 4);
+        assert_eq!(summary.errors, 3);
+        let errors: Vec<_> = events.iter().filter(|e| str_field(e, "event") == "error").collect();
+        assert_eq!(errors.len(), 3);
+        // The healthy request still completed on the same daemon.
+        let results: Vec<_> = events.iter().filter(|e| str_field(e, "event") == "result").collect();
+        assert_eq!(results.len(), 1);
+        assert_eq!(str_field(results[0], "id"), "ok");
+    }
+
+    #[test]
+    fn a_panicking_bisection_bracket_reports_and_the_daemon_survives() {
+        let input = concat!(
+            // Both brackets stable: the bisection asserts, the handler
+            // catches, the daemon answers the next request.
+            r#"{"id":"sat","kind":"saturation","policy":"GS","limit":16,"lo":0.05,"hi":0.1,"replications":1}"#,
+            "\n",
+            r#"{"id":"after","kind":"sweep","policy":"GS","limit":16,"utilizations":[0.2],"min_reps":1,"max_reps":1}"#,
+            "\n",
+        );
+        let (events, summary) = run_lines(input);
+        assert_eq!(summary.errors, 1);
+        let err = events
+            .iter()
+            .find(|e| str_field(e, "event") == "error")
+            .expect("bracket failure reported");
+        assert_eq!(str_field(err, "id"), "sat");
+        assert!(str_field(err, "error").contains("still stable"));
+        assert!(events
+            .iter()
+            .any(|e| str_field(e, "event") == "result" && str_field(e, "id") == "after"));
+    }
+
+    #[test]
+    fn overlapping_requests_share_the_cache() {
+        let a = r#"{"id":"a","kind":"sweep","policy":"GS","limit":16,"utilizations":[0.2,0.4],"min_reps":2,"max_reps":2}"#;
+        let b = r#"{"id":"b","kind":"sweep","policy":"GS","limit":16,"utilizations":[0.4,0.6],"min_reps":2,"max_reps":2}"#;
+        let (events, summary) = run_lines(&format!("{a}\n{b}\n"));
+        assert_eq!(summary.errors, 0);
+        assert!(summary.cache_hits >= 2, "0.4's replications answered from memory");
+        // Round events stream before results and echo per-round counts.
+        assert!(events.iter().any(|e| str_field(e, "event") == "round"));
+    }
+}

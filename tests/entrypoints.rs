@@ -1,14 +1,12 @@
-//! Entry-point equivalence: every deprecated free-function `run*` shim
-//! must produce a bit-identical `SimOutcome` — and, where an observer is
-//! involved, a byte-identical JSONL event log — to the equivalent
-//! `SimBuilder` session at the same seed. The shims are one-line
-//! delegations, so these tests pin the *builder* API against the
-//! historical behaviour the golden regression suite was recorded under.
-
-#![allow(deprecated)]
+//! Entry-point equivalence: every `SimBuilder` entry point that can
+//! express the same run must produce a bit-identical `SimOutcome` — and,
+//! where an observer is involved, a byte-identical JSONL event log. The
+//! historical free-function `run*` shims delegated one-to-one to these
+//! builder paths before their removal, so this suite still pins the
+//! builder API against the behaviour the golden regression suite was
+//! recorded under.
 
 use coalloc::core::{
-    run, run_observed, run_trace, run_with_feed, run_with_feed_observed, run_with_scheduler,
     JsonlSink, OccupancyModel, PolicyKind, SimBuilder, SimConfig, SimOutcome, StochasticFeed,
 };
 use coalloc::desim::RngStream;
@@ -31,7 +29,7 @@ fn cfg(policy: PolicyKind) -> SimConfig {
 fn assert_same(a: &SimOutcome, b: &SimOutcome, what: &str) {
     let a = serde_json::to_string(a).expect("SimOutcome serializes");
     let b = serde_json::to_string(b).expect("SimOutcome serializes");
-    assert_eq!(a, b, "{what}: shim and builder outcomes differ");
+    assert_eq!(a, b, "{what}: entry points disagree");
 }
 
 /// The stochastic feed exactly as the builder's `run` path builds it.
@@ -46,69 +44,66 @@ fn feed_for(cfg: &SimConfig) -> StochasticFeed {
 }
 
 #[test]
-fn run_shim_matches_builder() {
+fn repeated_runs_are_bit_identical() {
     for policy in [PolicyKind::Gs, PolicyKind::Ls, PolicyKind::Sc] {
         let cfg = cfg(policy);
-        let shim = run(&cfg);
-        let builder = SimBuilder::new(&cfg).run();
-        assert_same(&shim, &builder, policy.label());
+        assert_same(&SimBuilder::new(&cfg).run(), &SimBuilder::new(&cfg).run(), policy.label());
     }
 }
 
 #[test]
-fn run_observed_shim_matches_builder_and_event_logs_are_byte_identical() {
+fn observers_are_passive_and_event_logs_deterministic() {
     let cfg = cfg(PolicyKind::Ls);
-    let mut shim_sink = JsonlSink::new(Vec::new());
-    let shim = run_observed(&cfg, &mut shim_sink);
-    let mut builder_sink = JsonlSink::new(Vec::new());
-    let builder = SimBuilder::new(&cfg).run_observed(&mut builder_sink);
-    assert_same(&shim, &builder, "run_observed");
-    let shim_log = shim_sink.finish().expect("shim log written");
-    let builder_log = builder_sink.finish().expect("builder log written");
-    assert!(!shim_log.is_empty(), "the observed run must log events");
-    assert_eq!(shim_log, builder_log, "JSONL event logs must be byte-identical");
+    let plain = SimBuilder::new(&cfg).run();
+    let mut sink_a = JsonlSink::new(Vec::new());
+    let observed = SimBuilder::new(&cfg).run_observed(&mut sink_a);
+    assert_same(&plain, &observed, "run vs run_observed");
+    let mut sink_b = JsonlSink::new(Vec::new());
+    SimBuilder::new(&cfg).run_observed(&mut sink_b);
+    let log_a = sink_a.finish().expect("log written");
+    let log_b = sink_b.finish().expect("log written");
+    assert!(!log_a.is_empty(), "the observed run must log events");
+    assert_eq!(log_a, log_b, "JSONL event logs must be byte-identical");
 }
 
 #[test]
-fn run_trace_shim_matches_builder() {
+fn trace_runs_are_deterministic() {
     let log = generate_das1_log(&DasLogConfig { jobs: 2_000, ..DasLogConfig::default() });
     let cfg = cfg(PolicyKind::Gs);
-    let shim = run_trace(&cfg, &log, 10.0);
-    let builder = SimBuilder::new(&cfg).run_trace(&log, 10.0);
-    assert_same(&shim, &builder, "run_trace");
+    let a = SimBuilder::new(&cfg).run_trace(&log, 10.0);
+    let b = SimBuilder::new(&cfg).run_trace(&log, 10.0);
+    assert_same(&a, &b, "run_trace");
 }
 
 #[test]
-fn run_with_feed_shim_matches_builder() {
+fn an_explicit_feed_matches_the_all_in_one_stochastic_path() {
     let cfg = cfg(PolicyKind::Gs);
     let offered = cfg.offered_gross_utilization();
-    let shim = run_with_feed(&cfg, &mut feed_for(&cfg), offered);
-    let builder = SimBuilder::new(&cfg).run_feed(&mut feed_for(&cfg), offered);
-    assert_same(&shim, &builder, "run_with_feed");
-    // And both must match the all-in-one stochastic path, which builds
-    // the identical feed internally.
-    assert_same(&shim, &SimBuilder::new(&cfg).run(), "run_with_feed vs run");
+    let explicit = SimBuilder::new(&cfg).run_feed(&mut feed_for(&cfg), offered);
+    // The all-in-one path builds the identical feed internally.
+    assert_same(&explicit, &SimBuilder::new(&cfg).run(), "run_feed vs run");
 }
 
 #[test]
-fn run_with_feed_observed_shim_matches_builder() {
+fn feed_observed_matches_feed_and_logs_deterministically() {
     let cfg = cfg(PolicyKind::Lp);
     let offered = cfg.offered_gross_utilization();
-    let mut shim_sink = JsonlSink::new(Vec::new());
-    let shim = run_with_feed_observed(&cfg, &mut feed_for(&cfg), offered, &mut shim_sink);
-    let mut builder_sink = JsonlSink::new(Vec::new());
-    let builder =
-        SimBuilder::new(&cfg).run_feed_observed(&mut feed_for(&cfg), offered, &mut builder_sink);
-    assert_same(&shim, &builder, "run_with_feed_observed");
+    let plain = SimBuilder::new(&cfg).run_feed(&mut feed_for(&cfg), offered);
+    let mut sink_a = JsonlSink::new(Vec::new());
+    let observed =
+        SimBuilder::new(&cfg).run_feed_observed(&mut feed_for(&cfg), offered, &mut sink_a);
+    assert_same(&plain, &observed, "run_feed vs run_feed_observed");
+    let mut sink_b = JsonlSink::new(Vec::new());
+    SimBuilder::new(&cfg).run_feed_observed(&mut feed_for(&cfg), offered, &mut sink_b);
     assert_eq!(
-        shim_sink.finish().expect("shim log written"),
-        builder_sink.finish().expect("builder log written"),
+        sink_a.finish().expect("log written"),
+        sink_b.finish().expect("log written"),
         "JSONL event logs must be byte-identical"
     );
 }
 
 #[test]
-fn run_with_scheduler_shim_matches_builder() {
+fn an_explicit_scheduler_reproduces_the_config_built_one() {
     let cfg = cfg(PolicyKind::Gb);
     let offered = cfg.offered_gross_utilization();
     let build_policy = || {
@@ -119,26 +114,12 @@ fn run_with_scheduler_shim_matches_builder() {
             cfg.rule,
         )
     };
-    let mut shim_sink = JsonlSink::new(Vec::new());
-    let shim = run_with_scheduler(
-        &cfg,
-        &mut feed_for(&cfg),
-        offered,
-        build_policy(),
-        &mut shim_sink,
-        OccupancyModel::Faithful,
-    );
-    let mut builder_sink = JsonlSink::new(Vec::new());
-    let builder = SimBuilder::new(&cfg)
+    let mut sink = JsonlSink::new(Vec::new());
+    let explicit = SimBuilder::new(&cfg)
         .scheduler(build_policy())
         .occupancy(OccupancyModel::Faithful)
-        .run_feed_observed(&mut feed_for(&cfg), offered, &mut builder_sink);
-    assert_same(&shim, &builder, "run_with_scheduler");
-    assert_eq!(
-        shim_sink.finish().expect("shim log written"),
-        builder_sink.finish().expect("builder log written"),
-        "JSONL event logs must be byte-identical"
-    );
+        .run_feed_observed(&mut feed_for(&cfg), offered, &mut sink);
+    assert!(!sink.finish().expect("log written").is_empty());
     // The explicit scheduler path reproduces the config-built one.
-    assert_same(&shim, &SimBuilder::new(&cfg).run(), "run_with_scheduler vs run");
+    assert_same(&explicit, &SimBuilder::new(&cfg).run(), "explicit scheduler vs run");
 }

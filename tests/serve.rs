@@ -1,0 +1,166 @@
+//! Process-level tests of `coalloc-exp serve`: the JSONL daemon must
+//! share cached replications across concurrent overlapping requests
+//! bit-identically, resume checkpointed sweeps across a kill-and-restart
+//! without re-running completed work, and survive panic-injected
+//! replications as per-request data — never as a dead daemon.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+/// Runs the real `coalloc-exp` binary with `args`, feeding `input` on
+/// stdin, and returns `(stdout, stderr, success)`.
+fn run_exp(args: &[&str], input: &str) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_coalloc-exp"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("coalloc-exp spawns");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(input.as_bytes())
+        .expect("request lines written");
+    let out = child.wait_with_output().expect("coalloc-exp runs");
+    (
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        String::from_utf8(out.stderr).expect("utf8 stderr"),
+        out.status.success(),
+    )
+}
+
+fn serve(input: &str) -> (String, String, bool) {
+    run_exp(&["serve", "--threads", "2"], input)
+}
+
+/// The JSON events of one request id, in arrival order.
+fn events_for<'a>(stdout: &'a str, id: &str) -> Vec<&'a str> {
+    let tag = format!("\"id\":\"{id}\"");
+    stdout.lines().filter(|l| l.contains(&tag)).collect()
+}
+
+/// The `points` array of a request's result event — exactly the bytes
+/// `coalloc-exp sweep --json` would print (minus the newline).
+fn points_of(stdout: &str, id: &str) -> String {
+    let line = events_for(stdout, id)
+        .into_iter()
+        .find(|l| l.contains("\"event\":\"result\""))
+        .unwrap_or_else(|| panic!("request {id} has a result event in:\n{stdout}"));
+    let start = line.find("\"points\":").expect("sweep results carry points");
+    line[start + "\"points\":".len()..line.len() - 1].to_string()
+}
+
+fn field_u64(line: &str, name: &str) -> u64 {
+    let tag = format!("\"{name}\":");
+    let start = line.find(&tag).unwrap_or_else(|| panic!("{name} in {line}")) + tag.len();
+    line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("integer field")
+}
+
+#[test]
+fn overlapping_concurrent_requests_share_the_cache_bit_identically() {
+    let a = r#"{"id":"a","kind":"sweep","policy":"GS","limit":16,"utilizations":[0.25,0.45],"min_reps":2,"max_reps":2,"audit":true}"#;
+    let b = r#"{"id":"b","kind":"sweep","policy":"GS","limit":16,"utilizations":[0.45,0.6],"min_reps":2,"max_reps":2,"audit":true}"#;
+    let (stdout, stderr, ok) = serve(&format!("{a}\n{b}\n"));
+    assert!(ok, "serve exits 0: {stderr}");
+
+    // The shared 0.45 point ran once: whichever request claimed it first
+    // executed its two replications, the other waited and hit.
+    let hits: u64 = ["a", "b"]
+        .iter()
+        .map(|id| {
+            let result = events_for(&stdout, id)
+                .into_iter()
+                .find(|l| l.contains("\"event\":\"result\""))
+                .expect("both requests complete");
+            field_u64(result, "cache_hits")
+        })
+        .sum();
+    assert_eq!(hits, 2, "0.45's two replications answered from the shared cache:\n{stdout}");
+
+    // And sharing never changes the numbers: each request's points are
+    // byte-identical to a fresh single-request isolated run.
+    for (id, utils) in [("a", "0.25,0.45"), ("b", "0.45,0.6")] {
+        let (isolated, iso_err, iso_ok) = run_exp(
+            &[
+                "sweep",
+                "GS",
+                "16",
+                "--utils",
+                utils,
+                "--min-reps",
+                "2",
+                "--max-reps",
+                "2",
+                "--audit",
+                "--json",
+            ],
+            "",
+        );
+        assert!(iso_ok, "isolated sweep runs: {iso_err}");
+        assert_eq!(
+            points_of(&stdout, id),
+            isolated.trim_end(),
+            "request {id}: serve result differs from the isolated sweep"
+        );
+    }
+}
+
+#[test]
+fn a_killed_serve_resumes_its_checkpoint_without_rerunning() {
+    let dir = std::env::temp_dir().join(format!("serve-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let cp = dir.join("resume.json");
+    let cp_str = cp.display().to_string();
+    let req = format!(
+        r#"{{"id":"r","kind":"sweep","policy":"LS","limit":16,"utilizations":[0.3,0.5],"min_reps":2,"max_reps":2,"checkpoint":"{cp_str}"}}"#
+    );
+
+    // First daemon completes the sweep and dies (EOF plays the kill: the
+    // checkpoint was flushed after every round, which is what a SIGKILL
+    // mid-flight would leave behind).
+    let (first, stderr, ok) = serve(&format!("{req}\n"));
+    assert!(ok, "first daemon exits 0: {stderr}");
+    assert!(cp.exists(), "checkpoint written");
+    let first_points = points_of(&first, "r");
+
+    // A fresh daemon (empty in-memory cache) resumes from the file:
+    // everything is recovered, nothing re-executes, bytes match.
+    let (second, stderr, ok) = serve(&format!("{req}\n"));
+    assert!(ok, "second daemon exits 0: {stderr}");
+    let result = events_for(&second, "r")
+        .into_iter()
+        .find(|l| l.contains("\"event\":\"result\""))
+        .expect("resumed request completes");
+    assert_eq!(field_u64(result, "resumed"), 4, "all four replications recovered");
+    assert_eq!(field_u64(result, "executed"), 0, "nothing re-ran");
+    assert_eq!(points_of(&second, "r"), first_points, "resume is bit-identical");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn panic_injected_replications_surface_as_failures_not_a_dead_daemon() {
+    let poisoned = r#"{"id":"p","kind":"sweep","policy":"LS","limit":16,"utilizations":[0.3,0.5],"min_reps":2,"max_reps":2,"inject_panic":0.5}"#;
+    let after = r#"{"id":"q","kind":"sweep","policy":"LS","limit":16,"utilizations":[0.3],"min_reps":1,"max_reps":1}"#;
+    let (stdout, stderr, ok) = serve(&format!("{poisoned}\n{after}\n"));
+    assert!(ok, "serve exits 0: {stderr}");
+
+    // The poisoned point's replications come back as recorded failures
+    // inside a normal result event...
+    let points = points_of(&stdout, "p");
+    assert!(points.contains("\"cause\""), "failures are data in the response:\n{points}");
+    // ...while the healthy point still carries real runs.
+    assert!(points.contains("\"mean_response\""), "healthy points unaffected:\n{points}");
+    // ...and the daemon lived to serve the next request.
+    assert!(
+        events_for(&stdout, "q").iter().any(|l| l.contains("\"event\":\"result\"")),
+        "daemon survives poisoned replications:\n{stdout}"
+    );
+}
