@@ -1,0 +1,139 @@
+//! Cooperative request cancellation for the sweep engine.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle shared between a
+//! request's owner (who may [`cancel`](CancelToken::cancel) it) and the
+//! machinery running on its behalf — the engine round loop, the
+//! [`super::pool::WorkerPool`] workers, the saturation bisection, and
+//! the cache's peer-wait. Cancellation is *cooperative*: the token is
+//! checked between replications, never mid-simulation, so a cancelled
+//! request stops at the next replication boundary, frees its cache
+//! reservations through the ordinary RAII drop path (waiting peers
+//! re-claim and finish the work), and reports a typed
+//! [`CancelReason`] instead of a result.
+//!
+//! Deadlines ride on the same token: a token built with
+//! [`CancelToken::with_timeout`] starts reporting
+//! [`CancelReason::TimedOut`] once the deadline passes, through exactly
+//! the same checks — a timeout is just a cancellation nobody had to
+//! send.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a request stopped before completing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelReason {
+    /// The owner cancelled the request explicitly.
+    Cancelled,
+    /// The request's deadline passed.
+    TimedOut,
+}
+
+impl CancelReason {
+    /// The in-band event name `serve` reports for this reason.
+    pub fn label(self) -> &'static str {
+        match self {
+            CancelReason::Cancelled => "cancelled",
+            CancelReason::TimedOut => "timeout",
+        }
+    }
+}
+
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cloneable cancellation handle; see the module docs.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    /// A token that only cancels when told to.
+    pub fn new() -> Self {
+        CancelToken { inner: Arc::new(Inner { cancelled: AtomicBool::new(false), deadline: None }) }
+    }
+
+    /// A token that additionally times out `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + timeout),
+            }),
+        }
+    }
+
+    /// Requests cancellation; every holder of a clone observes it at
+    /// its next check.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Why work should stop, or `None` to keep going. An explicit
+    /// cancel wins over a passed deadline (the owner's intent is the
+    /// more specific signal).
+    pub fn state(&self) -> Option<CancelReason> {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return Some(CancelReason::Cancelled);
+        }
+        match self.inner.deadline {
+            Some(d) if Instant::now() >= d => Some(CancelReason::TimedOut),
+            _ => None,
+        }
+    }
+
+    /// Whether the token has fired (for checks that don't need the
+    /// reason).
+    pub fn is_cancelled(&self) -> bool {
+        self.state().is_some()
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("state", &self.state())
+            .field("deadline", &self.inner.deadline)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_fresh_token_is_live_and_cancel_propagates_to_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert_eq!(token.state(), None);
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert_eq!(clone.state(), Some(CancelReason::Cancelled));
+    }
+
+    #[test]
+    fn a_zero_timeout_reports_timed_out_until_explicitly_cancelled() {
+        let token = CancelToken::with_timeout(Duration::ZERO);
+        assert_eq!(token.state(), Some(CancelReason::TimedOut));
+        // An explicit cancel is the more specific signal and wins.
+        token.cancel();
+        assert_eq!(token.state(), Some(CancelReason::Cancelled));
+    }
+
+    #[test]
+    fn a_distant_deadline_leaves_the_token_live() {
+        let token = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert_eq!(token.state(), None);
+    }
+}

@@ -112,9 +112,10 @@ impl SweepConfig {
 }
 
 /// FNV-1a over a byte string: small, dependency-free, and stable for a
-/// given build — exactly the lifetime a checkpoint or cache entry has
-/// (both are optimizations over re-running, never sources of truth).
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// given build — exactly the lifetime a checkpoint, cache entry, or
+/// store record has (all are optimizations over re-running, never
+/// sources of truth). The result store frames every record with it.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);

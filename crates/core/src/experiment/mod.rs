@@ -15,6 +15,13 @@
 //!   overlapping sweeps share replications bit-identically.
 //! * [`checkpoint`] — fingerprinted on-disk resume state, written
 //!   atomically after every round.
+//! * [`store`] — the crash-safe [`ResultStore`]: an append-only,
+//!   checksummed segment log behind the cache, so a restarted daemon
+//!   answers previously computed replications from disk instead of
+//!   re-executing them.
+//! * [`cancel`] — the cooperative [`CancelToken`] checked at
+//!   replication boundaries, so a request can be cancelled or timed out
+//!   without losing completed work or wedging its peers.
 //!
 //! [`sweep`], [`compare`], and the saturation search are thin clients of
 //! [`sweep_on`], which wires the five layers together; `coalloc-exp
@@ -28,22 +35,34 @@
 //! replications.
 
 pub mod cache;
+pub mod cancel;
 pub mod checkpoint;
 pub mod grid;
 pub mod outcome;
 pub mod pool;
 pub mod queue;
+pub mod store;
 
 pub use cache::ScenarioCache;
+pub use cancel::{CancelReason, CancelToken};
 pub use checkpoint::{SweepCheckpoint, CHECKPOINT_VERSION};
 pub use grid::{point_digest, sweep_digest, SweepConfig};
 pub use outcome::{FailedReplication, ReplicatedOutcome, SweepPoint};
 pub use pool::WorkerPool;
 pub use queue::{RepTask, ReplicationQueue};
+pub use store::{RecoveryReport, ResultStore};
 
 use desim::RngStream;
 
 use crate::sim::SimConfig;
+
+/// Poison-safe lock used across the experiment layer: a panicking
+/// holder leaves the guarded data intact (every critical section here
+/// is a single insert/claim/append), so recover the guard instead of
+/// cascading the panic into every later request of a long-lived daemon.
+pub(crate) fn relock<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// The master seed of replication `rep` under `base_seed`: an
 /// independent substream derived from `(base_seed, rep)` alone. Every
@@ -64,8 +83,11 @@ pub struct RoundReport {
     pub round: usize,
     /// Tasks the queue planned this round.
     pub tasks: usize,
-    /// Tasks answered from the scenario cache.
+    /// Tasks answered from the scenario cache (memory and disk).
     pub cache_hits: usize,
+    /// Cache hits answered by rehydrating the backing disk store (a
+    /// subset of `cache_hits`; 0 without a store).
+    pub disk_hits: usize,
     /// Tasks that actually simulated.
     pub executed: usize,
     /// Points the stopping rule still keeps open after the round.
@@ -79,8 +101,11 @@ pub struct SweepStats {
     pub rounds: usize,
     /// Replications that simulated.
     pub executed: u64,
-    /// Replications answered from the scenario cache.
+    /// Replications answered from the scenario cache (memory and disk).
     pub cache_hits: u64,
+    /// Cache hits answered by rehydrating the backing disk store (a
+    /// subset of `cache_hits`; 0 without a store).
+    pub disk_hits: u64,
     /// Replications recovered from the checkpoint before round one.
     pub resumed: u64,
 }
@@ -103,8 +128,36 @@ pub fn sweep_on<F, R>(
     cache: Option<&ScenarioCache>,
     make_cfg: F,
     sweep_cfg: &SweepConfig,
-    mut on_round: R,
+    on_round: R,
 ) -> (Vec<SweepPoint>, SweepStats)
+where
+    F: Fn(f64) -> SimConfig,
+    R: FnMut(&RoundReport),
+{
+    sweep_on_cancellable(pool, cache, make_cfg, sweep_cfg, None, on_round)
+        .expect("sweeps without a token never cancel")
+}
+
+/// [`sweep_on`] under a cooperative [`CancelToken`]: the token is
+/// checked at every round boundary, before each replication a worker
+/// starts, and while waiting on a peer's reservation. Once it fires the
+/// sweep returns `Err(CancelReason)` promptly — replications already
+/// executing finish first (cancellation lands at replication
+/// boundaries, never mid-simulation), completed results are still
+/// published to the cache (and its store) for whoever asks next, and
+/// every unfulfilled reservation is dropped so waiting peers re-claim
+/// and finish the work themselves. A cancelled sweep records nothing:
+/// the checkpoint and the returned points are all-or-nothing, so
+/// cancellation can never perturb the bit-identical results of a later
+/// uncancelled run.
+pub fn sweep_on_cancellable<F, R>(
+    pool: &WorkerPool,
+    cache: Option<&ScenarioCache>,
+    make_cfg: F,
+    sweep_cfg: &SweepConfig,
+    cancel: Option<&CancelToken>,
+    mut on_round: R,
+) -> Result<(Vec<SweepPoint>, SweepStats), CancelReason>
 where
     F: Fn(f64) -> SimConfig,
     R: FnMut(&RoundReport),
@@ -131,6 +184,9 @@ where
     };
 
     loop {
+        if let Some(reason) = cancel.and_then(CancelToken::state) {
+            return Err(reason);
+        }
         let plan = queue.plan_round();
         if plan.is_empty() {
             break;
@@ -151,6 +207,8 @@ where
         let mut slots: Vec<Option<Result<crate::sim::SimOutcome, String>>> =
             (0..plan.len()).map(|_| None).collect();
         let mut cache_hits = 0usize;
+        let mut disk_hits = 0usize;
+        let mut round_executed = 0usize;
         let mut pending: Vec<usize> = (0..plan.len()).collect();
         while !pending.is_empty() {
             let mut miss_slots = Vec::new();
@@ -161,9 +219,10 @@ where
                 let task = plan[i];
                 let seed = replication_seed(sweep_cfg.base_seed, task.rep);
                 match cache.map(|c| c.claim(digests[task.point], sweep_cfg.base_seed, task.rep)) {
-                    Some(cache::Claim::Hit(r)) => {
-                        slots[i] = Some(*r);
+                    Some(cache::Claim::Hit { result, disk }) => {
+                        slots[i] = Some(*result);
                         cache_hits += 1;
+                        disk_hits += usize::from(disk);
                     }
                     Some(cache::Claim::Busy) => busy.push(i),
                     Some(cache::Claim::Reserved(res)) => {
@@ -178,28 +237,54 @@ where
                     }
                 }
             }
-            stats.executed += miss_cfgs.len() as u64;
-            let results = pool.run(miss_cfgs, sweep_cfg.audit);
+            let results = pool.run_cancellable(miss_cfgs, sweep_cfg.audit, cancel);
+            let mut skipped = false;
+            let mut batch_executed = 0usize;
             for ((i, res), result) in miss_slots.into_iter().zip(miss_res).zip(results) {
-                if let Some(res) = res {
-                    res.fulfil(result.clone());
+                match result {
+                    Some(result) => {
+                        batch_executed += 1;
+                        // Completed replications are published even when
+                        // the round is about to be abandoned: they are
+                        // valid, deterministic results a peer (or the
+                        // retried request) reuses.
+                        if let Some(res) = res {
+                            res.fulfil(result.clone());
+                        }
+                        slots[i] = Some(result);
+                    }
+                    // A skipped task: the token fired mid-batch. Its
+                    // reservation drops here, waking waiting peers to
+                    // re-claim and execute the key themselves.
+                    None => skipped = true,
                 }
-                slots[i] = Some(result);
+            }
+            round_executed += batch_executed;
+            stats.executed += batch_executed as u64;
+            if skipped {
+                return Err(cancel
+                    .and_then(CancelToken::state)
+                    .unwrap_or(cancel::CancelReason::Cancelled));
             }
             pending = Vec::new();
             for i in busy {
                 let task = plan[i];
                 let c = cache.expect("busy claims only happen with a cache");
-                match c.wait(digests[task.point], sweep_cfg.base_seed, task.rep) {
-                    Some(r) => {
+                // We hold no reservations past this point, so abandoning
+                // the wait on cancellation blocks nobody.
+                match c.wait_cancellable(digests[task.point], sweep_cfg.base_seed, task.rep, cancel)
+                {
+                    Ok(Some(r)) => {
                         slots[i] = Some(r);
                         cache_hits += 1;
                     }
-                    None => pending.push(i),
+                    Ok(None) => pending.push(i),
+                    Err(reason) => return Err(reason),
                 }
             }
         }
         stats.cache_hits += cache_hits as u64;
+        stats.disk_hits += disk_hits as u64;
 
         for (task, slot) in plan.iter().zip(slots) {
             let seed = replication_seed(sweep_cfg.base_seed, task.rep);
@@ -214,12 +299,13 @@ where
             round: stats.rounds,
             tasks: plan.len(),
             cache_hits,
-            executed: plan.len() - cache_hits,
+            disk_hits,
+            executed: round_executed,
             open_points: queue.open_points(),
         });
     }
 
-    (queue.into_points(&sweep_cfg.utilizations), stats)
+    Ok((queue.into_points(&sweep_cfg.utilizations), stats))
 }
 
 /// Runs an adaptive sweep: `make_cfg` builds the simulation for a target

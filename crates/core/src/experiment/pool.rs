@@ -23,6 +23,8 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+use super::cancel::CancelToken;
+use super::relock;
 use crate::audit::InvariantAuditor;
 use crate::sim::{SimBuilder, SimConfig, SimOutcome};
 
@@ -67,6 +69,10 @@ pub(crate) fn execute_isolated(cfg: &SimConfig, audit: bool) -> Result<SimOutcom
 struct Batch {
     cfgs: Vec<SimConfig>,
     audit: bool,
+    /// When set, workers check the token before starting each task and
+    /// skip (leaving the slot empty) once it fires — cancellation is
+    /// cooperative at replication granularity, never mid-simulation.
+    cancel: Option<CancelToken>,
     /// The lock-free task cursor: `fetch_add` claims the next index.
     next: AtomicUsize,
     /// Results, slotted by task index as workers finish.
@@ -135,6 +141,23 @@ impl WorkerPool {
     /// Blocks until the batch completes; concurrent callers share the
     /// same workers, their batches interleaving at task granularity.
     pub fn run(&self, cfgs: Vec<SimConfig>, audit: bool) -> Vec<Result<SimOutcome, String>> {
+        self.run_cancellable(cfgs, audit, None)
+            .into_iter()
+            .map(|slot| slot.expect("uncancellable batches fill every slot"))
+            .collect()
+    }
+
+    /// [`run`](Self::run) under a cooperative [`CancelToken`]: workers
+    /// check the token before starting each task, so once it fires the
+    /// remaining tasks are *skipped* and come back `None` (tasks already
+    /// executing finish — cancellation lands at replication
+    /// boundaries). Without a token every slot is `Some`.
+    pub fn run_cancellable(
+        &self,
+        cfgs: Vec<SimConfig>,
+        audit: bool,
+        cancel: Option<&CancelToken>,
+    ) -> Vec<Option<Result<SimOutcome, String>>> {
         if cfgs.is_empty() {
             return Vec::new();
         }
@@ -144,21 +167,19 @@ impl WorkerPool {
             next: AtomicUsize::new(0),
             progress: Mutex::new(0),
             done: Condvar::new(),
+            cancel: cancel.cloned(),
             cfgs,
             audit,
         });
-        self.shared.state.lock().expect("pool lock").batches.push_back(Arc::clone(&batch));
+        relock(&self.shared.state).batches.push_back(Arc::clone(&batch));
         self.shared.work_ready.notify_all();
-        let mut completed = batch.progress.lock().expect("batch lock");
+        let mut completed = relock(&batch.progress);
         while *completed < n {
-            completed = batch.done.wait(completed).expect("batch lock");
+            completed =
+                batch.done.wait(completed).unwrap_or_else(std::sync::PoisonError::into_inner);
         }
         drop(completed);
-        batch
-            .slots
-            .iter()
-            .map(|s| s.lock().expect("slot lock").take().expect("slot filled"))
-            .collect()
+        batch.slots.iter().map(|s| relock(s).take()).collect()
     }
 
     /// [`run`](Self::run) for callers that treat a replication panic as
@@ -174,7 +195,7 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        self.shared.state.lock().expect("pool lock").shutdown = true;
+        relock(&self.shared.state).shutdown = true;
         self.shared.work_ready.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -187,7 +208,7 @@ fn worker_loop(shared: &Shared) {
         // Find the oldest batch with unclaimed work, discarding fully
         // claimed ones; park when there is none.
         let batch = {
-            let mut st = shared.state.lock().expect("pool lock");
+            let mut st = relock(&shared.state);
             loop {
                 while st.batches.front().is_some_and(|b| b.is_exhausted()) {
                     st.batches.pop_front();
@@ -198,16 +219,20 @@ fn worker_loop(shared: &Shared) {
                 if st.shutdown {
                     return;
                 }
-                st = shared.work_ready.wait(st).expect("pool lock");
+                st = shared.work_ready.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
-        // Drain the batch: claim indices lock-free until it runs dry.
+        // Drain the batch: claim indices lock-free until it runs dry. A
+        // fired cancel token skips the remaining tasks (slots stay
+        // empty) but still counts them, so the submitter wakes promptly.
         loop {
             let i = batch.next.fetch_add(1, Ordering::Relaxed);
             let Some(cfg) = batch.cfgs.get(i) else { break };
-            let result = execute_isolated(cfg, batch.audit);
-            *batch.slots[i].lock().expect("slot lock") = Some(result);
-            let mut done = batch.progress.lock().expect("batch lock");
+            if !batch.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                let result = execute_isolated(cfg, batch.audit);
+                *relock(&batch.slots[i]) = Some(result);
+            }
+            let mut done = relock(&batch.progress);
             *done += 1;
             if *done == batch.cfgs.len() {
                 batch.done.notify_all();
@@ -281,5 +306,36 @@ mod tests {
         let mut poisoned = tiny(0.3, 7);
         poisoned.warmup_jobs = poisoned.total_jobs;
         WorkerPool::new(1).run_or_panic(vec![poisoned], false);
+    }
+
+    #[test]
+    fn a_poisoned_pool_lock_does_not_take_down_later_batches() {
+        let pool = WorkerPool::new(2);
+        let shared = Arc::clone(&pool.shared);
+        let poisoner = std::thread::spawn(move || {
+            let _guard = shared.state.lock().unwrap();
+            panic!("poison the pool lock while holding it");
+        });
+        assert!(poisoner.join().is_err(), "the poisoner panics by design");
+        // The pool lock is now poisoned. Before lock-poisoning recovery
+        // this panicked on `.expect("pool lock")` — one crashed thread
+        // wedged every later submitter — whereas a long-lived daemon
+        // must keep serving.
+        assert!(pool.run(vec![tiny(0.3, 7)], false)[0].is_ok());
+    }
+
+    #[test]
+    fn a_fired_token_skips_every_remaining_task_and_the_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let token = CancelToken::new();
+        token.cancel();
+        let skipped = pool.run_cancellable(vec![tiny(0.3, 7), tiny(0.4, 8)], false, Some(&token));
+        assert_eq!(skipped.len(), 2);
+        assert!(skipped.iter().all(Option::is_none), "a fired token skips every task");
+        // The pool is unaffected: a token-free batch runs normally, and
+        // a live token leaves results intact.
+        let live = CancelToken::new();
+        let results = pool.run_cancellable(vec![tiny(0.3, 7)], false, Some(&live));
+        assert!(results[0].as_ref().expect("not skipped").is_ok());
     }
 }

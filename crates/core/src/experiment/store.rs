@@ -1,0 +1,648 @@
+//! The crash-safe on-disk result store behind the scenario cache.
+//!
+//! A [`ResultStore`] is an append-only, checksummed segment log of
+//! completed replications keyed `(point_digest, base_seed, rep)` — the
+//! same key as [`super::cache::ScenarioCache`], which writes through to
+//! the store and falls back to it on memory misses. Because a
+//! replication is a pure function of its key (common random numbers,
+//! full-scenario digests), a restarted daemon that reopens its store
+//! answers previously computed replications from disk, bit-identically,
+//! instead of re-executing them.
+//!
+//! ## Format
+//!
+//! A store is a directory of segment files `store-<n>.seg`. Each
+//! segment starts with an 8-byte magic (`COALSTO1`) followed by framed
+//! records:
+//!
+//! ```text
+//! [u32 le payload len][u64 le FNV-1a(payload)][payload bytes]
+//! ```
+//!
+//! where the payload is the JSON rendering of one record (key plus
+//! outcome-or-failure). Appends go to a segment opened by *this*
+//! process only — a reopened store never appends after an old tail, so
+//! a damaged suffix can never corrupt the framing of later writes —
+//! and every append is flushed before [`append`](ResultStore::append)
+//! returns.
+//!
+//! ## Recovery contract
+//!
+//! Recovery is sequential per segment and **drops only the damaged
+//! suffix**: a truncated tail (the process was SIGKILLed mid-append), a
+//! bit-flipped length, checksum, or payload byte, or an unparseable
+//! record stops the scan of that segment with a warning on stderr —
+//! every record before the damage is kept, recovery never panics, and
+//! a zero-length or foreign file simply contributes nothing. The store
+//! is an optimization over re-running, never the source of truth, so
+//! dropping a record is always safe.
+//!
+//! ## Compaction
+//!
+//! Duplicate keys (a record superseded by a newer append, or segments
+//! overlapping after repeated restarts) are *dead*: the index keeps
+//! only the newest. [`compact`](ResultStore::compact) rewrites every
+//! live record into one fresh segment (unique temp file + atomic
+//! rename, the checkpoint discipline) and deletes the old segments, so
+//! a long-lived daemon's disk footprint tracks its live entries.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use super::checkpoint::unique_tmp_path;
+use super::grid::fnv1a;
+use crate::sim::SimOutcome;
+
+/// Key of one stored replication: `(point scenario digest, base seed,
+/// replication index)` — identical to the scenario-cache key.
+type Key = (u64, u64, u64);
+
+/// Magic bytes opening every segment file (name + format version).
+const MAGIC: &[u8; 8] = b"COALSTO1";
+
+/// Frame header size: u32 payload length + u64 payload checksum.
+const FRAME_HEADER: usize = 4 + 8;
+
+/// Upper bound on one record's payload; a "length" beyond it is a
+/// corrupt frame, not a real record (keeps a bit-flipped length from
+/// asking for a multi-gigabyte read).
+const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
+
+/// One record's JSON payload: the key plus either a completed outcome
+/// or a failure cause (the cache memoizes both — a deterministic panic
+/// would only repeat).
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+struct StoreRecord {
+    digest: u64,
+    seed: u64,
+    rep: u64,
+    outcome: Option<SimOutcome>,
+    cause: Option<String>,
+}
+
+impl StoreRecord {
+    fn from_result(key: Key, result: &Result<SimOutcome, String>) -> Self {
+        let (digest, seed, rep) = key;
+        match result {
+            Ok(o) => StoreRecord { digest, seed, rep, outcome: Some(o.clone()), cause: None },
+            Err(c) => StoreRecord { digest, seed, rep, outcome: None, cause: Some(c.clone()) },
+        }
+    }
+
+    fn into_result(self) -> Option<(Key, Result<SimOutcome, String>)> {
+        let key = (self.digest, self.seed, self.rep);
+        match (self.outcome, self.cause) {
+            (Some(o), None) => Some((key, Ok(o))),
+            (None, Some(c)) => Some((key, Err(c))),
+            // Neither or both: not a shape this store ever writes.
+            _ => None,
+        }
+    }
+}
+
+/// Where a live record lives on disk.
+#[derive(Clone, Copy, Debug)]
+struct Loc {
+    /// Index into `StoreInner::segments`.
+    seg: usize,
+    /// Byte offset of the frame (the length word) within the segment.
+    offset: u64,
+    /// Payload length.
+    len: u32,
+}
+
+struct StoreInner {
+    /// Live segment files, oldest first; the active one (if any) is
+    /// last.
+    segments: Vec<PathBuf>,
+    /// Newest location of every key.
+    index: HashMap<Key, Loc>,
+    /// The segment this process appends to, opened lazily.
+    writer: Option<ActiveSegment>,
+    /// Next segment number to allocate.
+    next_segment: u64,
+    /// Records superseded by a newer append or dropped as duplicates at
+    /// load — reclaimable by [`ResultStore::compact`].
+    dead: u64,
+    /// Appends that failed (disk full, permissions); the store keeps
+    /// serving from what it has.
+    append_errors: u64,
+}
+
+struct ActiveSegment {
+    file: File,
+    /// Byte offset the next frame starts at.
+    offset: u64,
+}
+
+/// What [`ResultStore::open`] recovered, for the operator log.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecoveryReport {
+    /// Live records indexed (newest per key).
+    pub live: u64,
+    /// Records superseded by a newer duplicate during the scan.
+    pub superseded: u64,
+    /// Segments whose tail was damaged (truncated or bit-flipped); only
+    /// the damaged suffix was dropped.
+    pub damaged_segments: u64,
+}
+
+/// The crash-safe on-disk result store; see the module docs.
+pub struct ResultStore {
+    dir: PathBuf,
+    inner: Mutex<StoreInner>,
+    recovery: RecoveryReport,
+}
+
+/// Poison-safe lock: a panicking holder leaves the data intact (every
+/// mutation below is a single insert/append), so recover the guard
+/// instead of cascading the panic into every later request.
+fn relock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store directory and recovers
+    /// every undamaged record from its segments. Damage is contained,
+    /// never fatal: a truncated or bit-flipped segment loses only its
+    /// suffix, with a warning on stderr.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<ResultStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut segments: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if let Some(n) = segment_number(&path) {
+                segments.push((n, path));
+            }
+        }
+        segments.sort();
+        let next_segment = segments.last().map_or(0, |(n, _)| n + 1);
+
+        let mut index: HashMap<Key, Loc> = HashMap::new();
+        let mut recovery = RecoveryReport::default();
+        let paths: Vec<PathBuf> = segments.into_iter().map(|(_, p)| p).collect();
+        for (seg, path) in paths.iter().enumerate() {
+            if !scan_segment(path, seg, &mut index, &mut recovery) {
+                recovery.damaged_segments += 1;
+            }
+        }
+        recovery.live = index.len() as u64;
+        Ok(ResultStore {
+            dir,
+            inner: Mutex::new(StoreInner {
+                segments: paths,
+                index,
+                writer: None,
+                next_segment,
+                dead: recovery.superseded,
+                append_errors: 0,
+            }),
+            recovery,
+        })
+    }
+
+    /// What [`open`](Self::open) recovered.
+    pub fn recovery(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Live records currently indexed.
+    pub fn len(&self) -> usize {
+        relock(&self.inner).index.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Segment files currently on disk.
+    pub fn segments(&self) -> usize {
+        relock(&self.inner).segments.len()
+    }
+
+    /// Whether compaction would reclaim anything: dead records exist or
+    /// the log is spread over more than one segment.
+    pub fn fragmented(&self) -> bool {
+        let inner = relock(&self.inner);
+        inner.dead > 0 || inner.segments.len() > 1
+    }
+
+    /// Reads one record back, verifying its checksum again (the bytes
+    /// may have rotted since recovery). Any damage reads as a miss —
+    /// the caller re-executes, which is always correct.
+    pub fn get(&self, digest: u64, seed: u64, rep: u64) -> Option<Result<SimOutcome, String>> {
+        let inner = relock(&self.inner);
+        let loc = *inner.index.get(&(digest, seed, rep))?;
+        let path = inner.segments.get(loc.seg)?.clone();
+        match read_record(&path, loc) {
+            Ok(record) => record.into_result().map(|(_, r)| r),
+            Err(e) => {
+                eprintln!(
+                    "warning: result store record at {}:{} unreadable ({e}); treating as a miss",
+                    path.display(),
+                    loc.offset
+                );
+                None
+            }
+        }
+    }
+
+    /// Appends one record and flushes it to the operating system before
+    /// returning, so a SIGKILL after `append` never loses the record. A
+    /// failed append (disk full, permissions) warns on stderr and the
+    /// store keeps serving — durability degrades, correctness does not.
+    pub fn append(&self, digest: u64, seed: u64, rep: u64, result: &Result<SimOutcome, String>) {
+        let key = (digest, seed, rep);
+        let record = StoreRecord::from_result(key, result);
+        let payload = serde_json::to_string(&record).expect("store record serializes");
+        let mut inner = relock(&self.inner);
+        if let Err(e) = inner.append_frame(&self.dir, key, payload.as_bytes()) {
+            inner.append_errors += 1;
+            if inner.append_errors <= 3 {
+                eprintln!("warning: result store append failed ({e}); continuing without it");
+            }
+        }
+    }
+
+    /// Rewrites every live record into one fresh segment (temp file +
+    /// atomic rename) and deletes the old segments. Safe at any time: a
+    /// crash mid-compaction leaves either the old segments or the new
+    /// one plus harmless duplicates, both of which recover fully.
+    pub fn compact(&self) -> std::io::Result<()> {
+        let mut inner = relock(&self.inner);
+        inner.writer = None; // flushes and closes the active segment
+
+        // Collect every live record (key order, for a deterministic
+        // layout) by re-reading the frames we already trust.
+        let mut keys: Vec<Key> = inner.index.keys().copied().collect();
+        keys.sort_unstable();
+        let mut frames: Vec<(Key, Vec<u8>)> = Vec::with_capacity(keys.len());
+        for key in keys {
+            let loc = inner.index[&key];
+            let path = &inner.segments[loc.seg];
+            match read_record(path, loc) {
+                Ok(record) => {
+                    let payload = serde_json::to_string(&record).expect("store record serializes");
+                    frames.push((key, payload.into_bytes()));
+                }
+                Err(e) => eprintln!(
+                    "warning: dropping unreadable store record during compaction \
+                     ({}:{}: {e})",
+                    path.display(),
+                    loc.offset
+                ),
+            }
+        }
+
+        let seg_no = inner.next_segment;
+        inner.next_segment += 1;
+        let target = self.dir.join(format!("store-{seg_no:06}.seg"));
+        let tmp = unique_tmp_path(&target);
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(MAGIC)?;
+            let mut offset = MAGIC.len() as u64;
+            let mut index = HashMap::with_capacity(frames.len());
+            for (key, payload) in &frames {
+                write_frame(&mut file, payload)?;
+                index.insert(*key, Loc { seg: 0, offset, len: payload.len() as u32 });
+                offset += (FRAME_HEADER + payload.len()) as u64;
+            }
+            file.sync_all()?;
+            std::fs::rename(&tmp, &target)?;
+            let old = std::mem::replace(&mut inner.segments, vec![target]);
+            inner.index = index;
+            inner.dead = 0;
+            drop(inner);
+            for path in old {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl StoreInner {
+    fn append_frame(&mut self, dir: &Path, key: Key, payload: &[u8]) -> std::io::Result<()> {
+        if self.writer.is_none() {
+            let seg_no = self.next_segment;
+            self.next_segment += 1;
+            let path = dir.join(format!("store-{seg_no:06}.seg"));
+            let mut file = std::fs::OpenOptions::new().create_new(true).write(true).open(&path)?;
+            file.write_all(MAGIC)?;
+            file.flush()?;
+            self.segments.push(path);
+            self.writer = Some(ActiveSegment { file, offset: MAGIC.len() as u64 });
+        }
+        let seg = self.segments.len() - 1;
+        let active = self.writer.as_mut().expect("active segment just ensured");
+        let offset = active.offset;
+        write_frame(&mut active.file, payload)?;
+        active.file.flush()?;
+        active.offset += (FRAME_HEADER + payload.len()) as u64;
+        if self.index.insert(key, Loc { seg, offset, len: payload.len() as u32 }).is_some() {
+            self.dead += 1;
+        }
+        Ok(())
+    }
+}
+
+/// The segment number of `store-<n>.seg`, or `None` for foreign files.
+fn segment_number(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let digits = name.strip_prefix("store-")?.strip_suffix(".seg")?;
+    digits.parse().ok()
+}
+
+fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&fnv1a(payload).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Scans one segment into the index, newest record winning. Returns
+/// `false` (after warning) when a damaged suffix was dropped; the
+/// records before the damage are kept either way.
+fn scan_segment(
+    path: &Path,
+    seg: usize,
+    index: &mut HashMap<Key, Loc>,
+    recovery: &mut RecoveryReport,
+) -> bool {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("warning: cannot read store segment {} ({e}); skipping", path.display());
+            return false;
+        }
+    };
+    if bytes.is_empty() {
+        // A segment created but never written (or truncated to nothing):
+        // nothing to recover, nothing to warn about.
+        return true;
+    }
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        eprintln!(
+            "warning: store segment {} has no valid header; ignoring the file",
+            path.display()
+        );
+        return false;
+    }
+    let mut offset = MAGIC.len();
+    loop {
+        if offset == bytes.len() {
+            return true; // clean end of segment
+        }
+        let Some(frame) = decode_frame(&bytes[offset..]) else {
+            eprintln!(
+                "warning: store segment {} damaged at byte {offset}; \
+                 dropping the suffix ({} records recovered so far)",
+                path.display(),
+                index.len()
+            );
+            return false;
+        };
+        let (payload, frame_len) = frame;
+        match serde_json::from_str::<StoreRecord>(payload).ok().and_then(StoreRecord::into_result) {
+            Some((key, _)) => {
+                let loc =
+                    Loc { seg, offset: offset as u64, len: (frame_len - FRAME_HEADER) as u32 };
+                if index.insert(key, loc).is_some() {
+                    recovery.superseded += 1;
+                }
+            }
+            None => {
+                // The checksum matched but the payload is not a record
+                // this store writes — same containment as bit damage.
+                eprintln!(
+                    "warning: store segment {} holds an unparseable record at byte {offset}; \
+                     dropping the suffix",
+                    path.display()
+                );
+                return false;
+            }
+        }
+        offset += frame_len;
+    }
+}
+
+/// Decodes one frame at the head of `bytes`: `Some((payload, total
+/// frame length))` when the length is plausible, the bytes are all
+/// present, the checksum matches, and the payload is UTF-8.
+fn decode_frame(bytes: &[u8]) -> Option<(&str, usize)> {
+    if bytes.len() < FRAME_HEADER {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_PAYLOAD as usize || bytes.len() < FRAME_HEADER + len {
+        return None;
+    }
+    let checksum = u64::from_le_bytes(bytes[4..12].try_into().expect("8 bytes"));
+    let payload = &bytes[FRAME_HEADER..FRAME_HEADER + len];
+    if fnv1a(payload) != checksum {
+        return None;
+    }
+    std::str::from_utf8(payload).ok().map(|p| (p, FRAME_HEADER + len))
+}
+
+/// Re-reads one frame from disk and verifies it end to end.
+fn read_record(path: &Path, loc: Loc) -> std::io::Result<StoreRecord> {
+    let mut file = File::open(path)?;
+    file.seek(SeekFrom::Start(loc.offset))?;
+    let mut frame = vec![0u8; FRAME_HEADER + loc.len as usize];
+    file.read_exact(&mut frame)?;
+    let (payload, _) = decode_frame(&frame)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "corrupt frame"))?;
+    serde_json::from_str(payload)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::pool::execute_isolated;
+    use crate::policy::PolicyKind;
+    use crate::sim::SimConfig;
+
+    fn temp_store_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("coalloc-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn outcome(seed: u64) -> Result<SimOutcome, String> {
+        let mut cfg = SimConfig::das(PolicyKind::Gs, 16, 0.3);
+        cfg.total_jobs = 400;
+        cfg.warmup_jobs = 50;
+        execute_isolated(&cfg.with_seed(seed), false)
+    }
+
+    /// The failure cause stored under a key, or `None` on a miss /
+    /// non-failure (`SimOutcome` has no `PartialEq`, so tests compare
+    /// causes and individual metrics instead of whole results).
+    fn stored_err(store: &ResultStore, digest: u64, seed: u64, rep: u64) -> Option<String> {
+        match store.get(digest, seed, rep) {
+            Some(Err(cause)) => Some(cause),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn appended_records_survive_a_reopen_bit_identically() {
+        let dir = temp_store_dir("roundtrip");
+        let ok = outcome(7);
+        {
+            let store = ResultStore::open(&dir).expect("store opens");
+            store.append(1, 2, 0, &ok);
+            store.append(1, 2, 1, &Err("boom".into()));
+            assert_eq!(store.len(), 2);
+        }
+        let store = ResultStore::open(&dir).expect("store reopens");
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.recovery().live, 2);
+        let back = store.get(1, 2, 0).expect("stored outcome");
+        assert_eq!(back.unwrap().metrics.mean_response, ok.as_ref().unwrap().metrics.mean_response);
+        assert_eq!(stored_err(&store, 1, 2, 1), Some("boom".into()));
+        assert!(store.get(9, 9, 9).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn newest_duplicate_wins_and_compaction_reclaims_the_dead() {
+        let dir = temp_store_dir("compact");
+        let store = ResultStore::open(&dir).expect("store opens");
+        store.append(1, 2, 0, &Err("old".into()));
+        store.append(1, 2, 0, &Err("new".into()));
+        store.append(3, 4, 0, &Err("live".into()));
+        assert!(store.fragmented(), "a superseded record is reclaimable");
+        assert_eq!(stored_err(&store, 1, 2, 0), Some("new".into()));
+
+        store.compact().expect("compaction succeeds");
+        assert_eq!(store.segments(), 1);
+        assert!(!store.fragmented());
+        assert_eq!(store.len(), 2);
+        assert_eq!(stored_err(&store, 1, 2, 0), Some("new".into()));
+        assert_eq!(stored_err(&store, 3, 4, 0), Some("live".into()));
+
+        // And the compacted layout recovers like any other.
+        drop(store);
+        let reopened = ResultStore::open(&dir).expect("store reopens");
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(stored_err(&reopened, 1, 2, 0), Some("new".into()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The single segment a fresh store wrote.
+    fn only_segment(dir: &Path) -> PathBuf {
+        let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+            .expect("store dir")
+            .map(|e| e.expect("entry").path())
+            .filter(|p| segment_number(p).is_some())
+            .collect();
+        assert_eq!(segs.len(), 1, "expected exactly one segment");
+        segs.pop().expect("one segment")
+    }
+
+    #[test]
+    fn a_truncated_tail_loses_only_the_damaged_suffix() {
+        let dir = temp_store_dir("truncated");
+        {
+            let store = ResultStore::open(&dir).expect("store opens");
+            for rep in 0..4 {
+                store.append(1, 2, rep, &Err(format!("r{rep}")));
+            }
+        }
+        let seg = only_segment(&dir);
+        let len = std::fs::metadata(&seg).expect("segment metadata").len();
+        // Cut into the last record's payload: a mid-append SIGKILL.
+        let file = std::fs::OpenOptions::new().write(true).open(&seg).expect("segment opens");
+        file.set_len(len - 7).expect("truncate");
+
+        let store = ResultStore::open(&dir).expect("recovery never fails");
+        assert_eq!(store.len(), 3, "only the torn record is lost");
+        assert_eq!(store.recovery().damaged_segments, 1);
+        for rep in 0..3 {
+            assert_eq!(stored_err(&store, 1, 2, rep), Some(format!("r{rep}")));
+        }
+        assert!(store.get(1, 2, 3).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_bit_flipped_record_drops_it_and_the_suffix_but_keeps_the_prefix() {
+        let dir = temp_store_dir("bitflip");
+        {
+            let store = ResultStore::open(&dir).expect("store opens");
+            for rep in 0..4 {
+                store.append(1, 2, rep, &Err(format!("r{rep}")));
+            }
+        }
+        let seg = only_segment(&dir);
+        let mut bytes = std::fs::read(&seg).expect("segment bytes");
+        // Flip one payload bit around 60% of the file: records before it
+        // must survive, the flipped one and everything after must go.
+        let hit = bytes.len() * 6 / 10;
+        bytes[hit] ^= 0x40;
+        std::fs::write(&seg, &bytes).expect("rewrite segment");
+
+        let store = ResultStore::open(&dir).expect("recovery never fails");
+        assert!(store.len() < 4, "the damaged record is gone");
+        assert!(!store.is_empty(), "the undamaged prefix survives");
+        assert_eq!(store.recovery().damaged_segments, 1);
+        for rep in 0..store.len() as u64 {
+            assert_eq!(stored_err(&store, 1, 2, rep), Some(format!("r{rep}")));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_length_and_foreign_files_recover_to_an_empty_store() {
+        let dir = temp_store_dir("empty");
+        std::fs::create_dir_all(&dir).expect("dir");
+        std::fs::write(dir.join("store-000000.seg"), b"").expect("zero-length segment");
+        std::fs::write(dir.join("store-000001.seg"), b"not a segment at all").expect("foreign");
+        std::fs::write(dir.join("README.txt"), b"ignored").expect("unrelated file");
+
+        let store = ResultStore::open(&dir).expect("recovery never fails");
+        assert_eq!(store.len(), 0);
+        assert_eq!(store.recovery().damaged_segments, 1, "only the foreign segment warns");
+        // The store still accepts appends (to a fresh segment).
+        store.append(5, 5, 0, &Err("after recovery".into()));
+        drop(store);
+        let reopened = ResultStore::open(&dir).expect("store reopens");
+        assert_eq!(stored_err(&reopened, 5, 5, 0), Some("after recovery".into()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_appenders_interleave_without_corruption() {
+        let dir = temp_store_dir("concurrent");
+        let store = std::sync::Arc::new(ResultStore::open(&dir).expect("store opens"));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let store = std::sync::Arc::clone(&store);
+                s.spawn(move || {
+                    for rep in 0..25u64 {
+                        store.append(t, 0, rep, &Err(format!("{t}/{rep}")));
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 100);
+        drop(store);
+        let reopened = ResultStore::open(&dir).expect("store reopens");
+        assert_eq!(reopened.len(), 100, "every interleaved record recovers");
+        assert_eq!(stored_err(&reopened, 3, 0, 24), Some("3/24".into()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -47,7 +47,8 @@ pub use cluster::Cluster;
 pub use error::CoallocError;
 pub use experiment::{
     compare, compare_sweeps, point_digest, replication_seed, sweep, sweep_digest, sweep_on,
-    FailedReplication, ReplicatedOutcome, RoundReport, ScenarioCache, SweepCheckpoint, SweepConfig,
+    sweep_on_cancellable, CancelReason, CancelToken, FailedReplication, RecoveryReport,
+    ReplicatedOutcome, ResultStore, RoundReport, ScenarioCache, SweepCheckpoint, SweepConfig,
     SweepPoint, SweepStats, Verdict, WorkerPool, CHECKPOINT_VERSION,
 };
 pub use fault::{FaultEvent, FaultKind, FaultSpec, FaultTrace, InterruptPolicy, ResizePolicy};
@@ -64,8 +65,9 @@ pub use policy::{
 };
 pub use queue::QueueDiscipline;
 pub use saturation::{
-    bisect_max_utilization, bisect_max_utilization_on, bisect_max_utilization_replicated,
-    maximal_utilization, ProbePlan, SaturationConfig, SaturationResult,
+    bisect_max_utilization, bisect_max_utilization_cancellable_on, bisect_max_utilization_on,
+    bisect_max_utilization_replicated, maximal_utilization, ProbePlan, SaturationConfig,
+    SaturationResult,
 };
 pub use sim::{
     mean_response, NetworkSpec, NetworkTopology, OccupancyModel, Session, SimBuilder, SimConfig,

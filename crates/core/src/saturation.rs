@@ -202,7 +202,15 @@ impl Default for ProbePlan {
 }
 
 impl ProbePlan {
-    fn saturated<F>(&self, pool: &crate::experiment::WorkerPool, make_cfg: &F, util: f64) -> bool
+    /// One probe under a cooperative token: `Err` as soon as the token
+    /// fires (tasks already running finish; the vote is abandoned).
+    fn saturated_cancellable<F>(
+        &self,
+        pool: &crate::experiment::WorkerPool,
+        make_cfg: &F,
+        util: f64,
+        cancel: Option<&crate::experiment::CancelToken>,
+    ) -> Result<bool, crate::experiment::CancelReason>
     where
         F: Fn(f64) -> crate::sim::SimConfig,
     {
@@ -214,9 +222,21 @@ impl ProbePlan {
                 cfg.with_seed(seed)
             })
             .collect();
-        let outcomes = pool.run_or_panic(cfgs, false);
+        let results = pool.run_cancellable(cfgs, false, cancel);
+        let mut outcomes = Vec::with_capacity(results.len());
+        for slot in results {
+            match slot {
+                Some(result) => outcomes
+                    .push(result.unwrap_or_else(|cause| panic!("replication panicked: {cause}"))),
+                None => {
+                    return Err(cancel
+                        .and_then(crate::experiment::CancelToken::state)
+                        .unwrap_or(crate::experiment::CancelReason::Cancelled))
+                }
+            }
+        }
         let votes = outcomes.iter().filter(|o| o.saturated).count();
-        2 * votes > outcomes.len()
+        Ok(2 * votes > outcomes.len())
     }
 }
 
@@ -277,11 +297,36 @@ where
 pub fn bisect_max_utilization_on<F>(
     pool: &crate::experiment::WorkerPool,
     make_cfg: F,
+    lo: f64,
+    hi: f64,
+    tolerance: f64,
+    plan: &ProbePlan,
+) -> f64
+where
+    F: Fn(f64) -> crate::sim::SimConfig,
+{
+    bisect_max_utilization_cancellable_on(pool, make_cfg, lo, hi, tolerance, plan, None)
+        .expect("searches without a token never cancel")
+}
+
+/// [`bisect_max_utilization_on`] under a cooperative
+/// [`crate::experiment::CancelToken`], checked between probes (and
+/// between a probe's replications, inside the pool): once the token
+/// fires the search returns `Err(CancelReason)` instead of a boundary.
+/// A later uncancelled search re-probes from scratch and lands on the
+/// same deterministic answer.
+///
+/// # Panics
+/// Same bracket requirements as [`bisect_max_utilization_replicated`].
+pub fn bisect_max_utilization_cancellable_on<F>(
+    pool: &crate::experiment::WorkerPool,
+    make_cfg: F,
     mut lo: f64,
     mut hi: f64,
     tolerance: f64,
     plan: &ProbePlan,
-) -> f64
+    cancel: Option<&crate::experiment::CancelToken>,
+) -> Result<f64, crate::experiment::CancelReason>
 where
     F: Fn(f64) -> crate::sim::SimConfig,
 {
@@ -291,22 +336,22 @@ where
     // price of a trustworthy answer; a debug_assert! would vanish in
     // release builds, where all real searches run.
     assert!(
-        !plan.saturated(pool, &make_cfg, lo),
+        !plan.saturated_cancellable(pool, &make_cfg, lo, cancel)?,
         "bisection bracket invalid: lo = {lo} is already saturated; lower lo"
     );
     assert!(
-        plan.saturated(pool, &make_cfg, hi),
+        plan.saturated_cancellable(pool, &make_cfg, hi, cancel)?,
         "bisection bracket invalid: hi = {hi} is still stable; the saturation point lies above hi"
     );
     while hi - lo > tolerance {
         let mid = 0.5 * (lo + hi);
-        if plan.saturated(pool, &make_cfg, mid) {
+        if plan.saturated_cancellable(pool, &make_cfg, mid, cancel)? {
             hi = mid;
         } else {
             lo = mid;
         }
     }
-    lo
+    Ok(lo)
 }
 
 #[cfg(test)]

@@ -44,8 +44,11 @@ fn usage() -> ExitCode {
          \x20              [--disposition rigid|moldable|malleable]\n\
          \x20              [--queue-discipline fcfs|easy|conservative]\n\
          \x20              [--estimate-factor X] [--network <net>]\n\
+         \x20              [--store <dir>] [--cache-cap N]\n\
          \x20              [--json]   (adaptive sweep; stats table or JSON points)\n\
-         \x20        serve [--threads N] [--full]   (JSONL request daemon on stdin/stdout)\n\
+         \x20        serve [--threads N] [--full] [--store <dir>] [--cache-cap N]\n\
+         \x20              (JSONL request daemon on stdin/stdout; --store makes\n\
+         \x20               results crash-safe across restarts)\n\
          \x20        bench [--quick|--full] [--calendar heap|cq|both] [--out <dir>]   (throughput -> BENCH_<n>.json)\n\
          fault specs: exp:MTTF:MTTR or down:T:K[:R],up:T:K,...\n\
          network specs: <bandwidth>[:backbone|:pairwise] (concurrent-flow units; `inf` = uncontended)"
@@ -268,16 +271,32 @@ fn scenario_spec(
 
 /// Runs the JSONL request daemon on stdin/stdout: one JSON request per
 /// input line, streamed JSON events per output line, all requests
-/// sharing one worker pool and one scenario cache. See
-/// [`coalloc::serve`] for the protocol.
+/// sharing one worker pool and one scenario cache. `--store <dir>`
+/// backs the cache with the crash-safe on-disk result store (a
+/// restarted daemon rehydrates instead of re-executing); `--cache-cap
+/// <n>` bounds the in-memory cache with LRU eviction. See
+/// [`coalloc::serve`] for the protocol, including `cancel`, `shutdown`,
+/// and per-request `timeout_ms`.
 fn serve_cmd(args: &[String], scale: Scale) -> Result<ExitCode, CoallocError> {
-    let threads: usize = parse_flag(args, "--threads", "a worker count")?.unwrap_or(0);
-    let summary = coalloc::serve::serve(std::io::stdin().lock(), std::io::stdout(), threads, scale)
+    let opts = coalloc::serve::ServeOptions {
+        threads: parse_flag(args, "--threads", "a worker count")?.unwrap_or(0),
+        default_scale: scale,
+        store: flag_value(args, "--store")?.map(std::path::PathBuf::from),
+        cache_cap: parse_flag(args, "--cache-cap", "an entry count")?,
+    };
+    let durable = opts.store.is_some();
+    let summary = coalloc::serve::serve_with(std::io::stdin().lock(), std::io::stdout(), &opts)
         .map_err(|e| CoallocError::io("serving requests", e))?;
     eprintln!(
         "served {} requests ({} errors); scenario cache: {} hits, {} misses",
         summary.requests, summary.errors, summary.cache_hits, summary.cache_misses
     );
+    if durable || summary.cancelled > 0 {
+        eprintln!(
+            "durability: {} disk hits, {} requests cancelled or timed out",
+            summary.disk_hits, summary.cancelled
+        );
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -315,7 +334,39 @@ fn sweep_cmd(args: &[String], scale: Scale) -> Result<ExitCode, CoallocError> {
     }
     cfg.checkpoint = flag_value(args, "--checkpoint")?.map(std::path::PathBuf::from);
     cfg.audit = args.iter().any(|a| a == "--audit");
-    let points = sweep(spec.make_cfg(), &cfg);
+    let store_dir = flag_value(args, "--store")?.map(std::path::PathBuf::from);
+    let cache_cap: Option<usize> = parse_flag(args, "--cache-cap", "an entry count")?;
+    let points = if store_dir.is_some() || cache_cap.is_some() {
+        // Durable sweep: run through a scenario cache backed by the
+        // crash-safe result store, so a re-run (or a later serve
+        // daemon pointed at the same directory) rehydrates finished
+        // replications instead of re-executing them.
+        use coalloc::core::experiment::{ResultStore, ScenarioCache, WorkerPool};
+        let disk = match &store_dir {
+            Some(dir) => Some(ResultStore::open(dir).map_err(|e| {
+                CoallocError::io(format!("opening result store {}", dir.display()), e)
+            })?),
+            None => None,
+        };
+        let pool = WorkerPool::new(0);
+        let cache = ScenarioCache::with(disk, cache_cap);
+        let (points, stats) =
+            coalloc::core::experiment::sweep_on(&pool, Some(&cache), spec.make_cfg(), &cfg, |_| {});
+        eprintln!(
+            "sweep: {} replications executed, {} cache hits ({} rehydrated from disk)",
+            stats.executed, stats.cache_hits, stats.disk_hits
+        );
+        if let Some(store) = cache.disk_store() {
+            if store.fragmented() {
+                if let Err(e) = store.compact() {
+                    eprintln!("warning: result store compaction failed ({e})");
+                }
+            }
+        }
+        points
+    } else {
+        sweep(spec.make_cfg(), &cfg)
+    };
     if args.iter().any(|a| a == "--json") {
         // The exact bytes `serve` embeds in its result events — clients
         // can diff the two representations with `cmp`.

@@ -8,6 +8,14 @@
 //! replications bit-identically (common-random-number substreams make a
 //! replication a pure function of `(scenario, base seed, index)`).
 //!
+//! With [`ServeOptions::store`] the cache writes through to a
+//! crash-safe on-disk [`ResultStore`]: a restarted daemon rehydrates
+//! previously computed replications as *disk hits* instead of
+//! re-executing them, and a SIGKILL loses at most the replication that
+//! was mid-append. [`ServeOptions::cache_cap`] bounds the in-memory
+//! cache with LRU eviction (evicted entries remain disk hits when a
+//! store is attached).
+//!
 //! ## Protocol
 //!
 //! Request line (`kind: "sweep"`):
@@ -24,6 +32,23 @@
 //! the CLI flags. `kind: "saturation"` instead takes `lo`, `hi`,
 //! `tolerance`, and `replications` and runs the replicated bisection.
 //!
+//! Request lifecycle controls:
+//!
+//! * `"timeout_ms": N` on any sweep/saturation request arms a deadline;
+//!   a request past it stops at the next replication boundary and
+//!   reports `{"id":...,"event":"timeout"}` instead of a result.
+//! * `{"kind":"cancel","target":"a"}` cancels the in-flight request
+//!   whose `id` is `a` (falling back to the cancel line's own `id` when
+//!   `target` is omitted); the cancelled request reports
+//!   `{"id":"a","event":"cancelled"}`. Cancellation is cooperative:
+//!   replications already executing finish, completed results stay
+//!   cached for whoever asks next, and reservations are released so
+//!   waiting peers re-claim and complete the shared work.
+//! * `{"kind":"shutdown"}` stops reading input, drains in-flight
+//!   requests, flushes/compacts the store, acknowledges with
+//!   `{"id":...,"event":"shutdown"}` as the final event, and exits 0
+//!   (stdin EOF drains the same way, without the acknowledgement).
+//!
 //! Response lines, interleaved across in-flight requests as rounds
 //! complete (match them up by `id`):
 //!
@@ -36,16 +61,26 @@
 //!
 //! A malformed or failing request produces an `error` event for that
 //! request only — the daemon and its pool keep serving, and the process
-//! still exits 0. The `points` array of a sweep result is serialized by
-//! the same code path as `coalloc-exp sweep --json`, and is always the
-//! final field of its line, so the two render byte-identically.
+//! still exits 0 (an unwritable stdout is the one fatal error: the
+//! daemon cancels in-flight work, drains, and exits nonzero). The
+//! `points` array of a sweep result is serialized by the same code path
+//! as `coalloc-exp sweep --json`, and is always the final field of its
+//! line, so the two render byte-identically. Without a store the event
+//! shapes are exactly the historical ones; with `--store` attached,
+//! round and sweep-result events additionally carry `disk_hits` (before
+//! `points`, which stays last).
 
+use std::collections::HashMap;
 use std::io::{BufRead, Write};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
 
-use coalloc_core::experiment::{ScenarioCache, SweepConfig, SweepPoint, WorkerPool};
-use coalloc_core::{bisect_max_utilization_on, CoallocError, ProbePlan};
+use coalloc_core::experiment::{
+    CancelReason, CancelToken, ResultStore, ScenarioCache, SweepConfig, SweepPoint, WorkerPool,
+};
+use coalloc_core::{bisect_max_utilization_cancellable_on, CoallocError, ProbePlan};
 
 use crate::experiments::Scale;
 use crate::scenario::ScenarioSpec;
@@ -57,7 +92,7 @@ use crate::scenario::ScenarioSpec;
 pub struct ServeRequest {
     /// Correlates response events with requests; echoed on every line.
     pub id: Option<String>,
-    /// `"sweep"` or `"saturation"`.
+    /// `"sweep"`, `"saturation"`, `"cancel"`, or `"shutdown"`.
     pub kind: Option<String>,
     /// Policy name (`GS`/`LS`/`LP`/`SC`/`GB`).
     pub policy: Option<String>,
@@ -105,6 +140,11 @@ pub struct ServeRequest {
     pub tolerance: Option<f64>,
     /// Saturation: probe replications (majority vote).
     pub replications: Option<u64>,
+    /// Deadline for this request in milliseconds; past it the request
+    /// stops at the next replication boundary with a `timeout` event.
+    pub timeout_ms: Option<u64>,
+    /// `cancel`: the `id` of the in-flight request to cancel.
+    pub target: Option<String>,
 }
 
 #[derive(serde::Serialize)]
@@ -114,6 +154,22 @@ struct RoundEvent {
     round: u64,
     tasks: u64,
     cache_hits: u64,
+    executed: u64,
+    open_points: u64,
+}
+
+/// [`RoundEvent`] when a disk store is attached: `disk_hits` counts the
+/// round's cache hits answered by rehydrating the store. A separate
+/// struct (not an optional field) so storeless daemons emit the
+/// historical bytes exactly.
+#[derive(serde::Serialize)]
+struct RoundEventDisk {
+    id: String,
+    event: String,
+    round: u64,
+    tasks: u64,
+    cache_hits: u64,
+    disk_hits: u64,
     executed: u64,
     open_points: u64,
 }
@@ -133,6 +189,20 @@ struct SweepResultEvent {
     points: Vec<SweepPoint>,
 }
 
+/// [`SweepResultEvent`] when a disk store is attached; `disk_hits`
+/// slots in before `points`, which stays last for byte-comparability.
+#[derive(serde::Serialize)]
+struct SweepResultEventDisk {
+    id: String,
+    event: String,
+    rounds: u64,
+    resumed: u64,
+    executed: u64,
+    cache_hits: u64,
+    disk_hits: u64,
+    points: Vec<SweepPoint>,
+}
+
 #[derive(serde::Serialize)]
 struct SaturationResultEvent {
     id: String,
@@ -147,6 +217,36 @@ struct ErrorEvent {
     error: String,
 }
 
+/// The in-band terminal event of a cancelled or timed-out request
+/// (`event` is `"cancelled"` or `"timeout"`) and the acknowledgement of
+/// a `shutdown` request (`event` is `"shutdown"`).
+#[derive(serde::Serialize)]
+struct LifecycleEvent {
+    id: String,
+    event: String,
+}
+
+/// How to run the serve loop; see [`serve_with`].
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Worker threads for the shared pool (0 = one per core).
+    pub threads: usize,
+    /// Run lengths for requests that don't say `full`.
+    pub default_scale: Scale,
+    /// Directory of the crash-safe result store; `None` = memory only.
+    pub store: Option<PathBuf>,
+    /// Completed entries kept in memory before LRU eviction; `None` =
+    /// unbounded.
+    pub cache_cap: Option<usize>,
+}
+
+impl ServeOptions {
+    /// Memory-only options, matching the historical `serve` behavior.
+    pub fn new(threads: usize, default_scale: Scale) -> Self {
+        ServeOptions { threads, default_scale, store: None, cache_cap: None }
+    }
+}
+
 /// What a serve session did, for the operator log.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ServeSummary {
@@ -154,10 +254,14 @@ pub struct ServeSummary {
     pub requests: u64,
     /// Requests that ended in an `error` event.
     pub errors: u64,
-    /// Replications answered from the scenario cache.
+    /// Requests that ended cancelled or timed out.
+    pub cancelled: u64,
+    /// Replications answered from the scenario cache (memory or disk).
     pub cache_hits: u64,
     /// Replications that simulated.
     pub cache_misses: u64,
+    /// Cache hits answered by rehydrating the disk store.
+    pub disk_hits: u64,
 }
 
 fn send(tx: &mpsc::Sender<String>, line: String) {
@@ -170,6 +274,11 @@ fn send(tx: &mpsc::Sender<String>, line: String) {
 fn error_event(tx: &mpsc::Sender<String>, id: &str, error: String) {
     let ev = ErrorEvent { id: id.to_string(), event: "error".to_string(), error };
     send(tx, serde_json::to_string(&ev).expect("error event serializes"));
+}
+
+fn lifecycle_event(tx: &mpsc::Sender<String>, id: &str, event: &str) {
+    let ev = LifecycleEvent { id: id.to_string(), event: event.to_string() };
+    send(tx, serde_json::to_string(&ev).expect("lifecycle event serializes"));
 }
 
 fn missing(field: &str) -> CoallocError {
@@ -239,57 +348,115 @@ fn sweep_config(req: &ServeRequest, scale: Scale) -> Result<SweepConfig, Coalloc
     Ok(cfg)
 }
 
-/// Runs one request to completion, streaming round events, and returns
-/// whether it ended in an error event.
+/// Runs one request to completion, streaming round events. `Ok(None)`
+/// is a completed request, `Ok(Some(reason))` one that was cancelled or
+/// timed out (its lifecycle event has already been sent).
 fn handle_request(
     req: &ServeRequest,
     id: &str,
     pool: &WorkerPool,
     cache: &ScenarioCache,
+    cancel: &CancelToken,
     tx: &mpsc::Sender<String>,
     default_scale: Scale,
-) -> Result<(), CoallocError> {
+) -> Result<Option<CancelReason>, CoallocError> {
+    let disk = cache.disk_store().is_some();
     let spec = spec_of(req, default_scale)?;
     match req.kind.as_deref() {
         Some("sweep") => {
             let cfg = sweep_config(req, spec.scale)?;
-            let (points, stats) =
-                coalloc_core::sweep_on(pool, Some(cache), spec.make_cfg(), &cfg, |r| {
-                    let ev = RoundEvent {
-                        id: id.to_string(),
-                        event: "round".to_string(),
-                        round: r.round as u64,
-                        tasks: r.tasks as u64,
-                        cache_hits: r.cache_hits as u64,
-                        executed: r.executed as u64,
-                        open_points: r.open_points as u64,
+            let run = coalloc_core::sweep_on_cancellable(
+                pool,
+                Some(cache),
+                spec.make_cfg(),
+                &cfg,
+                Some(cancel),
+                |r| {
+                    let line = if disk {
+                        serde_json::to_string(&RoundEventDisk {
+                            id: id.to_string(),
+                            event: "round".to_string(),
+                            round: r.round as u64,
+                            tasks: r.tasks as u64,
+                            cache_hits: r.cache_hits as u64,
+                            disk_hits: r.disk_hits as u64,
+                            executed: r.executed as u64,
+                            open_points: r.open_points as u64,
+                        })
+                    } else {
+                        serde_json::to_string(&RoundEvent {
+                            id: id.to_string(),
+                            event: "round".to_string(),
+                            round: r.round as u64,
+                            tasks: r.tasks as u64,
+                            cache_hits: r.cache_hits as u64,
+                            executed: r.executed as u64,
+                            open_points: r.open_points as u64,
+                        })
                     };
-                    send(tx, serde_json::to_string(&ev).expect("round event serializes"));
-                });
-            let ev = SweepResultEvent {
-                id: id.to_string(),
-                event: "result".to_string(),
-                rounds: stats.rounds as u64,
-                resumed: stats.resumed,
-                executed: stats.executed,
-                cache_hits: stats.cache_hits,
-                points,
-            };
-            send(tx, serde_json::to_string(&ev).expect("sweep result serializes"));
-            Ok(())
+                    send(tx, line.expect("round event serializes"));
+                },
+            );
+            match run {
+                Ok((points, stats)) => {
+                    let line = if disk {
+                        serde_json::to_string(&SweepResultEventDisk {
+                            id: id.to_string(),
+                            event: "result".to_string(),
+                            rounds: stats.rounds as u64,
+                            resumed: stats.resumed,
+                            executed: stats.executed,
+                            cache_hits: stats.cache_hits,
+                            disk_hits: stats.disk_hits,
+                            points,
+                        })
+                    } else {
+                        serde_json::to_string(&SweepResultEvent {
+                            id: id.to_string(),
+                            event: "result".to_string(),
+                            rounds: stats.rounds as u64,
+                            resumed: stats.resumed,
+                            executed: stats.executed,
+                            cache_hits: stats.cache_hits,
+                            points,
+                        })
+                    };
+                    send(tx, line.expect("sweep result serializes"));
+                    Ok(None)
+                }
+                Err(reason) => {
+                    lifecycle_event(tx, id, reason.label());
+                    Ok(Some(reason))
+                }
+            }
         }
         Some("saturation") => {
             let plan = ProbePlan { replications: req.replications.unwrap_or(3), threads: 0 };
             let (lo, hi) = (req.lo.unwrap_or(0.3), req.hi.unwrap_or(1.2));
             let tolerance = req.tolerance.unwrap_or(0.05);
-            let max = bisect_max_utilization_on(pool, spec.make_cfg(), lo, hi, tolerance, &plan);
-            let ev = SaturationResultEvent {
-                id: id.to_string(),
-                event: "result".to_string(),
-                max_utilization: max,
-            };
-            send(tx, serde_json::to_string(&ev).expect("saturation result serializes"));
-            Ok(())
+            match bisect_max_utilization_cancellable_on(
+                pool,
+                spec.make_cfg(),
+                lo,
+                hi,
+                tolerance,
+                &plan,
+                Some(cancel),
+            ) {
+                Ok(max) => {
+                    let ev = SaturationResultEvent {
+                        id: id.to_string(),
+                        event: "result".to_string(),
+                        max_utilization: max,
+                    };
+                    send(tx, serde_json::to_string(&ev).expect("saturation result serializes"));
+                    Ok(None)
+                }
+                Err(reason) => {
+                    lifecycle_event(tx, id, reason.label());
+                    Ok(Some(reason))
+                }
+            }
         }
         other => Err(CoallocError::UnknownTarget {
             name: other.unwrap_or("<missing>").to_string(),
@@ -298,42 +465,101 @@ fn handle_request(
     }
 }
 
-/// Runs the serve loop: JSONL requests from `input`, JSONL events to
-/// `output`, all requests sharing one worker pool of `threads` workers
-/// (0 = one per core) and one scenario cache. Returns when `input`
-/// reaches EOF and every in-flight request has completed.
-///
-/// Every request — including a line that is not valid JSON — produces
-/// at least one event; failures are per-request `error` events, never a
-/// dead daemon. Panics inside a request handler (an invalid bisection
-/// bracket, a configuration bug) are caught and reported the same way.
+/// In-flight request registry: `id -> cancel token`, registered
+/// synchronously in the read loop *before* the handler thread spawns,
+/// so a `cancel` line arriving immediately after its target always
+/// finds it.
+type TokenRegistry = Arc<Mutex<HashMap<String, CancelToken>>>;
+
+fn registry_lock(
+    tokens: &TokenRegistry,
+) -> std::sync::MutexGuard<'_, HashMap<String, CancelToken>> {
+    tokens.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Runs the serve loop with the historical memory-only configuration:
+/// JSONL requests from `input`, JSONL events to `output`, all requests
+/// sharing one worker pool of `threads` workers (0 = one per core) and
+/// one scenario cache. See [`serve_with`] for the durable variant.
 pub fn serve<R: BufRead, W: Write + Send + 'static>(
     input: R,
     output: W,
     threads: usize,
     default_scale: Scale,
 ) -> std::io::Result<ServeSummary> {
-    let pool = Arc::new(WorkerPool::new(threads));
-    let cache = Arc::new(ScenarioCache::new());
+    serve_with(input, output, &ServeOptions::new(threads, default_scale))
+}
+
+/// Runs the serve loop. Returns when `input` reaches EOF or a
+/// `shutdown` request arrives, after every in-flight request has
+/// completed and the store (if any) has been flushed and compacted.
+///
+/// Every request — including a line that is not valid JSON — produces
+/// at least one event; failures are per-request `error` events, never a
+/// dead daemon. Panics inside a request handler (an invalid bisection
+/// bracket, a configuration bug) are caught and reported the same way.
+/// The one fatal failure is the output side dying (broken pipe): the
+/// daemon stops accepting requests, cancels in-flight work, drains, and
+/// returns the write error so the process can exit nonzero.
+pub fn serve_with<R: BufRead, W: Write + Send + 'static>(
+    input: R,
+    output: W,
+    opts: &ServeOptions,
+) -> std::io::Result<ServeSummary> {
+    let pool = Arc::new(WorkerPool::new(opts.threads));
+    let disk = match &opts.store {
+        Some(dir) => {
+            let store = ResultStore::open(dir)?;
+            let rec = store.recovery();
+            eprintln!(
+                "serve: result store {} rehydrated {} records \
+                 ({} superseded, {} damaged segments)",
+                dir.display(),
+                rec.live,
+                rec.superseded,
+                rec.damaged_segments
+            );
+            Some(store)
+        }
+        None => None,
+    };
+    let cache = Arc::new(ScenarioCache::with(disk, opts.cache_cap));
     let errors = Arc::new(AtomicU64::new(0));
+    let cancelled = Arc::new(AtomicU64::new(0));
+    let tokens: TokenRegistry = Arc::new(Mutex::new(HashMap::new()));
+    let writer_dead = Arc::new(AtomicBool::new(false));
     let (tx, rx) = mpsc::channel::<String>();
 
     // One writer owns the output: events from concurrent handlers
     // interleave at line granularity, flushed per line so clients see
-    // rounds as they complete.
-    let writer = std::thread::spawn(move || -> std::io::Result<W> {
-        let mut output = output;
-        for line in rx {
-            output.write_all(line.as_bytes())?;
-            output.write_all(b"\n")?;
-            output.flush()?;
-        }
-        Ok(output)
-    });
+    // rounds as they complete. A write failure (broken pipe) marks the
+    // daemon dead instead of panicking the join below.
+    let writer = {
+        let dead = Arc::clone(&writer_dead);
+        std::thread::spawn(move || -> std::io::Result<W> {
+            let mut output = output;
+            for line in rx {
+                let wrote = output
+                    .write_all(line.as_bytes())
+                    .and_then(|()| output.write_all(b"\n"))
+                    .and_then(|()| output.flush());
+                if let Err(e) = wrote {
+                    dead.store(true, Ordering::Release);
+                    return Err(e);
+                }
+            }
+            Ok(output)
+        })
+    };
 
+    let default_scale = opts.default_scale;
     let mut summary = ServeSummary::default();
     let mut handlers = Vec::new();
+    let mut shutdown_id: Option<String> = None;
     for line in input.lines() {
+        if writer_dead.load(Ordering::Acquire) {
+            break;
+        }
         let line = line?;
         if line.trim().is_empty() {
             continue;
@@ -347,15 +573,51 @@ pub fn serve<R: BufRead, W: Write + Send + 'static>(
                 continue;
             }
         };
-        let (pool, cache, tx, errors) =
-            (Arc::clone(&pool), Arc::clone(&cache), tx.clone(), Arc::clone(&errors));
+        let id = req.id.clone().unwrap_or_else(|| "?".to_string());
+        match req.kind.as_deref() {
+            // Lifecycle kinds are handled synchronously on the read
+            // thread: a cancel must land before the next line is read,
+            // and a shutdown must stop the read loop itself.
+            Some("cancel") => {
+                let target = req.target.clone().or_else(|| req.id.clone());
+                let found = target.as_ref().and_then(|t| registry_lock(&tokens).get(t).cloned());
+                match (target, found) {
+                    (Some(_), Some(token)) => token.cancel(),
+                    (Some(t), None) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        error_event(&tx, &id, format!("no in-flight request `{t}` to cancel"));
+                    }
+                    (None, _) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        error_event(&tx, &id, "cancel needs a `target` id".to_string());
+                    }
+                }
+                continue;
+            }
+            Some("shutdown") => {
+                shutdown_id = Some(id);
+                break;
+            }
+            _ => {}
+        }
+        let token = match req.timeout_ms {
+            Some(ms) => CancelToken::with_timeout(Duration::from_millis(ms)),
+            None => CancelToken::new(),
+        };
+        registry_lock(&tokens).insert(id.clone(), token.clone());
+        let (pool, cache, tx) = (Arc::clone(&pool), Arc::clone(&cache), tx.clone());
+        let (errors, cancelled, tokens) =
+            (Arc::clone(&errors), Arc::clone(&cancelled), Arc::clone(&tokens));
         handlers.push(std::thread::spawn(move || {
-            let id = req.id.clone().unwrap_or_else(|| "?".to_string());
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                handle_request(&req, &id, &pool, &cache, &tx, default_scale)
+                handle_request(&req, &id, &pool, &cache, &token, &tx, default_scale)
             }));
+            registry_lock(&tokens).remove(&id);
             match outcome {
-                Ok(Ok(())) => {}
+                Ok(Ok(None)) => {}
+                Ok(Ok(Some(_reason))) => {
+                    cancelled.fetch_add(1, Ordering::Relaxed);
+                }
                 Ok(Err(e)) => {
                     errors.fetch_add(1, Ordering::Relaxed);
                     error_event(&tx, &id, e.to_string());
@@ -372,46 +634,75 @@ pub fn serve<R: BufRead, W: Write + Send + 'static>(
             }
         }));
     }
+    if writer_dead.load(Ordering::Acquire) {
+        // Nobody can see further results: wind in-flight work down at
+        // the next replication boundary instead of simulating into a
+        // dead pipe.
+        for token in registry_lock(&tokens).values() {
+            token.cancel();
+        }
+    }
     for h in handlers {
         let _ = h.join();
     }
+    if let Some(id) = shutdown_id {
+        lifecycle_event(&tx, &id, "shutdown");
+    }
     drop(tx);
-    writer.join().expect("writer thread")?;
+    let writer_result = writer.join();
+
+    // Graceful exit: appends were flushed as they happened; compaction
+    // folds restart-duplicated segments into one. Failure to compact
+    // degrades disk usage, never correctness.
+    if let Some(store) = cache.disk_store() {
+        if store.fragmented() {
+            if let Err(e) = store.compact() {
+                eprintln!("warning: result store compaction failed ({e}); leaving segments as-is");
+            }
+        }
+    }
 
     summary.errors = errors.load(Ordering::Relaxed);
+    summary.cancelled = cancelled.load(Ordering::Relaxed);
     summary.cache_hits = cache.hits();
     summary.cache_misses = cache.misses();
-    Ok(summary)
+    summary.disk_hits = cache.disk_hits();
+    match writer_result {
+        Ok(Ok(_)) => Ok(summary),
+        Ok(Err(e)) => Err(e),
+        Err(_) => Err(std::io::Error::other("writer thread panicked")),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn run_lines(lines: &str) -> (Vec<serde::value::Value>, ServeSummary) {
-        let out: Vec<u8> = Vec::new();
-        // The writer thread returns the buffer through join, so collect
-        // events via a shared Vec instead.
-        struct Shared(Arc<std::sync::Mutex<Vec<u8>>>);
-        impl Write for Shared {
-            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-                self.0.lock().unwrap().extend_from_slice(buf);
-                Ok(buf.len())
-            }
-            fn flush(&mut self) -> std::io::Result<()> {
-                Ok(())
-            }
+    struct Shared(Arc<std::sync::Mutex<Vec<u8>>>);
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
         }
-        drop(out);
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn run_opts(lines: &str, opts: &ServeOptions) -> (Vec<serde::value::Value>, ServeSummary) {
         let buf = Arc::new(std::sync::Mutex::new(Vec::new()));
         let summary =
-            serve(lines.as_bytes(), Shared(Arc::clone(&buf)), 2, Scale::Quick).expect("serve runs");
+            serve_with(lines.as_bytes(), Shared(Arc::clone(&buf)), opts).expect("serve runs");
         let text = String::from_utf8(buf.lock().unwrap().clone()).expect("utf8 output");
         let events = text
             .lines()
             .map(|l| serde::value::parse(l).expect("every output line is JSON"))
             .collect();
         (events, summary)
+    }
+
+    fn run_lines(lines: &str) -> (Vec<serde::value::Value>, ServeSummary) {
+        run_opts(lines, &ServeOptions::new(2, Scale::Quick))
     }
 
     fn field<'a>(ev: &'a serde::value::Value, name: &str) -> &'a serde::value::Value {
@@ -479,5 +770,93 @@ mod tests {
         assert!(summary.cache_hits >= 2, "0.4's replications answered from memory");
         // Round events stream before results and echo per-round counts.
         assert!(events.iter().any(|e| str_field(e, "event") == "round"));
+    }
+
+    #[test]
+    fn an_expired_deadline_reports_timeout_and_the_daemon_keeps_serving() {
+        let input = concat!(
+            r#"{"id":"late","kind":"sweep","policy":"GS","limit":16,"utilizations":[0.2],"min_reps":2,"max_reps":2,"timeout_ms":0}"#,
+            "\n",
+            r#"{"id":"ok","kind":"sweep","policy":"GS","limit":16,"utilizations":[0.2],"min_reps":1,"max_reps":1}"#,
+            "\n",
+        );
+        let (events, summary) = run_lines(input);
+        assert_eq!(summary.cancelled, 1);
+        assert_eq!(summary.errors, 0);
+        assert!(events
+            .iter()
+            .any(|e| str_field(e, "event") == "timeout" && str_field(e, "id") == "late"));
+        assert!(events
+            .iter()
+            .any(|e| str_field(e, "event") == "result" && str_field(e, "id") == "ok"));
+    }
+
+    #[test]
+    fn cancelling_an_unknown_target_is_a_request_error_not_a_dead_daemon() {
+        let input = concat!(
+            r#"{"id":"c","kind":"cancel","target":"ghost"}"#,
+            "\n",
+            r#"{"id":"ok","kind":"sweep","policy":"GS","limit":16,"utilizations":[0.2],"min_reps":1,"max_reps":1}"#,
+            "\n",
+        );
+        let (events, summary) = run_lines(input);
+        assert_eq!(summary.errors, 1);
+        let err = events.iter().find(|e| str_field(e, "event") == "error").expect("cancel error");
+        assert!(str_field(err, "error").contains("ghost"));
+        assert!(events.iter().any(|e| str_field(e, "event") == "result"));
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_work_and_acknowledges_last() {
+        let input = concat!(
+            r#"{"id":"work","kind":"sweep","policy":"GS","limit":16,"utilizations":[0.2],"min_reps":2,"max_reps":2}"#,
+            "\n",
+            r#"{"id":"down","kind":"shutdown"}"#,
+            "\n",
+            r#"{"id":"never","kind":"sweep","policy":"GS","limit":16,"utilizations":[0.2]}"#,
+            "\n",
+        );
+        let (events, summary) = run_lines(input);
+        // The line after shutdown is never read.
+        assert_eq!(summary.requests, 2);
+        assert!(events
+            .iter()
+            .any(|e| str_field(e, "event") == "result" && str_field(e, "id") == "work"));
+        let last = events.last().expect("shutdown acknowledged");
+        assert_eq!(str_field(last, "event"), "shutdown");
+        assert_eq!(str_field(last, "id"), "down");
+        assert!(!events.iter().any(|e| str_field(e, "id") == "never"));
+    }
+
+    #[test]
+    fn a_store_backed_daemon_reports_disk_hits_on_its_second_life() {
+        let dir = std::env::temp_dir().join(format!("coalloc-serve-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = ServeOptions {
+            threads: 2,
+            default_scale: Scale::Quick,
+            store: Some(dir.clone()),
+            cache_cap: None,
+        };
+        let req = concat!(
+            r#"{"id":"a","kind":"sweep","policy":"GS","limit":16,"utilizations":[0.2],"min_reps":2,"max_reps":2}"#,
+            "\n"
+        );
+        let (_, first) = run_opts(req, &opts);
+        assert_eq!(first.disk_hits, 0);
+        assert!(first.cache_misses > 0, "first life executes");
+
+        // Same request on a fresh daemon over the same store directory:
+        // every replication is a disk hit, nothing re-executes.
+        let (events, second) = run_opts(req, &opts);
+        assert_eq!(second.cache_misses, 0, "second life re-executes nothing");
+        assert_eq!(second.disk_hits, first.cache_misses);
+        let result =
+            events.iter().find(|e| str_field(e, "event") == "result").expect("rehydrated result");
+        match field(result, "disk_hits") {
+            serde::value::Value::Uint(n) => assert!(*n > 0, "disk hits surfaced in-band"),
+            other => panic!("disk_hits is {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -146,6 +146,151 @@ fn a_killed_serve_resumes_its_checkpoint_without_rerunning() {
 }
 
 #[test]
+fn a_restarted_store_daemon_rehydrates_instead_of_re_executing() {
+    let dir = std::env::temp_dir().join(format!("serve-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = dir.display().to_string();
+    let req = r#"{"id":"d","kind":"sweep","policy":"GS","limit":16,"utilizations":[0.3,0.5],"min_reps":2,"max_reps":2}"#;
+
+    // First life executes everything and appends each replication to
+    // the store as it completes (EOF plays the crash-free shutdown; the
+    // kill-mid-stream variant is CI's serve-durability job).
+    let (first, stderr, ok) =
+        run_exp(&["serve", "--threads", "2", "--store", &store], &format!("{req}\n"));
+    assert!(ok, "first daemon exits 0: {stderr}");
+    let result = events_for(&first, "d")
+        .into_iter()
+        .find(|l| l.contains("\"event\":\"result\""))
+        .expect("first life completes");
+    assert_eq!(field_u64(result, "executed"), 4, "first life simulates all four replications");
+    assert_eq!(field_u64(result, "disk_hits"), 0);
+    let first_points = points_of(&first, "d");
+
+    // Second life over the same directory: every replication is a disk
+    // hit, nothing re-executes, and the points are byte-identical.
+    let (second, stderr, ok) =
+        run_exp(&["serve", "--threads", "2", "--store", &store], &format!("{req}\n"));
+    assert!(ok, "second daemon exits 0: {stderr}");
+    assert!(stderr.contains("rehydrated"), "restart reports rehydration: {stderr}");
+    let result = events_for(&second, "d")
+        .into_iter()
+        .find(|l| l.contains("\"event\":\"result\""))
+        .expect("second life completes");
+    assert_eq!(field_u64(result, "executed"), 0, "nothing re-ran:\n{second}");
+    assert_eq!(field_u64(result, "disk_hits"), 4, "all four answered from disk");
+    assert_eq!(points_of(&second, "d"), first_points, "rehydration is bit-identical");
+
+    // And the durable daemon's numbers match a storeless sweep exactly:
+    // the store is invisible in the results.
+    let (isolated, iso_err, iso_ok) = run_exp(
+        &[
+            "sweep",
+            "GS",
+            "16",
+            "--utils",
+            "0.3,0.5",
+            "--min-reps",
+            "2",
+            "--max-reps",
+            "2",
+            "--json",
+        ],
+        "",
+    );
+    assert!(iso_ok, "isolated sweep runs: {iso_err}");
+    assert_eq!(first_points, isolated.trim_end(), "store never perturbs results");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_corrupted_store_costs_only_the_damaged_suffix_never_the_daemon() {
+    let dir = std::env::temp_dir().join(format!("serve-corrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = dir.display().to_string();
+    let req = r#"{"id":"c","kind":"sweep","policy":"GS","limit":16,"utilizations":[0.3],"min_reps":2,"max_reps":2}"#;
+
+    let (first, stderr, ok) =
+        run_exp(&["serve", "--threads", "2", "--store", &store], &format!("{req}\n"));
+    assert!(ok, "first daemon exits 0: {stderr}");
+    let first_points = points_of(&first, "c");
+
+    // Tear the tail off the newest segment — the torn-write shape a
+    // power cut leaves behind.
+    let mut segments: Vec<_> = std::fs::read_dir(&dir)
+        .expect("store dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "seg"))
+        .collect();
+    segments.sort();
+    let victim = segments.last().expect("store has a segment");
+    let len = std::fs::metadata(victim).expect("segment metadata").len();
+    let file = std::fs::OpenOptions::new().write(true).open(victim).expect("open segment");
+    file.set_len(len.saturating_sub(7)).expect("truncate segment");
+    drop(file);
+
+    // The restarted daemon drops the damaged suffix, re-executes only
+    // what was lost, and still answers bit-identically — exit 0, never
+    // a crash.
+    let (second, stderr, ok) =
+        run_exp(&["serve", "--threads", "2", "--store", &store], &format!("{req}\n"));
+    assert!(ok, "daemon survives a torn segment: {stderr}");
+    let result = events_for(&second, "c")
+        .into_iter()
+        .find(|l| l.contains("\"event\":\"result\""))
+        .expect("request completes over the damaged store");
+    assert!(field_u64(result, "executed") <= 1, "only the torn record re-ran:\n{second}");
+    assert!(field_u64(result, "disk_hits") >= 1, "the intact prefix rehydrated:\n{second}");
+    assert_eq!(points_of(&second, "c"), first_points, "recovery is bit-identical");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_cancelled_request_reports_in_band_and_the_daemon_keeps_serving() {
+    // `big` would run up to 400 replications; the cancel lands as soon
+    // as the read loop sees it (lifecycle kinds are handled on the read
+    // thread), so `big` stops at the next replication boundary. `peer`
+    // overlaps `big`'s first replications: whatever completed before the
+    // cancel is cached for it, and whatever was reserved is released for
+    // it to claim — either way it completes.
+    let big = r#"{"id":"big","kind":"sweep","policy":"GS","limit":16,"utilizations":[0.3],"min_reps":400,"max_reps":400}"#;
+    let cancel = r#"{"id":"big","kind":"cancel"}"#;
+    let peer = r#"{"id":"peer","kind":"sweep","policy":"GS","limit":16,"utilizations":[0.3],"min_reps":2,"max_reps":2}"#;
+    let (stdout, stderr, ok) = serve(&format!("{big}\n{cancel}\n{peer}\n"));
+    assert!(ok, "serve exits 0: {stderr}");
+    assert!(
+        events_for(&stdout, "big").iter().any(|l| l.contains("\"event\":\"cancelled\"")),
+        "cancelled request reports in-band:\n{stdout}"
+    );
+    assert!(
+        !events_for(&stdout, "big").iter().any(|l| l.contains("\"event\":\"result\"")),
+        "a cancelled request has no result:\n{stdout}"
+    );
+    assert!(
+        events_for(&stdout, "peer").iter().any(|l| l.contains("\"event\":\"result\"")),
+        "the waiting peer completes after the cancel frees reservations:\n{stdout}"
+    );
+}
+
+#[test]
+fn shutdown_drains_in_flight_work_and_exits_zero() {
+    let work = r#"{"id":"w","kind":"sweep","policy":"GS","limit":16,"utilizations":[0.3],"min_reps":2,"max_reps":2}"#;
+    let down = r#"{"id":"down","kind":"shutdown"}"#;
+    let (stdout, stderr, ok) = serve(&format!("{work}\n{down}\n"));
+    assert!(ok, "shutdown exits 0: {stderr}");
+    assert!(
+        events_for(&stdout, "w").iter().any(|l| l.contains("\"event\":\"result\"")),
+        "in-flight work drains before shutdown:\n{stdout}"
+    );
+    let last = stdout.lines().last().expect("events emitted");
+    assert!(
+        last.contains("\"event\":\"shutdown\"") && last.contains("\"id\":\"down\""),
+        "shutdown acknowledged as the final event:\n{stdout}"
+    );
+}
+
+#[test]
 fn panic_injected_replications_surface_as_failures_not_a_dead_daemon() {
     let poisoned = r#"{"id":"p","kind":"sweep","policy":"LS","limit":16,"utilizations":[0.3,0.5],"min_reps":2,"max_reps":2,"inject_panic":0.5}"#;
     let after = r#"{"id":"q","kind":"sweep","policy":"LS","limit":16,"utilizations":[0.3],"min_reps":1,"max_reps":1}"#;
